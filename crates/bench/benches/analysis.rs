@@ -1,0 +1,74 @@
+//! Analysis-layer benchmarks: the cost of the measurements the paper's
+//! methodology is built from, and the headline ablation — the directional
+//! probe versus regenerating full result planes per stress value.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dso_bench::fast_design;
+use dso_core::analysis::{result_planes, Analyzer, DetectionCondition};
+use dso_core::stress::probe::probe_stress;
+use dso_core::stress::StressKind;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::OperatingPoint;
+use std::hint::black_box;
+
+fn bench_vsa(c: &mut Criterion) {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let nominal = OperatingPoint::nominal();
+    let mut group = c.benchmark_group("vsa_measurement");
+    group.sample_size(10);
+    group.bench_function("vsa_at_200k", |bench| {
+        bench.iter(|| black_box(analyzer.vsa(&defect, 2e5, &nominal).expect("measures")))
+    });
+    group.finish();
+}
+
+fn bench_probe_vs_full_plane(c: &mut Criterion) {
+    // The paper's claim: a stress direction can be decided from a handful
+    // of simulations instead of a full fault analysis per stress value.
+    // Compare one directional probe of tcyc against regenerating a small
+    // result plane at each of the three candidate values.
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let nominal = OperatingPoint::nominal();
+    let detection = DetectionCondition::default_for(&defect, 2);
+    let mut group = c.benchmark_group("probe_vs_full_plane");
+    group.sample_size(10);
+    group.bench_function("directional_probe", |bench| {
+        bench.iter(|| {
+            black_box(
+                probe_stress(
+                    &analyzer,
+                    &defect,
+                    &detection,
+                    &nominal,
+                    StressKind::CycleTime,
+                    5e5,
+                )
+                .expect("probes"),
+            )
+        })
+    });
+    group.bench_function("full_planes_per_value", |bench| {
+        bench.iter(|| {
+            let (lo, hi) = StressKind::CycleTime.spec_range();
+            for tcyc in [lo, 60e-9, hi] {
+                let op = StressKind::CycleTime
+                    .apply_to(&nominal, tcyc)
+                    .expect("valid stress value");
+                black_box(
+                    result_planes(&analyzer, &defect, &op, &[1e5, 4e5, 1.6e6], 2)
+                        .expect("planes generate"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_vsa, bench_probe_vs_full_plane
+}
+criterion_main!(benches);

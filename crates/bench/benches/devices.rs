@@ -1,0 +1,90 @@
+//! Device-model evaluation throughput: the MOSFET evaluation dominates
+//! MNA stamping, so its cost bounds the whole transient engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dso_spice::diode::DiodeModel;
+use dso_spice::mos::{evaluate, MosGeometry, MosModel};
+use dso_spice::waveform::{Pulse, Waveform};
+use std::hint::black_box;
+
+fn bench_mosfet(c: &mut Criterion) {
+    let model = MosModel::default();
+    let geometry = MosGeometry::new(1e-6, 0.3e-6).expect("valid geometry");
+    let biases: Vec<(f64, f64, f64)> = (0..64)
+        .map(|i| {
+            let f = i as f64 / 63.0;
+            (2.4 * f, 2.4 * (1.0 - f), -0.5 * f)
+        })
+        .collect();
+    c.bench_function("mosfet_eval_64_biases", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(vgs, vds, vbs) in &biases {
+                acc += evaluate(&model, geometry, vgs, vds, vbs, black_box(27.0)).ids;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mosfet_eval_temperature_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for t in [-33.0, 27.0, 87.0] {
+                acc += evaluate(&model, geometry, 1.2, 1.0, 0.0, black_box(t)).gm;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_diode(c: &mut Criterion) {
+    let model = DiodeModel::default();
+    c.bench_function("diode_eval_sweep", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            let mut vd = -1.0;
+            while vd < 0.9 {
+                acc += model.evaluate(black_box(vd), 27.0).0;
+                vd += 0.05;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_waveform(c: &mut Criterion) {
+    let pwl = Waveform::Pwl((0..64).map(|i| (i as f64 * 1e-9, (i % 5) as f64)).collect());
+    let pulse = Waveform::Pulse(Pulse {
+        v1: 0.0,
+        v2: 2.4,
+        delay: 5e-9,
+        rise: 1e-9,
+        fall: 1e-9,
+        width: 20e-9,
+        period: 60e-9,
+    });
+    c.bench_function("pwl_eval_1000_points", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += pwl.eval(black_box(i as f64 * 6.3e-11));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("pulse_eval_1000_points", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += pulse.eval(black_box(i as f64 * 6.3e-11));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mosfet, bench_diode, bench_waveform
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Linear-solver benchmarks and the dense-versus-sparse ablation called
+//! out in `DESIGN.md`: one DRAM column produces ~50-unknown matrices where
+//! dense LU wins; the sparse solver pays off for scaled-up arrays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dso_num::lu::LuFactor;
+use dso_num::matrix::DMatrix;
+use dso_num::sparse::{SparseLu, Triplets};
+use std::hint::black_box;
+
+/// Builds a tridiagonal-plus-shunts test system of dimension `n`, shaped
+/// like an MNA matrix (diagonally dominant, ~3 entries per row).
+fn banded_dense(n: usize) -> DMatrix {
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = 3.0 + (i % 7) as f64 * 0.1;
+        if i > 0 {
+            a[(i, i - 1)] = -1.0;
+        }
+        if i + 1 < n {
+            a[(i, i + 1)] = -1.0;
+        }
+    }
+    a
+}
+
+fn banded_sparse(n: usize) -> Triplets {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 3.0 + (i % 7) as f64 * 0.1);
+        if i > 0 {
+            t.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0);
+        }
+    }
+    t
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_dense_vs_sparse");
+    for &n in &[16usize, 48, 96, 192] {
+        let dense = banded_dense(n);
+        let csc = banded_sparse(n).to_csc().expect("valid triplets");
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = LuFactor::new(black_box(&dense)).expect("factorizes");
+                black_box(lu.solve(&b).expect("solves"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |bench, _| {
+            bench.iter(|| {
+                let lu = SparseLu::new(black_box(&csc)).expect("factorizes");
+                black_box(lu.solve(&b).expect("solves"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_reuse(c: &mut Criterion) {
+    // Factor once, solve many — the transient engine's per-iteration shape.
+    let n = 48;
+    let dense = banded_dense(n);
+    let lu = LuFactor::new(&dense).expect("factorizes");
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut x = vec![0.0; n];
+    c.bench_function("lu_solve_in_place_48", |bench| {
+        bench.iter(|| {
+            lu.solve_in_place(black_box(&b), &mut x);
+            black_box(x[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lu, bench_solve_reuse
+}
+criterion_main!(benches);

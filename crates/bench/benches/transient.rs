@@ -1,0 +1,96 @@
+//! Transient-engine benchmarks: one DRAM operation cycle end to end, the
+//! backward-Euler versus trapezoidal ablation, and netlist construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dso_bench::fast_design;
+use dso_dram::column::Column;
+use dso_dram::design::OperatingPoint;
+use dso_dram::ops::{Operation, OperationEngine};
+use dso_num::integrate::Method;
+use dso_spice::circuit::Circuit;
+use dso_spice::engine::{Simulator, TranOptions};
+use dso_spice::waveform::Waveform;
+use std::hint::black_box;
+
+fn bench_column_build(c: &mut Criterion) {
+    let design = fast_design();
+    c.bench_function("column_netlist_build", |bench| {
+        bench.iter(|| black_box(Column::build(black_box(&design)).expect("builds")))
+    });
+}
+
+fn bench_operation_cycle(c: &mut Criterion) {
+    let engine = OperationEngine::new(fast_design(), OperatingPoint::nominal())
+        .expect("engine builds");
+    let mut group = c.benchmark_group("dram_operation");
+    group.sample_size(10);
+    group.bench_function("w0_cycle", |bench| {
+        bench.iter(|| black_box(engine.run(&[Operation::W0], 2.4).expect("runs")))
+    });
+    group.bench_function("w1_r_sequence", |bench| {
+        bench.iter(|| {
+            black_box(
+                engine
+                    .run(&[Operation::W1, Operation::R], 0.0)
+                    .expect("runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_integrator_ablation(c: &mut Criterion) {
+    // RC network transient with both integration methods at the same step
+    // count — the BE-vs-TRAP design decision in DESIGN.md.
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let mut prev = vin;
+    for i in 0..10 {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(&format!("R{i}"), prev, node, 1e3)
+            .expect("adds");
+        ckt.add_capacitor(&format!("C{i}"), node, Circuit::GROUND, 1e-12)
+            .expect("adds");
+        prev = node;
+    }
+    ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(1.0))
+        .expect("adds");
+    let sim = Simulator::new(&ckt);
+    let mut group = c.benchmark_group("integrator_ablation");
+    group.sample_size(20);
+    for (name, method) in [
+        ("backward_euler", Method::BackwardEuler),
+        ("trapezoidal", Method::Trapezoidal),
+    ] {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let opts = TranOptions::new(50e-9, 0.1e-9)
+                    .expect("valid options")
+                    .with_method(method)
+                    .with_ic(Vec::new());
+                black_box(sim.transient(&opts).expect("converges"))
+            })
+        });
+    }
+    group.bench_function("adaptive_lte", |bench| {
+        bench.iter(|| {
+            let opts = TranOptions::new(50e-9, 0.1e-9)
+                .expect("valid options")
+                .with_ic(Vec::new())
+                .with_adaptive(dso_spice::engine::AdaptiveOptions {
+                    lte_tol: 1e-4,
+                    dt_min: 0.02e-9,
+                    dt_max: 2e-9,
+                });
+            black_box(sim.transient(&opts).expect("converges"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_column_build, bench_operation_cycle, bench_integrator_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Border-resistance extraction.
+//!
+//! The border resistance (BR) is "the resistive value of a defect at which
+//! the memory starts to show faulty behavior" [Al-Ars02]. Opens fail for
+//! resistances *above* the border; shorts and bridges fail *below* it. The
+//! primary extractor bisects the pass/fail outcome of a detection
+//! condition on a logarithmic resistance axis; the planes module offers an
+//! independent curve-intersection estimate used for cross-checking.
+
+use super::detection::DetectionCondition;
+use super::Analyzer;
+use crate::CoreError;
+use dso_defects::Defect;
+use dso_dram::design::OperatingPoint;
+use dso_num::roots::{bisect_transition, Scale};
+
+/// A located border resistance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BorderResistance {
+    /// The border value in ohms (geometric midpoint of the final bracket).
+    pub resistance: f64,
+    /// `true` if the memory fails for resistances above the border
+    /// (opens); `false` if it fails below (shorts, bridges).
+    pub fails_above: bool,
+    /// Number of detection-condition evaluations spent.
+    pub evaluations: usize,
+}
+
+impl BorderResistance {
+    /// Width of the failing resistance range within `sweep`, in decades —
+    /// the quantity a stress combination tries to maximize.
+    pub fn failing_decades(&self, sweep: (f64, f64)) -> f64 {
+        if self.fails_above {
+            (sweep.1 / self.resistance).max(1.0).log10()
+        } else {
+            (self.resistance / sweep.0).max(1.0).log10()
+        }
+    }
+
+    /// `true` if `other` is *more stressful* than `self`: its failing
+    /// range is strictly wider.
+    pub fn less_stressful_than(&self, other: &BorderResistance) -> bool {
+        if self.fails_above {
+            other.resistance < self.resistance
+        } else {
+            other.resistance > self.resistance
+        }
+    }
+}
+
+impl std::fmt::Display for BorderResistance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let op = if self.fails_above { '>' } else { '<' };
+        write!(
+            f,
+            "fails for R {op} {}",
+            dso_spice::units::format_eng(self.resistance, "Ω")
+        )
+    }
+}
+
+/// Finds the border resistance of `defect` under `detection` at
+/// `op_point`, bisecting within the defect's sweep range to relative (log)
+/// tolerance `rel_tol`.
+///
+/// # Errors
+///
+/// * [`CoreError::NoFaultObserved`] if the memory passes everywhere in the
+///   range (no border).
+/// * [`CoreError::AlwaysFaulty`] if it fails everywhere.
+/// * Simulation failures.
+pub fn find_border(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    detection: &DetectionCondition,
+    op_point: &OperatingPoint,
+    rel_tol: f64,
+) -> Result<BorderResistance, CoreError> {
+    let (lo, hi) = defect.sweep_range();
+    let fails_above = defect.fails_above();
+    let fails_at = |r: f64| -> Result<bool, CoreError> {
+        let engine = analyzer.engine_for(defect, r, op_point)?;
+        Ok(!detection.evaluate(&engine)?)
+    };
+
+    // Probe the ends first for precise error reporting. Opens fail at the
+    // high end; shorts/bridges fail at the low end.
+    let fail_lo = fails_at(lo)?;
+    let fail_hi = fails_at(hi)?;
+    let (failing_end_fails, passing_end_fails) = if fails_above {
+        (fail_hi, fail_lo)
+    } else {
+        (fail_lo, fail_hi)
+    };
+    match (failing_end_fails, passing_end_fails) {
+        (true, false) => {} // proper bracket, bisect below
+        (false, false) => {
+            return Err(CoreError::NoFaultObserved {
+                defect: defect.to_string(),
+                range: (lo, hi),
+            })
+        }
+        (true, true) => {
+            return Err(CoreError::AlwaysFaulty {
+                defect: defect.to_string(),
+                range: (lo, hi),
+            })
+        }
+        (false, true) => {
+            // Fails only on the end that should pass: the monotonicity
+            // assumption (or the failing-direction classification) is
+            // broken for this detection condition.
+            return Err(CoreError::BadRequest(format!(
+                "pass/fail not monotone for {defect}: fails(lo)={fail_lo}, fails(hi)={fail_hi}"
+            )));
+        }
+    }
+
+    // Orient the predicate so it is false at lo and true at hi.
+    let mut extra_evals = 2;
+    let transition = bisect_transition(lo, hi, rel_tol, Scale::Logarithmic, |r| {
+        extra_evals += 1;
+        let failing = fails_at(r).map_err(|e| match e {
+            CoreError::Numerical(n) => n,
+            other => dso_num::NumError::InvalidArgument(other.to_string()),
+        })?;
+        Ok(if fails_above { failing } else { !failing })
+    })
+    .map_err(CoreError::from)?;
+
+    Ok(BorderResistance {
+        resistance: (transition.last_false * transition.first_true).sqrt(),
+        fails_above,
+        evaluations: extra_evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::fast_design;
+    use super::*;
+    use dso_defects::BitLineSide;
+    use dso_dram::column::DefectSite;
+
+    #[test]
+    fn border_of_cell_open() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let detection = DetectionCondition::default_for(&defect, 2);
+        let border = find_border(
+            &analyzer,
+            &defect,
+            &detection,
+            &OperatingPoint::nominal(),
+            0.05,
+        )
+        .unwrap();
+        assert!(border.fails_above);
+        assert!(
+            (1e4..1e7).contains(&border.resistance),
+            "cell-open border {:.3e} out of plausible range",
+            border.resistance
+        );
+        assert!(border.evaluations > 4);
+    }
+
+    #[test]
+    fn border_of_short_to_ground() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::new(DefectSite::Sg, BitLineSide::True);
+        let detection = DetectionCondition::default_for(&defect, 1);
+        let border = find_border(
+            &analyzer,
+            &defect,
+            &detection,
+            &OperatingPoint::nominal(),
+            0.05,
+        )
+        .unwrap();
+        assert!(!border.fails_above);
+        assert!(
+            border.resistance > 1e3,
+            "Sg border {:.3e} suspiciously small",
+            border.resistance
+        );
+    }
+
+    #[test]
+    fn stressfulness_comparison() {
+        let a = BorderResistance {
+            resistance: 2e5,
+            fails_above: true,
+            evaluations: 0,
+        };
+        let b = BorderResistance {
+            resistance: 5e4,
+            fails_above: true,
+            evaluations: 0,
+        };
+        assert!(a.less_stressful_than(&b));
+        assert!(!b.less_stressful_than(&a));
+        assert!(a.failing_decades((1e3, 1e8)) < b.failing_decades((1e3, 1e8)));
+
+        let c = BorderResistance {
+            resistance: 1e6,
+            fails_above: false,
+            evaluations: 0,
+        };
+        let d = BorderResistance {
+            resistance: 1e9,
+            fails_above: false,
+            evaluations: 0,
+        };
+        assert!(c.less_stressful_than(&d));
+        assert!(c.failing_decades((1e2, 1e11)) < d.failing_decades((1e2, 1e11)));
+    }
+
+    #[test]
+    fn display_direction() {
+        let b = BorderResistance {
+            resistance: 2e5,
+            fails_above: true,
+            evaluations: 0,
+        };
+        assert_eq!(b.to_string(), "fails for R > 200 kΩ");
+        let s = BorderResistance {
+            resistance: 1e6,
+            fails_above: false,
+            evaluations: 0,
+        };
+        assert_eq!(s.to_string(), "fails for R < 1 MΩ");
+    }
+}

@@ -1,0 +1,343 @@
+//! Fault analysis (Section 3 of the paper).
+//!
+//! The central object is the [`Analyzer`], which owns the column design and
+//! spins up defect-injected operation engines on demand. On top of it:
+//!
+//! * [`planes`] — result planes for `w0`/`w1`/`r` (Figures 2 and 6) and the
+//!   sense-amplifier threshold curve `Vsa(R)`.
+//! * [`border`] — border-resistance extraction.
+//! * [`detection`] — detection conditions and their evaluation.
+//! * [`dictionary`] — electrically calibrated behavioral cell models.
+
+pub mod border;
+pub mod detection;
+pub mod dictionary;
+pub mod planes;
+
+pub use border::{find_border, BorderResistance};
+pub use detection::{derive_detection, DetectionCondition, PhysOp};
+pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
+pub use planes::{result_planes, ReadPlane, ResultPlanes, WritePlane};
+
+use crate::CoreError;
+use dso_defects::Defect;
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_dram::ops::{physical_write, Operation, OperationEngine};
+
+/// Analysis front end: builds defect-injected engines and runs the
+/// elementary measurements every higher-level analysis is made of.
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    design: ColumnDesign,
+}
+
+impl Analyzer {
+    /// Creates an analyzer for a column design.
+    pub fn new(design: ColumnDesign) -> Self {
+        Analyzer { design }
+    }
+
+    /// The column design under analysis.
+    pub fn design(&self) -> &ColumnDesign {
+        &self.design
+    }
+
+    /// Builds an operation engine with `defect` injected at `resistance`,
+    /// targeting the defect's bit-line side, at the given operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design/netlist/operating-point failures.
+    pub fn engine_for(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+    ) -> Result<OperationEngine, CoreError> {
+        let mut engine =
+            OperationEngine::new(self.design.clone(), *op_point)?.with_victim(defect.side());
+        defect.inject(engine.column_mut(), resistance)?;
+        Ok(engine)
+    }
+
+    /// Runs `n_ops` consecutive physical writes of `high` and returns the
+    /// cell voltage after each — the settlement curves of the write
+    /// planes.
+    ///
+    /// The trajectories mirror the detection-condition flow
+    /// `{... w1 w1 w0 r0 ...}` (which starts from a discharged cell):
+    ///
+    /// * `w1` trajectories start from physical GND directly,
+    /// * `w0` trajectories start from the *`w1`-settled* level — two `w1`
+    ///   operations from GND are applied first and not reported.
+    ///
+    /// This makes the `(1) w0 × Vsa` curve intersection directly
+    /// comparable with the pass/fail border bisection; starting the `w0`
+    /// plane from the ideal `vdd` rail instead (as an idealized reading of
+    /// the paper's Figure 2 would) overstates the charge the write has to
+    /// remove whenever the settled 1-level sits below the rail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn settle_sequence(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        high: bool,
+        n_ops: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        if n_ops == 0 {
+            return Err(CoreError::BadRequest("n_ops must be positive".into()));
+        }
+        let engine = self.engine_for(defect, resistance, op_point)?;
+        let target = physical_write(high, defect.side());
+        let mut seq = Vec::with_capacity(n_ops + 2);
+        let skip = if high {
+            0
+        } else {
+            let setup = physical_write(true, defect.side());
+            seq.push(setup);
+            seq.push(setup);
+            2
+        };
+        seq.extend(std::iter::repeat(target).take(n_ops));
+        let trace = engine.run(&seq, 0.0)?;
+        Ok(trace.vc_ends()[skip..].to_vec())
+    }
+
+    /// Runs `n_ops` consecutive reads starting from `vc_init` and returns
+    /// `(vc after each read, accessed-bit-line-sensed-high after each
+    /// read)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn read_sequence(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        vc_init: f64,
+        n_ops: usize,
+    ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
+        if n_ops == 0 {
+            return Err(CoreError::BadRequest("n_ops must be positive".into()));
+        }
+        let engine = self.engine_for(defect, resistance, op_point)?;
+        let trace = engine.run(&vec![Operation::R; n_ops], vc_init)?;
+        let highs = trace
+            .cycles()
+            .iter()
+            .map(|c| {
+                c.read
+                    .expect("read cycles produce outcomes")
+                    .accessed_high(defect.side())
+            })
+            .collect();
+        Ok((trace.vc_ends(), highs))
+    }
+
+    /// The cell voltage at the *end of the write pulse* (word-line
+    /// closing) of a single physical write of `high`, starting from the
+    /// opposite rail.
+    ///
+    /// This isolates the write's strength from whatever the defect does to
+    /// the stored charge during the rest of the cycle — the quantity the
+    /// paper's stress probes reason about ("reducing `tcyc` reduces the
+    /// time the memory has to charge or discharge the cell, which affects
+    /// the write operation and not the read").
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn write_end_voltage(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        high: bool,
+    ) -> Result<f64, CoreError> {
+        let engine = self.engine_for(defect, resistance, op_point)?;
+        let op = physical_write(high, defect.side());
+        let vc_init = if high { 0.0 } else { op_point.vdd };
+        let trace = engine.run(&[op], vc_init)?;
+        let schedule = dso_dram::timing::CycleSchedule::new(op_point.duty)?;
+        let t_wl_off = schedule.wl_off * op_point.tcyc;
+        let storage = dso_dram::column::nodes::cap_top(defect.side());
+        let vc = trace
+            .tran()
+            .voltage_at(&storage, t_wl_off)
+            .map_err(dso_dram::DramError::Spice)?;
+        Ok(vc)
+    }
+
+    /// The sense-amplifier threshold voltage `Vsa`: the initial cell
+    /// voltage above which a read senses the accessed bit line high. Found
+    /// by bisection on single-read outcomes.
+    ///
+    /// Returns `0.0` when even a fully discharged cell reads high (the
+    /// paper's `Vsa → GND` limit for large opens) and `vdd` when even a
+    /// full cell reads low.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn vsa(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+    ) -> Result<f64, CoreError> {
+        let engine = self.engine_for(defect, resistance, op_point)?;
+        let reads_high = |vc: f64| -> Result<bool, CoreError> {
+            let trace = engine.run(&[Operation::R], vc)?;
+            Ok(trace.cycles()[0]
+                .read
+                .expect("read produces outcome")
+                .accessed_high(defect.side()))
+        };
+        if reads_high(0.0)? {
+            return Ok(0.0);
+        }
+        if !reads_high(op_point.vdd)? {
+            return Ok(op_point.vdd);
+        }
+        // Plain bisection on the monotone read outcome.
+        let (mut lo, mut hi) = (0.0, op_point.vdd);
+        while hi - lo > 2e-3 {
+            let mid = 0.5 * (lo + hi);
+            if reads_high(mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// The mid-point voltage `Vmp`: the read threshold of the defect-free
+    /// cell (the defect site at its absent resistance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn vmp(&self, defect: &Defect, op_point: &OperatingPoint) -> Result<f64, CoreError> {
+        self.vsa(defect, defect.absent_resistance(), op_point)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dso_dram::design::ColumnDesign;
+
+    /// Coarse time step for debug-mode tests.
+    pub fn fast_design() -> ColumnDesign {
+        ColumnDesign {
+            dt_fraction: 1.0 / 250.0,
+            ..ColumnDesign::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::fast_design;
+    use super::*;
+    use dso_defects::BitLineSide;
+
+    #[test]
+    fn settlement_moves_toward_rail() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let op = OperatingPoint::nominal();
+        // Mild defect: writes settle essentially immediately.
+        let vcs = analyzer
+            .settle_sequence(&defect, 1e3, &op, false, 2)
+            .unwrap();
+        assert!(vcs[0] < 0.3, "w0 with small Rop should succeed: {vcs:?}");
+        let w1 = analyzer
+            .settle_sequence(&defect, 1e3, &op, true, 2)
+            .unwrap();
+        assert!(w1[0] > 1.5, "w1 with small Rop should charge: {w1:?}");
+        // Severe defect: the w1 pre-charge is blocked, so the whole
+        // detection flow freezes near GND.
+        let w1_blocked = analyzer
+            .settle_sequence(&defect, 5e7, &op, true, 2)
+            .unwrap();
+        assert!(
+            w1_blocked[1] < 0.3,
+            "w1 with 50 MΩ open should be blocked: {w1_blocked:?}"
+        );
+        // Moderate defect: the w0 after the settled 1 leaves a higher
+        // residual than the healthy case — the failure mechanism of the
+        // cell open.
+        let healthy_w0 = vcs[0];
+        let marginal_w0 = analyzer
+            .settle_sequence(&defect, 2.5e6, &op, false, 1)
+            .unwrap()[0];
+        assert!(
+            marginal_w0 > healthy_w0 + 0.2,
+            "2.5 MΩ open should block the w0: {marginal_w0} vs {healthy_w0}"
+        );
+    }
+
+    #[test]
+    fn vsa_limits() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let op = OperatingPoint::nominal();
+        // Healthy-ish cell: threshold strictly inside (0, vdd), near vdd/2.
+        let vsa = analyzer.vsa(&defect, 1e3, &op).unwrap();
+        assert!(
+            (0.5..1.9).contains(&vsa),
+            "nominal Vsa should be near mid-rail, got {vsa}"
+        );
+        // Severed cell: everything reads 1 -> threshold collapses to GND.
+        let vsa_open = analyzer.vsa(&defect, 1e9, &op).unwrap();
+        assert_eq!(vsa_open, 0.0);
+        // Vmp uses the defect-free site.
+        let vmp = analyzer.vmp(&defect, &op).unwrap();
+        assert!((vmp - vsa).abs() < 0.3);
+    }
+
+    #[test]
+    fn comp_side_symmetric_vsa() {
+        let analyzer = Analyzer::new(fast_design());
+        let op = OperatingPoint::nominal();
+        let vsa_t = analyzer
+            .vsa(&Defect::cell_open(BitLineSide::True), 1e3, &op)
+            .unwrap();
+        let vsa_c = analyzer
+            .vsa(&Defect::cell_open(BitLineSide::Comp), 1e3, &op)
+            .unwrap();
+        assert!(
+            (vsa_t - vsa_c).abs() < 0.15,
+            "true/comp thresholds should match: {vsa_t} vs {vsa_c}"
+        );
+    }
+
+    #[test]
+    fn read_sequence_reports_outcomes() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let op = OperatingPoint::nominal();
+        let (vcs, highs) = analyzer
+            .read_sequence(&defect, 1e3, &op, 2.4, 2)
+            .unwrap();
+        assert_eq!(vcs.len(), 2);
+        assert_eq!(highs, vec![true, true]);
+        let (_, lows) = analyzer.read_sequence(&defect, 1e3, &op, 0.0, 1).unwrap();
+        assert_eq!(lows, vec![false]);
+    }
+
+    #[test]
+    fn zero_ops_rejected() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let op = OperatingPoint::nominal();
+        assert!(analyzer.settle_sequence(&defect, 1e3, &op, true, 0).is_err());
+        assert!(analyzer.read_sequence(&defect, 1e3, &op, 0.0, 0).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Result planes (Figures 2 and 6).
+//!
+//! A result plane shows, for every defect resistance in a sweep, how the
+//! cell voltage evolves under successive applications of one operation:
+//!
+//! * the `w0` plane starts the cell at `vdd` and applies `w0`s,
+//! * the `w1` plane starts at GND and applies `w1`s,
+//! * the `r` plane first establishes the sense threshold `Vsa(R)` and then
+//!   applies reads starting slightly below and slightly above it.
+//!
+//! The planes are the raw material for border-resistance extraction: the
+//! border of the paper's cell open is the `R` where the second-`w0`
+//! settlement curve crosses `Vsa(R)`.
+
+use super::Analyzer;
+use crate::CoreError;
+use dso_defects::Defect;
+use dso_dram::design::OperatingPoint;
+use dso_num::interp::Curve;
+
+/// Offset (volts) around `Vsa` at which the read-plane trajectories start,
+/// following the paper's 0.2 V.
+pub const READ_START_OFFSET: f64 = 0.2;
+
+/// Settlement curves of one write operation across the resistance sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritePlane {
+    /// `true` for the `w1` plane (physical high), `false` for `w0`.
+    pub write_high: bool,
+    /// Swept defect resistances (strictly increasing).
+    pub r_values: Vec<f64>,
+    /// `curves[k]` is the cell voltage after `k+1` consecutive writes, as a
+    /// function of `R`.
+    pub curves: Vec<Curve>,
+}
+
+impl WritePlane {
+    /// The settlement curve after `n` operations (1-based, like the
+    /// paper's `(2) w0` label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if `n` is 0 or exceeds the number
+    /// of simulated operations.
+    pub fn after_ops(&self, n: usize) -> Result<&Curve, CoreError> {
+        if n == 0 || n > self.curves.len() {
+            return Err(CoreError::BadRequest(format!(
+                "write plane holds {} curves, requested #{n}",
+                self.curves.len()
+            )));
+        }
+        Ok(&self.curves[n - 1])
+    }
+}
+
+/// The read plane: threshold curve plus read trajectories started around
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadPlane {
+    /// Swept defect resistances.
+    pub r_values: Vec<f64>,
+    /// Sense-amplifier threshold `Vsa(R)`.
+    pub vsa: Curve,
+    /// Cell voltage after each successive read, started `0.2 V` *below*
+    /// `Vsa` (indexed like [`WritePlane::curves`]).
+    pub from_below: Vec<Curve>,
+    /// Same, started `0.2 V` *above* `Vsa`.
+    pub from_above: Vec<Curve>,
+}
+
+/// The three result planes of Figure 2/6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultPlanes {
+    /// `w0` plane.
+    pub w0: WritePlane,
+    /// `w1` plane.
+    pub w1: WritePlane,
+    /// `r` plane.
+    pub r: ReadPlane,
+    /// Mid-point voltage of the defect-free cell.
+    pub vmp: f64,
+    /// The operating point (stress combination) the planes were generated
+    /// at.
+    pub op_point: OperatingPoint,
+}
+
+impl ResultPlanes {
+    /// The border resistance read off the planes: the first intersection
+    /// of the `w0` settlement curve with `Vsa(R)` — the dot of the paper's
+    /// Figure 2(a).
+    ///
+    /// The first-operation curve is used because the detection condition
+    /// applies exactly one `w0` after the settling `w1`s, and the
+    /// settlement trajectories already start from the settled opposite
+    /// level (see [`Analyzer::settle_sequence`]); this makes the
+    /// intersection estimate directly comparable with the pass/fail
+    /// bisection of [`super::border::find_border`].
+    ///
+    /// Returns `None` when the curves do not cross inside the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates curve-intersection failures (disjoint domains cannot
+    /// happen for planes built by [`result_planes`]).
+    ///
+    /// [`Analyzer::settle_sequence`]: super::Analyzer::settle_sequence
+    pub fn border_from_intersection(&self) -> Result<Option<f64>, CoreError> {
+        let curve = self.w0.after_ops(1)?;
+        Ok(curve.first_intersection(&self.r.vsa)?)
+    }
+
+    /// Renders every curve of the three planes as CSV for external
+    /// plotting: one row per swept resistance, one column per series.
+    pub fn to_csv(&self) -> String {
+        let mut header = vec!["R_ohm".to_string()];
+        for (i, _) in self.w0.curves.iter().enumerate() {
+            header.push(format!("w0_{}", i + 1));
+        }
+        for (i, _) in self.w1.curves.iter().enumerate() {
+            header.push(format!("w1_{}", i + 1));
+        }
+        header.push("vsa".to_string());
+        for (i, _) in self.r.from_below.iter().enumerate() {
+            header.push(format!("r_below_{}", i + 1));
+        }
+        for (i, _) in self.r.from_above.iter().enumerate() {
+            header.push(format!("r_above_{}", i + 1));
+        }
+        let mut out = header.join(",");
+        out.push('\n');
+        for (row, &r) in self.w0.r_values.iter().enumerate() {
+            let mut cells = vec![format!("{r:e}")];
+            let series = self
+                .w0
+                .curves
+                .iter()
+                .chain(self.w1.curves.iter())
+                .chain(std::iter::once(&self.r.vsa))
+                .chain(self.r.from_below.iter())
+                .chain(self.r.from_above.iter());
+            for curve in series {
+                cells.push(format!("{:.6}", curve.ys()[row]));
+            }
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Generates the three result planes for `defect` at `op_point`, sweeping
+/// the given resistances and applying `n_ops` successive operations per
+/// trajectory.
+///
+/// # Errors
+///
+/// * [`CoreError::BadRequest`] for fewer than 2 sweep points or `n_ops == 0`.
+/// * Simulation failures.
+pub fn result_planes(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+) -> Result<ResultPlanes, CoreError> {
+    if r_values.len() < 2 {
+        return Err(CoreError::BadRequest(
+            "result planes need at least two resistance points".into(),
+        ));
+    }
+    if n_ops == 0 {
+        return Err(CoreError::BadRequest("n_ops must be positive".into()));
+    }
+    if r_values.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CoreError::BadRequest(
+            "resistance sweep must be strictly increasing".into(),
+        ));
+    }
+
+    let mut w0_tracks: Vec<Vec<f64>> = vec![Vec::with_capacity(r_values.len()); n_ops];
+    let mut w1_tracks = w0_tracks.clone();
+    let mut below_tracks = w0_tracks.clone();
+    let mut above_tracks = w0_tracks.clone();
+    let mut vsa_track = Vec::with_capacity(r_values.len());
+
+    for &r in r_values {
+        let w0 = analyzer.settle_sequence(defect, r, op_point, false, n_ops)?;
+        let w1 = analyzer.settle_sequence(defect, r, op_point, true, n_ops)?;
+        let vsa = analyzer.vsa(defect, r, op_point)?;
+        let below_start = (vsa - READ_START_OFFSET).max(0.0);
+        let above_start = (vsa + READ_START_OFFSET).min(op_point.vdd);
+        let (below, _) = analyzer.read_sequence(defect, r, op_point, below_start, n_ops)?;
+        let (above, _) = analyzer.read_sequence(defect, r, op_point, above_start, n_ops)?;
+        for k in 0..n_ops {
+            w0_tracks[k].push(w0[k]);
+            w1_tracks[k].push(w1[k]);
+            below_tracks[k].push(below[k]);
+            above_tracks[k].push(above[k]);
+        }
+        vsa_track.push(vsa);
+    }
+
+    let to_curves = |tracks: Vec<Vec<f64>>| -> Result<Vec<Curve>, CoreError> {
+        tracks
+            .into_iter()
+            .map(|ys| Curve::new(r_values.to_vec(), ys).map_err(CoreError::from))
+            .collect()
+    };
+
+    Ok(ResultPlanes {
+        w0: WritePlane {
+            write_high: false,
+            r_values: r_values.to_vec(),
+            curves: to_curves(w0_tracks)?,
+        },
+        w1: WritePlane {
+            write_high: true,
+            r_values: r_values.to_vec(),
+            curves: to_curves(w1_tracks)?,
+        },
+        r: ReadPlane {
+            r_values: r_values.to_vec(),
+            vsa: Curve::new(r_values.to_vec(), vsa_track)?,
+            from_below: to_curves(below_tracks)?,
+            from_above: to_curves(above_tracks)?,
+        },
+        vmp: analyzer.vmp(defect, op_point)?,
+        op_point: *op_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::fast_design;
+    use super::*;
+    use dso_defects::BitLineSide;
+
+    fn small_planes() -> ResultPlanes {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        result_planes(
+            &analyzer,
+            &defect,
+            &OperatingPoint::nominal(),
+            &[1e4, 1e5, 1e6, 1e7],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn planes_have_expected_shape() {
+        let planes = small_planes();
+        assert_eq!(planes.w0.curves.len(), 2);
+        assert_eq!(planes.w1.curves.len(), 2);
+        assert_eq!(planes.r.from_below.len(), 2);
+        assert!(!planes.w0.write_high);
+        assert!(planes.w1.write_high);
+        // w0 residual voltage rises with R (harder to discharge).
+        let first = planes.w0.after_ops(1).unwrap();
+        let ys = first.ys();
+        assert!(
+            ys.last().unwrap() > ys.first().unwrap(),
+            "w0 curve should rise with R: {ys:?}"
+        );
+        // w1 settlement falls with R (harder to charge).
+        let w1 = planes.w1.after_ops(1).unwrap();
+        assert!(w1.ys().last().unwrap() < w1.ys().first().unwrap());
+        // Vsa falls toward GND as R grows.
+        let vsa = &planes.r.vsa;
+        assert!(vsa.ys().last().unwrap() < vsa.ys().first().unwrap());
+        // Vmp near mid-rail.
+        assert!((0.5..1.9).contains(&planes.vmp), "vmp = {}", planes.vmp);
+    }
+
+    #[test]
+    fn border_from_intersection_exists_for_cell_open() {
+        let planes = small_planes();
+        let border = planes.border_from_intersection().unwrap();
+        let b = border.expect("the (2)w0 and Vsa curves cross for a cell open");
+        assert!(
+            (1e4..1e7).contains(&b),
+            "border should sit inside the sweep, got {b:.3e}"
+        );
+    }
+
+    #[test]
+    fn csv_export_has_all_series() {
+        let planes = small_planes();
+        let csv = planes.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + one row per resistance.
+        assert_eq!(lines.len(), 1 + planes.w0.r_values.len());
+        let header = lines[0];
+        for col in ["R_ohm", "w0_1", "w0_2", "w1_1", "vsa", "r_below_1", "r_above_2"] {
+            assert!(header.contains(col), "missing column {col}: {header}");
+        }
+        // Every row has the same number of cells as the header.
+        let cols = header.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn after_ops_bounds_checked() {
+        let planes = small_planes();
+        assert!(planes.w0.after_ops(0).is_err());
+        assert!(planes.w0.after_ops(3).is_err());
+        assert!(planes.w0.after_ops(2).is_ok());
+    }
+
+    #[test]
+    fn request_validation() {
+        let analyzer = Analyzer::new(fast_design());
+        let defect = Defect::cell_open(BitLineSide::True);
+        let op = OperatingPoint::nominal();
+        assert!(result_planes(&analyzer, &defect, &op, &[1e4], 2).is_err());
+        assert!(result_planes(&analyzer, &defect, &op, &[1e5, 1e4], 2).is_err());
+        assert!(result_planes(&analyzer, &defect, &op, &[1e4, 1e5], 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the analysis and optimization layers.
+
+use dso_dram::DramError;
+use dso_num::NumError;
+use std::fmt;
+
+/// Errors produced by fault analysis and stress optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A failure in the DRAM model or the electrical simulator beneath it.
+    Dram(DramError),
+    /// A numerical failure (failed bisection, bad curve data, …).
+    Numerical(NumError),
+    /// The requested analysis is mis-configured.
+    BadRequest(String),
+    /// No fault was observable anywhere in the swept resistance range —
+    /// there is no border to report.
+    NoFaultObserved {
+        /// Description of the defect analyzed.
+        defect: String,
+        /// The swept range.
+        range: (f64, f64),
+    },
+    /// The memory fails across the entire swept range, so the border lies
+    /// outside it.
+    AlwaysFaulty {
+        /// Description of the defect analyzed.
+        defect: String,
+        /// The swept range.
+        range: (f64, f64),
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dram(e) => write!(f, "memory-model error: {e}"),
+            CoreError::Numerical(e) => write!(f, "numerical error: {e}"),
+            CoreError::BadRequest(msg) => write!(f, "bad analysis request: {msg}"),
+            CoreError::NoFaultObserved { defect, range } => write!(
+                f,
+                "no fault observed for {defect} in [{:.3e}, {:.3e}] Ω",
+                range.0, range.1
+            ),
+            CoreError::AlwaysFaulty { defect, range } => write!(
+                f,
+                "memory faulty across the whole range [{:.3e}, {:.3e}] Ω for {defect}",
+                range.0, range.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dram(e) => Some(e),
+            CoreError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for CoreError {
+    fn from(e: DramError) -> Self {
+        CoreError::Dram(e)
+    }
+}
+
+impl From<NumError> for CoreError {
+    fn from(e: NumError) -> Self {
+        CoreError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        use std::error::Error;
+        let e: CoreError = NumError::InvalidArgument("x".into()).into();
+        assert!(e.to_string().contains("numerical"));
+        assert!(e.source().is_some());
+        let e = CoreError::NoFaultObserved {
+            defect: "O3 (true)".into(),
+            range: (1e3, 1e8),
+        };
+        assert!(e.to_string().contains("O3 (true)"));
+        assert!(e.source().is_none());
+    }
+}

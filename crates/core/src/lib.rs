@@ -1,0 +1,43 @@
+//! Fault analysis and stress optimization for DRAM cell defects — the
+//! primary contribution of *Optimizing Stresses for Testing DRAM Cell
+//! Defects Using Electrical Simulation* (Al-Ars et al., DATE 2003).
+//!
+//! The crate has two halves:
+//!
+//! * [`analysis`] — the fault-analysis machinery of Section 3: result
+//!   planes for the `w0`/`w1`/`r` operations across a defect-resistance
+//!   sweep, the sense-amplifier threshold curve `Vsa(R)`, border-resistance
+//!   extraction (both by curve intersection and by pass/fail bisection),
+//!   detection-condition derivation, and electrically calibrated fault
+//!   dictionaries for the behavioral memory model.
+//! * [`stress`] — the optimization methodology of Section 4: directional
+//!   stress probes (a handful of simulations per stress), non-monotonic
+//!   fallback via border-resistance comparison, stress-combination
+//!   evaluation and the Table-1 pipeline over all defects.
+//!
+//! # Example
+//!
+//! Optimize the stresses for the paper's running-example cell open:
+//!
+//! ```no_run
+//! use dso_core::stress::{OperatingPoint, StressOptimizer};
+//! use dso_defects::{BitLineSide, Defect};
+//! use dso_dram::design::ColumnDesign;
+//!
+//! # fn main() -> Result<(), dso_core::CoreError> {
+//! let optimizer = StressOptimizer::new(ColumnDesign::default());
+//! let report = optimizer.optimize(
+//!     &Defect::cell_open(BitLineSide::True),
+//!     &OperatingPoint::nominal(),
+//! )?;
+//! println!("{report}");
+//! assert!(report.stressed.border() <= report.nominal.border());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod error;
+pub mod stress;
+
+pub use error::CoreError;

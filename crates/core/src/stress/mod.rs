@@ -1,0 +1,21 @@
+//! Stress optimization (Section 4 of the paper).
+//!
+//! For every stress (supply voltage, cycle time, duty cycle, temperature)
+//! the optimizer probes, with a *limited* number of simulations, how the
+//! stress shifts (a) the settlement of the critical write and (b) the
+//! sense threshold `Vsa`. Monotone, agreeing probes decide the stress
+//! direction outright; conflicting (Figure 5) or non-monotonic (Figure 4)
+//! probes fall back to comparing border resistances at the candidate
+//! stress values. The chosen stress combination is then applied, the
+//! detection condition re-derived, and the stressed border measured
+//! (Figure 6, Table 1).
+
+pub mod optimizer;
+pub mod probe;
+pub mod table;
+pub mod types;
+
+pub use dso_dram::design::OperatingPoint;
+pub use optimizer::{BorderReport, OptimizerConfig, StressOptimizer, StressReport};
+pub use probe::{DecisionBasis, StressDecision, StressProbes};
+pub use types::{Direction, StressKind};

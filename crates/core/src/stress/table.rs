@@ -1,0 +1,204 @@
+//! The Table-1 pipeline: stress optimization over every defect.
+
+use super::optimizer::{StressOptimizer, StressReport};
+use super::types::StressKind;
+use crate::CoreError;
+use dso_defects::Defect;
+use dso_dram::design::OperatingPoint;
+use dso_spice::units::format_eng;
+
+/// Runs the optimizer over all 14 defects of Table 1 (7 sites × true/comp)
+/// at the nominal operating point, calling `progress` after each defect.
+///
+/// # Errors
+///
+/// Fails fast on the first defect whose analysis fails.
+pub fn optimize_all<F>(
+    optimizer: &StressOptimizer,
+    nominal: &OperatingPoint,
+    mut progress: F,
+) -> Result<Vec<StressReport>, CoreError>
+where
+    F: FnMut(&StressReport),
+{
+    let mut reports = Vec::new();
+    for defect in Defect::all() {
+        let report = optimizer.optimize(&defect, nominal)?;
+        progress(&report);
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Formats a border with the failing-direction inequality, Table-1 style
+/// (`R > 200 kΩ` for opens, `R < 1 MΩ` for shorts/bridges).
+fn border_cell(report: &StressReport, stressed: bool) -> String {
+    let b = if stressed {
+        report.stressed.border_resistance()
+    } else {
+        report.nominal.border_resistance()
+    };
+    let op = if b.fails_above { '>' } else { '<' };
+    format!("R {op} {}", format_eng(b.resistance, "Ω"))
+}
+
+/// Renders the reports as a text table with the paper's columns:
+/// defect, nominal border, per-stress arrows, stressed border, stressed
+/// detection condition.
+pub fn format_table(reports: &[StressReport], stresses: &[StressKind]) -> String {
+    let mut header: Vec<String> = vec!["Defect".into(), "Nom. border R".into()];
+    header.extend(stresses.iter().map(|s| s.symbol().to_string()));
+    header.push("Str. border R".into());
+    header.push("Str. detection condition".into());
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(reports.len());
+    for report in reports {
+        let mut row = vec![report.defect.to_string(), border_cell(report, false)];
+        for &kind in stresses {
+            let cell = report
+                .decisions
+                .iter()
+                .find(|d| d.kind == kind)
+                .map(|d| d.arrow().to_string())
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        row.push(border_cell(report, true));
+        row.push(
+            report
+                .stressed
+                .detection()
+                .display_for(report.defect.side()),
+        );
+        rows.push(row);
+    }
+
+    render_text_table(&header, &rows)
+}
+
+/// Renders a simple aligned text table.
+pub fn render_text_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let pad = widths.get(i).copied().unwrap_or(0);
+                format!("{c:<pad$}")
+            })
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let sep = format!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{BorderResistance, DetectionCondition};
+    use crate::stress::optimizer::BorderReport;
+    use crate::stress::probe::{DecisionBasis, StressDecision, StressProbes};
+    use crate::stress::types::Direction;
+    use dso_defects::BitLineSide;
+    use dso_num::trend::Trend;
+
+    fn fake_report() -> StressReport {
+        let defect = Defect::cell_open(BitLineSide::True);
+        let detection = DetectionCondition::default_for(&defect, 2);
+        let nominal_op = OperatingPoint::nominal();
+        let make_border = |r: f64| BorderResistance {
+            resistance: r,
+            fails_above: true,
+            evaluations: 10,
+        };
+        let probes = StressProbes {
+            kind: StressKind::CycleTime,
+            values: vec![55e-9, 60e-9, 65e-9],
+            write_residuals: vec![0.3, 0.2, 0.1],
+            read_hardness: vec![-1.0, -1.0, -1.0],
+            write_trend: Trend::Decreasing,
+            read_trend: Trend::Flat,
+        };
+        StressReport {
+            defect,
+            nominal: BorderReport {
+                border: make_border(2e5),
+                detection: detection.clone(),
+                op_point: nominal_op,
+            },
+            decisions: vec![StressDecision {
+                kind: StressKind::CycleTime,
+                direction: Some(Direction::Decrease),
+                chosen_value: 55e-9,
+                basis: DecisionBasis::Probes(probes),
+            }],
+            stressed: BorderReport {
+                border: make_border(5e4),
+                detection,
+                op_point: nominal_op,
+            },
+        }
+    }
+
+    #[test]
+    fn table_rendering() {
+        let reports = vec![fake_report()];
+        let table = format_table(&reports, &[StressKind::CycleTime]);
+        assert!(table.contains("O3 (true)"), "{table}");
+        assert!(table.contains("R > 200 kΩ"), "{table}");
+        assert!(table.contains("R > 50 kΩ"), "{table}");
+        assert!(table.contains("↓"), "{table}");
+        assert!(table.contains("w1 w1 w0 r0"), "{table}");
+    }
+
+    #[test]
+    fn missing_stress_renders_dash() {
+        let reports = vec![fake_report()];
+        let table = format_table(&reports, &[StressKind::Temperature]);
+        assert!(table.lines().nth(2).unwrap().contains("| - |"), "{table}");
+    }
+
+    #[test]
+    fn text_table_alignment() {
+        let header = vec!["a".to_string(), "long header".to_string()];
+        let rows = vec![
+            vec!["xxxx".to_string(), "y".to_string()],
+            vec!["z".to_string(), "w".to_string()],
+        ];
+        let t = render_text_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let lens: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    fn improvement_factor() {
+        let r = fake_report();
+        assert!((r.improvement() - 4.0).abs() < 1e-9);
+    }
+}

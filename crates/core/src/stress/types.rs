@@ -1,0 +1,212 @@
+//! Stress kinds, specification ranges and directions.
+
+use crate::CoreError;
+use dso_dram::design::OperatingPoint;
+use std::fmt;
+
+/// The operational parameters used as test stresses (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressKind {
+    /// Supply voltage `Vdd`.
+    SupplyVoltage,
+    /// Clock cycle time `tcyc`.
+    CycleTime,
+    /// Clock duty cycle `δ`.
+    DutyCycle,
+    /// Ambient temperature `T`.
+    Temperature,
+}
+
+impl StressKind {
+    /// The stresses in the order Table 1 reports them (`Vdd`, `tcyc`, `T`).
+    pub const TABLE1: [StressKind; 3] = [
+        StressKind::SupplyVoltage,
+        StressKind::CycleTime,
+        StressKind::Temperature,
+    ];
+
+    /// All four stresses, including the duty cycle.
+    pub const ALL: [StressKind; 4] = [
+        StressKind::SupplyVoltage,
+        StressKind::CycleTime,
+        StressKind::DutyCycle,
+        StressKind::Temperature,
+    ];
+
+    /// Short symbol, as in the paper (`Vdd`, `tcyc`, `δ`, `T`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            StressKind::SupplyVoltage => "Vdd",
+            StressKind::CycleTime => "tcyc",
+            StressKind::DutyCycle => "duty",
+            StressKind::Temperature => "T",
+        }
+    }
+
+    /// The unit used in reports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            StressKind::SupplyVoltage => "V",
+            StressKind::CycleTime => "s",
+            StressKind::DutyCycle => "",
+            StressKind::Temperature => "°C",
+        }
+    }
+
+    /// The value of this stress in an operating point.
+    pub fn value_in(&self, op: &OperatingPoint) -> f64 {
+        match self {
+            StressKind::SupplyVoltage => op.vdd,
+            StressKind::CycleTime => op.tcyc,
+            StressKind::DutyCycle => op.duty,
+            StressKind::Temperature => op.temp_c,
+        }
+    }
+
+    /// A copy of `op` with this stress set to `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRequest`] if the resulting operating point
+    /// fails validation.
+    pub fn apply_to(&self, op: &OperatingPoint, value: f64) -> Result<OperatingPoint, CoreError> {
+        let mut out = *op;
+        match self {
+            StressKind::SupplyVoltage => out.vdd = value,
+            StressKind::CycleTime => out.tcyc = value,
+            StressKind::DutyCycle => out.duty = value,
+            StressKind::Temperature => out.temp_c = value,
+        }
+        out.validate()
+            .map_err(|e| CoreError::BadRequest(e.to_string()))?;
+        Ok(out)
+    }
+
+    /// The specification range `[lo, hi]` within which the stress may be
+    /// varied at test time (the paper's examples: `Vdd` 2.1–2.7 V, `tcyc`
+    /// 55–65 ns, `T` −33…+87 °C; duty 0.4–0.6).
+    pub fn spec_range(&self) -> (f64, f64) {
+        match self {
+            StressKind::SupplyVoltage => (2.1, 2.7),
+            StressKind::CycleTime => (55e-9, 65e-9),
+            StressKind::DutyCycle => (0.4, 0.6),
+            StressKind::Temperature => (-33.0, 87.0),
+        }
+    }
+
+    /// Formats a value of this stress with its unit.
+    pub fn format_value(&self, value: f64) -> String {
+        match self {
+            StressKind::SupplyVoltage => format!("{value:.2} V"),
+            StressKind::CycleTime => dso_spice::units::format_eng(value, "s"),
+            StressKind::DutyCycle => format!("{value:.2}"),
+            StressKind::Temperature => format!("{value:+.0} °C"),
+        }
+    }
+}
+
+impl fmt::Display for StressKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The direction in which a stress should be driven to maximize coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Drive the stress to the upper end of its specification range.
+    Increase,
+    /// Drive the stress to the lower end.
+    Decrease,
+}
+
+impl Direction {
+    /// The arrow used in Table 1 (`↑` / `↓`).
+    pub fn arrow(&self) -> &'static str {
+        match self {
+            Direction::Increase => "↑",
+            Direction::Decrease => "↓",
+        }
+    }
+
+    /// The specification-range endpoint this direction selects.
+    pub fn endpoint(&self, kind: StressKind) -> f64 {
+        let (lo, hi) = kind.spec_range();
+        match self {
+            Direction::Increase => hi,
+            Direction::Decrease => lo,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.arrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let op = OperatingPoint::nominal();
+        for kind in StressKind::ALL {
+            let v = kind.value_in(&op);
+            let op2 = kind.apply_to(&op, v).unwrap();
+            assert_eq!(op, op2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn apply_validates() {
+        let op = OperatingPoint::nominal();
+        assert!(StressKind::SupplyVoltage.apply_to(&op, 9.0).is_err());
+        assert!(StressKind::CycleTime.apply_to(&op, 55e-9).is_ok());
+    }
+
+    #[test]
+    fn spec_ranges_contain_nominal() {
+        let op = OperatingPoint::nominal();
+        for kind in StressKind::ALL {
+            let (lo, hi) = kind.spec_range();
+            let v = kind.value_in(&op);
+            assert!(lo <= v && v <= hi, "{kind}: {v} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn direction_endpoints() {
+        assert_eq!(
+            Direction::Decrease.endpoint(StressKind::SupplyVoltage),
+            2.1
+        );
+        assert_eq!(Direction::Increase.endpoint(StressKind::Temperature), 87.0);
+        assert_eq!(Direction::Decrease.endpoint(StressKind::CycleTime), 55e-9);
+        assert_eq!(Direction::Increase.arrow(), "↑");
+        assert_eq!(Direction::Decrease.to_string(), "↓");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(StressKind::SupplyVoltage.format_value(2.1), "2.10 V");
+        assert_eq!(StressKind::CycleTime.format_value(55e-9), "55 ns");
+        assert_eq!(StressKind::Temperature.format_value(87.0), "+87 °C");
+        assert_eq!(StressKind::Temperature.symbol(), "T");
+        assert_eq!(StressKind::DutyCycle.unit(), "");
+        assert_eq!(StressKind::SupplyVoltage.to_string(), "Vdd");
+    }
+
+    #[test]
+    fn table1_order() {
+        assert_eq!(
+            StressKind::TABLE1,
+            [
+                StressKind::SupplyVoltage,
+                StressKind::CycleTime,
+                StressKind::Temperature
+            ]
+        );
+    }
+}

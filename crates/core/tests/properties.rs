@@ -1,0 +1,131 @@
+//! Property-based tests of the analysis layer's pure (non-electrical)
+//! logic: detection conditions, side mappings, border bookkeeping, stress
+//! kinds.
+
+use dso_core::analysis::{BorderResistance, DetectionCondition, PhysOp};
+use dso_core::stress::{Direction, StressKind};
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::column::DefectSite;
+use dso_dram::design::OperatingPoint;
+use dso_dram::ops::Operation;
+use proptest::prelude::*;
+
+fn arb_site() -> impl Strategy<Value = DefectSite> {
+    proptest::sample::select(DefectSite::ALL.to_vec())
+}
+
+fn arb_phys_ops() -> impl Strategy<Value = Vec<PhysOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::bool::ANY.prop_map(|high| PhysOp::Write { high }),
+            proptest::bool::ANY.prop_map(|expect_high| PhysOp::Read { expect_high }),
+        ],
+        1..10,
+    )
+    .prop_filter("needs a read", |ops| {
+        ops.iter().any(|o| matches!(o, PhysOp::Read { .. }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn detection_logic_mapping_is_an_involution(ops in arb_phys_ops()) {
+        // Mapping to the comp side twice must recover the true-side
+        // sequence: w0 <-> w1 swap and read expectations invert.
+        let cond = DetectionCondition::new(ops).expect("has a read");
+        let (true_seq, true_exp) = cond.to_logic(BitLineSide::True);
+        let (comp_seq, comp_exp) = cond.to_logic(BitLineSide::Comp);
+        prop_assert_eq!(true_seq.len(), comp_seq.len());
+        for (t, c) in true_seq.iter().zip(&comp_seq) {
+            match (t, c) {
+                (Operation::W0, Operation::W1)
+                | (Operation::W1, Operation::W0)
+                | (Operation::R, Operation::R) => {}
+                other => prop_assert!(false, "bad pair {other:?}"),
+            }
+        }
+        prop_assert_eq!(true_exp.len(), comp_exp.len());
+        for (t, c) in true_exp.iter().zip(&comp_exp) {
+            prop_assert_eq!(*t, !*c);
+        }
+    }
+
+    #[test]
+    fn detection_display_is_side_consistent(ops in arb_phys_ops()) {
+        let cond = DetectionCondition::new(ops).expect("has a read");
+        let t = cond.display_for(BitLineSide::True);
+        let c = cond.display_for(BitLineSide::Comp);
+        // Swapping every 0 and 1 in the true rendering gives the comp one.
+        let swapped: String = t
+            .chars()
+            .map(|ch| match ch {
+                '0' => '1',
+                '1' => '0',
+                other => other,
+            })
+            .collect();
+        prop_assert_eq!(swapped, c);
+    }
+
+    #[test]
+    fn default_conditions_end_in_a_read(site in arb_site(), k in 1usize..6) {
+        for side in [BitLineSide::True, BitLineSide::Comp] {
+            let defect = Defect::new(site, side);
+            let cond = DetectionCondition::default_for(&defect, k);
+            let ends_in_read = matches!(cond.ops().last(), Some(PhysOp::Read { .. }));
+            prop_assert!(ends_in_read);
+            prop_assert!(cond.critical_write().is_some());
+            // The first read checks the level the last write set — the
+            // condition verifies its own critical write.
+            let first_read_expect = cond.expected_level();
+            prop_assert_eq!(Some(first_read_expect), cond.critical_write());
+        }
+    }
+
+    #[test]
+    fn border_stressfulness_is_a_strict_order(
+        r1 in 1e3f64..1e9,
+        r2 in 1e3f64..1e9,
+        fails_above in proptest::bool::ANY,
+    ) {
+        let a = BorderResistance { resistance: r1, fails_above, evaluations: 0 };
+        let b = BorderResistance { resistance: r2, fails_above, evaluations: 0 };
+        // Exactly one of <, >, == holds.
+        let a_less = a.less_stressful_than(&b);
+        let b_less = b.less_stressful_than(&a);
+        prop_assert!(!(a_less && b_less));
+        if r1 != r2 {
+            prop_assert!(a_less || b_less);
+        }
+        // failing_decades agrees with the order.
+        let sweep = (1e2, 1e11);
+        if a_less {
+            prop_assert!(a.failing_decades(sweep) <= b.failing_decades(sweep) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stress_endpoints_stay_in_spec(kind_idx in 0usize..4, increase in proptest::bool::ANY) {
+        let kind = StressKind::ALL[kind_idx];
+        let dir = if increase { Direction::Increase } else { Direction::Decrease };
+        let endpoint = dir.endpoint(kind);
+        let (lo, hi) = kind.spec_range();
+        prop_assert!(endpoint == lo || endpoint == hi);
+        // Applying the endpoint to the nominal point yields a valid
+        // operating point.
+        let op = kind
+            .apply_to(&OperatingPoint::nominal(), endpoint)
+            .expect("spec endpoints are valid");
+        prop_assert!((kind.value_in(&op) - endpoint).abs() < 1e-15);
+    }
+
+    #[test]
+    fn initial_level_is_complement_of_first_write(ops in arb_phys_ops()) {
+        let cond = DetectionCondition::new(ops.clone()).expect("has a read");
+        if let Some(PhysOp::Write { high }) = ops.first() {
+            prop_assert_eq!(cond.initial_level(), !high);
+        }
+    }
+}

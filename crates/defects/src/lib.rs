@@ -1,0 +1,236 @@
+//! Resistive defect taxonomy and injection.
+//!
+//! The paper analyzes seven cell defects (Figure 7): three opens (added
+//! series resistance on signal lines within the cell), two shorts
+//! (resistive connections from the storage node to `vdd` or ground) and two
+//! bridges (resistive connections between nodes within the cell), each
+//! simulated on the true and on the complementary bit line — 14 analyses in
+//! total (Table 1).
+//!
+//! A [`Defect`] names a defect site and a bit-line side; the resistance is
+//! *not* part of the identity because the whole analysis sweeps it. The
+//! column netlist pre-places every site (see `dso_dram::column`), so
+//! injection is an in-place resistance update.
+//!
+//! # Example
+//!
+//! ```
+//! use dso_defects::{Defect, DefectClass, BitLineSide};
+//! use dso_dram::column::Column;
+//! use dso_dram::design::ColumnDesign;
+//!
+//! # fn main() -> Result<(), dso_dram::DramError> {
+//! let defect = Defect::cell_open(BitLineSide::True);
+//! assert_eq!(defect.class(), DefectClass::Open);
+//!
+//! let mut column = Column::build(&ColumnDesign::default())?;
+//! defect.inject(&mut column, 200e3)?; // Rop = 200 kΩ
+//! defect.remove(&mut column)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use dso_dram::column::{Column, DefectSite};
+use dso_dram::DramError;
+use std::fmt;
+
+pub use dso_dram::design::BitLineSide;
+
+/// Broad defect class, as used in Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// Added series resistance on a signal line within the cell (O1–O3).
+    Open,
+    /// Resistive connection from the storage node to a supply rail
+    /// (Sg, Sv).
+    Short,
+    /// Resistive connection between two nodes within the cell (B1, B2).
+    Bridge,
+}
+
+impl fmt::Display for DefectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DefectClass::Open => "open",
+            DefectClass::Short => "short",
+            DefectClass::Bridge => "bridge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A defect: a site within the victim cell on one bit-line side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Defect {
+    site: DefectSite,
+    side: BitLineSide,
+}
+
+impl Defect {
+    /// Creates a defect at `site` on `side`.
+    pub fn new(site: DefectSite, side: BitLineSide) -> Self {
+        Defect { site, side }
+    }
+
+    /// The canonical "cell open" of the paper's running example
+    /// (Figures 1–6): the open between the storage node and the cell
+    /// capacitor.
+    pub fn cell_open(side: BitLineSide) -> Self {
+        Defect::new(DefectSite::O3, side)
+    }
+
+    /// All 14 defects of Table 1, in the table's order: each site on the
+    /// true bit line followed by the complementary bit line.
+    pub fn all() -> Vec<Defect> {
+        DefectSite::ALL
+            .iter()
+            .flat_map(|&site| {
+                [BitLineSide::True, BitLineSide::Comp]
+                    .into_iter()
+                    .map(move |side| Defect::new(site, side))
+            })
+            .collect()
+    }
+
+    /// The defect site.
+    pub fn site(&self) -> DefectSite {
+        self.site
+    }
+
+    /// The bit-line side.
+    pub fn side(&self) -> BitLineSide {
+        self.side
+    }
+
+    /// The defect class.
+    pub fn class(&self) -> DefectClass {
+        match self.site {
+            DefectSite::O1 | DefectSite::O2 | DefectSite::O3 => DefectClass::Open,
+            DefectSite::Sg | DefectSite::Sv => DefectClass::Short,
+            DefectSite::B1 | DefectSite::B2 => DefectClass::Bridge,
+        }
+    }
+
+    /// `true` for series defects (opens): the memory fails for *large*
+    /// resistances and the border is a lower bound of the failing range.
+    /// `false` for parallel defects (shorts, bridges): the memory fails for
+    /// *small* resistances and the border is an upper bound.
+    pub fn fails_above(&self) -> bool {
+        self.site.is_series()
+    }
+
+    /// The resistance sweep range `[lo, hi]` appropriate for this defect
+    /// class: opens sweep 1 kΩ – 100 MΩ, shorts and bridges 100 Ω – 100 GΩ.
+    pub fn sweep_range(&self) -> (f64, f64) {
+        if self.fails_above() {
+            (1e3, 1e8)
+        } else {
+            (1e2, 1e11)
+        }
+    }
+
+    /// The defect-free resistance of the underlying site.
+    pub fn absent_resistance(&self) -> f64 {
+        self.site.default_resistance()
+    }
+
+    /// Installs the defect with the given resistance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors (bad resistance value).
+    pub fn inject(&self, column: &mut Column, resistance: f64) -> Result<(), DramError> {
+        column.set_defect_resistance(self.site, self.side, resistance)
+    }
+
+    /// Restores the site to its defect-free resistance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors.
+    pub fn remove(&self, column: &mut Column) -> Result<(), DramError> {
+        column.set_defect_resistance(self.site, self.side, self.absent_resistance())
+    }
+}
+
+impl fmt::Display for Defect {
+    /// Table-1 style label, e.g. `O3 (true)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.site.label(), self.side.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dso_dram::design::ColumnDesign;
+
+    #[test]
+    fn all_fourteen_defects() {
+        let all = Defect::all();
+        assert_eq!(all.len(), 14);
+        // Unique.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Table order: sites grouped, true before comp.
+        assert_eq!(all[0], Defect::new(DefectSite::O1, BitLineSide::True));
+        assert_eq!(all[1], Defect::new(DefectSite::O1, BitLineSide::Comp));
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            Defect::new(DefectSite::O2, BitLineSide::True).class(),
+            DefectClass::Open
+        );
+        assert_eq!(
+            Defect::new(DefectSite::Sv, BitLineSide::True).class(),
+            DefectClass::Short
+        );
+        assert_eq!(
+            Defect::new(DefectSite::B2, BitLineSide::Comp).class(),
+            DefectClass::Bridge
+        );
+        assert_eq!(DefectClass::Short.to_string(), "short");
+    }
+
+    #[test]
+    fn failure_direction() {
+        assert!(Defect::new(DefectSite::O1, BitLineSide::True).fails_above());
+        assert!(!Defect::new(DefectSite::Sg, BitLineSide::True).fails_above());
+        let (lo, hi) = Defect::cell_open(BitLineSide::True).sweep_range();
+        assert!(lo < hi);
+        let (lo2, hi2) = Defect::new(DefectSite::B1, BitLineSide::True).sweep_range();
+        assert!(lo2 < lo && hi2 > hi);
+    }
+
+    #[test]
+    fn display_matches_table_style() {
+        assert_eq!(
+            Defect::cell_open(BitLineSide::True).to_string(),
+            "O3 (true)"
+        );
+        assert_eq!(
+            Defect::new(DefectSite::Sg, BitLineSide::Comp).to_string(),
+            "Sg (comp)"
+        );
+    }
+
+    #[test]
+    fn inject_and_remove_round_trip() {
+        let mut column = Column::build(&ColumnDesign::default()).unwrap();
+        let defect = Defect::cell_open(BitLineSide::True);
+        defect.inject(&mut column, 2e5).unwrap();
+        defect.remove(&mut column).unwrap();
+        assert!(defect.inject(&mut column, -5.0).is_err());
+    }
+
+    #[test]
+    fn cell_open_is_o3() {
+        assert_eq!(Defect::cell_open(BitLineSide::Comp).site(), DefectSite::O3);
+        assert_eq!(Defect::cell_open(BitLineSide::Comp).side(), BitLineSide::Comp);
+    }
+}

@@ -1,0 +1,238 @@
+//! Functional (behavioral) memory model.
+//!
+//! March tests sweep every address of a memory; simulating each operation
+//! electrically would be prohibitive and unnecessary — only the defective
+//! cell behaves specially. This module provides an addressable functional
+//! memory whose cells implement the [`CellBehavior`] trait: healthy cells
+//! use [`IdealCell`], while the analysis layer supplies electrically
+//! calibrated defective-cell behaviors (fault dictionaries).
+
+use crate::DramError;
+
+/// Behavior of a single memory cell under write/read operations.
+///
+/// Implementations may carry hidden analog state (e.g. a partial cell
+/// voltage) so that *sequences* of operations behave correctly — the
+/// paper's defects need several writes to settle.
+pub trait CellBehavior {
+    /// Applies a write of `value`.
+    fn write(&mut self, value: bool);
+
+    /// Performs a read, returning the value delivered at the output. Reads
+    /// may disturb or restore the cell (destructive-read semantics are up
+    /// to the implementation).
+    fn read(&mut self) -> bool;
+
+    /// Resets the cell to its power-up state.
+    fn reset(&mut self);
+
+    /// One idle (unaccessed) cycle. Healthy cells hold their state; leaky
+    /// defective cells drain — the mechanism data-retention (delay) test
+    /// elements exercise. The default is a no-op.
+    fn idle(&mut self) {}
+}
+
+/// A defect-free cell: stores the last written value, reads it back
+/// non-destructively.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdealCell {
+    value: bool,
+}
+
+impl IdealCell {
+    /// Creates a cell storing 0.
+    pub fn new() -> Self {
+        IdealCell::default()
+    }
+}
+
+impl CellBehavior for IdealCell {
+    fn write(&mut self, value: bool) {
+        self.value = value;
+    }
+
+    fn read(&mut self) -> bool {
+        self.value
+    }
+
+    fn reset(&mut self) {
+        self.value = false;
+    }
+}
+
+/// An addressable memory of [`CellBehavior`] cells.
+///
+/// # Example
+///
+/// ```
+/// use dso_dram::behavior::{FunctionalMemory, IdealCell};
+///
+/// # fn main() -> Result<(), dso_dram::DramError> {
+/// let mut mem = FunctionalMemory::healthy(8);
+/// mem.write(3, true)?;
+/// assert!(mem.read(3)?);
+/// assert!(!mem.read(4)?);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FunctionalMemory {
+    cells: Vec<Box<dyn CellBehavior + Send>>,
+}
+
+impl std::fmt::Debug for FunctionalMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionalMemory")
+            .field("size", &self.cells.len())
+            .finish()
+    }
+}
+
+impl FunctionalMemory {
+    /// Creates a memory of `size` ideal cells.
+    pub fn healthy(size: usize) -> Self {
+        FunctionalMemory {
+            cells: (0..size)
+                .map(|_| Box::new(IdealCell::new()) as Box<dyn CellBehavior + Send>)
+                .collect(),
+        }
+    }
+
+    /// Creates a memory of ideal cells with one custom (defective) cell at
+    /// `victim_address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] if the address exceeds the
+    /// size.
+    pub fn with_victim(
+        size: usize,
+        victim_address: usize,
+        victim: Box<dyn CellBehavior + Send>,
+    ) -> Result<Self, DramError> {
+        if victim_address >= size {
+            return Err(DramError::AddressOutOfRange {
+                address: victim_address,
+                size,
+            });
+        }
+        let mut mem = FunctionalMemory::healthy(size);
+        mem.cells[victim_address] = victim;
+        Ok(mem)
+    }
+
+    /// Number of cells.
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn check(&self, address: usize) -> Result<(), DramError> {
+        if address >= self.cells.len() {
+            return Err(DramError::AddressOutOfRange {
+                address,
+                size: self.cells.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes `value` at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for a bad address.
+    pub fn write(&mut self, address: usize, value: bool) -> Result<(), DramError> {
+        self.check(address)?;
+        self.cells[address].write(value);
+        Ok(())
+    }
+
+    /// Reads the value at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AddressOutOfRange`] for a bad address.
+    pub fn read(&mut self, address: usize) -> Result<bool, DramError> {
+        self.check(address)?;
+        Ok(self.cells[address].read())
+    }
+
+    /// Resets every cell to its power-up state.
+    pub fn reset(&mut self) {
+        for cell in &mut self.cells {
+            cell.reset();
+        }
+    }
+
+    /// Applies `cycles` idle cycles to every cell (a march `Del` element).
+    pub fn idle_all(&mut self, cycles: usize) {
+        for _ in 0..cycles {
+            for cell in &mut self.cells {
+                cell.idle();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_cell_round_trip() {
+        let mut cell = IdealCell::new();
+        assert!(!cell.read());
+        cell.write(true);
+        assert!(cell.read());
+        assert!(cell.read(), "ideal reads are non-destructive");
+        cell.reset();
+        assert!(!cell.read());
+    }
+
+    #[test]
+    fn memory_addressing() {
+        let mut mem = FunctionalMemory::healthy(4);
+        assert_eq!(mem.size(), 4);
+        mem.write(0, true).unwrap();
+        mem.write(3, true).unwrap();
+        assert!(mem.read(0).unwrap());
+        assert!(!mem.read(1).unwrap());
+        assert!(mem.read(3).unwrap());
+        assert!(matches!(
+            mem.write(4, true),
+            Err(DramError::AddressOutOfRange { .. })
+        ));
+        assert!(mem.read(9).is_err());
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut mem = FunctionalMemory::healthy(3);
+        for a in 0..3 {
+            mem.write(a, true).unwrap();
+        }
+        mem.reset();
+        for a in 0..3 {
+            assert!(!mem.read(a).unwrap());
+        }
+    }
+
+    /// A cell stuck at 1 regardless of writes.
+    struct StuckAtOne;
+    impl CellBehavior for StuckAtOne {
+        fn write(&mut self, _value: bool) {}
+        fn read(&mut self) -> bool {
+            true
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn victim_cell_overrides_behavior() {
+        let mut mem = FunctionalMemory::with_victim(4, 2, Box::new(StuckAtOne)).unwrap();
+        mem.write(2, false).unwrap();
+        assert!(mem.read(2).unwrap(), "victim is stuck at 1");
+        mem.write(1, false).unwrap();
+        assert!(!mem.read(1).unwrap(), "others behave normally");
+        assert!(FunctionalMemory::with_victim(4, 9, Box::new(StuckAtOne)).is_err());
+    }
+}

@@ -1,0 +1,549 @@
+//! The folded-bit-line column netlist.
+//!
+//! One column contains (matching the paper's simplified design-validation
+//! model):
+//!
+//! * the true/complementary bit-line pair `bt`/`bc` with their parasitic
+//!   capacitances,
+//! * two *victim* memory cells (one per bit line) whose internal wiring is
+//!   broken into pre-placed **defect sites** — series resistors along the
+//!   storage chain (O1–O3 at ≈0 Ω by default) and parallel resistors to the
+//!   rails / neighbouring lines (Sg, Sv, B1, B2 at ≈∞ by default) — so a
+//!   defect is *injected* by changing one resistance in place,
+//! * two plain cells (one per bit line, word lines grounded),
+//! * two reference cells with restore switches that re-write the reference
+//!   level during each precharge,
+//! * the precharge/equalize devices, the cross-coupled sense amplifier,
+//!   the write driver (switched resistive connections to the data rails)
+//!   and a data output buffer.
+
+use crate::design::{BitLineSide, ColumnDesign};
+use crate::DramError;
+use dso_spice::circuit::Circuit;
+use dso_spice::mos::MosGeometry;
+use dso_spice::waveform::Waveform;
+
+/// Default resistance of a series defect site (effectively a wire).
+pub const SERIES_SITE_DEFAULT: f64 = 1.0;
+/// Default resistance of a parallel defect site (effectively absent).
+pub const PARALLEL_SITE_DEFAULT: f64 = 1e12;
+
+/// The seven defect sites of Figure 7, pre-placed in each victim cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectSite {
+    /// Open in the bit-line contact (bit line → access-transistor drain).
+    O1,
+    /// Open between the access-transistor source and the storage node.
+    O2,
+    /// Open between the storage node and the cell capacitor.
+    O3,
+    /// Short from the storage node to ground.
+    Sg,
+    /// Short from the storage node to `vdd`.
+    Sv,
+    /// Bridge from the storage node to the cell's word line.
+    B1,
+    /// Bridge from the storage node to the cell's bit line.
+    B2,
+}
+
+impl DefectSite {
+    /// All sites, opens first (the order used by Table 1).
+    pub const ALL: [DefectSite; 7] = [
+        DefectSite::O1,
+        DefectSite::O2,
+        DefectSite::O3,
+        DefectSite::Sg,
+        DefectSite::Sv,
+        DefectSite::B1,
+        DefectSite::B2,
+    ];
+
+    /// `true` for series (open) sites, `false` for parallel
+    /// (short/bridge) sites.
+    pub fn is_series(&self) -> bool {
+        matches!(self, DefectSite::O1 | DefectSite::O2 | DefectSite::O3)
+    }
+
+    /// The defect-free resistance of this site.
+    pub fn default_resistance(&self) -> f64 {
+        if self.is_series() {
+            SERIES_SITE_DEFAULT
+        } else {
+            PARALLEL_SITE_DEFAULT
+        }
+    }
+
+    /// Short site label as used in the paper (`"O1"`, `"Sg"`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DefectSite::O1 => "O1",
+            DefectSite::O2 => "O2",
+            DefectSite::O3 => "O3",
+            DefectSite::Sg => "Sg",
+            DefectSite::Sv => "Sv",
+            DefectSite::B1 => "B1",
+            DefectSite::B2 => "B2",
+        }
+    }
+
+    /// The resistor device name of this site on the given bit-line side.
+    pub fn device_name(&self, side: BitLineSide) -> String {
+        format!("R{}_{}", self.label(), side.label())
+    }
+}
+
+impl std::fmt::Display for DefectSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Well-known node names of the column netlist.
+pub mod nodes {
+    /// True bit line.
+    pub const BT: &str = "bt";
+    /// Complementary bit line.
+    pub const BC: &str = "bc";
+    /// Supply rail.
+    pub const VDD: &str = "vdd";
+    /// Bit-line equalize level (`vdd/2`).
+    pub const VBLEQ: &str = "vbleq";
+    /// Reference-cell restore level.
+    pub const VREF: &str = "vref";
+    /// Sense-amp NMOS common source rail.
+    pub const SENN: &str = "senn";
+    /// Sense-amp PMOS common source rail.
+    pub const SENP: &str = "senp";
+    /// True data rail of the write driver.
+    pub const DATAT: &str = "datat";
+    /// Complementary data rail of the write driver.
+    pub const DATAC: &str = "datac";
+    /// Precharge/equalize gate signal.
+    pub const PEQ: &str = "peq";
+    /// Victim word line, true side.
+    pub const WLT: &str = "wlt";
+    /// Victim word line, comp side.
+    pub const WLC: &str = "wlc";
+    /// Reference word line, true side.
+    pub const WLRT: &str = "wlrt";
+    /// Reference word line, comp side.
+    pub const WLRC: &str = "wlrc";
+    /// Column-select control of the write driver.
+    pub const CSL: &str = "csl";
+    /// Data output buffer output (true side).
+    pub const DOUT: &str = "dout";
+    /// Data output buffer output (complementary side).
+    pub const DOUTC: &str = "doutc";
+
+    /// Storage node of the victim cell on a side.
+    pub fn storage(side: super::BitLineSide) -> String {
+        format!("st_{}", side.label())
+    }
+
+    /// Capacitor-plate node of the victim cell on a side (behind the O3
+    /// site).
+    pub fn cap_top(side: super::BitLineSide) -> String {
+        format!("ct_{}", side.label())
+    }
+
+    /// Access-transistor drain node of the victim cell (behind the O1
+    /// site).
+    pub fn access_drain(side: super::BitLineSide) -> String {
+        format!("xd_{}", side.label())
+    }
+
+    /// Access-transistor source node of the victim cell (before the O2
+    /// site).
+    pub fn access_source(side: super::BitLineSide) -> String {
+        format!("xs_{}", side.label())
+    }
+
+    /// Storage node of the `index`-th plain (non-victim) cell on a side.
+    pub fn plain_storage(side: super::BitLineSide, index: usize) -> String {
+        format!("stp_{}_{index}", side.label())
+    }
+
+    /// Storage node of the reference cell on a side.
+    pub fn ref_storage(side: super::BitLineSide) -> String {
+        format!("str_{}", side.label())
+    }
+}
+
+/// Well-known voltage-source device names (the operation engine re-targets
+/// their waveforms per run).
+pub mod sources {
+    /// Supply.
+    pub const VDD: &str = "Vdd";
+    /// Equalize level.
+    pub const VBLEQ: &str = "Vbleq";
+    /// Reference restore level.
+    pub const VREF: &str = "Vref";
+    /// Sense-amp NMOS rail driver.
+    pub const SENN: &str = "Vsenn";
+    /// Sense-amp PMOS rail driver.
+    pub const SENP: &str = "Vsenp";
+    /// True data rail driver.
+    pub const DATAT: &str = "Vdatat";
+    /// Complementary data rail driver.
+    pub const DATAC: &str = "Vdatac";
+    /// Precharge gate driver.
+    pub const PEQ: &str = "Vpeq";
+    /// Victim word line, true side.
+    pub const WLT: &str = "Vwlt";
+    /// Victim word line, comp side.
+    pub const WLC: &str = "Vwlc";
+    /// Reference word line, true side.
+    pub const WLRT: &str = "Vwlrt";
+    /// Reference word line, comp side.
+    pub const WLRC: &str = "Vwlrc";
+    /// Column select.
+    pub const CSL: &str = "Vcsl";
+    /// All control sources, in a fixed order.
+    pub const ALL: [&str; 13] = [
+        VDD, VBLEQ, VREF, SENN, SENP, DATAT, DATAC, PEQ, WLT, WLC, WLRT, WLRC, CSL,
+    ];
+}
+
+/// A built column netlist.
+#[derive(Debug, Clone)]
+pub struct Column {
+    circuit: Circuit,
+    design: ColumnDesign,
+}
+
+impl Column {
+    /// Builds the column netlist for a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BadDesign`] if the design fails validation and
+    /// propagates netlist-construction errors.
+    pub fn build(design: &ColumnDesign) -> Result<Self, DramError> {
+        design.validate()?;
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::GROUND;
+
+        // Nodes.
+        let bt = ckt.node(nodes::BT);
+        let bc = ckt.node(nodes::BC);
+        let vdd = ckt.node(nodes::VDD);
+        let vbleq = ckt.node(nodes::VBLEQ);
+        let vref = ckt.node(nodes::VREF);
+        let senn = ckt.node(nodes::SENN);
+        let senp = ckt.node(nodes::SENP);
+        let datat = ckt.node(nodes::DATAT);
+        let datac = ckt.node(nodes::DATAC);
+        let peq = ckt.node(nodes::PEQ);
+        let wlt = ckt.node(nodes::WLT);
+        let wlc = ckt.node(nodes::WLC);
+        let wlrt = ckt.node(nodes::WLRT);
+        let wlrc = ckt.node(nodes::WLRC);
+        let csl = ckt.node(nodes::CSL);
+        let dout = ckt.node(nodes::DOUT);
+
+        // Control/rail sources (placeholder DC values; the operation engine
+        // installs the real waveforms per run).
+        for name in sources::ALL {
+            let node = match name {
+                sources::VDD => vdd,
+                sources::VBLEQ => vbleq,
+                sources::VREF => vref,
+                sources::SENN => senn,
+                sources::SENP => senp,
+                sources::DATAT => datat,
+                sources::DATAC => datac,
+                sources::PEQ => peq,
+                sources::WLT => wlt,
+                sources::WLC => wlc,
+                sources::WLRT => wlrt,
+                sources::WLRC => wlrc,
+                sources::CSL => csl,
+                _ => unreachable!("sources::ALL is exhaustive"),
+            };
+            ckt.add_vsource(name, node, gnd, Waveform::Dc(0.0))?;
+        }
+
+        // Bit-line capacitances.
+        ckt.add_capacitor("Cbt", bt, gnd, design.cbl)?;
+        ckt.add_capacitor("Cbc", bc, gnd, design.cbl)?;
+
+        let access = MosGeometry::new(design.access_w, design.access_l)
+            .map_err(DramError::Spice)?;
+
+        // Victim cells with defect sites, one per side.
+        for (side, bl, wl) in [
+            (BitLineSide::True, bt, wlt),
+            (BitLineSide::Comp, bc, wlc),
+        ] {
+            let xd = ckt.node(&nodes::access_drain(side));
+            let xs = ckt.node(&nodes::access_source(side));
+            let st = ckt.node(&nodes::storage(side));
+            let ct = ckt.node(&nodes::cap_top(side));
+            let tag = side.label();
+            // Series chain: BL -[O1]- xd -(access)- xs -[O2]- st -[O3]- ct -(Cs)- gnd.
+            ckt.add_resistor(
+                &DefectSite::O1.device_name(side),
+                bl,
+                xd,
+                SERIES_SITE_DEFAULT,
+            )?;
+            ckt.add_mosfet(
+                &format!("Macc_{tag}"),
+                xd,
+                wl,
+                xs,
+                gnd,
+                design.nmos.clone(),
+                access,
+            )?;
+            ckt.add_resistor(
+                &DefectSite::O2.device_name(side),
+                xs,
+                st,
+                SERIES_SITE_DEFAULT,
+            )?;
+            ckt.add_resistor(
+                &DefectSite::O3.device_name(side),
+                st,
+                ct,
+                SERIES_SITE_DEFAULT,
+            )?;
+            ckt.add_capacitor(&format!("Cs_{tag}"), ct, gnd, design.cs)?;
+            // Parallel sites.
+            ckt.add_resistor(
+                &DefectSite::Sg.device_name(side),
+                st,
+                gnd,
+                PARALLEL_SITE_DEFAULT,
+            )?;
+            ckt.add_resistor(
+                &DefectSite::Sv.device_name(side),
+                st,
+                vdd,
+                PARALLEL_SITE_DEFAULT,
+            )?;
+            ckt.add_resistor(
+                &DefectSite::B1.device_name(side),
+                st,
+                wl,
+                PARALLEL_SITE_DEFAULT,
+            )?;
+            ckt.add_resistor(
+                &DefectSite::B2.device_name(side),
+                st,
+                bl,
+                PARALLEL_SITE_DEFAULT,
+            )?;
+        }
+
+        // Plain cells (word lines grounded — never accessed, they only load
+        // the bit lines).
+        for (side, bl) in [(BitLineSide::True, bt), (BitLineSide::Comp, bc)] {
+            let tag = side.label();
+            for i in 0..design.plain_cells_per_bitline {
+                let stp = ckt.node(&nodes::plain_storage(side, i));
+                ckt.add_mosfet(
+                    &format!("Mpl_{tag}_{i}"),
+                    bl,
+                    gnd,
+                    stp,
+                    gnd,
+                    design.nmos.clone(),
+                    access,
+                )?;
+                ckt.add_capacitor(&format!("Csp_{tag}_{i}"), stp, gnd, design.cs)?;
+            }
+        }
+
+        // Reference cells with restore switches (re-written to the
+        // reference level during each precharge window).
+        for (side, bl, wlr) in [
+            (BitLineSide::True, bt, wlrt),
+            (BitLineSide::Comp, bc, wlrc),
+        ] {
+            let str_node = ckt.node(&nodes::ref_storage(side));
+            let tag = side.label();
+            ckt.add_mosfet(
+                &format!("Mref_{tag}"),
+                bl,
+                wlr,
+                str_node,
+                gnd,
+                design.nmos.clone(),
+                access,
+            )?;
+            ckt.add_capacitor(&format!("Csr_{tag}"), str_node, gnd, design.cs)?;
+            ckt.add_vswitch(
+                &format!("Sref_{tag}"),
+                str_node,
+                vref,
+                peq,
+                gnd,
+                1e3,
+                1e12,
+                1.0,
+            )?;
+        }
+
+        // Precharge / equalize.
+        let pre = MosGeometry::new(design.pre_w, design.sa_l).map_err(DramError::Spice)?;
+        ckt.add_mosfet("Mpre_t", bt, peq, vbleq, gnd, design.nmos.clone(), pre)?;
+        ckt.add_mosfet("Mpre_c", bc, peq, vbleq, gnd, design.nmos.clone(), pre)?;
+        ckt.add_mosfet("Mpeq", bt, peq, bc, gnd, design.nmos.clone(), pre)?;
+
+        // Cross-coupled sense amplifier.
+        let sa_n = MosGeometry::new(design.sa_nmos_w, design.sa_l).map_err(DramError::Spice)?;
+        let sa_p = MosGeometry::new(design.sa_pmos_w, design.sa_l).map_err(DramError::Spice)?;
+        ckt.add_mosfet("Msan_t", bt, bc, senn, gnd, design.nmos.clone(), sa_n)?;
+        ckt.add_mosfet("Msan_c", bc, bt, senn, gnd, design.nmos.clone(), sa_n)?;
+        ckt.add_mosfet("Msap_t", bt, bc, senp, vdd, design.pmos.clone(), sa_p)?;
+        ckt.add_mosfet("Msap_c", bc, bt, senp, vdd, design.pmos.clone(), sa_p)?;
+
+        // Write driver: switched resistive connections to the data rails.
+        ckt.add_vswitch("Swd_t", bt, datat, csl, gnd, design.wd_ron, 1e12, 0.5)?;
+        ckt.add_vswitch("Swd_c", bc, datac, csl, gnd, design.wd_ron, 1e12, 0.5)?;
+
+        // Data output buffer: a differential pair of inverters, one per
+        // bit line, so both lines carry identical gate loading (an
+        // unbalanced buffer would skew the sense amplifier between the
+        // true and complementary sides).
+        let buf_p = MosGeometry::new(2.0e-6, design.sa_l).map_err(DramError::Spice)?;
+        let buf_n = MosGeometry::new(1.0e-6, design.sa_l).map_err(DramError::Spice)?;
+        ckt.add_mosfet("Mob_p", dout, bt, vdd, vdd, design.pmos.clone(), buf_p)?;
+        ckt.add_mosfet("Mob_n", dout, bt, gnd, gnd, design.nmos.clone(), buf_n)?;
+        ckt.add_capacitor("Cout", dout, gnd, 10e-15)?;
+        let doutc = ckt.node(nodes::DOUTC);
+        ckt.add_mosfet("Mobc_p", doutc, bc, vdd, vdd, design.pmos.clone(), buf_p)?;
+        ckt.add_mosfet("Mobc_n", doutc, bc, gnd, gnd, design.nmos.clone(), buf_n)?;
+        ckt.add_capacitor("Coutc", doutc, gnd, 10e-15)?;
+
+        ckt.validate()?;
+        Ok(Column {
+            circuit: ckt,
+            design: design.clone(),
+        })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Mutable access for waveform installation and defect injection.
+    pub fn circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.circuit
+    }
+
+    /// The design the column was built from.
+    pub fn design(&self) -> &ColumnDesign {
+        &self.design
+    }
+
+    /// Sets the resistance of a defect site on a side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dso_spice::SpiceError`] for a bad value.
+    pub fn set_defect_resistance(
+        &mut self,
+        site: DefectSite,
+        side: BitLineSide,
+        resistance: f64,
+    ) -> Result<(), DramError> {
+        self.circuit
+            .set_resistance(&site.device_name(side), resistance)?;
+        Ok(())
+    }
+
+    /// Restores every defect site to its defect-free resistance.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates internal netlist errors.
+    pub fn clear_defects(&mut self) -> Result<(), DramError> {
+        for side in [BitLineSide::True, BitLineSide::Comp] {
+            for site in DefectSite::ALL {
+                self.set_defect_resistance(site, side, site.default_resistance())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let column = Column::build(&ColumnDesign::default()).unwrap();
+        assert!(column.circuit().validate().is_ok());
+        // All 13 control sources exist.
+        for s in sources::ALL {
+            assert!(column.circuit().find_device(s).is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn defect_sites_exist_on_both_sides() {
+        let column = Column::build(&ColumnDesign::default()).unwrap();
+        for side in [BitLineSide::True, BitLineSide::Comp] {
+            for site in DefectSite::ALL {
+                assert!(
+                    column.circuit().find_device(&site.device_name(side)).is_ok(),
+                    "{site} on {side}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn defect_injection_round_trip() {
+        let mut column = Column::build(&ColumnDesign::default()).unwrap();
+        column
+            .set_defect_resistance(DefectSite::O3, BitLineSide::True, 200e3)
+            .unwrap();
+        column.clear_defects().unwrap();
+        // After clearing, injection of an unknown site name fails cleanly.
+        assert!(column
+            .set_defect_resistance(DefectSite::O3, BitLineSide::True, -1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn site_classification() {
+        assert!(DefectSite::O1.is_series());
+        assert!(DefectSite::O2.is_series());
+        assert!(DefectSite::O3.is_series());
+        assert!(!DefectSite::Sg.is_series());
+        assert!(!DefectSite::B2.is_series());
+        assert_eq!(DefectSite::O1.default_resistance(), SERIES_SITE_DEFAULT);
+        assert_eq!(DefectSite::Sv.default_resistance(), PARALLEL_SITE_DEFAULT);
+        assert_eq!(DefectSite::B1.to_string(), "B1");
+        assert_eq!(
+            DefectSite::Sg.device_name(BitLineSide::Comp),
+            "RSg_comp"
+        );
+        assert_eq!(DefectSite::ALL.len(), 7);
+    }
+
+    #[test]
+    fn node_names_stable() {
+        assert_eq!(nodes::storage(BitLineSide::True), "st_true");
+        assert_eq!(nodes::cap_top(BitLineSide::Comp), "ct_comp");
+        let column = Column::build(&ColumnDesign::default()).unwrap();
+        for side in [BitLineSide::True, BitLineSide::Comp] {
+            for name in [
+                nodes::storage(side),
+                nodes::cap_top(side),
+                nodes::access_drain(side),
+                nodes::access_source(side),
+                nodes::plain_storage(side, 0),
+                nodes::ref_storage(side),
+            ] {
+                assert!(column.circuit().find_node(&name).is_ok(), "{name}");
+            }
+        }
+    }
+}

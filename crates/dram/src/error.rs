@@ -1,0 +1,73 @@
+//! Error type for the DRAM model.
+
+use dso_spice::SpiceError;
+use std::fmt;
+
+/// Errors produced while building or operating the DRAM column model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A failure inside the electrical simulator.
+    Spice(SpiceError),
+    /// A design parameter is out of its physical domain.
+    BadDesign(String),
+    /// An operating point (stress combination) is out of the supported
+    /// range.
+    BadOperatingPoint(String),
+    /// An operation sequence is malformed (e.g. empty).
+    BadSequence(String),
+    /// A behavioral-model address is out of range.
+    AddressOutOfRange {
+        /// Requested address.
+        address: usize,
+        /// Memory size in cells.
+        size: usize,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::Spice(e) => write!(f, "electrical simulation error: {e}"),
+            DramError::BadDesign(msg) => write!(f, "bad column design: {msg}"),
+            DramError::BadOperatingPoint(msg) => write!(f, "bad operating point: {msg}"),
+            DramError::BadSequence(msg) => write!(f, "bad operation sequence: {msg}"),
+            DramError::AddressOutOfRange { address, size } => {
+                write!(f, "address {address} out of range for {size}-cell memory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DramError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for DramError {
+    fn from(e: SpiceError) -> Self {
+        DramError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DramError::AddressOutOfRange {
+            address: 9,
+            size: 4,
+        };
+        assert!(e.to_string().contains("address 9"));
+        assert!(e.source().is_none());
+        let e: DramError = SpiceError::UnknownNode("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

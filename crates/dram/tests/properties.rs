@@ -1,0 +1,148 @@
+//! Property-based tests of the DRAM model's non-electrical layers
+//! (timing, behavioral memory, design validation). The electrical engine
+//! is covered by unit and integration tests — transient simulation is too
+//! slow for per-case property exploration.
+
+use dso_dram::behavior::FunctionalMemory;
+use dso_dram::design::{BitLineSide, ColumnDesign, OperatingPoint};
+use dso_dram::ops::{physical_write, Operation};
+use dso_dram::timing::{ControlWaveforms, CycleSchedule};
+use proptest::prelude::*;
+
+fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Operation::W0),
+            Just(Operation::W1),
+            Just(Operation::R)
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn schedule_event_ordering_holds_for_any_duty(duty in 0.2f64..=0.8) {
+        let s = CycleSchedule::new(duty).expect("valid duty");
+        prop_assert!(0.0 < s.precharge_end);
+        prop_assert!(s.precharge_end < s.wl_on);
+        prop_assert!(s.wl_on < s.sense_on);
+        prop_assert!(s.sense_on < s.write_on);
+        prop_assert!(s.write_on < s.wl_off);
+        prop_assert!(s.wl_off <= s.sa_release);
+        prop_assert!(s.sa_release < 1.0);
+    }
+
+    #[test]
+    fn control_waveforms_valid_for_any_sequence(
+        ops in arb_ops(),
+        duty in 0.2f64..=0.8,
+        tcyc_ns in 20.0f64..200.0,
+        vdd in 2.1f64..2.7,
+        comp in proptest::bool::ANY,
+    ) {
+        let op_point = OperatingPoint {
+            vdd,
+            tcyc: tcyc_ns * 1e-9,
+            duty,
+            temp_c: 27.0,
+        };
+        let side = if comp { BitLineSide::Comp } else { BitLineSide::True };
+        let design = ColumnDesign::default();
+        let waves = ControlWaveforms::build(&ops, side, &design, &op_point)
+            .expect("valid inputs build");
+        prop_assert!((waves.t_stop - ops.len() as f64 * op_point.tcyc).abs() < 1e-18);
+        // Every produced waveform must itself pass waveform validation
+        // (PWL strictly increasing etc.).
+        for (name, w) in [
+            ("peq", &waves.peq),
+            ("wl_true", &waves.wl_true),
+            ("wl_comp", &waves.wl_comp),
+            ("wlr_true", &waves.wlr_true),
+            ("wlr_comp", &waves.wlr_comp),
+            ("senn", &waves.senn),
+            ("senp", &waves.senp),
+            ("csl", &waves.csl),
+            ("data_true", &waves.data_true),
+            ("data_comp", &waves.data_comp),
+        ] {
+            prop_assert!(w.validate(name).is_ok(), "{name} invalid");
+        }
+        // Only the victim's side word line ever rises.
+        let probe_times: Vec<f64> = (0..50)
+            .map(|i| i as f64 / 50.0 * waves.t_stop)
+            .collect();
+        let (active, idle) = match side {
+            BitLineSide::True => (&waves.wl_true, &waves.wl_comp),
+            BitLineSide::Comp => (&waves.wl_comp, &waves.wl_true),
+        };
+        prop_assert!(probe_times.iter().all(|&t| idle.eval(t) == 0.0));
+        prop_assert!(probe_times.iter().any(|&t| active.eval(t) > vdd));
+    }
+
+    #[test]
+    fn write_driver_only_active_during_writes(
+        ops in arb_ops(),
+    ) {
+        let op_point = OperatingPoint::nominal();
+        let design = ColumnDesign::default();
+        let waves = ControlWaveforms::build(&ops, BitLineSide::True, &design, &op_point)
+            .expect("builds");
+        for (k, op) in ops.iter().enumerate() {
+            // Sample the middle of each cycle's write window.
+            let t = (k as f64 + 0.45) * op_point.tcyc;
+            let csl = waves.csl.eval(t);
+            if op.write_value().is_none() {
+                prop_assert!(csl < 0.5, "csl active during read cycle {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn physical_write_round_trip(high in proptest::bool::ANY, comp in proptest::bool::ANY) {
+        let side = if comp { BitLineSide::Comp } else { BitLineSide::True };
+        let op = physical_write(high, side);
+        let logic = op.write_value().expect("writes have values");
+        // Applying the side mapping twice recovers the physical level.
+        let recovered = match side {
+            BitLineSide::True => logic,
+            BitLineSide::Comp => !logic,
+        };
+        prop_assert_eq!(recovered, high);
+    }
+
+    #[test]
+    fn memory_reset_restores_power_up(
+        size in 1usize..32,
+        writes in proptest::collection::vec((0usize..32, proptest::bool::ANY), 0..32),
+    ) {
+        let mut memory = FunctionalMemory::healthy(size);
+        for (addr, value) in writes {
+            if addr < size {
+                memory.write(addr, value).expect("in range");
+            }
+        }
+        memory.reset();
+        for addr in 0..size {
+            prop_assert!(!memory.read(addr).expect("in range"));
+        }
+    }
+
+    #[test]
+    fn operating_point_validation_is_a_box(
+        vdd in 0.0f64..10.0,
+        tcyc in 1e-10f64..1e-5,
+        duty in 0.0f64..1.0,
+        temp in -100.0f64..300.0,
+    ) {
+        let op = OperatingPoint { vdd, tcyc, duty, temp_c: temp };
+        let valid = op.validate().is_ok();
+        let in_box = (1.0..=4.0).contains(&vdd)
+            && (10e-9..=1e-6).contains(&tcyc)
+            && (0.2..=0.8).contains(&duty)
+            && (-60.0..=150.0).contains(&temp);
+        prop_assert_eq!(valid, in_box);
+    }
+}

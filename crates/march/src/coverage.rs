@@ -1,0 +1,158 @@
+//! Fault-coverage evaluation.
+//!
+//! Coverage of a march test over an ensemble of defective-cell behaviors:
+//! each behavior is installed as the victim of a fresh functional memory,
+//! the test applied, and the detected fraction reported. The analysis
+//! layer supplies electrically calibrated behaviors, so coverage can be
+//! compared between the nominal and the stressed stress combination — the
+//! paper's headline claim is that the stressed combination "increases the
+//! coverage of a given test".
+
+use crate::run::apply;
+use crate::test::MarchTest;
+use crate::MarchError;
+use dso_dram::behavior::{CellBehavior, FunctionalMemory};
+
+/// A named factory of victim-cell behaviors (one instance per evaluation).
+pub struct FaultCase {
+    /// Human-readable label (e.g. `"O3 (true) @ 300 kΩ"`).
+    pub label: String,
+    /// Produces a fresh victim cell in its power-up state.
+    pub make: Box<dyn Fn() -> Box<dyn CellBehavior + Send> + Send>,
+}
+
+impl std::fmt::Debug for FaultCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultCase").field("label", &self.label).finish()
+    }
+}
+
+/// Coverage of one test over an ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Test name.
+    pub test: String,
+    /// Labels of the detected cases.
+    pub detected: Vec<String>,
+    /// Labels of the missed cases.
+    pub missed: Vec<String>,
+}
+
+impl CoverageReport {
+    /// Detected fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let total = self.detected.len() + self.missed.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.detected.len() as f64 / total as f64
+    }
+}
+
+/// Evaluates `test` against every fault case, using a memory of
+/// `memory_size` cells with the victim at `victim_address`.
+///
+/// # Errors
+///
+/// * [`MarchError::BadTest`] if `victim_address >= memory_size`.
+/// * Propagates execution failures.
+pub fn evaluate_coverage(
+    test: &MarchTest,
+    cases: &[FaultCase],
+    memory_size: usize,
+    victim_address: usize,
+) -> Result<CoverageReport, MarchError> {
+    if victim_address >= memory_size {
+        return Err(MarchError::BadTest(format!(
+            "victim address {victim_address} outside memory of {memory_size} cells"
+        )));
+    }
+    let mut detected = Vec::new();
+    let mut missed = Vec::new();
+    for case in cases {
+        let mut memory =
+            FunctionalMemory::with_victim(memory_size, victim_address, (case.make)())?;
+        let result = apply(test, &mut memory)?;
+        if result.detected() {
+            detected.push(case.label.clone());
+        } else {
+            missed.push(case.label.clone());
+        }
+    }
+    Ok(CoverageReport {
+        test: test.name().to_string(),
+        detected,
+        missed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StuckAt(bool);
+    impl CellBehavior for StuckAt {
+        fn write(&mut self, _value: bool) {}
+        fn read(&mut self) -> bool {
+            self.0
+        }
+        fn reset(&mut self) {}
+    }
+
+    struct Healthy(bool);
+    impl CellBehavior for Healthy {
+        fn write(&mut self, value: bool) {
+            self.0 = value;
+        }
+        fn read(&mut self) -> bool {
+            self.0
+        }
+        fn reset(&mut self) {
+            self.0 = false;
+        }
+    }
+
+    fn cases() -> Vec<FaultCase> {
+        vec![
+            FaultCase {
+                label: "SA0".into(),
+                make: Box::new(|| Box::new(StuckAt(false))),
+            },
+            FaultCase {
+                label: "SA1".into(),
+                make: Box::new(|| Box::new(StuckAt(true))),
+            },
+            FaultCase {
+                label: "healthy".into(),
+                make: Box::new(|| Box::new(Healthy(false))),
+            },
+        ]
+    }
+
+    #[test]
+    fn coverage_counts_detected_fraction() {
+        let report =
+            evaluate_coverage(&MarchTest::mats_plus(), &cases(), 8, 3).unwrap();
+        assert_eq!(report.detected.len(), 2);
+        assert_eq!(report.missed, vec!["healthy".to_string()]);
+        assert!((report.coverage() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.test, "MATS+");
+    }
+
+    #[test]
+    fn empty_ensemble_coverage_zero() {
+        let report = evaluate_coverage(&MarchTest::mats_plus(), &[], 8, 0).unwrap();
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn bad_victim_address() {
+        assert!(evaluate_coverage(&MarchTest::mats_plus(), &cases(), 4, 4).is_err());
+    }
+
+    #[test]
+    fn debug_impl_for_fault_case() {
+        let c = &cases()[0];
+        assert!(format!("{c:?}").contains("SA0"));
+    }
+}

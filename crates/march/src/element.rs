@@ -1,0 +1,345 @@
+//! March notation: address orders, operations, elements, and the parser.
+//!
+//! A march test is a sequence of *march elements*; each element walks the
+//! address space in a given order and applies the same operation list at
+//! every address. The classic notation
+//!
+//! ```text
+//! {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}
+//! ```
+//!
+//! is supported verbatim, along with an ASCII spelling using `a` (any),
+//! `u` (up) and `d` (down): `{a(w0); u(r0,w1); d(r1,w0)}`.
+
+use crate::MarchError;
+use std::fmt;
+
+/// Address order of a march element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressOrder {
+    /// `⇑` — ascending addresses.
+    Up,
+    /// `⇓` — descending addresses.
+    Down,
+    /// `⇕` — either order is allowed (executed ascending).
+    Any,
+}
+
+impl AddressOrder {
+    /// The Unicode arrow of the classic notation.
+    pub fn arrow(&self) -> &'static str {
+        match self {
+            AddressOrder::Up => "⇑",
+            AddressOrder::Down => "⇓",
+            AddressOrder::Any => "⇕",
+        }
+    }
+
+    /// Iterates the addresses of a memory of `size` cells in this order.
+    pub fn addresses(&self, size: usize) -> Box<dyn Iterator<Item = usize>> {
+        match self {
+            AddressOrder::Up | AddressOrder::Any => Box::new(0..size),
+            AddressOrder::Down => Box::new((0..size).rev()),
+        }
+    }
+}
+
+impl fmt::Display for AddressOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.arrow())
+    }
+}
+
+/// One operation applied at each address of an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarchOp {
+    /// Read, expecting the given value.
+    Read(bool),
+    /// Write the given value.
+    Write(bool),
+}
+
+impl fmt::Display for MarchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchOp::Read(v) => write!(f, "r{}", u8::from(*v)),
+            MarchOp::Write(v) => write!(f, "w{}", u8::from(*v)),
+        }
+    }
+}
+
+/// A march element: an address order and an operation list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchElement {
+    /// Address order.
+    pub order: AddressOrder,
+    /// Operations applied at each address, in order.
+    pub ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element, validating that it has at least one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::BadTest`] for an empty operation list.
+    pub fn new(order: AddressOrder, ops: Vec<MarchOp>) -> Result<Self, MarchError> {
+        if ops.is_empty() {
+            return Err(MarchError::BadTest(
+                "march element needs at least one operation".into(),
+            ));
+        }
+        Ok(MarchElement { order, ops })
+    }
+}
+
+impl fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ops: Vec<String> = self.ops.iter().map(|o| o.to_string()).collect();
+        write!(f, "{}({})", self.order, ops.join(","))
+    }
+}
+
+/// One step of a march test: an element, or a delay (pause) used by
+/// data-retention tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MarchStep {
+    /// A march element, applied at every address.
+    Element(MarchElement),
+    /// A `Del` pause: the memory sits idle for the given number of cycles
+    /// (leak-type defects drain during it).
+    Delay {
+        /// Idle cycles.
+        cycles: usize,
+    },
+}
+
+impl fmt::Display for MarchStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchStep::Element(e) => e.fmt(f),
+            MarchStep::Delay { cycles } => write!(f, "Del({cycles})"),
+        }
+    }
+}
+
+/// Number of idle cycles a bare `Del` token stands for.
+pub const DEFAULT_DELAY_CYCLES: usize = 64;
+
+/// Parses a march test body like `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}`.
+///
+/// Both Unicode arrows and the ASCII letters `u`/`d`/`a` are accepted;
+/// whitespace is insignificant; the outer braces are optional.
+///
+/// # Errors
+///
+/// Returns [`MarchError::Parse`] with a byte position on malformed input.
+///
+/// # Example
+///
+/// ```
+/// use dso_march::element::{parse_elements, AddressOrder};
+///
+/// # fn main() -> Result<(), dso_march::MarchError> {
+/// let elements = parse_elements("{a(w0); u(r0,w1); d(r1,w0)}")?;
+/// assert_eq!(elements.len(), 3);
+/// assert_eq!(elements[1].order, AddressOrder::Up);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_elements(text: &str) -> Result<Vec<MarchElement>, MarchError> {
+    parse_steps(text)?
+        .into_iter()
+        .map(|step| match step {
+            MarchStep::Element(e) => Ok(e),
+            MarchStep::Delay { .. } => Err(MarchError::Parse {
+                position: 0,
+                reason: "delay steps are not allowed here; use parse_steps".into(),
+            }),
+        })
+        .collect()
+}
+
+/// Parses a march test body that may contain `Del` / `Del(n)` pause steps
+/// between elements, e.g. `{a(w0); Del; a(r0)}` — the structure of
+/// data-retention tests. A bare `Del` stands for
+/// [`DEFAULT_DELAY_CYCLES`] idle cycles.
+///
+/// # Errors
+///
+/// Returns [`MarchError::Parse`] with a byte position on malformed input.
+pub fn parse_steps(text: &str) -> Result<Vec<MarchStep>, MarchError> {
+    let trimmed = text.trim();
+    let inner = trimmed
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or(trimmed);
+    let mut elements = Vec::new();
+    for part in inner.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let pos = |sub: &str| text.find(sub).unwrap_or(0);
+        let lower = part.to_ascii_lowercase();
+        if lower == "del" {
+            elements.push(MarchStep::Delay {
+                cycles: DEFAULT_DELAY_CYCLES,
+            });
+            continue;
+        }
+        if let Some(rest) = lower.strip_prefix("del") {
+            let inner_n = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| MarchError::Parse {
+                    position: pos(part),
+                    reason: format!("malformed delay `{part}`, expected Del or Del(n)"),
+                })?;
+            let cycles: usize = inner_n.trim().parse().map_err(|_| MarchError::Parse {
+                position: pos(part),
+                reason: format!("bad delay cycle count `{inner_n}`"),
+            })?;
+            if cycles == 0 {
+                return Err(MarchError::Parse {
+                    position: pos(part),
+                    reason: "delay must be at least one cycle".into(),
+                });
+            }
+            elements.push(MarchStep::Delay { cycles });
+            continue;
+        }
+        let open = part.find('(').ok_or_else(|| MarchError::Parse {
+            position: pos(part),
+            reason: format!("element `{part}` missing '('"),
+        })?;
+        let close = part.rfind(')').ok_or_else(|| MarchError::Parse {
+            position: pos(part),
+            reason: format!("element `{part}` missing ')'"),
+        })?;
+        if close < open {
+            return Err(MarchError::Parse {
+                position: pos(part),
+                reason: format!("element `{part}` has mismatched parentheses"),
+            });
+        }
+        let order_text = part[..open].trim();
+        let order = match order_text {
+            "⇑" | "u" | "U" | "^" => AddressOrder::Up,
+            "⇓" | "d" | "D" | "v" => AddressOrder::Down,
+            "⇕" | "a" | "A" | "b" => AddressOrder::Any,
+            other => {
+                return Err(MarchError::Parse {
+                    position: pos(part),
+                    reason: format!("unknown address order `{other}`"),
+                })
+            }
+        };
+        let mut ops = Vec::new();
+        for op_text in part[open + 1..close].split(',') {
+            let op_text = op_text.trim().to_ascii_lowercase();
+            let op = match op_text.as_str() {
+                "r0" => MarchOp::Read(false),
+                "r1" => MarchOp::Read(true),
+                "w0" => MarchOp::Write(false),
+                "w1" => MarchOp::Write(true),
+                other => {
+                    return Err(MarchError::Parse {
+                        position: pos(part),
+                        reason: format!("unknown operation `{other}`"),
+                    })
+                }
+            };
+            ops.push(op);
+        }
+        elements.push(MarchStep::Element(MarchElement::new(order, ops)?));
+    }
+    if elements.is_empty() {
+        return Err(MarchError::Parse {
+            position: 0,
+            reason: "no march elements found".into(),
+        });
+    }
+    Ok(elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ascii_and_unicode() {
+        let a = parse_elements("{a(w0); u(r0,w1); d(r1,w0)}").unwrap();
+        let u = parse_elements("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}").unwrap();
+        assert_eq!(a, u);
+        assert_eq!(a[0].ops, vec![MarchOp::Write(false)]);
+        assert_eq!(
+            a[1].ops,
+            vec![MarchOp::Read(false), MarchOp::Write(true)]
+        );
+        assert_eq!(a[2].order, AddressOrder::Down);
+    }
+
+    #[test]
+    fn braces_optional_whitespace_free() {
+        let e = parse_elements("  u ( r1 , w0 ) ").unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_elements("{u w0}"),
+            Err(MarchError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_elements("{x(w0)}"),
+            Err(MarchError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_elements("{u(w2)}"),
+            Err(MarchError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_elements("   "),
+            Err(MarchError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_elements("{u)w0(}"),
+            Err(MarchError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}";
+        let elements = parse_elements(src).unwrap();
+        let rendered: Vec<String> = elements.iter().map(|e| e.to_string()).collect();
+        let joined = format!("{{{}}}", rendered.join("; "));
+        assert_eq!(parse_elements(&joined).unwrap(), elements);
+    }
+
+    #[test]
+    fn address_orders_iterate() {
+        let up: Vec<usize> = AddressOrder::Up.addresses(3).collect();
+        assert_eq!(up, vec![0, 1, 2]);
+        let down: Vec<usize> = AddressOrder::Down.addresses(3).collect();
+        assert_eq!(down, vec![2, 1, 0]);
+        let any: Vec<usize> = AddressOrder::Any.addresses(2).collect();
+        assert_eq!(any, vec![0, 1]);
+        assert_eq!(AddressOrder::Any.arrow(), "⇕");
+    }
+
+    #[test]
+    fn empty_element_rejected() {
+        assert!(MarchElement::new(AddressOrder::Up, vec![]).is_err());
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(MarchOp::Read(true).to_string(), "r1");
+        assert_eq!(MarchOp::Write(false).to_string(), "w0");
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the march-test crate.
+
+use dso_dram::DramError;
+use std::fmt;
+
+/// Errors produced while parsing or running march tests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarchError {
+    /// A march notation string failed to parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        position: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A test definition is structurally invalid (e.g. no elements).
+    BadTest(String),
+    /// An underlying memory-model failure.
+    Memory(DramError),
+}
+
+impl fmt::Display for MarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchError::Parse { position, reason } => {
+                write!(f, "march notation parse error at byte {position}: {reason}")
+            }
+            MarchError::BadTest(msg) => write!(f, "bad march test: {msg}"),
+            MarchError::Memory(e) => write!(f, "memory model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarchError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for MarchError {
+    fn from(e: DramError) -> Self {
+        MarchError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = MarchError::Parse {
+            position: 3,
+            reason: "unexpected token".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(e.source().is_none());
+        let e: MarchError = DramError::BadSequence("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

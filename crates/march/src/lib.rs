@@ -1,0 +1,46 @@
+//! March memory tests: notation, standard tests, execution and fault
+//! coverage.
+//!
+//! March tests are the industrial context the paper optimizes stresses
+//! for: "the effectiveness of memory tests … heavily employs modifications
+//! to various operational parameters or stresses … to ensure a higher
+//! fault coverage of a given test". This crate provides:
+//!
+//! * [`element`] — the march notation: address orders (`⇑`, `⇓`, `⇕`) and
+//!   per-cell operation lists, with a text parser.
+//! * [`test`][mod@test] — a library of standard tests (MATS+, March X, March Y,
+//!   March C−, March A, March B) plus custom test construction.
+//! * [`run`] — applying a test to a functional memory and collecting
+//!   failures.
+//! * [`coverage`] — fault-coverage evaluation over an ensemble of
+//!   defective-cell behaviors.
+//! * [`coupling`] — two-cell coupling faults (CFin/CFid/CFst) and a
+//!   coupling-aware execution engine, for comparing what the longer
+//!   standard tests buy over MATS+.
+//!
+//! # Example
+//!
+//! ```
+//! use dso_march::test::MarchTest;
+//! use dso_march::run::apply;
+//! use dso_dram::behavior::FunctionalMemory;
+//!
+//! # fn main() -> Result<(), dso_march::MarchError> {
+//! let test = MarchTest::mats_plus();
+//! let mut memory = FunctionalMemory::healthy(16);
+//! let result = apply(&test, &mut memory)?;
+//! assert!(!result.detected(), "a healthy memory passes MATS+");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coupling;
+pub mod coverage;
+pub mod element;
+pub mod error;
+pub mod run;
+pub mod test;
+
+pub use element::{AddressOrder, MarchElement, MarchOp};
+pub use error::MarchError;
+pub use test::MarchTest;

@@ -1,0 +1,194 @@
+//! March-test execution on a functional memory.
+
+use crate::element::{MarchOp, MarchStep};
+use crate::test::MarchTest;
+use crate::MarchError;
+use dso_dram::behavior::FunctionalMemory;
+
+/// One observed miscompare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// Index of the march *step* in the test (delays count as steps).
+    pub element: usize,
+    /// Address at which the miscompare occurred.
+    pub address: usize,
+    /// Expected read value.
+    pub expected: bool,
+    /// Value actually read.
+    pub got: bool,
+}
+
+/// Result of applying a march test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchResult {
+    failures: Vec<Failure>,
+    operations: usize,
+}
+
+impl MarchResult {
+    /// Assembles a result (used by the execution engines in this crate).
+    pub(crate) fn from_parts(failures: Vec<Failure>, operations: usize) -> Self {
+        MarchResult {
+            failures,
+            operations,
+        }
+    }
+
+    /// `true` if at least one read miscompared — the test *detects* a
+    /// fault.
+    pub fn detected(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// The observed miscompares, in execution order.
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// Total operations executed.
+    pub fn operations(&self) -> usize {
+        self.operations
+    }
+}
+
+/// Applies `test` to `memory`, recording every read miscompare.
+///
+/// The memory is *not* reset first — callers control the initial state.
+///
+/// # Errors
+///
+/// Propagates memory-model failures (out-of-range addresses cannot occur
+/// here).
+///
+/// # Example
+///
+/// ```
+/// use dso_march::{run::apply, test::MarchTest};
+/// use dso_dram::behavior::FunctionalMemory;
+///
+/// # fn main() -> Result<(), dso_march::MarchError> {
+/// let mut memory = FunctionalMemory::healthy(8);
+/// let result = apply(&MarchTest::march_c_minus(), &mut memory)?;
+/// assert!(!result.detected());
+/// assert_eq!(result.operations(), 8 * 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply(test: &MarchTest, memory: &mut FunctionalMemory) -> Result<MarchResult, MarchError> {
+    let size = memory.size();
+    let mut failures = Vec::new();
+    let mut operations = 0;
+    for (element_idx, step) in test.steps().iter().enumerate() {
+        let element = match step {
+            MarchStep::Element(e) => e,
+            MarchStep::Delay { cycles } => {
+                memory.idle_all(*cycles);
+                continue;
+            }
+        };
+        for address in element.order.addresses(size) {
+            for op in &element.ops {
+                operations += 1;
+                match op {
+                    MarchOp::Write(value) => memory.write(address, *value)?,
+                    MarchOp::Read(expected) => {
+                        let got = memory.read(address)?;
+                        if got != *expected {
+                            failures.push(Failure {
+                                element: element_idx,
+                                address,
+                                expected: *expected,
+                                got,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(MarchResult {
+        failures,
+        operations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dso_dram::behavior::{CellBehavior, FunctionalMemory};
+
+    #[test]
+    fn healthy_memory_passes_all_standard_tests() {
+        for test in MarchTest::standard_suite() {
+            let mut memory = FunctionalMemory::healthy(16);
+            let result = apply(&test, &mut memory).unwrap();
+            assert!(!result.detected(), "{} false alarm", test.name());
+            assert_eq!(result.operations(), 16 * test.operation_count());
+        }
+    }
+
+    /// Stuck-at-zero cell.
+    struct StuckAtZero;
+    impl CellBehavior for StuckAtZero {
+        fn write(&mut self, _value: bool) {}
+        fn read(&mut self) -> bool {
+            false
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn stuck_at_fault_detected_by_mats_plus() {
+        let mut memory =
+            FunctionalMemory::with_victim(16, 7, Box::new(StuckAtZero)).unwrap();
+        let result = apply(&MarchTest::mats_plus(), &mut memory).unwrap();
+        assert!(result.detected());
+        let failure = result.failures()[0];
+        assert_eq!(failure.address, 7);
+        assert!(failure.expected);
+        assert!(!failure.got);
+    }
+
+    /// Transition fault: 1 -> 0 transitions are lost (the cell stays 1).
+    struct TransitionFault {
+        value: bool,
+    }
+    impl CellBehavior for TransitionFault {
+        fn write(&mut self, value: bool) {
+            if value {
+                self.value = true;
+            }
+            // Falling writes are lost once the cell holds a 1.
+        }
+        fn read(&mut self) -> bool {
+            self.value
+        }
+        fn reset(&mut self) {
+            self.value = false;
+        }
+    }
+
+    #[test]
+    fn transition_fault_detected_by_march_y_not_by_mats_plus_reads() {
+        // March Y has a verifying read directly after the falling write.
+        let mut memory = FunctionalMemory::with_victim(
+            8,
+            3,
+            Box::new(TransitionFault { value: false }),
+        )
+        .unwrap();
+        let result = apply(&MarchTest::march_y(), &mut memory).unwrap();
+        assert!(result.detected(), "March Y must catch the 1->0 TF");
+    }
+
+    #[test]
+    fn failures_record_element_index() {
+        let mut memory =
+            FunctionalMemory::with_victim(4, 0, Box::new(StuckAtZero)).unwrap();
+        let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
+        assert!(result.detected());
+        assert!(result.failures().iter().all(|f| f.address == 0));
+        // The first miscompare happens in element 2 (the first r1).
+        assert_eq!(result.failures()[0].element, 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Standard march tests and custom test construction.
+
+use crate::element::{parse_steps, MarchElement, MarchStep};
+use crate::MarchError;
+use std::fmt;
+
+/// A named march test: a sequence of elements and optional `Del` pauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarchTest {
+    name: String,
+    steps: Vec<MarchStep>,
+}
+
+impl MarchTest {
+    /// Creates a test from elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::BadTest`] if `elements` is empty.
+    pub fn new(name: &str, elements: Vec<MarchElement>) -> Result<Self, MarchError> {
+        MarchTest::from_steps(name, elements.into_iter().map(MarchStep::Element).collect())
+    }
+
+    /// Creates a test from steps (elements and delays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarchError::BadTest`] if `steps` contains no element.
+    pub fn from_steps(name: &str, steps: Vec<MarchStep>) -> Result<Self, MarchError> {
+        if !steps.iter().any(|s| matches!(s, MarchStep::Element(_))) {
+            return Err(MarchError::BadTest(format!(
+                "march test `{name}` has no elements"
+            )));
+        }
+        Ok(MarchTest {
+            name: name.to_string(),
+            steps,
+        })
+    }
+
+    /// Parses a test from the march notation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MarchError::Parse`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dso_march::test::MarchTest;
+    ///
+    /// # fn main() -> Result<(), dso_march::MarchError> {
+    /// let t = MarchTest::parse("MATS+", "{a(w0); u(r0,w1); d(r1,w0)}")?;
+    /// assert_eq!(t.operation_count(), 5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(name: &str, notation: &str) -> Result<Self, MarchError> {
+        MarchTest::from_steps(name, parse_steps(notation)?)
+    }
+
+    /// The test name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The steps (elements and delays) in order.
+    pub fn steps(&self) -> &[MarchStep] {
+        &self.steps
+    }
+
+    /// The march elements, skipping delays.
+    pub fn elements(&self) -> Vec<&MarchElement> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                MarchStep::Element(e) => Some(e),
+                MarchStep::Delay { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Operations per address (the test's `n` in its `O(n)` complexity,
+    /// e.g. 5 for MATS+ — a "5n" test). Delays do not scale with the
+    /// memory size and are not counted.
+    pub fn operation_count(&self) -> usize {
+        self.elements().iter().map(|e| e.ops.len()).sum()
+    }
+
+    // --- The standard library of tests -------------------------------
+
+    /// MATS+: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}` — 5n, detects stuck-at and
+    /// address-decoder faults.
+    pub fn mats_plus() -> Self {
+        MarchTest::parse("MATS+", "{a(w0); u(r0,w1); d(r1,w0)}")
+            .expect("built-in notation is valid")
+    }
+
+    /// March X: `{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}` — 6n, adds coupling
+    /// coverage.
+    pub fn march_x() -> Self {
+        MarchTest::parse("March X", "{a(w0); u(r0,w1); d(r1,w0); a(r0)}")
+            .expect("built-in notation is valid")
+    }
+
+    /// March Y: `{⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)}` — 8n, adds
+    /// transition-fault coverage with verifying reads.
+    pub fn march_y() -> Self {
+        MarchTest::parse("March Y", "{a(w0); u(r0,w1,r1); d(r1,w0,r0); a(r0)}")
+            .expect("built-in notation is valid")
+    }
+
+    /// March C−: `{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}`
+    /// — 10n, the workhorse coupling-fault test.
+    pub fn march_c_minus() -> Self {
+        MarchTest::parse(
+            "March C-",
+            "{a(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); a(r0)}",
+        )
+        .expect("built-in notation is valid")
+    }
+
+    /// March A: `{⇕(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0);
+    /// ⇓(r0,w1,w0)}` — 15n.
+    pub fn march_a() -> Self {
+        MarchTest::parse(
+            "March A",
+            "{a(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)}",
+        )
+        .expect("built-in notation is valid")
+    }
+
+    /// March B: `{⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1);
+    /// ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}` — 17n.
+    pub fn march_b() -> Self {
+        MarchTest::parse(
+            "March B",
+            "{a(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)}",
+        )
+        .expect("built-in notation is valid")
+    }
+
+    /// March LR: `{⇕(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0);
+    /// ⇑(r0,w1,r1,w0); ⇑(r0)}` — 14n, targets realistic linked faults.
+    pub fn march_lr() -> Self {
+        MarchTest::parse(
+            "March LR",
+            "{a(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); u(r0)}",
+        )
+        .expect("built-in notation is valid")
+    }
+
+    /// A data-retention test: `{⇕(w0); Del; ⇕(r0,w1); Del; ⇕(r1)}` — the
+    /// classical DRT structure with two pauses covering both data
+    /// polarities.
+    pub fn march_drt() -> Self {
+        MarchTest::parse("March DRT", "{a(w0); Del; a(r0,w1); Del; a(r1)}")
+            .expect("built-in notation is valid")
+    }
+
+    /// All built-in tests, shortest first (the DRT test last).
+    pub fn standard_suite() -> Vec<MarchTest> {
+        vec![
+            MarchTest::mats_plus(),
+            MarchTest::march_x(),
+            MarchTest::march_y(),
+            MarchTest::march_c_minus(),
+            MarchTest::march_a(),
+            MarchTest::march_b(),
+            MarchTest::march_lr(),
+            MarchTest::march_drt(),
+        ]
+    }
+}
+
+impl fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.steps.iter().map(|s| s.to_string()).collect();
+        write!(f, "{}: {{{}}}", self.name, body.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_counts_match_literature() {
+        assert_eq!(MarchTest::mats_plus().operation_count(), 5);
+        assert_eq!(MarchTest::march_x().operation_count(), 6);
+        assert_eq!(MarchTest::march_y().operation_count(), 8);
+        assert_eq!(MarchTest::march_c_minus().operation_count(), 10);
+        assert_eq!(MarchTest::march_a().operation_count(), 15);
+        assert_eq!(MarchTest::march_b().operation_count(), 17);
+        assert_eq!(MarchTest::march_lr().operation_count(), 14);
+    }
+
+    #[test]
+    fn standard_suite_complete() {
+        let suite = MarchTest::standard_suite();
+        assert_eq!(suite.len(), 8);
+        let names: Vec<&str> = suite.iter().map(|t| t.name()).collect();
+        assert!(names.contains(&"March C-"));
+    }
+
+    #[test]
+    fn display_shows_notation() {
+        let t = MarchTest::mats_plus();
+        let s = t.to_string();
+        assert!(s.contains("MATS+"), "{s}");
+        assert!(s.contains("⇑(r0,w1)"), "{s}");
+    }
+
+    #[test]
+    fn empty_test_rejected() {
+        assert!(MarchTest::new("empty", vec![]).is_err());
+    }
+
+    #[test]
+    fn parse_custom() {
+        let t = MarchTest::parse("custom", "{a(w1); a(r1)}").unwrap();
+        assert_eq!(t.elements().len(), 2);
+        assert_eq!(t.name(), "custom");
+    }
+
+    #[test]
+    fn drt_test_has_delays() {
+        let t = MarchTest::march_drt();
+        assert_eq!(t.elements().len(), 3);
+        assert_eq!(t.steps().len(), 5);
+        assert_eq!(t.operation_count(), 4); // 4n + 2 Del
+        assert!(t.to_string().contains("Del(64)"), "{t}");
+        // Delay-only "tests" are rejected.
+        assert!(MarchTest::from_steps(
+            "empty",
+            vec![crate::element::MarchStep::Delay { cycles: 5 }]
+        )
+        .is_err());
+    }
+}

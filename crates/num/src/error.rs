@@ -1,0 +1,124 @@
+//! Error type shared by the numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical kernel.
+///
+/// Every fallible routine in this crate returns `Result<_, NumError>` so that
+/// callers (the circuit simulator, the analysis layer) can propagate failures
+/// with `?` and report the precise numerical reason for an aborted
+/// simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// A matrix had an unexpected shape (e.g. non-square input to LU, or a
+    /// right-hand side whose length does not match the matrix dimension).
+    ShapeMismatch {
+        /// What the routine expected, e.g. `"square matrix"`.
+        expected: String,
+        /// What it received, e.g. `"3x4"`.
+        found: String,
+    },
+    /// LU factorization hit a pivot whose magnitude is below the
+    /// singularity threshold; the matrix is singular or numerically so.
+    SingularMatrix {
+        /// Elimination column at which the zero pivot appeared.
+        column: usize,
+        /// Magnitude of the best available pivot.
+        pivot: f64,
+    },
+    /// Newton–Raphson failed to converge within the iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// A root-finding bracket did not actually bracket a root / transition.
+    InvalidBracket {
+        /// Lower end of the bracket.
+        lo: f64,
+        /// Upper end of the bracket.
+        hi: f64,
+    },
+    /// An argument was out of its documented domain.
+    InvalidArgument(String),
+    /// A NaN or infinity appeared where a finite value was required.
+    NonFinite {
+        /// Description of where the non-finite value was observed.
+        context: String,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            NumError::SingularMatrix { column, pivot } => {
+                write!(
+                    f,
+                    "singular matrix: pivot {pivot:.3e} at elimination column {column}"
+                )
+            }
+            NumError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bracket [{lo:.6e}, {hi:.6e}]")
+            }
+            NumError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            NumError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = NumError::ShapeMismatch {
+            expected: "square matrix".into(),
+            found: "3x4".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "shape mismatch: expected square matrix, found 3x4"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        let err = NumError::SingularMatrix {
+            column: 2,
+            pivot: 1e-18,
+        };
+        assert!(err.to_string().contains("column 2"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let err = NumError::NoConvergence {
+            iterations: 50,
+            residual: 0.5,
+        };
+        assert!(err.to_string().contains("50 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NumError>();
+    }
+}

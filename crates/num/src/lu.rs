@@ -1,0 +1,318 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! Circuit matrices produced by modified nodal analysis are small (tens of
+//! unknowns for one DRAM column) but must be factored thousands of times per
+//! transient run, so the factorization is written for predictable, in-place
+//! performance rather than generality.
+
+use crate::matrix::DMatrix;
+use crate::NumError;
+
+/// Pivot magnitudes below this are treated as singular.
+pub const SINGULARITY_THRESHOLD: f64 = 1e-13;
+
+/// An LU factorization `P·A = L·U` of a square matrix, with partial
+/// pivoting.
+///
+/// # Example
+///
+/// ```
+/// use dso_num::{matrix::DMatrix, lu::LuFactor};
+///
+/// # fn main() -> Result<(), dso_num::NumError> {
+/// let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuFactor::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// // Verify A x = b.
+/// let b = a.mul_vec(&x)?;
+/// assert!((b[0] - 3.0).abs() < 1e-12 && (b[1] - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (below diagonal, unit diagonal implied) and U (on and
+    /// above the diagonal), row-major.
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    n: usize,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes `a` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::ShapeMismatch`] if `a` is not square.
+    /// * [`NumError::SingularMatrix`] if a pivot smaller than
+    ///   [`SINGULARITY_THRESHOLD`] (relative to the matrix scale) is hit.
+    /// * [`NumError::NonFinite`] if `a` contains NaN or infinity.
+    pub fn new(a: &DMatrix) -> Result<Self, NumError> {
+        if !a.is_square() {
+            return Err(NumError::ShapeMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if !a.is_finite() {
+            return Err(NumError::NonFinite {
+                context: "LU input matrix".into(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.as_slice().to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+        let threshold = SINGULARITY_THRESHOLD * scale;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < threshold {
+                return Err(NumError::SingularMatrix {
+                    column: k,
+                    pivot: pivot_val,
+                });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= factor * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(LuFactor {
+            lu,
+            perm,
+            n,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        if b.len() != self.n {
+            return Err(NumError::ShapeMismatch {
+                expected: format!("vector of length {}", self.n),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        let mut x = vec![0.0; self.n];
+        self.solve_in_place(b, &mut x);
+        Ok(x)
+    }
+
+    /// Solves `A·x = b`, writing the solution into `x` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()` or `x.len() != self.dim()`.
+    pub fn solve_in_place(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(x.len(), n, "solution length mismatch");
+        // Forward substitution with permuted rhs: L·y = P·b.
+        for i in 0..n {
+            let mut sum = b[self.perm[i]];
+            for j in 0..i {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum / self.lu[i * n + i];
+        }
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.perm_sign;
+        for i in 0..self.n {
+            det *= self.lu[i * self.n + i];
+        }
+        det
+    }
+
+    /// A cheap condition estimate: ratio of largest to smallest absolute
+    /// pivot. Large values indicate an ill-conditioned system.
+    pub fn pivot_ratio(&self) -> f64 {
+        let mut max = 0.0_f64;
+        let mut min = f64::INFINITY;
+        for i in 0..self.n {
+            let p = self.lu[i * self.n + i].abs();
+            max = max.max(p);
+            min = min.min(p);
+        }
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Convenience: factor `a` and solve `a·x = b` in one call.
+///
+/// # Errors
+///
+/// Propagates the errors of [`LuFactor::new`] and [`LuFactor::solve`].
+pub fn solve(a: &DMatrix, b: &[f64]) -> Result<Vec<f64>, NumError> {
+    LuFactor::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::norm_inf;
+
+    fn residual(a: &DMatrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x).unwrap();
+        norm_inf(
+            &ax.iter()
+                .zip(b)
+                .map(|(l, r)| l - r)
+                .collect::<Vec<f64>>(),
+        )
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = DMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal: succeeds only with pivoting.
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_reported() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let err = LuFactor::new(&a).unwrap_err();
+        assert!(matches!(err, NumError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DMatrix::zeros(2, 3);
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(NumError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = DMatrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(LuFactor::new(&a), Err(NumError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((lu.determinant() - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_identity_is_one() {
+        let lu = LuFactor::new(&DMatrix::identity(5)).unwrap();
+        assert!((lu.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]])
+            .unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.25];
+        let x1 = lu.solve(&b).unwrap();
+        let mut x2 = vec![0.0; 3];
+        lu.solve_in_place(&b, &mut x2);
+        assert_eq!(x1, x2);
+        assert!(residual(&a, &x1, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let lu = LuFactor::new(&DMatrix::identity(3)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pivot_ratio_of_identity() {
+        let lu = LuFactor::new(&DMatrix::identity(4)).unwrap();
+        assert_eq!(lu.pivot_ratio(), 1.0);
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        // Deterministic pseudo-random diagonally dominant system.
+        let n = 25;
+        let mut a = DMatrix::zeros(n, n);
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (u32::MAX as f64)) - 0.5
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next();
+                    a[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+}

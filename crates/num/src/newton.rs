@@ -1,0 +1,351 @@
+//! A damped Newton–Raphson driver for nonlinear systems.
+//!
+//! The circuit simulator expresses each DC operating point and each transient
+//! time step as a nonlinear system `F(x) = 0` whose Jacobian is the stamped
+//! MNA matrix. This module owns the iteration policy — convergence criteria,
+//! step damping, iteration budget — so the simulator only supplies the
+//! residual/Jacobian evaluation.
+
+use crate::lu::LuFactor;
+use crate::matrix::{norm_inf, DMatrix};
+use crate::NumError;
+
+/// A nonlinear system `F(x) = 0` with Jacobian `J(x)`.
+///
+/// Implementors fill `residual` with `F(x)` and `jacobian` with `∂F/∂x`.
+/// Both slices/matrices are pre-sized to [`NonlinearSystem::unknowns`].
+pub trait NonlinearSystem {
+    /// Number of unknowns.
+    fn unknowns(&self) -> usize;
+
+    /// Evaluates the residual `F(x)` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (e.g. a device model evaluated outside its
+    /// domain); the error aborts the Newton iteration.
+    fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError>;
+
+    /// Evaluates the Jacobian `J(x)` into `jac` (previously cleared).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NonlinearSystem::residual`].
+    fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError>;
+
+    /// Clamps a proposed Newton update, returning the allowed step.
+    ///
+    /// The default implementation rescales the whole step so that its
+    /// largest component does not exceed [`NewtonOptions::max_step`]; the
+    /// rescaling preserves the Newton direction (which is a descent
+    /// direction for the residual norm), so the damped line search still
+    /// makes progress. Device-specific limiting (e.g. junction voltage
+    /// limiting) can refine this.
+    fn limit_step(&self, _x: &[f64], dx: &mut [f64], max_step: f64) {
+        let biggest = dx.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
+        if biggest > max_step {
+            let scale = max_step / biggest;
+            for d in dx.iter_mut() {
+                *d *= scale;
+            }
+        }
+    }
+}
+
+/// Iteration policy for [`NewtonSolver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: usize,
+    /// Absolute tolerance on the residual infinity norm.
+    pub residual_tol: f64,
+    /// Absolute tolerance on the update infinity norm.
+    pub step_tol: f64,
+    /// Per-component clamp on the Newton update (voltage limiting).
+    pub max_step: f64,
+    /// Damping factor applied when the residual grows (0 < factor < 1).
+    pub damping: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 100,
+            residual_tol: 1e-9,
+            step_tol: 1e-9,
+            max_step: 0.5,
+            damping: 0.5,
+        }
+    }
+}
+
+/// Outcome statistics of a successful Newton solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonStats {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final residual infinity norm.
+    pub residual: f64,
+}
+
+/// A reusable Newton–Raphson solver.
+///
+/// # Example
+///
+/// Solve `x² = 2`:
+///
+/// ```
+/// use dso_num::matrix::DMatrix;
+/// use dso_num::newton::{NewtonOptions, NewtonSolver, NonlinearSystem};
+///
+/// struct Sqrt2;
+/// impl NonlinearSystem for Sqrt2 {
+///     fn unknowns(&self) -> usize { 1 }
+///     fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), dso_num::NumError> {
+///         out[0] = x[0] * x[0] - 2.0;
+///         Ok(())
+///     }
+///     fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), dso_num::NumError> {
+///         jac[(0, 0)] = 2.0 * x[0];
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), dso_num::NumError> {
+/// let mut solver = NewtonSolver::new(NewtonOptions::default());
+/// let mut x = vec![1.0];
+/// let stats = solver.solve(&mut Sqrt2, &mut x)?;
+/// assert!((x[0] - 2.0_f64.sqrt()).abs() < 1e-8);
+/// assert!(stats.iterations < 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewtonSolver {
+    options: NewtonOptions,
+    // Scratch buffers reused across calls.
+    residual: Vec<f64>,
+    trial_residual: Vec<f64>,
+    dx: Vec<f64>,
+    trial_x: Vec<f64>,
+    jac: DMatrix,
+}
+
+impl NewtonSolver {
+    /// Creates a solver with the given iteration policy.
+    pub fn new(options: NewtonOptions) -> Self {
+        NewtonSolver {
+            options,
+            residual: Vec::new(),
+            trial_residual: Vec::new(),
+            dx: Vec::new(),
+            trial_x: Vec::new(),
+            jac: DMatrix::zeros(0, 0),
+        }
+    }
+
+    /// The solver's iteration policy.
+    pub fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    /// Solves `F(x) = 0` starting from the initial guess in `x`, leaving the
+    /// solution in `x`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::NoConvergence`] if the iteration budget is exhausted.
+    /// * [`NumError::SingularMatrix`] if the Jacobian cannot be factored.
+    /// * Any error surfaced by the system's residual/Jacobian evaluation.
+    pub fn solve<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &mut [f64],
+    ) -> Result<NewtonStats, NumError> {
+        let n = system.unknowns();
+        if x.len() != n {
+            return Err(NumError::ShapeMismatch {
+                expected: format!("initial guess of length {n}"),
+                found: format!("length {}", x.len()),
+            });
+        }
+        self.residual.resize(n, 0.0);
+        self.trial_residual.resize(n, 0.0);
+        self.dx.resize(n, 0.0);
+        self.trial_x.resize(n, 0.0);
+        if self.jac.rows() != n {
+            self.jac = DMatrix::zeros(n, n);
+        }
+
+        system.residual(x, &mut self.residual)?;
+        let mut res_norm = norm_inf(&self.residual);
+        if !res_norm.is_finite() {
+            return Err(NumError::NonFinite {
+                context: "initial Newton residual".into(),
+            });
+        }
+
+        for iter in 0..self.options.max_iterations {
+            if res_norm < self.options.residual_tol {
+                return Ok(NewtonStats {
+                    iterations: iter,
+                    residual: res_norm,
+                });
+            }
+            self.jac.clear();
+            system.jacobian(x, &mut self.jac)?;
+            let lu = LuFactor::new(&self.jac)?;
+            // Newton step: J dx = -F.
+            let neg_f: Vec<f64> = self.residual.iter().map(|v| -v).collect();
+            lu.solve_in_place(&neg_f, &mut self.dx);
+            system.limit_step(x, &mut self.dx, self.options.max_step);
+
+            // Damped line search: halve the step while the residual grows.
+            let mut alpha = 1.0;
+            let mut accepted = false;
+            for _ in 0..12 {
+                for i in 0..n {
+                    self.trial_x[i] = x[i] + alpha * self.dx[i];
+                }
+                system.residual(&self.trial_x, &mut self.trial_residual)?;
+                let trial_norm = norm_inf(&self.trial_residual);
+                if trial_norm.is_finite() && (trial_norm < res_norm || alpha <= 1e-3) {
+                    x.copy_from_slice(&self.trial_x);
+                    self.residual.copy_from_slice(&self.trial_residual);
+                    res_norm = trial_norm;
+                    accepted = true;
+                    break;
+                }
+                alpha *= self.options.damping;
+            }
+            if !accepted {
+                // Accept the most damped step anyway; some circuits need to
+                // pass through a residual hump (latch regeneration).
+                x.copy_from_slice(&self.trial_x);
+                self.residual.copy_from_slice(&self.trial_residual);
+                res_norm = norm_inf(&self.residual);
+            }
+            let step_norm = norm_inf(&self.dx) * alpha;
+            if step_norm < self.options.step_tol && res_norm < self.options.residual_tol * 1e3 {
+                return Ok(NewtonStats {
+                    iterations: iter + 1,
+                    residual: res_norm,
+                });
+            }
+        }
+        if res_norm < self.options.residual_tol {
+            return Ok(NewtonStats {
+                iterations: self.options.max_iterations,
+                residual: res_norm,
+            });
+        }
+        Err(NumError::NoConvergence {
+            iterations: self.options.max_iterations,
+            residual: res_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-D Rosenbrock-style gradient system: F(x, y) = (x - 1, 10 (y - x^2)).
+    struct TwoDim;
+    impl NonlinearSystem for TwoDim {
+        fn unknowns(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+            out[0] = x[0] - 1.0;
+            out[1] = 10.0 * (x[1] - x[0] * x[0]);
+            Ok(())
+        }
+        fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+            jac[(0, 0)] = 1.0;
+            jac[(1, 0)] = -20.0 * x[0];
+            jac[(1, 1)] = 10.0;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn converges_on_smooth_system() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        let mut x = vec![-1.0, 2.0];
+        let stats = solver.solve(&mut TwoDim, &mut x).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-7, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-6, "{x:?}");
+        assert!(stats.residual < 1e-6);
+    }
+
+    /// Exponential diode-like residual that needs limiting: F = e^(20x) - 1.
+    struct StiffExp;
+    impl NonlinearSystem for StiffExp {
+        fn unknowns(&self) -> usize {
+            1
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+            out[0] = (20.0 * x[0]).exp() - 1.0;
+            Ok(())
+        }
+        fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+            jac[(0, 0)] = 20.0 * (20.0 * x[0]).exp();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn stiff_exponential_needs_damping() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            residual_tol: 1e-8,
+            ..NewtonOptions::default()
+        });
+        let mut x = vec![2.0];
+        solver.solve(&mut StiffExp, &mut x).unwrap();
+        assert!(x[0].abs() < 1e-8, "{x:?}");
+    }
+
+    struct NoSolution;
+    impl NonlinearSystem for NoSolution {
+        fn unknowns(&self) -> usize {
+            1
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+            out[0] = x[0] * x[0] + 1.0; // never zero
+            Ok(())
+        }
+        fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+            jac[(0, 0)] = if x[0].abs() < 1e-12 { 1e-6 } else { 2.0 * x[0] };
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reports_no_convergence() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            max_iterations: 30,
+            ..NewtonOptions::default()
+        });
+        let mut x = vec![3.0];
+        let err = solver.solve(&mut NoSolution, &mut x).unwrap_err();
+        assert!(matches!(err, NumError::NoConvergence { .. }));
+    }
+
+    #[test]
+    fn guess_length_checked() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        let mut x = vec![0.0; 3];
+        assert!(solver.solve(&mut TwoDim, &mut x).is_err());
+    }
+
+    #[test]
+    fn solver_is_reusable() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        for start in [-2.0, 0.5, 4.0] {
+            let mut x = vec![start, start];
+            solver.solve(&mut TwoDim, &mut x).unwrap();
+            assert!((x[0] - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Root and transition finding.
+//!
+//! Two search problems recur in the fault-analysis layer:
+//!
+//! * **Pass/fail boundaries** — the border resistance of a defect is the
+//!   resistance at which a memory test flips from *pass* to *fail*. The
+//!   oracle is expensive (a full transient simulation per probe) and only
+//!   gives a boolean, so [`bisect_transition`] does a guarded boolean
+//!   bisection, optionally on a logarithmic axis (resistances span decades).
+//! * **Continuous roots** — intersections of interpolated curves. For these
+//!   [`brent`] offers superlinear convergence with bisection's robustness.
+
+use crate::NumError;
+
+/// Axis scaling for [`bisect_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Bisect the arithmetic midpoint.
+    #[default]
+    Linear,
+    /// Bisect the geometric midpoint (both bracket ends must be positive).
+    Logarithmic,
+}
+
+/// Result of a boolean-transition bisection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Largest probed value on the `false` side of the transition.
+    pub last_false: f64,
+    /// Smallest probed value on the `true` side of the transition.
+    pub first_true: f64,
+    /// Number of oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+impl Transition {
+    /// Midpoint estimate of the transition (geometric mean on log scale
+    /// brackets is approximated well enough by the arithmetic mean once the
+    /// bracket is tight).
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.last_false + self.first_true)
+    }
+
+    /// Width of the final bracket.
+    pub fn width(&self) -> f64 {
+        (self.first_true - self.last_false).abs()
+    }
+}
+
+/// Locates the boundary where a monotone boolean `predicate` switches from
+/// `false` (at `lo`) to `true` (at `hi`), to within relative tolerance
+/// `rel_tol`.
+///
+/// The predicate is assumed monotone on `[lo, hi]`: `false` at `lo`, `true`
+/// at `hi`. Both endpoints are probed first and the bracket verified.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidBracket`] if `lo >= hi` or the endpoint evaluations
+///   do not form a `false → true` bracket.
+/// * [`NumError::InvalidArgument`] for a non-positive `rel_tol` or a
+///   non-positive endpoint with [`Scale::Logarithmic`].
+/// * Errors from the predicate are propagated.
+///
+/// # Example
+///
+/// ```
+/// use dso_num::roots::{bisect_transition, Scale};
+///
+/// # fn main() -> Result<(), dso_num::NumError> {
+/// // Find where x > 40_000 starts holding, on a log axis.
+/// let t = bisect_transition(1e3, 1e6, 1e-3, Scale::Logarithmic, |x| Ok(x > 4e4))?;
+/// assert!(t.last_false <= 4e4 && 4e4 <= t.first_true);
+/// assert!(t.width() / t.midpoint() < 2e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect_transition<F>(
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+    scale: Scale,
+    mut predicate: F,
+) -> Result<Transition, NumError>
+where
+    F: FnMut(f64) -> Result<bool, NumError>,
+{
+    if !(lo < hi) {
+        return Err(NumError::InvalidBracket { lo, hi });
+    }
+    if rel_tol <= 0.0 {
+        return Err(NumError::InvalidArgument(
+            "bisect_transition: rel_tol must be positive".into(),
+        ));
+    }
+    if scale == Scale::Logarithmic && lo <= 0.0 {
+        return Err(NumError::InvalidArgument(format!(
+            "bisect_transition: logarithmic scale requires positive bracket, got lo={lo}"
+        )));
+    }
+    let mut evaluations = 0;
+    let mut probe = |x: f64, evals: &mut usize| -> Result<bool, NumError> {
+        *evals += 1;
+        predicate(x)
+    };
+    if probe(lo, &mut evaluations)? {
+        return Err(NumError::InvalidBracket { lo, hi });
+    }
+    if !probe(hi, &mut evaluations)? {
+        return Err(NumError::InvalidBracket { lo, hi });
+    }
+    let mut last_false = lo;
+    let mut first_true = hi;
+    // 200 iterations is far beyond what any tolerance needs; it guards
+    // against pathological floating-point cycling.
+    for _ in 0..200 {
+        let span = match scale {
+            Scale::Linear => (first_true - last_false) / first_true.abs().max(1e-300),
+            Scale::Logarithmic => (first_true / last_false).ln(),
+        };
+        if span.abs() < rel_tol {
+            break;
+        }
+        let mid = match scale {
+            Scale::Linear => 0.5 * (last_false + first_true),
+            Scale::Logarithmic => (last_false * first_true).sqrt(),
+        };
+        if mid <= last_false || mid >= first_true {
+            break; // floating-point exhaustion
+        }
+        if probe(mid, &mut evaluations)? {
+            first_true = mid;
+        } else {
+            last_false = mid;
+        }
+    }
+    Ok(Transition {
+        last_false,
+        first_true,
+        evaluations,
+    })
+}
+
+/// Brent's method: finds `x` in `[a, b]` with `f(x) = 0`, assuming
+/// `f(a)·f(b) < 0`.
+///
+/// # Errors
+///
+/// * [`NumError::InvalidBracket`] if the endpoints do not bracket a sign
+///   change.
+/// * [`NumError::NoConvergence`] if `max_iter` is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use dso_num::roots::brent;
+///
+/// # fn main() -> Result<(), dso_num::NumError> {
+/// let root = brent(0.0, 2.0, 1e-12, 100, |x| x * x - 2.0)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brent<F>(a: f64, b: f64, tol: f64, max_iter: usize, mut f: F) -> Result<f64, NumError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let (mut a, mut b) = (a, b);
+    let (mut fa, mut fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(NumError::InvalidBracket { lo: a, hi: b });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond1 = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_transition() {
+        let t = bisect_transition(0.0, 10.0, 1e-6, Scale::Linear, |x| Ok(x > 3.7)).unwrap();
+        assert!((t.midpoint() - 3.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn log_transition_over_decades() {
+        let t =
+            bisect_transition(1.0, 1e9, 1e-4, Scale::Logarithmic, |x| Ok(x > 123_456.0)).unwrap();
+        assert!(t.last_false <= 123_456.0 && 123_456.0 <= t.first_true);
+        assert!((t.midpoint() - 123_456.0).abs() / 123_456.0 < 1e-3);
+        // Log bisection over 9 decades should take ~log2(ln ratio/tol) ≈ 25
+        // evaluations, not hundreds.
+        assert!(t.evaluations < 40, "{}", t.evaluations);
+    }
+
+    #[test]
+    fn rejects_non_bracketing_predicate() {
+        let err = bisect_transition(0.0, 1.0, 1e-3, Scale::Linear, |_| Ok(true)).unwrap_err();
+        assert!(matches!(err, NumError::InvalidBracket { .. }));
+        let err = bisect_transition(0.0, 1.0, 1e-3, Scale::Linear, |_| Ok(false)).unwrap_err();
+        assert!(matches!(err, NumError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn rejects_reversed_bracket() {
+        let err = bisect_transition(2.0, 1.0, 1e-3, Scale::Linear, |x| Ok(x > 1.5)).unwrap_err();
+        assert!(matches!(err, NumError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn rejects_log_scale_with_nonpositive_lo() {
+        let err =
+            bisect_transition(-1.0, 1.0, 1e-3, Scale::Logarithmic, |x| Ok(x > 0.5)).unwrap_err();
+        assert!(matches!(err, NumError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn propagates_oracle_errors() {
+        let err = bisect_transition(0.0, 1.0, 1e-3, Scale::Linear, |_| {
+            Err(NumError::InvalidArgument("oracle broke".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, NumError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn brent_sqrt2() {
+        let root = brent(0.0, 2.0, 1e-13, 100, |x| x * x - 2.0).unwrap();
+        assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        let root = brent(0.0, 1.0, 1e-12, 100, |x| x.cos() - x).unwrap();
+        assert!((root.cos() - root).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_endpoint_root() {
+        assert_eq!(brent(0.0, 1.0, 1e-12, 100, |x| x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        let err = brent(1.0, 2.0, 1e-12, 100, |x| x * x + 1.0).unwrap_err();
+        assert!(matches!(err, NumError::InvalidBracket { .. }));
+    }
+}

@@ -1,0 +1,459 @@
+//! Sparse matrices and a sparse LU solver.
+//!
+//! One DRAM column is small enough for dense LU, but scaled experiments
+//! (wider arrays in the benchmarks, many-column sweeps) produce matrices
+//! where most stamps touch only a handful of entries. This module provides a
+//! triplet builder ([`Triplets`]), a compressed-sparse-column matrix
+//! ([`CscMatrix`]) and a left-looking LU with partial pivoting
+//! ([`SparseLu`]).
+
+use crate::NumError;
+
+/// A coordinate-format (COO) accumulator for building sparse matrices.
+///
+/// Duplicate entries are summed when compressed, which matches the
+/// accumulate-style stamping used by modified nodal analysis.
+///
+/// # Example
+///
+/// ```
+/// use dso_num::sparse::Triplets;
+///
+/// # fn main() -> Result<(), dso_num::NumError> {
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 1.0); // duplicates sum
+/// t.push(1, 1, 3.0);
+/// let m = t.to_csc()?;
+/// assert_eq!(m.get(0, 0), 2.0);
+/// assert_eq!(m.get(1, 0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// Creates an empty accumulator for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of bounds ({}x{})",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-compression) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all entries, keeping the allocation and shape.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Compresses into CSC form, summing duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NonFinite`] if any stored value is NaN/inf.
+    pub fn to_csc(&self) -> Result<CscMatrix, NumError> {
+        if self.entries.iter().any(|&(_, _, v)| !v.is_finite()) {
+            return Err(NumError::NonFinite {
+                context: "sparse triplets".into(),
+            });
+        }
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (c, r));
+        let mut dedup: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for &(r, c, v) in &sorted {
+            match dedup.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => dedup.push((r, c, v)),
+            }
+        }
+        let mut counts = vec![0usize; self.cols];
+        let mut row_idx = Vec::with_capacity(dedup.len());
+        let mut values = Vec::with_capacity(dedup.len());
+        for &(r, c, v) in &dedup {
+            counts[c] += 1;
+            row_idx.push(r);
+            values.push(v);
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for c in 0..self.cols {
+            col_ptr[c + 1] = col_ptr[c] + counts[c];
+        }
+        Ok(CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+}
+
+/// A compressed-sparse-column matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)`, `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let start = self.col_ptr[col];
+        let end = self.col_ptr[col + 1];
+        match self.row_idx[start..end].binary_search(&row) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        if x.len() != self.cols {
+            return Err(NumError::ShapeMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+        Ok(y)
+    }
+}
+
+/// Sparse LU factorization with partial pivoting (left-looking,
+/// Gilbert–Peierls style but with dense working columns, which is plenty for
+/// the matrix sizes in this workspace).
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Columns of L (unit diagonal implied), as (row, value) below diagonal.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Columns of U, as (row, value) on/above diagonal, diagonal last.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// Row permutation: position i holds original row perm[i].
+    perm: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factorizes a square CSC matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::ShapeMismatch`] if the matrix is not square.
+    /// * [`NumError::SingularMatrix`] on a numerically zero pivot.
+    pub fn new(a: &CscMatrix) -> Result<Self, NumError> {
+        if a.rows != a.cols {
+            return Err(NumError::ShapeMismatch {
+                expected: "square matrix".into(),
+                found: format!("{}x{}", a.rows, a.cols),
+            });
+        }
+        let n = a.rows;
+        let scale = a.values.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        let threshold = crate::lu::SINGULARITY_THRESHOLD * scale;
+
+        // perm_inv[orig_row] = pivot position, usize::MAX while unassigned.
+        let mut perm = vec![usize::MAX; n];
+        let mut perm_inv = vec![usize::MAX; n];
+        let mut l_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut u_cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        // Dense scatter workspace.
+        let mut work = vec![0.0_f64; n];
+
+        for k in 0..n {
+            // Scatter column k of A into the workspace (original row ids).
+            for idx in a.col_ptr[k]..a.col_ptr[k + 1] {
+                work[a.row_idx[idx]] = a.values[idx];
+            }
+            // Eliminate with previously computed columns, in pivot order.
+            for j in 0..k {
+                let pivot_row = perm[j];
+                let ukj = work[pivot_row];
+                if ukj != 0.0 {
+                    u_cols[k].push((j, ukj));
+                    for &(r, lv) in &l_cols[j] {
+                        work[r] -= lv * ukj;
+                    }
+                }
+                work[pivot_row] = 0.0;
+            }
+            // Pick the pivot: the largest remaining (unpermuted) entry.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_val = 0.0_f64;
+            for (r, &v) in work.iter().enumerate() {
+                if perm_inv[r] == usize::MAX && v.abs() > pivot_val {
+                    pivot_val = v.abs();
+                    pivot_row = r;
+                }
+            }
+            if pivot_row == usize::MAX || pivot_val < threshold {
+                return Err(NumError::SingularMatrix {
+                    column: k,
+                    pivot: pivot_val,
+                });
+            }
+            let pivot = work[pivot_row];
+            u_cols[k].push((k, pivot));
+            perm[k] = pivot_row;
+            perm_inv[pivot_row] = k;
+            work[pivot_row] = 0.0;
+            // Store L column (scaled) and clear workspace.
+            for (r, w) in work.iter_mut().enumerate() {
+                if *w != 0.0 {
+                    if perm_inv[r] == usize::MAX {
+                        l_cols[k].push((r, *w / pivot));
+                    }
+                    *w = 0.0;
+                }
+            }
+        }
+        Ok(SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            perm,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        if b.len() != self.n {
+            return Err(NumError::ShapeMismatch {
+                expected: format!("vector of length {}", self.n),
+                found: format!("vector of length {}", b.len()),
+            });
+        }
+        // Forward: L·y = b, where L entries live in original row ids.
+        // y is indexed by pivot position.
+        let mut carry = b.to_vec();
+        let mut y = vec![0.0; self.n];
+        for k in 0..self.n {
+            let yk = carry[self.perm[k]];
+            y[k] = yk;
+            if yk != 0.0 {
+                for &(r, lv) in &self.l_cols[k] {
+                    carry[r] -= lv * yk;
+                }
+            }
+        }
+        // Backward: U·x = y. u_cols[k] holds (pivot position j, value) with
+        // the diagonal (j == k) last.
+        let mut x = y;
+        for k in (0..self.n).rev() {
+            let (diag_idx, diag) = *self.u_cols[k]
+                .last()
+                .expect("U column always holds its diagonal");
+            debug_assert_eq!(diag_idx, k);
+            let xk = x[k] / diag;
+            x[k] = xk;
+            if xk != 0.0 {
+                for &(j, uv) in &self.u_cols[k][..self.u_cols[k].len() - 1] {
+                    x[j] -= uv * xk;
+                }
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{norm_inf, DMatrix};
+
+    fn dense_to_triplets(a: &DMatrix) -> Triplets {
+        let mut t = Triplets::new(a.rows(), a.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                if a[(i, j)] != 0.0 {
+                    t.push(i, j, a[(i, j)]);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let mut t = Triplets::new(3, 3);
+        t.push(1, 2, 1.5);
+        t.push(1, 2, 2.5);
+        t.push(0, 0, 1.0);
+        let m = t.to_csc().unwrap();
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn triplets_reject_non_finite() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, f64::INFINITY);
+        assert!(matches!(t.to_csc(), Err(NumError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn csc_mul_vec() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 1, 3.0);
+        let m = t.to_csc().unwrap();
+        assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn sparse_solve_matches_dense() {
+        let a = DMatrix::from_rows(&[
+            &[4.0, 1.0, 0.0, 0.0],
+            &[1.0, 3.0, 1.0, 0.0],
+            &[0.0, 1.0, 2.5, 0.5],
+            &[0.0, 0.0, 0.5, 2.0],
+        ])
+        .unwrap();
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let dense = crate::lu::solve(&a, &b).unwrap();
+        let csc = dense_to_triplets(&a).to_csc().unwrap();
+        let sparse = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
+        let diff: Vec<f64> = dense.iter().zip(&sparse).map(|(d, s)| d - s).collect();
+        assert!(norm_inf(&diff) < 1e-12, "dense {dense:?} vs sparse {sparse:?}");
+    }
+
+    #[test]
+    fn sparse_solve_with_pivoting() {
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let csc = dense_to_triplets(&a).to_csc().unwrap();
+        let x = SparseLu::new(&csc).unwrap().solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sparse_singular_detected() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        // Column 1 entirely zero -> singular.
+        let csc = t.to_csc().unwrap();
+        assert!(matches!(
+            SparseLu::new(&csc),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_non_square_rejected() {
+        let t = Triplets::new(2, 3);
+        let csc = t.to_csc().unwrap();
+        assert!(matches!(
+            SparseLu::new(&csc),
+            Err(NumError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn larger_banded_system() {
+        // Tridiagonal system with known structure, n = 60.
+        let n = 60;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let csc = t.to_csc().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        let x = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
+        let ax = csc.mul_vec(&x).unwrap();
+        let diff: Vec<f64> = ax.iter().zip(&b).map(|(l, r)| l - r).collect();
+        assert!(norm_inf(&diff) < 1e-10);
+    }
+
+    #[test]
+    fn clear_reuses_allocation() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

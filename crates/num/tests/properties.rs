@@ -1,0 +1,176 @@
+//! Property-based tests of the numerical kernel.
+
+use dso_num::interp::{linspace, logspace, Curve};
+use dso_num::lu::LuFactor;
+use dso_num::matrix::{norm_inf, DMatrix};
+use dso_num::roots::{bisect_transition, brent, Scale};
+use dso_num::sparse::{SparseLu, Triplets};
+use dso_num::trend::{classify, Trend};
+use proptest::prelude::*;
+
+/// A random diagonally dominant matrix: always nonsingular, well enough
+/// conditioned that residual checks are meaningful.
+fn diag_dominant(n: usize) -> impl Strategy<Value = DMatrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut a = DMatrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = vals[i * n + j];
+                    a[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(i, i)] = row_sum + 1.0 + vals[i * n + i].abs();
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_diag_dominant(
+        a in diag_dominant(8),
+        b in proptest::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let lu = LuFactor::new(&a).expect("diagonally dominant is nonsingular");
+        let x = lu.solve(&b).expect("solve succeeds");
+        let ax = a.mul_vec(&x).expect("dimensions match");
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(l, r)| l - r).collect();
+        prop_assert!(norm_inf(&resid) < 1e-9, "residual {}", norm_inf(&resid));
+    }
+
+    #[test]
+    fn sparse_matches_dense(
+        a in diag_dominant(10),
+        b in proptest::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        let mut t = Triplets::new(10, 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                if a[(i, j)] != 0.0 {
+                    t.push(i, j, a[(i, j)]);
+                }
+            }
+        }
+        let dense = LuFactor::new(&a).expect("nonsingular").solve(&b).expect("solves");
+        let sparse = SparseLu::new(&t.to_csc().expect("valid"))
+            .expect("nonsingular")
+            .solve(&b)
+            .expect("solves");
+        let diff: Vec<f64> = dense.iter().zip(&sparse).map(|(d, s)| d - s).collect();
+        prop_assert!(norm_inf(&diff) < 1e-8, "dense vs sparse differ by {}", norm_inf(&diff));
+    }
+
+    #[test]
+    fn determinant_sign_consistent_with_permutation(a in diag_dominant(6)) {
+        // det(A) of a diagonally dominant matrix with positive diagonal
+        // is positive (it is an M-matrix-like structure); at minimum the
+        // determinant must be finite and nonzero.
+        let lu = LuFactor::new(&a).expect("nonsingular");
+        let det = lu.determinant();
+        prop_assert!(det.is_finite() && det != 0.0);
+    }
+
+    #[test]
+    fn curve_eval_bounded_by_neighbors(
+        ys in proptest::collection::vec(-5.0f64..5.0, 4..12),
+        t in 0.0f64..1.0,
+    ) {
+        let n = ys.len();
+        let xs = linspace(0.0, 1.0, n).expect("valid spacing");
+        let curve = Curve::new(xs, ys.clone()).expect("valid curve");
+        let v = curve.eval(t).expect("in domain");
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn line_intersection_exact(
+        a0 in -5.0f64..5.0, a1 in -5.0f64..5.0,
+        b0 in -5.0f64..5.0, b1 in -5.0f64..5.0,
+    ) {
+        // Two straight lines over [0, 1] cross at most once; when the
+        // endpoint differences change sign, the intersection satisfies
+        // both line equations.
+        let la = Curve::new(vec![0.0, 1.0], vec![a0, a1]).expect("valid");
+        let lb = Curve::new(vec![0.0, 1.0], vec![b0, b1]).expect("valid");
+        let roots = la.intersections(&lb).expect("domains overlap");
+        prop_assert!(roots.len() <= 1 || (a0 == b0 && a1 == b1));
+        for r in roots {
+            let va = la.eval(r).expect("in domain");
+            let vb = lb.eval(r).expect("in domain");
+            prop_assert!((va - vb).abs() < 1e-9, "at {r}: {va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn bisection_brackets_planted_threshold(
+        threshold in 1.0f64..9.0,
+        log_scale in proptest::bool::ANY,
+    ) {
+        let scale = if log_scale { Scale::Logarithmic } else { Scale::Linear };
+        let t = bisect_transition(0.5, 10.0, 1e-6, scale, |x| Ok(x > threshold))
+            .expect("valid bracket");
+        prop_assert!(t.last_false <= threshold);
+        prop_assert!(t.first_true >= threshold);
+        prop_assert!(t.width() < 1e-3);
+    }
+
+    #[test]
+    fn brent_finds_root_of_cubic(shift in -0.9f64..0.9) {
+        // x^3 - shift has a real root at shift^(1/3) within [-2, 2].
+        let root = brent(-2.0, 2.0, 1e-12, 200, |x| x * x * x - shift)
+            .expect("bracketed");
+        prop_assert!((root * root * root - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_data_classifies_monotone(
+        mut ys in proptest::collection::vec(-100.0f64..100.0, 3..20),
+    ) {
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let trend = classify(&ys, 0.0).expect("valid input");
+        prop_assert!(
+            trend == Trend::Increasing || trend == Trend::Flat,
+            "sorted data classified {trend}"
+        );
+        ys.reverse();
+        let trend = classify(&ys, 0.0).expect("valid input");
+        prop_assert!(trend == Trend::Decreasing || trend == Trend::Flat);
+    }
+
+    #[test]
+    fn logspace_is_geometric(lo in 1e-3f64..1.0, ratio in 1.5f64..1e4, n in 3usize..20) {
+        let hi = lo * ratio;
+        let pts = logspace(lo, hi, n).expect("valid range");
+        prop_assert_eq!(pts.len(), n);
+        prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        let r0 = pts[1] / pts[0];
+        for w in pts.windows(2) {
+            prop_assert!((w[1] / w[0] - r0).abs() < 1e-6 * r0);
+        }
+    }
+
+    #[test]
+    fn triplets_duplicates_sum(entries in proptest::collection::vec(
+        (0usize..5, 0usize..5, -10.0f64..10.0), 1..40,
+    )) {
+        let mut t = Triplets::new(5, 5);
+        let mut reference = vec![0.0f64; 25];
+        for &(r, c, v) in &entries {
+            t.push(r, c, v);
+            reference[r * 5 + c] += v;
+        }
+        let csc = t.to_csc().expect("finite values");
+        for r in 0..5 {
+            for c in 0..5 {
+                prop_assert!((csc.get(r, c) - reference[r * 5 + c]).abs() < 1e-12);
+            }
+        }
+    }
+}

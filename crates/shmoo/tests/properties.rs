@@ -1,0 +1,80 @@
+//! Property-based tests of the Shmoo plot engine.
+
+use dso_shmoo::{Outcome, ShmooPlot};
+use proptest::prelude::*;
+use std::convert::Infallible;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grid_matches_oracle(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..8),
+        ys in proptest::collection::vec(-10.0f64..10.0, 1..8),
+        threshold in -15.0f64..15.0,
+    ) {
+        let plot = ShmooPlot::generate("x", &xs, "y", &ys, |x, y| {
+            Ok::<_, Infallible>(x + y > threshold)
+        })
+        .expect("infallible oracle");
+        for (yi, &y) in ys.iter().enumerate() {
+            for (xi, &x) in xs.iter().enumerate() {
+                let expected = if x + y > threshold {
+                    Outcome::Pass
+                } else {
+                    Outcome::Fail
+                };
+                prop_assert_eq!(plot.outcome(xi, yi), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn pass_rate_in_unit_interval(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..6),
+        ys in proptest::collection::vec(-10.0f64..10.0, 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed;
+        let plot = ShmooPlot::generate("x", &xs, "y", &ys, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Ok::<_, Infallible>(state & 1 == 0)
+        })
+        .expect("infallible oracle");
+        let rate = plot.pass_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn oracle_called_exactly_once_per_point(
+        nx in 1usize..8,
+        ny in 1usize..8,
+    ) {
+        let xs: Vec<f64> = (0..nx).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..ny).map(|i| i as f64).collect();
+        let mut calls = 0usize;
+        let _ = ShmooPlot::generate("x", &xs, "y", &ys, |_, _| {
+            calls += 1;
+            Ok::<_, Infallible>(true)
+        })
+        .expect("infallible oracle");
+        prop_assert_eq!(calls, nx * ny);
+    }
+
+    #[test]
+    fn renderings_cover_every_row(
+        nx in 1usize..6,
+        ny in 1usize..6,
+    ) {
+        let xs: Vec<f64> = (0..nx).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..ny).map(|i| i as f64).collect();
+        let plot = ShmooPlot::generate("a", &xs, "b", &ys, |x, y| {
+            Ok::<_, Infallible>(x >= y)
+        })
+        .expect("infallible oracle");
+        let csv = plot.render_csv();
+        prop_assert_eq!(csv.lines().count(), ny + 1);
+        let ascii = plot.render_ascii();
+        prop_assert!(ascii.lines().count() >= ny + 2);
+    }
+}

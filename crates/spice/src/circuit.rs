@@ -1,0 +1,611 @@
+//! Circuit (netlist) construction and validation.
+
+use crate::device::Device;
+use crate::diode::DiodeModel;
+use crate::mos::{MosGeometry, MosModel};
+use crate::waveform::Waveform;
+use crate::SpiceError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a circuit node. [`Circuit::GROUND`] is node 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// `true` for the ground reference node.
+    pub fn is_ground(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A circuit under construction: named nodes plus named devices.
+///
+/// # Example
+///
+/// A resistive divider:
+///
+/// ```
+/// use dso_spice::circuit::Circuit;
+/// use dso_spice::waveform::Waveform;
+///
+/// # fn main() -> Result<(), dso_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let mid = ckt.node("mid");
+/// ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(2.0))?;
+/// ckt.add_resistor("R1", vin, mid, 1e3)?;
+/// ckt.add_resistor("R2", mid, Circuit::GROUND, 1e3)?;
+/// ckt.validate()?;
+/// assert_eq!(ckt.node_count(), 3); // ground, in, mid
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    device_names: Vec<String>,
+    device_index: HashMap<String, usize>,
+}
+
+impl Circuit {
+    /// The ground (reference) node, named `"0"`.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut ckt = Circuit {
+            node_names: vec!["0".to_string()],
+            node_index: HashMap::new(),
+            devices: Vec::new(),
+            device_names: Vec::new(),
+            device_index: HashMap::new(),
+        };
+        ckt.node_index.insert("0".to_string(), NodeId(0)); // canonical
+        ckt.node_index.insert("gnd".to_string(), NodeId(0)); // alias
+        ckt
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// Names are case-sensitive except for the ground aliases `"0"` and
+    /// `"gnd"`.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_index.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if no such node exists.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, SpiceError> {
+        self.node_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::UnknownNode(name.to_string()))
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All node names in index order (ground first).
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// The devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device names in insertion order, parallel to [`Circuit::devices`].
+    pub fn device_names(&self) -> &[String] {
+        &self.device_names
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn insert(&mut self, name: &str, device: Device) -> Result<(), SpiceError> {
+        if self.device_index.contains_key(name) {
+            return Err(SpiceError::DuplicateDevice(name.to_string()));
+        }
+        self.device_index.insert(name.to_string(), self.devices.len());
+        self.device_names.push(name.to_string());
+        self.devices.push(device);
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] if `resistance` is not positive/finite.
+    /// * [`SpiceError::DuplicateDevice`] if the name is taken.
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        resistance: f64,
+    ) -> Result<(), SpiceError> {
+        if !(resistance > 0.0 && resistance.is_finite()) {
+            return Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: format!("resistance must be positive and finite, got {resistance}"),
+            });
+        }
+        self.insert(name, Device::Resistor { p, n, resistance })
+    }
+
+    /// Adds a capacitor, optionally with an initial voltage (used when the
+    /// transient starts with `use_ic`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] for a negative/non-finite capacitance.
+    /// * [`SpiceError::DuplicateDevice`] if the name is taken.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        capacitance: f64,
+    ) -> Result<(), SpiceError> {
+        self.add_capacitor_ic(name, p, n, capacitance, None)
+    }
+
+    /// Adds a capacitor with an explicit initial condition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::add_capacitor`].
+    pub fn add_capacitor_ic(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        capacitance: f64,
+        initial_voltage: Option<f64>,
+    ) -> Result<(), SpiceError> {
+        if !(capacitance >= 0.0 && capacitance.is_finite()) {
+            return Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: format!("capacitance must be non-negative, got {capacitance}"),
+            });
+        }
+        self.insert(
+            name,
+            Device::Capacitor {
+                p,
+                n,
+                capacitance,
+                initial_voltage,
+            },
+        )
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] if the waveform fails validation.
+    /// * [`SpiceError::DuplicateDevice`] if the name is taken.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        waveform: Waveform,
+    ) -> Result<(), SpiceError> {
+        waveform.validate(name)?;
+        self.insert(name, Device::VSource { p, n, waveform })
+    }
+
+    /// Adds an independent current source (current flows `p → n` through
+    /// the external circuit).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::add_vsource`].
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        waveform: Waveform,
+    ) -> Result<(), SpiceError> {
+        waveform.validate(name)?;
+        self.insert(name, Device::ISource { p, n, waveform })
+    }
+
+    /// Adds a MOSFET plus its intrinsic gate capacitances.
+    ///
+    /// Two linear capacitors named `<name>.cgs` and `<name>.cgd`, each half
+    /// the intrinsic gate capacitance `Cox·W·L`, are added automatically so
+    /// transient charge coupling is represented.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] if the model card fails validation.
+    /// * [`SpiceError::DuplicateDevice`] if any generated name is taken.
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        model: MosModel,
+        geometry: MosGeometry,
+    ) -> Result<(), SpiceError> {
+        model.validate(name)?;
+        let cg = geometry.gate_capacitance(&model);
+        self.insert(
+            name,
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                geometry,
+            },
+        )?;
+        self.add_capacitor(&format!("{name}.cgs"), g, s, 0.5 * cg)?;
+        self.add_capacitor(&format!("{name}.cgd"), g, d, 0.5 * cg)?;
+        Ok(())
+    }
+
+    /// Adds a junction diode (anode `p`, cathode `n`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] if the model fails validation.
+    /// * [`SpiceError::DuplicateDevice`] if the name is taken.
+    pub fn add_diode(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        model: DiodeModel,
+    ) -> Result<(), SpiceError> {
+        model.validate(name)?;
+        self.insert(name, Device::Diode { p, n, model })
+    }
+
+    /// Adds a voltage-controlled switch.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadParameter`] for non-positive resistances or
+    ///   `ron >= roff`.
+    /// * [`SpiceError::DuplicateDevice`] if the name is taken.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_vswitch(
+        &mut self,
+        name: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        ron: f64,
+        roff: f64,
+        threshold: f64,
+    ) -> Result<(), SpiceError> {
+        if !(ron > 0.0 && roff > 0.0 && ron < roff) {
+            return Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: format!("need 0 < ron < roff, got ron={ron}, roff={roff}"),
+            });
+        }
+        self.insert(
+            name,
+            Device::VSwitch {
+                p,
+                n,
+                cp,
+                cn,
+                ron,
+                roff,
+                threshold,
+                transition: 0.1,
+            },
+        )
+    }
+
+    /// Looks up a device index by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if no such device exists.
+    pub fn find_device(&self, name: &str) -> Result<usize, SpiceError> {
+        self.device_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::UnknownDevice(name.to_string()))
+    }
+
+    /// Changes the resistance of an existing resistor. This is the hot path
+    /// for defect-resistance sweeps: the netlist is built once and the
+    /// injected defect's value swept in place.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::UnknownDevice`] if `name` does not exist.
+    /// * [`SpiceError::BadParameter`] if the device is not a resistor or
+    ///   the value is invalid.
+    pub fn set_resistance(&mut self, name: &str, resistance: f64) -> Result<(), SpiceError> {
+        if !(resistance > 0.0 && resistance.is_finite()) {
+            return Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: format!("resistance must be positive and finite, got {resistance}"),
+            });
+        }
+        let idx = self.find_device(name)?;
+        match &mut self.devices[idx] {
+            Device::Resistor { resistance: r, .. } => {
+                *r = resistance;
+                Ok(())
+            }
+            _ => Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: "device is not a resistor".into(),
+            }),
+        }
+    }
+
+    /// Replaces the waveform of an existing voltage or current source.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::UnknownDevice`] if `name` does not exist.
+    /// * [`SpiceError::BadParameter`] if the device is not a source or the
+    ///   waveform fails validation.
+    pub fn set_waveform(&mut self, name: &str, waveform: Waveform) -> Result<(), SpiceError> {
+        waveform.validate(name)?;
+        let idx = self.find_device(name)?;
+        match &mut self.devices[idx] {
+            Device::VSource { waveform: w, .. } | Device::ISource { waveform: w, .. } => {
+                *w = waveform;
+                Ok(())
+            }
+            _ => Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: "device is not a source".into(),
+            }),
+        }
+    }
+
+    /// Sets the initial voltage of an existing capacitor.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::UnknownDevice`] if `name` does not exist.
+    /// * [`SpiceError::BadParameter`] if the device is not a capacitor.
+    pub fn set_capacitor_ic(
+        &mut self,
+        name: &str,
+        initial_voltage: Option<f64>,
+    ) -> Result<(), SpiceError> {
+        let idx = self.find_device(name)?;
+        match &mut self.devices[idx] {
+            Device::Capacitor {
+                initial_voltage: ic,
+                ..
+            } => {
+                *ic = initial_voltage;
+                Ok(())
+            }
+            _ => Err(SpiceError::BadParameter {
+                device: name.to_string(),
+                reason: "device is not a capacitor".into(),
+            }),
+        }
+    }
+
+    /// Structural validation: the circuit must contain at least one device,
+    /// reference ground somewhere, and every non-ground node must have at
+    /// least one device terminal attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadTopology`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if self.devices.is_empty() {
+            return Err(SpiceError::BadTopology("circuit has no devices".into()));
+        }
+        let mut touched = vec![0usize; self.node_names.len()];
+        for device in &self.devices {
+            for t in device.terminals() {
+                touched[t.0] += 1;
+            }
+        }
+        if touched[0] == 0 {
+            return Err(SpiceError::BadTopology(
+                "no device references ground".into(),
+            ));
+        }
+        for (idx, &count) in touched.iter().enumerate().skip(1) {
+            if count == 0 {
+                return Err(SpiceError::BadTopology(format!(
+                    "node `{}` has no device connections",
+                    self.node_names[idx]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "* circuit: {} nodes, {} devices",
+            self.node_count(),
+            self.device_count()
+        )?;
+        for (name, device) in self.device_names.iter().zip(&self.devices) {
+            let nodes: Vec<&str> = device
+                .terminals()
+                .iter()
+                .map(|t| self.node_name(*t))
+                .collect();
+            writeln!(f, "{name} {}", nodes.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_dedup_and_ground_alias() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node("0"), Circuit::GROUND);
+        assert_eq!(ckt.node("gnd"), Circuit::GROUND);
+        assert!(Circuit::GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let err = ckt.add_resistor("R1", a, Circuit::GROUND, 2.0).unwrap_err();
+        assert!(matches!(err, SpiceError::DuplicateDevice(_)));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.add_resistor("R1", a, Circuit::GROUND, 0.0).is_err());
+        assert!(ckt.add_resistor("R2", a, Circuit::GROUND, -5.0).is_err());
+        assert!(ckt.add_capacitor("C1", a, Circuit::GROUND, -1e-12).is_err());
+        assert!(ckt
+            .add_vswitch("S1", a, Circuit::GROUND, a, Circuit::GROUND, 1e3, 1e2, 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn set_resistance_round_trip() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("Rdef", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.set_resistance("Rdef", 2e5).unwrap();
+        match &ckt.devices()[0] {
+            Device::Resistor { resistance, .. } => assert_eq!(*resistance, 2e5),
+            _ => panic!("expected resistor"),
+        }
+        assert!(ckt.set_resistance("nope", 1.0).is_err());
+        assert!(ckt.set_resistance("Rdef", -1.0).is_err());
+    }
+
+    #[test]
+    fn set_waveform_only_on_sources() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        assert!(ckt.set_waveform("V1", Waveform::Dc(2.0)).is_ok());
+        assert!(ckt.set_waveform("R1", Waveform::Dc(2.0)).is_err());
+    }
+
+    #[test]
+    fn mosfet_adds_gate_caps() {
+        let mut ckt = Circuit::new();
+        let (d, g, s) = (ckt.node("d"), ckt.node("g"), ckt.node("s"));
+        ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            s,
+            Circuit::GROUND,
+            MosModel::default(),
+            MosGeometry::new(1e-6, 0.25e-6).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ckt.device_count(), 3);
+        assert!(ckt.find_device("M1.cgs").is_ok());
+        assert!(ckt.find_device("M1.cgd").is_ok());
+    }
+
+    #[test]
+    fn validate_topology() {
+        let mut ckt = Circuit::new();
+        assert!(matches!(ckt.validate(), Err(SpiceError::BadTopology(_))));
+
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("R1", a, b, 1e3).unwrap();
+        // No ground reference yet.
+        assert!(matches!(ckt.validate(), Err(SpiceError::BadTopology(_))));
+
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        assert!(ckt.validate().is_ok());
+
+        // A dangling node created but never connected.
+        ckt.node("floating");
+        assert!(matches!(ckt.validate(), Err(SpiceError::BadTopology(_))));
+    }
+
+    #[test]
+    fn display_lists_devices() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let s = ckt.to_string();
+        assert!(s.contains("R1 a 0"));
+    }
+
+    #[test]
+    fn capacitor_ic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_capacitor_ic("C1", a, Circuit::GROUND, 1e-12, Some(1.2))
+            .unwrap();
+        ckt.set_capacitor_ic("C1", Some(2.0)).unwrap();
+        match &ckt.devices()[0] {
+            Device::Capacitor {
+                initial_voltage, ..
+            } => assert_eq!(*initial_voltage, Some(2.0)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,1401 @@
+//! Modified nodal analysis: DC operating point and transient simulation.
+//!
+//! The unknown vector is `[v(node 1) … v(node N), i(V-source 1) …]` — every
+//! non-ground node voltage followed by one branch current per voltage
+//! source. Each Newton iteration stamps all devices into the residual
+//! (Kirchhoff current sums plus source branch equations) and the Jacobian
+//! (conductances).
+
+use crate::circuit::{Circuit, NodeId};
+use crate::device::{switch_conductance, Device};
+use crate::mos;
+use crate::waveform::Waveform;
+use crate::SpiceError;
+use dso_num::integrate::{Companion, Method};
+use dso_num::matrix::DMatrix;
+use dso_num::newton::{NewtonOptions, NewtonSolver, NonlinearSystem};
+use dso_num::NumError;
+
+/// How a transient analysis obtains its initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartMode {
+    /// Solve the DC operating point at `t = 0` first (sources at their
+    /// initial values, capacitors open).
+    DcOperatingPoint,
+    /// Skip the DC solve (`UIC` in SPICE): nodes start at 0 V except those
+    /// listed here, and capacitors with explicit initial voltages seed
+    /// their terminals.
+    UseIc(Vec<(String, f64)>),
+}
+
+/// Local-truncation-error control for adaptive time stepping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Acceptable per-step error estimate (volts). The estimate is the
+    /// infinity-norm difference between the trapezoidal and the
+    /// backward-Euler solution of the same step, which is proportional to
+    /// the local truncation error.
+    pub lte_tol: f64,
+    /// Smallest step the controller may take.
+    pub dt_min: f64,
+    /// Largest step the controller may take.
+    pub dt_max: f64,
+}
+
+impl AdaptiveOptions {
+    /// Validates the control parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadAnalysis`] unless
+    /// `0 < dt_min <= dt_max` and `lte_tol > 0`.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if !(self.lte_tol > 0.0 && self.dt_min > 0.0 && self.dt_min <= self.dt_max) {
+            return Err(SpiceError::BadAnalysis(format!(
+                "adaptive options need lte_tol > 0 and 0 < dt_min <= dt_max, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranOptions {
+    /// Stop time in seconds.
+    pub t_stop: f64,
+    /// Fixed output time step in seconds (the *initial* step when
+    /// `adaptive` is set).
+    pub dt: f64,
+    /// Integration method (default trapezoidal; the first step and retry
+    /// sub-steps always use backward Euler).
+    pub method: Method,
+    /// Initial-state policy.
+    pub start: StartMode,
+    /// When set, the step size is controlled by the local truncation
+    /// error instead of being fixed: steps shrink at sharp transitions
+    /// and stretch over smooth tails. Costs one extra (backward-Euler)
+    /// solve per step for the error estimate.
+    pub adaptive: Option<AdaptiveOptions>,
+}
+
+impl TranOptions {
+    /// Creates options with the default method and a DC start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadAnalysis`] unless `0 < dt <= t_stop`.
+    pub fn new(t_stop: f64, dt: f64) -> Result<Self, SpiceError> {
+        if !(dt > 0.0 && dt.is_finite() && t_stop >= dt && t_stop.is_finite()) {
+            return Err(SpiceError::BadAnalysis(format!(
+                "need 0 < dt <= t_stop, got dt={dt}, t_stop={t_stop}"
+            )));
+        }
+        Ok(TranOptions {
+            t_stop,
+            dt,
+            method: Method::default(),
+            start: StartMode::DcOperatingPoint,
+            adaptive: None,
+        })
+    }
+
+    /// Sets the integration method.
+    pub fn with_method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Starts from the given node initial conditions instead of a DC solve.
+    pub fn with_ic<I>(mut self, ics: I) -> Self
+    where
+        I: IntoIterator<Item = (String, f64)>,
+    {
+        self.start = StartMode::UseIc(ics.into_iter().collect());
+        self
+    }
+
+    /// Enables local-truncation-error controlled time stepping.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveOptions) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+}
+
+/// A DC solution: node voltages and source branch currents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    node_names: Vec<String>,
+    vsource_names: Vec<String>,
+    x: Vec<f64>,
+}
+
+impl Solution {
+    /// Voltage of a named node (ground returns 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if the node does not exist.
+    pub fn voltage(&self, node: &str) -> Result<f64, SpiceError> {
+        if node == "0" || node == "gnd" {
+            return Ok(0.0);
+        }
+        let idx = self
+            .node_names
+            .iter()
+            .position(|n| n == node)
+            .ok_or_else(|| SpiceError::UnknownNode(node.to_string()))?;
+        // node_names includes ground at index 0; unknowns start at node 1.
+        Ok(self.x[idx - 1])
+    }
+
+    /// Branch current of a named voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if the source does not exist.
+    pub fn current(&self, vsource: &str) -> Result<f64, SpiceError> {
+        let idx = self
+            .vsource_names
+            .iter()
+            .position(|n| n == vsource)
+            .ok_or_else(|| SpiceError::UnknownDevice(vsource.to_string()))?;
+        Ok(self.x[self.node_names.len() - 1 + idx])
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Result of a transient analysis: the full unknown vector at every output
+/// time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranResult {
+    node_names: Vec<String>,
+    vsource_names: Vec<String>,
+    times: Vec<f64>,
+    /// One unknown vector per time point.
+    samples: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// The sampled time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    fn node_var(&self, node: &str) -> Result<Option<usize>, SpiceError> {
+        if node == "0" || node == "gnd" {
+            return Ok(None);
+        }
+        let idx = self
+            .node_names
+            .iter()
+            .position(|n| n == node)
+            .ok_or_else(|| SpiceError::UnknownNode(node.to_string()))?;
+        Ok(Some(idx - 1))
+    }
+
+    /// The voltage waveform of a named node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if the node does not exist.
+    pub fn voltage(&self, node: &str) -> Result<Vec<f64>, SpiceError> {
+        match self.node_var(node)? {
+            None => Ok(vec![0.0; self.times.len()]),
+            Some(var) => Ok(self.samples.iter().map(|s| s[var]).collect()),
+        }
+    }
+
+    /// The node voltage at time `t`, linearly interpolated between samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::UnknownNode`] if the node does not exist.
+    /// * [`SpiceError::BadAnalysis`] if `t` is outside the simulated range.
+    pub fn voltage_at(&self, node: &str, t: f64) -> Result<f64, SpiceError> {
+        let var = self.node_var(node)?;
+        let t0 = *self.times.first().ok_or_else(|| {
+            SpiceError::BadAnalysis("transient produced no samples".into())
+        })?;
+        let t1 = *self.times.last().expect("non-empty");
+        if t < t0 || t > t1 {
+            return Err(SpiceError::BadAnalysis(format!(
+                "sample time {t:.4e} outside simulated range [{t0:.4e}, {t1:.4e}]"
+            )));
+        }
+        let var = match var {
+            None => return Ok(0.0),
+            Some(v) => v,
+        };
+        let idx = self.times.partition_point(|&tv| tv <= t);
+        if idx == 0 {
+            return Ok(self.samples[0][var]);
+        }
+        if idx >= self.times.len() {
+            return Ok(self.samples[self.times.len() - 1][var]);
+        }
+        let (ta, tb) = (self.times[idx - 1], self.times[idx]);
+        let (va, vb) = (self.samples[idx - 1][var], self.samples[idx][var]);
+        Ok(va + (vb - va) * (t - ta) / (tb - ta))
+    }
+
+    /// The node voltage at the final time point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] if the node does not exist.
+    pub fn final_voltage(&self, node: &str) -> Result<f64, SpiceError> {
+        match self.node_var(node)? {
+            None => Ok(0.0),
+            Some(var) => Ok(self
+                .samples
+                .last()
+                .map(|s| s[var])
+                .ok_or_else(|| SpiceError::BadAnalysis("no samples".into()))?),
+        }
+    }
+
+    /// The branch-current waveform of a named voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownDevice`] if the source does not exist.
+    pub fn current(&self, vsource: &str) -> Result<Vec<f64>, SpiceError> {
+        let idx = self
+            .vsource_names
+            .iter()
+            .position(|n| n == vsource)
+            .ok_or_else(|| SpiceError::UnknownDevice(vsource.to_string()))?;
+        let var = self.node_names.len() - 1 + idx;
+        Ok(self.samples.iter().map(|s| s[var]).collect())
+    }
+}
+
+/// Per-capacitor transient state.
+#[derive(Debug, Clone, Copy)]
+struct CapState {
+    /// Voltage across the capacitor at the last accepted time point.
+    v_prev: f64,
+    /// Capacitor current at the last accepted time point.
+    i_prev: f64,
+}
+
+/// The simulator: binds a circuit to an ambient temperature and solver
+/// policy.
+#[derive(Debug, Clone)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    temp: f64,
+    gmin: f64,
+    newton: NewtonOptions,
+}
+
+impl<'c> Simulator<'c> {
+    /// Creates a simulator at the nominal temperature (+27 °C).
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Simulator {
+            circuit,
+            temp: 27.0,
+            gmin: 1e-12,
+            newton: NewtonOptions {
+                max_iterations: 200,
+                residual_tol: 1e-9,
+                step_tol: 1e-12,
+                max_step: 1.0,
+                damping: 0.5,
+            },
+        }
+    }
+
+    /// Sets the ambient temperature in °C (a test *stress*).
+    pub fn with_temperature(mut self, temp_celsius: f64) -> Self {
+        self.temp = temp_celsius;
+        self
+    }
+
+    /// Sets the minimum node-to-ground conductance (default 1 pS).
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// Ambient temperature in °C.
+    pub fn temperature(&self) -> f64 {
+        self.temp
+    }
+
+    fn vsource_names(&self) -> Vec<String> {
+        self.circuit
+            .devices()
+            .iter()
+            .zip(self.circuit.device_names())
+            .filter(|(d, _)| d.has_branch_current())
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+
+    /// Solves the DC operating point with sources at their `t = 0` values.
+    ///
+    /// Uses gmin stepping as a homotopy when the direct solve fails.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadTopology`] if the circuit fails validation.
+    /// * [`SpiceError::Convergence`] if no operating point is found.
+    pub fn dc_operating_point(&self) -> Result<Solution, SpiceError> {
+        self.circuit.validate()?;
+        let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
+        system.time = 0.0;
+        let mut solver = NewtonSolver::new(self.newton.clone());
+        let mut x = vec![0.0; system.unknowns()];
+        // Direct attempt, then gmin homotopy.
+        match solver.solve(&mut system, &mut x) {
+            Ok(_) => {}
+            Err(_) => {
+                x.iter_mut().for_each(|v| *v = 0.0);
+                let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.gmin];
+                for &g in &gmin_ladder {
+                    system.gmin = g.max(self.gmin);
+                    solver.solve(&mut system, &mut x).map_err(|e| {
+                        SpiceError::Convergence {
+                            time: None,
+                            source: e,
+                        }
+                    })?;
+                }
+            }
+        }
+        Ok(Solution {
+            node_names: self.circuit.node_names().to_vec(),
+            vsource_names: self.vsource_names(),
+            x,
+        })
+    }
+
+    /// Sweeps the DC value of a voltage source and solves the operating
+    /// point at each step, warm-starting each solve from the previous one
+    /// (the classic `.dc` analysis, used for device I–V characterization
+    /// and transfer curves).
+    ///
+    /// The source's waveform is temporarily replaced; the circuit is not
+    /// modified (the sweep works on an internal copy).
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::UnknownDevice`]/[`SpiceError::BadParameter`] if
+    ///   `source` is not a voltage source.
+    /// * [`SpiceError::BadAnalysis`] for an empty sweep.
+    /// * [`SpiceError::Convergence`] if any point fails to solve.
+    pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<Vec<Solution>, SpiceError> {
+        if values.is_empty() {
+            return Err(SpiceError::BadAnalysis("dc sweep needs values".into()));
+        }
+        self.circuit.validate()?;
+        let mut ckt = self.circuit.clone();
+        // Verify the device is a vsource up front for a clean error.
+        ckt.set_waveform(source, Waveform::Dc(values[0]))?;
+
+        let mut out = Vec::with_capacity(values.len());
+        let mut guess: Option<Vec<f64>> = None;
+        let node_names = ckt.node_names().to_vec();
+        for &v in values {
+            ckt.set_waveform(source, Waveform::Dc(v))?;
+            let mut system = MnaSystem::new(&ckt, self.temp, self.gmin);
+            system.time = 0.0;
+            let mut solver = NewtonSolver::new(self.newton.clone());
+            let mut x = guess
+                .clone()
+                .unwrap_or_else(|| vec![0.0; system.unknowns()]);
+            solver
+                .solve(&mut system, &mut x)
+                .map_err(|e| SpiceError::Convergence {
+                    time: None,
+                    source: e,
+                })?;
+            guess = Some(x.clone());
+            out.push(Solution {
+                node_names: node_names.clone(),
+                vsource_names: self.vsource_names(),
+                x,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Runs a fixed-step transient analysis.
+    ///
+    /// The first step (and any convergence-retry sub-step) uses backward
+    /// Euler; subsequent steps use the configured method. When a time step
+    /// fails to converge it is subdivided up to 6 times before the error is
+    /// surfaced.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadTopology`] if the circuit fails validation.
+    /// * [`SpiceError::UnknownNode`] if an initial condition names a
+    ///   missing node.
+    /// * [`SpiceError::Convergence`] if a time step cannot be solved.
+    pub fn transient(&self, options: &TranOptions) -> Result<TranResult, SpiceError> {
+        self.circuit.validate()?;
+        let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
+        let n = system.unknowns();
+        let n_node_vars = self.circuit.node_count() - 1;
+        let mut solver = NewtonSolver::new(self.newton.clone());
+
+        // --- Initial state ---------------------------------------------
+        let mut x = vec![0.0; n];
+        match &options.start {
+            StartMode::DcOperatingPoint => {
+                let op = self.dc_operating_point()?;
+                x.copy_from_slice(op.as_slice());
+            }
+            StartMode::UseIc(ics) => {
+                // Capacitor initial voltages seed their positive terminal
+                // relative to the negative one (two passes so chains of
+                // caps referenced to ground settle).
+                for _ in 0..2 {
+                    for device in self.circuit.devices() {
+                        if let Device::Capacitor {
+                            p,
+                            n: neg,
+                            initial_voltage: Some(v0),
+                            ..
+                        } = device
+                        {
+                            if !p.is_ground() {
+                                let vn = if neg.is_ground() { 0.0 } else { x[neg.0 - 1] };
+                                x[p.0 - 1] = vn + v0;
+                            }
+                        }
+                    }
+                }
+                for (name, v) in ics {
+                    let node = self.circuit.find_node(name)?;
+                    if !node.is_ground() {
+                        x[node.0 - 1] = *v;
+                    }
+                }
+            }
+        }
+
+        // Capacitor states from the initial node voltages.
+        let mut cap_states: Vec<Option<CapState>> = self
+            .circuit
+            .devices()
+            .iter()
+            .map(|d| match d {
+                Device::Capacitor { p, n, .. } => {
+                    let vp = if p.is_ground() { 0.0 } else { x[p.0 - 1] };
+                    let vn = if n.is_ground() { 0.0 } else { x[n.0 - 1] };
+                    Some(CapState {
+                        v_prev: vp - vn,
+                        i_prev: 0.0,
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+
+        let steps = (options.t_stop / options.dt).round() as usize;
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut samples = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        samples.push(x.clone());
+
+        if let Some(adaptive) = options.adaptive {
+            adaptive.validate()?;
+            // LTE-controlled stepping: each step is solved with both the
+            // trapezoidal and the backward-Euler method from the same
+            // state; their difference is proportional to the local
+            // truncation error and drives the step size.
+            let mut t = 0.0_f64;
+            let mut dt = options.dt.clamp(adaptive.dt_min, adaptive.dt_max);
+            let mut first_step = true;
+            while t < options.t_stop - 1e-18 {
+                let dt_eff = dt.min(options.t_stop - t);
+                let t_next = t + dt_eff;
+                let trial_method = if first_step {
+                    Method::BackwardEuler
+                } else {
+                    Method::Trapezoidal
+                };
+
+                let mut x_tr = x.clone();
+                let mut cs_tr = cap_states.clone();
+                self.advance(
+                    &mut system, &mut solver, &mut x_tr, &mut cs_tr, t, t_next,
+                    trial_method, 0,
+                )?;
+                let mut x_be = x.clone();
+                let mut cs_be = cap_states.clone();
+                self.advance(
+                    &mut system, &mut solver, &mut x_be, &mut cs_be, t, t_next,
+                    Method::BackwardEuler, 0,
+                )?;
+                let err = x_tr
+                    .iter()
+                    .zip(&x_be)
+                    .take(n_node_vars)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max);
+
+                if err > adaptive.lte_tol && dt_eff > adaptive.dt_min * 1.000_001 {
+                    dt = (0.5 * dt_eff).max(adaptive.dt_min);
+                    continue;
+                }
+                x.copy_from_slice(&x_tr);
+                cap_states = cs_tr;
+                t = t_next;
+                times.push(t);
+                samples.push(x.clone());
+                first_step = false;
+                if err < 0.25 * adaptive.lte_tol {
+                    dt = (2.0 * dt_eff).min(adaptive.dt_max);
+                } else {
+                    dt = dt_eff;
+                }
+            }
+            debug_assert_eq!(n_node_vars + self.vsource_names().len(), n);
+            return Ok(TranResult {
+                node_names: self.circuit.node_names().to_vec(),
+                vsource_names: self.vsource_names(),
+                times,
+                samples,
+            });
+        }
+
+        let mut first_step = true;
+        for step in 1..=steps {
+            let t_target = if step == steps {
+                options.t_stop
+            } else {
+                step as f64 * options.dt
+            };
+            let t_prev = times[times.len() - 1];
+            self.advance(
+                &mut system,
+                &mut solver,
+                &mut x,
+                &mut cap_states,
+                t_prev,
+                t_target,
+                if first_step {
+                    Method::BackwardEuler
+                } else {
+                    options.method
+                },
+                0,
+            )?;
+            first_step = false;
+            times.push(t_target);
+            samples.push(x.clone());
+        }
+        debug_assert_eq!(n_node_vars + self.vsource_names().len(), n);
+        Ok(TranResult {
+            node_names: self.circuit.node_names().to_vec(),
+            vsource_names: self.vsource_names(),
+            times,
+            samples,
+        })
+    }
+
+    /// Advances the state from `t_prev` to `t_target`, subdividing on
+    /// convergence failure.
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        system: &mut MnaSystem<'_>,
+        solver: &mut NewtonSolver,
+        x: &mut [f64],
+        cap_states: &mut [Option<CapState>],
+        t_prev: f64,
+        t_target: f64,
+        method: Method,
+        depth: usize,
+    ) -> Result<(), SpiceError> {
+        let dt = t_target - t_prev;
+        // Prepare companion models for this step.
+        system.time = t_target;
+        system.companions.clear();
+        system.companions.resize(self.circuit.device_count(), None);
+        for (idx, device) in self.circuit.devices().iter().enumerate() {
+            if let Device::Capacitor { capacitance, .. } = device {
+                let state = cap_states[idx].expect("capacitor state initialized");
+                if *capacitance > 0.0 {
+                    let comp = method
+                        .companion(*capacitance, dt, state.v_prev, state.i_prev)
+                        .map_err(SpiceError::Numerical)?;
+                    system.companions[idx] = Some(comp);
+                }
+            }
+        }
+        let mut trial = x.to_vec();
+        match solver.solve(system, &mut trial) {
+            Ok(_) => {
+                // Accept: update capacitor states.
+                for (idx, device) in self.circuit.devices().iter().enumerate() {
+                    if let Device::Capacitor { p, n, .. } = device {
+                        let vp = if p.is_ground() { 0.0 } else { trial[p.0 - 1] };
+                        let vn = if n.is_ground() { 0.0 } else { trial[n.0 - 1] };
+                        let v_new = vp - vn;
+                        let state = cap_states[idx].as_mut().expect("initialized");
+                        if let Some(comp) = system.companions[idx] {
+                            state.i_prev = method.current(comp, v_new);
+                        } else {
+                            state.i_prev = 0.0;
+                        }
+                        state.v_prev = v_new;
+                    }
+                }
+                x.copy_from_slice(&trial);
+                Ok(())
+            }
+            Err(err) => {
+                if depth >= 6 {
+                    return Err(SpiceError::Convergence {
+                        time: Some(t_target),
+                        source: err,
+                    });
+                }
+                // Subdivide: solve to the midpoint (backward Euler for
+                // robustness), then to the target.
+                let t_mid = 0.5 * (t_prev + t_target);
+                self.advance(
+                    system,
+                    solver,
+                    x,
+                    cap_states,
+                    t_prev,
+                    t_mid,
+                    Method::BackwardEuler,
+                    depth + 1,
+                )?;
+                self.advance(
+                    system,
+                    solver,
+                    x,
+                    cap_states,
+                    t_mid,
+                    t_target,
+                    Method::BackwardEuler,
+                    depth + 1,
+                )
+            }
+        }
+    }
+}
+
+/// The MNA nonlinear system for one time point (or the DC operating point
+/// when no companion models are installed).
+struct MnaSystem<'a> {
+    circuit: &'a Circuit,
+    temp: f64,
+    gmin: f64,
+    time: f64,
+    /// Companion model per device index (capacitors only, transient only).
+    companions: Vec<Option<Companion>>,
+    /// Branch-current variable index per device index (voltage sources).
+    branch_var: Vec<Option<usize>>,
+    n_unknowns: usize,
+}
+
+impl<'a> MnaSystem<'a> {
+    fn new(circuit: &'a Circuit, temp: f64, gmin: f64) -> Self {
+        let n_nodes = circuit.node_count() - 1;
+        let mut branch_var = vec![None; circuit.device_count()];
+        let mut next = n_nodes;
+        for (idx, device) in circuit.devices().iter().enumerate() {
+            if device.has_branch_current() {
+                branch_var[idx] = Some(next);
+                next += 1;
+            }
+        }
+        MnaSystem {
+            circuit,
+            temp,
+            gmin,
+            time: 0.0,
+            companions: vec![None; circuit.device_count()],
+            branch_var,
+            n_unknowns: next,
+        }
+    }
+
+    #[inline]
+    fn volt(x: &[f64], node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            x[node.0 - 1]
+        }
+    }
+
+    /// Stamps every device into the residual and/or Jacobian.
+    fn stamp(
+        &self,
+        x: &[f64],
+        mut res: Option<&mut [f64]>,
+        mut jac: Option<&mut DMatrix>,
+    ) -> Result<(), NumError> {
+        let n_nodes = self.circuit.node_count() - 1;
+        // gmin leak from every node to ground.
+        if let Some(res) = res.as_deref_mut() {
+            for (i, r) in res.iter_mut().enumerate().take(n_nodes) {
+                *r = self.gmin * x[i];
+            }
+            for r in res.iter_mut().skip(n_nodes) {
+                *r = 0.0;
+            }
+        }
+        if let Some(jac) = jac.as_deref_mut() {
+            for i in 0..n_nodes {
+                jac[(i, i)] += self.gmin;
+            }
+        }
+
+        // Helper closures for KCL stamping.
+        let add_res = |res: &mut Option<&mut [f64]>, node: NodeId, current: f64| {
+            if let Some(res) = res.as_deref_mut() {
+                if !node.is_ground() {
+                    res[node.0 - 1] += current;
+                }
+            }
+        };
+        let add_jac = |jac: &mut Option<&mut DMatrix>, row: NodeId, col: NodeId, g: f64| {
+            if let Some(jac) = jac.as_deref_mut() {
+                if !row.is_ground() && !col.is_ground() {
+                    jac[(row.0 - 1, col.0 - 1)] += g;
+                }
+            }
+        };
+
+        for (idx, device) in self.circuit.devices().iter().enumerate() {
+            match device {
+                Device::Resistor { p, n, resistance } => {
+                    let g = 1.0 / resistance;
+                    let i = g * (Self::volt(x, *p) - Self::volt(x, *n));
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                    add_jac(&mut jac, *p, *p, g);
+                    add_jac(&mut jac, *p, *n, -g);
+                    add_jac(&mut jac, *n, *p, -g);
+                    add_jac(&mut jac, *n, *n, g);
+                }
+                Device::Capacitor { p, n, .. } => {
+                    if let Some(comp) = self.companions[idx] {
+                        let v = Self::volt(x, *p) - Self::volt(x, *n);
+                        let i = comp.geq * v - comp.ieq;
+                        add_res(&mut res, *p, i);
+                        add_res(&mut res, *n, -i);
+                        add_jac(&mut jac, *p, *p, comp.geq);
+                        add_jac(&mut jac, *p, *n, -comp.geq);
+                        add_jac(&mut jac, *n, *p, -comp.geq);
+                        add_jac(&mut jac, *n, *n, comp.geq);
+                    }
+                    // DC: capacitor is open — no stamp.
+                }
+                Device::VSource { p, n, waveform } => {
+                    let br = self.branch_var[idx].expect("vsource has branch");
+                    let i_br = x[br];
+                    add_res(&mut res, *p, i_br);
+                    add_res(&mut res, *n, -i_br);
+                    if let Some(res) = res.as_deref_mut() {
+                        res[br] =
+                            Self::volt(x, *p) - Self::volt(x, *n) - waveform.eval(self.time);
+                    }
+                    if let Some(jac) = jac.as_deref_mut() {
+                        if !p.is_ground() {
+                            jac[(p.0 - 1, br)] += 1.0;
+                            jac[(br, p.0 - 1)] += 1.0;
+                        }
+                        if !n.is_ground() {
+                            jac[(n.0 - 1, br)] -= 1.0;
+                            jac[(br, n.0 - 1)] -= 1.0;
+                        }
+                    }
+                }
+                Device::ISource { p, n, waveform } => {
+                    let i = waveform.eval(self.time);
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                }
+                Device::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    model,
+                    geometry,
+                } => {
+                    let vgs = Self::volt(x, *g) - Self::volt(x, *s);
+                    let vds = Self::volt(x, *d) - Self::volt(x, *s);
+                    let vbs = Self::volt(x, *b) - Self::volt(x, *s);
+                    let e = mos::evaluate(model, *geometry, vgs, vds, vbs, self.temp);
+                    add_res(&mut res, *d, e.ids);
+                    add_res(&mut res, *s, -e.ids);
+                    let gsum = e.gm + e.gds + e.gmbs;
+                    add_jac(&mut jac, *d, *d, e.gds);
+                    add_jac(&mut jac, *d, *g, e.gm);
+                    add_jac(&mut jac, *d, *b, e.gmbs);
+                    add_jac(&mut jac, *d, *s, -gsum);
+                    add_jac(&mut jac, *s, *d, -e.gds);
+                    add_jac(&mut jac, *s, *g, -e.gm);
+                    add_jac(&mut jac, *s, *b, -e.gmbs);
+                    add_jac(&mut jac, *s, *s, gsum);
+                }
+                Device::Diode { p, n, model } => {
+                    let vd = Self::volt(x, *p) - Self::volt(x, *n);
+                    let (i, g) = model.evaluate(vd, self.temp);
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                    add_jac(&mut jac, *p, *p, g);
+                    add_jac(&mut jac, *p, *n, -g);
+                    add_jac(&mut jac, *n, *p, -g);
+                    add_jac(&mut jac, *n, *n, g);
+                }
+                Device::VSwitch {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    ron,
+                    roff,
+                    threshold,
+                    transition,
+                } => {
+                    let vc = Self::volt(x, *cp) - Self::volt(x, *cn);
+                    let (g, dg_dvc) =
+                        switch_conductance(vc, *ron, *roff, *threshold, *transition);
+                    let v = Self::volt(x, *p) - Self::volt(x, *n);
+                    let i = g * v;
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                    add_jac(&mut jac, *p, *p, g);
+                    add_jac(&mut jac, *p, *n, -g);
+                    add_jac(&mut jac, *n, *p, -g);
+                    add_jac(&mut jac, *n, *n, g);
+                    // Control coupling.
+                    let gc = dg_dvc * v;
+                    add_jac(&mut jac, *p, *cp, gc);
+                    add_jac(&mut jac, *p, *cn, -gc);
+                    add_jac(&mut jac, *n, *cp, -gc);
+                    add_jac(&mut jac, *n, *cn, gc);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl NonlinearSystem for MnaSystem<'_> {
+    fn unknowns(&self) -> usize {
+        self.n_unknowns
+    }
+
+    fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+        self.stamp(x, Some(out), None)
+    }
+
+    fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+        self.stamp(x, None, Some(jac))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{MosGeometry, MosModel};
+    use crate::waveform::{step, Pulse, Waveform};
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, mid, 1e3).unwrap();
+        ckt.add_resistor("R2", mid, Circuit::GROUND, 1e3).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn dc_divider() {
+        let ckt = divider();
+        let op = Simulator::new(&ckt).dc_operating_point().unwrap();
+        assert!((op.voltage("mid").unwrap() - 1.0).abs() < 1e-6);
+        assert!((op.voltage("in").unwrap() - 2.0).abs() < 1e-9);
+        assert!((op.voltage("0").unwrap()).abs() < 1e-12);
+        // Current through the source: 2 V across 2 kΩ = 1 mA into the
+        // divider, so the branch current (p → source → n) is −1 mA... the
+        // sign follows the stamping convention: i flows out of `p` into
+        // the external circuit means negative branch current here.
+        let i = op.current("V1").unwrap();
+        assert!((i.abs() - 1e-3).abs() < 1e-9, "i = {i}");
+    }
+
+    #[test]
+    fn dc_diode_drop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let k = ckt.node("k");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(5.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, k, 1e3).unwrap();
+        ckt.add_diode("D1", k, Circuit::GROUND, crate::diode::DiodeModel::default())
+            .unwrap();
+        let op = Simulator::new(&ckt).dc_operating_point().unwrap();
+        let vd = op.voltage("k").unwrap();
+        assert!((0.5..0.8).contains(&vd), "diode drop {vd}");
+    }
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        let tau = 1e3 * 1e-9;
+        let opts = TranOptions::new(5.0 * tau, tau / 100.0)
+            .unwrap()
+            .with_ic(vec![("out".to_string(), 0.0)]);
+        let result = Simulator::new(&ckt).transient(&opts).unwrap();
+        for &frac in &[0.5, 1.0, 2.0, 4.0] {
+            let t = frac * tau;
+            let v = result.voltage_at("out", t).unwrap();
+            let exact = 1.0 - (-frac as f64).exp();
+            assert!(
+                (v - exact).abs() < 2e-3,
+                "t={frac} tau: {v} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_discharge_with_cap_ic() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, 1e-9, Some(2.4))
+            .unwrap();
+        let tau = 1e-6;
+        let opts = TranOptions::new(3.0 * tau, tau / 200.0)
+            .unwrap()
+            .with_ic(Vec::new());
+        let result = Simulator::new(&ckt).transient(&opts).unwrap();
+        assert!((result.voltage_at("out", 0.0).unwrap() - 2.4).abs() < 1e-9);
+        let v = result.final_voltage("out").unwrap();
+        let exact = 2.4 * (-3.0_f64).exp();
+        assert!((v - exact).abs() < 2e-3, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler() {
+        let run = |method: Method| {
+            let mut ckt = Circuit::new();
+            let out = ckt.node("out");
+            ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+            ckt.add_capacitor_ic("C1", out, Circuit::GROUND, 1e-9, Some(1.0))
+                .unwrap();
+            let opts = TranOptions::new(2e-6, 5e-8)
+                .unwrap()
+                .with_method(method)
+                .with_ic(Vec::new());
+            Simulator::new(&ckt)
+                .transient(&opts)
+                .unwrap()
+                .final_voltage("out")
+                .unwrap()
+        };
+        let exact = (-2.0_f64).exp();
+        let be_err = (run(Method::BackwardEuler) - exact).abs();
+        let tr_err = (run(Method::Trapezoidal) - exact).abs();
+        assert!(tr_err < be_err, "tr {tr_err} vs be {be_err}");
+    }
+
+    #[test]
+    fn pulse_through_rc() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse(Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 1e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 4e-6,
+                period: f64::INFINITY,
+            }),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+        let opts = TranOptions::new(8e-6, 2e-8).unwrap();
+        let result = Simulator::new(&ckt).transient(&opts).unwrap();
+        // Before the pulse: 0. During the plateau: ~1. After: decaying.
+        assert!(result.voltage_at("out", 0.5e-6).unwrap().abs() < 1e-3);
+        assert!((result.voltage_at("out", 4.5e-6).unwrap() - 1.0).abs() < 1e-2);
+        assert!(result.voltage_at("out", 7.9e-6).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer() {
+        // NMOS with resistive pull-up: out high when gate low, low when
+        // gate high.
+        let build = |vg: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let gate = ckt.node("g");
+            let out = ckt.node("out");
+            ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::Dc(2.4))
+                .unwrap();
+            ckt.add_vsource("Vg", gate, Circuit::GROUND, Waveform::Dc(vg))
+                .unwrap();
+            ckt.add_resistor("Rl", vdd, out, 20e3).unwrap();
+            ckt.add_mosfet(
+                "M1",
+                out,
+                gate,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosModel::default(),
+                MosGeometry::new(2e-6, 0.25e-6).unwrap(),
+            )
+            .unwrap();
+            ckt
+        };
+        let low_in = build(0.0);
+        let op = Simulator::new(&low_in).dc_operating_point().unwrap();
+        assert!(op.voltage("out").unwrap() > 2.3);
+
+        let high_in = build(2.4);
+        let op = Simulator::new(&high_in).dc_operating_point().unwrap();
+        assert!(op.voltage("out").unwrap() < 0.3);
+    }
+
+    #[test]
+    fn vswitch_transient() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let ctl = ckt.node("ctl");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        ckt.add_vsource("Vc", ctl, Circuit::GROUND, step(0.0, 1.0, 5e-7, 1e-8))
+            .unwrap();
+        ckt.add_vswitch("S1", vin, out, ctl, Circuit::GROUND, 10.0, 1e9, 0.5)
+            .unwrap();
+        ckt.add_resistor("Rl", out, Circuit::GROUND, 1e4).unwrap();
+        let opts = TranOptions::new(1e-6, 1e-8).unwrap();
+        let result = Simulator::new(&ckt).transient(&opts).unwrap();
+        assert!(result.voltage_at("out", 4e-7).unwrap() < 0.01);
+        assert!(result.voltage_at("out", 9e-7).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn temperature_changes_mosfet_current() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::Dc(2.4))
+            .unwrap();
+        ckt.add_resistor("Rl", vdd, out, 10e3).unwrap();
+        ckt.add_mosfet(
+            "M1",
+            out,
+            vdd, // gate tied high
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::default(),
+            MosGeometry::new(1e-6, 0.25e-6).unwrap(),
+        )
+        .unwrap();
+        let v_cold = Simulator::new(&ckt)
+            .with_temperature(-33.0)
+            .dc_operating_point()
+            .unwrap()
+            .voltage("out")
+            .unwrap();
+        let v_hot = Simulator::new(&ckt)
+            .with_temperature(87.0)
+            .dc_operating_point()
+            .unwrap()
+            .voltage("out")
+            .unwrap();
+        // Hot device conducts less (mobility), so out sits higher.
+        assert!(v_hot > v_cold, "hot {v_hot} vs cold {v_cold}");
+    }
+
+    #[test]
+    fn adaptive_stepping_matches_analytic_with_fewer_steps() {
+        // RC discharge over 10 tau: the adaptive controller stretches the
+        // step along the smooth tail, using far fewer steps than the fixed
+        // grid while keeping the early transient accurate.
+        let build = || {
+            let mut ckt = Circuit::new();
+            let out = ckt.node("out");
+            ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+            ckt.add_capacitor_ic("C1", out, Circuit::GROUND, 1e-9, Some(2.0))
+                .unwrap();
+            ckt
+        };
+        let tau = 1e-6;
+        let ckt = build();
+        let fixed = Simulator::new(&ckt)
+            .transient(
+                &TranOptions::new(10.0 * tau, tau / 200.0)
+                    .unwrap()
+                    .with_ic(Vec::new()),
+            )
+            .unwrap();
+        let adaptive = Simulator::new(&ckt)
+            .transient(
+                &TranOptions::new(10.0 * tau, tau / 200.0)
+                    .unwrap()
+                    .with_ic(Vec::new())
+                    .with_adaptive(AdaptiveOptions {
+                        lte_tol: 2e-4,
+                        dt_min: tau / 1000.0,
+                        dt_max: tau,
+                    }),
+            )
+            .unwrap();
+        assert!(
+            adaptive.len() * 3 < fixed.len(),
+            "adaptive {} samples vs fixed {}",
+            adaptive.len(),
+            fixed.len()
+        );
+        for &frac in &[0.5, 1.0, 3.0, 8.0] {
+            let t = frac * tau;
+            let got = adaptive.voltage_at("out", t).unwrap();
+            let exact = 2.0 * (-frac as f64).exp();
+            assert!(
+                (got - exact).abs() < 5e-3,
+                "at {frac} tau: {got} vs {exact}"
+            );
+        }
+        // The final time point lands exactly on t_stop.
+        assert!((adaptive.times().last().unwrap() - 10.0 * tau).abs() < 1e-18);
+    }
+
+    #[test]
+    fn adaptive_refines_sharp_edges() {
+        // A pulse through an RC: steps must be small around the edges and
+        // large on the plateaus.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pulse(Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 2e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 2e-6,
+                period: f64::INFINITY,
+            }),
+        )
+        .unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+        let result = Simulator::new(&ckt)
+            .transient(
+                &TranOptions::new(6e-6, 5e-8)
+                    .unwrap()
+                    .with_adaptive(AdaptiveOptions {
+                        lte_tol: 1e-3,
+                        dt_min: 1e-9,
+                        dt_max: 5e-7,
+                    }),
+            )
+            .unwrap();
+        // Smallest accepted step near the rising edge is far below the
+        // largest step on the quiet pre-pulse plateau.
+        let times = result.times();
+        let min_step = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(f64::INFINITY, f64::min);
+        let max_step = times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0_f64, f64::max);
+        assert!(
+            max_step > 20.0 * min_step,
+            "expected strong step-size contrast: {min_step:e} .. {max_step:e}"
+        );
+        // And the waveform is still right.
+        assert!((result.voltage_at("out", 3.9e-6).unwrap() - 1.0).abs() < 0.01);
+        assert!(result.voltage_at("out", 1.9e-6).unwrap().abs() < 1e-3);
+    }
+
+    #[test]
+    fn adaptive_options_validated() {
+        let bad = AdaptiveOptions {
+            lte_tol: 0.0,
+            dt_min: 1e-9,
+            dt_max: 1e-8,
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdaptiveOptions {
+            lte_tol: 1e-3,
+            dt_min: 1e-8,
+            dt_max: 1e-9,
+        };
+        assert!(bad.validate().is_err());
+        let ckt = divider();
+        let opts = TranOptions::new(1e-6, 1e-8).unwrap().with_adaptive(bad);
+        assert!(Simulator::new(&ckt).transient(&opts).is_err());
+    }
+
+    #[test]
+    fn dc_sweep_nmos_output_characteristic() {
+        // Ids versus Vds at fixed Vgs: monotone rising, flattening in
+        // saturation.
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_vsource("Vd", d, Circuit::GROUND, Waveform::Dc(0.0))
+            .unwrap();
+        ckt.add_vsource("Vg", g, Circuit::GROUND, Waveform::Dc(1.5))
+            .unwrap();
+        ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::default(),
+            MosGeometry::new(1e-6, 0.25e-6).unwrap(),
+        )
+        .unwrap();
+        let vds: Vec<f64> = (0..=12).map(|i| i as f64 * 0.2).collect();
+        let sweep = Simulator::new(&ckt).dc_sweep("Vd", &vds).unwrap();
+        let ids: Vec<f64> = sweep.iter().map(|s| -s.current("Vd").unwrap()).collect();
+        // Monotone non-decreasing drain current.
+        assert!(
+            ids.windows(2).all(|w| w[1] >= w[0] - 1e-12),
+            "non-monotone: {ids:?}"
+        );
+        // Saturation: the last increment is much smaller than the first.
+        let first_step = ids[1] - ids[0];
+        let last_step = ids[12] - ids[11];
+        assert!(
+            last_step < 0.2 * first_step,
+            "no saturation: first {first_step:e}, last {last_step:e}"
+        );
+    }
+
+    #[test]
+    fn dc_sweep_validates_inputs() {
+        let ckt = divider();
+        let sim = Simulator::new(&ckt);
+        assert!(sim.dc_sweep("V1", &[]).is_err());
+        assert!(sim.dc_sweep("R1", &[1.0]).is_err());
+        assert!(sim.dc_sweep("Vx", &[1.0]).is_err());
+        // A valid sweep returns one solution per value.
+        let sweep = sim.dc_sweep("V1", &[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(sweep.len(), 3);
+        assert!((sweep[2].voltage("mid").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_tran_options() {
+        assert!(TranOptions::new(0.0, 1e-9).is_err());
+        assert!(TranOptions::new(1e-6, -1.0).is_err());
+        assert!(TranOptions::new(1e-9, 1e-6).is_err());
+    }
+
+    #[test]
+    fn unknown_node_in_results() {
+        let ckt = divider();
+        let op = Simulator::new(&ckt).dc_operating_point().unwrap();
+        assert!(matches!(
+            op.voltage("nope"),
+            Err(SpiceError::UnknownNode(_))
+        ));
+        let result = Simulator::new(&ckt)
+            .transient(&TranOptions::new(1e-6, 1e-8).unwrap())
+            .unwrap();
+        assert!(result.voltage("nope").is_err());
+        assert!(result.voltage_at("mid", 2e-6).is_err()); // out of range
+        assert!(result.current("Vx").is_err());
+    }
+
+    #[test]
+    fn conflicting_parallel_sources_fail_cleanly() {
+        // Two ideal voltage sources fighting over the same node: the MNA
+        // matrix is singular. The error must be typed, never a panic.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        ckt.add_vsource("V2", a, Circuit::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let err = Simulator::new(&ckt).dc_operating_point().unwrap_err();
+        assert!(
+            matches!(err, SpiceError::Convergence { .. } | SpiceError::Numerical(_)),
+            "got {err}"
+        );
+        let err = Simulator::new(&ckt)
+            .transient(&TranOptions::new(1e-8, 1e-9).unwrap().with_ic(Vec::new()))
+            .unwrap_err();
+        assert!(
+            matches!(err, SpiceError::Convergence { .. } | SpiceError::Numerical(_)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn invalid_topology_surfaces() {
+        let mut ckt = Circuit::new();
+        ckt.node("only");
+        let err = Simulator::new(&ckt).dc_operating_point().unwrap_err();
+        assert!(matches!(err, SpiceError::BadTopology(_)));
+    }
+
+    #[test]
+    fn tran_result_accessors() {
+        let ckt = divider();
+        let result = Simulator::new(&ckt)
+            .transient(&TranOptions::new(1e-6, 1e-7).unwrap())
+            .unwrap();
+        assert_eq!(result.len(), 11);
+        assert!(!result.is_empty());
+        assert_eq!(result.times()[0], 0.0);
+        let wave = result.voltage("mid").unwrap();
+        assert_eq!(wave.len(), 11);
+        assert!(wave.iter().all(|v| (v - 1.0).abs() < 1e-6));
+        let i = result.current("V1").unwrap();
+        assert_eq!(i.len(), 11);
+        // Ground waveform is all zeros.
+        assert!(result.voltage("0").unwrap().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error type for the circuit simulator.
+
+use dso_num::NumError;
+use std::fmt;
+
+/// Errors produced while building, parsing, or simulating circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A numerical failure (singular matrix, Newton divergence, …).
+    Numerical(NumError),
+    /// A device with the same name already exists in the circuit.
+    DuplicateDevice(String),
+    /// A referenced device does not exist.
+    UnknownDevice(String),
+    /// A referenced node name does not exist.
+    UnknownNode(String),
+    /// A device parameter is out of its physical domain.
+    BadParameter {
+        /// Device name.
+        device: String,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The netlist failed structural validation (e.g. a node with a single
+    /// connection, or no ground reference anywhere).
+    BadTopology(String),
+    /// A SPICE deck failed to parse.
+    Parse {
+        /// 1-based line number in the deck.
+        line: usize,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The requested analysis is mis-configured (bad time step, missing
+    /// signal, out-of-range sample time, …).
+    BadAnalysis(String),
+    /// The transient/DC solve failed to converge. Carries the time point at
+    /// which convergence was lost (`None` for DC).
+    Convergence {
+        /// Simulation time at the failure, if transient.
+        time: Option<f64>,
+        /// Underlying numerical error.
+        source: NumError,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Numerical(e) => write!(f, "numerical error: {e}"),
+            SpiceError::DuplicateDevice(name) => write!(f, "duplicate device name `{name}`"),
+            SpiceError::UnknownDevice(name) => write!(f, "unknown device `{name}`"),
+            SpiceError::UnknownNode(name) => write!(f, "unknown node `{name}`"),
+            SpiceError::BadParameter { device, reason } => {
+                write!(f, "bad parameter on `{device}`: {reason}")
+            }
+            SpiceError::BadTopology(msg) => write!(f, "bad topology: {msg}"),
+            SpiceError::Parse { line, reason } => {
+                write!(f, "netlist parse error at line {line}: {reason}")
+            }
+            SpiceError::BadAnalysis(msg) => write!(f, "bad analysis request: {msg}"),
+            SpiceError::Convergence { time, source } => match time {
+                Some(t) => write!(f, "convergence failure at t = {t:.4e} s: {source}"),
+                None => write!(f, "DC convergence failure: {source}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Numerical(e) | SpiceError::Convergence { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for SpiceError {
+    fn from(e: NumError) -> Self {
+        SpiceError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpiceError::DuplicateDevice("R1".into())
+            .to_string()
+            .contains("R1"));
+        assert!(SpiceError::Parse {
+            line: 12,
+            reason: "bad token".into()
+        }
+        .to_string()
+        .contains("line 12"));
+        let conv = SpiceError::Convergence {
+            time: Some(1e-9),
+            source: NumError::NoConvergence {
+                iterations: 10,
+                residual: 1.0,
+            },
+        };
+        assert!(conv.to_string().contains("1.0000e-9"));
+    }
+
+    #[test]
+    fn from_num_error() {
+        let e: SpiceError = NumError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, SpiceError::Numerical(_)));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = SpiceError::Numerical(NumError::InvalidArgument("x".into()));
+        assert!(e.source().is_some());
+        assert!(SpiceError::UnknownNode("n".into()).source().is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Serializing a [`Circuit`] back to SPICE deck text.
+//!
+//! The inverse of [`crate::netlist::parse`]: renders every device (with
+//! generated `.model` cards for MOSFETs and diodes) so a programmatically
+//! built circuit — e.g. the DRAM column — can be exported to an external
+//! SPICE simulator or re-parsed by this crate. Round-tripping is covered
+//! by tests: `parse(to_deck(c))` solves to the same operating point as
+//! `c`.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::device::Device;
+use crate::waveform::Waveform;
+
+fn node_token(circuit: &Circuit, id: NodeId) -> String {
+    if id.is_ground() {
+        "0".to_string()
+    } else {
+        circuit.node_name(id).to_string()
+    }
+}
+
+fn waveform_text(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {v:e}"),
+        Waveform::Pulse(p) => format!(
+            "PULSE({:e} {:e} {:e} {:e} {:e} {:e} {:e})",
+            p.v1,
+            p.v2,
+            p.delay,
+            p.rise,
+            p.fall,
+            p.width,
+            if p.period.is_finite() { p.period } else { 1e30 }
+        ),
+        Waveform::Pwl(points) => {
+            let body: Vec<String> = points
+                .iter()
+                .map(|(t, v)| format!("{t:e} {v:e}"))
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            delay,
+        } => format!("SIN({offset:e} {amplitude:e} {frequency:e} {delay:e})"),
+        Waveform::Exp(e) => format!(
+            "EXP({:e} {:e} {:e} {:e} {:e} {:e})",
+            e.v1, e.v2, e.rise_delay, e.rise_tau, e.fall_delay, e.fall_tau
+        ),
+    }
+}
+
+/// Sanitizes a device name into a model-card identifier.
+fn model_ident(device_name: &str) -> String {
+    let cleaned: String = device_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("mdl_{cleaned}")
+}
+
+/// Renders `circuit` as a SPICE deck with the given title.
+///
+/// Device names are preserved; MOSFET and diode model cards are emitted
+/// per device (named after the device), which keeps the export simple and
+/// exactly re-parseable. Auto-generated gate capacitors (named
+/// `<mosfet>.cgs`/`.cgd`) are *skipped*, because re-parsing the `M` lines
+/// regenerates them.
+///
+/// # Example
+///
+/// ```
+/// use dso_spice::circuit::Circuit;
+/// use dso_spice::export::to_deck;
+/// use dso_spice::waveform::Waveform;
+///
+/// # fn main() -> Result<(), dso_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(1.0))?;
+/// ckt.add_resistor("R1", a, Circuit::GROUND, 1e3)?;
+/// let deck = to_deck(&ckt, "exported");
+/// let round = dso_spice::netlist::parse(&deck)?;
+/// assert_eq!(round.circuit.device_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = format!("{title}\n");
+    let mut models = String::new();
+    for (name, device) in circuit.device_names().iter().zip(circuit.devices()) {
+        // Skip the auto-generated MOSFET gate capacitors: the M card
+        // recreates them on parse.
+        if (name.ends_with(".cgs") || name.ends_with(".cgd"))
+            && circuit
+                .find_device(&name[..name.len() - 4])
+                .ok()
+                .map(|idx| matches!(circuit.devices()[idx], Device::Mosfet { .. }))
+                .unwrap_or(false)
+        {
+            continue;
+        }
+        match device {
+            Device::Resistor { p, n, resistance } => {
+                out.push_str(&format!(
+                    "{name} {} {} {resistance:e}\n",
+                    node_token(circuit, *p),
+                    node_token(circuit, *n)
+                ));
+            }
+            Device::Capacitor {
+                p,
+                n,
+                capacitance,
+                initial_voltage,
+            } => {
+                let ic = initial_voltage
+                    .map(|v| format!(" IC={v:e}"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "{name} {} {} {capacitance:e}{ic}\n",
+                    node_token(circuit, *p),
+                    node_token(circuit, *n)
+                ));
+            }
+            Device::VSource { p, n, waveform } | Device::ISource { p, n, waveform } => {
+                out.push_str(&format!(
+                    "{name} {} {} {}\n",
+                    node_token(circuit, *p),
+                    node_token(circuit, *n),
+                    waveform_text(waveform)
+                ));
+            }
+            Device::Mosfet {
+                d,
+                g,
+                s,
+                b,
+                model,
+                geometry,
+            } => {
+                let ident = model_ident(name);
+                out.push_str(&format!(
+                    "{name} {} {} {} {} {ident} W={:e} L={:e}\n",
+                    node_token(circuit, *d),
+                    node_token(circuit, *g),
+                    node_token(circuit, *s),
+                    node_token(circuit, *b),
+                    geometry.w,
+                    geometry.l
+                ));
+                let kind = match model.polarity {
+                    crate::mos::MosPolarity::Nmos => "NMOS",
+                    crate::mos::MosPolarity::Pmos => "PMOS",
+                };
+                models.push_str(&format!(
+                    ".model {ident} {kind} (VTO={:e} KP={:e} LAMBDA={:e} GAMMA={:e} \
+                     PHI={:e} BEX={:e} TCV={:e} N={:e} TNOM={:e} COX={:e})\n",
+                    model.vto,
+                    model.kp,
+                    model.lambda,
+                    model.gamma,
+                    model.phi,
+                    model.bex,
+                    model.tcv,
+                    model.n_sub,
+                    model.tnom,
+                    model.cox
+                ));
+            }
+            Device::Diode { p, n, model } => {
+                let ident = model_ident(name);
+                out.push_str(&format!(
+                    "{name} {} {} {ident}\n",
+                    node_token(circuit, *p),
+                    node_token(circuit, *n)
+                ));
+                models.push_str(&format!(
+                    ".model {ident} D (IS={:e} N={:e} TNOM={:e} XTI={:e} EG={:e})\n",
+                    model.is_sat, model.n, model.tnom, model.xti, model.eg
+                ));
+            }
+            Device::VSwitch {
+                p,
+                n,
+                cp,
+                cn,
+                ron,
+                roff,
+                threshold,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{name} {} {} {} {} RON={ron:e} ROFF={roff:e} VT={threshold:e}\n",
+                    node_token(circuit, *p),
+                    node_token(circuit, *n),
+                    node_token(circuit, *cp),
+                    node_token(circuit, *cn)
+                ));
+            }
+        }
+    }
+    out.push_str(&models);
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::mos::{MosGeometry, MosModel};
+    use crate::netlist;
+    use crate::waveform::Pulse;
+
+    #[test]
+    fn linear_circuit_round_trips() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("R1", vin, mid, 1.5e3).unwrap();
+        ckt.add_resistor("R2", mid, Circuit::GROUND, 3.3e3).unwrap();
+        ckt.add_capacitor_ic("C1", mid, Circuit::GROUND, 2e-12, Some(0.5))
+            .unwrap();
+
+        let deck = to_deck(&ckt, "round trip");
+        let parsed = netlist::parse(&deck).expect("exported deck parses");
+        assert_eq!(parsed.circuit.device_count(), ckt.device_count());
+
+        let original = Simulator::new(&ckt).dc_operating_point().unwrap();
+        let round = Simulator::new(&parsed.circuit).dc_operating_point().unwrap();
+        assert!(
+            (original.voltage("mid").unwrap() - round.voltage("mid").unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mosfet_and_models_round_trip() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.add_vsource("Vdd", vdd, Circuit::GROUND, Waveform::Dc(2.4))
+            .unwrap();
+        ckt.add_resistor("Rl", vdd, out, 20e3).unwrap();
+        ckt.add_mosfet(
+            "M1",
+            out,
+            vdd,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel {
+                bex: -2.0,
+                ..MosModel::default()
+            },
+            MosGeometry::new(0.5e-6, 0.4e-6).unwrap(),
+        )
+        .unwrap();
+        let deck = to_deck(&ckt, "mos export");
+        assert!(deck.contains(".model mdl_M1 NMOS"), "{deck}");
+        // Gate caps are skipped in the text…
+        assert!(!deck.contains("M1.cgs"), "{deck}");
+        let parsed = netlist::parse(&deck).expect("parses");
+        // …but regenerate on parse, so counts match.
+        assert_eq!(parsed.circuit.device_count(), ckt.device_count());
+        let a = Simulator::new(&ckt)
+            .dc_operating_point()
+            .unwrap()
+            .voltage("out")
+            .unwrap();
+        let b = Simulator::new(&parsed.circuit)
+            .dc_operating_point()
+            .unwrap()
+            .voltage("out")
+            .unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn waveforms_round_trip_textually() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            "Vp",
+            a,
+            Circuit::GROUND,
+            Waveform::Pulse(Pulse {
+                v1: 0.0,
+                v2: 2.4,
+                delay: 5e-9,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 20e-9,
+                period: 60e-9,
+            }),
+        )
+        .unwrap();
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "Vw",
+            b,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0), (5e-9, 0.25)]),
+        )
+        .unwrap();
+        ckt.add_resistor("Ra", a, Circuit::GROUND, 1e3).unwrap();
+        ckt.add_resistor("Rb", b, Circuit::GROUND, 1e3).unwrap();
+        let deck = to_deck(&ckt, "waves");
+        let parsed = netlist::parse(&deck).expect("parses");
+        // Evaluate both waveform sets at a few instants via a transient.
+        let opts = crate::engine::TranOptions::new(30e-9, 0.5e-9)
+            .unwrap()
+            .with_ic(Vec::new());
+        let w1 = Simulator::new(&ckt).transient(&opts).unwrap();
+        let w2 = Simulator::new(&parsed.circuit).transient(&opts).unwrap();
+        for &t in &[2e-9, 6e-9, 12e-9, 28e-9] {
+            let d = (w1.voltage_at("a", t).unwrap() - w2.voltage_at("a", t).unwrap()).abs();
+            assert!(d < 1e-9, "pulse mismatch at {t:e}");
+            let d = (w1.voltage_at("b", t).unwrap() - w2.voltage_at("b", t).unwrap()).abs();
+            assert!(d < 1e-9, "pwl mismatch at {t:e}");
+        }
+    }
+
+    #[test]
+    fn dram_column_exports_and_reparses() {
+        // The full DRAM column: the flagship use of the exporter.
+        let column = dso_build_column();
+        let deck = to_deck(column.circuit(), "dram column export");
+        let parsed = netlist::parse(&deck).expect("column deck parses");
+        assert_eq!(
+            parsed.circuit.device_count(),
+            column.circuit().device_count(),
+            "device counts must match after round trip"
+        );
+        assert_eq!(parsed.circuit.node_count(), column.circuit().node_count());
+    }
+
+    // Minimal local column stand-in: dso-spice cannot depend on dso-dram
+    // (dependency direction), so approximate with a representative slice:
+    // access transistor + cell + sense-amp pair + switch.
+    fn dso_build_column() -> TestColumn {
+        let mut ckt = Circuit::new();
+        let bt = ckt.node("bt");
+        let bc = ckt.node("bc");
+        let wl = ckt.node("wl");
+        let st = ckt.node("st");
+        let senn = ckt.node("senn");
+        ckt.add_vsource("Vwl", wl, Circuit::GROUND, Waveform::Dc(0.0))
+            .unwrap();
+        ckt.add_vsource("Vsen", senn, Circuit::GROUND, Waveform::Dc(1.2))
+            .unwrap();
+        ckt.add_capacitor("Cbt", bt, Circuit::GROUND, 300e-15).unwrap();
+        ckt.add_capacitor("Cbc", bc, Circuit::GROUND, 300e-15).unwrap();
+        ckt.add_mosfet(
+            "Macc",
+            bt,
+            wl,
+            st,
+            Circuit::GROUND,
+            MosModel::default(),
+            MosGeometry::new(0.15e-6, 0.5e-6).unwrap(),
+        )
+        .unwrap();
+        ckt.add_capacitor("Cs", st, Circuit::GROUND, 30e-15).unwrap();
+        ckt.add_mosfet(
+            "Msan",
+            bt,
+            bc,
+            senn,
+            Circuit::GROUND,
+            MosModel::default(),
+            MosGeometry::new(1.2e-6, 0.3e-6).unwrap(),
+        )
+        .unwrap();
+        ckt.add_vswitch("Swd", bt, bc, wl, Circuit::GROUND, 500.0, 1e12, 0.5)
+            .unwrap();
+        ckt.add_diode("Dj", Circuit::GROUND, st, crate::diode::DiodeModel::default())
+            .unwrap();
+        TestColumn { ckt }
+    }
+
+    struct TestColumn {
+        ckt: Circuit,
+    }
+
+    impl TestColumn {
+        fn circuit(&self) -> &Circuit {
+            &self.ckt
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! SPICE engineering-notation numbers.
+//!
+//! SPICE decks write `10k`, `30f`, `2.4`, `1meg`, `0.1n`; this module parses
+//! and formats that notation. Suffix matching is case-insensitive and, as in
+//! SPICE, any trailing alphabetic unit garbage after a valid suffix is
+//! ignored (`10kohm` parses as `10k`).
+
+use crate::SpiceError;
+
+/// Parses a SPICE number with an optional engineering suffix.
+///
+/// Recognized suffixes (case-insensitive): `t`, `g`, `meg`, `k`, `m`, `u`,
+/// `n`, `p`, `f`. Note the SPICE quirk: `m` is milli; mega is spelled
+/// `meg`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadAnalysis`] if the mantissa does not parse as a
+/// floating-point number.
+///
+/// # Example
+///
+/// ```
+/// use dso_spice::units::parse_value;
+///
+/// # fn main() -> Result<(), dso_spice::SpiceError> {
+/// assert_eq!(parse_value("10k")?, 1e4);
+/// assert!((parse_value("30f")? - 30e-15).abs() < 1e-22);
+/// assert_eq!(parse_value("1meg")?, 1e6);
+/// assert_eq!(parse_value("2.4")?, 2.4);
+/// assert!((parse_value("100uF")? - 1e-4).abs() < 1e-12); // unit suffix ignored
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_value(text: &str) -> Result<f64, SpiceError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(SpiceError::BadAnalysis("empty numeric field".into()));
+    }
+    // Split mantissa from the suffix: longest prefix that parses as f64.
+    // Scientific notation (1e-15) must win over the `e`-is-not-a-suffix
+    // ambiguity, so scan from the full string down.
+    let lower = trimmed.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut split = bytes.len();
+    while split > 0 {
+        if lower[..split].parse::<f64>().is_ok() {
+            break;
+        }
+        split -= 1;
+    }
+    if split == 0 {
+        return Err(SpiceError::BadAnalysis(format!(
+            "cannot parse `{trimmed}` as a number"
+        )));
+    }
+    let mantissa: f64 = lower[..split].parse().expect("verified above");
+    let suffix = &lower[split..];
+    let scale = if suffix.starts_with("meg") {
+        1e6
+    } else if suffix.starts_with('t') {
+        1e12
+    } else if suffix.starts_with('g') {
+        1e9
+    } else if suffix.starts_with('k') {
+        1e3
+    } else if suffix.starts_with('m') {
+        1e-3
+    } else if suffix.starts_with('u') {
+        1e-6
+    } else if suffix.starts_with('n') {
+        1e-9
+    } else if suffix.starts_with('p') {
+        1e-12
+    } else if suffix.starts_with('f') {
+        1e-15
+    } else if suffix.is_empty() || suffix.chars().all(|c| c.is_ascii_alphabetic()) {
+        1.0
+    } else {
+        return Err(SpiceError::BadAnalysis(format!(
+            "cannot parse `{trimmed}` as a number (bad suffix `{suffix}`)"
+        )));
+    };
+    Ok(mantissa * scale)
+}
+
+/// Formats a value in engineering notation with a unit, e.g. `200 kΩ`.
+///
+/// # Example
+///
+/// ```
+/// use dso_spice::units::format_eng;
+///
+/// assert_eq!(format_eng(2.0e5, "Ω"), "200 kΩ");
+/// assert_eq!(format_eng(3.0e-14, "F"), "30 fF");
+/// assert_eq!(format_eng(0.0, "V"), "0 V");
+/// ```
+pub fn format_eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    const PREFIXES: [(&str, f64); 9] = [
+        ("T", 1e12),
+        ("G", 1e9),
+        ("M", 1e6),
+        ("k", 1e3),
+        ("", 1.0),
+        ("m", 1e-3),
+        ("µ", 1e-6),
+        ("n", 1e-9),
+        ("f", 1e-15),
+    ];
+    let magnitude = value.abs();
+    // p (pico) intentionally folded towards n/f via nearest pick below.
+    const PICO: (&str, f64) = ("p", 1e-12);
+    let mut best = PREFIXES[4];
+    for &(p, s) in PREFIXES.iter().chain(std::iter::once(&PICO)) {
+        let scaled = magnitude / s;
+        if (1.0..1000.0).contains(&scaled) {
+            best = (p, s);
+            break;
+        }
+    }
+    let scaled = value / best.1;
+    let text = if (scaled - scaled.round()).abs() < 1e-9 * scaled.abs().max(1.0) {
+        format!("{}", scaled.round())
+    } else {
+        format!("{scaled:.3}")
+    };
+    format!("{text} {}{unit}", best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("2.4").unwrap(), 2.4);
+        assert_eq!(parse_value("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_value(" 3 ").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(parse_value("1e-15").unwrap(), 1e-15);
+        assert_eq!(parse_value("2.5E6").unwrap(), 2.5e6);
+    }
+
+    #[test]
+    fn all_suffixes() {
+        assert_eq!(parse_value("1t").unwrap(), 1e12);
+        assert_eq!(parse_value("1g").unwrap(), 1e9);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1u").unwrap(), 1e-6);
+        assert_eq!(parse_value("1n").unwrap(), 1e-9);
+        assert_eq!(parse_value("1p").unwrap(), 1e-12);
+        assert_eq!(parse_value("1f").unwrap(), 1e-15);
+    }
+
+    #[test]
+    fn case_insensitive_and_units() {
+        assert_eq!(parse_value("10K").unwrap(), 1e4);
+        assert_eq!(parse_value("10kOhm").unwrap(), 1e4);
+        assert_eq!(parse_value("1MEG").unwrap(), 1e6);
+        assert_eq!(parse_value("5V").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn meg_beats_milli() {
+        assert_eq!(parse_value("2meg").unwrap(), 2e6);
+        assert_eq!(parse_value("2m").unwrap(), 2e-3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("k10").is_err());
+        assert!(parse_value("ten").is_err());
+    }
+
+    #[test]
+    fn format_round_trip_style() {
+        assert_eq!(format_eng(200e3, "Ω"), "200 kΩ");
+        assert_eq!(format_eng(1e6, "Ω"), "1 MΩ");
+        assert_eq!(format_eng(2.4, "V"), "2.400 V");
+        assert_eq!(format_eng(60e-9, "s"), "60 ns");
+        assert_eq!(format_eng(-5e3, "Ω"), "-5 kΩ");
+    }
+}

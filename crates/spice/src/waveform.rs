@@ -1,0 +1,422 @@
+//! Time-dependent source waveforms.
+//!
+//! Independent sources carry a [`Waveform`] that maps simulation time to a
+//! value (volts or amperes). The DRAM timing engine builds its word-line,
+//! column-select and write-driver signals as [`Waveform::Pwl`] ramps, so the
+//! PWL evaluation is the hot path.
+
+use crate::SpiceError;
+
+/// A source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE PULSE source.
+    Pulse(Pulse),
+    /// Piecewise-linear: `(time, value)` breakpoints, strictly increasing
+    /// in time. Before the first point the first value holds; after the
+    /// last, the last value holds.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid: `offset + amplitude * sin(2π f (t - delay))` for
+    /// `t >= delay`, `offset` before.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in Hz.
+        frequency: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+    /// SPICE EXP source: `v1` until `rise_delay`, exponential approach to
+    /// `v2` with `rise_tau`, then from `fall_delay` an exponential return
+    /// toward `v1` with `fall_tau`.
+    Exp(Exp),
+}
+
+/// Parameters of a SPICE `EXP(v1 v2 rd rtau fd ftau)` source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    /// Initial value.
+    pub v1: f64,
+    /// Target value of the rising exponential.
+    pub v2: f64,
+    /// Rise start time.
+    pub rise_delay: f64,
+    /// Rise time constant.
+    pub rise_tau: f64,
+    /// Fall start time (≥ `rise_delay`).
+    pub fall_delay: f64,
+    /// Fall time constant.
+    pub fall_tau: f64,
+}
+
+impl Exp {
+    fn eval(&self, t: f64) -> f64 {
+        if t < self.rise_delay {
+            return self.v1;
+        }
+        let rise = |tt: f64| {
+            self.v1 + (self.v2 - self.v1) * (1.0 - (-(tt - self.rise_delay) / self.rise_tau).exp())
+        };
+        if t < self.fall_delay {
+            return rise(t);
+        }
+        let peak = rise(self.fall_delay);
+        self.v1 + (peak - self.v1) * (-(t - self.fall_delay) / self.fall_tau).exp()
+    }
+}
+
+/// Parameters of a SPICE `PULSE(v1 v2 delay rise fall width period)` source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Initial value.
+    pub v1: f64,
+    /// Pulsed value.
+    pub v2: f64,
+    /// Delay before the first edge.
+    pub delay: f64,
+    /// Rise time (v1 → v2).
+    pub rise: f64,
+    /// Fall time (v2 → v1).
+    pub fall: f64,
+    /// Pulse width at v2 (excluding edges).
+    pub width: f64,
+    /// Repetition period; `f64::INFINITY` for a single pulse.
+    pub period: f64,
+}
+
+impl Waveform {
+    /// Validates the waveform parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadParameter`] for non-increasing PWL times,
+    /// non-finite values, or negative pulse timing parameters.
+    pub fn validate(&self, device: &str) -> Result<(), SpiceError> {
+        let bad = |reason: String| {
+            Err(SpiceError::BadParameter {
+                device: device.to_string(),
+                reason,
+            })
+        };
+        match self {
+            Waveform::Dc(v) => {
+                if !v.is_finite() {
+                    return bad("DC value must be finite".into());
+                }
+            }
+            Waveform::Pulse(p) => {
+                for (name, v) in [
+                    ("v1", p.v1),
+                    ("v2", p.v2),
+                    ("delay", p.delay),
+                    ("rise", p.rise),
+                    ("fall", p.fall),
+                    ("width", p.width),
+                ] {
+                    if !v.is_finite() {
+                        return bad(format!("pulse {name} must be finite"));
+                    }
+                }
+                if p.delay < 0.0 || p.rise < 0.0 || p.fall < 0.0 || p.width < 0.0 {
+                    return bad("pulse timing parameters must be non-negative".into());
+                }
+                if p.period != f64::INFINITY && p.period <= 0.0 {
+                    return bad("pulse period must be positive or infinite".into());
+                }
+                if p.period != f64::INFINITY && p.period < p.rise + p.width + p.fall {
+                    return bad("pulse period shorter than rise+width+fall".into());
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return bad("PWL waveform needs at least one point".into());
+                }
+                if points.iter().any(|(t, v)| !t.is_finite() || !v.is_finite()) {
+                    return bad("PWL points must be finite".into());
+                }
+                if points.windows(2).any(|w| w[0].0 >= w[1].0) {
+                    return bad("PWL times must be strictly increasing".into());
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+            } => {
+                if ![*offset, *amplitude, *frequency, *delay]
+                    .iter()
+                    .all(|v| v.is_finite())
+                {
+                    return bad("sine parameters must be finite".into());
+                }
+                if *frequency <= 0.0 {
+                    return bad("sine frequency must be positive".into());
+                }
+            }
+            Waveform::Exp(e) => {
+                for (name, v) in [
+                    ("v1", e.v1),
+                    ("v2", e.v2),
+                    ("rise_delay", e.rise_delay),
+                    ("rise_tau", e.rise_tau),
+                    ("fall_delay", e.fall_delay),
+                    ("fall_tau", e.fall_tau),
+                ] {
+                    if !v.is_finite() {
+                        return bad(format!("exp {name} must be finite"));
+                    }
+                }
+                if e.rise_tau <= 0.0 || e.fall_tau <= 0.0 {
+                    return bad("exp time constants must be positive".into());
+                }
+                if e.fall_delay < e.rise_delay {
+                    return bad("exp fall_delay must not precede rise_delay".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the waveform at time `t` (seconds, `t >= 0`).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse(p) => p.eval(t),
+            Waveform::Pwl(points) => eval_pwl(points, t),
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude * (2.0 * std::f64::consts::PI * frequency * (t - delay)).sin()
+                }
+            }
+            Waveform::Exp(e) => e.eval(t),
+        }
+    }
+
+    /// The value at `t = 0`, used for the DC operating point.
+    pub fn initial_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+}
+
+impl Pulse {
+    fn eval(&self, t: f64) -> f64 {
+        if t < self.delay {
+            return self.v1;
+        }
+        let mut local = t - self.delay;
+        if self.period.is_finite() && self.period > 0.0 {
+            local %= self.period;
+        }
+        if local < self.rise {
+            if self.rise == 0.0 {
+                return self.v2;
+            }
+            return self.v1 + (self.v2 - self.v1) * local / self.rise;
+        }
+        let after_rise = local - self.rise;
+        if after_rise < self.width {
+            return self.v2;
+        }
+        let after_width = after_rise - self.width;
+        if after_width < self.fall {
+            if self.fall == 0.0 {
+                return self.v1;
+            }
+            return self.v2 + (self.v1 - self.v2) * after_width / self.fall;
+        }
+        self.v1
+    }
+}
+
+fn eval_pwl(points: &[(f64, f64)], t: f64) -> f64 {
+    match points {
+        [] => 0.0,
+        [only] => only.1,
+        _ => {
+            let first = points[0];
+            let last = points[points.len() - 1];
+            if t <= first.0 {
+                return first.1;
+            }
+            if t >= last.0 {
+                return last.1;
+            }
+            // Binary search for the segment containing t.
+            let idx = points
+                .partition_point(|&(pt, _)| pt <= t);
+            let (t0, v0) = points[idx - 1];
+            let (t1, v1) = points[idx];
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+}
+
+/// Convenience builder for a single rising step from `v_low` to `v_high`
+/// starting at `t_start` with the given `ramp` time.
+///
+/// # Example
+///
+/// ```
+/// use dso_spice::waveform::step;
+///
+/// let w = step(0.0, 1.8, 10e-9, 1e-9);
+/// assert_eq!(w.eval(0.0), 0.0);
+/// assert!((w.eval(12e-9) - 1.8).abs() < 1e-12);
+/// ```
+pub fn step(v_low: f64, v_high: f64, t_start: f64, ramp: f64) -> Waveform {
+    Waveform::Pwl(vec![(t_start, v_low), (t_start + ramp.max(1e-15), v_high)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(2.4);
+        assert_eq!(w.eval(0.0), 2.4);
+        assert_eq!(w.eval(1.0), 2.4);
+        assert_eq!(w.initial_value(), 2.4);
+    }
+
+    fn test_pulse() -> Pulse {
+        Pulse {
+            v1: 0.0,
+            v2: 3.0,
+            delay: 10e-9,
+            rise: 2e-9,
+            fall: 2e-9,
+            width: 20e-9,
+            period: 60e-9,
+        }
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveform::Pulse(test_pulse());
+        assert!(close(w.eval(0.0), 0.0)); // before delay
+        assert!(close(w.eval(11e-9), 1.5)); // mid-rise
+        assert!(close(w.eval(20e-9), 3.0)); // plateau
+        assert!(close(w.eval(33e-9), 1.5)); // mid-fall
+        assert!(close(w.eval(40e-9), 0.0)); // back low
+    }
+
+    #[test]
+    fn pulse_repeats() {
+        let w = Waveform::Pulse(test_pulse());
+        // One full period after the plateau sample.
+        assert!(close(w.eval(20e-9 + 60e-9), 3.0));
+        assert!(close(w.eval(40e-9 + 60e-9), 0.0));
+    }
+
+    #[test]
+    fn pulse_zero_edge_times() {
+        let p = Pulse {
+            rise: 0.0,
+            fall: 0.0,
+            ..test_pulse()
+        };
+        let w = Waveform::Pulse(p);
+        assert_eq!(w.eval(10e-9), 3.0);
+        assert_eq!(w.eval(30.1e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolation_and_clamping() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (4.0, 0.0)]);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(1.5), 5.0);
+        assert_eq!(w.eval(3.0), 5.0);
+        assert_eq!(w.eval(9.0), 0.0);
+    }
+
+    #[test]
+    fn sine_waveform() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            frequency: 1.0,
+            delay: 0.0,
+        };
+        assert!((w.eval(0.25) - 1.5).abs() < 1e-12);
+        assert!((w.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_waveforms() {
+        assert!(Waveform::Dc(f64::NAN).validate("V1").is_err());
+        assert!(Waveform::Pwl(vec![]).validate("V1").is_err());
+        assert!(Waveform::Pwl(vec![(1.0, 0.0), (1.0, 2.0)])
+            .validate("V1")
+            .is_err());
+        let mut p = test_pulse();
+        p.period = 1e-9; // shorter than rise+width+fall
+        assert!(Waveform::Pulse(p).validate("V1").is_err());
+        assert!(Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            frequency: 0.0,
+            delay: 0.0
+        }
+        .validate("V1")
+        .is_err());
+        // Valid ones pass.
+        assert!(Waveform::Dc(1.0).validate("V1").is_ok());
+        assert!(Waveform::Pulse(test_pulse()).validate("V1").is_ok());
+    }
+
+    #[test]
+    fn exp_waveform_phases() {
+        let e = Exp {
+            v1: 0.0,
+            v2: 2.0,
+            rise_delay: 10e-9,
+            rise_tau: 5e-9,
+            fall_delay: 40e-9,
+            fall_tau: 5e-9,
+        };
+        let w = Waveform::Exp(e);
+        assert!(w.validate("V1").is_ok());
+        assert_eq!(w.eval(0.0), 0.0);
+        // One tau into the rise: 1 - 1/e of the swing.
+        let v = w.eval(15e-9);
+        let expect = 2.0 * (1.0 - (-1.0_f64).exp());
+        assert!((v - expect).abs() < 1e-9, "{v} vs {expect}");
+        // Long after the fall: back near v1.
+        assert!(w.eval(200e-9).abs() < 1e-9);
+        // Continuity at the fall start.
+        let a = w.eval(40e-9 - 1e-15);
+        let b = w.eval(40e-9 + 1e-15);
+        assert!((a - b).abs() < 1e-6);
+        // Validation catches bad parameters.
+        let bad = Exp { rise_tau: 0.0, ..e };
+        assert!(Waveform::Exp(bad).validate("V1").is_err());
+        let bad = Exp { fall_delay: 5e-9, ..e };
+        assert!(Waveform::Exp(bad).validate("V1").is_err());
+    }
+
+    #[test]
+    fn step_builder() {
+        let w = step(0.5, 2.4, 5e-9, 1e-9);
+        assert_eq!(w.eval(0.0), 0.5);
+        assert!((w.eval(5.5e-9) - 1.45).abs() < 1e-12);
+        assert_eq!(w.eval(10e-9), 2.4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests of the circuit simulator against analytic
+//! electronics.
+
+use dso_spice::circuit::Circuit;
+use dso_spice::engine::{Simulator, TranOptions};
+use dso_spice::mos::{evaluate, MosGeometry, MosModel};
+use dso_spice::units::parse_value;
+use dso_spice::waveform::{Pulse, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn divider_matches_analytic(r1 in 100.0f64..1e6, r2 in 100.0f64..1e6, v in 0.5f64..5.0) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v)).expect("adds");
+        ckt.add_resistor("R1", vin, mid, r1).expect("adds");
+        ckt.add_resistor("R2", mid, Circuit::GROUND, r2).expect("adds");
+        let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
+        let expected = v * r2 / (r1 + r2);
+        let got = op.voltage("mid").expect("node exists");
+        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0), "{got} vs {expected}");
+    }
+
+    #[test]
+    fn rc_discharge_matches_exponential(
+        r in 1e2f64..1e5,
+        c in 1e-12f64..1e-9,
+        v0 in 0.5f64..3.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
+        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0)).expect("adds");
+        let tau = r * c;
+        let opts = TranOptions::new(2.0 * tau, tau / 100.0)
+            .expect("valid options")
+            .with_ic(Vec::new());
+        let result = Simulator::new(&ckt).transient(&opts).expect("converges");
+        let v_tau = result.voltage_at("out", tau).expect("in range");
+        let expected = v0 * (-1.0f64).exp();
+        prop_assert!(
+            (v_tau - expected).abs() < 0.01 * v0,
+            "tau={tau:e}: {v_tau} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn kcl_current_balance(r1 in 1e2f64..1e5, r2 in 1e2f64..1e5, v in 0.5f64..5.0) {
+        // Two parallel resistors: the source current is the sum of the
+        // branch currents.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v)).expect("adds");
+        ckt.add_resistor("R1", vin, Circuit::GROUND, r1).expect("adds");
+        ckt.add_resistor("R2", vin, Circuit::GROUND, r2).expect("adds");
+        let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
+        let i = op.current("V1").expect("source exists").abs();
+        let expected = v / r1 + v / r2;
+        // The gmin leak (1 pS per node) adds ~v * 1e-12 A.
+        let tol = 1e-9 * expected + 1e-11 * v;
+        prop_assert!((i - expected).abs() < tol, "{i} vs {expected}");
+    }
+
+    #[test]
+    fn mosfet_derivatives_match_finite_difference(
+        vgs in 0.0f64..2.4,
+        vds in -2.4f64..2.4,
+        vbs in -1.0f64..0.0,
+        temp in -33.0f64..87.0,
+    ) {
+        let model = MosModel::default();
+        let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
+        let h = 1e-6;
+        let e = evaluate(&model, g, vgs, vds, vbs, temp);
+        let gm_fd = (evaluate(&model, g, vgs + h, vds, vbs, temp).ids
+            - evaluate(&model, g, vgs - h, vds, vbs, temp).ids) / (2.0 * h);
+        let gds_fd = (evaluate(&model, g, vgs, vds + h, vbs, temp).ids
+            - evaluate(&model, g, vgs, vds - h, vbs, temp).ids) / (2.0 * h);
+        // Skip points exactly at the vds=0 kink where one-sided behaviour
+        // dominates the central difference.
+        prop_assume!(vds.abs() > 1e-3);
+        let scale = gm_fd.abs().max(1e-9);
+        prop_assert!((e.gm - gm_fd).abs() / scale < 2e-2, "gm {} vs {}", e.gm, gm_fd);
+        let scale = gds_fd.abs().max(1e-9);
+        prop_assert!((e.gds - gds_fd).abs() / scale < 5e-2, "gds {} vs {}", e.gds, gds_fd);
+    }
+
+    #[test]
+    fn mosfet_current_monotone_in_vgs(
+        vds in 0.05f64..2.4,
+        temp in -33.0f64..87.0,
+    ) {
+        let model = MosModel::default();
+        let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
+        let mut prev = f64::NEG_INFINITY;
+        let mut vgs = 0.0;
+        while vgs <= 2.4 {
+            let ids = evaluate(&model, g, vgs, vds, 0.0, temp).ids;
+            prop_assert!(ids >= prev - 1e-15, "non-monotone at vgs={vgs}");
+            prev = ids;
+            vgs += 0.05;
+        }
+    }
+
+    #[test]
+    fn pulse_stays_within_levels(
+        v1 in -3.0f64..3.0,
+        v2 in -3.0f64..3.0,
+        t in 0.0f64..500e-9,
+    ) {
+        let p = Waveform::Pulse(Pulse {
+            v1,
+            v2,
+            delay: 10e-9,
+            rise: 5e-9,
+            fall: 5e-9,
+            width: 30e-9,
+            period: 100e-9,
+        });
+        let v = p.eval(t);
+        let lo = v1.min(v2);
+        let hi = v1.max(v2);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn parse_value_scales_correctly(mantissa in 0.001f64..999.0) {
+        for (suffix, scale) in [
+            ("", 1.0), ("k", 1e3), ("meg", 1e6), ("g", 1e9),
+            ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+        ] {
+            let text = format!("{mantissa}{suffix}");
+            let parsed = parse_value(&text).expect("valid number");
+            let expected = mantissa * scale;
+            prop_assert!(
+                (parsed - expected).abs() <= 1e-12 * expected.abs(),
+                "{text}: {parsed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_step_on_random_rc(
+        r in 1e2f64..1e5,
+        c in 1e-12f64..1e-10,
+        v0 in 0.5f64..3.0,
+    ) {
+        use dso_spice::engine::AdaptiveOptions;
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
+        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0)).expect("adds");
+        let tau = r * c;
+        let sim = Simulator::new(&ckt);
+        let fixed = sim
+            .transient(
+                &TranOptions::new(3.0 * tau, tau / 100.0)
+                    .expect("valid")
+                    .with_ic(Vec::new()),
+            )
+            .expect("fixed converges");
+        let adaptive = sim
+            .transient(
+                &TranOptions::new(3.0 * tau, tau / 100.0)
+                    .expect("valid")
+                    .with_ic(Vec::new())
+                    .with_adaptive(AdaptiveOptions {
+                        lte_tol: 1e-4 * v0,
+                        dt_min: tau / 2000.0,
+                        dt_max: tau / 2.0,
+                    }),
+            )
+            .expect("adaptive converges");
+        for frac in [0.5, 1.0, 2.0, 2.9] {
+            let t = frac * tau;
+            let a = adaptive.voltage_at("out", t).expect("in range");
+            let f = fixed.voltage_at("out", t).expect("in range");
+            prop_assert!((a - f).abs() < 0.01 * v0, "at {frac} tau: {a} vs {f}");
+        }
+    }
+
+    #[test]
+    fn netlist_numeric_round_trip(r in 1.0f64..1e6, v in 0.1f64..10.0) {
+        // Build a deck textually and verify the parsed circuit solves to
+        // the analytic answer.
+        let deck_text = format!(
+            "prop deck\nV1 in 0 DC {v:e}\nR1 in out {r:e}\nR2 out 0 {r:e}\n.end\n"
+        );
+        let deck = dso_spice::netlist::parse(&deck_text).expect("parses");
+        let op = Simulator::new(&deck.circuit).dc_operating_point().expect("solves");
+        let got = op.voltage("out").expect("node exists");
+        prop_assert!((got - v / 2.0).abs() < 1e-6 * v, "{got} vs {}", v / 2.0);
+    }
+}

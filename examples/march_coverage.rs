@@ -1,0 +1,141 @@
+//! Fault coverage of march tests at the nominal versus the stressed
+//! stress combination — and why the paper's *detection conditions* matter.
+//!
+//! Two things happen when the stress combination is applied:
+//!
+//! 1. more defect resistances fail (the failing range widens), **but**
+//! 2. writes settle more slowly, so a test must embed the derived
+//!    detection condition (with its extra settling writes) to actually
+//!    harvest that coverage. Standard march tests with single-write
+//!    elements can even *lose* coverage under stress.
+//!
+//! This example measures both effects with electrically calibrated fault
+//! dictionaries.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example march_coverage
+//! ```
+
+use dram_stress_opt::analysis::{
+    build_dictionary, derive_detection, find_border, Analyzer, DefectiveCell,
+    DetectionCondition,
+};
+use dram_stress_opt::defects::{BitLineSide, Defect};
+use dram_stress_opt::dram::design::ColumnDesign;
+use dram_stress_opt::march::coverage::{evaluate_coverage, FaultCase};
+use dram_stress_opt::march::element::{AddressOrder, MarchElement, MarchOp};
+use dram_stress_opt::march::test::MarchTest;
+use dram_stress_opt::stress::OperatingPoint;
+use dso_dram::ops::Operation;
+use dso_num::interp::logspace;
+
+/// Wraps a physical detection condition into a one-element march test
+/// `{⇕(…)}` for the victim's bit-line side.
+fn condition_as_march_test(
+    name: &str,
+    condition: &DetectionCondition,
+    side: BitLineSide,
+) -> Result<MarchTest, Box<dyn std::error::Error>> {
+    let (seq, expected) = condition.to_logic(side);
+    let mut read_idx = 0;
+    let mut ops = Vec::new();
+    for op in seq {
+        match op {
+            Operation::W0 => ops.push(MarchOp::Write(false)),
+            Operation::W1 => ops.push(MarchOp::Write(true)),
+            Operation::R => {
+                ops.push(MarchOp::Read(expected[read_idx]));
+                read_idx += 1;
+            }
+            Operation::Nop => {} // no pauses in these conditions
+        }
+    }
+    Ok(MarchTest::new(
+        name,
+        vec![MarchElement::new(AddressOrder::Any, ops)?],
+    )?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analyzer = Analyzer::new(ColumnDesign::default());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let nominal = OperatingPoint::nominal();
+    let stressed = OperatingPoint {
+        vdd: 2.1,
+        tcyc: 55e-9,
+        temp_c: 87.0,
+        ..nominal
+    };
+
+    // Locate the nominal border and build the defect ensemble around it.
+    let probe = DetectionCondition::default_for(&defect, 2);
+    let border = find_border(&analyzer, &defect, &probe, &nominal, 0.05)?;
+    let resistances = logspace(0.4 * border.resistance, 3.0 * border.resistance, 6)?;
+    println!(
+        "ensemble: {} instances of {defect} around the nominal border ({:.2e} Ω)",
+        resistances.len(),
+        border.resistance
+    );
+    println!();
+
+    for (label, op) in [("nominal SC", nominal), ("stressed SC", stressed)] {
+        println!(
+            "=== {label}: Vdd = {} V, tcyc = {:.0} ns, T = {:+} °C ===",
+            op.vdd,
+            op.tcyc * 1e9,
+            op.temp_c
+        );
+        // The paper's step: derive the detection condition *for this SC*
+        // (stressed writes need more settling operations), then embed it
+        // in a march element.
+        let condition = derive_detection(&analyzer, &defect, border.resistance, &op, 6)?;
+        println!(
+            "  derived detection condition: {}",
+            condition.display_for(defect.side())
+        );
+        let derived_test = condition_as_march_test("derived", &condition, defect.side())?;
+        // The paper's "a given test": the same fixed condition applied at
+        // both stress combinations.
+        let fixed_condition = DetectionCondition::default_for(&defect, 2);
+        let fixed_test = condition_as_march_test("fixed", &fixed_condition, defect.side())?;
+
+        // Calibrate one dictionary per ensemble member at this SC.
+        let mut cases = Vec::new();
+        for &r in &resistances {
+            let dict = build_dictionary(&analyzer, &defect, r, &op, 5)?;
+            cases.push(FaultCase {
+                label: format!("{r:.2e} Ω"),
+                make: Box::new(move || Box::new(DefectiveCell::new(dict.clone(), 0.0))),
+            });
+        }
+        for test in [
+            fixed_test,
+            derived_test,
+            MarchTest::mats_plus(),
+            MarchTest::march_c_minus(),
+        ] {
+            let report = evaluate_coverage(&test, &cases, 16, 5)?;
+            println!(
+                "  {:<10} coverage {:>5.1}%  (missed: {})",
+                report.test,
+                report.coverage() * 100.0,
+                if report.missed.is_empty() {
+                    "none".to_string()
+                } else {
+                    report.missed.join(", ")
+                }
+            );
+        }
+        println!();
+    }
+    println!("the fixed test gains coverage under the stressed SC (the paper's");
+    println!("claim: stresses increase the fault coverage of a given test), the");
+    println!("derived condition harvests the full failing range at either SC, and");
+    println!("plain march tests without the settling writes can even lose coverage");
+    println!("(their single w1 no longer charges the cell, so the r1-based");
+    println!("detections stop firing) — the case for embedding the method's");
+    println!("detection conditions in production tests.");
+    Ok(())
+}

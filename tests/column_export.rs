@@ -1,0 +1,43 @@
+//! Exporting the full DRAM column to SPICE deck text and re-parsing it —
+//! the bridge to external SPICE simulators.
+
+use dram_stress_opt::defects::{BitLineSide, Defect};
+use dram_stress_opt::dram::column::Column;
+use dram_stress_opt::dram::design::ColumnDesign;
+use dram_stress_opt::spice::engine::Simulator;
+use dram_stress_opt::spice::export::to_deck;
+use dram_stress_opt::spice::netlist;
+
+#[test]
+fn full_column_round_trips_through_deck_text() {
+    let mut column = Column::build(&ColumnDesign::default()).unwrap();
+    // Export with a defect injected, so the defect resistor value
+    // round-trips too.
+    Defect::cell_open(BitLineSide::True)
+        .inject(&mut column, 200e3)
+        .unwrap();
+
+    let deck_text = to_deck(column.circuit(), "dram column");
+    let parsed = netlist::parse(&deck_text).expect("column deck parses");
+
+    assert_eq!(
+        parsed.circuit.device_count(),
+        column.circuit().device_count()
+    );
+    assert_eq!(parsed.circuit.node_count(), column.circuit().node_count());
+    // The injected defect survives the round trip.
+    assert!(deck_text.contains("RO3_true"), "defect resistor exported");
+    assert!(deck_text.contains("2e5"), "defect value exported");
+
+    // Both circuits solve to the same (quiescent) operating point.
+    let a = Simulator::new(column.circuit()).dc_operating_point().unwrap();
+    let b = Simulator::new(&parsed.circuit).dc_operating_point().unwrap();
+    for node in ["bt", "bc", "st_true", "dout"] {
+        let va = a.voltage(node).unwrap();
+        let vb = b.voltage(node).unwrap();
+        assert!(
+            (va - vb).abs() < 1e-9,
+            "node {node}: {va} vs {vb} after round trip"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration of the electrical analysis with the march-test engine:
+//! fault dictionaries calibrated by simulation drive the behavioral memory
+//! the march tests run on.
+
+use dram_stress_opt::analysis::{build_dictionary, Analyzer, DefectiveCell};
+use dram_stress_opt::defects::{BitLineSide, Defect};
+use dram_stress_opt::dram::behavior::FunctionalMemory;
+use dram_stress_opt::dram::design::ColumnDesign;
+use dram_stress_opt::march::run::apply;
+use dram_stress_opt::march::test::MarchTest;
+use dram_stress_opt::stress::OperatingPoint;
+
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 200.0,
+        ..ColumnDesign::default()
+    }
+}
+
+#[test]
+fn march_tests_catch_severe_open_and_pass_mild_one() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let nominal = OperatingPoint::nominal();
+
+    // Severe open: well above any plausible border.
+    let severe = build_dictionary(&analyzer, &defect, 3e7, &nominal, 5).unwrap();
+    let mut memory = FunctionalMemory::with_victim(
+        8,
+        3,
+        Box::new(DefectiveCell::new(severe, 0.0)),
+    )
+    .unwrap();
+    let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
+    assert!(result.detected(), "March C- must catch a 30 MΩ open");
+    assert!(result.failures().iter().all(|f| f.address == 3));
+
+    // Mild open: far below the border — indistinguishable from healthy.
+    let mild = build_dictionary(&analyzer, &defect, 2e3, &nominal, 5).unwrap();
+    let mut memory =
+        FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(mild, 0.0)))
+            .unwrap();
+    let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
+    assert!(!result.detected(), "a 2 kΩ site is effectively defect-free");
+}
+
+#[test]
+fn retention_fault_needs_the_drt_test() {
+    // A weak short-to-ground survives back-to-back march operations but
+    // drains during the DRT test's Del pauses: the electrically calibrated
+    // idle map drives the functional model's retention behaviour.
+    use dram_stress_opt::dram::column::DefectSite;
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::new(DefectSite::Sg, BitLineSide::True);
+    let nominal = OperatingPoint::nominal();
+    let dict = build_dictionary(&analyzer, &defect, 8e6, &nominal, 5).unwrap();
+
+    let mut memory = FunctionalMemory::with_victim(
+        8,
+        2,
+        Box::new(DefectiveCell::new(dict.clone(), 0.0)),
+    )
+    .unwrap();
+    let back_to_back = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
+    assert!(
+        !back_to_back.detected(),
+        "an 8 MΩ Sg must survive back-to-back March C-"
+    );
+
+    let mut memory =
+        FunctionalMemory::with_victim(8, 2, Box::new(DefectiveCell::new(dict, 0.0)))
+            .unwrap();
+    let drt = apply(&MarchTest::march_drt(), &mut memory).unwrap();
+    assert!(drt.detected(), "March DRT's pauses must expose the leak");
+    assert!(drt.failures().iter().all(|f| f.address == 2));
+}
+
+#[test]
+fn comp_side_dictionary_detected_with_inverted_data() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::Comp);
+    let nominal = OperatingPoint::nominal();
+    let dict = build_dictionary(&analyzer, &defect, 3e7, &nominal, 5).unwrap();
+    let mut memory =
+        FunctionalMemory::with_victim(8, 5, Box::new(DefectiveCell::new(dict, 0.0)))
+            .unwrap();
+    // MATS+ covers both data polarities, so the comp-side defect is caught
+    // too — with the miscompares on the inverted value.
+    let result = apply(&MarchTest::mats_plus(), &mut memory).unwrap();
+    assert!(result.detected(), "MATS+ must catch the comp-side open");
+    assert!(result.failures().iter().all(|f| f.address == 5));
+}
