@@ -1,0 +1,23 @@
+#!/bin/sh
+# Offline-first CI gate. The workspace has zero third-party dependencies,
+# so everything here must pass with no network access (--offline).
+# dso-bench is excluded from the workspace (criterion/rand need a registry)
+# and is NOT built here.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> build (release, offline)"
+cargo build --release --workspace -q --offline
+
+echo "==> test (offline)"
+cargo test --workspace -q --offline
+
+echo "==> clippy (offline, deny warnings)"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -q --offline -- -D warnings
+else
+    echo "    clippy not installed; skipped"
+fi
+
+echo "==> ci: OK"

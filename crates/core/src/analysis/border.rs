@@ -78,9 +78,13 @@ pub fn find_border(
 ) -> Result<BorderResistance, CoreError> {
     let (lo, hi) = defect.sweep_range();
     let fails_above = defect.fails_above();
+    let operation = format!("detection {}", detection.display_for(defect.side()));
     let fails_at = |r: f64| -> Result<bool, CoreError> {
         let engine = analyzer.engine_for(defect, r, op_point)?;
-        Ok(!detection.evaluate(&engine)?)
+        detection
+            .evaluate(&engine)
+            .map(|pass| !pass)
+            .map_err(|e| CoreError::at_point(&operation, r, None, e))
     };
 
     // Probe the ends first for precise error reporting. Opens fail at the

@@ -84,16 +84,16 @@ impl DetectionCondition {
         let mut ops = Vec::new();
         match defect.class() {
             DefectClass::Open => {
-                ops.extend(std::iter::repeat(PhysOp::Write { high: true }).take(k));
+                ops.extend(std::iter::repeat_n(PhysOp::Write { high: true }, k));
                 ops.push(PhysOp::Write { high: false });
                 ops.push(PhysOp::Read { expect_high: false });
             }
             DefectClass::Short => {
                 if defect.site() == DefectSite::Sg {
-                    ops.extend(std::iter::repeat(PhysOp::Write { high: true }).take(k));
+                    ops.extend(std::iter::repeat_n(PhysOp::Write { high: true }, k));
                     ops.push(PhysOp::Read { expect_high: true });
                 } else {
-                    ops.extend(std::iter::repeat(PhysOp::Write { high: false }).take(k));
+                    ops.extend(std::iter::repeat_n(PhysOp::Write { high: false }, k));
                     ops.push(PhysOp::Read { expect_high: false });
                 }
             }
@@ -104,9 +104,9 @@ impl DetectionCondition {
                 // a moderate bridge leaks the *stored* opposite level away
                 // between operations. Checking both levels makes the
                 // pass/fail outcome monotone in R again.
-                ops.extend(std::iter::repeat(PhysOp::Write { high: true }).take(k));
+                ops.extend(std::iter::repeat_n(PhysOp::Write { high: true }, k));
                 ops.push(PhysOp::Read { expect_high: true });
-                ops.extend(std::iter::repeat(PhysOp::Write { high: false }).take(k));
+                ops.extend(std::iter::repeat_n(PhysOp::Write { high: false }, k));
                 ops.push(PhysOp::Read { expect_high: false });
             }
         }
@@ -198,7 +198,7 @@ impl DetectionCondition {
                     expected.push(logic);
                 }
                 PhysOp::Pause { cycles } => {
-                    seq.extend(std::iter::repeat(Operation::Nop).take(*cycles));
+                    seq.extend(std::iter::repeat_n(Operation::Nop, *cycles));
                 }
             }
         }

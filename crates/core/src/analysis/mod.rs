@@ -13,33 +13,54 @@ pub mod border;
 pub mod detection;
 pub mod dictionary;
 pub mod planes;
+pub mod sweep;
 
 pub use border::{find_border, BorderResistance};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
-pub use planes::{result_planes, ReadPlane, ResultPlanes, WritePlane};
+pub use planes::{plane_campaign, result_planes, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane};
+pub use sweep::{CampaignFaults, Confidence, PointStatus, SweepPoint, SweepReport};
 
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_dram::ops::{physical_write, Operation, OperationEngine};
+use dso_num::chaos::FaultPlan;
+use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
 
 /// Analysis front end: builds defect-injected engines and runs the
 /// elementary measurements every higher-level analysis is made of.
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     design: ColumnDesign,
+    recovery: RecoveryPolicy,
 }
 
 impl Analyzer {
-    /// Creates an analyzer for a column design.
+    /// Creates an analyzer for a column design, with the default
+    /// convergence-recovery policy (every ladder rung enabled).
     pub fn new(design: ColumnDesign) -> Self {
-        Analyzer { design }
+        Analyzer {
+            design,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Replaces the convergence-recovery policy applied to every engine
+    /// this analyzer builds.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
     }
 
     /// The column design under analysis.
     pub fn design(&self) -> &ColumnDesign {
         &self.design
+    }
+
+    /// The convergence-recovery policy in use.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
     }
 
     /// Builds an operation engine with `defect` injected at `resistance`,
@@ -54,8 +75,25 @@ impl Analyzer {
         resistance: f64,
         op_point: &OperatingPoint,
     ) -> Result<OperationEngine, CoreError> {
-        let mut engine =
-            OperationEngine::new(self.design.clone(), *op_point)?.with_victim(defect.side());
+        self.engine_with(defect, resistance, op_point, None)
+    }
+
+    /// [`Analyzer::engine_for`] with an optional fault plan armed on the
+    /// engine (each run clones the plan, so solve ordinals restart per
+    /// run).
+    fn engine_with(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        faults: Option<&FaultPlan>,
+    ) -> Result<OperationEngine, CoreError> {
+        let mut engine = OperationEngine::new(self.design.clone(), *op_point)?
+            .with_victim(defect.side())
+            .with_recovery(self.recovery);
+        if let Some(plan) = faults {
+            engine = engine.with_fault_plan(plan.clone());
+        }
         defect.inject(engine.column_mut(), resistance)?;
         Ok(engine)
     }
@@ -88,10 +126,32 @@ impl Analyzer {
         high: bool,
         n_ops: usize,
     ) -> Result<Vec<f64>, CoreError> {
+        let mut stats = RecoveryStats::default();
+        self.settle_sequence_instrumented(defect, resistance, op_point, high, n_ops, None, &mut stats)
+    }
+
+    /// [`Analyzer::settle_sequence`] with an optional fault plan armed on
+    /// the engine and recovery counters accumulated into `stats`. Failures
+    /// are wrapped with campaign context ([`CoreError::AtPoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + stats
+    pub fn settle_sequence_instrumented(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        high: bool,
+        n_ops: usize,
+        faults: Option<&FaultPlan>,
+        stats: &mut RecoveryStats,
+    ) -> Result<Vec<f64>, CoreError> {
         if n_ops == 0 {
             return Err(CoreError::BadRequest("n_ops must be positive".into()));
         }
-        let engine = self.engine_for(defect, resistance, op_point)?;
+        let engine = self.engine_with(defect, resistance, op_point, faults)?;
         let target = physical_write(high, defect.side());
         let mut seq = Vec::with_capacity(n_ops + 2);
         let skip = if high {
@@ -102,8 +162,12 @@ impl Analyzer {
             seq.push(setup);
             2
         };
-        seq.extend(std::iter::repeat(target).take(n_ops));
-        let trace = engine.run(&seq, 0.0)?;
+        seq.extend(std::iter::repeat_n(target, n_ops));
+        let operation = if high { "w1 settle" } else { "w0 settle" };
+        let trace = engine.run(&seq, 0.0).map_err(|e| {
+            CoreError::at_point(operation, resistance, Some(0.0), e.into())
+        })?;
+        stats.merge(trace.recovery());
         Ok(trace.vc_ends()[skip..].to_vec())
     }
 
@@ -122,20 +186,47 @@ impl Analyzer {
         vc_init: f64,
         n_ops: usize,
     ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
+        let mut stats = RecoveryStats::default();
+        self.read_sequence_instrumented(defect, resistance, op_point, vc_init, n_ops, None, &mut stats)
+    }
+
+    /// [`Analyzer::read_sequence`] with an optional fault plan armed on
+    /// the engine and recovery counters accumulated into `stats`. Failures
+    /// are wrapped with campaign context ([`CoreError::AtPoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + stats
+    pub fn read_sequence_instrumented(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        vc_init: f64,
+        n_ops: usize,
+        faults: Option<&FaultPlan>,
+        stats: &mut RecoveryStats,
+    ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
         if n_ops == 0 {
             return Err(CoreError::BadRequest("n_ops must be positive".into()));
         }
-        let engine = self.engine_for(defect, resistance, op_point)?;
-        let trace = engine.run(&vec![Operation::R; n_ops], vc_init)?;
+        let engine = self.engine_with(defect, resistance, op_point, faults)?;
+        let trace = engine
+            .run(&vec![Operation::R; n_ops], vc_init)
+            .map_err(|e| CoreError::at_point("read", resistance, Some(vc_init), e.into()))?;
+        stats.merge(trace.recovery());
         let highs = trace
             .cycles()
             .iter()
             .map(|c| {
                 c.read
-                    .expect("read cycles produce outcomes")
-                    .accessed_high(defect.side())
+                    .map(|r| r.accessed_high(defect.side()))
+                    .ok_or_else(|| {
+                        CoreError::BadRequest("read cycle produced no outcome".into())
+                    })
             })
-            .collect();
+            .collect::<Result<Vec<bool>, CoreError>>()?;
         Ok((trace.vc_ends(), highs))
     }
 
@@ -162,7 +253,10 @@ impl Analyzer {
         let engine = self.engine_for(defect, resistance, op_point)?;
         let op = physical_write(high, defect.side());
         let vc_init = if high { 0.0 } else { op_point.vdd };
-        let trace = engine.run(&[op], vc_init)?;
+        let operation = if high { "w1 probe" } else { "w0 probe" };
+        let trace = engine.run(&[op], vc_init).map_err(|e| {
+            CoreError::at_point(operation, resistance, Some(vc_init), e.into())
+        })?;
         let schedule = dso_dram::timing::CycleSchedule::new(op_point.duty)?;
         let t_wl_off = schedule.wl_off * op_point.tcyc;
         let storage = dso_dram::column::nodes::cap_top(defect.side());
@@ -190,13 +284,36 @@ impl Analyzer {
         resistance: f64,
         op_point: &OperatingPoint,
     ) -> Result<f64, CoreError> {
-        let engine = self.engine_for(defect, resistance, op_point)?;
-        let reads_high = |vc: f64| -> Result<bool, CoreError> {
-            let trace = engine.run(&[Operation::R], vc)?;
-            Ok(trace.cycles()[0]
+        let mut stats = RecoveryStats::default();
+        self.vsa_instrumented(defect, resistance, op_point, None, &mut stats)
+    }
+
+    /// [`Analyzer::vsa`] with an optional fault plan armed on the engine
+    /// and recovery counters accumulated into `stats` across all bisection
+    /// runs. Failures are wrapped with campaign context
+    /// ([`CoreError::AtPoint`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn vsa_instrumented(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        faults: Option<&FaultPlan>,
+        stats: &mut RecoveryStats,
+    ) -> Result<f64, CoreError> {
+        let engine = self.engine_with(defect, resistance, op_point, faults)?;
+        let mut reads_high = |vc: f64| -> Result<bool, CoreError> {
+            let trace = engine.run(&[Operation::R], vc).map_err(|e| {
+                CoreError::at_point("read threshold", resistance, Some(vc), e.into())
+            })?;
+            stats.merge(trace.recovery());
+            trace.cycles()[0]
                 .read
-                .expect("read produces outcome")
-                .accessed_high(defect.side()))
+                .map(|r| r.accessed_high(defect.side()))
+                .ok_or_else(|| CoreError::BadRequest("read cycle produced no outcome".into()))
         };
         if reads_high(0.0)? {
             return Ok(0.0);

@@ -12,11 +12,14 @@
 //! border of the paper's cell open is the `R` where the second-`w0`
 //! settlement curve crosses `Vsa(R)`.
 
+use super::sweep::{CampaignFaults, Confidence, PointStatus, SweepReport};
 use super::Analyzer;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
+use dso_num::chaos::FaultPlan;
 use dso_num::interp::Curve;
+use dso_spice::recovery::RecoveryStats;
 
 /// Offset (volts) around `Vsa` at which the read-plane trajectories start,
 /// following the paper's 0.2 V.
@@ -148,21 +151,72 @@ impl ResultPlanes {
     }
 }
 
-/// Generates the three result planes for `defect` at `op_point`, sweeping
-/// the given resistances and applying `n_ops` successive operations per
-/// trajectory.
-///
-/// # Errors
-///
-/// * [`CoreError::BadRequest`] for fewer than 2 sweep points or `n_ops == 0`.
-/// * Simulation failures.
-pub fn result_planes(
+/// The measurements behind one sweep point of the three planes.
+#[derive(Debug, Clone)]
+struct PointData {
+    w0: Vec<f64>,
+    w1: Vec<f64>,
+    vsa: f64,
+    below: Vec<f64>,
+    above: Vec<f64>,
+}
+
+impl PointData {
+    /// Signed margin of the first-`w0` settlement level over `Vsa(R)` —
+    /// the quantity whose zero crossing is the border resistance of
+    /// [`ResultPlanes::border_from_intersection`].
+    fn border_margin(&self) -> f64 {
+        self.w0[0] - self.vsa
+    }
+
+    /// Linear interpolation between two bracketing points, `t` in `[0, 1]`.
+    fn lerp(a: &PointData, b: &PointData, t: f64) -> PointData {
+        let mix = |x: f64, y: f64| x + (y - x) * t;
+        let mix_vec = |xs: &[f64], ys: &[f64]| {
+            xs.iter().zip(ys).map(|(&x, &y)| mix(x, y)).collect()
+        };
+        PointData {
+            w0: mix_vec(&a.w0, &b.w0),
+            w1: mix_vec(&a.w1, &b.w1),
+            vsa: mix(a.vsa, b.vsa),
+            below: mix_vec(&a.below, &b.below),
+            above: mix_vec(&a.above, &b.above),
+        }
+    }
+}
+
+/// Runs the full measurement bundle of one sweep point, accumulating
+/// recovery counters into `stats`.
+fn measure_point(
     analyzer: &Analyzer,
     defect: &Defect,
+    r: f64,
     op_point: &OperatingPoint,
-    r_values: &[f64],
     n_ops: usize,
-) -> Result<ResultPlanes, CoreError> {
+    faults: Option<&FaultPlan>,
+    stats: &mut RecoveryStats,
+) -> Result<PointData, CoreError> {
+    let w0 =
+        analyzer.settle_sequence_instrumented(defect, r, op_point, false, n_ops, faults, stats)?;
+    let w1 =
+        analyzer.settle_sequence_instrumented(defect, r, op_point, true, n_ops, faults, stats)?;
+    let vsa = analyzer.vsa_instrumented(defect, r, op_point, faults, stats)?;
+    let below_start = (vsa - READ_START_OFFSET).max(0.0);
+    let above_start = (vsa + READ_START_OFFSET).min(op_point.vdd);
+    let (below, _) = analyzer
+        .read_sequence_instrumented(defect, r, op_point, below_start, n_ops, faults, stats)?;
+    let (above, _) = analyzer
+        .read_sequence_instrumented(defect, r, op_point, above_start, n_ops, faults, stats)?;
+    Ok(PointData {
+        w0,
+        w1,
+        vsa,
+        below,
+        above,
+    })
+}
+
+fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
     if r_values.len() < 2 {
         return Err(CoreError::BadRequest(
             "result planes need at least two resistance points".into(),
@@ -176,28 +230,31 @@ pub fn result_planes(
             "resistance sweep must be strictly increasing".into(),
         ));
     }
+    Ok(())
+}
 
+/// Builds the three planes from complete per-point data.
+fn assemble_planes(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    data: &[PointData],
+) -> Result<ResultPlanes, CoreError> {
     let mut w0_tracks: Vec<Vec<f64>> = vec![Vec::with_capacity(r_values.len()); n_ops];
     let mut w1_tracks = w0_tracks.clone();
     let mut below_tracks = w0_tracks.clone();
     let mut above_tracks = w0_tracks.clone();
     let mut vsa_track = Vec::with_capacity(r_values.len());
-
-    for &r in r_values {
-        let w0 = analyzer.settle_sequence(defect, r, op_point, false, n_ops)?;
-        let w1 = analyzer.settle_sequence(defect, r, op_point, true, n_ops)?;
-        let vsa = analyzer.vsa(defect, r, op_point)?;
-        let below_start = (vsa - READ_START_OFFSET).max(0.0);
-        let above_start = (vsa + READ_START_OFFSET).min(op_point.vdd);
-        let (below, _) = analyzer.read_sequence(defect, r, op_point, below_start, n_ops)?;
-        let (above, _) = analyzer.read_sequence(defect, r, op_point, above_start, n_ops)?;
+    for point in data {
         for k in 0..n_ops {
-            w0_tracks[k].push(w0[k]);
-            w1_tracks[k].push(w1[k]);
-            below_tracks[k].push(below[k]);
-            above_tracks[k].push(above[k]);
+            w0_tracks[k].push(point.w0[k]);
+            w1_tracks[k].push(point.w1[k]);
+            below_tracks[k].push(point.below[k]);
+            above_tracks[k].push(point.above[k]);
         }
-        vsa_track.push(vsa);
+        vsa_track.push(point.vsa);
     }
 
     let to_curves = |tracks: Vec<Vec<f64>>| -> Result<Vec<Curve>, CoreError> {
@@ -226,6 +283,245 @@ pub fn result_planes(
         },
         vmp: analyzer.vmp(defect, op_point)?,
         op_point: *op_point,
+    })
+}
+
+/// Generates the three result planes for `defect` at `op_point`, sweeping
+/// the given resistances and applying `n_ops` successive operations per
+/// trajectory.
+///
+/// This is the strict variant: the first point failure aborts the whole
+/// plane. Long campaigns should prefer [`plane_campaign`], which degrades
+/// gracefully.
+///
+/// # Errors
+///
+/// * [`CoreError::BadRequest`] for fewer than 2 sweep points or `n_ops == 0`.
+/// * Simulation failures, annotated with campaign context
+///   ([`CoreError::AtPoint`]).
+pub fn result_planes(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+) -> Result<ResultPlanes, CoreError> {
+    validate_sweep(r_values, n_ops)?;
+    let mut data = Vec::with_capacity(r_values.len());
+    let mut stats = RecoveryStats::default();
+    for &r in r_values {
+        data.push(measure_point(
+            analyzer, defect, r, op_point, n_ops, None, &mut stats,
+        )?);
+    }
+    assemble_planes(analyzer, defect, op_point, r_values, n_ops, &data)
+}
+
+/// Result planes produced by a fault-tolerant sweep campaign: the planes
+/// themselves (gaps interpolated), the per-point [`SweepReport`], and the
+/// [`Confidence`] consumers should attach to anything extracted from them.
+#[derive(Debug, Clone)]
+pub struct PlaneCampaign {
+    /// The assembled planes. Values at failed points are linear
+    /// interpolations (in the sweep axis) between the bracketing
+    /// non-failed neighbors.
+    pub planes: ResultPlanes,
+    /// Per-point accounting: every attempted point is recorded as
+    /// converged, recovered, or failed.
+    pub report: SweepReport,
+    /// Full when nothing failed, degraded with the gap count otherwise.
+    pub confidence: Confidence,
+    /// The defect description, for error reporting.
+    defect: String,
+    /// Bracketing resistances of each interpolated gap.
+    gaps: Vec<(f64, f64)>,
+}
+
+impl PlaneCampaign {
+    /// The bracketing resistances `(lo, hi)` of each interpolated gap.
+    pub fn gaps(&self) -> &[(f64, f64)] {
+        &self.gaps
+    }
+
+    /// The border resistance read off the (possibly partial) planes, as
+    /// [`ResultPlanes::border_from_intersection`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BorderInGap`] if the intersection lands inside an
+    /// interpolated gap — interpolated data must never decide a border.
+    pub fn border_from_intersection(&self) -> Result<Option<f64>, CoreError> {
+        let border = self.planes.border_from_intersection()?;
+        if let Some(b) = border {
+            if let Some(&gap) = self.gaps.iter().find(|(lo, hi)| b > *lo && b < *hi) {
+                return Err(CoreError::BorderInGap {
+                    defect: self.defect.clone(),
+                    gap,
+                });
+            }
+        }
+        Ok(border)
+    }
+}
+
+/// Fault-tolerant variant of [`result_planes`]: point failures do not
+/// abort the sweep. Each attempted point is recorded in the returned
+/// [`SweepReport`] as `Converged`, `Recovered(attempts)`, or
+/// `Failed(reason)`; failed points become gaps whose curve values are
+/// interpolated from the bracketing non-failed neighbors.
+///
+/// Interpolation is only legal when it cannot invent electrical behavior:
+///
+/// * every gap must be bracketed by non-failed points (a failed first or
+///   last sweep point is unrecoverable), and
+/// * the `(1) w0` × `Vsa` border margin must not change sign across the
+///   gap — a sign change means the border crossing itself is lost, and
+///   interpolating across it would fabricate the paper's key result.
+///
+/// `faults` arms the deterministic fault-injection harness at selected
+/// sweep indices (pass [`CampaignFaults::new`] for a clean campaign).
+///
+/// # Errors
+///
+/// * [`CoreError::BadRequest`] for invalid sweeps (as [`result_planes`]).
+/// * [`CoreError::SweepFailed`] when fewer than two points survive or an
+///   edge point failed.
+/// * [`CoreError::BorderInGap`] when a gap straddles the border crossing.
+pub fn plane_campaign(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    faults: &CampaignFaults,
+) -> Result<PlaneCampaign, CoreError> {
+    validate_sweep(r_values, n_ops)?;
+    let mut report = SweepReport::new();
+    let mut data: Vec<Option<PointData>> = Vec::with_capacity(r_values.len());
+    for (i, &r) in r_values.iter().enumerate() {
+        let mut stats = RecoveryStats::default();
+        match measure_point(
+            analyzer,
+            defect,
+            r,
+            op_point,
+            n_ops,
+            faults.plan_for(i),
+            &mut stats,
+        ) {
+            Ok(point) => {
+                let status = if stats.is_clean() {
+                    PointStatus::Converged
+                } else {
+                    PointStatus::Recovered {
+                        attempts: stats.actions(),
+                    }
+                };
+                report.record(r, status);
+                data.push(Some(point));
+            }
+            // Configuration errors are not point failures: abort.
+            Err(e @ CoreError::BadRequest(_)) => return Err(e),
+            Err(e) => {
+                report.record(
+                    r,
+                    PointStatus::Failed {
+                        reason: e.to_string(),
+                    },
+                );
+                data.push(None);
+            }
+        }
+    }
+
+    let failed = data.iter().filter(|d| d.is_none()).count();
+    let first_reason = || {
+        report
+            .points()
+            .iter()
+            .find_map(|p| match &p.status {
+                PointStatus::Failed { reason } => Some(reason.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    let n = data.len();
+    if n - failed < 2 || data[0].is_none() || data[n - 1].is_none() {
+        return Err(CoreError::SweepFailed {
+            defect: defect.to_string(),
+            failed,
+            total: n,
+            first_reason: first_reason(),
+        });
+    }
+
+    // Contiguous gap runs, each bracketed by non-failed indices (the edge
+    // points are known good).
+    let mut gap_brackets: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if data[i].is_none() {
+            let start = i;
+            while data[i].is_none() {
+                i += 1;
+            }
+            gap_brackets.push((start - 1, i));
+        } else {
+            i += 1;
+        }
+    }
+
+    // Never interpolate across a border crossing: the w0 × Vsa margin must
+    // keep its sign across every gap.
+    for &(l, r_idx) in &gap_brackets {
+        let (ml, mr) = match (&data[l], &data[r_idx]) {
+            (Some(a), Some(b)) => (a.border_margin(), b.border_margin()),
+            _ => unreachable!("gap brackets are non-failed by construction"),
+        };
+        if ml * mr < 0.0 {
+            return Err(CoreError::BorderInGap {
+                defect: defect.to_string(),
+                gap: (r_values[l], r_values[r_idx]),
+            });
+        }
+    }
+
+    // Fill the gaps by linear interpolation on a log-resistance axis.
+    for &(l, r_idx) in &gap_brackets {
+        let (lo, hi) = (r_values[l].ln(), r_values[r_idx].ln());
+        for k in l + 1..r_idx {
+            let t = (r_values[k].ln() - lo) / (hi - lo);
+            let filled = match (&data[l], &data[r_idx]) {
+                (Some(a), Some(b)) => PointData::lerp(a, b, t),
+                _ => unreachable!("gap brackets are non-failed by construction"),
+            };
+            data[k] = Some(filled);
+        }
+    }
+
+    let complete: Vec<PointData> = data
+        .into_iter()
+        .map(|d| d.expect("every gap was interpolated"))
+        .collect();
+    let planes = assemble_planes(analyzer, defect, op_point, r_values, n_ops, &complete)?;
+    // Confidence counts gap *intervals*: adjacent failed points merge into
+    // one interpolated span, which is what border extraction cares about.
+    let confidence = if gap_brackets.is_empty() {
+        Confidence::Full
+    } else {
+        Confidence::Degraded {
+            gaps: gap_brackets.len(),
+        }
+    };
+    Ok(PlaneCampaign {
+        planes,
+        confidence,
+        gaps: gap_brackets
+            .iter()
+            .map(|&(l, r_idx)| (r_values[l], r_values[r_idx]))
+            .collect(),
+        defect: defect.to_string(),
+        report,
     })
 }
 

@@ -1,0 +1,315 @@
+//! Sweep bookkeeping for fault-tolerant simulation campaigns.
+//!
+//! A result-plane campaign runs one electrical measurement bundle per
+//! swept defect resistance. Instead of aborting the whole plane on the
+//! first solver failure, the campaign records a [`PointStatus`] per point
+//! in a [`SweepReport`] and degrades gracefully: failed points become
+//! flagged gaps, and consumers downgrade their [`Confidence`] accordingly.
+//!
+//! [`CampaignFaults`] is the campaign-level face of the deterministic
+//! fault-injection harness in [`dso_num::chaos`]: it arms a
+//! [`FaultPlan`] at selected sweep indices so every degradation path is
+//! exercised by tests rather than luck.
+
+use dso_num::chaos::FaultPlan;
+use std::fmt;
+
+/// Outcome of the simulations behind one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointStatus {
+    /// Every solve converged without recovery intervention.
+    Converged,
+    /// At least one solve failed but the recovery ladder rescued the
+    /// point; `attempts` counts the recovery actions spent.
+    Recovered {
+        /// Recovery actions (method fallbacks + subdivisions + gmin
+        /// retries) spent across the point's simulations.
+        attempts: usize,
+    },
+    /// The point could not be simulated even with recovery; the plane has
+    /// a gap here.
+    Failed {
+        /// Rendered error chain of the failure, pinpointing the exact
+        /// simulation that died.
+        reason: String,
+    },
+}
+
+impl PointStatus {
+    /// `true` for [`PointStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointStatus::Failed { .. })
+    }
+
+    /// `true` for [`PointStatus::Recovered`].
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, PointStatus::Recovered { .. })
+    }
+}
+
+impl fmt::Display for PointStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointStatus::Converged => f.write_str("converged"),
+            PointStatus::Recovered { attempts } => {
+                write!(f, "recovered ({attempts} action(s))")
+            }
+            PointStatus::Failed { reason } => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+/// One attempted sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The defect resistance of the point, in ohms.
+    pub resistance: f64,
+    /// What happened when it was simulated.
+    pub status: PointStatus,
+}
+
+/// Per-point accounting of a sweep campaign.
+///
+/// Every attempted point appears exactly once, so
+/// `converged + recovered + failed == total` always holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        SweepReport::default()
+    }
+
+    /// Records the outcome of one attempted point, in sweep order.
+    pub fn record(&mut self, resistance: f64, status: PointStatus) {
+        self.points.push(SweepPoint { resistance, status });
+    }
+
+    /// All attempted points, in sweep order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Number of attempted points.
+    pub fn total(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of points that converged cleanly.
+    pub fn converged(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.status == PointStatus::Converged)
+            .count()
+    }
+
+    /// Number of points rescued by the recovery ladder.
+    pub fn recovered(&self) -> usize {
+        self.points.iter().filter(|p| p.status.is_recovered()).count()
+    }
+
+    /// Number of points that failed outright (the plane's gaps).
+    pub fn failed(&self) -> usize {
+        self.points.iter().filter(|p| p.status.is_failed()).count()
+    }
+
+    /// `true` when the report covers exactly `expected` attempted points
+    /// and the per-status tallies account for every one of them.
+    pub fn accounts_for(&self, expected: usize) -> bool {
+        self.total() == expected
+            && self.converged() + self.recovered() + self.failed() == self.total()
+    }
+
+    /// Resistances of the failed points.
+    pub fn failed_resistances(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.status.is_failed())
+            .map(|p| p.resistance)
+            .collect()
+    }
+
+    /// The status recorded for resistance `r`, if it was attempted.
+    pub fn status_at(&self, r: f64) -> Option<&PointStatus> {
+        self.points
+            .iter()
+            .find(|p| p.resistance == r)
+            .map(|p| &p.status)
+    }
+
+    /// The confidence a consumer should attach to results derived from
+    /// this sweep: full when nothing failed, degraded with the gap count
+    /// otherwise.
+    pub fn confidence(&self) -> Confidence {
+        match self.failed() {
+            0 => Confidence::Full,
+            gaps => Confidence::Degraded { gaps },
+        }
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} point(s): {} converged, {} recovered, {} failed",
+            self.total(),
+            self.converged(),
+            self.recovered(),
+            self.failed()
+        )
+    }
+}
+
+/// How much to trust a result extracted from a (possibly partial) sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Confidence {
+    /// Every supporting point converged or recovered.
+    Full,
+    /// Some supporting points were lost (interpolated gaps, skipped
+    /// border candidates); the result is still usable but degraded.
+    Degraded {
+        /// Number of lost supporting points.
+        gaps: usize,
+    },
+}
+
+impl Confidence {
+    /// `true` for [`Confidence::Full`].
+    pub fn is_full(&self) -> bool {
+        matches!(self, Confidence::Full)
+    }
+
+    /// Combines two confidences: full only if both are, gap counts add.
+    pub fn combine(self, other: Confidence) -> Confidence {
+        match (self, other) {
+            (Confidence::Full, c) | (c, Confidence::Full) => c,
+            (Confidence::Degraded { gaps: a }, Confidence::Degraded { gaps: b }) => {
+                Confidence::Degraded { gaps: a + b }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Confidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Confidence::Full => f.write_str("full"),
+            Confidence::Degraded { gaps } => write!(f, "degraded ({gaps} gap(s))"),
+        }
+    }
+}
+
+/// Deterministic fault injection for a sweep campaign: a [`FaultPlan`]
+/// armed at selected sweep indices. Every simulation run at an armed
+/// index gets its own clone of the plan (solve ordinals restart per run).
+#[derive(Debug, Clone, Default)]
+pub struct CampaignFaults {
+    plans: Vec<(usize, FaultPlan)>,
+}
+
+impl CampaignFaults {
+    /// No faults: the campaign runs clean.
+    pub fn new() -> Self {
+        CampaignFaults::default()
+    }
+
+    /// Arms `plan` at sweep index `index` (later entries override earlier
+    /// ones for the same index).
+    pub fn with_fault(mut self, index: usize, plan: FaultPlan) -> Self {
+        self.plans.push((index, plan));
+        self
+    }
+
+    /// The plan armed at `index`, if any.
+    pub fn plan_for(&self, index: usize) -> Option<&FaultPlan> {
+        self.plans
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == index)
+            .map(|(_, p)| p)
+    }
+
+    /// `true` when no fault is armed anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dso_num::chaos::FaultKind;
+
+    #[test]
+    fn report_accounts_for_every_point() {
+        let mut report = SweepReport::new();
+        report.record(1e4, PointStatus::Converged);
+        report.record(1e5, PointStatus::Recovered { attempts: 2 });
+        report.record(1e6, PointStatus::Failed { reason: "boom".into() });
+        report.record(1e7, PointStatus::Converged);
+        assert_eq!(report.total(), 4);
+        assert_eq!(report.converged(), 2);
+        assert_eq!(report.recovered(), 1);
+        assert_eq!(report.failed(), 1);
+        assert!(report.accounts_for(4));
+        assert!(!report.accounts_for(5));
+        assert_eq!(report.failed_resistances(), vec![1e6]);
+        assert_eq!(report.status_at(1e4), Some(&PointStatus::Converged));
+        assert!(report.status_at(2e4).is_none());
+        assert_eq!(report.confidence(), Confidence::Degraded { gaps: 1 });
+        let text = report.to_string();
+        assert!(text.contains("4 point(s)"), "{text}");
+        assert!(text.contains("1 failed"), "{text}");
+    }
+
+    #[test]
+    fn clean_report_has_full_confidence() {
+        let mut report = SweepReport::new();
+        report.record(1e4, PointStatus::Converged);
+        report.record(1e5, PointStatus::Recovered { attempts: 1 });
+        assert!(report.confidence().is_full());
+    }
+
+    #[test]
+    fn confidence_combines() {
+        use Confidence::*;
+        assert_eq!(Full.combine(Full), Full);
+        assert_eq!(Full.combine(Degraded { gaps: 2 }), Degraded { gaps: 2 });
+        assert_eq!(
+            Degraded { gaps: 1 }.combine(Degraded { gaps: 2 }),
+            Degraded { gaps: 3 }
+        );
+        assert_eq!(Degraded { gaps: 1 }.to_string(), "degraded (1 gap(s))");
+        assert_eq!(Full.to_string(), "full");
+    }
+
+    #[test]
+    fn campaign_faults_lookup() {
+        let faults = CampaignFaults::new()
+            .with_fault(3, FaultPlan::always(FaultKind::NanResidual))
+            .with_fault(5, FaultPlan::new().inject_at(2, FaultKind::SingularJacobian));
+        assert!(!faults.is_empty());
+        assert!(faults.plan_for(3).is_some());
+        assert!(faults.plan_for(5).is_some());
+        assert!(faults.plan_for(0).is_none());
+        assert!(CampaignFaults::new().is_empty());
+    }
+
+    #[test]
+    fn status_predicates_and_display() {
+        assert!(!PointStatus::Converged.is_failed());
+        assert!(PointStatus::Recovered { attempts: 3 }.is_recovered());
+        assert!(PointStatus::Failed { reason: "x".into() }.is_failed());
+        assert_eq!(
+            PointStatus::Recovered { attempts: 3 }.to_string(),
+            "recovered (3 action(s))"
+        );
+        assert!(PointStatus::Failed { reason: "nan".into() }
+            .to_string()
+            .contains("nan"));
+    }
+}

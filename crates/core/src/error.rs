@@ -2,6 +2,7 @@
 
 use dso_dram::DramError;
 use dso_num::NumError;
+use dso_spice::SpiceError;
 use std::fmt;
 
 /// Errors produced by fault analysis and stress optimization.
@@ -30,6 +31,76 @@ pub enum CoreError {
         /// The swept range.
         range: (f64, f64),
     },
+    /// A failure annotated with campaign context: which measurement died,
+    /// at which defect resistance and initial cell voltage, after how many
+    /// Newton attempts.
+    AtPoint {
+        /// The measurement being run (e.g. `"w0 settle"`, `"read
+        /// threshold"`, a detection-condition rendering).
+        operation: String,
+        /// Defect resistance of the sweep point, in ohms.
+        resistance: f64,
+        /// Initial cell voltage of the run, when meaningful.
+        vc: Option<f64>,
+        /// Newton solve attempts spent before giving up (0 when the
+        /// underlying failure carries no attempt count).
+        attempts: usize,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+    /// The border resistance falls inside a gap left by failed sweep
+    /// points — interpolating across a border crossing is never legal, so
+    /// the partial plane cannot answer the question asked of it.
+    BorderInGap {
+        /// Description of the defect analyzed.
+        defect: String,
+        /// The gap's bracketing (non-failed) resistances.
+        gap: (f64, f64),
+    },
+    /// Too many sweep points failed for the partial result to be usable
+    /// (edge points lost, or fewer than two good points remain).
+    SweepFailed {
+        /// Description of the defect analyzed.
+        defect: String,
+        /// Number of failed points.
+        failed: usize,
+        /// Number of attempted points.
+        total: usize,
+        /// The first failure's rendered reason.
+        first_reason: String,
+    },
+}
+
+impl CoreError {
+    /// Wraps `source` with campaign context. The attempt count is lifted
+    /// from the underlying convergence failure when one is present.
+    pub(crate) fn at_point(
+        operation: &str,
+        resistance: f64,
+        vc: Option<f64>,
+        source: CoreError,
+    ) -> CoreError {
+        let attempts = source.solve_attempts();
+        CoreError::AtPoint {
+            operation: operation.to_string(),
+            resistance,
+            vc,
+            attempts,
+            source: Box::new(source),
+        }
+    }
+
+    /// The Newton attempt count carried by the underlying convergence
+    /// failure, if any.
+    pub fn solve_attempts(&self) -> usize {
+        match self {
+            CoreError::Dram(DramError::Spice(SpiceError::Convergence { attempts, .. })) => {
+                *attempts
+            }
+            CoreError::AtPoint { attempts, .. } => *attempts,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +119,36 @@ impl fmt::Display for CoreError {
                 "memory faulty across the whole range [{:.3e}, {:.3e}] Ω for {defect}",
                 range.0, range.1
             ),
+            CoreError::AtPoint {
+                operation,
+                resistance,
+                vc,
+                attempts,
+                source,
+            } => {
+                write!(f, "{operation} at R = {resistance:.3e} Ω")?;
+                if let Some(vc) = vc {
+                    write!(f, " (Vc0 = {vc:.3} V)")?;
+                }
+                write!(f, " failed after {attempts} attempt(s): {source}")
+            }
+            CoreError::BorderInGap { defect, gap } => write!(
+                f,
+                "border resistance of {defect} falls inside the gap ({:.3e}, {:.3e}) Ω \
+                 left by failed sweep points; interpolating across a border crossing \
+                 is not allowed",
+                gap.0, gap.1
+            ),
+            CoreError::SweepFailed {
+                defect,
+                failed,
+                total,
+                first_reason,
+            } => write!(
+                f,
+                "sweep for {defect} unusable: {failed} of {total} point(s) failed \
+                 (first: {first_reason})"
+            ),
         }
     }
 }
@@ -57,6 +158,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Dram(e) => Some(e),
             CoreError::Numerical(e) => Some(e),
+            CoreError::AtPoint { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -90,5 +192,52 @@ mod tests {
         };
         assert!(e.to_string().contains("O3 (true)"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn at_point_lifts_attempts_and_chains_source() {
+        use std::error::Error;
+        let inner: CoreError = DramError::Spice(SpiceError::Convergence {
+            time: Some(1e-7),
+            attempts: 9,
+            source: NumError::SingularMatrix {
+                column: 0,
+                pivot: 0.0,
+            },
+        })
+        .into();
+        let e = CoreError::at_point("w0 settle", 2.5e6, Some(1.9), inner);
+        assert_eq!(e.solve_attempts(), 9);
+        let text = e.to_string();
+        assert!(text.contains("w0 settle"), "{text}");
+        assert!(text.contains("2.500e6"), "{text}");
+        assert!(text.contains("9 attempt(s)"), "{text}");
+        assert!(text.contains("1.900 V"), "{text}");
+        assert!(e.source().is_some());
+
+        // Without an extractable attempt count the context still renders.
+        let e = CoreError::at_point("vsa", 1e5, None, CoreError::BadRequest("x".into()));
+        assert_eq!(e.solve_attempts(), 0);
+        assert!(!e.to_string().contains("Vc0"));
+    }
+
+    #[test]
+    fn campaign_errors_display() {
+        let e = CoreError::BorderInGap {
+            defect: "O3 (true)".into(),
+            gap: (1e5, 1e6),
+        };
+        let text = e.to_string();
+        assert!(text.contains("border"), "{text}");
+        assert!(text.contains("O3 (true)"), "{text}");
+        let e = CoreError::SweepFailed {
+            defect: "O3 (true)".into(),
+            failed: 3,
+            total: 10,
+            first_reason: "nan".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("3 of 10"), "{text}");
+        assert!(text.contains("nan"), "{text}");
     }
 }

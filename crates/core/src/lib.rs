@@ -15,6 +15,14 @@
 //!   fallback via border-resistance comparison, stress-combination
 //!   evaluation and the Table-1 pipeline over all defects.
 //!
+//! Sweeps are fault-tolerant: [`analysis::plane_campaign`] records every
+//! attempted point in a [`analysis::SweepReport`] (converged / recovered /
+//! failed), interpolates bracketed gaps instead of aborting, and refuses
+//! to interpolate across a border crossing. Failures carry campaign
+//! context ([`CoreError`]'s `AtPoint`) pinpointing the exact simulation
+//! that died, and partial results carry an explicit
+//! [`analysis::Confidence`] downgrade.
+//!
 //! # Example
 //!
 //! Optimize the stresses for the paper's running-example cell open:
@@ -35,6 +43,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod error;

@@ -3,7 +3,7 @@
 use super::probe::{combine_trends, probe_stress, DecisionBasis, StressDecision};
 use super::types::{Direction, StressKind};
 use crate::analysis::{
-    derive_detection, find_border, Analyzer, BorderResistance, DetectionCondition,
+    derive_detection, find_border, Analyzer, BorderResistance, Confidence, DetectionCondition,
 };
 use crate::CoreError;
 use dso_defects::Defect;
@@ -76,6 +76,9 @@ pub struct StressReport {
     /// Border and (re-derived) detection condition at the stressed
     /// combination.
     pub stressed: BorderReport,
+    /// Full when every border measurement behind the decisions succeeded;
+    /// degraded (with the number of skipped candidates) otherwise.
+    pub confidence: Confidence,
 }
 
 impl StressReport {
@@ -112,10 +115,21 @@ impl fmt::Display for StressReport {
                     "probes (write {}, read {})",
                     p.write_trend, p.read_trend
                 ),
-                DecisionBasis::BorderComparison { candidates, .. } => format!(
-                    "border comparison over {} candidates",
-                    candidates.len()
-                ),
+                DecisionBasis::BorderComparison {
+                    candidates,
+                    skipped,
+                    ..
+                } => {
+                    if skipped.is_empty() {
+                        format!("border comparison over {} candidates", candidates.len())
+                    } else {
+                        format!(
+                            "border comparison over {} candidates ({} skipped)",
+                            candidates.len(),
+                            skipped.len()
+                        )
+                    }
+                }
             };
             writeln!(
                 f,
@@ -131,6 +145,7 @@ impl fmt::Display for StressReport {
             self.stressed.border_resistance(),
             self.stressed.detection().display_for(self.defect.side())
         )?;
+        writeln!(f, "  confidence: {}", self.confidence)?;
         write!(f, "  failing-range improvement: {:.2}x", self.improvement())
     }
 }
@@ -235,6 +250,20 @@ impl StressOptimizer {
             }
         }
 
+        // Confidence downgrades: any candidate skipped during border
+        // comparison means the decision rests on partial evidence.
+        let skipped: usize = decisions
+            .iter()
+            .map(|d| match &d.basis {
+                DecisionBasis::BorderComparison { skipped, .. } => skipped.len(),
+                DecisionBasis::Probes(_) => 0,
+            })
+            .sum();
+        let confidence = match skipped {
+            0 => Confidence::Full,
+            gaps => Confidence::Degraded { gaps },
+        };
+
         Ok(StressReport {
             defect: *defect,
             nominal: nominal_report,
@@ -244,6 +273,7 @@ impl StressOptimizer {
                 detection: stressed_detection,
                 op_point: stressed_op,
             },
+            confidence,
         })
     }
 
@@ -285,7 +315,10 @@ impl StressOptimizer {
     }
 
     /// Decides one stress by measuring the border at the probe's candidate
-    /// values and keeping the most stressful.
+    /// values and keeping the most stressful. Candidates whose border
+    /// measurement fails are skipped (recorded in the decision basis and
+    /// reflected in the report's confidence) rather than aborting the
+    /// whole optimization — as long as at least one candidate survives.
     fn decide_by_border_comparison(
         &self,
         defect: &Defect,
@@ -296,11 +329,20 @@ impl StressOptimizer {
         let analyzer = &self.analyzer;
         let kind = probes.kind;
         let mut candidates = Vec::new();
+        let mut skipped: Vec<(f64, String)> = Vec::new();
         let mut best: Option<(f64, BorderResistance)> = None;
         for &value in &probes.values {
             let op = kind.apply_to(nominal, value)?;
             let border =
-                find_border(analyzer, defect, detection, &op, self.config.border_tol)?;
+                match find_border(analyzer, defect, detection, &op, self.config.border_tol) {
+                    Ok(border) => border,
+                    // Configuration errors are not measurement failures.
+                    Err(e @ CoreError::BadRequest(_)) => return Err(e),
+                    Err(e) => {
+                        skipped.push((value, e.to_string()));
+                        continue;
+                    }
+                };
             candidates.push((value, border.resistance));
             let better = match &best {
                 None => true,
@@ -310,7 +352,15 @@ impl StressOptimizer {
                 best = Some((value, border));
             }
         }
-        let (chosen_value, _) = best.expect("at least one candidate probed");
+        let (chosen_value, _) = best.ok_or_else(|| CoreError::SweepFailed {
+            defect: defect.to_string(),
+            failed: skipped.len(),
+            total: probes.values.len(),
+            first_reason: skipped
+                .first()
+                .map(|(_, reason)| reason.clone())
+                .unwrap_or_default(),
+        })?;
         let nominal_value = kind.value_in(nominal);
         let direction = if (chosen_value - nominal_value).abs() < 1e-15 {
             None
@@ -323,7 +373,11 @@ impl StressOptimizer {
             kind,
             direction,
             chosen_value,
-            basis: DecisionBasis::BorderComparison { probes, candidates },
+            basis: DecisionBasis::BorderComparison {
+                probes,
+                candidates,
+                skipped,
+            },
         })
     }
 

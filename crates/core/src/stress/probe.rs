@@ -57,6 +57,10 @@ pub enum DecisionBasis {
         /// Candidate stress values and the border resistance each one
         /// produced.
         candidates: Vec<(f64, f64)>,
+        /// Candidates whose border measurement failed and were skipped,
+        /// with the rendered failure: `(value, reason)`. Non-empty skips
+        /// downgrade the report's confidence.
+        skipped: Vec<(f64, String)>,
     },
 }
 

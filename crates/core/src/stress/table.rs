@@ -161,6 +161,7 @@ mod tests {
                 detection,
                 op_point: nominal_op,
             },
+            confidence: crate::analysis::Confidence::Full,
         }
     }
 

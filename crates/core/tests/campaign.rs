@@ -1,0 +1,152 @@
+//! Acceptance tests of the fault-tolerant plane campaign: injected point
+//! failures must degrade the sweep gracefully (flagged, interpolated gaps;
+//! full accounting) without moving the extracted border resistance, and
+//! must error clearly when a gap straddles the border.
+
+use dso_core::analysis::{plane_campaign, Analyzer, CampaignFaults, Confidence};
+use dso_core::CoreError;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::chaos::{FaultKind, FaultPlan};
+use dso_num::interp::logspace;
+
+/// Coarse time step so debug-mode campaigns stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+#[test]
+fn partial_planes_preserve_border_and_accounting() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = logspace(1e4, 1e7, 10).unwrap();
+
+    // Reference: a clean campaign.
+    let clean = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &CampaignFaults::new())
+        .expect("clean campaign runs");
+    assert!(clean.report.accounts_for(r_values.len()));
+    assert_eq!(clean.report.converged(), r_values.len());
+    assert_eq!(clean.report.failed(), 0);
+    assert!(clean.confidence.is_full());
+    assert!(clean.gaps().is_empty());
+    let b0 = clean
+        .border_from_intersection()
+        .expect("no gap can block a clean border")
+        .expect("cell open has a border in the sweep");
+    assert!((1e4..1e7).contains(&b0), "clean border {b0:.3e}");
+
+    // Pick a fault index whose gap cannot bracket the border: the border
+    // must not lie between the faulted point's sweep neighbors.
+    let fault_idx = (1..r_values.len() - 1)
+        .find(|&i| !(r_values[i - 1] < b0 && b0 < r_values[i + 1]))
+        .expect("some interior point is far from the border");
+
+    // 10% of the sweep points (1 of 10) killed outright: the campaign
+    // degrades instead of aborting, and the border does not move.
+    let faults = CampaignFaults::new()
+        .with_fault(fault_idx, FaultPlan::always(FaultKind::NanResidual));
+    let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults)
+        .expect("partial campaign still assembles planes");
+    assert!(partial.report.accounts_for(r_values.len()));
+    assert_eq!(partial.report.failed(), 1);
+    assert_eq!(
+        partial.report.converged() + partial.report.recovered(),
+        r_values.len() - 1
+    );
+    assert_eq!(partial.confidence, Confidence::Degraded { gaps: 1 });
+    assert_eq!(
+        partial.gaps(),
+        &[(r_values[fault_idx - 1], r_values[fault_idx + 1])]
+    );
+    // The failure report pinpoints the dead simulation with campaign
+    // context (measurement name and resistance).
+    let failed_status = partial
+        .report
+        .status_at(r_values[fault_idx])
+        .expect("faulted point was attempted");
+    let rendered = failed_status.to_string();
+    assert!(rendered.contains("failed"), "{rendered}");
+    assert!(rendered.contains("R ="), "{rendered}");
+    let b_partial = partial
+        .border_from_intersection()
+        .expect("gap does not straddle the border")
+        .expect("border survives the gap");
+    assert!(
+        (b_partial - b0).abs() < 1e-9 * b0,
+        "border moved: clean {b0:.6e} vs partial {b_partial:.6e}"
+    );
+
+    // A transient fault the recovery ladder absorbs: the point is
+    // Recovered, nothing fails, confidence stays full, and the border
+    // stays put within recovery tolerance.
+    let faults = CampaignFaults::new().with_fault(
+        fault_idx,
+        FaultPlan::new().inject_at(10, FaultKind::NanResidual),
+    );
+    let recovered = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults)
+        .expect("recovered campaign runs");
+    assert!(recovered.report.accounts_for(r_values.len()));
+    assert_eq!(recovered.report.failed(), 0);
+    assert_eq!(recovered.report.recovered(), 1);
+    assert!(recovered.confidence.is_full());
+    assert!(recovered.gaps().is_empty());
+    let b_rec = recovered
+        .border_from_intersection()
+        .unwrap()
+        .expect("border still present");
+    assert!(
+        (b_rec - b0).abs() < 0.05 * b0,
+        "recovered border drifted: clean {b0:.4e} vs {b_rec:.4e}"
+    );
+}
+
+#[test]
+fn border_straddling_gap_is_rejected() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    // The cell-open border sits between 1e6 and 1e7 on this grid (the w0 ×
+    // Vsa margin changes sign there); killing the 1e6 point leaves a gap
+    // bracketed by 1e5 and 1e7 that straddles the crossing.
+    let r_values = [1e4, 1e5, 1e6, 1e7];
+    let faults =
+        CampaignFaults::new().with_fault(2, FaultPlan::always(FaultKind::NanResidual));
+    let err = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults).unwrap_err();
+    match err {
+        CoreError::BorderInGap { gap, .. } => {
+            assert!(
+                gap.0 < gap.1 && gap.0 >= 1e4 && gap.1 <= 1e7,
+                "gap {gap:?} outside sweep"
+            );
+        }
+        other => panic!("expected BorderInGap, got {other}"),
+    }
+}
+
+#[test]
+fn failed_edge_point_is_unrecoverable() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = [1e4, 1e5, 1e6, 1e7];
+    let faults =
+        CampaignFaults::new().with_fault(0, FaultPlan::always(FaultKind::ForcedDivergence));
+    let err = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults).unwrap_err();
+    match err {
+        CoreError::SweepFailed {
+            failed,
+            total,
+            first_reason,
+            ..
+        } => {
+            assert_eq!(failed, 1);
+            assert_eq!(total, 4);
+            assert!(!first_reason.is_empty());
+        }
+        other => panic!("expected SweepFailed, got {other}"),
+    }
+}

@@ -1,6 +1,6 @@
-//! Property-based tests of the analysis layer's pure (non-electrical)
+//! Property-style tests of the analysis layer's pure (non-electrical)
 //! logic: detection conditions, side mappings, border bookkeeping, stress
-//! kinds.
+//! kinds. Driven by the in-tree deterministic [`TestRng`].
 
 use dso_core::analysis::{BorderResistance, DetectionCondition, PhysOp};
 use dso_core::stress::{Direction, StressKind};
@@ -8,52 +8,60 @@ use dso_defects::{BitLineSide, Defect};
 use dso_dram::column::DefectSite;
 use dso_dram::design::OperatingPoint;
 use dso_dram::ops::Operation;
-use proptest::prelude::*;
+use dso_num::testing::TestRng;
 
-fn arb_site() -> impl Strategy<Value = DefectSite> {
-    proptest::sample::select(DefectSite::ALL.to_vec())
+const CASES: usize = 256;
+
+/// 1–9 physical operations containing at least one read.
+fn arb_phys_ops(rng: &mut TestRng) -> Vec<PhysOp> {
+    loop {
+        let n = rng.index_range(1, 10);
+        let ops: Vec<PhysOp> = (0..n)
+            .map(|_| {
+                if rng.next_bool() {
+                    PhysOp::Write { high: rng.next_bool() }
+                } else {
+                    PhysOp::Read { expect_high: rng.next_bool() }
+                }
+            })
+            .collect();
+        if ops.iter().any(|o| matches!(o, PhysOp::Read { .. })) {
+            return ops;
+        }
+    }
 }
 
-fn arb_phys_ops() -> impl Strategy<Value = Vec<PhysOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            proptest::bool::ANY.prop_map(|high| PhysOp::Write { high }),
-            proptest::bool::ANY.prop_map(|expect_high| PhysOp::Read { expect_high }),
-        ],
-        1..10,
-    )
-    .prop_filter("needs a read", |ops| {
-        ops.iter().any(|o| matches!(o, PhysOp::Read { .. }))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn detection_logic_mapping_is_an_involution(ops in arb_phys_ops()) {
+#[test]
+fn detection_logic_mapping_is_an_involution() {
+    let mut rng = TestRng::new(0x4001);
+    for _ in 0..CASES {
+        let ops = arb_phys_ops(&mut rng);
         // Mapping to the comp side twice must recover the true-side
         // sequence: w0 <-> w1 swap and read expectations invert.
         let cond = DetectionCondition::new(ops).expect("has a read");
         let (true_seq, true_exp) = cond.to_logic(BitLineSide::True);
         let (comp_seq, comp_exp) = cond.to_logic(BitLineSide::Comp);
-        prop_assert_eq!(true_seq.len(), comp_seq.len());
+        assert_eq!(true_seq.len(), comp_seq.len());
         for (t, c) in true_seq.iter().zip(&comp_seq) {
             match (t, c) {
                 (Operation::W0, Operation::W1)
                 | (Operation::W1, Operation::W0)
                 | (Operation::R, Operation::R) => {}
-                other => prop_assert!(false, "bad pair {other:?}"),
+                other => panic!("bad pair {other:?}"),
             }
         }
-        prop_assert_eq!(true_exp.len(), comp_exp.len());
+        assert_eq!(true_exp.len(), comp_exp.len());
         for (t, c) in true_exp.iter().zip(&comp_exp) {
-            prop_assert_eq!(*t, !*c);
+            assert_eq!(*t, !*c);
         }
     }
+}
 
-    #[test]
-    fn detection_display_is_side_consistent(ops in arb_phys_ops()) {
+#[test]
+fn detection_display_is_side_consistent() {
+    let mut rng = TestRng::new(0x4002);
+    for _ in 0..CASES {
+        let ops = arb_phys_ops(&mut rng);
         let cond = DetectionCondition::new(ops).expect("has a read");
         let t = cond.display_for(BitLineSide::True);
         let c = cond.display_for(BitLineSide::Comp);
@@ -66,66 +74,80 @@ proptest! {
                 other => other,
             })
             .collect();
-        prop_assert_eq!(swapped, c);
+        assert_eq!(swapped, c);
     }
+}
 
-    #[test]
-    fn default_conditions_end_in_a_read(site in arb_site(), k in 1usize..6) {
+#[test]
+fn default_conditions_end_in_a_read() {
+    let mut rng = TestRng::new(0x4003);
+    for _ in 0..CASES {
+        let site = *rng.choose(&DefectSite::ALL);
+        let k = rng.index_range(1, 6);
         for side in [BitLineSide::True, BitLineSide::Comp] {
             let defect = Defect::new(site, side);
             let cond = DetectionCondition::default_for(&defect, k);
             let ends_in_read = matches!(cond.ops().last(), Some(PhysOp::Read { .. }));
-            prop_assert!(ends_in_read);
-            prop_assert!(cond.critical_write().is_some());
+            assert!(ends_in_read);
+            assert!(cond.critical_write().is_some());
             // The first read checks the level the last write set — the
             // condition verifies its own critical write.
             let first_read_expect = cond.expected_level();
-            prop_assert_eq!(Some(first_read_expect), cond.critical_write());
+            assert_eq!(Some(first_read_expect), cond.critical_write());
         }
     }
+}
 
-    #[test]
-    fn border_stressfulness_is_a_strict_order(
-        r1 in 1e3f64..1e9,
-        r2 in 1e3f64..1e9,
-        fails_above in proptest::bool::ANY,
-    ) {
+#[test]
+fn border_stressfulness_is_a_strict_order() {
+    let mut rng = TestRng::new(0x4004);
+    for _ in 0..CASES {
+        let r1 = rng.log_range(1e3, 1e9);
+        let r2 = rng.log_range(1e3, 1e9);
+        let fails_above = rng.next_bool();
         let a = BorderResistance { resistance: r1, fails_above, evaluations: 0 };
         let b = BorderResistance { resistance: r2, fails_above, evaluations: 0 };
         // Exactly one of <, >, == holds.
         let a_less = a.less_stressful_than(&b);
         let b_less = b.less_stressful_than(&a);
-        prop_assert!(!(a_less && b_less));
+        assert!(!(a_less && b_less));
         if r1 != r2 {
-            prop_assert!(a_less || b_less);
+            assert!(a_less || b_less);
         }
         // failing_decades agrees with the order.
         let sweep = (1e2, 1e11);
         if a_less {
-            prop_assert!(a.failing_decades(sweep) <= b.failing_decades(sweep) + 1e-12);
+            assert!(a.failing_decades(sweep) <= b.failing_decades(sweep) + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn stress_endpoints_stay_in_spec(kind_idx in 0usize..4, increase in proptest::bool::ANY) {
-        let kind = StressKind::ALL[kind_idx];
-        let dir = if increase { Direction::Increase } else { Direction::Decrease };
+#[test]
+fn stress_endpoints_stay_in_spec() {
+    let mut rng = TestRng::new(0x4005);
+    for _ in 0..CASES {
+        let kind = *rng.choose(&StressKind::ALL);
+        let dir = if rng.next_bool() { Direction::Increase } else { Direction::Decrease };
         let endpoint = dir.endpoint(kind);
         let (lo, hi) = kind.spec_range();
-        prop_assert!(endpoint == lo || endpoint == hi);
+        assert!(endpoint == lo || endpoint == hi);
         // Applying the endpoint to the nominal point yields a valid
         // operating point.
         let op = kind
             .apply_to(&OperatingPoint::nominal(), endpoint)
             .expect("spec endpoints are valid");
-        prop_assert!((kind.value_in(&op) - endpoint).abs() < 1e-15);
+        assert!((kind.value_in(&op) - endpoint).abs() < 1e-15);
     }
+}
 
-    #[test]
-    fn initial_level_is_complement_of_first_write(ops in arb_phys_ops()) {
+#[test]
+fn initial_level_is_complement_of_first_write() {
+    let mut rng = TestRng::new(0x4006);
+    for _ in 0..CASES {
+        let ops = arb_phys_ops(&mut rng);
         let cond = DetectionCondition::new(ops.clone()).expect("has a read");
         if let Some(PhysOp::Write { high }) = ops.first() {
-            prop_assert_eq!(cond.initial_level(), !high);
+            assert_eq!(cond.initial_level(), !high);
         }
     }
 }

@@ -220,7 +220,7 @@ impl ColumnDesign {
         if !(0.0..=0.5).contains(&self.ref_skew) {
             return bad(format!("ref_skew {} outside [0, 0.5]", self.ref_skew));
         }
-        if !(self.wl_boost >= 0.0) {
+        if self.wl_boost < 0.0 || self.wl_boost.is_nan() {
             return bad(format!("wl_boost {} must be non-negative", self.wl_boost));
         }
         if self.plain_cells_per_bitline == 0 || self.plain_cells_per_bitline > 256 {
@@ -285,17 +285,14 @@ mod tests {
 
     #[test]
     fn design_validation_catches_errors() {
-        let mut d = ColumnDesign::default();
-        d.cs = 0.0;
+        let d = ColumnDesign { cs: 0.0, ..ColumnDesign::default() };
         assert!(d.validate().is_err());
-        let mut d = ColumnDesign::default();
-        d.cbl = 1e-15; // smaller than cs
+        // cbl smaller than cs
+        let d = ColumnDesign { cbl: 1e-15, ..ColumnDesign::default() };
         assert!(d.validate().is_err());
-        let mut d = ColumnDesign::default();
-        d.ref_skew = 1.0;
+        let d = ColumnDesign { ref_skew: 1.0, ..ColumnDesign::default() };
         assert!(d.validate().is_err());
-        let mut d = ColumnDesign::default();
-        d.dt_fraction = 0.5;
+        let d = ColumnDesign { dt_fraction: 0.5, ..ColumnDesign::default() };
         assert!(d.validate().is_err());
     }
 

@@ -12,7 +12,9 @@ use crate::column::{nodes, sources, Column};
 use crate::design::{BitLineSide, ColumnDesign, OperatingPoint};
 use crate::timing::{ControlWaveforms, CycleSchedule};
 use crate::DramError;
+use dso_num::chaos::FaultPlan;
 use dso_spice::engine::{Simulator, TranOptions, TranResult};
+use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
 use dso_spice::waveform::Waveform;
 
 /// A memory operation on the victim cell.
@@ -166,6 +168,11 @@ impl OpTrace {
         &self.tran
     }
 
+    /// Convergence-recovery actions the underlying transient needed.
+    pub fn recovery(&self) -> &RecoveryStats {
+        self.tran.recovery()
+    }
+
     /// The cycle time used for the trace.
     pub fn tcyc(&self) -> f64 {
         self.tcyc
@@ -178,6 +185,8 @@ pub struct OperationEngine {
     column: Column,
     op_point: OperatingPoint,
     victim: BitLineSide,
+    recovery: RecoveryPolicy,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl OperationEngine {
@@ -193,6 +202,8 @@ impl OperationEngine {
             column: Column::build(&design)?,
             op_point,
             victim: BitLineSide::True,
+            recovery: RecoveryPolicy::default(),
+            fault_plan: None,
         })
     }
 
@@ -207,12 +218,28 @@ impl OperationEngine {
             column,
             op_point,
             victim: BitLineSide::True,
+            recovery: RecoveryPolicy::default(),
+            fault_plan: None,
         })
     }
 
     /// Selects which bit line's victim cell the operations target.
     pub fn with_victim(mut self, side: BitLineSide) -> Self {
         self.victim = side;
+        self
+    }
+
+    /// Sets the convergence-recovery policy handed to the simulator.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan. Each [`Self::run`] clones
+    /// the plan, so solve ordinals restart from the plan's current counter
+    /// on every run (normally zero).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -316,7 +343,12 @@ impl OperationEngine {
         let tran_opts = TranOptions::new(waves.t_stop, dt)
             .map_err(DramError::Spice)?
             .with_ic(ics);
-        let sim = Simulator::new(&ckt).with_temperature(op.temp_c);
+        let mut sim = Simulator::new(&ckt)
+            .with_temperature(op.temp_c)
+            .with_recovery(self.recovery);
+        if let Some(plan) = &self.fault_plan {
+            sim = sim.with_fault_plan(plan.clone());
+        }
         let tran = sim.transient(&tran_opts)?;
 
         // Extract per-cycle results. The physical cell voltage is taken at

@@ -1,59 +1,62 @@
-//! Property-based tests of the DRAM model's non-electrical layers
+//! Property-style tests of the DRAM model's non-electrical layers
 //! (timing, behavioral memory, design validation). The electrical engine
 //! is covered by unit and integration tests — transient simulation is too
 //! slow for per-case property exploration.
+//!
+//! Driven by the in-tree deterministic [`TestRng`] so the suite builds
+//! with no registry access; every case replays bit-for-bit from its seed.
 
 use dso_dram::behavior::FunctionalMemory;
 use dso_dram::design::{BitLineSide, ColumnDesign, OperatingPoint};
 use dso_dram::ops::{physical_write, Operation};
 use dso_dram::timing::{ControlWaveforms, CycleSchedule};
-use proptest::prelude::*;
+use dso_num::testing::TestRng;
 
-fn arb_ops() -> impl Strategy<Value = Vec<Operation>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Operation::W0),
-            Just(Operation::W1),
-            Just(Operation::R)
-        ],
-        1..8,
-    )
+const CASES: usize = 128;
+
+fn arb_ops(rng: &mut TestRng) -> Vec<Operation> {
+    let n = rng.index_range(1, 8);
+    (0..n)
+        .map(|_| *rng.choose(&[Operation::W0, Operation::W1, Operation::R]))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn schedule_event_ordering_holds_for_any_duty(duty in 0.2f64..=0.8) {
+#[test]
+fn schedule_event_ordering_holds_for_any_duty() {
+    let mut rng = TestRng::new(0x3001);
+    for _ in 0..CASES {
+        let duty = rng.range(0.2, 0.8);
         let s = CycleSchedule::new(duty).expect("valid duty");
-        prop_assert!(0.0 < s.precharge_end);
-        prop_assert!(s.precharge_end < s.wl_on);
-        prop_assert!(s.wl_on < s.sense_on);
-        prop_assert!(s.sense_on < s.write_on);
-        prop_assert!(s.write_on < s.wl_off);
-        prop_assert!(s.wl_off <= s.sa_release);
-        prop_assert!(s.sa_release < 1.0);
+        assert!(0.0 < s.precharge_end);
+        assert!(s.precharge_end < s.wl_on);
+        assert!(s.wl_on < s.sense_on);
+        assert!(s.sense_on < s.write_on);
+        assert!(s.write_on < s.wl_off);
+        assert!(s.wl_off <= s.sa_release);
+        assert!(s.sa_release < 1.0);
     }
+}
 
-    #[test]
-    fn control_waveforms_valid_for_any_sequence(
-        ops in arb_ops(),
-        duty in 0.2f64..=0.8,
-        tcyc_ns in 20.0f64..200.0,
-        vdd in 2.1f64..2.7,
-        comp in proptest::bool::ANY,
-    ) {
+#[test]
+fn control_waveforms_valid_for_any_sequence() {
+    let mut rng = TestRng::new(0x3002);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
         let op_point = OperatingPoint {
-            vdd,
-            tcyc: tcyc_ns * 1e-9,
-            duty,
+            vdd: rng.range(2.1, 2.7),
+            tcyc: rng.range(20.0, 200.0) * 1e-9,
+            duty: rng.range(0.2, 0.8),
             temp_c: 27.0,
         };
-        let side = if comp { BitLineSide::Comp } else { BitLineSide::True };
+        let side = if rng.next_bool() {
+            BitLineSide::Comp
+        } else {
+            BitLineSide::True
+        };
         let design = ColumnDesign::default();
-        let waves = ControlWaveforms::build(&ops, side, &design, &op_point)
-            .expect("valid inputs build");
-        prop_assert!((waves.t_stop - ops.len() as f64 * op_point.tcyc).abs() < 1e-18);
+        let waves =
+            ControlWaveforms::build(&ops, side, &design, &op_point).expect("valid inputs build");
+        assert!((waves.t_stop - ops.len() as f64 * op_point.tcyc).abs() < 1e-18);
         // Every produced waveform must itself pass waveform validation
         // (PWL strictly increasing etc.).
         for (name, w) in [
@@ -68,81 +71,95 @@ proptest! {
             ("data_true", &waves.data_true),
             ("data_comp", &waves.data_comp),
         ] {
-            prop_assert!(w.validate(name).is_ok(), "{name} invalid");
+            assert!(w.validate(name).is_ok(), "{name} invalid");
         }
         // Only the victim's side word line ever rises.
-        let probe_times: Vec<f64> = (0..50)
-            .map(|i| i as f64 / 50.0 * waves.t_stop)
-            .collect();
+        let probe_times: Vec<f64> = (0..50).map(|i| i as f64 / 50.0 * waves.t_stop).collect();
         let (active, idle) = match side {
             BitLineSide::True => (&waves.wl_true, &waves.wl_comp),
             BitLineSide::Comp => (&waves.wl_comp, &waves.wl_true),
         };
-        prop_assert!(probe_times.iter().all(|&t| idle.eval(t) == 0.0));
-        prop_assert!(probe_times.iter().any(|&t| active.eval(t) > vdd));
+        assert!(probe_times.iter().all(|&t| idle.eval(t) == 0.0));
+        assert!(probe_times.iter().any(|&t| active.eval(t) > op_point.vdd));
     }
+}
 
-    #[test]
-    fn write_driver_only_active_during_writes(
-        ops in arb_ops(),
-    ) {
+#[test]
+fn write_driver_only_active_during_writes() {
+    let mut rng = TestRng::new(0x3003);
+    for _ in 0..CASES {
+        let ops = arb_ops(&mut rng);
         let op_point = OperatingPoint::nominal();
         let design = ColumnDesign::default();
-        let waves = ControlWaveforms::build(&ops, BitLineSide::True, &design, &op_point)
-            .expect("builds");
+        let waves =
+            ControlWaveforms::build(&ops, BitLineSide::True, &design, &op_point).expect("builds");
         for (k, op) in ops.iter().enumerate() {
             // Sample the middle of each cycle's write window.
             let t = (k as f64 + 0.45) * op_point.tcyc;
             let csl = waves.csl.eval(t);
             if op.write_value().is_none() {
-                prop_assert!(csl < 0.5, "csl active during read cycle {k}");
+                assert!(csl < 0.5, "csl active during read cycle {k}");
             }
         }
     }
+}
 
-    #[test]
-    fn physical_write_round_trip(high in proptest::bool::ANY, comp in proptest::bool::ANY) {
-        let side = if comp { BitLineSide::Comp } else { BitLineSide::True };
-        let op = physical_write(high, side);
-        let logic = op.write_value().expect("writes have values");
-        // Applying the side mapping twice recovers the physical level.
-        let recovered = match side {
-            BitLineSide::True => logic,
-            BitLineSide::Comp => !logic,
-        };
-        prop_assert_eq!(recovered, high);
+#[test]
+fn physical_write_round_trip() {
+    for high in [false, true] {
+        for side in [BitLineSide::True, BitLineSide::Comp] {
+            let op = physical_write(high, side);
+            let logic = op.write_value().expect("writes have values");
+            // Applying the side mapping twice recovers the physical level.
+            let recovered = match side {
+                BitLineSide::True => logic,
+                BitLineSide::Comp => !logic,
+            };
+            assert_eq!(recovered, high);
+        }
     }
+}
 
-    #[test]
-    fn memory_reset_restores_power_up(
-        size in 1usize..32,
-        writes in proptest::collection::vec((0usize..32, proptest::bool::ANY), 0..32),
-    ) {
+#[test]
+fn memory_reset_restores_power_up() {
+    let mut rng = TestRng::new(0x3004);
+    for _ in 0..CASES {
+        let size = rng.index_range(1, 32);
         let mut memory = FunctionalMemory::healthy(size);
-        for (addr, value) in writes {
+        let n_writes = rng.index(32);
+        for _ in 0..n_writes {
+            let addr = rng.index(32);
+            let value = rng.next_bool();
             if addr < size {
                 memory.write(addr, value).expect("in range");
             }
         }
         memory.reset();
         for addr in 0..size {
-            prop_assert!(!memory.read(addr).expect("in range"));
+            assert!(!memory.read(addr).expect("in range"));
         }
     }
+}
 
-    #[test]
-    fn operating_point_validation_is_a_box(
-        vdd in 0.0f64..10.0,
-        tcyc in 1e-10f64..1e-5,
-        duty in 0.0f64..1.0,
-        temp in -100.0f64..300.0,
-    ) {
-        let op = OperatingPoint { vdd, tcyc, duty, temp_c: temp };
+#[test]
+fn operating_point_validation_is_a_box() {
+    let mut rng = TestRng::new(0x3005);
+    for _ in 0..CASES {
+        let vdd = rng.range(0.0, 10.0);
+        let tcyc = rng.log_range(1e-10, 1e-5);
+        let duty = rng.next_f64();
+        let temp = rng.range(-100.0, 300.0);
+        let op = OperatingPoint {
+            vdd,
+            tcyc,
+            duty,
+            temp_c: temp,
+        };
         let valid = op.validate().is_ok();
         let in_box = (1.0..=4.0).contains(&vdd)
             && (10e-9..=1e-6).contains(&tcyc)
             && (0.2..=0.8).contains(&duty)
             && (-60.0..=150.0).contains(&temp);
-        prop_assert_eq!(valid, in_box);
+        assert_eq!(valid, in_box);
     }
 }

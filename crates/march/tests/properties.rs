@@ -1,122 +1,152 @@
-//! Property-based tests of the march notation and engine.
+//! Property-style tests of the march notation and engine.
+//!
+//! Driven by the in-tree deterministic [`TestRng`] so the suite builds
+//! with no registry access; every case replays bit-for-bit from its seed.
 
 use dso_dram::behavior::{CellBehavior, FunctionalMemory};
 use dso_march::element::{parse_elements, AddressOrder, MarchElement, MarchOp};
 use dso_march::run::apply;
 use dso_march::test::MarchTest;
-use proptest::prelude::*;
+use dso_num::testing::TestRng;
 
-fn arb_op() -> impl Strategy<Value = MarchOp> {
-    prop_oneof![
-        proptest::bool::ANY.prop_map(MarchOp::Read),
-        proptest::bool::ANY.prop_map(MarchOp::Write),
-    ]
+const CASES: usize = 128;
+
+fn arb_op(rng: &mut TestRng) -> MarchOp {
+    let value = rng.next_bool();
+    if rng.next_bool() {
+        MarchOp::Read(value)
+    } else {
+        MarchOp::Write(value)
+    }
 }
 
-fn arb_order() -> impl Strategy<Value = AddressOrder> {
-    prop_oneof![
-        Just(AddressOrder::Up),
-        Just(AddressOrder::Down),
-        Just(AddressOrder::Any),
-    ]
+fn arb_order(rng: &mut TestRng) -> AddressOrder {
+    *rng.choose(&[AddressOrder::Up, AddressOrder::Down, AddressOrder::Any])
 }
 
-fn arb_element() -> impl Strategy<Value = MarchElement> {
-    (arb_order(), proptest::collection::vec(arb_op(), 1..6))
-        .prop_map(|(order, ops)| MarchElement::new(order, ops).expect("non-empty"))
+fn arb_element(rng: &mut TestRng) -> MarchElement {
+    let order = arb_order(rng);
+    let n = rng.index_range(1, 6);
+    let ops: Vec<MarchOp> = (0..n).map(|_| arb_op(rng)).collect();
+    MarchElement::new(order, ops).expect("non-empty")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_elements(rng: &mut TestRng, max: usize) -> Vec<MarchElement> {
+    let n = rng.index_range(1, max);
+    (0..n).map(|_| arb_element(rng)).collect()
+}
 
-    #[test]
-    fn notation_round_trips(elements in proptest::collection::vec(arb_element(), 1..6)) {
+#[test]
+fn notation_round_trips() {
+    let mut rng = TestRng::new(0x5001);
+    for _ in 0..CASES {
+        let elements = arb_elements(&mut rng, 6);
         let rendered: Vec<String> = elements.iter().map(|e| e.to_string()).collect();
         let text = format!("{{{}}}", rendered.join("; "));
         let parsed = parse_elements(&text).expect("rendered notation parses");
-        prop_assert_eq!(parsed, elements);
+        assert_eq!(parsed, elements);
     }
+}
 
-    #[test]
-    fn operation_count_is_elements_times_size(
-        elements in proptest::collection::vec(arb_element(), 1..5),
-        size in 1usize..32,
-    ) {
+#[test]
+fn operation_count_is_elements_times_size() {
+    let mut rng = TestRng::new(0x5002);
+    for _ in 0..CASES {
+        let elements = arb_elements(&mut rng, 5);
+        let size = rng.index_range(1, 32);
         let per_address: usize = elements.iter().map(|e| e.ops.len()).sum();
         let test = MarchTest::new("prop", elements).expect("non-empty");
         let mut memory = FunctionalMemory::healthy(size);
-        // Seed every cell so reads can mismatch but execution still visits
-        // every (address, op) pair exactly once.
         let result = apply(&test, &mut memory).expect("runs");
-        prop_assert_eq!(result.operations(), per_address * size);
+        assert_eq!(result.operations(), per_address * size);
     }
+}
 
-    #[test]
-    fn standard_tests_pass_on_healthy_memory(size in 1usize..40) {
+#[test]
+fn standard_tests_pass_on_healthy_memory() {
+    let mut rng = TestRng::new(0x5003);
+    for _ in 0..CASES {
+        let size = rng.index_range(1, 40);
         for test in MarchTest::standard_suite() {
             let mut memory = FunctionalMemory::healthy(size);
             let result = apply(&test, &mut memory).expect("runs");
-            prop_assert!(!result.detected(), "{} false alarm at size {size}", test.name());
+            assert!(!result.detected(), "{} false alarm at size {size}", test.name());
         }
     }
+}
 
-    #[test]
-    fn stuck_at_faults_always_caught(
-        size in 2usize..40,
-        victim in 0usize..40,
-        stuck_value in proptest::bool::ANY,
-    ) {
-        prop_assume!(victim < size);
-        struct Stuck(bool);
-        impl CellBehavior for Stuck {
-            fn write(&mut self, _v: bool) {}
-            fn read(&mut self) -> bool { self.0 }
-            fn reset(&mut self) {}
+#[test]
+fn stuck_at_faults_always_caught() {
+    struct Stuck(bool);
+    impl CellBehavior for Stuck {
+        fn write(&mut self, _v: bool) {}
+        fn read(&mut self) -> bool {
+            self.0
         }
+        fn reset(&mut self) {}
+    }
+    let mut rng = TestRng::new(0x5004);
+    for _ in 0..CASES {
+        let size = rng.index_range(2, 40);
+        let victim = rng.index(size);
+        let stuck_value = rng.next_bool();
         for test in MarchTest::standard_suite() {
             let mut memory =
                 FunctionalMemory::with_victim(size, victim, Box::new(Stuck(stuck_value)))
                     .expect("victim in range");
             let result = apply(&test, &mut memory).expect("runs");
-            prop_assert!(
+            assert!(
                 result.detected(),
                 "{} missed SA{} at {victim}/{size}",
                 test.name(),
                 u8::from(stuck_value)
             );
-            prop_assert!(result.failures().iter().all(|f| f.address == victim));
+            assert!(result.failures().iter().all(|f| f.address == victim));
         }
     }
+}
 
-    #[test]
-    fn transition_faults_caught_by_march_y_and_c(
-        size in 2usize..24,
-        victim in 0usize..24,
-        rising in proptest::bool::ANY,
-    ) {
-        prop_assume!(victim < size);
-        /// Loses one transition direction.
-        struct Tf { value: bool, rising_lost: bool }
-        impl CellBehavior for Tf {
-            fn write(&mut self, v: bool) {
-                if self.rising_lost {
-                    if !v { self.value = false; } // rising writes lost
-                } else if v {
-                    self.value = true; // falling writes lost
+#[test]
+fn transition_faults_caught_by_march_y_and_c() {
+    /// Loses one transition direction.
+    struct Tf {
+        value: bool,
+        rising_lost: bool,
+    }
+    impl CellBehavior for Tf {
+        fn write(&mut self, v: bool) {
+            if self.rising_lost {
+                if !v {
+                    self.value = false; // rising writes lost
                 }
+            } else if v {
+                self.value = true; // falling writes lost
             }
-            fn read(&mut self) -> bool { self.value }
-            fn reset(&mut self) { self.value = false; }
         }
+        fn read(&mut self) -> bool {
+            self.value
+        }
+        fn reset(&mut self) {
+            self.value = false;
+        }
+    }
+    let mut rng = TestRng::new(0x5005);
+    for _ in 0..CASES {
+        let size = rng.index_range(2, 24);
+        let victim = rng.index(size);
+        let rising = rng.next_bool();
         for test in [MarchTest::march_y(), MarchTest::march_c_minus()] {
             let mut memory = FunctionalMemory::with_victim(
                 size,
                 victim,
-                Box::new(Tf { value: !rising, rising_lost: rising }),
+                Box::new(Tf {
+                    value: !rising,
+                    rising_lost: rising,
+                }),
             )
             .expect("victim in range");
             let result = apply(&test, &mut memory).expect("runs");
-            prop_assert!(
+            assert!(
                 result.detected(),
                 "{} missed a {} transition fault",
                 test.name(),
@@ -124,26 +154,29 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn functional_memory_matches_reference_model(
-        size in 1usize..16,
-        ops in proptest::collection::vec(
-            (0usize..16, proptest::bool::ANY, proptest::bool::ANY), 0..64,
-        ),
-    ) {
+#[test]
+fn functional_memory_matches_reference_model() {
+    let mut rng = TestRng::new(0x5006);
+    for _ in 0..CASES {
+        let size = rng.index_range(1, 16);
+        let n_ops = rng.index(64);
         let mut memory = FunctionalMemory::healthy(size);
         let mut reference = vec![false; size];
-        for (addr, is_write, value) in ops {
+        for _ in 0..n_ops {
+            let addr = rng.index(16);
+            let is_write = rng.next_bool();
+            let value = rng.next_bool();
             if addr >= size {
-                prop_assert!(memory.read(addr).is_err());
+                assert!(memory.read(addr).is_err());
                 continue;
             }
             if is_write {
                 memory.write(addr, value).expect("in range");
                 reference[addr] = value;
             } else {
-                prop_assert_eq!(memory.read(addr).expect("in range"), reference[addr]);
+                assert_eq!(memory.read(addr).expect("in range"), reference[addr]);
             }
         }
     }

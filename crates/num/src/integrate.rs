@@ -32,9 +32,9 @@ impl Method {
     /// step size `dt`, given the voltage `v_prev` and current `i_prev`
     /// through the capacitor at the previous accepted time point.
     ///
-    /// The capacitor is replaced by `i = geq·v − ieq` (current flowing from
-    /// + to − node), so the MNA stamp adds `geq` to the conductance matrix
-    /// and `ieq` to the right-hand side.
+    /// The capacitor is replaced by `i = geq·v − ieq` (current flowing
+    /// from + to − node), so the MNA stamp adds `geq` to the conductance
+    /// matrix and `ieq` to the right-hand side.
     ///
     /// # Errors
     ///

@@ -194,7 +194,7 @@ impl Curve {
 
 fn push_unique(roots: &mut Vec<f64>, x: f64) {
     let tol = 1e-12 * x.abs().max(1.0);
-    if roots.last().map_or(true, |&last| (x - last).abs() > tol) {
+    if roots.last().is_none_or(|&last| (x - last).abs() > tol) {
         roots.push(x);
     }
 }

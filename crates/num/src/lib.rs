@@ -20,6 +20,11 @@
 //!   curve).
 //! * [`trend`] — monotonicity classification of sampled responses (used to
 //!   decide whether a stress acts monotonically).
+//! * [`chaos`] — deterministic fault injection for Newton solves (singular
+//!   Jacobians, NaN residuals, forced divergence), used to exercise the
+//!   simulator's recovery ladder from tests.
+//! * [`testing`] — a seedable, dependency-free PRNG for property-style
+//!   tests across the workspace.
 //!
 //! # Example
 //!
@@ -37,6 +42,9 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod chaos;
 pub mod error;
 pub mod integrate;
 pub mod interp;
@@ -45,6 +53,7 @@ pub mod matrix;
 pub mod newton;
 pub mod roots;
 pub mod sparse;
+pub mod testing;
 pub mod trend;
 
 pub use error::NumError;

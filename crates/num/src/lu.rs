@@ -146,16 +146,16 @@ impl LuFactor {
         // Forward substitution with permuted rhs: L·y = P·b.
         for i in 0..n {
             let mut sum = b[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[i * n + j] * xj;
             }
             x[i] = sum;
         }
         // Back substitution: U·x = y.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[i * n + j] * xj;
             }
             x[i] = sum / self.lu[i * n + i];
         }

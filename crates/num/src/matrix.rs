@@ -126,9 +126,9 @@ impl DMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }
@@ -176,16 +176,21 @@ impl DMatrix {
         self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
     }
 
-    /// Infinity norm (maximum absolute row sum).
+    /// Infinity norm (maximum absolute row sum). NaN entries propagate: a
+    /// matrix containing NaN has a NaN norm, never a spuriously small one.
     pub fn norm_inf(&self) -> f64 {
-        (0..self.rows)
-            .map(|i| {
-                self.data[i * self.cols..(i + 1) * self.cols]
-                    .iter()
-                    .map(|v| v.abs())
-                    .sum::<f64>()
-            })
-            .fold(0.0_f64, f64::max)
+        let mut m = 0.0_f64;
+        for i in 0..self.rows {
+            let row_sum: f64 = self.data[i * self.cols..(i + 1) * self.cols]
+                .iter()
+                .map(|v| v.abs())
+                .sum();
+            if row_sum.is_nan() {
+                return f64::NAN;
+            }
+            m = m.max(row_sum);
+        }
+        m
     }
 
     /// Borrowed view of the underlying row-major storage.
@@ -258,8 +263,19 @@ pub fn norm2(x: &[f64]) -> f64 {
 }
 
 /// Infinity norm of a vector.
+///
+/// NaN entries propagate: the norm of a vector containing NaN is NaN.
+/// (`f64::max` would silently discard NaN, letting a poisoned residual
+/// masquerade as converged.)
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    let mut m = 0.0_f64;
+    for v in x {
+        if v.is_nan() {
+            return f64::NAN;
+        }
+        m = m.max(v.abs());
+    }
+    m
 }
 
 /// `y ← y + alpha * x`, the BLAS `axpy` primitive.

@@ -204,8 +204,8 @@ impl NewtonSolver {
             let mut alpha = 1.0;
             let mut accepted = false;
             for _ in 0..12 {
-                for i in 0..n {
-                    self.trial_x[i] = x[i] + alpha * self.dx[i];
+                for (i, xi) in x.iter().enumerate().take(n) {
+                    self.trial_x[i] = xi + alpha * self.dx[i];
                 }
                 system.residual(&self.trial_x, &mut self.trial_residual)?;
                 let trial_norm = norm_inf(&self.trial_residual);

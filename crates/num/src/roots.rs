@@ -85,7 +85,7 @@ pub fn bisect_transition<F>(
 where
     F: FnMut(f64) -> Result<bool, NumError>,
 {
-    if !(lo < hi) {
+    if lo >= hi || lo.is_nan() || hi.is_nan() {
         return Err(NumError::InvalidBracket { lo, hi });
     }
     if rel_tol <= 0.0 {

@@ -173,8 +173,7 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate().take(self.cols) {
             if xc == 0.0 {
                 continue;
             }

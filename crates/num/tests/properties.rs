@@ -1,53 +1,57 @@
-//! Property-based tests of the numerical kernel.
+//! Property-style tests of the numerical kernel.
+//!
+//! Driven by the in-tree deterministic [`TestRng`] rather than an external
+//! property-testing crate so the suite builds with no registry access.
+//! Every case derives from a fixed seed and replays bit-for-bit.
 
 use dso_num::interp::{linspace, logspace, Curve};
 use dso_num::lu::LuFactor;
 use dso_num::matrix::{norm_inf, DMatrix};
 use dso_num::roots::{bisect_transition, brent, Scale};
 use dso_num::sparse::{SparseLu, Triplets};
+use dso_num::testing::TestRng;
 use dso_num::trend::{classify, Trend};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 /// A random diagonally dominant matrix: always nonsingular, well enough
 /// conditioned that residual checks are meaningful.
-fn diag_dominant(n: usize) -> impl Strategy<Value = DMatrix> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
-        let mut a = DMatrix::zeros(n, n);
-        for i in 0..n {
-            let mut row_sum = 0.0;
-            for j in 0..n {
-                if i != j {
-                    let v = vals[i * n + j];
-                    a[(i, j)] = v;
-                    row_sum += v.abs();
-                }
+fn diag_dominant(rng: &mut TestRng, n: usize) -> DMatrix {
+    let mut a = DMatrix::zeros(n, n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = rng.range(-1.0, 1.0);
+                a[(i, j)] = v;
+                row_sum += v.abs();
             }
-            a[(i, i)] = row_sum + 1.0 + vals[i * n + i].abs();
         }
-        a
-    })
+        a[(i, i)] = row_sum + 1.0 + rng.next_f64();
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lu_solves_diag_dominant(
-        a in diag_dominant(8),
-        b in proptest::collection::vec(-10.0f64..10.0, 8),
-    ) {
+#[test]
+fn lu_solves_diag_dominant() {
+    let mut rng = TestRng::new(0x1001);
+    for _ in 0..CASES {
+        let a = diag_dominant(&mut rng, 8);
+        let b = rng.vec(8, -10.0, 10.0);
         let lu = LuFactor::new(&a).expect("diagonally dominant is nonsingular");
         let x = lu.solve(&b).expect("solve succeeds");
         let ax = a.mul_vec(&x).expect("dimensions match");
         let resid: Vec<f64> = ax.iter().zip(&b).map(|(l, r)| l - r).collect();
-        prop_assert!(norm_inf(&resid) < 1e-9, "residual {}", norm_inf(&resid));
+        assert!(norm_inf(&resid) < 1e-9, "residual {}", norm_inf(&resid));
     }
+}
 
-    #[test]
-    fn sparse_matches_dense(
-        a in diag_dominant(10),
-        b in proptest::collection::vec(-5.0f64..5.0, 10),
-    ) {
+#[test]
+fn sparse_matches_dense() {
+    let mut rng = TestRng::new(0x1002);
+    for _ in 0..CASES {
+        let a = diag_dominant(&mut rng, 10);
+        let b = rng.vec(10, -5.0, 5.0);
         let mut t = Triplets::new(10, 10);
         for i in 0..10 {
             for j in 0..10 {
@@ -56,121 +60,166 @@ proptest! {
                 }
             }
         }
-        let dense = LuFactor::new(&a).expect("nonsingular").solve(&b).expect("solves");
+        let dense = LuFactor::new(&a)
+            .expect("nonsingular")
+            .solve(&b)
+            .expect("solves");
         let sparse = SparseLu::new(&t.to_csc().expect("valid"))
             .expect("nonsingular")
             .solve(&b)
             .expect("solves");
         let diff: Vec<f64> = dense.iter().zip(&sparse).map(|(d, s)| d - s).collect();
-        prop_assert!(norm_inf(&diff) < 1e-8, "dense vs sparse differ by {}", norm_inf(&diff));
+        assert!(
+            norm_inf(&diff) < 1e-8,
+            "dense vs sparse differ by {}",
+            norm_inf(&diff)
+        );
     }
+}
 
-    #[test]
-    fn determinant_sign_consistent_with_permutation(a in diag_dominant(6)) {
-        // det(A) of a diagonally dominant matrix with positive diagonal
-        // is positive (it is an M-matrix-like structure); at minimum the
-        // determinant must be finite and nonzero.
+#[test]
+fn determinant_sign_consistent_with_permutation() {
+    // det(A) of a diagonally dominant matrix with positive diagonal must at
+    // minimum be finite and nonzero.
+    let mut rng = TestRng::new(0x1003);
+    for _ in 0..CASES {
+        let a = diag_dominant(&mut rng, 6);
         let lu = LuFactor::new(&a).expect("nonsingular");
         let det = lu.determinant();
-        prop_assert!(det.is_finite() && det != 0.0);
+        assert!(det.is_finite() && det != 0.0);
     }
+}
 
-    #[test]
-    fn curve_eval_bounded_by_neighbors(
-        ys in proptest::collection::vec(-5.0f64..5.0, 4..12),
-        t in 0.0f64..1.0,
-    ) {
-        let n = ys.len();
+#[test]
+fn curve_eval_bounded_by_neighbors() {
+    let mut rng = TestRng::new(0x1004);
+    for _ in 0..CASES {
+        let n = rng.index_range(4, 12);
+        let ys = rng.vec(n, -5.0, 5.0);
+        let t = rng.next_f64();
         let xs = linspace(0.0, 1.0, n).expect("valid spacing");
         let curve = Curve::new(xs, ys.clone()).expect("valid curve");
         let v = curve.eval(t).expect("in domain");
         let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
+}
 
-    #[test]
-    fn line_intersection_exact(
-        a0 in -5.0f64..5.0, a1 in -5.0f64..5.0,
-        b0 in -5.0f64..5.0, b1 in -5.0f64..5.0,
-    ) {
-        // Two straight lines over [0, 1] cross at most once; when the
-        // endpoint differences change sign, the intersection satisfies
-        // both line equations.
+#[test]
+fn line_intersection_exact() {
+    // Two straight lines over [0, 1] cross at most once; when the endpoint
+    // differences change sign, the intersection satisfies both line
+    // equations.
+    let mut rng = TestRng::new(0x1005);
+    for _ in 0..CASES {
+        let (a0, a1) = (rng.range(-5.0, 5.0), rng.range(-5.0, 5.0));
+        let (b0, b1) = (rng.range(-5.0, 5.0), rng.range(-5.0, 5.0));
         let la = Curve::new(vec![0.0, 1.0], vec![a0, a1]).expect("valid");
         let lb = Curve::new(vec![0.0, 1.0], vec![b0, b1]).expect("valid");
         let roots = la.intersections(&lb).expect("domains overlap");
-        prop_assert!(roots.len() <= 1 || (a0 == b0 && a1 == b1));
+        assert!(roots.len() <= 1 || (a0 == b0 && a1 == b1));
         for r in roots {
             let va = la.eval(r).expect("in domain");
             let vb = lb.eval(r).expect("in domain");
-            prop_assert!((va - vb).abs() < 1e-9, "at {r}: {va} vs {vb}");
+            assert!((va - vb).abs() < 1e-9, "at {r}: {va} vs {vb}");
         }
     }
+}
 
-    #[test]
-    fn bisection_brackets_planted_threshold(
-        threshold in 1.0f64..9.0,
-        log_scale in proptest::bool::ANY,
-    ) {
-        let scale = if log_scale { Scale::Logarithmic } else { Scale::Linear };
+#[test]
+fn bisection_brackets_planted_threshold() {
+    let mut rng = TestRng::new(0x1006);
+    for _ in 0..CASES {
+        let threshold = rng.range(1.0, 9.0);
+        let scale = if rng.next_bool() {
+            Scale::Logarithmic
+        } else {
+            Scale::Linear
+        };
         let t = bisect_transition(0.5, 10.0, 1e-6, scale, |x| Ok(x > threshold))
             .expect("valid bracket");
-        prop_assert!(t.last_false <= threshold);
-        prop_assert!(t.first_true >= threshold);
-        prop_assert!(t.width() < 1e-3);
+        assert!(t.last_false <= threshold);
+        assert!(t.first_true >= threshold);
+        assert!(t.width() < 1e-3);
     }
+}
 
-    #[test]
-    fn brent_finds_root_of_cubic(shift in -0.9f64..0.9) {
-        // x^3 - shift has a real root at shift^(1/3) within [-2, 2].
-        let root = brent(-2.0, 2.0, 1e-12, 200, |x| x * x * x - shift)
-            .expect("bracketed");
-        prop_assert!((root * root * root - shift).abs() < 1e-9);
+#[test]
+fn brent_finds_root_of_cubic() {
+    // x^3 - shift has a real root at shift^(1/3) within [-2, 2].
+    let mut rng = TestRng::new(0x1007);
+    for _ in 0..CASES {
+        let shift = rng.range(-0.9, 0.9);
+        let root = brent(-2.0, 2.0, 1e-12, 200, |x| x * x * x - shift).expect("bracketed");
+        assert!((root * root * root - shift).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn sorted_data_classifies_monotone(
-        mut ys in proptest::collection::vec(-100.0f64..100.0, 3..20),
-    ) {
+#[test]
+fn sorted_data_classifies_monotone() {
+    let mut rng = TestRng::new(0x1008);
+    for _ in 0..CASES {
+        let n = rng.index_range(3, 20);
+        let mut ys = rng.vec(n, -100.0, 100.0);
         ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let trend = classify(&ys, 0.0).expect("valid input");
-        prop_assert!(
+        assert!(
             trend == Trend::Increasing || trend == Trend::Flat,
             "sorted data classified {trend}"
         );
         ys.reverse();
         let trend = classify(&ys, 0.0).expect("valid input");
-        prop_assert!(trend == Trend::Decreasing || trend == Trend::Flat);
+        assert!(trend == Trend::Decreasing || trend == Trend::Flat);
     }
+}
 
-    #[test]
-    fn logspace_is_geometric(lo in 1e-3f64..1.0, ratio in 1.5f64..1e4, n in 3usize..20) {
+#[test]
+fn logspace_is_geometric() {
+    let mut rng = TestRng::new(0x1009);
+    for _ in 0..CASES {
+        let lo = rng.range(1e-3, 1.0);
+        let ratio = rng.log_range(1.5, 1e4);
+        let n = rng.index_range(3, 20);
         let hi = lo * ratio;
         let pts = logspace(lo, hi, n).expect("valid range");
-        prop_assert_eq!(pts.len(), n);
-        prop_assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(pts.len(), n);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
         let r0 = pts[1] / pts[0];
         for w in pts.windows(2) {
-            prop_assert!((w[1] / w[0] - r0).abs() < 1e-6 * r0);
+            assert!((w[1] / w[0] - r0).abs() < 1e-6 * r0);
         }
     }
+}
 
-    #[test]
-    fn triplets_duplicates_sum(entries in proptest::collection::vec(
-        (0usize..5, 0usize..5, -10.0f64..10.0), 1..40,
-    )) {
+#[test]
+fn triplets_duplicates_sum() {
+    let mut rng = TestRng::new(0x100a);
+    for _ in 0..CASES {
+        let count = rng.index_range(1, 40);
         let mut t = Triplets::new(5, 5);
-        let mut reference = vec![0.0f64; 25];
-        for &(r, c, v) in &entries {
+        let mut reference = [0.0f64; 25];
+        for _ in 0..count {
+            let (r, c, v) = (rng.index(5), rng.index(5), rng.range(-10.0, 10.0));
             t.push(r, c, v);
             reference[r * 5 + c] += v;
         }
         let csc = t.to_csc().expect("finite values");
         for r in 0..5 {
             for c in 0..5 {
-                prop_assert!((csc.get(r, c) - reference[r * 5 + c]).abs() < 1e-12);
+                assert!((csc.get(r, c) - reference[r * 5 + c]).abs() < 1e-12);
             }
         }
     }
+}
+
+#[test]
+fn norm_inf_propagates_nan() {
+    // A poisoned residual must never report a finite (spuriously small)
+    // norm — the Newton driver's non-finite guard depends on this.
+    assert!(norm_inf(&[1.0, f64::NAN, 3.0]).is_nan());
+    assert!(!norm_inf(&[1.0, -4.0, 3.0]).is_nan());
+    let mut m = DMatrix::zeros(2, 2);
+    m[(0, 1)] = f64::NAN;
+    assert!(m.norm_inf().is_nan());
 }

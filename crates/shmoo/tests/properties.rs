@@ -1,18 +1,24 @@
-//! Property-based tests of the Shmoo plot engine.
+//! Property-style tests of the Shmoo plot engine, driven by the in-tree
+//! deterministic [`TestRng`] (no registry access needed).
 
+use dso_num::testing::TestRng;
 use dso_shmoo::{Outcome, ShmooPlot};
-use proptest::prelude::*;
 use std::convert::Infallible;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn grid_matches_oracle(
-        xs in proptest::collection::vec(-10.0f64..10.0, 1..8),
-        ys in proptest::collection::vec(-10.0f64..10.0, 1..8),
-        threshold in -15.0f64..15.0,
-    ) {
+fn arb_axis(rng: &mut TestRng, max_len: usize) -> Vec<f64> {
+    let n = rng.index_range(1, max_len);
+    (0..n).map(|_| rng.range(-10.0, 10.0)).collect()
+}
+
+#[test]
+fn grid_matches_oracle() {
+    let mut rng = TestRng::new(0x6001);
+    for _ in 0..CASES {
+        let xs = arb_axis(&mut rng, 8);
+        let ys = arb_axis(&mut rng, 8);
+        let threshold = rng.range(-15.0, 15.0);
         let plot = ShmooPlot::generate("x", &xs, "y", &ys, |x, y| {
             Ok::<_, Infallible>(x + y > threshold)
         })
@@ -24,32 +30,35 @@ proptest! {
                 } else {
                     Outcome::Fail
                 };
-                prop_assert_eq!(plot.outcome(xi, yi), expected);
+                assert_eq!(plot.outcome(xi, yi), expected);
             }
         }
     }
+}
 
-    #[test]
-    fn pass_rate_in_unit_interval(
-        xs in proptest::collection::vec(-10.0f64..10.0, 1..6),
-        ys in proptest::collection::vec(-10.0f64..10.0, 1..6),
-        seed in 0u64..1000,
-    ) {
-        let mut state = seed;
+#[test]
+fn pass_rate_in_unit_interval() {
+    let mut rng = TestRng::new(0x6002);
+    for _ in 0..CASES {
+        let xs = arb_axis(&mut rng, 6);
+        let ys = arb_axis(&mut rng, 6);
+        let mut state = rng.next_u64() % 1000;
         let plot = ShmooPlot::generate("x", &xs, "y", &ys, |_, _| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             Ok::<_, Infallible>(state & 1 == 0)
         })
         .expect("infallible oracle");
         let rate = plot.pass_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate));
     }
+}
 
-    #[test]
-    fn oracle_called_exactly_once_per_point(
-        nx in 1usize..8,
-        ny in 1usize..8,
-    ) {
+#[test]
+fn oracle_called_exactly_once_per_point() {
+    let mut rng = TestRng::new(0x6003);
+    for _ in 0..CASES {
+        let nx = rng.index_range(1, 8);
+        let ny = rng.index_range(1, 8);
         let xs: Vec<f64> = (0..nx).map(|i| i as f64).collect();
         let ys: Vec<f64> = (0..ny).map(|i| i as f64).collect();
         let mut calls = 0usize;
@@ -58,14 +67,16 @@ proptest! {
             Ok::<_, Infallible>(true)
         })
         .expect("infallible oracle");
-        prop_assert_eq!(calls, nx * ny);
+        assert_eq!(calls, nx * ny);
     }
+}
 
-    #[test]
-    fn renderings_cover_every_row(
-        nx in 1usize..6,
-        ny in 1usize..6,
-    ) {
+#[test]
+fn renderings_cover_every_row() {
+    let mut rng = TestRng::new(0x6004);
+    for _ in 0..CASES {
+        let nx = rng.index_range(1, 6);
+        let ny = rng.index_range(1, 6);
         let xs: Vec<f64> = (0..nx).map(|i| i as f64).collect();
         let ys: Vec<f64> = (0..ny).map(|i| i as f64).collect();
         let plot = ShmooPlot::generate("a", &xs, "b", &ys, |x, y| {
@@ -73,8 +84,8 @@ proptest! {
         })
         .expect("infallible oracle");
         let csv = plot.render_csv();
-        prop_assert_eq!(csv.lines().count(), ny + 1);
+        assert_eq!(csv.lines().count(), ny + 1);
         let ascii = plot.render_ascii();
-        prop_assert!(ascii.lines().count() >= ny + 2);
+        assert!(ascii.lines().count() >= ny + 2);
     }
 }

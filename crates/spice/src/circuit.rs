@@ -256,6 +256,7 @@ impl Circuit {
     ///
     /// * [`SpiceError::BadParameter`] if the model card fails validation.
     /// * [`SpiceError::DuplicateDevice`] if any generated name is taken.
+    #[allow(clippy::too_many_arguments)] // d/g/s/b terminals are the SPICE idiom
     pub fn add_mosfet(
         &mut self,
         name: &str,

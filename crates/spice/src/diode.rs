@@ -159,11 +159,9 @@ mod tests {
     #[test]
     fn validation() {
         assert!(DiodeModel::default().validate("D1").is_ok());
-        let mut d = DiodeModel::default();
-        d.is_sat = 0.0;
+        let d = DiodeModel { is_sat: 0.0, ..DiodeModel::default() };
         assert!(d.validate("D1").is_err());
-        let mut d = DiodeModel::default();
-        d.n = 0.5;
+        let d = DiodeModel { n: 0.5, ..DiodeModel::default() };
         assert!(d.validate("D1").is_err());
     }
 }

@@ -36,12 +36,24 @@ pub enum SpiceError {
     /// signal, out-of-range sample time, …).
     BadAnalysis(String),
     /// The transient/DC solve failed to converge. Carries the time point at
-    /// which convergence was lost (`None` for DC).
+    /// which convergence was lost (`None` for DC) and the number of solve
+    /// attempts spent before giving up (retries included).
     Convergence {
         /// Simulation time at the failure, if transient.
         time: Option<f64>,
+        /// Newton solve attempts made before surfacing the failure.
+        attempts: usize,
         /// Underlying numerical error.
         source: NumError,
+    },
+    /// A waveform sample was requested outside the simulated time window.
+    SampleOutOfRange {
+        /// Requested sample time in seconds.
+        t: f64,
+        /// First simulated time point.
+        t_start: f64,
+        /// Last simulated time point.
+        t_end: f64,
     },
 }
 
@@ -60,10 +72,24 @@ impl fmt::Display for SpiceError {
                 write!(f, "netlist parse error at line {line}: {reason}")
             }
             SpiceError::BadAnalysis(msg) => write!(f, "bad analysis request: {msg}"),
-            SpiceError::Convergence { time, source } => match time {
-                Some(t) => write!(f, "convergence failure at t = {t:.4e} s: {source}"),
-                None => write!(f, "DC convergence failure: {source}"),
+            SpiceError::Convergence {
+                time,
+                attempts,
+                source,
+            } => match time {
+                Some(t) => write!(
+                    f,
+                    "convergence failure at t = {t:.4e} s after {attempts} attempt(s): {source}"
+                ),
+                None => write!(
+                    f,
+                    "DC convergence failure after {attempts} attempt(s): {source}"
+                ),
             },
+            SpiceError::SampleOutOfRange { t, t_start, t_end } => write!(
+                f,
+                "sample time {t:.4e} s outside simulated window [{t_start:.4e}, {t_end:.4e}] s"
+            ),
         }
     }
 }
@@ -100,12 +126,21 @@ mod tests {
         .contains("line 12"));
         let conv = SpiceError::Convergence {
             time: Some(1e-9),
+            attempts: 3,
             source: NumError::NoConvergence {
                 iterations: 10,
                 residual: 1.0,
             },
         };
         assert!(conv.to_string().contains("1.0000e-9"));
+        assert!(conv.to_string().contains("3 attempt"));
+        let oor = SpiceError::SampleOutOfRange {
+            t: 2e-6,
+            t_start: 0.0,
+            t_end: 1e-6,
+        };
+        let msg = oor.to_string();
+        assert!(msg.contains("2.0000e-6") && msg.contains("1.0000e-6"), "{msg}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   Newton–Raphson, DC operating point (with gmin stepping) and fixed-step
 //!   transient analysis (backward Euler or trapezoidal), producing
 //!   [`engine::TranResult`] waveforms.
+//! * [`recovery`] — the bounded convergence-recovery ladder (method
+//!   fallback, timestep subdivision, gmin stepping) that keeps long
+//!   simulation campaigns alive through individual solver failures, with
+//!   per-run [`recovery::RecoveryStats`] reporting.
 //!
 //! # Example
 //!
@@ -41,6 +45,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod circuit;
 pub mod device;
 pub mod diode;
@@ -49,12 +55,14 @@ pub mod error;
 pub mod export;
 pub mod mos;
 pub mod netlist;
+pub mod recovery;
 pub mod units;
 pub mod waveform;
 
 pub use circuit::{Circuit, NodeId};
 pub use engine::{Simulator, TranOptions, TranResult};
 pub use error::SpiceError;
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 
 /// Absolute zero offset: converts Celsius to Kelvin.
 pub const CELSIUS_TO_KELVIN: f64 = 273.15;

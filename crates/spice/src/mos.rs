@@ -500,11 +500,9 @@ mod tests {
         assert!(m.validate("M1").is_ok());
         m.kp = -1.0;
         assert!(m.validate("M1").is_err());
-        let mut m = MosModel::default();
-        m.n_sub = 0.5;
+        let m = MosModel { n_sub: 0.5, ..MosModel::default() };
         assert!(m.validate("M1").is_err());
-        let mut m = MosModel::default();
-        m.phi = f64::NAN;
+        let m = MosModel { phi: f64::NAN, ..MosModel::default() };
         assert!(m.validate("M1").is_err());
     }
 

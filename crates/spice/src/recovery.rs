@@ -1,0 +1,200 @@
+//! Convergence-recovery policy and reporting for transient analysis.
+//!
+//! A result-plane campaign runs hundreds of transients; a single Newton
+//! divergence at one awkward defect resistance must not abort the whole
+//! plane. [`RecoveryPolicy`] configures a bounded retry ladder that
+//! [`crate::Simulator::transient`] climbs when a time step fails to
+//! converge:
+//!
+//! 1. **Method fallback** — re-solve the step with backward Euler. The
+//!    trapezoidal rule is not L-stable and can ring on stiff switching
+//!    edges; backward Euler damps the ringing at the cost of accuracy on
+//!    this one step.
+//! 2. **Timestep subdivision** — split the step at its midpoint and solve
+//!    the halves (recursively, up to [`RecoveryPolicy::max_subdivisions`]
+//!    deep), each with backward Euler. Shorter steps strengthen the
+//!    capacitor companion conductances and shrink the distance from the
+//!    previous solution.
+//! 3. **gmin stepping** — at the deepest subdivision, walk the same gmin
+//!    homotopy ladder the DC operating-point solve uses: solve the step
+//!    with a large minimum conductance, then re-solve with progressively
+//!    smaller values, warm-starting each rung from the previous one, until
+//!    the configured gmin is restored.
+//!
+//! Every action taken is tallied in [`RecoveryStats`], which rides on the
+//! returned [`crate::TranResult`] so campaign layers can distinguish a
+//! clean run from one that needed intervention (and downgrade confidence
+//! accordingly).
+
+/// Configuration of the transient convergence-recovery ladder.
+///
+/// The default policy enables every rung; [`RecoveryPolicy::strict`]
+/// disables them all, restoring fail-fast behaviour for debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum recursive timestep-subdivision depth (each level halves the
+    /// step, so `6` allows steps down to 1/64 of the nominal step).
+    pub max_subdivisions: usize,
+    /// Re-solve a failed trapezoidal step with backward Euler before
+    /// subdividing.
+    pub method_fallback: bool,
+    /// At the deepest subdivision, attempt a gmin-stepping homotopy before
+    /// surfacing the failure. Also gates the DC operating point's gmin
+    /// ladder.
+    pub gmin_stepping: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_subdivisions: 6,
+            method_fallback: true,
+            gmin_stepping: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: the first convergence failure is surfaced
+    /// immediately. Useful to expose marginal circuits in tests.
+    pub fn strict() -> Self {
+        RecoveryPolicy {
+            max_subdivisions: 0,
+            method_fallback: false,
+            gmin_stepping: false,
+        }
+    }
+
+    /// Sets the maximum subdivision depth.
+    pub fn with_max_subdivisions(mut self, depth: usize) -> Self {
+        self.max_subdivisions = depth;
+        self
+    }
+
+    /// Enables or disables the backward-Euler method fallback.
+    pub fn with_method_fallback(mut self, enabled: bool) -> Self {
+        self.method_fallback = enabled;
+        self
+    }
+
+    /// Enables or disables gmin stepping.
+    pub fn with_gmin_stepping(mut self, enabled: bool) -> Self {
+        self.gmin_stepping = enabled;
+        self
+    }
+}
+
+/// Tally of recovery actions taken during one analysis run.
+///
+/// Attached to [`crate::TranResult`]; a campaign layer uses it to tell a
+/// clean point from a recovered one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Newton solves attempted (including retries and homotopy rungs).
+    pub solve_attempts: usize,
+    /// Failed steps re-solved with backward Euler.
+    pub method_fallbacks: usize,
+    /// Timestep subdivisions performed.
+    pub subdivisions: usize,
+    /// Deepest subdivision level reached (0 = never subdivided).
+    pub deepest_subdivision: usize,
+    /// gmin-stepping homotopies attempted.
+    pub gmin_retries: usize,
+    /// Step advances that failed at least once and were subsequently
+    /// recovered (sub-steps included).
+    pub recovered_steps: usize,
+}
+
+impl RecoveryStats {
+    /// `true` if the run needed no recovery action at all.
+    pub fn is_clean(&self) -> bool {
+        self.method_fallbacks == 0 && self.subdivisions == 0 && self.gmin_retries == 0
+    }
+
+    /// Total recovery actions (fallbacks + subdivisions + gmin retries).
+    pub fn actions(&self) -> usize {
+        self.method_fallbacks + self.subdivisions + self.gmin_retries
+    }
+
+    /// Accumulates another run's counters into this tally. Campaign layers
+    /// use this to aggregate the many transients behind one sweep point.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.solve_attempts += other.solve_attempts;
+        self.method_fallbacks += other.method_fallbacks;
+        self.subdivisions += other.subdivisions;
+        self.deepest_subdivision = self.deepest_subdivision.max(other.deepest_subdivision);
+        self.gmin_retries += other.gmin_retries;
+        self.recovered_steps += other.recovered_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_rungs() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.max_subdivisions, 6);
+        assert!(p.method_fallback);
+        assert!(p.gmin_stepping);
+    }
+
+    #[test]
+    fn strict_disables_all_rungs() {
+        let p = RecoveryPolicy::strict();
+        assert_eq!(p.max_subdivisions, 0);
+        assert!(!p.method_fallback);
+        assert!(!p.gmin_stepping);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = RecoveryPolicy::default()
+            .with_max_subdivisions(2)
+            .with_method_fallback(false)
+            .with_gmin_stepping(false);
+        assert_eq!(p.max_subdivisions, 2);
+        assert!(!p.method_fallback && !p.gmin_stepping);
+    }
+
+    #[test]
+    fn stats_cleanliness() {
+        let mut s = RecoveryStats::default();
+        assert!(s.is_clean());
+        assert_eq!(s.actions(), 0);
+        s.solve_attempts = 40; // solves alone do not dirty a run
+        assert!(s.is_clean());
+        s.method_fallbacks = 1;
+        s.gmin_retries = 2;
+        assert!(!s.is_clean());
+        assert_eq!(s.actions(), 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RecoveryStats {
+            solve_attempts: 10,
+            method_fallbacks: 1,
+            subdivisions: 0,
+            deepest_subdivision: 0,
+            gmin_retries: 0,
+            recovered_steps: 1,
+        };
+        let b = RecoveryStats {
+            solve_attempts: 5,
+            method_fallbacks: 0,
+            subdivisions: 2,
+            deepest_subdivision: 2,
+            gmin_retries: 1,
+            recovered_steps: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.solve_attempts, 15);
+        assert_eq!(a.method_fallbacks, 1);
+        assert_eq!(a.subdivisions, 2);
+        assert_eq!(a.deepest_subdivision, 2);
+        assert_eq!(a.gmin_retries, 1);
+        assert_eq!(a.recovered_steps, 2);
+    }
+}

@@ -1,40 +1,55 @@
-//! Property-based tests of the circuit simulator against analytic
+//! Property-style tests of the circuit simulator against analytic
 //! electronics.
+//!
+//! Driven by the in-tree deterministic [`TestRng`] (seeded, replayable)
+//! instead of an external property-testing crate so the suite builds with
+//! no registry access.
 
+use dso_num::testing::TestRng;
 use dso_spice::circuit::Circuit;
 use dso_spice::engine::{Simulator, TranOptions};
 use dso_spice::mos::{evaluate, MosGeometry, MosModel};
 use dso_spice::units::parse_value;
 use dso_spice::waveform::{Pulse, Waveform};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    #[test]
-    fn divider_matches_analytic(r1 in 100.0f64..1e6, r2 in 100.0f64..1e6, v in 0.5f64..5.0) {
+#[test]
+fn divider_matches_analytic() {
+    let mut rng = TestRng::new(0x2001);
+    for _ in 0..CASES {
+        let r1 = rng.log_range(100.0, 1e6);
+        let r2 = rng.log_range(100.0, 1e6);
+        let v = rng.range(0.5, 5.0);
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let mid = ckt.node("mid");
-        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v)).expect("adds");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v))
+            .expect("adds");
         ckt.add_resistor("R1", vin, mid, r1).expect("adds");
         ckt.add_resistor("R2", mid, Circuit::GROUND, r2).expect("adds");
         let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
         let expected = v * r2 / (r1 + r2);
         let got = op.voltage("mid").expect("node exists");
-        prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0), "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-6 * expected.max(1.0),
+            "{got} vs {expected}"
+        );
     }
+}
 
-    #[test]
-    fn rc_discharge_matches_exponential(
-        r in 1e2f64..1e5,
-        c in 1e-12f64..1e-9,
-        v0 in 0.5f64..3.0,
-    ) {
+#[test]
+fn rc_discharge_matches_exponential() {
+    let mut rng = TestRng::new(0x2002);
+    for _ in 0..CASES {
+        let r = rng.log_range(1e2, 1e5);
+        let c = rng.log_range(1e-12, 1e-9);
+        let v0 = rng.range(0.5, 3.0);
         let mut ckt = Circuit::new();
         let out = ckt.node("out");
         ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
-        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0)).expect("adds");
+        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0))
+            .expect("adds");
         let tau = r * c;
         let opts = TranOptions::new(2.0 * tau, tau / 100.0)
             .expect("valid options")
@@ -42,19 +57,26 @@ proptest! {
         let result = Simulator::new(&ckt).transient(&opts).expect("converges");
         let v_tau = result.voltage_at("out", tau).expect("in range");
         let expected = v0 * (-1.0f64).exp();
-        prop_assert!(
+        assert!(
             (v_tau - expected).abs() < 0.01 * v0,
             "tau={tau:e}: {v_tau} vs {expected}"
         );
     }
+}
 
-    #[test]
-    fn kcl_current_balance(r1 in 1e2f64..1e5, r2 in 1e2f64..1e5, v in 0.5f64..5.0) {
-        // Two parallel resistors: the source current is the sum of the
-        // branch currents.
+#[test]
+fn kcl_current_balance() {
+    // Two parallel resistors: the source current is the sum of the branch
+    // currents.
+    let mut rng = TestRng::new(0x2003);
+    for _ in 0..CASES {
+        let r1 = rng.log_range(1e2, 1e5);
+        let r2 = rng.log_range(1e2, 1e5);
+        let v = rng.range(0.5, 5.0);
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
-        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v)).expect("adds");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v))
+            .expect("adds");
         ckt.add_resistor("R1", vin, Circuit::GROUND, r1).expect("adds");
         ckt.add_resistor("R2", vin, Circuit::GROUND, r2).expect("adds");
         let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
@@ -62,56 +84,73 @@ proptest! {
         let expected = v / r1 + v / r2;
         // The gmin leak (1 pS per node) adds ~v * 1e-12 A.
         let tol = 1e-9 * expected + 1e-11 * v;
-        prop_assert!((i - expected).abs() < tol, "{i} vs {expected}");
+        assert!((i - expected).abs() < tol, "{i} vs {expected}");
     }
+}
 
-    #[test]
-    fn mosfet_derivatives_match_finite_difference(
-        vgs in 0.0f64..2.4,
-        vds in -2.4f64..2.4,
-        vbs in -1.0f64..0.0,
-        temp in -33.0f64..87.0,
-    ) {
-        let model = MosModel::default();
-        let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
-        let h = 1e-6;
+#[test]
+fn mosfet_derivatives_match_finite_difference() {
+    let mut rng = TestRng::new(0x2004);
+    let model = MosModel::default();
+    let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
+    let h = 1e-6;
+    let mut checked = 0;
+    while checked < CASES {
+        let vgs = rng.range(0.0, 2.4);
+        let vds = rng.range(-2.4, 2.4);
+        let vbs = rng.range(-1.0, 0.0);
+        let temp = rng.range(-33.0, 87.0);
+        // Skip points near the vds=0 kink where one-sided behaviour
+        // dominates the central difference.
+        if vds.abs() <= 1e-3 {
+            continue;
+        }
+        checked += 1;
         let e = evaluate(&model, g, vgs, vds, vbs, temp);
         let gm_fd = (evaluate(&model, g, vgs + h, vds, vbs, temp).ids
-            - evaluate(&model, g, vgs - h, vds, vbs, temp).ids) / (2.0 * h);
+            - evaluate(&model, g, vgs - h, vds, vbs, temp).ids)
+            / (2.0 * h);
         let gds_fd = (evaluate(&model, g, vgs, vds + h, vbs, temp).ids
-            - evaluate(&model, g, vgs, vds - h, vbs, temp).ids) / (2.0 * h);
-        // Skip points exactly at the vds=0 kink where one-sided behaviour
-        // dominates the central difference.
-        prop_assume!(vds.abs() > 1e-3);
+            - evaluate(&model, g, vgs, vds - h, vbs, temp).ids)
+            / (2.0 * h);
         let scale = gm_fd.abs().max(1e-9);
-        prop_assert!((e.gm - gm_fd).abs() / scale < 2e-2, "gm {} vs {}", e.gm, gm_fd);
+        assert!((e.gm - gm_fd).abs() / scale < 2e-2, "gm {} vs {}", e.gm, gm_fd);
         let scale = gds_fd.abs().max(1e-9);
-        prop_assert!((e.gds - gds_fd).abs() / scale < 5e-2, "gds {} vs {}", e.gds, gds_fd);
+        assert!(
+            (e.gds - gds_fd).abs() / scale < 5e-2,
+            "gds {} vs {}",
+            e.gds,
+            gds_fd
+        );
     }
+}
 
-    #[test]
-    fn mosfet_current_monotone_in_vgs(
-        vds in 0.05f64..2.4,
-        temp in -33.0f64..87.0,
-    ) {
-        let model = MosModel::default();
-        let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
+#[test]
+fn mosfet_current_monotone_in_vgs() {
+    let mut rng = TestRng::new(0x2005);
+    let model = MosModel::default();
+    let g = MosGeometry::new(1e-6, 0.3e-6).expect("valid");
+    for _ in 0..CASES {
+        let vds = rng.range(0.05, 2.4);
+        let temp = rng.range(-33.0, 87.0);
         let mut prev = f64::NEG_INFINITY;
         let mut vgs = 0.0;
         while vgs <= 2.4 {
             let ids = evaluate(&model, g, vgs, vds, 0.0, temp).ids;
-            prop_assert!(ids >= prev - 1e-15, "non-monotone at vgs={vgs}");
+            assert!(ids >= prev - 1e-15, "non-monotone at vgs={vgs}");
             prev = ids;
             vgs += 0.05;
         }
     }
+}
 
-    #[test]
-    fn pulse_stays_within_levels(
-        v1 in -3.0f64..3.0,
-        v2 in -3.0f64..3.0,
-        t in 0.0f64..500e-9,
-    ) {
+#[test]
+fn pulse_stays_within_levels() {
+    let mut rng = TestRng::new(0x2006);
+    for _ in 0..CASES {
+        let v1 = rng.range(-3.0, 3.0);
+        let v2 = rng.range(-3.0, 3.0);
+        let t = rng.range(0.0, 500e-9);
         let p = Waveform::Pulse(Pulse {
             v1,
             v2,
@@ -124,36 +163,50 @@ proptest! {
         let v = p.eval(t);
         let lo = v1.min(v2);
         let hi = v1.max(v2);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
     }
+}
 
-    #[test]
-    fn parse_value_scales_correctly(mantissa in 0.001f64..999.0) {
+#[test]
+fn parse_value_scales_correctly() {
+    let mut rng = TestRng::new(0x2007);
+    for _ in 0..CASES {
+        let mantissa = rng.log_range(0.001, 999.0);
         for (suffix, scale) in [
-            ("", 1.0), ("k", 1e3), ("meg", 1e6), ("g", 1e9),
-            ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12), ("f", 1e-15),
+            ("", 1.0),
+            ("k", 1e3),
+            ("meg", 1e6),
+            ("g", 1e9),
+            ("m", 1e-3),
+            ("u", 1e-6),
+            ("n", 1e-9),
+            ("p", 1e-12),
+            ("f", 1e-15),
         ] {
             let text = format!("{mantissa}{suffix}");
             let parsed = parse_value(&text).expect("valid number");
             let expected = mantissa * scale;
-            prop_assert!(
+            assert!(
                 (parsed - expected).abs() <= 1e-12 * expected.abs(),
                 "{text}: {parsed} vs {expected}"
             );
         }
     }
+}
 
-    #[test]
-    fn adaptive_matches_fixed_step_on_random_rc(
-        r in 1e2f64..1e5,
-        c in 1e-12f64..1e-10,
-        v0 in 0.5f64..3.0,
-    ) {
-        use dso_spice::engine::AdaptiveOptions;
+#[test]
+fn adaptive_matches_fixed_step_on_random_rc() {
+    use dso_spice::engine::AdaptiveOptions;
+    let mut rng = TestRng::new(0x2008);
+    for _ in 0..CASES {
+        let r = rng.log_range(1e2, 1e5);
+        let c = rng.log_range(1e-12, 1e-10);
+        let v0 = rng.range(0.5, 3.0);
         let mut ckt = Circuit::new();
         let out = ckt.node("out");
         ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
-        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0)).expect("adds");
+        ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0))
+            .expect("adds");
         let tau = r * c;
         let sim = Simulator::new(&ckt);
         let fixed = sim
@@ -179,20 +232,26 @@ proptest! {
             let t = frac * tau;
             let a = adaptive.voltage_at("out", t).expect("in range");
             let f = fixed.voltage_at("out", t).expect("in range");
-            prop_assert!((a - f).abs() < 0.01 * v0, "at {frac} tau: {a} vs {f}");
+            assert!((a - f).abs() < 0.01 * v0, "at {frac} tau: {a} vs {f}");
         }
     }
+}
 
-    #[test]
-    fn netlist_numeric_round_trip(r in 1.0f64..1e6, v in 0.1f64..10.0) {
-        // Build a deck textually and verify the parsed circuit solves to
-        // the analytic answer.
-        let deck_text = format!(
-            "prop deck\nV1 in 0 DC {v:e}\nR1 in out {r:e}\nR2 out 0 {r:e}\n.end\n"
-        );
+#[test]
+fn netlist_numeric_round_trip() {
+    // Build a deck textually and verify the parsed circuit solves to the
+    // analytic answer.
+    let mut rng = TestRng::new(0x2009);
+    for _ in 0..CASES {
+        let r = rng.log_range(1.0, 1e6);
+        let v = rng.log_range(0.1, 10.0);
+        let deck_text =
+            format!("prop deck\nV1 in 0 DC {v:e}\nR1 in out {r:e}\nR2 out 0 {r:e}\n.end\n");
         let deck = dso_spice::netlist::parse(&deck_text).expect("parses");
-        let op = Simulator::new(&deck.circuit).dc_operating_point().expect("solves");
+        let op = Simulator::new(&deck.circuit)
+            .dc_operating_point()
+            .expect("solves");
         let got = op.voltage("out").expect("node exists");
-        prop_assert!((got - v / 2.0).abs() < 1e-6 * v, "{got} vs {}", v / 2.0);
+        assert!((got - v / 2.0).abs() < 1e-6 * v, "{got} vs {}", v / 2.0);
     }
 }

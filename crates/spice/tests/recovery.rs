@@ -1,0 +1,276 @@
+//! Fault-injection tests of the transient convergence-recovery ladder.
+//!
+//! Each test arms a deterministic [`FaultPlan`] that corrupts specific
+//! Newton solves, then asserts that the targeted recovery rung triggers,
+//! that the run recovers, and that the recovered waveform matches the
+//! clean one within tolerance.
+
+use dso_num::chaos::{FaultKind, FaultPlan};
+use dso_spice::circuit::Circuit;
+use dso_spice::engine::{Simulator, TranOptions, TranResult};
+use dso_spice::waveform::{Pulse, Waveform};
+use dso_spice::{RecoveryPolicy, SpiceError};
+
+/// A pulse through an RC: has capacitor state, sharp edges, and enough
+/// steps that mid-run faults land between interesting events.
+fn rc_pulse() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource(
+        "V1",
+        vin,
+        Circuit::GROUND,
+        Waveform::Pulse(Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-6,
+            rise: 1e-8,
+            fall: 1e-8,
+            width: 4e-6,
+            period: f64::INFINITY,
+        }),
+    )
+    .unwrap();
+    ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+    ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+    ckt
+}
+
+fn opts() -> TranOptions {
+    TranOptions::new(8e-6, 2e-8).unwrap()
+}
+
+fn assert_matches_clean(clean: &TranResult, recovered: &TranResult, tol: f64) {
+    for &t in &[0.5e-6, 2e-6, 4.5e-6, 7.9e-6] {
+        let a = clean.voltage_at("out", t).unwrap();
+        let b = recovered.voltage_at("out", t).unwrap();
+        assert!(
+            (a - b).abs() < tol,
+            "recovered waveform diverges at t={t:e}: clean {a} vs recovered {b}"
+        );
+    }
+}
+
+#[test]
+fn clean_run_reports_clean_stats() {
+    let ckt = rc_pulse();
+    let result = Simulator::new(&ckt).transient(&opts()).unwrap();
+    assert!(result.recovery().is_clean(), "{:?}", result.recovery());
+    assert!(result.recovery().solve_attempts > 0);
+    assert_eq!(result.recovery().recovered_steps, 0);
+}
+
+// Fault-placement note: the DC operating-point solve consumes ordinal 0,
+// so fixed-step transient step `k` is solve ordinal `k`. Ordinal 55 lands
+// at t = 1.1 µs — mid RC charge after the 1 µs pulse edge, where the warm
+// start does not already satisfy the residual and Newton genuinely
+// iterates (a Jacobian fault at an already-converged step would be
+// consumed without the Jacobian ever being evaluated).
+
+#[test]
+fn every_fault_kind_recovers_mid_run() {
+    let ckt = rc_pulse();
+    let clean = Simulator::new(&ckt).transient(&opts()).unwrap();
+    for kind in FaultKind::ALL {
+        let plan = FaultPlan::new().inject_at(55, kind);
+        let result = Simulator::new(&ckt)
+            .with_fault_plan(plan)
+            .transient(&opts())
+            .unwrap_or_else(|e| panic!("{kind:?} did not recover: {e}"));
+        let stats = result.recovery();
+        assert!(!stats.is_clean(), "{kind:?}: no recovery action recorded");
+        assert!(stats.recovered_steps >= 1, "{kind:?}: {stats:?}");
+        assert_matches_clean(&clean, &result, 1e-3);
+    }
+}
+
+#[test]
+fn method_fallback_rung_triggers_first() {
+    // A single faulted solve on a trapezoidal step is absorbed by the very
+    // first rung: one backward-Euler retry of the same step.
+    let ckt = rc_pulse();
+    let plan = FaultPlan::new().inject_at(55, FaultKind::NanResidual);
+    let result = Simulator::new(&ckt)
+        .with_fault_plan(plan)
+        .transient(&opts())
+        .unwrap();
+    let stats = result.recovery();
+    assert_eq!(stats.method_fallbacks, 1, "{stats:?}");
+    assert_eq!(stats.subdivisions, 0, "{stats:?}");
+    assert_eq!(stats.gmin_retries, 0, "{stats:?}");
+    assert_eq!(stats.recovered_steps, 1, "{stats:?}");
+}
+
+#[test]
+fn subdivision_rung_triggers_when_fallback_is_defeated() {
+    // A fault window wide enough to kill the method fallback too forces
+    // the ladder down into timestep subdivision; the retries there are
+    // fresh ordinals that eventually escape the window.
+    let ckt = rc_pulse();
+    let clean = Simulator::new(&ckt).transient(&opts()).unwrap();
+    let plan = FaultPlan::new().inject_span(55, 58, FaultKind::ForcedDivergence);
+    let result = Simulator::new(&ckt)
+        .with_fault_plan(plan)
+        .transient(&opts())
+        .unwrap();
+    let stats = result.recovery();
+    assert!(stats.method_fallbacks >= 1, "{stats:?}");
+    assert!(stats.subdivisions >= 1, "{stats:?}");
+    assert!(stats.deepest_subdivision >= 1, "{stats:?}");
+    assert!(stats.recovered_steps >= 1, "{stats:?}");
+    assert_matches_clean(&clean, &result, 1e-3);
+}
+
+#[test]
+fn gmin_rung_triggers_when_it_is_the_only_rung() {
+    // With fallback and subdivision disabled, the only path past a faulted
+    // solve is the gmin homotopy (whose rungs are fresh ordinals).
+    let ckt = rc_pulse();
+    let clean = Simulator::new(&ckt).transient(&opts()).unwrap();
+    let policy = RecoveryPolicy::default()
+        .with_method_fallback(false)
+        .with_max_subdivisions(0);
+    let plan = FaultPlan::new().inject_at(55, FaultKind::SingularJacobian);
+    let result = Simulator::new(&ckt)
+        .with_recovery(policy)
+        .with_fault_plan(plan)
+        .transient(&opts())
+        .unwrap();
+    let stats = result.recovery();
+    assert_eq!(stats.method_fallbacks, 0, "{stats:?}");
+    assert_eq!(stats.subdivisions, 0, "{stats:?}");
+    assert_eq!(stats.gmin_retries, 1, "{stats:?}");
+    assert_eq!(stats.recovered_steps, 1, "{stats:?}");
+    assert_matches_clean(&clean, &result, 1e-3);
+}
+
+#[test]
+fn strict_policy_fails_fast_with_campaign_context() {
+    let ckt = rc_pulse();
+    let plan = FaultPlan::new().inject_at(50, FaultKind::NanResidual);
+    let err = Simulator::new(&ckt)
+        .with_recovery(RecoveryPolicy::strict())
+        .with_fault_plan(plan)
+        .transient(&opts())
+        .unwrap_err();
+    match err {
+        SpiceError::Convergence {
+            time: Some(t),
+            attempts,
+            ..
+        } => {
+            // The DC solve is ordinal 0, so ordinal 50 is step 50 at
+            // t = 50 · dt; strict mode spends exactly one solve per step.
+            assert!((t - 50.0 * 2e-8).abs() < 1e-12, "failure at t = {t:e}");
+            assert_eq!(attempts, 50, "attempts = {attempts}");
+        }
+        other => panic!("expected transient Convergence, got {other}"),
+    }
+}
+
+#[test]
+fn unrecoverable_fault_reports_total_attempts() {
+    // A permanently-failing plan exhausts the whole ladder; the surfaced
+    // error carries the full attempt count, above a single solve. Start
+    // from ICs so the failure comes from the transient ladder rather than
+    // the DC operating point.
+    let ckt = rc_pulse();
+    let plan = FaultPlan::always(FaultKind::NanResidual);
+    let err = Simulator::new(&ckt)
+        .with_recovery(RecoveryPolicy::default().with_max_subdivisions(2))
+        .with_fault_plan(plan)
+        .transient(&opts().with_ic(vec![("out".to_string(), 0.0)]))
+        .unwrap_err();
+    match err {
+        SpiceError::Convergence {
+            time: Some(_),
+            attempts,
+            ..
+        } => {
+            // Direct try + two subdivision levels + one gmin rung ≥ 4.
+            assert!(attempts >= 4, "attempts = {attempts}");
+        }
+        other => panic!("expected transient Convergence, got {other}"),
+    }
+}
+
+#[test]
+fn dc_operating_point_recovers_via_gmin_ladder() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(2.0))
+        .unwrap();
+    ckt.add_resistor("R1", a, b, 1e3).unwrap();
+    ckt.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+    // Kill only the first (direct) solve: the gmin ladder runs on fresh
+    // ordinals and succeeds.
+    let plan = FaultPlan::new().inject_at(0, FaultKind::SingularJacobian);
+    let op = Simulator::new(&ckt)
+        .with_fault_plan(plan)
+        .dc_operating_point()
+        .unwrap();
+    assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-6);
+
+    // With gmin stepping disabled the same fault is fatal, with DC context.
+    let plan = FaultPlan::new().inject_at(0, FaultKind::SingularJacobian);
+    let err = Simulator::new(&ckt)
+        .with_recovery(RecoveryPolicy::strict())
+        .with_fault_plan(plan)
+        .dc_operating_point()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SpiceError::Convergence {
+                time: None,
+                attempts: 1,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn adaptive_transient_survives_injected_faults() {
+    use dso_spice::engine::AdaptiveOptions;
+    let ckt = rc_pulse();
+    let adaptive = AdaptiveOptions {
+        lte_tol: 1e-3,
+        dt_min: 1e-9,
+        dt_max: 5e-7,
+    };
+    let clean = Simulator::new(&ckt)
+        .transient(&opts().with_adaptive(adaptive))
+        .unwrap();
+    let plan = FaultPlan::new().inject_at(40, FaultKind::ForcedDivergence);
+    let result = Simulator::new(&ckt)
+        .with_fault_plan(plan)
+        .transient(&opts().with_adaptive(adaptive))
+        .unwrap();
+    assert!(!result.recovery().is_clean());
+    // The step grids differ, so compare waveform values, not samples.
+    assert_matches_clean(&clean, &result, 2e-3);
+}
+
+#[test]
+fn voltage_at_out_of_range_reports_window() {
+    let ckt = rc_pulse();
+    let result = Simulator::new(&ckt).transient(&opts()).unwrap();
+    let err = result.voltage_at("out", 9e-6).unwrap_err();
+    match err {
+        SpiceError::SampleOutOfRange { t, t_start, t_end } => {
+            assert_eq!(t, 9e-6);
+            assert_eq!(t_start, 0.0);
+            assert!((t_end - 8e-6).abs() < 1e-18);
+        }
+        other => panic!("expected SampleOutOfRange, got {other}"),
+    }
+    let err = result.voltage_at("out", -1e-9).unwrap_err();
+    assert!(matches!(err, SpiceError::SampleOutOfRange { .. }));
+    // In-range queries, including both exact endpoints, still work.
+    assert!(result.voltage_at("out", 0.0).is_ok());
+    assert!(result.voltage_at("out", 8e-6).is_ok());
+}

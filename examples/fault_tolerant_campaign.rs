@@ -1,0 +1,61 @@
+//! Fault-tolerant sweep campaigns: inject solver faults into a result-plane
+//! sweep and watch the campaign degrade gracefully instead of aborting.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_campaign
+//! ```
+
+use dram_stress_opt::analysis::{plane_campaign, Analyzer, CampaignFaults};
+use dram_stress_opt::defects::{BitLineSide, Defect};
+use dram_stress_opt::dram::design::{ColumnDesign, OperatingPoint};
+use dram_stress_opt::num::chaos::{FaultKind, FaultPlan};
+use dram_stress_opt::num::interp::logspace;
+use dram_stress_opt::spice::units::format_eng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analyzer = Analyzer::new(ColumnDesign::default());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = logspace(1e4, 1e7, 10)?;
+
+    // 1. A clean campaign: every point converges, confidence is full.
+    let clean = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &CampaignFaults::new())?;
+    println!("clean sweep:    {}", clean.report);
+    println!("  confidence:   {}", clean.confidence);
+    let b0 = clean.border_from_intersection()?.expect("border in sweep");
+    println!("  border:       {}", format_eng(b0, "Ω"));
+
+    // 2. Kill one sweep point outright (every solve at that point faults).
+    //    The campaign records the failure, interpolates the gap from its
+    //    converged neighbors, and still extracts the border.
+    let faults =
+        CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
+    println!("partial sweep:  {}", partial.report);
+    println!("  confidence:   {}", partial.confidence);
+    for (lo, hi) in partial.gaps() {
+        println!(
+            "  gap:          {} .. {} (interpolated)",
+            format_eng(*lo, "Ω"),
+            format_eng(*hi, "Ω")
+        );
+    }
+    if let Some(status) = partial.report.status_at(r_values[1]) {
+        println!("  dead point:   {status}");
+    }
+    let b1 = partial.border_from_intersection()?.expect("border survives");
+    println!("  border:       {} (clean: {})", format_eng(b1, "Ω"), format_eng(b0, "Ω"));
+
+    // 3. A transient fault: one NaN residual mid-transient. The recovery
+    //    ladder (method fallback → timestep subdivision → gmin stepping)
+    //    absorbs it; the point is merely flagged Recovered.
+    let faults = CampaignFaults::new()
+        .with_fault(1, FaultPlan::new().inject_at(10, FaultKind::NanResidual));
+    let recovered = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
+    println!("recovered sweep: {}", recovered.report);
+    println!("  confidence:   {}", recovered.confidence);
+
+    Ok(())
+}
