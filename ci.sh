@@ -20,4 +20,9 @@ else
     echo "    clippy not installed; skipped"
 fi
 
+echo "==> bench (release, emits BENCH_campaign.json)"
+# Times serial vs parallel campaigns and exits non-zero if the parallel
+# output diverges from serial or the warm-start saving regresses below 20%.
+cargo run --release -q --offline --example bench_campaign
+
 echo "==> ci: OK"

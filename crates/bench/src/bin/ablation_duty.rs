@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         border_tol: 0.03,
         max_settling_writes: 6,
         stresses: StressKind::ALL.to_vec(),
+        ..OptimizerConfig::default()
     });
     let report = optimizer.optimize(&defect, &nominal)?;
     println!("{report}");

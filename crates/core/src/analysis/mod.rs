@@ -18,13 +18,16 @@ pub mod sweep;
 pub use border::{find_border, BorderResistance};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
-pub use planes::{plane_campaign, result_planes, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane};
+pub use planes::{
+    plane_campaign, plane_campaign_with, result_planes, result_planes_with, PlaneCampaign,
+    ReadPlane, ResultPlanes, WritePlane,
+};
 pub use sweep::{CampaignFaults, Confidence, PointStatus, SweepPoint, SweepReport};
 
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
-use dso_dram::ops::{physical_write, Operation, OperationEngine};
+use dso_dram::ops::{physical_write, OpTrace, Operation, OperationEngine};
 use dso_num::chaos::FaultPlan;
 use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
 
@@ -148,6 +151,30 @@ impl Analyzer {
         faults: Option<&FaultPlan>,
         stats: &mut RecoveryStats,
     ) -> Result<Vec<f64>, CoreError> {
+        self.settle_trace(defect, resistance, op_point, high, n_ops, faults, None, stats)
+            .map(|(vcs, _)| vcs)
+    }
+
+    /// [`Analyzer::settle_sequence_instrumented`], additionally accepting a
+    /// warm-start `seed` (the trace of the same settle sequence at a
+    /// neighboring resistance) and returning the run's full [`OpTrace`] so
+    /// callers can chain seeds across a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + seed + stats
+    pub(crate) fn settle_trace(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        high: bool,
+        n_ops: usize,
+        faults: Option<&FaultPlan>,
+        seed: Option<&OpTrace>,
+        stats: &mut RecoveryStats,
+    ) -> Result<(Vec<f64>, OpTrace), CoreError> {
         if n_ops == 0 {
             return Err(CoreError::BadRequest("n_ops must be positive".into()));
         }
@@ -164,11 +191,11 @@ impl Analyzer {
         };
         seq.extend(std::iter::repeat_n(target, n_ops));
         let operation = if high { "w1 settle" } else { "w0 settle" };
-        let trace = engine.run(&seq, 0.0).map_err(|e| {
+        let trace = engine.run_seeded(&seq, 0.0, seed).map_err(|e| {
             CoreError::at_point(operation, resistance, Some(0.0), e.into())
         })?;
         stats.merge(trace.recovery());
-        Ok(trace.vc_ends()[skip..].to_vec())
+        Ok((trace.vc_ends()[skip..].to_vec(), trace))
     }
 
     /// Runs `n_ops` consecutive reads starting from `vc_init` and returns
@@ -208,12 +235,36 @@ impl Analyzer {
         faults: Option<&FaultPlan>,
         stats: &mut RecoveryStats,
     ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
+        self.read_trace(defect, resistance, op_point, vc_init, n_ops, faults, None, stats)
+            .map(|(vcs, highs, _)| (vcs, highs))
+    }
+
+    /// [`Analyzer::read_sequence_instrumented`], additionally accepting a
+    /// warm-start `seed` (the trace of the same read sequence at a
+    /// neighboring resistance) and returning the run's full [`OpTrace`] so
+    /// callers can chain seeds across a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + seed + stats
+    pub(crate) fn read_trace(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        vc_init: f64,
+        n_ops: usize,
+        faults: Option<&FaultPlan>,
+        seed: Option<&OpTrace>,
+        stats: &mut RecoveryStats,
+    ) -> Result<(Vec<f64>, Vec<bool>, OpTrace), CoreError> {
         if n_ops == 0 {
             return Err(CoreError::BadRequest("n_ops must be positive".into()));
         }
         let engine = self.engine_with(defect, resistance, op_point, faults)?;
         let trace = engine
-            .run(&vec![Operation::R; n_ops], vc_init)
+            .run_seeded(&vec![Operation::R; n_ops], vc_init, seed)
             .map_err(|e| CoreError::at_point("read", resistance, Some(vc_init), e.into()))?;
         stats.merge(trace.recovery());
         let highs = trace
@@ -227,7 +278,7 @@ impl Analyzer {
                     })
             })
             .collect::<Result<Vec<bool>, CoreError>>()?;
-        Ok((trace.vc_ends(), highs))
+        Ok((trace.vc_ends(), highs, trace))
     }
 
     /// The cell voltage at the *end of the write pulse* (word-line
@@ -304,16 +355,43 @@ impl Analyzer {
         faults: Option<&FaultPlan>,
         stats: &mut RecoveryStats,
     ) -> Result<f64, CoreError> {
+        self.vsa_probed(defect, resistance, op_point, faults, false, stats)
+    }
+
+    /// [`Analyzer::vsa_instrumented`] with optional warm-started bisection:
+    /// with `warm_probes` each probe's transient is seeded from the
+    /// previous probe's trace (same resistance, same time grid, only the
+    /// initial cell voltage differs). The chain is local to this one
+    /// bisection, so it never couples sweep points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn vsa_probed(
+        &self,
+        defect: &Defect,
+        resistance: f64,
+        op_point: &OperatingPoint,
+        faults: Option<&FaultPlan>,
+        warm_probes: bool,
+        stats: &mut RecoveryStats,
+    ) -> Result<f64, CoreError> {
         let engine = self.engine_with(defect, resistance, op_point, faults)?;
+        let mut last: Option<OpTrace> = None;
         let mut reads_high = |vc: f64| -> Result<bool, CoreError> {
-            let trace = engine.run(&[Operation::R], vc).map_err(|e| {
-                CoreError::at_point("read threshold", resistance, Some(vc), e.into())
-            })?;
+            let seed = if warm_probes { last.as_ref() } else { None };
+            let trace = engine
+                .run_seeded(&[Operation::R], vc, seed)
+                .map_err(|e| {
+                    CoreError::at_point("read threshold", resistance, Some(vc), e.into())
+                })?;
             stats.merge(trace.recovery());
-            trace.cycles()[0]
+            let high = trace.cycles()[0]
                 .read
                 .map(|r| r.accessed_high(defect.side()))
-                .ok_or_else(|| CoreError::BadRequest("read cycle produced no outcome".into()))
+                .ok_or_else(|| CoreError::BadRequest("read cycle produced no outcome".into()));
+            last = Some(trace);
+            high
         };
         if reads_high(0.0)? {
             return Ok(0.0);

@@ -14,9 +14,11 @@
 
 use super::sweep::{CampaignFaults, Confidence, PointStatus, SweepReport};
 use super::Analyzer;
+use crate::exec::{self, CampaignConfig, CampaignPerfStats};
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
+use dso_dram::ops::OpTrace;
 use dso_num::chaos::FaultPlan;
 use dso_num::interp::Curve;
 use dso_spice::recovery::RecoveryStats;
@@ -185,8 +187,49 @@ impl PointData {
     }
 }
 
+/// Converged operation traces of one sweep point, carried forward as
+/// warm-start seeds for the next point of the same work chunk. Seeds never
+/// cross chunk boundaries, so the seed chain is part of the deterministic
+/// chunk computation (see [`crate::exec`]).
+#[derive(Debug, Default)]
+struct WarmSeeds {
+    w0: Option<OpTrace>,
+    w1: Option<OpTrace>,
+    below: Option<OpTrace>,
+    above: Option<OpTrace>,
+}
+
+/// Number of transients per point that accept a warm seed (the `Vsa`
+/// bisection is excluded: its probe voltages vary per point).
+const SEEDABLE_TRANSIENTS: usize = 4;
+
+impl WarmSeeds {
+    fn available(&self) -> usize {
+        [
+            self.w0.is_some(),
+            self.w1.is_some(),
+            self.below.is_some(),
+            self.above.is_some(),
+        ]
+        .iter()
+        .filter(|&&s| s)
+        .count()
+    }
+}
+
+/// Everything a worker records about one sweep point.
+struct PointOutcome {
+    data: Result<PointData, CoreError>,
+    stats: RecoveryStats,
+    warm_hits: usize,
+    warm_misses: usize,
+}
+
 /// Runs the full measurement bundle of one sweep point, accumulating
-/// recovery counters into `stats`.
+/// recovery counters into `stats`. Each seedable transient is warm-started
+/// from the corresponding trace in `seeds` when present; the point's own
+/// converged traces are returned for the next point in the chunk.
+#[allow(clippy::too_many_arguments)]
 fn measure_point(
     analyzer: &Analyzer,
     defect: &Defect,
@@ -194,26 +237,125 @@ fn measure_point(
     op_point: &OperatingPoint,
     n_ops: usize,
     faults: Option<&FaultPlan>,
+    seeds: &WarmSeeds,
+    warm_probes: bool,
     stats: &mut RecoveryStats,
-) -> Result<PointData, CoreError> {
-    let w0 =
-        analyzer.settle_sequence_instrumented(defect, r, op_point, false, n_ops, faults, stats)?;
-    let w1 =
-        analyzer.settle_sequence_instrumented(defect, r, op_point, true, n_ops, faults, stats)?;
-    let vsa = analyzer.vsa_instrumented(defect, r, op_point, faults, stats)?;
+) -> Result<(PointData, WarmSeeds), CoreError> {
+    let (w0, w0_trace) = analyzer.settle_trace(
+        defect,
+        r,
+        op_point,
+        false,
+        n_ops,
+        faults,
+        seeds.w0.as_ref(),
+        stats,
+    )?;
+    let (w1, w1_trace) = analyzer.settle_trace(
+        defect,
+        r,
+        op_point,
+        true,
+        n_ops,
+        faults,
+        seeds.w1.as_ref(),
+        stats,
+    )?;
+    let vsa = analyzer.vsa_probed(defect, r, op_point, faults, warm_probes, stats)?;
     let below_start = (vsa - READ_START_OFFSET).max(0.0);
     let above_start = (vsa + READ_START_OFFSET).min(op_point.vdd);
-    let (below, _) = analyzer
-        .read_sequence_instrumented(defect, r, op_point, below_start, n_ops, faults, stats)?;
-    let (above, _) = analyzer
-        .read_sequence_instrumented(defect, r, op_point, above_start, n_ops, faults, stats)?;
-    Ok(PointData {
-        w0,
-        w1,
-        vsa,
-        below,
-        above,
+    let (below, _, below_trace) = analyzer.read_trace(
+        defect,
+        r,
+        op_point,
+        below_start,
+        n_ops,
+        faults,
+        seeds.below.as_ref(),
+        stats,
+    )?;
+    let (above, _, above_trace) = analyzer.read_trace(
+        defect,
+        r,
+        op_point,
+        above_start,
+        n_ops,
+        faults,
+        seeds.above.as_ref(),
+        stats,
+    )?;
+    Ok((
+        PointData {
+            w0,
+            w1,
+            vsa,
+            below,
+            above,
+        },
+        WarmSeeds {
+            w0: Some(w0_trace),
+            w1: Some(w1_trace),
+            below: Some(below_trace),
+            above: Some(above_trace),
+        },
+    ))
+}
+
+/// Fans the sweep grid out across the configured worker pool. Each chunk
+/// maintains its own warm-seed chain (reset after a failed point so
+/// recovery always restarts cold); fault plans are resolved by sweep index
+/// before the point runs, keeping chaos injection deterministic under any
+/// scheduling.
+fn run_grid(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    faults: &CampaignFaults,
+    config: &CampaignConfig,
+) -> Vec<PointOutcome> {
+    exec::map_chunked(r_values.len(), config, |range| {
+        let mut seeds = WarmSeeds::default();
+        range
+            .map(|i| {
+                let mut stats = RecoveryStats::default();
+                let warm_hits = seeds.available();
+                let outcome = measure_point(
+                    analyzer,
+                    defect,
+                    r_values[i],
+                    op_point,
+                    n_ops,
+                    faults.plan_for(i),
+                    &seeds,
+                    config.warm_start,
+                    &mut stats,
+                );
+                let (data, next_seeds) = match outcome {
+                    Ok((point, next)) if config.warm_start => (Ok(point), next),
+                    Ok((point, _)) => (Ok(point), WarmSeeds::default()),
+                    Err(e) => (Err(e), WarmSeeds::default()),
+                };
+                seeds = next_seeds;
+                PointOutcome {
+                    data,
+                    stats,
+                    warm_hits,
+                    warm_misses: SEEDABLE_TRANSIENTS - warm_hits,
+                }
+            })
+            .collect()
     })
+}
+
+/// Folds one point's outcome counters into a campaign-level tally.
+fn tally(perf: &mut CampaignPerfStats, outcome: &PointOutcome) {
+    perf.points += 1;
+    perf.warm_hits += outcome.warm_hits;
+    perf.warm_misses += outcome.warm_misses;
+    perf.newton_iters += outcome.stats.newton_iters;
+    perf.solve_attempts += outcome.stats.solve_attempts;
 }
 
 fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
@@ -242,25 +384,14 @@ fn assemble_planes(
     n_ops: usize,
     data: &[PointData],
 ) -> Result<ResultPlanes, CoreError> {
-    let mut w0_tracks: Vec<Vec<f64>> = vec![Vec::with_capacity(r_values.len()); n_ops];
-    let mut w1_tracks = w0_tracks.clone();
-    let mut below_tracks = w0_tracks.clone();
-    let mut above_tracks = w0_tracks.clone();
-    let mut vsa_track = Vec::with_capacity(r_values.len());
-    for point in data {
-        for k in 0..n_ops {
-            w0_tracks[k].push(point.w0[k]);
-            w1_tracks[k].push(point.w1[k]);
-            below_tracks[k].push(point.below[k]);
-            above_tracks[k].push(point.above[k]);
-        }
-        vsa_track.push(point.vsa);
-    }
-
-    let to_curves = |tracks: Vec<Vec<f64>>| -> Result<Vec<Curve>, CoreError> {
-        tracks
-            .into_iter()
-            .map(|ys| Curve::new(r_values.to_vec(), ys).map_err(CoreError::from))
+    // Build each track directly from the per-point data: one pass per
+    // curve, no intermediate pre-sized scratch vectors.
+    let curves_of = |series: fn(&PointData) -> &Vec<f64>| -> Result<Vec<Curve>, CoreError> {
+        (0..n_ops)
+            .map(|k| {
+                let ys: Vec<f64> = data.iter().map(|p| series(p)[k]).collect();
+                Curve::new(r_values.to_vec(), ys).map_err(CoreError::from)
+            })
             .collect()
     };
 
@@ -268,18 +399,18 @@ fn assemble_planes(
         w0: WritePlane {
             write_high: false,
             r_values: r_values.to_vec(),
-            curves: to_curves(w0_tracks)?,
+            curves: curves_of(|p| &p.w0)?,
         },
         w1: WritePlane {
             write_high: true,
             r_values: r_values.to_vec(),
-            curves: to_curves(w1_tracks)?,
+            curves: curves_of(|p| &p.w1)?,
         },
         r: ReadPlane {
             r_values: r_values.to_vec(),
-            vsa: Curve::new(r_values.to_vec(), vsa_track)?,
-            from_below: to_curves(below_tracks)?,
-            from_above: to_curves(above_tracks)?,
+            vsa: Curve::new(r_values.to_vec(), data.iter().map(|p| p.vsa).collect())?,
+            from_below: curves_of(|p| &p.below)?,
+            from_above: curves_of(|p| &p.above)?,
         },
         vmp: analyzer.vmp(defect, op_point)?,
         op_point: *op_point,
@@ -306,15 +437,47 @@ pub fn result_planes(
     r_values: &[f64],
     n_ops: usize,
 ) -> Result<ResultPlanes, CoreError> {
+    result_planes_with(
+        analyzer,
+        defect,
+        op_point,
+        r_values,
+        n_ops,
+        &CampaignConfig::from_env(),
+    )
+    .map(|(planes, _)| planes)
+}
+
+/// [`result_planes`] with an explicit execution policy, additionally
+/// returning the campaign's [`CampaignPerfStats`].
+///
+/// Results are bit-identical for every `config.threads` value (given the
+/// same chunk size and warm-start setting); see [`crate::exec`] for the
+/// determinism contract. On failure the whole grid is still evaluated, and
+/// the error of the lowest-index failed point is returned.
+///
+/// # Errors
+///
+/// As [`result_planes`].
+pub fn result_planes_with(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    config: &CampaignConfig,
+) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
     validate_sweep(r_values, n_ops)?;
-    let mut data = Vec::with_capacity(r_values.len());
-    let mut stats = RecoveryStats::default();
-    for &r in r_values {
-        data.push(measure_point(
-            analyzer, defect, r, op_point, n_ops, None, &mut stats,
-        )?);
+    let clean = CampaignFaults::new();
+    let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, &clean, config);
+    let mut perf = CampaignPerfStats::default();
+    let mut data = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        tally(&mut perf, &outcome);
+        data.push(outcome.data?);
     }
-    assemble_planes(analyzer, defect, op_point, r_values, n_ops, &data)
+    let planes = assemble_planes(analyzer, defect, op_point, r_values, n_ops, &data)?;
+    Ok((planes, perf))
 }
 
 /// Result planes produced by a fault-tolerant sweep campaign: the planes
@@ -331,6 +494,8 @@ pub struct PlaneCampaign {
     pub report: SweepReport,
     /// Full when nothing failed, degraded with the gap count otherwise.
     pub confidence: Confidence,
+    /// Execution-performance tally: warm-start hits and Newton work.
+    pub perf: CampaignPerfStats,
     /// The defect description, for error reporting.
     defect: String,
     /// Bracketing resistances of each interpolated gap.
@@ -395,26 +560,50 @@ pub fn plane_campaign(
     n_ops: usize,
     faults: &CampaignFaults,
 ) -> Result<PlaneCampaign, CoreError> {
+    plane_campaign_with(
+        analyzer,
+        defect,
+        op_point,
+        r_values,
+        n_ops,
+        faults,
+        &CampaignConfig::from_env(),
+    )
+}
+
+/// [`plane_campaign`] with an explicit execution policy. The returned
+/// planes, [`SweepReport`], gaps, and border are bit-identical for every
+/// `config.threads` value — including under injected faults — because
+/// chunk decomposition, warm-seed chains, and fault-plan resolution are
+/// all keyed on sweep index, never on scheduling (see [`crate::exec`]).
+///
+/// # Errors
+///
+/// As [`plane_campaign`].
+pub fn plane_campaign_with(
+    analyzer: &Analyzer,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    faults: &CampaignFaults,
+    config: &CampaignConfig,
+) -> Result<PlaneCampaign, CoreError> {
     validate_sweep(r_values, n_ops)?;
+    let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, faults, config);
+    let defect_name = defect.to_string();
+    let mut perf = CampaignPerfStats::default();
     let mut report = SweepReport::new();
     let mut data: Vec<Option<PointData>> = Vec::with_capacity(r_values.len());
-    for (i, &r) in r_values.iter().enumerate() {
-        let mut stats = RecoveryStats::default();
-        match measure_point(
-            analyzer,
-            defect,
-            r,
-            op_point,
-            n_ops,
-            faults.plan_for(i),
-            &mut stats,
-        ) {
+    for (outcome, &r) in outcomes.into_iter().zip(r_values) {
+        tally(&mut perf, &outcome);
+        match outcome.data {
             Ok(point) => {
-                let status = if stats.is_clean() {
+                let status = if outcome.stats.is_clean() {
                     PointStatus::Converged
                 } else {
                     PointStatus::Recovered {
-                        attempts: stats.actions(),
+                        attempts: outcome.stats.actions(),
                     }
                 };
                 report.record(r, status);
@@ -435,23 +624,23 @@ pub fn plane_campaign(
     }
 
     let failed = data.iter().filter(|d| d.is_none()).count();
-    let first_reason = || {
-        report
+    let n = data.len();
+    if n - failed < 2 || data[0].is_none() || data[n - 1].is_none() {
+        // Borrow the first failure reason from the report; the one clone
+        // happens only on this error path.
+        let first_reason = report
             .points()
             .iter()
             .find_map(|p| match &p.status {
-                PointStatus::Failed { reason } => Some(reason.clone()),
+                PointStatus::Failed { reason } => Some(reason.as_str()),
                 _ => None,
             })
-            .unwrap_or_default()
-    };
-    let n = data.len();
-    if n - failed < 2 || data[0].is_none() || data[n - 1].is_none() {
+            .unwrap_or_default();
         return Err(CoreError::SweepFailed {
-            defect: defect.to_string(),
+            defect: defect_name,
             failed,
             total: n,
-            first_reason: first_reason(),
+            first_reason: first_reason.to_string(),
         });
     }
 
@@ -480,7 +669,7 @@ pub fn plane_campaign(
         };
         if ml * mr < 0.0 {
             return Err(CoreError::BorderInGap {
-                defect: defect.to_string(),
+                defect: defect_name,
                 gap: (r_values[l], r_values[r_idx]),
             });
         }
@@ -516,11 +705,12 @@ pub fn plane_campaign(
     Ok(PlaneCampaign {
         planes,
         confidence,
+        perf,
         gaps: gap_brackets
             .iter()
             .map(|&(l, r_idx)| (r_values[l], r_values[r_idx]))
             .collect(),
-        defect: defect.to_string(),
+        defect: defect_name,
         report,
     })
 }

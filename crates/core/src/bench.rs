@@ -1,0 +1,134 @@
+//! Offline micro-benchmark harness for campaign timing.
+//!
+//! The workspace must build without a registry, so this is a small
+//! hand-rolled alternative to criterion: median-of-k wall-clock timing
+//! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
+//! `{name, threads, wall_ms, points, newton_iters}` — enough for CI to
+//! trend campaign throughput and for the bench example to assert
+//! serial/parallel equivalence.
+
+use std::time::Instant;
+
+/// One timed campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Scenario label, e.g. `"plane_campaign/serial-cold"`.
+    pub name: String,
+    /// Worker threads the scenario ran with.
+    pub threads: usize,
+    /// Median wall-clock time over the repeats, in milliseconds.
+    pub wall_ms: f64,
+    /// Sweep points the campaign evaluated.
+    pub points: usize,
+    /// Total Newton iterations the campaign spent.
+    pub newton_iters: usize,
+}
+
+/// Runs `f` `repeats` times (at least once) and returns the median
+/// wall-clock milliseconds together with the last result.
+pub fn median_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let repeats = repeats.max(1);
+    let mut times = Vec::with_capacity(repeats);
+    let mut last = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let out = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = if times.len() % 2 == 1 {
+        times[times.len() / 2]
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+    };
+    let Some(last) = last else {
+        unreachable!("repeats >= 1 guarantees at least one run")
+    };
+    (median, last)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes bench records as a pretty-printed JSON array (stable field
+/// order matching the documented schema).
+pub fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \"newton_iters\": {}}}",
+            escape_json(&r.name),
+            r.threads,
+            r.wall_ms,
+            r.points,
+            r.newton_iters
+        ));
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        let mut calls = 0;
+        let (ms, out) = median_of(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out, 3);
+        assert!(ms >= 0.0);
+        let (_, out) = median_of(0, || 7); // clamped to one repeat
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn json_schema_and_escaping() {
+        let records = vec![
+            BenchRecord {
+                name: "plane_campaign/serial".into(),
+                threads: 1,
+                wall_ms: 12.3456,
+                points: 270,
+                newton_iters: 9000,
+            },
+            BenchRecord {
+                name: "quote\"tab\t".into(),
+                threads: 8,
+                wall_ms: 4.0,
+                points: 270,
+                newton_iters: 9000,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains(
+            "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
+             \"points\": 270, \"newton_iters\": 9000}"
+        ));
+        assert!(json.contains("quote\\\"tab\\t"));
+        // Exactly one comma separator between the two records.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Deterministic parallel campaign execution.
+//!
+//! Every result plane is an embarrassingly parallel grid of independent
+//! sweep points, so campaigns fan the grid out across a dependency-free
+//! worker pool built on [`std::thread::scope`] (no external crates — the
+//! workspace must stay offline-buildable). Three properties are load-
+//! bearing:
+//!
+//! * **Bit-identical determinism.** The grid is split into *chunks* whose
+//!   boundaries depend only on the grid size and the configured chunk size
+//!   — never on the thread count or on scheduling. Workers pull chunks
+//!   from an atomic queue and write each chunk's results into its own
+//!   pre-indexed slot; the caller reassembles them in chunk order. Any
+//!   thread count therefore produces the same bytes as `threads = 1`.
+//! * **Per-chunk state.** Warm-start continuation (seeding a point's
+//!   Newton iterations from its chunk predecessor) lives entirely inside a
+//!   chunk, so it is part of the deterministic chunk computation, not of
+//!   the scheduling.
+//! * **Index-keyed fault injection.** `CampaignFaults` plans are resolved
+//!   by sweep-point index before any solve runs, so chaos ordinals fire
+//!   identically regardless of which worker executes the point.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of sweep points per work chunk.
+///
+/// The chunk size trades warm-start hits (larger chunks → longer seed
+/// chains) against load balancing (more chunks → finer scheduling). It is
+/// part of the determinism contract: runs with different chunk sizes may
+/// legitimately differ in the last floating-point bits (different seed
+/// chains), runs with different *thread counts* never do.
+pub const DEFAULT_CHUNK: usize = 4;
+
+/// Execution policy for sweep campaigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads. `1` runs inline on the calling thread.
+    pub threads: usize,
+    /// Sweep points per chunk (clamped to at least 1).
+    pub chunk: usize,
+    /// Seed each point's transients from its chunk predecessor's converged
+    /// traces.
+    pub warm_start: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::from_env()
+    }
+}
+
+impl CampaignConfig {
+    /// Single-threaded execution (still warm-started within chunks).
+    pub fn serial() -> Self {
+        CampaignConfig {
+            threads: 1,
+            chunk: DEFAULT_CHUNK,
+            warm_start: true,
+        }
+    }
+
+    /// Execution with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        CampaignConfig {
+            threads: threads.max(1),
+            ..CampaignConfig::serial()
+        }
+    }
+
+    /// Reads the thread count from the `DSO_THREADS` environment variable,
+    /// falling back to [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DSO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        CampaignConfig {
+            threads,
+            ..CampaignConfig::serial()
+        }
+    }
+
+    /// Sets the chunk size (clamped to at least 1).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Enables or disables warm-start continuation.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+}
+
+/// `RecoveryStats`-style tally of campaign execution performance: how many
+/// transients were warm-started and how much Newton work the campaign
+/// spent. Aggregated across every sweep point of a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignPerfStats {
+    /// Sweep points executed (including failed ones).
+    pub points: usize,
+    /// Transient runs seeded from a chunk predecessor's trace.
+    pub warm_hits: usize,
+    /// Seedable transient runs executed cold (chunk heads, post-failure
+    /// restarts, warm start disabled).
+    pub warm_misses: usize,
+    /// Total Newton iterations across all successful solves.
+    pub newton_iters: usize,
+    /// Total Newton solves attempted.
+    pub solve_attempts: usize,
+}
+
+impl CampaignPerfStats {
+    /// Accumulates another tally into this one.
+    pub fn merge(&mut self, other: &CampaignPerfStats) {
+        self.points += other.points;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+        self.newton_iters += other.newton_iters;
+        self.solve_attempts += other.solve_attempts;
+    }
+
+    /// Fraction of seedable transients that ran warm (0 when none ran).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignPerfStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} point(s), warm {}/{} ({:.0}%), {} Newton iteration(s) over {} solve(s)",
+            self.points,
+            self.warm_hits,
+            self.warm_hits + self.warm_misses,
+            100.0 * self.warm_hit_rate(),
+            self.newton_iters,
+            self.solve_attempts
+        )
+    }
+}
+
+/// The deterministic chunk decomposition of a grid of `n` points: contiguous
+/// ranges of `chunk` points (the last chunk may be shorter). Depends only on
+/// `n` and `chunk`, never on the thread count.
+pub fn chunk_ranges(n: usize, chunk: usize) -> Vec<Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..n.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(n))
+        .collect()
+}
+
+/// Maps `f` over the deterministic chunk decomposition of `0..n`, fanning
+/// chunks out across `config.threads` workers, and returns the per-point
+/// results flattened in index order.
+///
+/// `f` receives a chunk's index range and must return one result per index.
+/// Results land in pre-indexed slots keyed by chunk number, so the output
+/// is bit-identical for every thread count and every scheduling order. A
+/// panic in `f` propagates to the caller.
+///
+/// # Panics
+///
+/// Panics if `f` returns a different number of results than the chunk has
+/// points (and propagates panics from `f` itself).
+pub fn map_chunked<T, F>(n: usize, config: &CampaignConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let ranges = chunk_ranges(n, config.chunk);
+    let workers = config.threads.max(1).min(ranges.len().max(1));
+    let run_chunk = |range: Range<usize>| -> Vec<T> {
+        let len = range.len();
+        let out = f(range);
+        assert_eq!(out.len(), len, "chunk worker returned wrong result count");
+        out
+    };
+    if workers <= 1 {
+        return ranges.into_iter().flat_map(run_chunk).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<T>>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                let Some(range) = ranges.get(c) else { break };
+                let out = run_chunk(range.clone());
+                *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("all chunks completed")
+        })
+        .collect()
+}
+
+/// Runs the same chunk decomposition as [`map_chunked`] but executes the
+/// chunks serially in the caller-supplied completion `order` — an
+/// interleaving smoke test: any permutation must reassemble to the same
+/// output as the in-order run, because slots are keyed by chunk index.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..chunk_count`.
+pub fn map_chunked_in_order<T, F>(
+    n: usize,
+    config: &CampaignConfig,
+    order: &[usize],
+    f: F,
+) -> Vec<T>
+where
+    F: Fn(Range<usize>) -> Vec<T>,
+{
+    let ranges = chunk_ranges(n, config.chunk);
+    assert_eq!(order.len(), ranges.len(), "order must cover every chunk");
+    let mut slots: Vec<Option<Vec<T>>> = ranges.iter().map(|_| None).collect();
+    for &c in order {
+        let range = ranges[c].clone();
+        let len = range.len();
+        let out = f(range);
+        assert_eq!(out.len(), len, "chunk worker returned wrong result count");
+        assert!(slots[c].is_none(), "order visits chunk {c} twice");
+        slots[c] = Some(out);
+    }
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.expect("order covers every chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_grid_exactly() {
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(chunk_ranges(3, 4), vec![0..3]);
+        assert_eq!(chunk_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        // Chunk size 0 is clamped to 1.
+        assert_eq!(chunk_ranges(2, 0), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn map_chunked_matches_serial_for_all_thread_counts() {
+        let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 8] {
+            let cfg = CampaignConfig::with_threads(threads).with_chunk(3);
+            let got = map_chunked(23, &cfg, |range| {
+                range.map(|i| i * i).collect::<Vec<_>>()
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunked_chunk_state_is_thread_invariant() {
+        // A per-chunk accumulator (modelling a warm-start chain) must
+        // produce identical results at any thread count, because chunk
+        // boundaries are fixed.
+        let run = |threads: usize| {
+            let cfg = CampaignConfig::with_threads(threads).with_chunk(4);
+            map_chunked(14, &cfg, |range| {
+                let mut carry = 0usize;
+                range
+                    .map(|i| {
+                        carry = carry * 10 + i;
+                        carry
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn shuffled_chunk_order_reassembles_identically() {
+        let cfg = CampaignConfig::serial().with_chunk(3);
+        let f = |range: Range<usize>| range.map(|i| 100 + i).collect::<Vec<_>>();
+        let in_order = map_chunked_in_order(10, &cfg, &[0, 1, 2, 3], f);
+        let shuffled = map_chunked_in_order(10, &cfg, &[2, 0, 3, 1], f);
+        assert_eq!(in_order, shuffled);
+        assert_eq!(in_order, (0..10).map(|i| 100 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let cfg = CampaignConfig::with_threads(4);
+        let got: Vec<usize> = map_chunked(0, &cfg, |range| range.collect());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = CampaignConfig::with_threads(0);
+        assert_eq!(cfg.threads, 1);
+        let cfg = CampaignConfig::serial().with_chunk(0).with_warm_start(false);
+        assert_eq!(cfg.chunk, 1);
+        assert!(!cfg.warm_start);
+        assert!(CampaignConfig::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn perf_stats_merge_and_rate() {
+        let mut a = CampaignPerfStats {
+            points: 2,
+            warm_hits: 3,
+            warm_misses: 1,
+            newton_iters: 100,
+            solve_attempts: 40,
+        };
+        let b = CampaignPerfStats {
+            points: 1,
+            warm_hits: 1,
+            warm_misses: 3,
+            newton_iters: 50,
+            solve_attempts: 20,
+        };
+        a.merge(&b);
+        assert_eq!(a.points, 3);
+        assert_eq!(a.warm_hits, 4);
+        assert_eq!(a.warm_misses, 4);
+        assert_eq!(a.newton_iters, 150);
+        assert_eq!(a.solve_attempts, 60);
+        assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CampaignPerfStats::default().warm_hit_rate(), 0.0);
+        let text = a.to_string();
+        assert!(text.contains("3 point(s)"), "{text}");
+        assert!(text.contains("warm 4/8"), "{text}");
+    }
+}

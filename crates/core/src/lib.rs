@@ -45,9 +45,14 @@
 //! ```
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(clippy::redundant_clone)]
+#![warn(clippy::large_enum_variant)]
 
 pub mod analysis;
+pub mod bench;
 pub mod error;
+pub mod exec;
 pub mod stress;
 
 pub use error::CoreError;
+pub use exec::{CampaignConfig, CampaignPerfStats};

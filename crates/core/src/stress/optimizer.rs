@@ -5,6 +5,7 @@ use super::types::{Direction, StressKind};
 use crate::analysis::{
     derive_detection, find_border, Analyzer, BorderResistance, Confidence, DetectionCondition,
 };
+use crate::exec::{self, CampaignConfig};
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
@@ -20,6 +21,10 @@ pub struct OptimizerConfig {
     pub max_settling_writes: usize,
     /// The stresses to optimize, in report order.
     pub stresses: Vec<StressKind>,
+    /// Execution policy for the campaign executor the optimizer routes its
+    /// candidate border probes through. Selection stays deterministic for
+    /// any thread count: candidates are compared in configuration order.
+    pub exec: CampaignConfig,
 }
 
 impl Default for OptimizerConfig {
@@ -28,6 +33,7 @@ impl Default for OptimizerConfig {
             border_tol: 0.03,
             max_settling_writes: 6,
             stresses: StressKind::TABLE1.to_vec(),
+            exec: CampaignConfig::from_env(),
         }
     }
 }
@@ -328,21 +334,35 @@ impl StressOptimizer {
     ) -> Result<StressDecision, CoreError> {
         let analyzer = &self.analyzer;
         let kind = probes.kind;
+        // Route the candidate borders through the campaign executor: each
+        // candidate is an independent bisection, so chunk size 1 maximizes
+        // overlap. Results come back in candidate order regardless of
+        // scheduling, so the selection below is deterministic.
+        let exec_cfg = self.config.exec.clone().with_chunk(1);
+        let measured = exec::map_chunked(probes.values.len(), &exec_cfg, |range| {
+            range
+                .map(|i| {
+                    let value = probes.values[i];
+                    let border = kind.apply_to(nominal, value).and_then(|op| {
+                        find_border(analyzer, defect, detection, &op, self.config.border_tol)
+                    });
+                    (value, border)
+                })
+                .collect::<Vec<_>>()
+        });
         let mut candidates = Vec::new();
         let mut skipped: Vec<(f64, String)> = Vec::new();
         let mut best: Option<(f64, BorderResistance)> = None;
-        for &value in &probes.values {
-            let op = kind.apply_to(nominal, value)?;
-            let border =
-                match find_border(analyzer, defect, detection, &op, self.config.border_tol) {
-                    Ok(border) => border,
-                    // Configuration errors are not measurement failures.
-                    Err(e @ CoreError::BadRequest(_)) => return Err(e),
-                    Err(e) => {
-                        skipped.push((value, e.to_string()));
-                        continue;
-                    }
-                };
+        for (value, outcome) in measured {
+            let border = match outcome {
+                Ok(border) => border,
+                // Configuration errors are not measurement failures.
+                Err(e @ CoreError::BadRequest(_)) => return Err(e),
+                Err(e) => {
+                    skipped.push((value, e.to_string()));
+                    continue;
+                }
+            };
             candidates.push((value, border.resistance));
             let better = match &best {
                 None => true,
@@ -427,6 +447,7 @@ mod tests {
             border_tol: 0.15,
             max_settling_writes: 4,
             stresses: vec![StressKind::CycleTime, StressKind::Temperature],
+            exec: CampaignConfig::serial(),
         }
     }
 

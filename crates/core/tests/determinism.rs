@@ -1,0 +1,190 @@
+//! Determinism contract of the parallel campaign executor.
+//!
+//! The planes, sweep report, gaps, and extracted border of a campaign must
+//! be **bit-identical** for every thread count — with and without injected
+//! faults — because chunk decomposition, warm-seed chains, and fault-plan
+//! resolution are keyed on sweep index, never on scheduling. This suite
+//! pins that contract, plus the warm-start payoff (fewer Newton
+//! iterations) and a loom-free interleaving smoke test that executes the
+//! chunks of a real simulation grid in a seeded-shuffled order.
+
+use dso_core::analysis::{
+    plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
+};
+use dso_core::exec::{self, CampaignConfig};
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::chaos::{FaultKind, FaultPlan};
+use dso_num::interp::logspace;
+use dso_num::testing::TestRng;
+use dso_spice::recovery::RecoveryStats;
+
+/// Coarse time step so debug-mode campaigns stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+fn sweep() -> Vec<f64> {
+    logspace(1e4, 1e7, 6).expect("valid sweep")
+}
+
+fn campaign_at(threads: usize, faults: &CampaignFaults) -> PlaneCampaign {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let config = CampaignConfig::with_threads(threads).with_chunk(2);
+    plane_campaign_with(
+        &analyzer,
+        &defect,
+        &OperatingPoint::nominal(),
+        &sweep(),
+        1,
+        faults,
+        &config,
+    )
+    .expect("campaign runs")
+}
+
+/// Bitwise equality of two campaigns: every plane curve, every report
+/// entry, every gap, and the extracted border.
+fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
+    // `ResultPlanes: PartialEq` compares every f64 of every curve; equal
+    // finite f64s are equal bit patterns (no NaNs survive a campaign, and
+    // the sweeps never produce -0.0 vs 0.0 splits on curve data).
+    assert_eq!(a.planes, b.planes, "{label}: planes diverged");
+    assert_eq!(a.report, b.report, "{label}: sweep report diverged");
+    assert_eq!(a.confidence, b.confidence, "{label}: confidence diverged");
+    assert_eq!(a.gaps(), b.gaps(), "{label}: gaps diverged");
+    let border = |c: &PlaneCampaign| {
+        c.border_from_intersection()
+            .expect("no gap straddles the border")
+            .map(f64::to_bits)
+    };
+    assert_eq!(border(a), border(b), "{label}: border bits diverged");
+}
+
+#[test]
+fn parallel_campaign_bit_identical_to_serial() {
+    let clean = CampaignFaults::new();
+    let serial = campaign_at(1, &clean);
+    assert_eq!(serial.report.failed(), 0);
+    for threads in [2, 4, 8] {
+        let parallel = campaign_at(threads, &clean);
+        assert_bit_identical(&serial, &parallel, &format!("threads = {threads}"));
+    }
+}
+
+#[test]
+fn parallel_campaign_bit_identical_under_faults() {
+    // Kill one interior sweep point outright; the chaos ordinals are keyed
+    // on sweep index, so every thread count must see the identical gap.
+    let faults =
+        CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let serial = campaign_at(1, &faults);
+    assert_eq!(serial.report.failed(), 1);
+    assert_eq!(serial.gaps().len(), 1);
+    for threads in [2, 4, 8] {
+        let parallel = campaign_at(threads, &faults);
+        assert_eq!(parallel.report.failed(), 1, "threads = {threads}");
+        assert_bit_identical(&serial, &parallel, &format!("threads = {threads} faulted"));
+    }
+}
+
+#[test]
+fn result_planes_parallel_matches_serial_and_warm_start_pays() {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = sweep();
+
+    let run = |config: &CampaignConfig| {
+        result_planes_with(&analyzer, &defect, &op, &r_values, 1, config)
+            .expect("planes build")
+    };
+
+    // One chunk spanning the whole sweep maximizes the warm chain.
+    let whole = CampaignConfig::serial().with_chunk(r_values.len());
+    let (warm_planes, warm_perf) = run(&whole);
+    let (cold_planes, cold_perf) = run(&whole.clone().with_warm_start(false));
+
+    // Warm starts actually happened and saved Newton work.
+    assert_eq!(warm_perf.points, r_values.len());
+    assert_eq!(warm_perf.warm_hits, 4 * (r_values.len() - 1));
+    assert_eq!(cold_perf.warm_hits, 0);
+    assert!(
+        warm_perf.newton_iters < cold_perf.newton_iters,
+        "warm {} !< cold {} Newton iterations",
+        warm_perf.newton_iters,
+        cold_perf.newton_iters
+    );
+    let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters as f64;
+    assert!(
+        saved >= 0.10,
+        "warm start saved only {:.1}% of Newton iterations",
+        saved * 100.0
+    );
+    // Warm and cold solve the same physics to the same tolerance.
+    let warm_border = warm_planes.border_from_intersection().unwrap().unwrap();
+    let cold_border = cold_planes.border_from_intersection().unwrap().unwrap();
+    assert!(
+        (warm_border - cold_border).abs() < 0.05 * cold_border,
+        "warm {warm_border:.4e} vs cold {cold_border:.4e}"
+    );
+
+    // Thread count never changes the bits (same chunking, warm on).
+    let serial = run(&CampaignConfig::with_threads(1).with_chunk(2));
+    for threads in [2, 4, 8] {
+        let parallel = run(&CampaignConfig::with_threads(threads).with_chunk(2));
+        assert_eq!(serial.0, parallel.0, "threads = {threads}");
+        assert_eq!(serial.1, parallel.1, "threads = {threads}: perf stats");
+    }
+}
+
+#[test]
+fn shuffled_chunk_interleaving_is_bit_identical() {
+    // Loom-free interleaving smoke test: execute the chunks of a real
+    // simulation grid in a seeded-shuffled completion order and require
+    // the reassembled output to match the in-order run bit for bit. Chunk
+    // completion order is the only scheduling freedom the executor has, so
+    // permuting it covers the interleavings a scheduler could produce.
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = sweep();
+    let config = CampaignConfig::serial().with_chunk(2);
+
+    let point = |i: usize| -> u64 {
+        let mut stats = RecoveryStats::default();
+        let vcs = analyzer
+            .settle_sequence_instrumented(
+                &defect, r_values[i], &op, false, 1, None, &mut stats,
+            )
+            .expect("settle converges");
+        vcs[0].to_bits()
+    };
+    let run_in = |order: &[usize]| {
+        exec::map_chunked_in_order(r_values.len(), &config, order, |range| {
+            range.map(point).collect::<Vec<_>>()
+        })
+    };
+
+    let n_chunks = exec::chunk_ranges(r_values.len(), config.chunk).len();
+    let in_order: Vec<usize> = (0..n_chunks).collect();
+    let reference = run_in(&in_order);
+
+    let mut rng = TestRng::new(0xD5_0C0DE);
+    for round in 0..3 {
+        // Fisher-Yates with the repo's deterministic test RNG.
+        let mut order = in_order.clone();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.index(i + 1));
+        }
+        assert_eq!(
+            run_in(&order),
+            reference,
+            "round {round}: order {order:?} diverged"
+        );
+    }
+}

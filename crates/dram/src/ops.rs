@@ -282,6 +282,25 @@ impl OperationEngine {
     /// * [`DramError::BadSequence`] for an empty sequence.
     /// * Electrical convergence failures as [`DramError::Spice`].
     pub fn run(&self, ops_seq: &[Operation], vc_init: f64) -> Result<OpTrace, DramError> {
+        self.run_seeded(ops_seq, vc_init, None)
+    }
+
+    /// Runs an operation sequence like [`OperationEngine::run`], seeding
+    /// each time step's Newton iteration from `seed` — the trace of the
+    /// same sequence run under neighboring conditions (e.g. the adjacent
+    /// defect resistance of a sweep). See
+    /// [`dso_spice::Simulator::transient_seeded`] for the warm-start
+    /// contract; a seed from a different sequence or time grid is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OperationEngine::run`].
+    pub fn run_seeded(
+        &self,
+        ops_seq: &[Operation],
+        vc_init: f64,
+        seed: Option<&OpTrace>,
+    ) -> Result<OpTrace, DramError> {
         let design: &ColumnDesign = self.column.design();
         let op = &self.op_point;
         let waves = ControlWaveforms::build(ops_seq, self.victim, design, op)?;
@@ -349,7 +368,7 @@ impl OperationEngine {
         if let Some(plan) = &self.fault_plan {
             sim = sim.with_fault_plan(plan.clone());
         }
-        let tran = sim.transient(&tran_opts)?;
+        let tran = sim.transient_seeded(&tran_opts, seed.map(|s| s.tran()))?;
 
         // Extract per-cycle results. The physical cell voltage is taken at
         // the capacitor plate (`ct`), matching the paper's "voltage across

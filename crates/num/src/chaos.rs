@@ -24,7 +24,7 @@
 use crate::matrix::DMatrix;
 use crate::newton::NonlinearSystem;
 use crate::NumError;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A failure mode to inject into a Newton solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +74,10 @@ impl Window {
 ///
 /// The plan counts every solve that is armed through it (via
 /// [`FaultPlan::begin_solve`]); ordinals start at 0. Cloning a plan clones
-/// the current counter value — a cloned plan replays independently.
+/// the current counter value — a cloned plan replays independently. The
+/// counter is atomic so a plan can be shared across campaign worker
+/// threads; each sweep point clones its own plan, so ordinals never
+/// interleave between points.
 ///
 /// # Example
 ///
@@ -88,10 +91,19 @@ impl Window {
 /// assert_eq!(plan.begin_solve(), None); // recovered
 /// assert_eq!(plan.solves_started(), 4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct FaultPlan {
     entries: Vec<(Window, FaultKind)>,
-    counter: Cell<usize>,
+    counter: AtomicUsize,
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> Self {
+        FaultPlan {
+            entries: self.entries.clone(),
+            counter: AtomicUsize::new(self.counter.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -106,7 +118,7 @@ impl FaultPlan {
     pub fn always(kind: FaultKind) -> Self {
         FaultPlan {
             entries: vec![(Window::Always, kind)],
-            counter: Cell::new(0),
+            counter: AtomicUsize::new(0),
         }
     }
 
@@ -126,8 +138,7 @@ impl FaultPlan {
     /// Arms the next solve: advances the ordinal counter and returns the
     /// fault scheduled for it, if any.
     pub fn begin_solve(&self) -> Option<FaultKind> {
-        let ordinal = self.counter.get();
-        self.counter.set(ordinal + 1);
+        let ordinal = self.counter.fetch_add(1, Ordering::Relaxed);
         self.fault_at(ordinal)
     }
 
@@ -142,12 +153,12 @@ impl FaultPlan {
 
     /// Number of solves armed through this plan so far.
     pub fn solves_started(&self) -> usize {
-        self.counter.get()
+        self.counter.load(Ordering::Relaxed)
     }
 
     /// Resets the ordinal counter to zero.
     pub fn reset(&self) {
-        self.counter.set(0);
+        self.counter.store(0, Ordering::Relaxed);
     }
 
     /// `true` if the plan schedules no faults at all.

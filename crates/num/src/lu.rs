@@ -51,6 +51,33 @@ impl LuFactor {
     ///   [`SINGULARITY_THRESHOLD`] (relative to the matrix scale) is hit.
     /// * [`NumError::NonFinite`] if `a` contains NaN or infinity.
     pub fn new(a: &DMatrix) -> Result<Self, NumError> {
+        let mut f = LuFactor::empty();
+        f.refactor_into(a)?;
+        Ok(f)
+    }
+
+    /// An empty (0×0) factorization, used as reusable storage for
+    /// [`LuFactor::refactor_into`].
+    pub fn empty() -> Self {
+        LuFactor {
+            lu: Vec::new(),
+            perm: Vec::new(),
+            n: 0,
+            perm_sign: 1.0,
+        }
+    }
+
+    /// Refactorizes `a`, reusing this factorization's buffers. Once the
+    /// stored buffers match `a`'s dimension (e.g. after a first
+    /// [`LuFactor::new`] or `refactor_into` of the same size), this performs
+    /// no heap allocation — the per-timestep path of a transient simulation
+    /// depends on that.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LuFactor::new`]. On error the stored factorization
+    /// is invalid and must not be used for solves.
+    pub fn refactor_into(&mut self, a: &DMatrix) -> Result<(), NumError> {
         if !a.is_square() {
             return Err(NumError::ShapeMismatch {
                 expected: "square matrix".into(),
@@ -63,9 +90,14 @@ impl LuFactor {
             });
         }
         let n = a.rows();
-        let mut lu = a.as_slice().to_vec();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
+        self.lu.clear();
+        self.lu.extend_from_slice(a.as_slice());
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.n = n;
+        self.perm_sign = 1.0;
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
         let scale = a.max_abs().max(1.0);
         let threshold = SINGULARITY_THRESHOLD * scale;
 
@@ -91,7 +123,7 @@ impl LuFactor {
                     lu.swap(k * n + j, pivot_row * n + j);
                 }
                 perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
+                self.perm_sign = -self.perm_sign;
             }
             let pivot = lu[k * n + k];
             for i in (k + 1)..n {
@@ -104,12 +136,7 @@ impl LuFactor {
                 }
             }
         }
-        Ok(LuFactor {
-            lu,
-            perm,
-            n,
-            perm_sign,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -276,6 +303,36 @@ mod tests {
         lu.solve_in_place(&b, &mut x2);
         assert_eq!(x1, x2);
         assert!(residual(&a, &x1, &b) < 1e-12);
+    }
+
+    #[test]
+    fn refactor_into_matches_new_and_reuses_buffers() {
+        let a = DMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = DMatrix::from_rows(&[&[0.0, 2.0], &[5.0, -1.0]]).unwrap();
+        let mut f = LuFactor::new(&a).unwrap();
+        f.refactor_into(&b).unwrap();
+        let fresh = LuFactor::new(&b).unwrap();
+        assert_eq!(f.lu, fresh.lu);
+        assert_eq!(f.perm, fresh.perm);
+        assert_eq!(f.determinant(), fresh.determinant());
+        // Refactoring back to `a` restores the original solution.
+        f.refactor_into(&a).unwrap();
+        let rhs = [1.0, 2.0];
+        let x = f.solve(&rhs).unwrap();
+        assert!(residual(&a, &x, &rhs) < 1e-12);
+    }
+
+    #[test]
+    fn refactor_into_grows_from_empty() {
+        let mut f = LuFactor::empty();
+        assert_eq!(f.dim(), 0);
+        let a = DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]])
+            .unwrap();
+        f.refactor_into(&a).unwrap();
+        assert_eq!(f.dim(), 3);
+        let rhs = [1.0, -2.0, 0.25];
+        let x = f.solve(&rhs).unwrap();
+        assert!(residual(&a, &x, &rhs) < 1e-12);
     }
 
     #[test]

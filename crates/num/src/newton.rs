@@ -123,12 +123,15 @@ pub struct NewtonStats {
 #[derive(Debug, Clone)]
 pub struct NewtonSolver {
     options: NewtonOptions,
-    // Scratch buffers reused across calls.
+    // Scratch buffers reused across calls: once sized for a system, a solve
+    // performs zero heap allocations (asserted by `tests/alloc_audit.rs`).
     residual: Vec<f64>,
     trial_residual: Vec<f64>,
     dx: Vec<f64>,
     trial_x: Vec<f64>,
+    neg_f: Vec<f64>,
     jac: DMatrix,
+    lu: LuFactor,
 }
 
 impl NewtonSolver {
@@ -140,13 +143,41 @@ impl NewtonSolver {
             trial_residual: Vec::new(),
             dx: Vec::new(),
             trial_x: Vec::new(),
+            neg_f: Vec::new(),
             jac: DMatrix::zeros(0, 0),
+            lu: LuFactor::empty(),
         }
     }
 
     /// The solver's iteration policy.
     pub fn options(&self) -> &NewtonOptions {
         &self.options
+    }
+
+    /// Evaluates `‖F(x)‖∞` without solving, reusing the solver's residual
+    /// scratch (no allocation once warmed). Callers use this to rank
+    /// candidate initial guesses — e.g. a warm-start seed against the
+    /// previous committed state — before committing to one.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::ShapeMismatch`] if `x` has the wrong length.
+    /// * Any error surfaced by the system's residual evaluation.
+    pub fn residual_norm<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &[f64],
+    ) -> Result<f64, NumError> {
+        let n = system.unknowns();
+        if x.len() != n {
+            return Err(NumError::ShapeMismatch {
+                expected: format!("point of length {n}"),
+                found: format!("length {}", x.len()),
+            });
+        }
+        self.residual.resize(n, 0.0);
+        system.residual(x, &mut self.residual)?;
+        Ok(norm_inf(&self.residual))
     }
 
     /// Solves `F(x) = 0` starting from the initial guess in `x`, leaving the
@@ -173,6 +204,7 @@ impl NewtonSolver {
         self.trial_residual.resize(n, 0.0);
         self.dx.resize(n, 0.0);
         self.trial_x.resize(n, 0.0);
+        self.neg_f.resize(n, 0.0);
         if self.jac.rows() != n {
             self.jac = DMatrix::zeros(n, n);
         }
@@ -194,10 +226,12 @@ impl NewtonSolver {
             }
             self.jac.clear();
             system.jacobian(x, &mut self.jac)?;
-            let lu = LuFactor::new(&self.jac)?;
+            self.lu.refactor_into(&self.jac)?;
             // Newton step: J dx = -F.
-            let neg_f: Vec<f64> = self.residual.iter().map(|v| -v).collect();
-            lu.solve_in_place(&neg_f, &mut self.dx);
+            for (o, r) in self.neg_f.iter_mut().zip(&self.residual) {
+                *o = -r;
+            }
+            self.lu.solve_in_place(&self.neg_f, &mut self.dx);
             system.limit_step(x, &mut self.dx, self.options.max_step);
 
             // Damped line search: halve the step while the residual grows.

@@ -287,6 +287,22 @@ impl TranResult {
         }
     }
 
+    /// The full unknown vector recorded at time `t`, if this result holds a
+    /// sample of dimension `n` at (bitwise) that exact time point.
+    ///
+    /// Used by [`crate::Simulator::transient_seeded`] to warm-start Newton
+    /// iterations from a neighboring run on the same time base; a run with
+    /// a different time grid simply never matches and the caller falls back
+    /// to its cold guess.
+    pub fn guess_at(&self, t: f64, n: usize) -> Option<&[f64]> {
+        let idx = self
+            .times
+            .binary_search_by(|tv| tv.partial_cmp(&t).unwrap_or(std::cmp::Ordering::Less))
+            .ok()?;
+        let sample = &self.samples[idx];
+        (sample.len() == n).then_some(sample.as_slice())
+    }
+
     /// The branch-current waveform of a named voltage source.
     ///
     /// # Errors
@@ -391,13 +407,17 @@ impl<'c> Simulator<'c> {
         stats: &mut RecoveryStats,
     ) -> Result<NewtonStats, NumError> {
         stats.solve_attempts += 1;
-        match &self.fault_plan {
+        let out = match &self.fault_plan {
             Some(plan) => {
                 let mut chaos = ChaosSystem::arm(system, plan);
                 solver.solve(&mut chaos, x)
             }
             None => solver.solve(system, x),
+        };
+        if let Ok(s) = &out {
+            stats.newton_iters += s.iterations;
         }
+        out
     }
 
     fn vsource_names(&self) -> Vec<String> {
@@ -482,11 +502,14 @@ impl<'c> Simulator<'c> {
         let mut out = Vec::with_capacity(values.len());
         let mut guess: Option<Vec<f64>> = None;
         let node_names = ckt.node_names().to_vec();
+        let vsource_names = self.vsource_names();
+        // One solver for the whole sweep: its factorization and scratch
+        // buffers are sized once and reused at every point.
+        let mut solver = NewtonSolver::new(self.newton.clone());
         for &v in values {
             ckt.set_waveform(source, Waveform::Dc(v))?;
             let mut system = MnaSystem::new(&ckt, self.temp, self.gmin);
             system.time = 0.0;
-            let mut solver = NewtonSolver::new(self.newton.clone());
             let mut stats = RecoveryStats::default();
             let mut x = guess
                 .clone()
@@ -500,7 +523,7 @@ impl<'c> Simulator<'c> {
             guess = Some(x.clone());
             out.push(Solution {
                 node_names: node_names.clone(),
-                vsource_names: self.vsource_names(),
+                vsource_names: vsource_names.clone(),
                 x,
             });
         }
@@ -524,6 +547,30 @@ impl<'c> Simulator<'c> {
     /// * [`SpiceError::Convergence`] if a time step cannot be solved even
     ///   after recovery.
     pub fn transient(&self, options: &TranOptions) -> Result<TranResult, SpiceError> {
+        self.transient_seeded(options, None)
+    }
+
+    /// Runs a transient analysis like [`Simulator::transient`], but seeds
+    /// each time step's Newton iteration from `seed` — the result of a
+    /// neighboring run on the same time grid (e.g. the adjacent defect
+    /// resistance of a sweep) — when a sample at the step's exact time
+    /// point is available.
+    ///
+    /// Seeding only changes the *initial guess* of the first solve attempt
+    /// of each step; recovery-ladder retries always restart from the
+    /// previous committed state, so [`RecoveryPolicy`] semantics are
+    /// unchanged and a misleading seed degrades to the cold-start path. A
+    /// seed with a different time grid or unknown count is ignored
+    /// entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::transient`].
+    pub fn transient_seeded(
+        &self,
+        options: &TranOptions,
+        seed: Option<&TranResult>,
+    ) -> Result<TranResult, SpiceError> {
         self.circuit.validate()?;
         let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
         let n = system.unknowns();
@@ -590,6 +637,9 @@ impl<'c> Simulator<'c> {
         times.push(0.0);
         samples.push(x.clone());
         let mut stats = RecoveryStats::default();
+        // One trial vector reused by every step attempt of the run.
+        let mut trial = vec![0.0; n];
+        let vsource_names = self.vsource_names();
 
         if let Some(adaptive) = options.adaptive {
             adaptive.validate()?;
@@ -612,14 +662,14 @@ impl<'c> Simulator<'c> {
                 let mut x_tr = x.clone();
                 let mut cs_tr = cap_states.clone();
                 self.advance(
-                    &mut system, &mut solver, &mut x_tr, &mut cs_tr, t, t_next,
-                    trial_method, 0, &mut stats,
+                    &mut system, &mut solver, &mut x_tr, &mut cs_tr, &mut trial, None, t,
+                    t_next, trial_method, 0, &mut stats,
                 )?;
                 let mut x_be = x.clone();
                 let mut cs_be = cap_states.clone();
                 self.advance(
-                    &mut system, &mut solver, &mut x_be, &mut cs_be, t, t_next,
-                    Method::BackwardEuler, 0, &mut stats,
+                    &mut system, &mut solver, &mut x_be, &mut cs_be, &mut trial, None, t,
+                    t_next, Method::BackwardEuler, 0, &mut stats,
                 )?;
                 let err = x_tr
                     .iter()
@@ -644,10 +694,10 @@ impl<'c> Simulator<'c> {
                     dt = dt_eff;
                 }
             }
-            debug_assert_eq!(n_node_vars + self.vsource_names().len(), n);
+            debug_assert_eq!(n_node_vars + vsource_names.len(), n);
             return Ok(TranResult {
                 node_names: self.circuit.node_names().to_vec(),
-                vsource_names: self.vsource_names(),
+                vsource_names,
                 times,
                 samples,
                 recovery: stats,
@@ -655,6 +705,8 @@ impl<'c> Simulator<'c> {
         }
 
         let mut first_step = true;
+        // Predictor buffer for warm-started steps (reused across the run).
+        let mut warm_buf = vec![0.0; n];
         for step in 1..=steps {
             let t_target = if step == steps {
                 options.t_stop
@@ -662,11 +714,36 @@ impl<'c> Simulator<'c> {
                 step as f64 * options.dt
             };
             let t_prev = times[times.len() - 1];
+            // Warm-start predictor: add the seed trajectory's step
+            // increment to our own committed state. On smooth stretches
+            // the increment is ~0 and the guess degenerates to plain
+            // continuation; across switching edges it injects the edge
+            // jump the seed has already resolved. Both samples must sit on
+            // the same (bitwise) time grid or the seed is ignored.
+            let mut have_warm = false;
+            if let Some(s) = seed {
+                if let (Some(cur), Some(prev)) = (s.guess_at(t_target, n), s.guess_at(t_prev, n))
+                {
+                    for (b, ((xi, c), p)) in
+                        warm_buf.iter_mut().zip(x.iter().zip(cur).zip(prev))
+                    {
+                        *b = xi + (c - p);
+                    }
+                    have_warm = true;
+                }
+            }
+            let warm = if have_warm {
+                Some(warm_buf.as_slice())
+            } else {
+                None
+            };
             self.advance(
                 &mut system,
                 &mut solver,
                 &mut x,
                 &mut cap_states,
+                &mut trial,
+                warm,
                 t_prev,
                 t_target,
                 if first_step {
@@ -681,10 +758,10 @@ impl<'c> Simulator<'c> {
             times.push(t_target);
             samples.push(x.clone());
         }
-        debug_assert_eq!(n_node_vars + self.vsource_names().len(), n);
+        debug_assert_eq!(n_node_vars + vsource_names.len(), n);
         Ok(TranResult {
             node_names: self.circuit.node_names().to_vec(),
-            vsource_names: self.vsource_names(),
+            vsource_names,
             times,
             samples,
             recovery: stats,
@@ -692,21 +769,31 @@ impl<'c> Simulator<'c> {
     }
 
     /// Prepares the companion models for one step and solves it from
-    /// `guess`, returning the trial solution. Does **not** commit: `x` and
-    /// capacitor states are untouched, so a failed attempt can be retried
-    /// with a different method, step, or gmin.
+    /// `guess`, leaving the trial solution in `trial` (reused across steps
+    /// so the steady-state path stays allocation-free). Does **not**
+    /// commit: `x` and capacitor states are untouched, so a failed attempt
+    /// can be retried with a different method, step, or gmin.
+    ///
+    /// `alt`, when present, is a competing initial guess (a warm-start
+    /// seed): after the step's companions are installed, both candidates'
+    /// residual norms are probed and the iteration starts from the better
+    /// one. Continuation from the previous state usually wins on smooth
+    /// stretches; the neighbor's sample wins across switching edges, where
+    /// the continuation guess is far from the post-edge solution.
     #[allow(clippy::too_many_arguments)]
     fn try_step(
         &self,
         system: &mut MnaSystem<'_>,
         solver: &mut NewtonSolver,
         guess: &[f64],
+        alt: Option<&[f64]>,
         cap_states: &[Option<CapState>],
+        trial: &mut Vec<f64>,
         t_prev: f64,
         t_target: f64,
         method: Method,
         stats: &mut RecoveryStats,
-    ) -> Result<Vec<f64>, SpiceError> {
+    ) -> Result<(), SpiceError> {
         let dt = t_target - t_prev;
         system.time = t_target;
         system.companions.clear();
@@ -727,14 +814,25 @@ impl<'c> Simulator<'c> {
                 }
             }
         }
-        let mut trial = guess.to_vec();
-        self.run_solve(solver, system, &mut trial, stats)
+        let mut start = guess;
+        if let Some(alt) = alt {
+            // A failed probe (non-finite residual) disqualifies only that
+            // candidate; the solve itself decides whether the step fails.
+            let g = solver.residual_norm(system, guess).unwrap_or(f64::INFINITY);
+            let a = solver.residual_norm(system, alt).unwrap_or(f64::INFINITY);
+            if a.is_finite() && a < g {
+                start = alt;
+            }
+        }
+        trial.clear();
+        trial.extend_from_slice(start);
+        self.run_solve(solver, system, trial, stats)
             .map_err(|e| SpiceError::Convergence {
                 time: Some(t_target),
                 attempts: stats.solve_attempts,
                 source: e,
             })?;
-        Ok(trial)
+        Ok(())
     }
 
     /// Commits an accepted trial solution: updates capacitor states from
@@ -778,13 +876,16 @@ impl<'c> Simulator<'c> {
         solver: &mut NewtonSolver,
         x: &[f64],
         cap_states: &[Option<CapState>],
+        trial: &mut Vec<f64>,
         t_prev: f64,
         t_target: f64,
         stats: &mut RecoveryStats,
-    ) -> Result<Vec<f64>, SpiceError> {
+    ) -> Result<(), SpiceError> {
         stats.gmin_retries += 1;
         let base = self.gmin;
         let ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, base];
+        // This is the rarely-taken deepest recovery rung; one scratch guess
+        // per homotopy is fine.
         let mut guess = x.to_vec();
         for &g in &ladder {
             system.gmin = g.max(base);
@@ -792,13 +893,15 @@ impl<'c> Simulator<'c> {
                 system,
                 solver,
                 &guess,
+                None,
                 cap_states,
+                trial,
                 t_prev,
                 t_target,
                 Method::BackwardEuler,
                 stats,
             ) {
-                Ok(trial) => guess = trial,
+                Ok(()) => guess.copy_from_slice(trial),
                 Err(e) => {
                     system.gmin = base;
                     return Err(e);
@@ -806,7 +909,7 @@ impl<'c> Simulator<'c> {
             }
         }
         system.gmin = base;
-        Ok(guess)
+        Ok(())
     }
 
     /// Advances the state from `t_prev` to `t_target`, climbing the
@@ -817,6 +920,12 @@ impl<'c> Simulator<'c> {
     /// 3. recursive midpoint subdivision, backward Euler, down to
     ///    `max_subdivisions` levels;
     /// 4. at the deepest level, gmin stepping (`gmin_stepping`).
+    ///
+    /// `warm`, when present, competes with the previous committed state
+    /// for the *initial guess* of the first solve attempt only (the lower
+    /// residual norm wins — a warm-start seed from a neighboring run);
+    /// every retry rung restarts from `x`, so a bad seed degrades to
+    /// exactly the cold-start recovery behaviour.
     #[allow(clippy::too_many_arguments)]
     fn advance(
         &self,
@@ -824,6 +933,8 @@ impl<'c> Simulator<'c> {
         solver: &mut NewtonSolver,
         x: &mut [f64],
         cap_states: &mut [Option<CapState>],
+        trial: &mut Vec<f64>,
+        warm: Option<&[f64]>,
         t_prev: f64,
         t_target: f64,
         method: Method,
@@ -831,10 +942,10 @@ impl<'c> Simulator<'c> {
         stats: &mut RecoveryStats,
     ) -> Result<(), SpiceError> {
         let first_err = match self.try_step(
-            system, solver, x, cap_states, t_prev, t_target, method, stats,
+            system, solver, x, warm, cap_states, trial, t_prev, t_target, method, stats,
         ) {
-            Ok(trial) => {
-                self.commit_step(system, x, cap_states, &trial, method);
+            Ok(()) => {
+                self.commit_step(system, x, cap_states, trial, method);
                 return Ok(());
             }
             Err(e @ SpiceError::Convergence { .. }) => e,
@@ -846,17 +957,22 @@ impl<'c> Simulator<'c> {
         // Rung 1: same step, backward Euler.
         if self.recovery.method_fallback && method != Method::BackwardEuler {
             stats.method_fallbacks += 1;
-            if let Ok(trial) = self.try_step(
-                system,
-                solver,
-                x,
-                cap_states,
-                t_prev,
-                t_target,
-                Method::BackwardEuler,
-                stats,
-            ) {
-                self.commit_step(system, x, cap_states, &trial, Method::BackwardEuler);
+            if self
+                .try_step(
+                    system,
+                    solver,
+                    x,
+                    None,
+                    cap_states,
+                    trial,
+                    t_prev,
+                    t_target,
+                    Method::BackwardEuler,
+                    stats,
+                )
+                .is_ok()
+            {
+                self.commit_step(system, x, cap_states, trial, Method::BackwardEuler);
                 stats.recovered_steps += 1;
                 return Ok(());
             }
@@ -874,6 +990,8 @@ impl<'c> Simulator<'c> {
                 solver,
                 x,
                 cap_states,
+                trial,
+                None,
                 t_prev,
                 t_mid,
                 Method::BackwardEuler,
@@ -885,6 +1003,8 @@ impl<'c> Simulator<'c> {
                 solver,
                 x,
                 cap_states,
+                trial,
+                None,
                 t_mid,
                 t_target,
                 Method::BackwardEuler,
@@ -896,14 +1016,14 @@ impl<'c> Simulator<'c> {
         }
 
         // Rung 3 (deepest subdivision only): gmin stepping.
-        if self.recovery.gmin_stepping {
-            if let Ok(trial) =
-                self.gmin_step(system, solver, x, cap_states, t_prev, t_target, stats)
-            {
-                self.commit_step(system, x, cap_states, &trial, Method::BackwardEuler);
-                stats.recovered_steps += 1;
-                return Ok(());
-            }
+        if self.recovery.gmin_stepping
+            && self
+                .gmin_step(system, solver, x, cap_states, trial, t_prev, t_target, stats)
+                .is_ok()
+        {
+            self.commit_step(system, x, cap_states, trial, Method::BackwardEuler);
+            stats.recovered_steps += 1;
+            return Ok(());
         }
 
         // Ladder exhausted: surface the original failure, with the total

@@ -92,6 +92,9 @@ impl RecoveryPolicy {
 pub struct RecoveryStats {
     /// Newton solves attempted (including retries and homotopy rungs).
     pub solve_attempts: usize,
+    /// Total Newton iterations spent across successful solves. Campaign
+    /// layers use this to quantify warm-start savings.
+    pub newton_iters: usize,
     /// Failed steps re-solved with backward Euler.
     pub method_fallbacks: usize,
     /// Timestep subdivisions performed.
@@ -120,6 +123,7 @@ impl RecoveryStats {
     /// use this to aggregate the many transients behind one sweep point.
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.solve_attempts += other.solve_attempts;
+        self.newton_iters += other.newton_iters;
         self.method_fallbacks += other.method_fallbacks;
         self.subdivisions += other.subdivisions;
         self.deepest_subdivision = self.deepest_subdivision.max(other.deepest_subdivision);
@@ -175,6 +179,7 @@ mod tests {
     fn merge_accumulates() {
         let mut a = RecoveryStats {
             solve_attempts: 10,
+            newton_iters: 30,
             method_fallbacks: 1,
             subdivisions: 0,
             deepest_subdivision: 0,
@@ -183,6 +188,7 @@ mod tests {
         };
         let b = RecoveryStats {
             solve_attempts: 5,
+            newton_iters: 12,
             method_fallbacks: 0,
             subdivisions: 2,
             deepest_subdivision: 2,
@@ -191,6 +197,7 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.solve_attempts, 15);
+        assert_eq!(a.newton_iters, 42);
         assert_eq!(a.method_fallbacks, 1);
         assert_eq!(a.subdivisions, 2);
         assert_eq!(a.deepest_subdivision, 2);

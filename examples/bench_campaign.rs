@@ -1,0 +1,130 @@
+//! Offline campaign benchmark: times `result_planes` / `plane_campaign`
+//! serial vs parallel, checks the determinism contract (parallel output
+//! bit-identical to serial), verifies the warm-start payoff, and writes
+//! `BENCH_campaign.json` (schema per record:
+//! `{name, threads, wall_ms, points, newton_iters}`).
+//!
+//! Run in release mode — debug-mode timings are meaningless:
+//!
+//! ```text
+//! cargo run --release --example bench_campaign
+//! ```
+//!
+//! The parallel speedup scales with available cores (the executor shards
+//! the sweep grid across `DSO_THREADS` workers); on a single-core host the
+//! parallel scenarios still run — and must still produce identical bits —
+//! but wall-clock parity is all that can be observed. The process exits
+//! non-zero if parallel output diverges from serial or the warm-start
+//! iteration saving falls below 20%.
+
+use dram_stress_opt::analysis::{
+    plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
+};
+use dram_stress_opt::bench::{median_of, to_json, BenchRecord};
+use dram_stress_opt::exec::CampaignConfig;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::interp::logspace;
+
+const REPEATS: usize = 3;
+const R_POINTS: usize = 30;
+const N_OPS: usize = 2;
+
+fn main() {
+    // Coarser time base than the production default keeps the bench
+    // affordable while exercising the identical hot path.
+    let design = ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    };
+    let analyzer = Analyzer::new(design);
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = logspace(1e4, 1e7, R_POINTS).expect("valid sweep");
+    let faults = CampaignFaults::new();
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // --- result_planes: warm-start payoff at threads = 1 ---------------
+    let serial_cold = CampaignConfig::with_threads(1).with_warm_start(false);
+    let serial_warm = CampaignConfig::with_threads(1);
+    let planes = |config: &CampaignConfig| {
+        result_planes_with(&analyzer, &defect, &op, &r_values, N_OPS, config)
+            .expect("planes build")
+    };
+    let (cold_ms, (_, cold_perf)) = median_of(REPEATS, || planes(&serial_cold));
+    records.push(BenchRecord {
+        name: "result_planes/serial-cold".into(),
+        threads: 1,
+        wall_ms: cold_ms,
+        points: cold_perf.points,
+        newton_iters: cold_perf.newton_iters,
+    });
+    let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
+    records.push(BenchRecord {
+        name: "result_planes/serial-warm".into(),
+        threads: 1,
+        wall_ms: warm_ms,
+        points: warm_perf.points,
+        newton_iters: warm_perf.newton_iters,
+    });
+    let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
+    println!(
+        "warm start: {} -> {} Newton iterations ({:.1}% saved), {:.0} ms -> {:.0} ms",
+        cold_perf.newton_iters,
+        warm_perf.newton_iters,
+        saved * 100.0,
+        cold_ms,
+        warm_ms
+    );
+    let mut failed = false;
+    if saved < 0.20 {
+        eprintln!("FAIL: warm start saved {:.1}% (< 20%)", saved * 100.0);
+        failed = true;
+    }
+
+    // --- plane_campaign: serial vs parallel, bit-identity gate ----------
+    let campaign = |config: &CampaignConfig| -> PlaneCampaign {
+        plane_campaign_with(&analyzer, &defect, &op, &r_values, N_OPS, &faults, config)
+            .expect("campaign runs")
+    };
+    let serial_cfg = CampaignConfig::with_threads(1);
+    let (serial_ms, serial) = median_of(REPEATS, || campaign(&serial_cfg));
+    records.push(BenchRecord {
+        name: "plane_campaign/serial".into(),
+        threads: 1,
+        wall_ms: serial_ms,
+        points: serial.perf.points,
+        newton_iters: serial.perf.newton_iters,
+    });
+    for threads in [2, 8] {
+        let cfg = CampaignConfig::with_threads(threads);
+        let (ms, parallel) = median_of(REPEATS, || campaign(&cfg));
+        records.push(BenchRecord {
+            name: format!("plane_campaign/parallel-{threads}"),
+            threads,
+            wall_ms: ms,
+            points: parallel.perf.points,
+            newton_iters: parallel.perf.newton_iters,
+        });
+        println!(
+            "plane_campaign x{threads}: {:.0} ms (serial {:.0} ms, speedup {:.2}x)",
+            ms,
+            serial_ms,
+            serial_ms / ms
+        );
+        if parallel.planes != serial.planes
+            || parallel.report != serial.report
+            || parallel.gaps() != serial.gaps()
+        {
+            eprintln!("FAIL: parallel ({threads} threads) diverged from serial output");
+            failed = true;
+        }
+    }
+
+    let json = to_json(&records);
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    println!("wrote BENCH_campaign.json ({} records)", records.len());
+    if failed {
+        std::process::exit(1);
+    }
+}

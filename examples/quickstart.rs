@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         border_tol: 0.08,
         max_settling_writes: 4,
         stresses: vec![StressKind::CycleTime, StressKind::Temperature],
+        ..OptimizerConfig::default()
     });
     let report = optimizer.optimize(&defect, &nominal)?;
     println!();
