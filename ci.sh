@@ -7,6 +7,13 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> fmt (check only)"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "    rustfmt not installed; skipped"
+fi
+
 echo "==> build (release, offline)"
 cargo build --release --workspace -q --offline
 
@@ -20,9 +27,15 @@ else
     echo "    clippy not installed; skipped"
 fi
 
-echo "==> bench (release, emits BENCH_campaign.json)"
+echo "==> doc (offline, deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q --offline
+
+echo "==> bench (release, emits BENCH_campaign.json + results/ copy)"
 # Times serial vs parallel campaigns and exits non-zero if the parallel
-# output diverges from serial or the warm-start saving regresses below 20%.
+# output diverges from serial, the warm-start saving regresses below 20%,
+# or a derived figure regresses >25% vs the committed BENCH_baseline.json.
+# Refresh the baseline after an intentional perf change with:
+#   cargo run --release --example bench_campaign -- --write-baseline
 cargo run --release -q --offline --example bench_campaign
 
 echo "==> ci: OK"

@@ -132,6 +132,14 @@ pub fn find_border(
     })
     .map_err(CoreError::from)?;
 
+    dso_obs::counter!("border.searches").incr();
+    dso_obs::counter!("border.evaluations").add(extra_evals as u64);
+    // Bisection depth = evaluations beyond the two orientation probes.
+    dso_obs::histogram!(
+        "border.bisection_evals",
+        &[4.0, 8.0, 12.0, 16.0, 24.0, 32.0]
+    )
+    .observe(extra_evals as f64);
     Ok(BorderResistance {
         resistance: (transition.last_false * transition.first_true).sqrt(),
         fails_above,

@@ -326,43 +326,31 @@ mod tests {
 
     #[test]
     fn defaults_per_class() {
-        let open = DetectionCondition::default_for(
-            &Defect::new(DefectSite::O3, BitLineSide::True),
-            2,
-        );
+        let open =
+            DetectionCondition::default_for(&Defect::new(DefectSite::O3, BitLineSide::True), 2);
         assert_eq!(open.to_string(), "{... w1 w1 w0 r0 ...}");
         assert_eq!(open.critical_write(), Some(false));
         assert!(!open.expected_level());
         assert!(!open.initial_level(), "starts from the complement of w1");
 
-        let sg = DetectionCondition::default_for(
-            &Defect::new(DefectSite::Sg, BitLineSide::True),
-            1,
-        );
+        let sg =
+            DetectionCondition::default_for(&Defect::new(DefectSite::Sg, BitLineSide::True), 1);
         assert_eq!(sg.to_string(), "{... w1 r1 ...}");
-        let sv = DetectionCondition::default_for(
-            &Defect::new(DefectSite::Sv, BitLineSide::True),
-            1,
-        );
+        let sv =
+            DetectionCondition::default_for(&Defect::new(DefectSite::Sv, BitLineSide::True), 1);
         assert_eq!(sv.to_string(), "{... w0 r0 ...}");
-        let b1 = DetectionCondition::default_for(
-            &Defect::new(DefectSite::B1, BitLineSide::True),
-            1,
-        );
+        let b1 =
+            DetectionCondition::default_for(&Defect::new(DefectSite::B1, BitLineSide::True), 1);
         assert_eq!(b1.to_string(), "{... w1 r1 w0 r0 ...}");
-        let b2 = DetectionCondition::default_for(
-            &Defect::new(DefectSite::B2, BitLineSide::True),
-            1,
-        );
+        let b2 =
+            DetectionCondition::default_for(&Defect::new(DefectSite::B2, BitLineSide::True), 1);
         assert_eq!(b2.to_string(), "{... w1 r1 w0 r0 ...}");
     }
 
     #[test]
     fn true_comp_interchange() {
-        let cond = DetectionCondition::default_for(
-            &Defect::new(DefectSite::O3, BitLineSide::True),
-            3,
-        );
+        let cond =
+            DetectionCondition::default_for(&Defect::new(DefectSite::O3, BitLineSide::True), 3);
         assert_eq!(
             cond.display_for(BitLineSide::True),
             "{... w1 w1 w1 w0 r0 ...}"

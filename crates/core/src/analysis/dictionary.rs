@@ -238,14 +238,8 @@ mod tests {
     fn comp_side_inverts_logic() {
         let analyzer = Analyzer::new(fast_design());
         let defect = Defect::cell_open(BitLineSide::Comp);
-        let dict = build_dictionary(
-            &analyzer,
-            &defect,
-            1e3,
-            &OperatingPoint::nominal(),
-            5,
-        )
-        .unwrap();
+        let dict =
+            build_dictionary(&analyzer, &defect, 1e3, &OperatingPoint::nominal(), 5).unwrap();
         let mut cell = DefectiveCell::new(dict, 0.0);
         // Physical 0 on the comp side is logic 1.
         assert!(cell.read());
@@ -262,13 +256,6 @@ mod tests {
     fn sample_count_validated() {
         let analyzer = Analyzer::new(fast_design());
         let defect = Defect::cell_open(BitLineSide::True);
-        assert!(build_dictionary(
-            &analyzer,
-            &defect,
-            1e3,
-            &OperatingPoint::nominal(),
-            1
-        )
-        .is_err());
+        assert!(build_dictionary(&analyzer, &defect, 1e3, &OperatingPoint::nominal(), 1).is_err());
     }
 }

@@ -130,7 +130,9 @@ impl Analyzer {
         n_ops: usize,
     ) -> Result<Vec<f64>, CoreError> {
         let mut stats = RecoveryStats::default();
-        self.settle_sequence_instrumented(defect, resistance, op_point, high, n_ops, None, &mut stats)
+        self.settle_sequence_instrumented(
+            defect, resistance, op_point, high, n_ops, None, &mut stats,
+        )
     }
 
     /// [`Analyzer::settle_sequence`] with an optional fault plan armed on
@@ -151,8 +153,10 @@ impl Analyzer {
         faults: Option<&FaultPlan>,
         stats: &mut RecoveryStats,
     ) -> Result<Vec<f64>, CoreError> {
-        self.settle_trace(defect, resistance, op_point, high, n_ops, faults, None, stats)
-            .map(|(vcs, _)| vcs)
+        self.settle_trace(
+            defect, resistance, op_point, high, n_ops, faults, None, stats,
+        )
+        .map(|(vcs, _)| vcs)
     }
 
     /// [`Analyzer::settle_sequence_instrumented`], additionally accepting a
@@ -191,9 +195,9 @@ impl Analyzer {
         };
         seq.extend(std::iter::repeat_n(target, n_ops));
         let operation = if high { "w1 settle" } else { "w0 settle" };
-        let trace = engine.run_seeded(&seq, 0.0, seed).map_err(|e| {
-            CoreError::at_point(operation, resistance, Some(0.0), e.into())
-        })?;
+        let trace = engine
+            .run_seeded(&seq, 0.0, seed)
+            .map_err(|e| CoreError::at_point(operation, resistance, Some(0.0), e.into()))?;
         stats.merge(trace.recovery());
         Ok((trace.vc_ends()[skip..].to_vec(), trace))
     }
@@ -214,7 +218,9 @@ impl Analyzer {
         n_ops: usize,
     ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
         let mut stats = RecoveryStats::default();
-        self.read_sequence_instrumented(defect, resistance, op_point, vc_init, n_ops, None, &mut stats)
+        self.read_sequence_instrumented(
+            defect, resistance, op_point, vc_init, n_ops, None, &mut stats,
+        )
     }
 
     /// [`Analyzer::read_sequence`] with an optional fault plan armed on
@@ -235,8 +241,10 @@ impl Analyzer {
         faults: Option<&FaultPlan>,
         stats: &mut RecoveryStats,
     ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
-        self.read_trace(defect, resistance, op_point, vc_init, n_ops, faults, None, stats)
-            .map(|(vcs, highs, _)| (vcs, highs))
+        self.read_trace(
+            defect, resistance, op_point, vc_init, n_ops, faults, None, stats,
+        )
+        .map(|(vcs, highs, _)| (vcs, highs))
     }
 
     /// [`Analyzer::read_sequence_instrumented`], additionally accepting a
@@ -273,9 +281,7 @@ impl Analyzer {
             .map(|c| {
                 c.read
                     .map(|r| r.accessed_high(defect.side()))
-                    .ok_or_else(|| {
-                        CoreError::BadRequest("read cycle produced no outcome".into())
-                    })
+                    .ok_or_else(|| CoreError::BadRequest("read cycle produced no outcome".into()))
             })
             .collect::<Result<Vec<bool>, CoreError>>()?;
         Ok((trace.vc_ends(), highs, trace))
@@ -305,9 +311,9 @@ impl Analyzer {
         let op = physical_write(high, defect.side());
         let vc_init = if high { 0.0 } else { op_point.vdd };
         let operation = if high { "w1 probe" } else { "w0 probe" };
-        let trace = engine.run(&[op], vc_init).map_err(|e| {
-            CoreError::at_point(operation, resistance, Some(vc_init), e.into())
-        })?;
+        let trace = engine
+            .run(&[op], vc_init)
+            .map_err(|e| CoreError::at_point(operation, resistance, Some(vc_init), e.into()))?;
         let schedule = dso_dram::timing::CycleSchedule::new(op_point.duty)?;
         let t_wl_off = schedule.wl_off * op_point.tcyc;
         let storage = dso_dram::column::nodes::cap_top(defect.side());
@@ -380,11 +386,9 @@ impl Analyzer {
         let mut last: Option<OpTrace> = None;
         let mut reads_high = |vc: f64| -> Result<bool, CoreError> {
             let seed = if warm_probes { last.as_ref() } else { None };
-            let trace = engine
-                .run_seeded(&[Operation::R], vc, seed)
-                .map_err(|e| {
-                    CoreError::at_point("read threshold", resistance, Some(vc), e.into())
-                })?;
+            let trace = engine.run_seeded(&[Operation::R], vc, seed).map_err(|e| {
+                CoreError::at_point("read threshold", resistance, Some(vc), e.into())
+            })?;
             stats.merge(trace.recovery());
             let high = trace.cycles()[0]
                 .read
@@ -518,9 +522,7 @@ mod tests {
         let analyzer = Analyzer::new(fast_design());
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
-        let (vcs, highs) = analyzer
-            .read_sequence(&defect, 1e3, &op, 2.4, 2)
-            .unwrap();
+        let (vcs, highs) = analyzer.read_sequence(&defect, 1e3, &op, 2.4, 2).unwrap();
         assert_eq!(vcs.len(), 2);
         assert_eq!(highs, vec![true, true]);
         let (_, lows) = analyzer.read_sequence(&defect, 1e3, &op, 0.0, 1).unwrap();
@@ -532,7 +534,9 @@ mod tests {
         let analyzer = Analyzer::new(fast_design());
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
-        assert!(analyzer.settle_sequence(&defect, 1e3, &op, true, 0).is_err());
+        assert!(analyzer
+            .settle_sequence(&defect, 1e3, &op, true, 0)
+            .is_err());
         assert!(analyzer.read_sequence(&defect, 1e3, &op, 0.0, 0).is_err());
     }
 }

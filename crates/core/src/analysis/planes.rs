@@ -174,9 +174,8 @@ impl PointData {
     /// Linear interpolation between two bracketing points, `t` in `[0, 1]`.
     fn lerp(a: &PointData, b: &PointData, t: f64) -> PointData {
         let mix = |x: f64, y: f64| x + (y - x) * t;
-        let mix_vec = |xs: &[f64], ys: &[f64]| {
-            xs.iter().zip(ys).map(|(&x, &y)| mix(x, y)).collect()
-        };
+        let mix_vec =
+            |xs: &[f64], ys: &[f64]| xs.iter().zip(ys).map(|(&x, &y)| mix(x, y)).collect();
         PointData {
             w0: mix_vec(&a.w0, &b.w0),
             w1: mix_vec(&a.w1, &b.w1),
@@ -319,6 +318,9 @@ fn run_grid(
         let mut seeds = WarmSeeds::default();
         range
             .map(|i| {
+                let span = dso_obs::span("sweep.point");
+                span.note("r_ohm", r_values[i]);
+                let t0 = std::time::Instant::now();
                 let mut stats = RecoveryStats::default();
                 let warm_hits = seeds.available();
                 let outcome = measure_point(
@@ -338,6 +340,15 @@ fn run_grid(
                     Err(e) => (Err(e), WarmSeeds::default()),
                 };
                 seeds = next_seeds;
+                // Warm-start hit/miss latency: points whose seedable
+                // transients all ran warm vs. cold chunk heads.
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                let edges = &[10.0, 100.0, 1e3, 1e4, 1e5];
+                if warm_hits > 0 {
+                    dso_obs::histogram!("campaign.point_warm_ms", edges, nondet).observe(ms);
+                } else {
+                    dso_obs::histogram!("campaign.point_cold_ms", edges, nondet).observe(ms);
+                }
                 PointOutcome {
                     data,
                     stats,
@@ -468,16 +479,38 @@ pub fn result_planes_with(
     config: &CampaignConfig,
 ) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
     validate_sweep(r_values, n_ops)?;
+    let obs_env = dso_obs::init_from_env();
+    let span = dso_obs::span("campaign.result_planes");
+    span.note("points", r_values.len() as f64);
     let clean = CampaignFaults::new();
     let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, &clean, config);
     let mut perf = CampaignPerfStats::default();
+    for outcome in &outcomes {
+        tally(&mut perf, outcome);
+    }
+    // Fold the tally into the registry before any failed point can abort
+    // the assembly below — the work was spent either way.
+    perf.record_to_metrics();
+    export_metrics(&obs_env);
     let mut data = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
-        tally(&mut perf, &outcome);
         data.push(outcome.data?);
     }
     let planes = assemble_planes(analyzer, defect, op_point, r_values, n_ops, &data)?;
     Ok((planes, perf))
+}
+
+/// Writes the metrics snapshot to the path requested via `DSO_METRICS`
+/// (best effort — observability must never fail a campaign).
+fn export_metrics(env: &dso_obs::EnvConfig) {
+    if let Some(path) = &env.metrics_path {
+        if let Err(err) = std::fs::write(path, dso_obs::metrics::snapshot().to_json()) {
+            eprintln!(
+                "dso-core: cannot write DSO_METRICS={}: {err}",
+                path.display()
+            );
+        }
+    }
 }
 
 /// Result planes produced by a fault-tolerant sweep campaign: the planes
@@ -590,6 +623,9 @@ pub fn plane_campaign_with(
     config: &CampaignConfig,
 ) -> Result<PlaneCampaign, CoreError> {
     validate_sweep(r_values, n_ops)?;
+    let obs_env = dso_obs::init_from_env();
+    let span = dso_obs::span("campaign.planes");
+    span.note("points", r_values.len() as f64);
     let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, faults, config);
     let defect_name = defect.to_string();
     let mut perf = CampaignPerfStats::default();
@@ -622,6 +658,9 @@ pub fn plane_campaign_with(
             }
         }
     }
+
+    perf.record_to_metrics();
+    export_metrics(&obs_env);
 
     let failed = data.iter().filter(|d| d.is_none()).count();
     let n = data.len();
@@ -778,7 +817,15 @@ mod tests {
         // Header + one row per resistance.
         assert_eq!(lines.len(), 1 + planes.w0.r_values.len());
         let header = lines[0];
-        for col in ["R_ohm", "w0_1", "w0_2", "w1_1", "vsa", "r_below_1", "r_above_2"] {
+        for col in [
+            "R_ohm",
+            "w0_1",
+            "w0_2",
+            "w1_1",
+            "vsa",
+            "r_below_1",
+            "r_above_2",
+        ] {
             assert!(header.contains(col), "missing column {col}: {header}");
         }
         // Every row has the same number of cells as the header.

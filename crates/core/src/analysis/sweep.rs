@@ -108,7 +108,10 @@ impl SweepReport {
 
     /// Number of points rescued by the recovery ladder.
     pub fn recovered(&self) -> usize {
-        self.points.iter().filter(|p| p.status.is_recovered()).count()
+        self.points
+            .iter()
+            .filter(|p| p.status.is_recovered())
+            .count()
     }
 
     /// Number of points that failed outright (the plane's gaps).
@@ -249,7 +252,12 @@ mod tests {
         let mut report = SweepReport::new();
         report.record(1e4, PointStatus::Converged);
         report.record(1e5, PointStatus::Recovered { attempts: 2 });
-        report.record(1e6, PointStatus::Failed { reason: "boom".into() });
+        report.record(
+            1e6,
+            PointStatus::Failed {
+                reason: "boom".into(),
+            },
+        );
         report.record(1e7, PointStatus::Converged);
         assert_eq!(report.total(), 4);
         assert_eq!(report.converged(), 2);
@@ -291,7 +299,10 @@ mod tests {
     fn campaign_faults_lookup() {
         let faults = CampaignFaults::new()
             .with_fault(3, FaultPlan::always(FaultKind::NanResidual))
-            .with_fault(5, FaultPlan::new().inject_at(2, FaultKind::SingularJacobian));
+            .with_fault(
+                5,
+                FaultPlan::new().inject_at(2, FaultKind::SingularJacobian),
+            );
         assert!(!faults.is_empty());
         assert!(faults.plan_for(3).is_some());
         assert!(faults.plan_for(5).is_some());
@@ -308,8 +319,10 @@ mod tests {
             PointStatus::Recovered { attempts: 3 }.to_string(),
             "recovered (3 action(s))"
         );
-        assert!(PointStatus::Failed { reason: "nan".into() }
-            .to_string()
-            .contains("nan"));
+        assert!(PointStatus::Failed {
+            reason: "nan".into()
+        }
+        .to_string()
+        .contains("nan"));
     }
 }

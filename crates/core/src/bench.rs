@@ -84,6 +84,116 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     out
 }
 
+/// Derived perf figures gated against `BENCH_baseline.json` in CI.
+///
+/// Raw wall-clock times are useless as a committed baseline — CI runners
+/// and dev machines differ wildly — so the gate compares *derived* ratios
+/// that are stable across hosts:
+///
+/// * `warm_iter_saving` — fraction of Newton iterations the warm-start
+///   path saves over cold starts. Fully deterministic (iteration counts,
+///   not time).
+/// * `speedup_per_core` — parallel speedup of the widest scenario divided
+///   by the cores that could actually serve it
+///   (`min(threads, available_parallelism)`), i.e. per-core scaling
+///   efficiency in `(0, 1]`.
+///
+/// Refresh after an intentional perf change with:
+///
+/// ```text
+/// cargo run --release --example bench_campaign -- --write-baseline
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchBaseline {
+    /// Fraction of Newton iterations saved by warm starts (deterministic).
+    pub warm_iter_saving: f64,
+    /// Parallel speedup per effective core (wall-clock derived).
+    pub speedup_per_core: f64,
+}
+
+impl BenchBaseline {
+    /// Serializes the baseline in the committed `BENCH_baseline.json`
+    /// format.
+    pub fn to_json(&self) -> String {
+        use dso_obs::json::Json;
+        use std::collections::BTreeMap;
+        let mut doc = Json::Obj(BTreeMap::from([
+            ("schema".to_string(), Json::Num(1.0)),
+            (
+                "warm_iter_saving".to_string(),
+                Json::Num(self.warm_iter_saving),
+            ),
+            (
+                "speedup_per_core".to_string(),
+                Json::Num(self.speedup_per_core),
+            ),
+        ]))
+        .to_string();
+        doc.push('\n');
+        doc
+    }
+
+    /// Parses a `BENCH_baseline.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message for malformed JSON or missing fields.
+    pub fn from_json(text: &str) -> Result<BenchBaseline, String> {
+        use dso_obs::json::Json;
+        let doc = Json::parse(text.trim()).map_err(|e| e.to_string())?;
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("baseline missing numeric {name:?}"))
+        };
+        Ok(BenchBaseline {
+            warm_iter_saving: field("warm_iter_saving")?,
+            speedup_per_core: field("speedup_per_core")?,
+        })
+    }
+
+    /// Compares `current` against this baseline: any figure that fell by
+    /// more than `tolerance` (fractional, e.g. `0.25`) is a regression.
+    /// Returns one message per regressed figure (empty = gate passes);
+    /// improvements never fail.
+    pub fn regressions(&self, current: &BenchBaseline, tolerance: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut gate = |name: &str, base: f64, cur: f64| {
+            if base > 0.0 && cur < base * (1.0 - tolerance) {
+                out.push(format!(
+                    "{name} regressed {:.1}% (baseline {base:.3}, current {cur:.3}, \
+                     tolerance {:.0}%)",
+                    100.0 * (1.0 - cur / base),
+                    100.0 * tolerance
+                ));
+            }
+        };
+        gate(
+            "warm-start Newton-iteration saving",
+            self.warm_iter_saving,
+            current.warm_iter_saving,
+        );
+        gate(
+            "parallel speedup per core",
+            self.speedup_per_core,
+            current.speedup_per_core,
+        );
+        out
+    }
+}
+
+/// The cores that can actually serve `threads` workers:
+/// `min(threads, available_parallelism)`. Normalizing speedup by this
+/// keeps `speedup_per_core` comparable between wide dev machines and
+/// narrow CI runners.
+pub fn effective_cores(threads: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(threads.max(1))
+        .max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +240,37 @@ mod tests {
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn baseline_round_trip_and_gate() {
+        let base = BenchBaseline {
+            warm_iter_saving: 0.4,
+            speedup_per_core: 0.8,
+        };
+        let parsed = BenchBaseline::from_json(&base.to_json()).expect("round trip");
+        assert_eq!(parsed, base);
+
+        // Within tolerance (and improvements) pass.
+        let ok = BenchBaseline {
+            warm_iter_saving: 0.35,
+            speedup_per_core: 0.9,
+        };
+        assert!(base.regressions(&ok, 0.25).is_empty());
+
+        // A >25% drop in either figure is called out.
+        let bad = BenchBaseline {
+            warm_iter_saving: 0.2,
+            speedup_per_core: 0.5,
+        };
+        let msgs = base.regressions(&bad, 0.25);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs[0].contains("warm-start"), "{msgs:?}");
+        assert!(msgs[1].contains("speedup"), "{msgs:?}");
+
+        assert!(BenchBaseline::from_json("{}").is_err());
+        assert!(BenchBaseline::from_json("nope").is_err());
+        assert!(effective_cores(8) >= 1);
+        assert_eq!(effective_cores(0), 1);
     }
 }

@@ -119,6 +119,18 @@ pub struct CampaignPerfStats {
 }
 
 impl CampaignPerfStats {
+    /// Publishes this tally into the metrics registry (`campaign.*`
+    /// counters), so ad-hoc perf stats and the observability layer share
+    /// one reporting path. Called once per campaign with the aggregated
+    /// tally; a no-op while metrics are disabled.
+    pub fn record_to_metrics(&self) {
+        dso_obs::counter!("campaign.points").add(self.points as u64);
+        dso_obs::counter!("campaign.warm_hits").add(self.warm_hits as u64);
+        dso_obs::counter!("campaign.warm_misses").add(self.warm_misses as u64);
+        dso_obs::counter!("campaign.newton_iters").add(self.newton_iters as u64);
+        dso_obs::counter!("campaign.solve_attempts").add(self.solve_attempts as u64);
+    }
+
     /// Accumulates another tally into this one.
     pub fn merge(&mut self, other: &CampaignPerfStats) {
         self.points += other.points;
@@ -184,24 +196,58 @@ where
 {
     let ranges = chunk_ranges(n, config.chunk);
     let workers = config.threads.max(1).min(ranges.len().max(1));
+    dso_obs::counter!("exec.chunks").add(ranges.len() as u64);
+    dso_obs::gauge!("exec.workers", nondet).set(workers as f64);
+    // Chunk-duration / queue-wait edges in milliseconds; wall-clock values
+    // are inherently run-dependent, hence `nondet`.
+    let chunk_ms = dso_obs::histogram!("exec.chunk_ms", &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5], nondet);
+    let queue_wait_ms = dso_obs::histogram!(
+        "exec.chunk_queue_wait_ms",
+        &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5],
+        nondet
+    );
+    let epoch = std::time::Instant::now();
     let run_chunk = |range: Range<usize>| -> Vec<T> {
         let len = range.len();
+        let started = std::time::Instant::now();
         let out = f(range);
+        chunk_ms.observe(started.elapsed().as_secs_f64() * 1e3);
         assert_eq!(out.len(), len, "chunk worker returned wrong result count");
         out
     };
     if workers <= 1 {
         return ranges.into_iter().flat_map(run_chunk).collect();
     }
+    // Spans opened on worker threads re-parent to the caller's span
+    // explicitly — the thread-local span stack does not cross threads.
+    let parent_span = dso_obs::current_span_id();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Vec<T>>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                let Some(range) = ranges.get(c) else { break };
-                let out = run_chunk(range.clone());
-                *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+            scope.spawn(|| {
+                let mut busy = std::time::Duration::ZERO;
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = ranges.get(c) else { break };
+                    // Time from campaign start to pickup = how long the
+                    // chunk sat in the queue behind earlier chunks.
+                    queue_wait_ms.observe(epoch.elapsed().as_secs_f64() * 1e3);
+                    let span = dso_obs::span_child_of("exec.chunk", parent_span);
+                    span.note("chunk", c as f64);
+                    let t0 = std::time::Instant::now();
+                    let out = run_chunk(range.clone());
+                    busy += t0.elapsed();
+                    drop(span);
+                    *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+                }
+                // Per-thread utilization: busy fraction of the campaign's
+                // wall clock, one gauge sample per worker (max survives).
+                let wall = epoch.elapsed().as_secs_f64();
+                if wall > 0.0 {
+                    dso_obs::gauge!("exec.worker_utilization", nondet)
+                        .set(busy.as_secs_f64() / wall);
+                }
             });
         }
     });
@@ -268,9 +314,7 @@ mod tests {
         let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
         for threads in [1, 2, 4, 8] {
             let cfg = CampaignConfig::with_threads(threads).with_chunk(3);
-            let got = map_chunked(23, &cfg, |range| {
-                range.map(|i| i * i).collect::<Vec<_>>()
-            });
+            let got = map_chunked(23, &cfg, |range| range.map(|i| i * i).collect::<Vec<_>>());
             assert_eq!(got, expected, "threads = {threads}");
         }
     }
@@ -319,7 +363,9 @@ mod tests {
     fn config_builders() {
         let cfg = CampaignConfig::with_threads(0);
         assert_eq!(cfg.threads, 1);
-        let cfg = CampaignConfig::serial().with_chunk(0).with_warm_start(false);
+        let cfg = CampaignConfig::serial()
+            .with_chunk(0)
+            .with_warm_start(false);
         assert_eq!(cfg.chunk, 1);
         assert!(!cfg.warm_start);
         assert!(CampaignConfig::from_env().threads >= 1);

@@ -117,10 +117,9 @@ impl fmt::Display for StressReport {
         )?;
         for d in &self.decisions {
             let basis = match &d.basis {
-                DecisionBasis::Probes(p) => format!(
-                    "probes (write {}, read {})",
-                    p.write_trend, p.read_trend
-                ),
+                DecisionBasis::Probes(p) => {
+                    format!("probes (write {}, read {})", p.write_trend, p.read_trend)
+                }
                 DecisionBasis::BorderComparison {
                     candidates,
                     skipped,
@@ -206,11 +205,18 @@ impl StressOptimizer {
         defect: &Defect,
         nominal: &OperatingPoint,
     ) -> Result<StressReport, CoreError> {
+        let _span = dso_obs::span("optimizer.optimize");
+        dso_obs::counter!("optimizer.runs").incr();
         let analyzer = &self.analyzer;
         // 1. Nominal analysis.
         let mut detection = DetectionCondition::default_for(defect, 1);
-        let coarse_border =
-            find_border(analyzer, defect, &detection, nominal, self.config.border_tol)?;
+        let coarse_border = find_border(
+            analyzer,
+            defect,
+            &detection,
+            nominal,
+            self.config.border_tol,
+        )?;
         detection = derive_detection(
             analyzer,
             defect,
@@ -218,8 +224,13 @@ impl StressOptimizer {
             nominal,
             self.config.max_settling_writes,
         )?;
-        let nominal_border =
-            find_border(analyzer, defect, &detection, nominal, self.config.border_tol)?;
+        let nominal_border = find_border(
+            analyzer,
+            defect,
+            &detection,
+            nominal,
+            self.config.border_tol,
+        )?;
         let nominal_report = BorderReport {
             border: nominal_border,
             detection: detection.clone(),
@@ -299,6 +310,8 @@ impl StressOptimizer {
         let mut base = *nominal;
         let mut decisions = Vec::with_capacity(self.config.stresses.len());
         for &kind in &self.config.stresses {
+            let _span = dso_obs::span("optimizer.decide_stress");
+            dso_obs::counter!("optimizer.stress_probes").incr();
             let probes = probe_stress(analyzer, defect, detection, &base, kind, r_ref)?;
             let trend_direction = if force_border_comparison {
                 None
@@ -312,7 +325,10 @@ impl StressOptimizer {
                     chosen_value: direction.endpoint(kind),
                     basis: DecisionBasis::Probes(probes),
                 },
-                None => self.decide_by_border_comparison(defect, detection, &base, probes)?,
+                None => {
+                    dso_obs::counter!("optimizer.border_comparisons").incr();
+                    self.decide_by_border_comparison(defect, detection, &base, probes)?
+                }
             };
             base = kind.apply_to(&base, decision.chosen_value)?;
             decisions.push(decision);
@@ -453,8 +469,7 @@ mod tests {
 
     #[test]
     fn optimize_cell_open() {
-        let optimizer =
-            StressOptimizer::new(fast_design()).with_config(fast_config());
+        let optimizer = StressOptimizer::new(fast_design()).with_config(fast_config());
         let defect = Defect::cell_open(BitLineSide::True);
         let report = optimizer
             .optimize(&defect, &OperatingPoint::nominal())

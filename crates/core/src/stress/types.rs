@@ -178,10 +178,7 @@ mod tests {
 
     #[test]
     fn direction_endpoints() {
-        assert_eq!(
-            Direction::Decrease.endpoint(StressKind::SupplyVoltage),
-            2.1
-        );
+        assert_eq!(Direction::Decrease.endpoint(StressKind::SupplyVoltage), 2.1);
         assert_eq!(Direction::Increase.endpoint(StressKind::Temperature), 87.0);
         assert_eq!(Direction::Decrease.endpoint(StressKind::CycleTime), 55e-9);
         assert_eq!(Direction::Increase.arrow(), "↑");

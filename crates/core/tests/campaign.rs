@@ -26,8 +26,15 @@ fn partial_planes_preserve_border_and_accounting() {
     let r_values = logspace(1e4, 1e7, 10).unwrap();
 
     // Reference: a clean campaign.
-    let clean = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &CampaignFaults::new())
-        .expect("clean campaign runs");
+    let clean = plane_campaign(
+        &analyzer,
+        &defect,
+        &op,
+        &r_values,
+        1,
+        &CampaignFaults::new(),
+    )
+    .expect("clean campaign runs");
     assert!(clean.report.accounts_for(r_values.len()));
     assert_eq!(clean.report.converged(), r_values.len());
     assert_eq!(clean.report.failed(), 0);
@@ -47,8 +54,8 @@ fn partial_planes_preserve_border_and_accounting() {
 
     // 10% of the sweep points (1 of 10) killed outright: the campaign
     // degrades instead of aborting, and the border does not move.
-    let faults = CampaignFaults::new()
-        .with_fault(fault_idx, FaultPlan::always(FaultKind::NanResidual));
+    let faults =
+        CampaignFaults::new().with_fault(fault_idx, FaultPlan::always(FaultKind::NanResidual));
     let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults)
         .expect("partial campaign still assembles planes");
     assert!(partial.report.accounts_for(r_values.len()));
@@ -113,8 +120,7 @@ fn border_straddling_gap_is_rejected() {
     // Vsa margin changes sign there); killing the 1e6 point leaves a gap
     // bracketed by 1e5 and 1e7 that straddles the crossing.
     let r_values = [1e4, 1e5, 1e6, 1e7];
-    let faults =
-        CampaignFaults::new().with_fault(2, FaultPlan::always(FaultKind::NanResidual));
+    let faults = CampaignFaults::new().with_fault(2, FaultPlan::always(FaultKind::NanResidual));
     let err = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults).unwrap_err();
     match err {
         CoreError::BorderInGap { gap, .. } => {

@@ -80,8 +80,7 @@ fn parallel_campaign_bit_identical_to_serial() {
 fn parallel_campaign_bit_identical_under_faults() {
     // Kill one interior sweep point outright; the chaos ordinals are keyed
     // on sweep index, so every thread count must see the identical gap.
-    let faults =
-        CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
     let serial = campaign_at(1, &faults);
     assert_eq!(serial.report.failed(), 1);
     assert_eq!(serial.gaps().len(), 1);
@@ -100,8 +99,7 @@ fn result_planes_parallel_matches_serial_and_warm_start_pays() {
     let r_values = sweep();
 
     let run = |config: &CampaignConfig| {
-        result_planes_with(&analyzer, &defect, &op, &r_values, 1, config)
-            .expect("planes build")
+        result_planes_with(&analyzer, &defect, &op, &r_values, 1, config).expect("planes build")
     };
 
     // One chunk spanning the whole sweep maximizes the warm chain.
@@ -143,6 +141,66 @@ fn result_planes_parallel_matches_serial_and_warm_start_pays() {
 }
 
 #[test]
+fn metrics_shard_merge_is_order_invariant() {
+    // The observability registry merges per-thread metric shards with
+    // commutative operations only, so any drain order — 1, 2, 4, or 8
+    // workers finishing in any interleaving — must produce identical
+    // totals. Exercised on standalone shards (no global state) so it can
+    // run alongside the campaign tests in this binary.
+    use dso_obs::metrics::Shard;
+
+    let edges: &[f64] = &[2.0, 8.0, 32.0];
+    let worker_shard = |w: u64| {
+        let mut s = Shard::new();
+        // Slot 0: counter, slot 1: gauge (max), slot 2: histogram.
+        s.add_counter(0, 10 + w);
+        s.set_gauge(1, w as f64 * 1.5);
+        for i in 0..w {
+            s.observe(2, edges, i as f64);
+        }
+        s
+    };
+    let shards: Vec<Shard> = (1..=8).map(worker_shard).collect();
+
+    let merge_in = |order: &[usize]| {
+        let mut acc = Shard::new();
+        for &i in order {
+            acc.merge(&shards[i]);
+        }
+        acc
+    };
+    let in_order: Vec<usize> = (0..shards.len()).collect();
+    let reference = merge_in(&in_order);
+
+    // Seeded-shuffled drain orders, modelling 8 workers finishing in any
+    // interleaving.
+    let mut rng = TestRng::new(0x0B5_CAFE);
+    for round in 0..5 {
+        let mut order = in_order.clone();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.index(i + 1));
+        }
+        assert_eq!(merge_in(&order), reference, "round {round}: {order:?}");
+    }
+
+    // Hierarchical (tree) merge, modelling nested scopes at thread counts
+    // 2 and 4: pairwise-merge halves, then merge the halves.
+    let tree = |groups: &[&[usize]]| {
+        let mut acc = Shard::new();
+        for g in groups {
+            acc.merge(&merge_in(g));
+        }
+        acc
+    };
+    assert_eq!(tree(&[&[0, 1, 2, 3], &[4, 5, 6, 7]]), reference);
+    assert_eq!(tree(&[&[7, 5], &[3, 1], &[6, 4], &[2, 0]]), reference);
+    assert_eq!(
+        tree(&[&[0], &[1], &[2], &[3], &[4], &[5], &[6], &[7]]),
+        reference
+    );
+}
+
+#[test]
 fn shuffled_chunk_interleaving_is_bit_identical() {
     // Loom-free interleaving smoke test: execute the chunks of a real
     // simulation grid in a seeded-shuffled completion order and require
@@ -158,9 +216,7 @@ fn shuffled_chunk_interleaving_is_bit_identical() {
     let point = |i: usize| -> u64 {
         let mut stats = RecoveryStats::default();
         let vcs = analyzer
-            .settle_sequence_instrumented(
-                &defect, r_values[i], &op, false, 1, None, &mut stats,
-            )
+            .settle_sequence_instrumented(&defect, r_values[i], &op, false, 1, None, &mut stats)
             .expect("settle converges");
         vcs[0].to_bits()
     };

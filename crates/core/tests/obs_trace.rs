@@ -1,0 +1,205 @@
+//! `DSO_TRACE` contract: a 30-point sweep campaign must emit a valid
+//! JSONL span stream — every line parses, every exit matches an enter,
+//! every parent was entered first, and the tree nests campaign →
+//! chunk/sweep-point → op → transient (→ Newton solve at fine level).
+//!
+//! The tracer is process-global, so this file holds exactly one
+//! `#[test]` — its own test binary is its isolation.
+
+use dso_core::analysis::{plane_campaign_with, Analyzer, CampaignFaults};
+use dso_core::exec::CampaignConfig;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::interp::logspace;
+use dso_obs::Json;
+use std::collections::{HashMap, HashSet};
+
+/// Coarse time step so debug-mode campaigns stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+fn run_campaign(points: usize, threads: usize) {
+    let analyzer = Analyzer::new(fast_design());
+    let defect = Defect::cell_open(BitLineSide::True);
+    let r_values = logspace(1e4, 1e7, points).expect("valid sweep");
+    let config = CampaignConfig::with_threads(threads).with_chunk(4);
+    plane_campaign_with(
+        &analyzer,
+        &defect,
+        &OperatingPoint::nominal(),
+        &r_values,
+        1,
+        &CampaignFaults::new(),
+        &config,
+    )
+    .expect("campaign runs");
+}
+
+struct Span {
+    name: String,
+    parent: Option<u64>,
+    exited: bool,
+    dur_us: Option<u64>,
+}
+
+/// Parses a JSONL trace and validates the span-tree invariants; returns
+/// the spans by id.
+fn parse_and_validate(text: &str) -> HashMap<u64, Span> {
+    let mut spans: HashMap<u64, Span> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let ev = Json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: bad JSON ({e}): {line}", lineno + 1));
+        let kind = ev.get("ev").and_then(Json::as_str).expect("event kind");
+        match kind {
+            "enter" => {
+                let id = ev.get("id").and_then(Json::as_u64).expect("enter id");
+                let name = ev
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .expect("enter name")
+                    .to_string();
+                let parent = ev.get("parent").and_then(Json::as_u64);
+                assert!(ev.get("t_mono_us").and_then(Json::as_u64).is_some());
+                assert!(ev.get("t_wall_ms").and_then(Json::as_u64).is_some());
+                assert!(ev.get("thread").and_then(Json::as_str).is_some());
+                if let Some(p) = parent {
+                    // Parents are entered (written) before their children.
+                    assert!(
+                        spans.contains_key(&p),
+                        "line {}: span {id} ({name}) has unseen parent {p}",
+                        lineno + 1
+                    );
+                }
+                let prev = spans.insert(
+                    id,
+                    Span {
+                        name,
+                        parent,
+                        exited: false,
+                        dur_us: None,
+                    },
+                );
+                assert!(
+                    prev.is_none(),
+                    "line {}: duplicate span id {id}",
+                    lineno + 1
+                );
+            }
+            "exit" => {
+                let id = ev.get("id").and_then(Json::as_u64).expect("exit id");
+                let dur = ev.get("dur_us").and_then(Json::as_u64).expect("exit dur");
+                let span = spans
+                    .get_mut(&id)
+                    .unwrap_or_else(|| panic!("line {}: exit without enter {id}", lineno + 1));
+                assert!(!span.exited, "line {}: span {id} exited twice", lineno + 1);
+                span.exited = true;
+                span.dur_us = Some(dur);
+            }
+            "note" => {
+                let target = ev.get("span").and_then(Json::as_u64).expect("note span");
+                assert!(
+                    spans.contains_key(&target),
+                    "line {}: note for unseen span {target}",
+                    lineno + 1
+                );
+            }
+            other => panic!("line {}: unknown event kind {other:?}", lineno + 1),
+        }
+    }
+    for (id, span) in &spans {
+        assert!(span.exited, "span {id} ({}) never exited", span.name);
+    }
+    spans
+}
+
+/// Walks `id`'s ancestor chain to the root and returns the names.
+fn ancestry(spans: &HashMap<u64, Span>, mut id: u64) -> Vec<String> {
+    let mut names = Vec::new();
+    loop {
+        let span = &spans[&id];
+        names.push(span.name.clone());
+        match span.parent {
+            Some(p) => id = p,
+            None => return names,
+        }
+    }
+}
+
+#[test]
+fn trace_of_30_point_sweep_is_a_valid_span_tree() {
+    let dir = std::env::temp_dir();
+    let coarse_path = dir.join(format!("dso_trace_coarse_{}.jsonl", std::process::id()));
+    let fine_path = dir.join(format!("dso_trace_fine_{}.jsonl", std::process::id()));
+
+    // Coarse level (the DSO_TRACE default), 30 points across 4 workers.
+    dso_obs::trace_to_file(&coarse_path, dso_obs::Level::Coarse).expect("open trace");
+    run_campaign(30, 4);
+    dso_obs::trace_shutdown();
+
+    let text = std::fs::read_to_string(&coarse_path).expect("trace written");
+    let spans = parse_and_validate(&text);
+
+    let count = |name: &str| spans.values().filter(|s| s.name == name).count();
+    assert_eq!(count("campaign.planes"), 1);
+    assert_eq!(count("sweep.point"), 30);
+    // 30 points in chunks of 4 → 8 chunks, all executed off-thread.
+    assert_eq!(count("exec.chunk"), 8);
+    assert!(count("dram.op_sequence") >= 30);
+    assert!(count("spice.transient") >= count("dram.op_sequence"));
+    // Fine-level spans must be filtered out at coarse level.
+    assert_eq!(count("newton.solve"), 0);
+
+    // Every sweep point hangs off the campaign root through its chunk.
+    let root_id = *spans
+        .iter()
+        .find(|(_, s)| s.name == "campaign.planes")
+        .map(|(id, _)| id)
+        .expect("campaign root");
+    assert!(
+        spans[&root_id].parent.is_none(),
+        "campaign root has a parent"
+    );
+    for (id, span) in &spans {
+        if span.name == "sweep.point" {
+            let chain = ancestry(&spans, *id);
+            assert_eq!(
+                chain,
+                vec!["sweep.point", "exec.chunk", "campaign.planes"],
+                "span {id}"
+            );
+        }
+    }
+
+    // Fine level adds per-Newton-solve spans nested inside transients; a
+    // 2-point sweep keeps the stream small. Re-initializing the tracer
+    // must start a fresh file and id space.
+    dso_obs::trace_to_file(&fine_path, dso_obs::Level::Fine).expect("open fine trace");
+    run_campaign(2, 1);
+    dso_obs::trace_shutdown();
+
+    let fine_text = std::fs::read_to_string(&fine_path).expect("fine trace written");
+    let fine_spans = parse_and_validate(&fine_text);
+    let solves: Vec<_> = fine_spans
+        .iter()
+        .filter(|(_, s)| s.name == "newton.solve")
+        .collect();
+    assert!(!solves.is_empty(), "fine level must record Newton solves");
+    let mut transient_parented = HashSet::new();
+    for (id, _) in &solves {
+        let chain = ancestry(&fine_spans, **id);
+        if chain.contains(&"spice.transient".to_string()) {
+            transient_parented.insert(**id);
+        }
+    }
+    assert!(
+        !transient_parented.is_empty(),
+        "Newton solves must nest inside transient spans"
+    );
+
+    let _ = std::fs::remove_file(&coarse_path);
+    let _ = std::fs::remove_file(&fine_path);
+}

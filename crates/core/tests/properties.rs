@@ -19,9 +19,13 @@ fn arb_phys_ops(rng: &mut TestRng) -> Vec<PhysOp> {
         let ops: Vec<PhysOp> = (0..n)
             .map(|_| {
                 if rng.next_bool() {
-                    PhysOp::Write { high: rng.next_bool() }
+                    PhysOp::Write {
+                        high: rng.next_bool(),
+                    }
                 } else {
-                    PhysOp::Read { expect_high: rng.next_bool() }
+                    PhysOp::Read {
+                        expect_high: rng.next_bool(),
+                    }
                 }
             })
             .collect();
@@ -105,8 +109,16 @@ fn border_stressfulness_is_a_strict_order() {
         let r1 = rng.log_range(1e3, 1e9);
         let r2 = rng.log_range(1e3, 1e9);
         let fails_above = rng.next_bool();
-        let a = BorderResistance { resistance: r1, fails_above, evaluations: 0 };
-        let b = BorderResistance { resistance: r2, fails_above, evaluations: 0 };
+        let a = BorderResistance {
+            resistance: r1,
+            fails_above,
+            evaluations: 0,
+        };
+        let b = BorderResistance {
+            resistance: r2,
+            fails_above,
+            evaluations: 0,
+        };
         // Exactly one of <, >, == holds.
         let a_less = a.less_stressful_than(&b);
         let b_less = b.less_stressful_than(&a);
@@ -127,7 +139,11 @@ fn stress_endpoints_stay_in_spec() {
     let mut rng = TestRng::new(0x4005);
     for _ in 0..CASES {
         let kind = *rng.choose(&StressKind::ALL);
-        let dir = if rng.next_bool() { Direction::Increase } else { Direction::Decrease };
+        let dir = if rng.next_bool() {
+            Direction::Increase
+        } else {
+            Direction::Decrease
+        };
         let endpoint = dir.endpoint(kind);
         let (lo, hi) = kind.spec_range();
         assert!(endpoint == lo || endpoint == hi);

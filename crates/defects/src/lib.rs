@@ -231,6 +231,9 @@ mod tests {
     #[test]
     fn cell_open_is_o3() {
         assert_eq!(Defect::cell_open(BitLineSide::Comp).site(), DefectSite::O3);
-        assert_eq!(Defect::cell_open(BitLineSide::Comp).side(), BitLineSide::Comp);
+        assert_eq!(
+            Defect::cell_open(BitLineSide::Comp).side(),
+            BitLineSide::Comp
+        );
     }
 }

@@ -268,14 +268,11 @@ impl Column {
         ckt.add_capacitor("Cbt", bt, gnd, design.cbl)?;
         ckt.add_capacitor("Cbc", bc, gnd, design.cbl)?;
 
-        let access = MosGeometry::new(design.access_w, design.access_l)
-            .map_err(DramError::Spice)?;
+        let access =
+            MosGeometry::new(design.access_w, design.access_l).map_err(DramError::Spice)?;
 
         // Victim cells with defect sites, one per side.
-        for (side, bl, wl) in [
-            (BitLineSide::True, bt, wlt),
-            (BitLineSide::Comp, bc, wlc),
-        ] {
+        for (side, bl, wl) in [(BitLineSide::True, bt, wlt), (BitLineSide::Comp, bc, wlc)] {
             let xd = ckt.node(&nodes::access_drain(side));
             let xs = ckt.node(&nodes::access_source(side));
             let st = ckt.node(&nodes::storage(side));
@@ -358,10 +355,7 @@ impl Column {
 
         // Reference cells with restore switches (re-written to the
         // reference level during each precharge window).
-        for (side, bl, wlr) in [
-            (BitLineSide::True, bt, wlrt),
-            (BitLineSide::Comp, bc, wlrc),
-        ] {
+        for (side, bl, wlr) in [(BitLineSide::True, bt, wlrt), (BitLineSide::Comp, bc, wlrc)] {
             let str_node = ckt.node(&nodes::ref_storage(side));
             let tag = side.label();
             ckt.add_mosfet(
@@ -491,7 +485,10 @@ mod tests {
         for side in [BitLineSide::True, BitLineSide::Comp] {
             for site in DefectSite::ALL {
                 assert!(
-                    column.circuit().find_device(&site.device_name(side)).is_ok(),
+                    column
+                        .circuit()
+                        .find_device(&site.device_name(side))
+                        .is_ok(),
                     "{site} on {side}"
                 );
             }
@@ -521,10 +518,7 @@ mod tests {
         assert_eq!(DefectSite::O1.default_resistance(), SERIES_SITE_DEFAULT);
         assert_eq!(DefectSite::Sv.default_resistance(), PARALLEL_SITE_DEFAULT);
         assert_eq!(DefectSite::B1.to_string(), "B1");
-        assert_eq!(
-            DefectSite::Sg.device_name(BitLineSide::Comp),
-            "RSg_comp"
-        );
+        assert_eq!(DefectSite::Sg.device_name(BitLineSide::Comp), "RSg_comp");
         assert_eq!(DefectSite::ALL.len(), 7);
     }
 

@@ -285,14 +285,26 @@ mod tests {
 
     #[test]
     fn design_validation_catches_errors() {
-        let d = ColumnDesign { cs: 0.0, ..ColumnDesign::default() };
+        let d = ColumnDesign {
+            cs: 0.0,
+            ..ColumnDesign::default()
+        };
         assert!(d.validate().is_err());
         // cbl smaller than cs
-        let d = ColumnDesign { cbl: 1e-15, ..ColumnDesign::default() };
+        let d = ColumnDesign {
+            cbl: 1e-15,
+            ..ColumnDesign::default()
+        };
         assert!(d.validate().is_err());
-        let d = ColumnDesign { ref_skew: 1.0, ..ColumnDesign::default() };
+        let d = ColumnDesign {
+            ref_skew: 1.0,
+            ..ColumnDesign::default()
+        };
         assert!(d.validate().is_err());
-        let d = ColumnDesign { dt_fraction: 0.5, ..ColumnDesign::default() };
+        let d = ColumnDesign {
+            dt_fraction: 0.5,
+            ..ColumnDesign::default()
+        };
         assert!(d.validate().is_err());
     }
 

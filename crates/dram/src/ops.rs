@@ -301,6 +301,10 @@ impl OperationEngine {
         vc_init: f64,
         seed: Option<&OpTrace>,
     ) -> Result<OpTrace, DramError> {
+        let span = dso_obs::span("dram.op_sequence");
+        span.note("ops", ops_seq.len() as f64);
+        dso_obs::counter!("dram.op_runs").incr();
+        dso_obs::counter!("dram.ops").add(ops_seq.len() as u64);
         let design: &ColumnDesign = self.column.design();
         let op = &self.op_point;
         let waves = ControlWaveforms::build(ops_seq, self.victim, design, op)?;

@@ -188,11 +188,7 @@ impl ControlWaveforms {
             senp.set_at(t0 + schedule.sa_release * tcyc, vhalf);
             // Write path.
             if let Some(bit) = operation.write_value() {
-                let (vt, vc) = if bit {
-                    (op.vdd, 0.0)
-                } else {
-                    (0.0, op.vdd)
-                };
+                let (vt, vc) = if bit { (op.vdd, 0.0) } else { (0.0, op.vdd) };
                 data_t.set_at(t0 + (schedule.write_on - 0.03) * tcyc, vt);
                 data_c.set_at(t0 + (schedule.write_on - 0.03) * tcyc, vc);
                 csl.set_at(t0 + schedule.write_on * tcyc, 1.0);

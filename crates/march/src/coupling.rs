@@ -119,17 +119,19 @@ impl CoupledMemory {
         if address == self.fault.aggressor {
             let triggers = match self.fault.kind {
                 CouplingKind::State { .. } => false,
-                _ => {
-                    self.aggressor_state != value && value == self.fault.rising_trigger
-                }
+                _ => self.aggressor_state != value && value == self.fault.rising_trigger,
             };
             self.aggressor_state = value;
-            self.memory.write(address, value).map_err(MarchError::from)?;
+            self.memory
+                .write(address, value)
+                .map_err(MarchError::from)?;
             if triggers {
                 match self.fault.kind {
                     CouplingKind::Inversion => {
                         let v = self.memory.read(self.fault.victim)?;
-                        self.memory.write(self.fault.victim, !v).map_err(MarchError::from)?;
+                        self.memory
+                            .write(self.fault.victim, !v)
+                            .map_err(MarchError::from)?;
                     }
                     CouplingKind::Idempotent { force_to } => {
                         self.memory
@@ -281,8 +283,7 @@ mod tests {
                 for force_to in [true, false] {
                     let fault = cfid(aggressor, victim, rising, force_to);
                     let mut mem = CoupledMemory::new(8, fault).unwrap();
-                    let result =
-                        apply_coupled(&MarchTest::march_c_minus(), &mut mem).unwrap();
+                    let result = apply_coupled(&MarchTest::march_c_minus(), &mut mem).unwrap();
                     assert!(
                         result.detected(),
                         "March C- missed CFid a={aggressor} v={victim} \
@@ -302,8 +303,7 @@ mod tests {
                 for force_to in [true, false] {
                     let fault = cfid(aggressor, victim, rising, force_to);
                     let mut mem = CoupledMemory::new(8, fault).unwrap();
-                    let result =
-                        apply_coupled(&MarchTest::mats_plus(), &mut mem).unwrap();
+                    let result = apply_coupled(&MarchTest::mats_plus(), &mut mem).unwrap();
                     if !result.detected() {
                         missed += 1;
                     }

@@ -23,7 +23,9 @@ pub struct FaultCase {
 
 impl std::fmt::Debug for FaultCase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FaultCase").field("label", &self.label).finish()
+        f.debug_struct("FaultCase")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -70,8 +72,7 @@ pub fn evaluate_coverage(
     let mut detected = Vec::new();
     let mut missed = Vec::new();
     for case in cases {
-        let mut memory =
-            FunctionalMemory::with_victim(memory_size, victim_address, (case.make)())?;
+        let mut memory = FunctionalMemory::with_victim(memory_size, victim_address, (case.make)())?;
         let result = apply(test, &mut memory)?;
         if result.detected() {
             detected.push(case.label.clone());
@@ -131,8 +132,7 @@ mod tests {
 
     #[test]
     fn coverage_counts_detected_fraction() {
-        let report =
-            evaluate_coverage(&MarchTest::mats_plus(), &cases(), 8, 3).unwrap();
+        let report = evaluate_coverage(&MarchTest::mats_plus(), &cases(), 8, 3).unwrap();
         assert_eq!(report.detected.len(), 2);
         assert_eq!(report.missed, vec!["healthy".to_string()]);
         assert!((report.coverage() - 2.0 / 3.0).abs() < 1e-12);

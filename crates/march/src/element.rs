@@ -274,10 +274,7 @@ mod tests {
         let u = parse_elements("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}").unwrap();
         assert_eq!(a, u);
         assert_eq!(a[0].ops, vec![MarchOp::Write(false)]);
-        assert_eq!(
-            a[1].ops,
-            vec![MarchOp::Read(false), MarchOp::Write(true)]
-        );
+        assert_eq!(a[1].ops, vec![MarchOp::Read(false), MarchOp::Write(true)]);
         assert_eq!(a[2].order, AddressOrder::Down);
     }
 

@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn stuck_at_fault_detected_by_mats_plus() {
-        let mut memory =
-            FunctionalMemory::with_victim(16, 7, Box::new(StuckAtZero)).unwrap();
+        let mut memory = FunctionalMemory::with_victim(16, 7, Box::new(StuckAtZero)).unwrap();
         let result = apply(&MarchTest::mats_plus(), &mut memory).unwrap();
         assert!(result.detected());
         let failure = result.failures()[0];
@@ -171,20 +170,16 @@ mod tests {
     #[test]
     fn transition_fault_detected_by_march_y_not_by_mats_plus_reads() {
         // March Y has a verifying read directly after the falling write.
-        let mut memory = FunctionalMemory::with_victim(
-            8,
-            3,
-            Box::new(TransitionFault { value: false }),
-        )
-        .unwrap();
+        let mut memory =
+            FunctionalMemory::with_victim(8, 3, Box::new(TransitionFault { value: false }))
+                .unwrap();
         let result = apply(&MarchTest::march_y(), &mut memory).unwrap();
         assert!(result.detected(), "March Y must catch the 1->0 TF");
     }
 
     #[test]
     fn failures_record_element_index() {
-        let mut memory =
-            FunctionalMemory::with_victim(4, 0, Box::new(StuckAtZero)).unwrap();
+        let mut memory = FunctionalMemory::with_victim(4, 0, Box::new(StuckAtZero)).unwrap();
         let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
         assert!(result.detected());
         assert!(result.failures().iter().all(|f| f.address == 0));

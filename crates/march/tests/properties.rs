@@ -70,7 +70,11 @@ fn standard_tests_pass_on_healthy_memory() {
         for test in MarchTest::standard_suite() {
             let mut memory = FunctionalMemory::healthy(size);
             let result = apply(&test, &mut memory).expect("runs");
-            assert!(!result.detected(), "{} false alarm at size {size}", test.name());
+            assert!(
+                !result.detected(),
+                "{} false alarm at size {size}",
+                test.name()
+            );
         }
     }
 }

@@ -161,7 +161,11 @@ where
         for i in 0..n {
             y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
-        let t_next = if s + 1 == steps { t1 } else { t0 + (s + 1) as f64 * h };
+        let t_next = if s + 1 == steps {
+            t1
+        } else {
+            t0 + (s + 1) as f64 * h
+        };
         out.push((t_next, y.clone()));
     }
     Ok(out)
@@ -217,13 +221,19 @@ mod tests {
 
     #[test]
     fn companion_rejects_bad_dt() {
-        assert!(Method::BackwardEuler.companion(1e-12, 0.0, 0.0, 0.0).is_err());
-        assert!(Method::Trapezoidal.companion(1e-12, -1.0, 0.0, 0.0).is_err());
+        assert!(Method::BackwardEuler
+            .companion(1e-12, 0.0, 0.0, 0.0)
+            .is_err());
+        assert!(Method::Trapezoidal
+            .companion(1e-12, -1.0, 0.0, 0.0)
+            .is_err());
     }
 
     #[test]
     fn companion_rejects_negative_capacitance() {
-        assert!(Method::BackwardEuler.companion(-1.0, 1e-9, 0.0, 0.0).is_err());
+        assert!(Method::BackwardEuler
+            .companion(-1.0, 1e-9, 0.0, 0.0)
+            .is_err());
     }
 
     #[test]

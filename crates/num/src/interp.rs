@@ -303,8 +303,7 @@ mod tests {
     #[test]
     fn multiple_crossings() {
         // Zig-zag across a flat line at y = 0.5.
-        let zig =
-            Curve::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]).unwrap();
+        let zig = Curve::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]).unwrap();
         let flat = Curve::new(vec![0.0, 3.0], vec![0.5, 0.5]).unwrap();
         let roots = zig.intersections(&flat).unwrap();
         assert_eq!(roots.len(), 3, "{roots:?}");

@@ -231,12 +231,7 @@ mod tests {
 
     fn residual(a: &DMatrix, x: &[f64], b: &[f64]) -> f64 {
         let ax = a.mul_vec(x).unwrap();
-        norm_inf(
-            &ax.iter()
-                .zip(b)
-                .map(|(l, r)| l - r)
-                .collect::<Vec<f64>>(),
-        )
+        norm_inf(&ax.iter().zip(b).map(|(l, r)| l - r).collect::<Vec<f64>>())
     }
 
     #[test]
@@ -294,8 +289,8 @@ mod tests {
 
     #[test]
     fn solve_in_place_matches_solve() {
-        let a = DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]]).unwrap();
         let lu = LuFactor::new(&a).unwrap();
         let b = [1.0, -2.0, 0.25];
         let x1 = lu.solve(&b).unwrap();
@@ -326,8 +321,8 @@ mod tests {
     fn refactor_into_grows_from_empty() {
         let mut f = LuFactor::empty();
         assert_eq!(f.dim(), 0);
-        let a = DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[3.0, -1.0, 2.0], &[1.0, 4.0, 0.5], &[-2.0, 1.0, 5.0]]).unwrap();
         f.refactor_into(&a).unwrap();
         assert_eq!(f.dim(), 3);
         let rhs = [1.0, -2.0, 0.25];
@@ -354,7 +349,9 @@ mod tests {
         let mut a = DMatrix::zeros(n, n);
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (u32::MAX as f64)) - 0.5
         };
         for i in 0..n {

@@ -193,6 +193,37 @@ impl NewtonSolver {
         system: &mut S,
         x: &mut [f64],
     ) -> Result<NewtonStats, NumError> {
+        // Fine-level span + outcome metrics; both compile down to one
+        // relaxed atomic load each while observability is off, keeping the
+        // warmed solve allocation-free (see `tests/alloc_audit.rs`).
+        let span = dso_obs::span_fine("newton.solve");
+        let result = self.solve_inner(system, x);
+        match &result {
+            Ok(stats) => {
+                dso_obs::counter!("newton.solves").incr();
+                dso_obs::counter!("newton.iterations").add(stats.iterations as u64);
+                dso_obs::histogram!(
+                    "newton.iterations_per_solve",
+                    &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+                )
+                .observe(stats.iterations as f64);
+                dso_obs::histogram!(
+                    "newton.residual_final",
+                    &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+                )
+                .observe(stats.residual);
+                span.note("iterations", stats.iterations as f64);
+            }
+            Err(_) => dso_obs::counter!("newton.failed_solves").incr(),
+        }
+        result
+    }
+
+    fn solve_inner<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &mut [f64],
+    ) -> Result<NewtonStats, NumError> {
         let n = system.unknowns();
         if x.len() != n {
             return Err(NumError::ShapeMismatch {
@@ -227,6 +258,13 @@ impl NewtonSolver {
             self.jac.clear();
             system.jacobian(x, &mut self.jac)?;
             self.lu.refactor_into(&self.jac)?;
+            dso_obs::counter!("newton.lu_refactors").incr();
+            // Residual trajectory: where the iterate stood before this step.
+            dso_obs::histogram!(
+                "newton.residual_trajectory",
+                &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+            )
+            .observe(res_norm);
             // Newton step: J dx = -F.
             for (o, r) in self.neg_f.iter_mut().zip(&self.residual) {
                 *o = -r;

@@ -390,7 +390,10 @@ mod tests {
         let csc = dense_to_triplets(&a).to_csc().unwrap();
         let sparse = SparseLu::new(&csc).unwrap().solve(&b).unwrap();
         let diff: Vec<f64> = dense.iter().zip(&sparse).map(|(d, s)| d - s).collect();
-        assert!(norm_inf(&diff) < 1e-12, "dense {dense:?} vs sparse {sparse:?}");
+        assert!(
+            norm_inf(&diff) < 1e-12,
+            "dense {dense:?} vs sparse {sparse:?}"
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl NonlinearSystem for MnaLike {
                 jac[(i, i - 1)] = -1.0;
             }
             let xi = x[i].clamp(-2.0, 2.0);
-            let dclamp = if (-2.0..=2.0).contains(&x[i]) { 1.0 } else { 0.0 };
+            let dclamp = if (-2.0..=2.0).contains(&x[i]) {
+                1.0
+            } else {
+                0.0
+            };
             jac[(i, i)] = 3.0 + 0.05 * xi.exp() * dclamp;
         }
         Ok(())
@@ -112,12 +116,7 @@ fn warmed_newton_solve_does_not_allocate() {
 
 #[test]
 fn warmed_refactor_and_solve_in_place_do_not_allocate() {
-    let a = DMatrix::from_rows(&[
-        &[4.0, 1.0, 0.0],
-        &[1.0, 5.0, 2.0],
-        &[0.0, 2.0, 6.0],
-    ])
-    .unwrap();
+    let a = DMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]).unwrap();
     let mut lu = LuFactor::new(&a).unwrap();
     let b = [1.0, -2.0, 0.5];
     let mut x = vec![0.0; 3];

@@ -1,0 +1,110 @@
+//! Zero-dependency observability for the DRAM stress-optimization stack.
+//!
+//! Two cooperating facilities, both disabled by default behind one
+//! relaxed atomic load each (so instrumentation in the Newton hot loop
+//! costs a predictable-taken branch when off):
+//!
+//! * **Metrics** ([`metrics`]) — a typed registry of counters, gauges,
+//!   and fixed-bucket histograms. Sites record into per-thread shards
+//!   with no locking; shards merge into a global accumulator with
+//!   commutative operations only, so the merged [`MetricsSnapshot`] is
+//!   bit-identical for any thread count and drain order. Exported as
+//!   stable JSON.
+//! * **Tracing** ([`mod@span`]) — hierarchical RAII spans (campaign →
+//!   sweep-point → op → Newton-solve) streamed as JSONL to the file in
+//!   `DSO_TRACE`, with explicit re-parenting across thread handoffs.
+//!
+//! The instrumented crates (`dso-num`, `dso-spice`, `dso-dram`,
+//! `dso-core`) depend on this crate and nothing else; this crate depends
+//! only on `std`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dso_obs as obs;
+//!
+//! let solves = obs::counter!("newton.solves");
+//! let iters = obs::histogram!("newton.iterations", &[2.0, 4.0, 8.0, 16.0]);
+//!
+//! obs::set_metrics_enabled(true);
+//! solves.incr();
+//! iters.observe(3.0);
+//!
+//! let snap = obs::metrics::snapshot();
+//! assert_eq!(snap.counter("newton.solves"), 1);
+//! println!("{}", snap.to_json());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Shard};
+pub use span::{
+    current_span_id, init_from_env, span, span_child_of, span_fine, trace_enabled, trace_shutdown,
+    trace_to_file, EnvConfig, Level, SpanGuard,
+};
+
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// `true` while the metrics registry is recording. One relaxed atomic
+/// load — the entire cost of a disabled instrumentation site.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ON.load(Ordering::Relaxed)
+}
+
+/// Turns the metrics registry on or off. Sites record only while on;
+/// handles and accumulated values survive toggling.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Registers a [`Counter`] once per call site and returns the cached
+/// handle: `counter!("name")`, or `counter!("name", nondet)` for values
+/// excluded from the deterministic snapshot (wall-clock, scheduling).
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static H: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Counter::register($name, true))
+    }};
+    ($name:literal, nondet) => {{
+        static H: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Counter::register($name, false))
+    }};
+}
+
+/// Registers a [`Gauge`] (high-water mark) once per call site:
+/// `gauge!("name")`, or `gauge!("name", nondet)` for run-dependent values.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static H: std::sync::OnceLock<$crate::Gauge> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Gauge::register($name, true))
+    }};
+    ($name:literal, nondet) => {{
+        static H: std::sync::OnceLock<$crate::Gauge> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Gauge::register($name, false))
+    }};
+}
+
+/// Registers a fixed-bucket [`Histogram`] once per call site:
+/// `histogram!("name", &[1.0, 10.0])`, or
+/// `histogram!("name", &[...], nondet)` for run-dependent distributions.
+/// Bucket `i` counts observations `v` with `edges[i-1] < v <= edges[i]`;
+/// the extra final bucket is the overflow.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $edges:expr) => {{
+        static H: std::sync::OnceLock<$crate::Histogram> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Histogram::register($name, true, $edges))
+    }};
+    ($name:literal, $edges:expr, nondet) => {{
+        static H: std::sync::OnceLock<$crate::Histogram> = std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::Histogram::register($name, false, $edges))
+    }};
+}

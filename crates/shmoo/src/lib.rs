@@ -238,11 +238,7 @@ impl MarginSweep {
     /// `true` when the outcomes change at most once along the sweep — a
     /// well-behaved margin with a single boundary.
     pub fn is_monotone(&self) -> bool {
-        self.outcomes
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count()
-            <= 1
+        self.outcomes.windows(2).filter(|w| w[0] != w[1]).count() <= 1
     }
 }
 
@@ -256,11 +252,7 @@ impl MarginSweep {
 /// # Panics
 ///
 /// Panics if `values` is empty.
-pub fn margin_sweep<E, F>(
-    _label: &str,
-    values: &[f64],
-    mut oracle: F,
-) -> Result<MarginSweep, E>
+pub fn margin_sweep<E, F>(_label: &str, values: &[f64], mut oracle: F) -> Result<MarginSweep, E>
 where
     F: FnMut(f64) -> Result<bool, E>,
 {
@@ -306,14 +298,12 @@ mod tests {
 
     #[test]
     fn margin_sweep_all_pass_or_fail() {
-        let all_pass =
-            margin_sweep("x", &[1.0, 2.0], |_| Ok::<_, Infallible>(true)).unwrap();
+        let all_pass = margin_sweep("x", &[1.0, 2.0], |_| Ok::<_, Infallible>(true)).unwrap();
         assert_eq!(all_pass.first_pass, Some(1.0));
         assert_eq!(all_pass.last_fail, None);
         assert!(all_pass.is_monotone());
 
-        let all_fail =
-            margin_sweep("x", &[1.0, 2.0], |_| Ok::<_, Infallible>(false)).unwrap();
+        let all_fail = margin_sweep("x", &[1.0, 2.0], |_| Ok::<_, Infallible>(false)).unwrap();
         assert_eq!(all_fail.first_pass, None);
         assert_eq!(all_fail.last_fail, Some(2.0));
     }
@@ -334,13 +324,9 @@ mod tests {
     }
 
     fn diagonal_plot() -> ShmooPlot {
-        ShmooPlot::generate(
-            "x",
-            &[0.0, 1.0, 2.0],
-            "y",
-            &[0.0, 1.0, 2.0],
-            |x, y| Ok::<_, Infallible>(x >= y),
-        )
+        ShmooPlot::generate("x", &[0.0, 1.0, 2.0], "y", &[0.0, 1.0, 2.0], |x, y| {
+            Ok::<_, Infallible>(x >= y)
+        })
         .unwrap()
     }
 
@@ -392,9 +378,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_axis_panics() {
-        let _ = ShmooPlot::generate("x", &[], "y", &[1.0], |_, _| {
-            Ok::<_, Infallible>(true)
-        });
+        let _ = ShmooPlot::generate("x", &[], "y", &[1.0], |_, _| Ok::<_, Infallible>(true));
     }
 
     #[test]

@@ -79,10 +79,8 @@ fn renderings_cover_every_row() {
         let ny = rng.index_range(1, 6);
         let xs: Vec<f64> = (0..nx).map(|i| i as f64).collect();
         let ys: Vec<f64> = (0..ny).map(|i| i as f64).collect();
-        let plot = ShmooPlot::generate("a", &xs, "b", &ys, |x, y| {
-            Ok::<_, Infallible>(x >= y)
-        })
-        .expect("infallible oracle");
+        let plot = ShmooPlot::generate("a", &xs, "b", &ys, |x, y| Ok::<_, Infallible>(x >= y))
+            .expect("infallible oracle");
         let csv = plot.render_csv();
         assert_eq!(csv.lines().count(), ny + 1);
         let ascii = plot.render_ascii();

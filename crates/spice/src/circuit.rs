@@ -137,7 +137,8 @@ impl Circuit {
         if self.device_index.contains_key(name) {
             return Err(SpiceError::DuplicateDevice(name.to_string()));
         }
-        self.device_index.insert(name.to_string(), self.devices.len());
+        self.device_index
+            .insert(name.to_string(), self.devices.len());
         self.device_names.push(name.to_string());
         self.devices.push(device);
         Ok(())

@@ -73,7 +73,9 @@ impl DiodeModel {
         let tn = self.tnom + CELSIUS_TO_KELVIN;
         let vt = thermal_voltage(temp);
         let ratio = t / tn;
-        self.is_sat * ratio.powf(self.xti / self.n) * ((self.eg / (self.n * vt)) * (1.0 - tn / t)).exp()
+        self.is_sat
+            * ratio.powf(self.xti / self.n)
+            * ((self.eg / (self.n * vt)) * (1.0 - tn / t)).exp()
     }
 
     /// Evaluates `(current, conductance)` at junction voltage `vd` and
@@ -159,9 +161,15 @@ mod tests {
     #[test]
     fn validation() {
         assert!(DiodeModel::default().validate("D1").is_ok());
-        let d = DiodeModel { is_sat: 0.0, ..DiodeModel::default() };
+        let d = DiodeModel {
+            is_sat: 0.0,
+            ..DiodeModel::default()
+        };
         assert!(d.validate("D1").is_err());
-        let d = DiodeModel { n: 0.5, ..DiodeModel::default() };
+        let d = DiodeModel {
+            n: 0.5,
+            ..DiodeModel::default()
+        };
         assert!(d.validate("D1").is_err());
     }
 }

@@ -407,6 +407,7 @@ impl<'c> Simulator<'c> {
         stats: &mut RecoveryStats,
     ) -> Result<NewtonStats, NumError> {
         stats.solve_attempts += 1;
+        dso_obs::counter!("spice.solve_attempts").incr();
         let out = match &self.fault_plan {
             Some(plan) => {
                 let mut chaos = ChaosSystem::arm(system, plan);
@@ -439,6 +440,7 @@ impl<'c> Simulator<'c> {
     /// * [`SpiceError::BadTopology`] if the circuit fails validation.
     /// * [`SpiceError::Convergence`] if no operating point is found.
     pub fn dc_operating_point(&self) -> Result<Solution, SpiceError> {
+        let _span = dso_obs::span("spice.dc_op");
         self.circuit.validate()?;
         let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
         system.time = 0.0;
@@ -459,6 +461,7 @@ impl<'c> Simulator<'c> {
                 x.iter_mut().for_each(|v| *v = 0.0);
                 let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.gmin];
                 for &g in &gmin_ladder {
+                    dso_obs::counter!("spice.dc_gmin_steps").incr();
                     system.gmin = g.max(self.gmin);
                     self.run_solve(&mut solver, &mut system, &mut x, &mut stats)
                         .map_err(|e| SpiceError::Convergence {
@@ -571,6 +574,8 @@ impl<'c> Simulator<'c> {
         options: &TranOptions,
         seed: Option<&TranResult>,
     ) -> Result<TranResult, SpiceError> {
+        let _span = dso_obs::span("spice.transient");
+        dso_obs::counter!("spice.transients").incr();
         self.circuit.validate()?;
         let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
         let n = system.unknowns();
@@ -662,14 +667,32 @@ impl<'c> Simulator<'c> {
                 let mut x_tr = x.clone();
                 let mut cs_tr = cap_states.clone();
                 self.advance(
-                    &mut system, &mut solver, &mut x_tr, &mut cs_tr, &mut trial, None, t,
-                    t_next, trial_method, 0, &mut stats,
+                    &mut system,
+                    &mut solver,
+                    &mut x_tr,
+                    &mut cs_tr,
+                    &mut trial,
+                    None,
+                    t,
+                    t_next,
+                    trial_method,
+                    0,
+                    &mut stats,
                 )?;
                 let mut x_be = x.clone();
                 let mut cs_be = cap_states.clone();
                 self.advance(
-                    &mut system, &mut solver, &mut x_be, &mut cs_be, &mut trial, None, t,
-                    t_next, Method::BackwardEuler, 0, &mut stats,
+                    &mut system,
+                    &mut solver,
+                    &mut x_be,
+                    &mut cs_be,
+                    &mut trial,
+                    None,
+                    t,
+                    t_next,
+                    Method::BackwardEuler,
+                    0,
+                    &mut stats,
                 )?;
                 let err = x_tr
                     .iter()
@@ -722,11 +745,8 @@ impl<'c> Simulator<'c> {
             // the same (bitwise) time grid or the seed is ignored.
             let mut have_warm = false;
             if let Some(s) = seed {
-                if let (Some(cur), Some(prev)) = (s.guess_at(t_target, n), s.guess_at(t_prev, n))
-                {
-                    for (b, ((xi, c), p)) in
-                        warm_buf.iter_mut().zip(x.iter().zip(cur).zip(prev))
-                    {
+                if let (Some(cur), Some(prev)) = (s.guess_at(t_target, n), s.guess_at(t_prev, n)) {
+                    for (b, ((xi, c), p)) in warm_buf.iter_mut().zip(x.iter().zip(cur).zip(prev)) {
                         *b = xi + (c - p);
                     }
                     have_warm = true;
@@ -882,6 +902,7 @@ impl<'c> Simulator<'c> {
         stats: &mut RecoveryStats,
     ) -> Result<(), SpiceError> {
         stats.gmin_retries += 1;
+        dso_obs::counter!("recovery.gmin_retries").incr();
         let base = self.gmin;
         let ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, base];
         // This is the rarely-taken deepest recovery rung; one scratch guess
@@ -957,6 +978,7 @@ impl<'c> Simulator<'c> {
         // Rung 1: same step, backward Euler.
         if self.recovery.method_fallback && method != Method::BackwardEuler {
             stats.method_fallbacks += 1;
+            dso_obs::counter!("recovery.method_fallbacks").incr();
             if self
                 .try_step(
                     system,
@@ -974,6 +996,7 @@ impl<'c> Simulator<'c> {
             {
                 self.commit_step(system, x, cap_states, trial, Method::BackwardEuler);
                 stats.recovered_steps += 1;
+                dso_obs::counter!("recovery.recovered_steps").incr();
                 return Ok(());
             }
         }
@@ -984,6 +1007,9 @@ impl<'c> Simulator<'c> {
         if depth < self.recovery.max_subdivisions {
             stats.subdivisions += 1;
             stats.deepest_subdivision = stats.deepest_subdivision.max(depth + 1);
+            dso_obs::counter!("recovery.subdivisions").incr();
+            dso_obs::histogram!("recovery.subdivision_depth", &[1.0, 2.0, 3.0, 4.0, 6.0])
+                .observe((depth + 1) as f64);
             let t_mid = 0.5 * (t_prev + t_target);
             self.advance(
                 system,
@@ -1012,17 +1038,21 @@ impl<'c> Simulator<'c> {
                 stats,
             )?;
             stats.recovered_steps += 1;
+            dso_obs::counter!("recovery.recovered_steps").incr();
             return Ok(());
         }
 
         // Rung 3 (deepest subdivision only): gmin stepping.
         if self.recovery.gmin_stepping
             && self
-                .gmin_step(system, solver, x, cap_states, trial, t_prev, t_target, stats)
+                .gmin_step(
+                    system, solver, x, cap_states, trial, t_prev, t_target, stats,
+                )
                 .is_ok()
         {
             self.commit_step(system, x, cap_states, trial, Method::BackwardEuler);
             stats.recovered_steps += 1;
+            dso_obs::counter!("recovery.recovered_steps").incr();
             return Ok(());
         }
 
@@ -1154,8 +1184,7 @@ impl<'a> MnaSystem<'a> {
                     add_res(&mut res, *p, i_br);
                     add_res(&mut res, *n, -i_br);
                     if let Some(res) = res.as_deref_mut() {
-                        res[br] =
-                            Self::volt(x, *p) - Self::volt(x, *n) - waveform.eval(self.time);
+                        res[br] = Self::volt(x, *p) - Self::volt(x, *n) - waveform.eval(self.time);
                     }
                     if let Some(jac) = jac.as_deref_mut() {
                         if !p.is_ground() {
@@ -1218,8 +1247,7 @@ impl<'a> MnaSystem<'a> {
                     transition,
                 } => {
                     let vc = Self::volt(x, *cp) - Self::volt(x, *cn);
-                    let (g, dg_dvc) =
-                        switch_conductance(vc, *ron, *roff, *threshold, *transition);
+                    let (g, dg_dvc) = switch_conductance(vc, *ron, *roff, *threshold, *transition);
                     let v = Self::volt(x, *p) - Self::volt(x, *n);
                     let i = g * v;
                     add_res(&mut res, *p, i);
@@ -1295,8 +1323,13 @@ mod tests {
         ckt.add_vsource("V1", a, Circuit::GROUND, Waveform::Dc(5.0))
             .unwrap();
         ckt.add_resistor("R1", a, k, 1e3).unwrap();
-        ckt.add_diode("D1", k, Circuit::GROUND, crate::diode::DiodeModel::default())
-            .unwrap();
+        ckt.add_diode(
+            "D1",
+            k,
+            Circuit::GROUND,
+            crate::diode::DiodeModel::default(),
+        )
+        .unwrap();
         let op = Simulator::new(&ckt).dc_operating_point().unwrap();
         let vd = op.voltage("k").unwrap();
         assert!((0.5..0.8).contains(&vd), "diode drop {vd}");
@@ -1320,10 +1353,7 @@ mod tests {
             let t = frac * tau;
             let v = result.voltage_at("out", t).unwrap();
             let exact = 1.0 - (-frac).exp();
-            assert!(
-                (v - exact).abs() < 2e-3,
-                "t={frac} tau: {v} vs {exact}"
-            );
+            assert!((v - exact).abs() < 2e-3, "t={frac} tau: {v} vs {exact}");
         }
     }
 
@@ -1390,7 +1420,8 @@ mod tests {
         )
         .unwrap();
         ckt.add_resistor("R1", vin, out, 1e3).unwrap();
-        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10)
+            .unwrap();
         let opts = TranOptions::new(8e-6, 2e-8).unwrap();
         let result = Simulator::new(&ckt).transient(&opts).unwrap();
         // Before the pulse: 0. During the plateau: ~1. After: decaying.
@@ -1563,7 +1594,8 @@ mod tests {
         )
         .unwrap();
         ckt.add_resistor("R1", vin, out, 1e3).unwrap();
-        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10)
+            .unwrap();
         let result = Simulator::new(&ckt)
             .transient(
                 &TranOptions::new(6e-6, 5e-8)
@@ -1701,14 +1733,20 @@ mod tests {
         ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let err = Simulator::new(&ckt).dc_operating_point().unwrap_err();
         assert!(
-            matches!(err, SpiceError::Convergence { .. } | SpiceError::Numerical(_)),
+            matches!(
+                err,
+                SpiceError::Convergence { .. } | SpiceError::Numerical(_)
+            ),
             "got {err}"
         );
         let err = Simulator::new(&ckt)
             .transient(&TranOptions::new(1e-8, 1e-9).unwrap().with_ic(Vec::new()))
             .unwrap_err();
         assert!(
-            matches!(err, SpiceError::Convergence { .. } | SpiceError::Numerical(_)),
+            matches!(
+                err,
+                SpiceError::Convergence { .. } | SpiceError::Numerical(_)
+            ),
             "got {err}"
         );
     }

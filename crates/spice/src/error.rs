@@ -140,7 +140,10 @@ mod tests {
             t_end: 1e-6,
         };
         let msg = oor.to_string();
-        assert!(msg.contains("2.0000e-6") && msg.contains("1.0000e-6"), "{msg}");
+        assert!(
+            msg.contains("2.0000e-6") && msg.contains("1.0000e-6"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -33,10 +33,7 @@ fn waveform_text(w: &Waveform) -> String {
             if p.period.is_finite() { p.period } else { 1e30 }
         ),
         Waveform::Pwl(points) => {
-            let body: Vec<String> = points
-                .iter()
-                .map(|(t, v)| format!("{t:e} {v:e}"))
-                .collect();
+            let body: Vec<String> = points.iter().map(|(t, v)| format!("{t:e} {v:e}")).collect();
             format!("PWL({})", body.join(" "))
         }
         Waveform::Sine {
@@ -232,10 +229,10 @@ mod tests {
         assert_eq!(parsed.circuit.device_count(), ckt.device_count());
 
         let original = Simulator::new(&ckt).dc_operating_point().unwrap();
-        let round = Simulator::new(&parsed.circuit).dc_operating_point().unwrap();
-        assert!(
-            (original.voltage("mid").unwrap() - round.voltage("mid").unwrap()).abs() < 1e-12
-        );
+        let round = Simulator::new(&parsed.circuit)
+            .dc_operating_point()
+            .unwrap();
+        assert!((original.voltage("mid").unwrap() - round.voltage("mid").unwrap()).abs() < 1e-12);
     }
 
     #[test]
@@ -352,8 +349,10 @@ mod tests {
             .unwrap();
         ckt.add_vsource("Vsen", senn, Circuit::GROUND, Waveform::Dc(1.2))
             .unwrap();
-        ckt.add_capacitor("Cbt", bt, Circuit::GROUND, 300e-15).unwrap();
-        ckt.add_capacitor("Cbc", bc, Circuit::GROUND, 300e-15).unwrap();
+        ckt.add_capacitor("Cbt", bt, Circuit::GROUND, 300e-15)
+            .unwrap();
+        ckt.add_capacitor("Cbc", bc, Circuit::GROUND, 300e-15)
+            .unwrap();
         ckt.add_mosfet(
             "Macc",
             bt,
@@ -364,7 +363,8 @@ mod tests {
             MosGeometry::new(0.15e-6, 0.5e-6).unwrap(),
         )
         .unwrap();
-        ckt.add_capacitor("Cs", st, Circuit::GROUND, 30e-15).unwrap();
+        ckt.add_capacitor("Cs", st, Circuit::GROUND, 30e-15)
+            .unwrap();
         ckt.add_mosfet(
             "Msan",
             bt,
@@ -377,8 +377,13 @@ mod tests {
         .unwrap();
         ckt.add_vswitch("Swd", bt, bc, wl, Circuit::GROUND, 500.0, 1e12, 0.5)
             .unwrap();
-        ckt.add_diode("Dj", Circuit::GROUND, st, crate::diode::DiodeModel::default())
-            .unwrap();
+        ckt.add_diode(
+            "Dj",
+            Circuit::GROUND,
+            st,
+            crate::diode::DiodeModel::default(),
+        )
+        .unwrap();
         TestColumn { ckt }
     }
 

@@ -337,7 +337,10 @@ mod tests {
     use super::*;
 
     fn nmos() -> (MosModel, MosGeometry) {
-        (MosModel::default(), MosGeometry::new(1e-6, 0.25e-6).unwrap())
+        (
+            MosModel::default(),
+            MosGeometry::new(1e-6, 0.25e-6).unwrap(),
+        )
     }
 
     #[test]
@@ -365,7 +368,11 @@ mod tests {
         // Small vds: approximately ohmic, ids ≈ beta*vov*vds.
         let beta = m.kp_at(27.0) * g.aspect();
         let expect = beta * (2.4 - m.vto) * 0.05;
-        assert!((e.ids - expect).abs() / expect < 0.05, "{} vs {expect}", e.ids);
+        assert!(
+            (e.ids - expect).abs() / expect < 0.05,
+            "{} vs {expect}",
+            e.ids
+        );
         assert!(e.gds > 0.0);
     }
 
@@ -500,9 +507,15 @@ mod tests {
         assert!(m.validate("M1").is_ok());
         m.kp = -1.0;
         assert!(m.validate("M1").is_err());
-        let m = MosModel { n_sub: 0.5, ..MosModel::default() };
+        let m = MosModel {
+            n_sub: 0.5,
+            ..MosModel::default()
+        };
         assert!(m.validate("M1").is_err());
-        let m = MosModel { phi: f64::NAN, ..MosModel::default() };
+        let m = MosModel {
+            phi: f64::NAN,
+            ..MosModel::default()
+        };
         assert!(m.validate("M1").is_err());
     }
 

@@ -215,10 +215,7 @@ pub fn parse(text: &str) -> Result<Deck, SpiceError> {
                 });
             }
             let name = fields[1].to_ascii_lowercase();
-            let ports = fields[2..]
-                .iter()
-                .map(|p| p.to_ascii_lowercase())
-                .collect();
+            let ports = fields[2..].iter().map(|p| p.to_ascii_lowercase()).collect();
             in_subckt = Some((
                 name,
                 SubcktDef {
@@ -363,11 +360,7 @@ fn parse_tran(line_text: &str, line: usize) -> Result<TranDirective, SpiceError>
     Ok(TranDirective { step, stop, uic })
 }
 
-fn parse_ic(
-    line_text: &str,
-    line: usize,
-    out: &mut Vec<(String, f64)>,
-) -> Result<(), SpiceError> {
+fn parse_ic(line_text: &str, line: usize, out: &mut Vec<(String, f64)>) -> Result<(), SpiceError> {
     // .ic V(node)=value V(node2)=value2 …
     for field in line_text.split_whitespace().skip(1) {
         let lower = field.to_ascii_lowercase();
@@ -677,13 +670,14 @@ fn parse_element(
             let p = circuit.node(&ctx.map_node(fields[1]));
             let n = circuit.node(&ctx.map_node(fields[2]));
             let model_name = fields[3].to_ascii_lowercase();
-            let model = diode_models
-                .get(&model_name)
-                .copied()
-                .ok_or_else(|| SpiceError::Parse {
-                    line,
-                    reason: format!("unknown diode model `{}`", fields[3]),
-                })?;
+            let model =
+                diode_models
+                    .get(&model_name)
+                    .copied()
+                    .ok_or_else(|| SpiceError::Parse {
+                        line,
+                        reason: format!("unknown diode model `{}`", fields[3]),
+                    })?;
             circuit.add_diode(name, p, n, model)
         }
         'S' => {
@@ -969,21 +963,30 @@ mod tests {
         };
         assert_eq!(down.values(), vec![1.0, 0.5, 0.0]);
         // Malformed directives error with a line number.
-        assert!(parse("t
+        assert!(parse(
+            "t
 R1 a 0 1k
 .dc Vs 0 1
 .end
-").is_err());
-        assert!(parse("t
+"
+        )
+        .is_err());
+        assert!(parse(
+            "t
 R1 a 0 1k
 .dc Vs 0 1 -0.1
 .end
-").is_err());
-        assert!(parse("t
+"
+        )
+        .is_err());
+        assert!(parse(
+            "t
 V1 a 0 EXP(0 1 1n)
 R1 a 0 1k
 .end
-").is_err());
+"
+        )
+        .is_err());
     }
 
     #[test]
@@ -1063,10 +1066,8 @@ R1 a 0 1k
         let err = parse("t\nV1 a 0 1\nXa a nope\n.end\n").unwrap_err();
         assert!(matches!(err, SpiceError::Parse { .. }));
         // Port-count mismatch.
-        let err = parse(
-            "t\n.subckt s a b\nR1 a b 1k\n.ends\nV1 x 0 1\nXa x s\n.end\n",
-        )
-        .unwrap_err();
+        let err =
+            parse("t\n.subckt s a b\nR1 a b 1k\n.ends\nV1 x 0 1\nXa x s\n.end\n").unwrap_err();
         assert!(matches!(err, SpiceError::Parse { .. }));
         // Unclosed definition.
         let err = parse("t\n.subckt s a b\nR1 a b 1k\n.end\n").unwrap_err();
@@ -1078,10 +1079,8 @@ R1 a 0 1k
         let err = parse("t\n.subckt a x\n.subckt b y\n.ends\n.ends\n.end\n").unwrap_err();
         assert!(matches!(err, SpiceError::Parse { .. }));
         // Recursive instantiation hits the depth cap.
-        let err = parse(
-            "t\n.subckt loop a\nXl a loop\n.ends\nV1 n 0 1\nXa n loop\n.end\n",
-        )
-        .unwrap_err();
+        let err =
+            parse("t\n.subckt loop a\nXl a loop\n.ends\nV1 n 0 1\nXa n loop\n.end\n").unwrap_err();
         assert!(matches!(err, SpiceError::Parse { .. }));
     }
 }

@@ -255,8 +255,7 @@ fn eval_pwl(points: &[(f64, f64)], t: f64) -> f64 {
                 return last.1;
             }
             // Binary search for the segment containing t.
-            let idx = points
-                .partition_point(|&(pt, _)| pt <= t);
+            let idx = points.partition_point(|&(pt, _)| pt <= t);
             let (t0, v0) = points[idx - 1];
             let (t1, v1) = points[idx];
             v0 + (v1 - v0) * (t - t0) / (t1 - t0)
@@ -408,7 +407,10 @@ mod tests {
         // Validation catches bad parameters.
         let bad = Exp { rise_tau: 0.0, ..e };
         assert!(Waveform::Exp(bad).validate("V1").is_err());
-        let bad = Exp { fall_delay: 5e-9, ..e };
+        let bad = Exp {
+            fall_delay: 5e-9,
+            ..e
+        };
         assert!(Waveform::Exp(bad).validate("V1").is_err());
     }
 

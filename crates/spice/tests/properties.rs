@@ -27,7 +27,8 @@ fn divider_matches_analytic() {
         ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v))
             .expect("adds");
         ckt.add_resistor("R1", vin, mid, r1).expect("adds");
-        ckt.add_resistor("R2", mid, Circuit::GROUND, r2).expect("adds");
+        ckt.add_resistor("R2", mid, Circuit::GROUND, r2)
+            .expect("adds");
         let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
         let expected = v * r2 / (r1 + r2);
         let got = op.voltage("mid").expect("node exists");
@@ -47,7 +48,8 @@ fn rc_discharge_matches_exponential() {
         let v0 = rng.range(0.5, 3.0);
         let mut ckt = Circuit::new();
         let out = ckt.node("out");
-        ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
+        ckt.add_resistor("R1", out, Circuit::GROUND, r)
+            .expect("adds");
         ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0))
             .expect("adds");
         let tau = r * c;
@@ -77,8 +79,10 @@ fn kcl_current_balance() {
         let vin = ckt.node("in");
         ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::Dc(v))
             .expect("adds");
-        ckt.add_resistor("R1", vin, Circuit::GROUND, r1).expect("adds");
-        ckt.add_resistor("R2", vin, Circuit::GROUND, r2).expect("adds");
+        ckt.add_resistor("R1", vin, Circuit::GROUND, r1)
+            .expect("adds");
+        ckt.add_resistor("R2", vin, Circuit::GROUND, r2)
+            .expect("adds");
         let op = Simulator::new(&ckt).dc_operating_point().expect("solves");
         let i = op.current("V1").expect("source exists").abs();
         let expected = v / r1 + v / r2;
@@ -114,7 +118,12 @@ fn mosfet_derivatives_match_finite_difference() {
             - evaluate(&model, g, vgs, vds - h, vbs, temp).ids)
             / (2.0 * h);
         let scale = gm_fd.abs().max(1e-9);
-        assert!((e.gm - gm_fd).abs() / scale < 2e-2, "gm {} vs {}", e.gm, gm_fd);
+        assert!(
+            (e.gm - gm_fd).abs() / scale < 2e-2,
+            "gm {} vs {}",
+            e.gm,
+            gm_fd
+        );
         let scale = gds_fd.abs().max(1e-9);
         assert!(
             (e.gds - gds_fd).abs() / scale < 5e-2,
@@ -163,7 +172,10 @@ fn pulse_stays_within_levels() {
         let v = p.eval(t);
         let lo = v1.min(v2);
         let hi = v1.max(v2);
-        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        assert!(
+            v >= lo - 1e-12 && v <= hi + 1e-12,
+            "{v} outside [{lo}, {hi}]"
+        );
     }
 }
 
@@ -204,7 +216,8 @@ fn adaptive_matches_fixed_step_on_random_rc() {
         let v0 = rng.range(0.5, 3.0);
         let mut ckt = Circuit::new();
         let out = ckt.node("out");
-        ckt.add_resistor("R1", out, Circuit::GROUND, r).expect("adds");
+        ckt.add_resistor("R1", out, Circuit::GROUND, r)
+            .expect("adds");
         ckt.add_capacitor_ic("C1", out, Circuit::GROUND, c, Some(v0))
             .expect("adds");
         let tau = r * c;

@@ -33,7 +33,8 @@ fn rc_pulse() -> Circuit {
     )
     .unwrap();
     ckt.add_resistor("R1", vin, out, 1e3).unwrap();
-    ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10).unwrap();
+    ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-10)
+        .unwrap();
     ckt
 }
 

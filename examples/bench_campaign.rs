@@ -14,13 +14,16 @@
 //! the sweep grid across `DSO_THREADS` workers); on a single-core host the
 //! parallel scenarios still run — and must still produce identical bits —
 //! but wall-clock parity is all that can be observed. The process exits
-//! non-zero if parallel output diverges from serial or the warm-start
-//! iteration saving falls below 20%.
+//! non-zero if parallel output diverges from serial, the warm-start
+//! iteration saving falls below 20%, or either derived figure regresses
+//! more than 25% against the committed `BENCH_baseline.json` (refresh an
+//! intentional change with
+//! `cargo run --release --example bench_campaign -- --write-baseline`).
 
 use dram_stress_opt::analysis::{
     plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
 };
-use dram_stress_opt::bench::{median_of, to_json, BenchRecord};
+use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
 use dram_stress_opt::exec::CampaignConfig;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
@@ -29,6 +32,8 @@ use dso_num::interp::logspace;
 const REPEATS: usize = 3;
 const R_POINTS: usize = 30;
 const N_OPS: usize = 2;
+const BASELINE_PATH: &str = "BENCH_baseline.json";
+const BASELINE_TOLERANCE: f64 = 0.25;
 
 fn main() {
     // Coarser time base than the production default keeps the bench
@@ -48,8 +53,7 @@ fn main() {
     let serial_cold = CampaignConfig::with_threads(1).with_warm_start(false);
     let serial_warm = CampaignConfig::with_threads(1);
     let planes = |config: &CampaignConfig| {
-        result_planes_with(&analyzer, &defect, &op, &r_values, N_OPS, config)
-            .expect("planes build")
+        result_planes_with(&analyzer, &defect, &op, &r_values, N_OPS, config).expect("planes build")
     };
     let (cold_ms, (_, cold_perf)) = median_of(REPEATS, || planes(&serial_cold));
     records.push(BenchRecord {
@@ -96,6 +100,7 @@ fn main() {
         points: serial.perf.points,
         newton_iters: serial.perf.newton_iters,
     });
+    let mut widest_speedup_per_core = f64::INFINITY;
     for threads in [2, 8] {
         let cfg = CampaignConfig::with_threads(threads);
         let (ms, parallel) = median_of(REPEATS, || campaign(&cfg));
@@ -106,11 +111,12 @@ fn main() {
             points: parallel.perf.points,
             newton_iters: parallel.perf.newton_iters,
         });
+        let speedup = serial_ms / ms;
+        widest_speedup_per_core = speedup / effective_cores(threads) as f64;
         println!(
-            "plane_campaign x{threads}: {:.0} ms (serial {:.0} ms, speedup {:.2}x)",
-            ms,
-            serial_ms,
-            serial_ms / ms
+            "plane_campaign x{threads}: {:.0} ms (serial {:.0} ms, speedup {:.2}x, \
+             {:.2}x/core)",
+            ms, serial_ms, speedup, widest_speedup_per_core
         );
         if parallel.planes != serial.planes
             || parallel.report != serial.report
@@ -121,9 +127,72 @@ fn main() {
         }
     }
 
+    // --- observability overhead: metrics registry on vs off -------------
+    // The disabled fast path is a relaxed atomic load per site; with the
+    // registry *enabled* the cost is a thread-local bump per event. Both
+    // are timed so the overhead budget in DESIGN.md §7 stays honest.
+    dso_obs::set_metrics_enabled(true);
+    let (obs_ms, obs_run) = median_of(REPEATS, || campaign(&serial_cfg));
+    dso_obs::set_metrics_enabled(false);
+    records.push(BenchRecord {
+        name: "plane_campaign/serial-metrics-on".into(),
+        threads: 1,
+        wall_ms: obs_ms,
+        points: obs_run.perf.points,
+        newton_iters: obs_run.perf.newton_iters,
+    });
+    println!(
+        "metrics enabled: {:.0} ms vs {:.0} ms disabled ({:+.1}%)",
+        obs_ms,
+        serial_ms,
+        100.0 * (obs_ms / serial_ms - 1.0)
+    );
+
+    // --- perf-regression gate vs the committed baseline ------------------
+    let current = BenchBaseline {
+        warm_iter_saving: saved,
+        speedup_per_core: widest_speedup_per_core,
+    };
+    if std::env::args().any(|a| a == "--write-baseline") {
+        std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");
+        println!("refreshed {BASELINE_PATH}: {current:?}");
+    } else {
+        match std::fs::read_to_string(BASELINE_PATH) {
+            Ok(text) => match BenchBaseline::from_json(&text) {
+                Ok(baseline) => {
+                    for msg in baseline.regressions(&current, BASELINE_TOLERANCE) {
+                        eprintln!("FAIL: {msg}");
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {BASELINE_PATH} is malformed: {e}");
+                    failed = true;
+                }
+            },
+            // No committed baseline: report, don't gate (first run).
+            Err(_) => println!(
+                "no {BASELINE_PATH}; refresh with: \
+                 cargo run --release --example bench_campaign -- --write-baseline"
+            ),
+        }
+    }
+
+    // One well-known file for CI artifacts, plus a timestamped copy under
+    // results/ so local reruns stop silently clobbering the only record.
     let json = to_json(&records);
     std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
-    println!("wrote BENCH_campaign.json ({} records)", records.len());
+    std::fs::create_dir_all("results").expect("create results/");
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let archived = format!("results/BENCH_campaign-{stamp}.json");
+    std::fs::write(&archived, &json).unwrap_or_else(|e| panic!("write {archived}: {e}"));
+    println!(
+        "wrote BENCH_campaign.json and {archived} ({} records)",
+        records.len()
+    );
     if failed {
         std::process::exit(1);
     }

@@ -21,7 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r_values = logspace(1e4, 1e7, 10)?;
 
     // 1. A clean campaign: every point converges, confidence is full.
-    let clean = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &CampaignFaults::new())?;
+    let clean = plane_campaign(
+        &analyzer,
+        &defect,
+        &op,
+        &r_values,
+        2,
+        &CampaignFaults::new(),
+    )?;
     println!("clean sweep:    {}", clean.report);
     println!("  confidence:   {}", clean.confidence);
     let b0 = clean.border_from_intersection()?.expect("border in sweep");
@@ -30,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Kill one sweep point outright (every solve at that point faults).
     //    The campaign records the failure, interpolates the gap from its
     //    converged neighbors, and still extracts the border.
-    let faults =
-        CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
     let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
     println!("partial sweep:  {}", partial.report);
     println!("  confidence:   {}", partial.confidence);
@@ -45,14 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(status) = partial.report.status_at(r_values[1]) {
         println!("  dead point:   {status}");
     }
-    let b1 = partial.border_from_intersection()?.expect("border survives");
-    println!("  border:       {} (clean: {})", format_eng(b1, "Ω"), format_eng(b0, "Ω"));
+    let b1 = partial
+        .border_from_intersection()?
+        .expect("border survives");
+    println!(
+        "  border:       {} (clean: {})",
+        format_eng(b1, "Ω"),
+        format_eng(b0, "Ω")
+    );
 
     // 3. A transient fault: one NaN residual mid-transient. The recovery
     //    ladder (method fallback → timestep subdivision → gmin stepping)
     //    absorbs it; the point is merely flagged Recovered.
-    let faults = CampaignFaults::new()
-        .with_fault(1, FaultPlan::new().inject_at(10, FaultKind::NanResidual));
+    let faults =
+        CampaignFaults::new().with_fault(1, FaultPlan::new().inject_at(10, FaultKind::NanResidual));
     let recovered = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
     println!("recovered sweep: {}", recovered.report);
     println!("  confidence:   {}", recovered.confidence);

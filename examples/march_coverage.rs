@@ -19,8 +19,7 @@
 //! ```
 
 use dram_stress_opt::analysis::{
-    build_dictionary, derive_detection, find_border, Analyzer, DefectiveCell,
-    DetectionCondition,
+    build_dictionary, derive_detection, find_border, Analyzer, DefectiveCell, DetectionCondition,
 };
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;

@@ -10,9 +10,7 @@
 use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::stress::{
-    OperatingPoint, OptimizerConfig, StressKind, StressOptimizer,
-};
+use dram_stress_opt::stress::{OperatingPoint, OptimizerConfig, StressKind, StressOptimizer};
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let border = find_border(&analyzer, &defect, &detection, &nominal, 0.05)?;
     println!(
         "nominal border:        {} ({} simulations)",
-        border,
-        border.evaluations
+        border, border.evaluations
     );
 
     // 4. Optimize the stresses (cycle time and temperature here; add

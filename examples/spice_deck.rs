@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         deck.circuit.node_count()
     );
 
-    let tran = deck
-        .tran
-        .ok_or("deck has no .tran directive")?;
+    let tran = deck.tran.ok_or("deck has no .tran directive")?;
     let options = TranOptions {
         t_stop: tran.stop,
         dt: tran.step,
@@ -49,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         start: StartMode::UseIc(deck.initial_conditions.clone()),
         adaptive: None,
     };
-    let sim = Simulator::new(&deck.circuit)
-        .with_temperature(deck.temperature.unwrap_or(27.0));
+    let sim = Simulator::new(&deck.circuit).with_temperature(deck.temperature.unwrap_or(27.0));
     let result = sim.transient(&options)?;
 
     println!();
@@ -65,17 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_end = result.final_voltage("xc.st")?;
     println!();
     if v_end > 1.0 {
-        println!(
-            "after the cycle the cell still holds {v_end:.3} V — the 200 kΩ open"
-        );
+        println!("after the cycle the cell still holds {v_end:.3} V — the 200 kΩ open");
         println!("blocked the 0-write within this window.");
     } else {
-        println!(
-            "with this bench's generous ~40 ns write window even the 200 kΩ open"
-        );
-        println!(
-            "discharges fully (Vc ends at {v_end:.3} V) — in the real column the"
-        );
+        println!("with this bench's generous ~40 ns write window even the 200 kΩ open");
+        println!("discharges fully (Vc ends at {v_end:.3} V) — in the real column the");
         println!("window is ~11 ns, which is what makes the same defect marginal.");
     }
     Ok(())

@@ -30,8 +30,12 @@ fn full_column_round_trips_through_deck_text() {
     assert!(deck_text.contains("2e5"), "defect value exported");
 
     // Both circuits solve to the same (quiescent) operating point.
-    let a = Simulator::new(column.circuit()).dc_operating_point().unwrap();
-    let b = Simulator::new(&parsed.circuit).dc_operating_point().unwrap();
+    let a = Simulator::new(column.circuit())
+        .dc_operating_point()
+        .unwrap();
+    let b = Simulator::new(&parsed.circuit)
+        .dc_operating_point()
+        .unwrap();
     for node in ["bt", "bc", "st_true", "dout"] {
         let va = a.voltage(node).unwrap();
         let vb = b.voltage(node).unwrap();

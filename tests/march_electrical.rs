@@ -25,12 +25,8 @@ fn march_tests_catch_severe_open_and_pass_mild_one() {
 
     // Severe open: well above any plausible border.
     let severe = build_dictionary(&analyzer, &defect, 3e7, &nominal, 5).unwrap();
-    let mut memory = FunctionalMemory::with_victim(
-        8,
-        3,
-        Box::new(DefectiveCell::new(severe, 0.0)),
-    )
-    .unwrap();
+    let mut memory =
+        FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(severe, 0.0))).unwrap();
     let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
     assert!(result.detected(), "March C- must catch a 30 MΩ open");
     assert!(result.failures().iter().all(|f| f.address == 3));
@@ -38,8 +34,7 @@ fn march_tests_catch_severe_open_and_pass_mild_one() {
     // Mild open: far below the border — indistinguishable from healthy.
     let mild = build_dictionary(&analyzer, &defect, 2e3, &nominal, 5).unwrap();
     let mut memory =
-        FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(mild, 0.0)))
-            .unwrap();
+        FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(mild, 0.0))).unwrap();
     let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
     assert!(!result.detected(), "a 2 kΩ site is effectively defect-free");
 }
@@ -55,12 +50,9 @@ fn retention_fault_needs_the_drt_test() {
     let nominal = OperatingPoint::nominal();
     let dict = build_dictionary(&analyzer, &defect, 8e6, &nominal, 5).unwrap();
 
-    let mut memory = FunctionalMemory::with_victim(
-        8,
-        2,
-        Box::new(DefectiveCell::new(dict.clone(), 0.0)),
-    )
-    .unwrap();
+    let mut memory =
+        FunctionalMemory::with_victim(8, 2, Box::new(DefectiveCell::new(dict.clone(), 0.0)))
+            .unwrap();
     let back_to_back = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
     assert!(
         !back_to_back.detected(),
@@ -68,8 +60,7 @@ fn retention_fault_needs_the_drt_test() {
     );
 
     let mut memory =
-        FunctionalMemory::with_victim(8, 2, Box::new(DefectiveCell::new(dict, 0.0)))
-            .unwrap();
+        FunctionalMemory::with_victim(8, 2, Box::new(DefectiveCell::new(dict, 0.0))).unwrap();
     let drt = apply(&MarchTest::march_drt(), &mut memory).unwrap();
     assert!(drt.detected(), "March DRT's pauses must expose the leak");
     assert!(drt.failures().iter().all(|f| f.address == 2));
@@ -82,8 +73,7 @@ fn comp_side_dictionary_detected_with_inverted_data() {
     let nominal = OperatingPoint::nominal();
     let dict = build_dictionary(&analyzer, &defect, 3e7, &nominal, 5).unwrap();
     let mut memory =
-        FunctionalMemory::with_victim(8, 5, Box::new(DefectiveCell::new(dict, 0.0)))
-            .unwrap();
+        FunctionalMemory::with_victim(8, 5, Box::new(DefectiveCell::new(dict, 0.0))).unwrap();
     // MATS+ covers both data polarities, so the comp-side defect is caught
     // too — with the miscompares on the inverted value.
     let result = apply(&MarchTest::mats_plus(), &mut memory).unwrap();

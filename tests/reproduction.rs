@@ -31,8 +31,8 @@ fn border_extraction_methods_agree() {
         .iter()
         .map(|f| f * bisect.resistance)
         .collect();
-    let planes = result_planes(&analyzer, &defect, &nominal, &r_values, 2)
-        .expect("planes generate");
+    let planes =
+        result_planes(&analyzer, &defect, &nominal, &r_values, 2).expect("planes generate");
     let intersection = planes
         .border_from_intersection()
         .expect("intersection computable")
@@ -62,8 +62,8 @@ fn true_comp_symmetry() {
             BitLineSide::True => assert_eq!(rendered, "{... w1 w1 w0 r0 ...}"),
             BitLineSide::Comp => assert_eq!(rendered, "{... w0 w0 w1 r1 ...}"),
         }
-        let border = find_border(&analyzer, &defect, &detection, &nominal, 0.08)
-            .expect("border exists");
+        let border =
+            find_border(&analyzer, &defect, &detection, &nominal, 0.08).expect("border exists");
         borders.push(border.resistance);
     }
     let ratio = borders[0] / borders[1];

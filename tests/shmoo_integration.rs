@@ -17,8 +17,7 @@ fn marginal_device_fails_in_the_stressful_corner() {
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let detection = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&analyzer, &defect, &detection, &nominal, 0.1)
-        .expect("border exists");
+    let border = find_border(&analyzer, &defect, &detection, &nominal, 0.1).expect("border exists");
     // Just below the nominal border: passes nominally, fails under stress.
     let r_marginal = border.resistance * 0.93;
 
