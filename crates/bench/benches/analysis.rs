@@ -5,6 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dso_bench::fast_design;
 use dso_core::analysis::{result_planes, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
+use dso_core::exec::CampaignConfig;
 use dso_core::stress::probe::probe_stress;
 use dso_core::stress::StressKind;
 use dso_defects::{BitLineSide, Defect};
@@ -18,7 +20,12 @@ fn bench_vsa(c: &mut Criterion) {
     let mut group = c.benchmark_group("vsa_measurement");
     group.sample_size(10);
     group.bench_function("vsa_at_200k", |bench| {
-        bench.iter(|| black_box(analyzer.vsa(&defect, 2e5, &nominal).expect("measures")))
+        bench.iter(|| {
+            // Fresh service per iteration: this measures the simulation,
+            // not a memo-cache lookup.
+            let service = EvalService::new(analyzer.clone());
+            black_box(service.vsa(&defect, 2e5, &nominal).expect("measures"))
+        })
     });
     group.finish();
 }
@@ -36,14 +43,18 @@ fn bench_probe_vs_full_plane(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("directional_probe", |bench| {
         bench.iter(|| {
+            // Fresh service per iteration so the probe simulates, keeping
+            // the comparison with the uncached full planes honest.
+            let service = EvalService::new(analyzer.clone());
             black_box(
                 probe_stress(
-                    &analyzer,
+                    &service,
                     &defect,
                     &detection,
                     &nominal,
                     StressKind::CycleTime,
                     5e5,
+                    &CampaignConfig::serial(),
                 )
                 .expect("probes"),
             )

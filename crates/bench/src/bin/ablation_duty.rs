@@ -8,12 +8,13 @@
 
 use dso_bench::figure_design;
 use dso_core::analysis::{find_border, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
 use dso_core::stress::{OperatingPoint, OptimizerConfig, StressKind, StressOptimizer};
 use dso_defects::{BitLineSide, Defect};
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(Analyzer::new(figure_design()));
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let detection = DetectionCondition::default_for(&defect, 2);
@@ -27,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("border resistance of {defect} vs duty cycle (tcyc = 60 ns):");
     for duty in [lo, 0.45, 0.5, 0.55, hi] {
         let op = StressKind::DutyCycle.apply_to(&nominal, duty)?;
-        let border = find_border(&analyzer, &defect, &detection, &op, 0.03)?;
+        let border = find_border(&service, &defect, &detection, &op, 0.03)?;
         println!(
             "  duty = {duty:.2}: BR = {}",
             format_eng(border.resistance, "Ω")

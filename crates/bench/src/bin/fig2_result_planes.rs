@@ -8,6 +8,7 @@
 use dso_bench::plot::{zip_points, AsciiChart};
 use dso_bench::figure_design;
 use dso_core::analysis::{find_border, result_planes, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::OperatingPoint;
 use dso_num::interp::logspace;
@@ -15,6 +16,7 @@ use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(analyzer.clone());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
 
@@ -88,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let detection = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&analyzer, &defect, &detection, &nominal, 0.03)?;
+    let border = find_border(&service, &defect, &detection, &nominal, 0.03)?;
     println!(
         "border resistance from pass/fail bisection of {}: {} ({} evaluations)",
         detection.display_for(defect.side()),

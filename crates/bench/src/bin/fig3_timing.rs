@@ -10,19 +10,20 @@ use dso_bench::figures::{read_panel, w0_panel};
 use dso_bench::figure_design;
 use dso_bench::plot::{zip_points, AsciiChart};
 use dso_core::analysis::{find_border, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
 use dso_core::stress::StressKind;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::OperatingPoint;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(Analyzer::new(figure_design()));
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     // Probe at the measured nominal border resistance — the paper probes at
     // its border (200 kOhm for its memory model); ours differs in absolute
     // value because the column parameters are documented substitutions.
     let detection_probe = DetectionCondition::default_for(&defect, 2);
-    let rop = find_border(&analyzer, &defect, &detection_probe, &nominal, 0.05)?.resistance;
+    let rop = find_border(&service, &defect, &detection_probe, &nominal, 0.05)?.resistance;
     eprintln!("probing at the measured nominal border Rop = {rop:.3e} Ohm (paper: 200 kOhm)");
 
     println!("Figure 3: simulation of reducing tcyc from 60 ns to 55 ns");
@@ -37,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &tcyc in &tcycs {
         let op = StressKind::CycleTime.apply_to(&nominal, tcyc)?;
         let label = format!("tcyc = {:.0} ns", tcyc * 1e9);
-        let panel = w0_panel(&analyzer, &defect, rop, &op, &label)?;
+        let panel = w0_panel(&service, &defect, rop, &op, &label)?;
         endpoints.push((label.clone(), panel.vc_end));
         chart.add_series(&label, zip_points(&panel.times, &panel.vc));
     }
@@ -53,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // --- Bottom panel: read just below Vsa -----------------------------
-    let vsa = analyzer.vsa(&defect, rop, &nominal)?;
+    let vsa = service.vsa(&defect, rop, &nominal)?;
     let vc_init = (vsa - 0.1).max(0.0);
     println!(
         "Vsa at the border (nominal SC): {vsa:.3} V; reads start at {vc_init:.3} V"
@@ -63,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &tcyc in &tcycs {
         let op = StressKind::CycleTime.apply_to(&nominal, tcyc)?;
         let label = format!("tcyc = {:.0} ns", tcyc * 1e9);
-        let panel = read_panel(&analyzer, &defect, rop, &op, vc_init, &label)?;
+        let panel = read_panel(&service, &defect, rop, &op, vc_init, &label)?;
         sensed.push((label.clone(), panel.sensed_high));
         chart.add_series(&label, zip_points(&panel.times, &panel.vc));
     }

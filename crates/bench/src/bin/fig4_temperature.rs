@@ -11,20 +11,21 @@ use dso_bench::figures::{read_panel, w0_panel};
 use dso_bench::figure_design;
 use dso_bench::plot::{zip_points, AsciiChart};
 use dso_core::analysis::{find_border, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
 use dso_core::stress::StressKind;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::OperatingPoint;
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(Analyzer::new(figure_design()));
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     // Probe at the measured nominal border resistance — the paper probes at
     // its border (200 kOhm for its memory model); ours differs in absolute
     // value because the column parameters are documented substitutions.
     let detection_probe = DetectionCondition::default_for(&defect, 2);
-    let rop = find_border(&analyzer, &defect, &detection_probe, &nominal, 0.05)?.resistance;
+    let rop = find_border(&service, &defect, &detection_probe, &nominal, 0.05)?.resistance;
     eprintln!("probing at the measured nominal border Rop = {rop:.3e} Ohm (paper: 200 kOhm)");
     let temps = [-33.0, 27.0, 87.0];
 
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &t in &temps {
         let op = StressKind::Temperature.apply_to(&nominal, t)?;
         let label = format!("T = {t:+.0} °C");
-        let panel = w0_panel(&analyzer, &defect, rop, &op, &label)?;
+        let panel = w0_panel(&service, &defect, rop, &op, &label)?;
         endpoints.push((label.clone(), panel.vc_end));
         chart.add_series(&label, zip_points(&panel.times, &panel.vc));
     }
@@ -60,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // --- Bottom panel: read around the threshold ------------------------
-    let vsa_nom = analyzer.vsa(&defect, rop, &nominal)?;
+    let vsa_nom = service.vsa(&defect, rop, &nominal)?;
     let vc_init = (vsa_nom + 0.05).min(nominal.vdd);
     println!("nominal Vsa at the border: {vsa_nom:.3} V; reads start at {vc_init:.3} V");
     let mut chart = AsciiChart::new("Vc after a read operation", "t (s)", "Vc (V)");
@@ -68,8 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &t in &temps {
         let op = StressKind::Temperature.apply_to(&nominal, t)?;
         let label = format!("T = {t:+.0} °C");
-        let panel = read_panel(&analyzer, &defect, rop, &op, vc_init, &label)?;
-        let vsa_t = analyzer.vsa(&defect, rop, &op)?;
+        let panel = read_panel(&service, &defect, rop, &op, vc_init, &label)?;
+        let vsa_t = service.vsa(&defect, rop, &op)?;
         vsas.push((t, vsa_t, panel.sensed_high));
         chart.add_series(&label, zip_points(&panel.times, &panel.vc));
     }
@@ -95,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut borders = Vec::new();
     for &t in &[27.0, 87.0] {
         let op = StressKind::Temperature.apply_to(&nominal, t)?;
-        let border = find_border(&analyzer, &defect, &detection, &op, 0.03)?;
+        let border = find_border(&service, &defect, &detection, &op, 0.03)?;
         println!(
             "  BR at T = {t:+.0} °C: {}",
             format_eng(border.resistance, "Ω")

@@ -11,20 +11,21 @@ use dso_bench::figures::{read_panel, w0_panel};
 use dso_bench::figure_design;
 use dso_bench::plot::{zip_points, AsciiChart};
 use dso_core::analysis::{find_border, Analyzer, DetectionCondition};
+use dso_core::eval::EvalService;
 use dso_core::stress::StressKind;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::OperatingPoint;
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(Analyzer::new(figure_design()));
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     // Probe at the measured nominal border resistance — the paper probes at
     // its border (200 kOhm for its memory model); ours differs in absolute
     // value because the column parameters are documented substitutions.
     let detection_probe = DetectionCondition::default_for(&defect, 2);
-    let rop = find_border(&analyzer, &defect, &detection_probe, &nominal, 0.05)?.resistance;
+    let rop = find_border(&service, &defect, &detection_probe, &nominal, 0.05)?.resistance;
     eprintln!("probing at the measured nominal border Rop = {rop:.3e} Ohm (paper: 200 kOhm)");
     let vdds = [2.1, 2.4, 2.7];
 
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &vdd in &vdds {
         let op = StressKind::SupplyVoltage.apply_to(&nominal, vdd)?;
         let label = format!("Vdd = {vdd:.1} V");
-        let panel = w0_panel(&analyzer, &defect, rop, &op, &label)?;
+        let panel = w0_panel(&service, &defect, rop, &op, &label)?;
         endpoints.push((label.clone(), panel.vc_end));
         chart.add_series(&label, zip_points(&panel.times, &panel.vc));
     }
@@ -52,15 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // --- Bottom panel: read just below the nominal Vsa ------------------
-    let vsa_nom = analyzer.vsa(&defect, rop, &nominal)?;
+    let vsa_nom = service.vsa(&defect, rop, &nominal)?;
     let vc_init = (vsa_nom - 0.05).max(0.0);
     println!("nominal Vsa at the border: {vsa_nom:.3} V; reads start at {vc_init:.3} V");
     let mut chart = AsciiChart::new("Vc after a read operation", "t (s)", "Vc (V)");
     for &vdd in &vdds {
         let op = StressKind::SupplyVoltage.apply_to(&nominal, vdd)?;
         let label = format!("Vdd = {vdd:.1} V");
-        let panel = read_panel(&analyzer, &defect, rop, &op, vc_init, &label)?;
-        let vsa = analyzer.vsa(&defect, rop, &op)?;
+        let panel = read_panel(&service, &defect, rop, &op, vc_init, &label)?;
+        let vsa = service.vsa(&defect, rop, &op)?;
         println!(
             "  Vdd = {vdd:.1} V: Vsa = {vsa:.3} V, sensed {}",
             if panel.sensed_high.unwrap_or(false) {
@@ -81,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut best: Option<(f64, f64)> = None;
     for &vdd in &vdds {
         let op = StressKind::SupplyVoltage.apply_to(&nominal, vdd)?;
-        let border = find_border(&analyzer, &defect, &detection, &op, 0.03)?;
+        let border = find_border(&service, &defect, &detection, &op, 0.03)?;
         println!(
             "  BR at Vdd = {vdd:.1} V: {}",
             format_eng(border.resistance, "Ω")

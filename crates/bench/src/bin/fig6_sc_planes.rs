@@ -11,6 +11,7 @@ use dso_bench::plot::{zip_points, AsciiChart};
 use dso_core::analysis::{
     derive_detection, find_border, result_planes, Analyzer, DetectionCondition,
 };
+use dso_core::eval::EvalService;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::OperatingPoint;
 use dso_num::interp::logspace;
@@ -18,6 +19,7 @@ use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analyzer = Analyzer::new(figure_design());
+    let service = EvalService::new(analyzer.clone());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let stressed = OperatingPoint {
@@ -56,15 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (1) Border drop.
     let detection_nom = DetectionCondition::default_for(&defect, 2);
-    let br_nominal = find_border(&analyzer, &defect, &detection_nom, &nominal, 0.03)?;
+    let br_nominal = find_border(&service, &defect, &detection_nom, &nominal, 0.03)?;
     let detection_sc = derive_detection(
-        &analyzer,
+        &service,
         &defect,
         br_nominal.resistance,
         &stressed,
         6,
     )?;
-    let br_stressed = find_border(&analyzer, &defect, &detection_sc, &stressed, 0.03)?;
+    let br_stressed = find_border(&service, &defect, &detection_sc, &stressed, 0.03)?;
     println!(
         "(1) border resistance: nominal {} -> stressed {}   (paper: 200 kΩ -> ~50 kΩ)",
         format_eng(br_nominal.resistance, "Ω"),
@@ -100,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // (4) Even R = site-default no longer settles rail-to-rail in one op.
-    let healthy = analyzer.settle_sequence(&defect, defect.absent_resistance(), &stressed, false, 1)?;
+    let healthy = service.settle_sequence(&defect, defect.absent_resistance(), &stressed, false, 1)?;
     println!(
         "(4) defect-free single w0 under the SC ends at {:.3} V (from {} V)",
         healthy[0], stressed.vdd

@@ -1,6 +1,6 @@
 //! Shared helpers for the Figure 3–5 stress-transient binaries.
 
-use dso_core::analysis::Analyzer;
+use dso_core::eval::{EvalService, SimRequest};
 use dso_core::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
@@ -28,15 +28,20 @@ pub struct TransientPanel {
 ///
 /// Propagates simulation failures.
 pub fn w0_panel(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     resistance: f64,
     op_point: &OperatingPoint,
     label: &str,
 ) -> Result<TransientPanel, CoreError> {
-    let engine = analyzer.engine_for(defect, resistance, op_point)?;
     let op = physical_write(false, defect.side());
-    let trace = engine.run(&[op], op_point.vdd)?;
+    let trace = service.trace_of(&SimRequest::run(
+        defect,
+        resistance,
+        op_point,
+        vec![op],
+        op_point.vdd,
+    ))?;
     let (times, vc) = trace.storage_waveform()?;
     Ok(TransientPanel {
         label: label.to_string(),
@@ -54,15 +59,20 @@ pub fn w0_panel(
 ///
 /// Propagates simulation failures.
 pub fn read_panel(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     resistance: f64,
     op_point: &OperatingPoint,
     vc_init: f64,
     label: &str,
 ) -> Result<TransientPanel, CoreError> {
-    let engine = analyzer.engine_for(defect, resistance, op_point)?;
-    let trace = engine.run(&[Operation::R], vc_init)?;
+    let trace = service.trace_of(&SimRequest::run(
+        defect,
+        resistance,
+        op_point,
+        vec![Operation::R],
+        vc_init,
+    ))?;
     let (times, vc) = trace.storage_waveform()?;
     let sensed = trace.cycles()[0]
         .read
@@ -80,20 +90,21 @@ pub fn read_panel(
 mod tests {
     use super::*;
     use crate::fast_design;
+    use dso_core::analysis::Analyzer;
     use dso_defects::BitLineSide;
 
     #[test]
     fn panels_produce_waveforms() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
-        let w0 = w0_panel(&analyzer, &defect, 1e3, &op, "nominal").unwrap();
+        let w0 = w0_panel(&service, &defect, 1e3, &op, "nominal").unwrap();
         assert_eq!(w0.label, "nominal");
         assert!(w0.vc_end < 0.5, "healthy w0 discharges: {}", w0.vc_end);
         assert_eq!(w0.times.len(), w0.vc.len());
         assert!(w0.sensed_high.is_none());
 
-        let r = read_panel(&analyzer, &defect, 1e3, &op, 2.4, "read 1").unwrap();
+        let r = read_panel(&service, &defect, 1e3, &op, 2.4, "read 1").unwrap();
         assert_eq!(r.sensed_high, Some(true));
     }
 }

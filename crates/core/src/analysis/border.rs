@@ -8,7 +8,7 @@
 //! independent curve-intersection estimate used for cross-checking.
 
 use super::detection::DetectionCondition;
-use super::Analyzer;
+use crate::eval::EvalService;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
@@ -63,6 +63,10 @@ impl std::fmt::Display for BorderResistance {
 /// `op_point`, bisecting within the defect's sweep range to relative (log)
 /// tolerance `rel_tol`.
 ///
+/// Every pass/fail probe runs through the [`EvalService`] cache, so
+/// repeating a search (or re-probing resistances another workload already
+/// simulated) costs no transient solves.
+///
 /// # Errors
 ///
 /// * [`CoreError::NoFaultObserved`] if the memory passes everywhere in the
@@ -70,7 +74,7 @@ impl std::fmt::Display for BorderResistance {
 /// * [`CoreError::AlwaysFaulty`] if it fails everywhere.
 /// * Simulation failures.
 pub fn find_border(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     detection: &DetectionCondition,
     op_point: &OperatingPoint,
@@ -78,13 +82,10 @@ pub fn find_border(
 ) -> Result<BorderResistance, CoreError> {
     let (lo, hi) = defect.sweep_range();
     let fails_above = defect.fails_above();
-    let operation = format!("detection {}", detection.display_for(defect.side()));
     let fails_at = |r: f64| -> Result<bool, CoreError> {
-        let engine = analyzer.engine_for(defect, r, op_point)?;
-        detection
-            .evaluate(&engine)
+        service
+            .detection_passes(defect, r, detection, op_point)
             .map(|pass| !pass)
-            .map_err(|e| CoreError::at_point(&operation, r, None, e))
     };
 
     // Probe the ends first for precise error reporting. Opens fail at the
@@ -147,20 +148,100 @@ pub fn find_border(
     })
 }
 
+/// Refines the plane-intersection border estimate by log-bisecting the
+/// `(1) w0` × `Vsa` margin — the same quantity as
+/// [`super::planes::ResultPlanes::border_from_intersection`] — starting
+/// from the sign change on the `r_values` grid.
+///
+/// The grid walk issues exactly the `w0` settle and `Vsa` requests a plane
+/// campaign over the same `(r_values, n_ops)` sweep already evaluated, so
+/// running this after [`super::planes::plane_campaign_in`] on the same
+/// [`EvalService`] turns the entire walk into cache hits; only the
+/// bisection probes between grid points simulate anything new.
+///
+/// Returns `None` when the margin does not change sign inside the grid
+/// (no border in the swept range).
+///
+/// # Errors
+///
+/// * [`CoreError::BadRequest`] for a grid of fewer than two points or
+///   `n_ops == 0`.
+/// * Simulation failures.
+pub fn refine_border_from_planes(
+    service: &EvalService,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    rel_tol: f64,
+) -> Result<Option<BorderResistance>, CoreError> {
+    if r_values.len() < 2 {
+        return Err(CoreError::BadRequest(format!(
+            "border refinement needs at least 2 grid points, got {}",
+            r_values.len()
+        )));
+    }
+    let mut evaluations = 0usize;
+    let mut faulty_at = |r: f64| -> Result<bool, CoreError> {
+        evaluations += 1;
+        let w0 = service.settle_sequence(defect, r, op_point, false, n_ops)?;
+        let vsa = service.vsa(defect, r, op_point)?;
+        Ok(w0[0] - vsa > 0.0)
+    };
+
+    // Walk the campaign grid for the first sign change of the margin.
+    let mut bracket = None;
+    let mut prev = (r_values[0], faulty_at(r_values[0])?);
+    for &r in &r_values[1..] {
+        let here = (r, faulty_at(r)?);
+        if here.1 != prev.1 {
+            bracket = Some((prev, here));
+            break;
+        }
+        prev = here;
+    }
+    let Some(((mut lo, lo_faulty), (mut hi, _))) = bracket else {
+        return Ok(None);
+    };
+
+    // Log-bisect the bracketing grid cell down to `rel_tol`.
+    while hi / lo > 1.0 + rel_tol {
+        let mid = (lo * hi).sqrt();
+        if faulty_at(mid)? == lo_faulty {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    dso_obs::counter!("border.searches").incr();
+    dso_obs::counter!("border.evaluations").add(evaluations as u64);
+    Ok(Some(BorderResistance {
+        resistance: (lo * hi).sqrt(),
+        fails_above: defect.fails_above(),
+        evaluations,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::test_support::fast_design;
+    use super::super::Analyzer;
     use super::*;
     use dso_defects::BitLineSide;
     use dso_dram::column::DefectSite;
 
+    fn fast_service() -> EvalService {
+        EvalService::new(Analyzer::new(fast_design()))
+    }
+
     #[test]
     fn border_of_cell_open() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = fast_service();
         let defect = Defect::cell_open(BitLineSide::True);
         let detection = DetectionCondition::default_for(&defect, 2);
         let border = find_border(
-            &analyzer,
+            &service,
             &defect,
             &detection,
             &OperatingPoint::nominal(),
@@ -178,11 +259,11 @@ mod tests {
 
     #[test]
     fn border_of_short_to_ground() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = fast_service();
         let defect = Defect::new(DefectSite::Sg, BitLineSide::True);
         let detection = DetectionCondition::default_for(&defect, 1);
         let border = find_border(
-            &analyzer,
+            &service,
             &defect,
             &detection,
             &OperatingPoint::nominal(),
@@ -195,6 +276,61 @@ mod tests {
             "Sg border {:.3e} suspiciously small",
             border.resistance
         );
+    }
+
+    #[test]
+    fn refined_border_agrees_with_bisection() {
+        let service = fast_service();
+        let defect = Defect::cell_open(BitLineSide::True);
+        let grid: Vec<f64> = (0..7).map(|i| 1e4 * 10f64.powf(i as f64 * 0.5)).collect();
+        let refined = refine_border_from_planes(
+            &service,
+            &defect,
+            &OperatingPoint::nominal(),
+            &grid,
+            2,
+            0.05,
+        )
+        .unwrap()
+        .expect("cell open has a border inside the grid");
+        assert!(refined.fails_above);
+        assert!(
+            (1e4..1e7).contains(&refined.resistance),
+            "refined border {:.3e} out of plausible range",
+            refined.resistance
+        );
+        // Repeating the refinement on the same service replays every probe
+        // from the cache bit-identically.
+        let hits_before = service.cache_stats().hits;
+        let again = refine_border_from_planes(
+            &service,
+            &defect,
+            &OperatingPoint::nominal(),
+            &grid,
+            2,
+            0.05,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(again.resistance.to_bits(), refined.resistance.to_bits());
+        assert!(service.cache_stats().hits > hits_before);
+    }
+
+    #[test]
+    fn refined_border_is_none_without_sign_change() {
+        let service = fast_service();
+        let defect = Defect::cell_open(BitLineSide::True);
+        // A grid entirely on the healthy side of the border.
+        let refined = refine_border_from_planes(
+            &service,
+            &defect,
+            &OperatingPoint::nominal(),
+            &[1e3, 2e3, 4e3],
+            2,
+            0.05,
+        )
+        .unwrap();
+        assert!(refined.is_none());
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //! exactly the 1s↔0s interchange Table 1 shows between true and
 //! complementary defects.
 
-use super::Analyzer;
+use crate::eval::EvalService;
 use crate::CoreError;
 use dso_defects::{Defect, DefectClass};
 use dso_dram::design::{BitLineSide, OperatingPoint};
-use dso_dram::ops::{physical_write, Operation, OperationEngine};
+use dso_dram::ops::{physical_write, Operation};
 use std::fmt;
 
 /// One step of a physical detection condition.
@@ -225,29 +225,6 @@ impl DetectionCondition {
             .collect();
         format!("{{... {} ...}}", body.join(" "))
     }
-
-    /// Applies the condition to a prepared engine (defect already injected,
-    /// victim side already selected) and reports whether the memory
-    /// *passes* — i.e. every read returns its expected value.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn evaluate(&self, engine: &OperationEngine) -> Result<bool, CoreError> {
-        let side = engine.victim();
-        let (seq, expected) = self.to_logic(side);
-        let vc_init = if self.initial_level() {
-            engine.operating_point().vdd
-        } else {
-            0.0
-        };
-        let trace = engine.run(&seq, vc_init)?;
-        let got = trace.read_values();
-        Ok(got
-            .iter()
-            .zip(&expected)
-            .all(|(g, e)| g.map(|v| v == *e).unwrap_or(false)))
-    }
 }
 
 impl fmt::Display for DetectionCondition {
@@ -279,7 +256,7 @@ impl fmt::Display for DetectionCondition {
 ///
 /// Propagates simulation failures.
 pub fn derive_detection(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     r_target: f64,
     op_point: &OperatingPoint,
@@ -291,7 +268,7 @@ pub fn derive_detection(
         Some(PhysOp::Write { high }) => *high,
         _ => true,
     };
-    let vcs = analyzer.settle_sequence(defect, r_target, op_point, setup_high, max_settling)?;
+    let vcs = service.settle_sequence(defect, r_target, op_point, setup_high, max_settling)?;
     // Converged once an additional write moves the cell by < 2% of vdd.
     let tol = 0.02 * op_point.vdd;
     let mut k = max_settling;
@@ -307,6 +284,7 @@ pub fn derive_detection(
 #[cfg(test)]
 mod tests {
     use super::super::test_support::fast_design;
+    use super::super::Analyzer;
     use super::*;
     use dso_dram::column::DefectSite;
 
@@ -378,16 +356,14 @@ mod tests {
 
     #[test]
     fn evaluate_passes_healthy_fails_defective() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::cell_open(BitLineSide::True);
         let cond = DetectionCondition::default_for(&defect, 2);
         let op = OperatingPoint::nominal();
         // Healthy (1 Ω site).
-        let engine = analyzer.engine_for(&defect, 1.0, &op).unwrap();
-        assert!(cond.evaluate(&engine).unwrap());
+        assert!(service.detection_passes(&defect, 1.0, &cond, &op).unwrap());
         // Severe open.
-        let engine = analyzer.engine_for(&defect, 5e7, &op).unwrap();
-        assert!(!cond.evaluate(&engine).unwrap());
+        assert!(!service.detection_passes(&defect, 5e7, &cond, &op).unwrap());
     }
 
     #[test]
@@ -395,15 +371,16 @@ mod tests {
         // A short-to-ground too weak to fail back-to-back {w1 r1} still
         // drains the cell over idle cycles — the pause element exposes it
         // (the classical data-retention fault test).
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::new(DefectSite::Sg, BitLineSide::True);
         let op = OperatingPoint::nominal();
         let r_weak = 8e6; // well above the back-to-back border (~3.5 MΩ)
-        let engine = analyzer.engine_for(&defect, r_weak, &op).unwrap();
 
         let back_to_back = DetectionCondition::default_for(&defect, 1);
         assert!(
-            back_to_back.evaluate(&engine).unwrap(),
+            service
+                .detection_passes(&defect, r_weak, &back_to_back, &op)
+                .unwrap(),
             "8 MΩ Sg should survive {back_to_back}"
         );
 
@@ -414,21 +391,23 @@ mod tests {
             "{... w1 del del del del del del del del del del del del r1 ...}"
         );
         assert!(
-            !retention.evaluate(&engine).unwrap(),
+            !service
+                .detection_passes(&defect, r_weak, &retention, &op)
+                .unwrap(),
             "12 idle cycles must drain the 8 MΩ Sg cell"
         );
     }
 
     #[test]
     fn derive_detection_counts_settling_writes() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
         // Tiny resistance: one write settles, condition stays short.
-        let cond = derive_detection(&analyzer, &defect, 1e3, &op, 6).unwrap();
+        let cond = derive_detection(&service, &defect, 1e3, &op, 6).unwrap();
         assert!(cond.len() <= 4, "{cond}");
         // Large resistance: more settling writes are needed.
-        let cond_slow = derive_detection(&analyzer, &defect, 3e5, &op, 6).unwrap();
+        let cond_slow = derive_detection(&service, &defect, 3e5, &op, 6).unwrap();
         assert!(
             cond_slow.len() >= cond.len(),
             "stressed condition should not shrink: {cond_slow} vs {cond}"

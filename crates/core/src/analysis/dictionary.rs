@@ -10,7 +10,7 @@
 //! functional-simulation speed, reproducing multi-operation effects like
 //! "two `w1`s are needed before the `w0` under test".
 
-use super::Analyzer;
+use crate::eval::EvalService;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::behavior::CellBehavior;
@@ -79,14 +79,17 @@ impl FaultDictionary {
 }
 
 /// Builds a dictionary for `defect` at `resistance` under `op_point`,
-/// sampling each update map at `samples` cell voltages.
+/// sampling each update map at `samples` cell voltages. Every sample is a
+/// cacheable single-operation request, so rebuilding a dictionary (or
+/// overlapping its samples with another workload) on the same
+/// [`EvalService`] replays from the cache.
 ///
 /// # Errors
 ///
 /// * [`CoreError::BadRequest`] if `samples < 2`.
 /// * Simulation failures.
 pub fn build_dictionary(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     resistance: f64,
     op_point: &OperatingPoint,
@@ -97,15 +100,13 @@ pub fn build_dictionary(
             "dictionary needs at least two samples".into(),
         ));
     }
-    let engine = analyzer.engine_for(defect, resistance, op_point)?;
     let vcs = linspace(0.0, op_point.vdd, samples)?;
     let side = defect.side();
 
     let sample_map = |seq: &[Operation]| -> Result<Curve, CoreError> {
         let mut out = Vec::with_capacity(vcs.len());
         for &vc in &vcs {
-            let trace = engine.run(seq, vc)?;
-            out.push(trace.vc_ends()[0]);
+            out.push(service.end_voltage_of(defect, resistance, op_point, seq, vc)?);
         }
         Curve::new(vcs.clone(), out).map_err(CoreError::from)
     };
@@ -114,7 +115,7 @@ pub fn build_dictionary(
     let w_low = sample_map(&[dso_dram::ops::physical_write(false, side)])?;
     let r_update = sample_map(&[Operation::R])?;
     let idle_update = sample_map(&[Operation::Nop])?;
-    let vsa = analyzer.vsa(defect, resistance, op_point)?;
+    let vsa = service.vsa(defect, resistance, op_point)?;
 
     Ok(FaultDictionary {
         side,
@@ -178,20 +179,18 @@ impl CellBehavior for DefectiveCell {
 #[cfg(test)]
 mod tests {
     use super::super::test_support::fast_design;
+    use super::super::Analyzer;
     use super::*;
     use dso_defects::BitLineSide;
 
+    fn fast_service() -> EvalService {
+        EvalService::new(Analyzer::new(fast_design()))
+    }
+
     fn dictionary(resistance: f64) -> FaultDictionary {
-        let analyzer = Analyzer::new(fast_design());
+        let service = fast_service();
         let defect = Defect::cell_open(BitLineSide::True);
-        build_dictionary(
-            &analyzer,
-            &defect,
-            resistance,
-            &OperatingPoint::nominal(),
-            5,
-        )
-        .unwrap()
+        build_dictionary(&service, &defect, resistance, &OperatingPoint::nominal(), 5).unwrap()
     }
 
     #[test]
@@ -236,10 +235,9 @@ mod tests {
 
     #[test]
     fn comp_side_inverts_logic() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = fast_service();
         let defect = Defect::cell_open(BitLineSide::Comp);
-        let dict =
-            build_dictionary(&analyzer, &defect, 1e3, &OperatingPoint::nominal(), 5).unwrap();
+        let dict = build_dictionary(&service, &defect, 1e3, &OperatingPoint::nominal(), 5).unwrap();
         let mut cell = DefectiveCell::new(dict, 0.0);
         // Physical 0 on the comp side is logic 1.
         assert!(cell.read());
@@ -254,8 +252,8 @@ mod tests {
 
     #[test]
     fn sample_count_validated() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = fast_service();
         let defect = Defect::cell_open(BitLineSide::True);
-        assert!(build_dictionary(&analyzer, &defect, 1e3, &OperatingPoint::nominal(), 1).is_err());
+        assert!(build_dictionary(&service, &defect, 1e3, &OperatingPoint::nominal(), 1).is_err());
     }
 }

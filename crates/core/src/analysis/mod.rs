@@ -1,26 +1,31 @@
 //! Fault analysis (Section 3 of the paper).
 //!
 //! The central object is the [`Analyzer`], which owns the column design and
-//! spins up defect-injected operation engines on demand. On top of it:
+//! spins up defect-injected operation engines on demand. All transient
+//! measurements flow through the [`crate::eval::EvalService`] built around
+//! an analyzer — the analyzer itself only exposes the crate-internal
+//! primitives the service executes. On top of it:
 //!
 //! * [`planes`] — result planes for `w0`/`w1`/`r` (Figures 2 and 6) and the
 //!   sense-amplifier threshold curve `Vsa(R)`.
 //! * [`border`] — border-resistance extraction.
 //! * [`detection`] — detection conditions and their evaluation.
 //! * [`dictionary`] — electrically calibrated behavioral cell models.
+//! * [`shmoo`] — service-backed shmoo adapters that reuse campaign points.
 
 pub mod border;
 pub mod detection;
 pub mod dictionary;
 pub mod planes;
+pub mod shmoo;
 pub mod sweep;
 
-pub use border::{find_border, BorderResistance};
+pub use border::{find_border, refine_border_from_planes, BorderResistance};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
 pub use planes::{
-    plane_campaign, plane_campaign_with, result_planes, result_planes_with, PlaneCampaign,
-    ReadPlane, ResultPlanes, WritePlane,
+    plane_campaign, plane_campaign_in, plane_campaign_with, result_planes, result_planes_in,
+    result_planes_with, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane,
 };
 pub use sweep::{CampaignFaults, Confidence, PointStatus, SweepPoint, SweepReport};
 
@@ -31,8 +36,11 @@ use dso_dram::ops::{physical_write, OpTrace, Operation, OperationEngine};
 use dso_num::chaos::FaultPlan;
 use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
 
-/// Analysis front end: builds defect-injected engines and runs the
-/// elementary measurements every higher-level analysis is made of.
+/// Analysis front end: owns the column design and recovery policy, builds
+/// defect-injected engines, and implements the elementary measurements the
+/// [`crate::eval::EvalService`] executes. Analysis layers never call the
+/// measurement primitives directly — they submit requests to the service,
+/// which memoizes and batches them.
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     design: ColumnDesign,
@@ -67,24 +75,10 @@ impl Analyzer {
     }
 
     /// Builds an operation engine with `defect` injected at `resistance`,
-    /// targeting the defect's bit-line side, at the given operating point.
-    ///
-    /// # Errors
-    ///
-    /// Propagates design/netlist/operating-point failures.
-    pub fn engine_for(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-    ) -> Result<OperationEngine, CoreError> {
-        self.engine_with(defect, resistance, op_point, None)
-    }
-
-    /// [`Analyzer::engine_for`] with an optional fault plan armed on the
-    /// engine (each run clones the plan, so solve ordinals restart per
-    /// run).
-    fn engine_with(
+    /// targeting the defect's bit-line side, at the given operating point,
+    /// with an optional fault plan armed on the engine (each run clones
+    /// the plan, so solve ordinals restart per run).
+    pub(crate) fn engine_with(
         &self,
         defect: &Defect,
         resistance: f64,
@@ -102,8 +96,9 @@ impl Analyzer {
     }
 
     /// Runs `n_ops` consecutive physical writes of `high` and returns the
-    /// cell voltage after each — the settlement curves of the write
-    /// planes.
+    /// cell voltage after each — the settlement curves of the write planes
+    /// — together with the run's full [`OpTrace`] so campaign layers can
+    /// chain warm-start seeds across a sweep.
     ///
     /// The trajectories mirror the detection-condition flow
     /// `{... w1 w1 w0 r0 ...}` (which starts from a discharged cell):
@@ -120,53 +115,8 @@ impl Analyzer {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn settle_sequence(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        high: bool,
-        n_ops: usize,
-    ) -> Result<Vec<f64>, CoreError> {
-        let mut stats = RecoveryStats::default();
-        self.settle_sequence_instrumented(
-            defect, resistance, op_point, high, n_ops, None, &mut stats,
-        )
-    }
-
-    /// [`Analyzer::settle_sequence`] with an optional fault plan armed on
-    /// the engine and recovery counters accumulated into `stats`. Failures
-    /// are wrapped with campaign context ([`CoreError::AtPoint`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + stats
-    pub fn settle_sequence_instrumented(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        high: bool,
-        n_ops: usize,
-        faults: Option<&FaultPlan>,
-        stats: &mut RecoveryStats,
-    ) -> Result<Vec<f64>, CoreError> {
-        self.settle_trace(
-            defect, resistance, op_point, high, n_ops, faults, None, stats,
-        )
-        .map(|(vcs, _)| vcs)
-    }
-
-    /// [`Analyzer::settle_sequence_instrumented`], additionally accepting a
-    /// warm-start `seed` (the trace of the same settle sequence at a
-    /// neighboring resistance) and returning the run's full [`OpTrace`] so
-    /// callers can chain seeds across a sweep.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
+    /// Propagates simulation failures, wrapped with campaign context
+    /// ([`CoreError::AtPoint`]).
     #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + seed + stats
     pub(crate) fn settle_trace(
         &self,
@@ -202,91 +152,6 @@ impl Analyzer {
         Ok((trace.vc_ends()[skip..].to_vec(), trace))
     }
 
-    /// Runs `n_ops` consecutive reads starting from `vc_init` and returns
-    /// `(vc after each read, accessed-bit-line-sensed-high after each
-    /// read)`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn read_sequence(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        vc_init: f64,
-        n_ops: usize,
-    ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
-        let mut stats = RecoveryStats::default();
-        self.read_sequence_instrumented(
-            defect, resistance, op_point, vc_init, n_ops, None, &mut stats,
-        )
-    }
-
-    /// [`Analyzer::read_sequence`] with an optional fault plan armed on
-    /// the engine and recovery counters accumulated into `stats`. Failures
-    /// are wrapped with campaign context ([`CoreError::AtPoint`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + stats
-    pub fn read_sequence_instrumented(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        vc_init: f64,
-        n_ops: usize,
-        faults: Option<&FaultPlan>,
-        stats: &mut RecoveryStats,
-    ) -> Result<(Vec<f64>, Vec<bool>), CoreError> {
-        self.read_trace(
-            defect, resistance, op_point, vc_init, n_ops, faults, None, stats,
-        )
-        .map(|(vcs, highs, _)| (vcs, highs))
-    }
-
-    /// [`Analyzer::read_sequence_instrumented`], additionally accepting a
-    /// warm-start `seed` (the trace of the same read sequence at a
-    /// neighboring resistance) and returning the run's full [`OpTrace`] so
-    /// callers can chain seeds across a sweep.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    #[allow(clippy::too_many_arguments)] // campaign plumbing: faults + seed + stats
-    pub(crate) fn read_trace(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        vc_init: f64,
-        n_ops: usize,
-        faults: Option<&FaultPlan>,
-        seed: Option<&OpTrace>,
-        stats: &mut RecoveryStats,
-    ) -> Result<(Vec<f64>, Vec<bool>, OpTrace), CoreError> {
-        if n_ops == 0 {
-            return Err(CoreError::BadRequest("n_ops must be positive".into()));
-        }
-        let engine = self.engine_with(defect, resistance, op_point, faults)?;
-        let trace = engine
-            .run_seeded(&vec![Operation::R; n_ops], vc_init, seed)
-            .map_err(|e| CoreError::at_point("read", resistance, Some(vc_init), e.into()))?;
-        stats.merge(trace.recovery());
-        let highs = trace
-            .cycles()
-            .iter()
-            .map(|c| {
-                c.read
-                    .map(|r| r.accessed_high(defect.side()))
-                    .ok_or_else(|| CoreError::BadRequest("read cycle produced no outcome".into()))
-            })
-            .collect::<Result<Vec<bool>, CoreError>>()?;
-        Ok((trace.vc_ends(), highs, trace))
-    }
-
     /// The cell voltage at the *end of the write pulse* (word-line
     /// closing) of a single physical write of `high`, starting from the
     /// opposite rail.
@@ -300,20 +165,23 @@ impl Analyzer {
     /// # Errors
     ///
     /// Propagates simulation failures.
-    pub fn write_end_voltage(
+    pub(crate) fn write_end_voltage(
         &self,
         defect: &Defect,
         resistance: f64,
         op_point: &OperatingPoint,
         high: bool,
+        faults: Option<&FaultPlan>,
+        stats: &mut RecoveryStats,
     ) -> Result<f64, CoreError> {
-        let engine = self.engine_for(defect, resistance, op_point)?;
+        let engine = self.engine_with(defect, resistance, op_point, faults)?;
         let op = physical_write(high, defect.side());
         let vc_init = if high { 0.0 } else { op_point.vdd };
         let operation = if high { "w1 probe" } else { "w0 probe" };
         let trace = engine
             .run(&[op], vc_init)
             .map_err(|e| CoreError::at_point(operation, resistance, Some(vc_init), e.into()))?;
+        stats.merge(trace.recovery());
         let schedule = dso_dram::timing::CycleSchedule::new(op_point.duty)?;
         let t_wl_off = schedule.wl_off * op_point.tcyc;
         let storage = dso_dram::column::nodes::cap_top(defect.side());
@@ -326,7 +194,11 @@ impl Analyzer {
 
     /// The sense-amplifier threshold voltage `Vsa`: the initial cell
     /// voltage above which a read senses the accessed bit line high. Found
-    /// by bisection on single-read outcomes.
+    /// by bisection on single-read outcomes; with `warm_probes` each
+    /// probe's transient is seeded from the previous probe's trace (same
+    /// resistance, same time grid, only the initial cell voltage differs —
+    /// the chain is local to this one bisection, so it never couples sweep
+    /// points).
     ///
     /// Returns `0.0` when even a fully discharged cell reads high (the
     /// paper's `Vsa → GND` limit for large opens) and `vdd` when even a
@@ -334,46 +206,9 @@ impl Analyzer {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn vsa(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-    ) -> Result<f64, CoreError> {
-        let mut stats = RecoveryStats::default();
-        self.vsa_instrumented(defect, resistance, op_point, None, &mut stats)
-    }
-
-    /// [`Analyzer::vsa`] with an optional fault plan armed on the engine
-    /// and recovery counters accumulated into `stats` across all bisection
-    /// runs. Failures are wrapped with campaign context
+    /// Propagates simulation failures, wrapped with campaign context
     /// ([`CoreError::AtPoint`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn vsa_instrumented(
-        &self,
-        defect: &Defect,
-        resistance: f64,
-        op_point: &OperatingPoint,
-        faults: Option<&FaultPlan>,
-        stats: &mut RecoveryStats,
-    ) -> Result<f64, CoreError> {
-        self.vsa_probed(defect, resistance, op_point, faults, false, stats)
-    }
-
-    /// [`Analyzer::vsa_instrumented`] with optional warm-started bisection:
-    /// with `warm_probes` each probe's transient is seeded from the
-    /// previous probe's trace (same resistance, same time grid, only the
-    /// initial cell voltage differs). The chain is local to this one
-    /// bisection, so it never couples sweep points.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn vsa_probed(
+    pub(crate) fn vsa_probed(
         &self,
         defect: &Defect,
         resistance: f64,
@@ -415,16 +250,6 @@ impl Analyzer {
         }
         Ok(0.5 * (lo + hi))
     }
-
-    /// The mid-point voltage `Vmp`: the read threshold of the defect-free
-    /// cell (the defect site at its absent resistance).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation failures.
-    pub fn vmp(&self, defect: &Defect, op_point: &OperatingPoint) -> Result<f64, CoreError> {
-        self.vsa(defect, defect.absent_resistance(), op_point)
-    }
 }
 
 #[cfg(test)]
@@ -444,27 +269,26 @@ pub(crate) mod test_support {
 mod tests {
     use super::test_support::fast_design;
     use super::*;
+    use crate::eval::EvalService;
     use dso_defects::BitLineSide;
+
+    fn service() -> EvalService {
+        EvalService::new(Analyzer::new(fast_design()))
+    }
 
     #[test]
     fn settlement_moves_toward_rail() {
-        let analyzer = Analyzer::new(fast_design());
+        let svc = service();
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
         // Mild defect: writes settle essentially immediately.
-        let vcs = analyzer
-            .settle_sequence(&defect, 1e3, &op, false, 2)
-            .unwrap();
+        let vcs = svc.settle_sequence(&defect, 1e3, &op, false, 2).unwrap();
         assert!(vcs[0] < 0.3, "w0 with small Rop should succeed: {vcs:?}");
-        let w1 = analyzer
-            .settle_sequence(&defect, 1e3, &op, true, 2)
-            .unwrap();
+        let w1 = svc.settle_sequence(&defect, 1e3, &op, true, 2).unwrap();
         assert!(w1[0] > 1.5, "w1 with small Rop should charge: {w1:?}");
         // Severe defect: the w1 pre-charge is blocked, so the whole
         // detection flow freezes near GND.
-        let w1_blocked = analyzer
-            .settle_sequence(&defect, 5e7, &op, true, 2)
-            .unwrap();
+        let w1_blocked = svc.settle_sequence(&defect, 5e7, &op, true, 2).unwrap();
         assert!(
             w1_blocked[1] < 0.3,
             "w1 with 50 MΩ open should be blocked: {w1_blocked:?}"
@@ -473,9 +297,7 @@ mod tests {
         // residual than the healthy case — the failure mechanism of the
         // cell open.
         let healthy_w0 = vcs[0];
-        let marginal_w0 = analyzer
-            .settle_sequence(&defect, 2.5e6, &op, false, 1)
-            .unwrap()[0];
+        let marginal_w0 = svc.settle_sequence(&defect, 2.5e6, &op, false, 1).unwrap()[0];
         assert!(
             marginal_w0 > healthy_w0 + 0.2,
             "2.5 MΩ open should block the w0: {marginal_w0} vs {healthy_w0}"
@@ -484,31 +306,31 @@ mod tests {
 
     #[test]
     fn vsa_limits() {
-        let analyzer = Analyzer::new(fast_design());
+        let svc = service();
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
         // Healthy-ish cell: threshold strictly inside (0, vdd), near vdd/2.
-        let vsa = analyzer.vsa(&defect, 1e3, &op).unwrap();
+        let vsa = svc.vsa(&defect, 1e3, &op).unwrap();
         assert!(
             (0.5..1.9).contains(&vsa),
             "nominal Vsa should be near mid-rail, got {vsa}"
         );
         // Severed cell: everything reads 1 -> threshold collapses to GND.
-        let vsa_open = analyzer.vsa(&defect, 1e9, &op).unwrap();
+        let vsa_open = svc.vsa(&defect, 1e9, &op).unwrap();
         assert_eq!(vsa_open, 0.0);
         // Vmp uses the defect-free site.
-        let vmp = analyzer.vmp(&defect, &op).unwrap();
+        let vmp = svc.vmp(&defect, &op).unwrap();
         assert!((vmp - vsa).abs() < 0.3);
     }
 
     #[test]
     fn comp_side_symmetric_vsa() {
-        let analyzer = Analyzer::new(fast_design());
+        let svc = service();
         let op = OperatingPoint::nominal();
-        let vsa_t = analyzer
+        let vsa_t = svc
             .vsa(&Defect::cell_open(BitLineSide::True), 1e3, &op)
             .unwrap();
-        let vsa_c = analyzer
+        let vsa_c = svc
             .vsa(&Defect::cell_open(BitLineSide::Comp), 1e3, &op)
             .unwrap();
         assert!(
@@ -519,24 +341,22 @@ mod tests {
 
     #[test]
     fn read_sequence_reports_outcomes() {
-        let analyzer = Analyzer::new(fast_design());
+        let svc = service();
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
-        let (vcs, highs) = analyzer.read_sequence(&defect, 1e3, &op, 2.4, 2).unwrap();
+        let (vcs, highs) = svc.read_sequence(&defect, 1e3, &op, 2.4, 2).unwrap();
         assert_eq!(vcs.len(), 2);
         assert_eq!(highs, vec![true, true]);
-        let (_, lows) = analyzer.read_sequence(&defect, 1e3, &op, 0.0, 1).unwrap();
+        let (_, lows) = svc.read_sequence(&defect, 1e3, &op, 0.0, 1).unwrap();
         assert_eq!(lows, vec![false]);
     }
 
     #[test]
     fn zero_ops_rejected() {
-        let analyzer = Analyzer::new(fast_design());
+        let svc = service();
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
-        assert!(analyzer
-            .settle_sequence(&defect, 1e3, &op, true, 0)
-            .is_err());
-        assert!(analyzer.read_sequence(&defect, 1e3, &op, 0.0, 0).is_err());
+        assert!(svc.settle_sequence(&defect, 1e3, &op, true, 0).is_err());
+        assert!(svc.read_sequence(&defect, 1e3, &op, 0.0, 0).is_err());
     }
 }

@@ -14,6 +14,7 @@
 
 use super::sweep::{CampaignFaults, Confidence, PointStatus, SweepReport};
 use super::Analyzer;
+use crate::eval::{EvalService, SimRequest, TaskOutcome};
 use crate::exec::{self, CampaignConfig, CampaignPerfStats};
 use crate::CoreError;
 use dso_defects::Defect;
@@ -97,9 +98,10 @@ impl ResultPlanes {
     /// The first-operation curve is used because the detection condition
     /// applies exactly one `w0` after the settling `w1`s, and the
     /// settlement trajectories already start from the settled opposite
-    /// level (see [`Analyzer::settle_sequence`]); this makes the
-    /// intersection estimate directly comparable with the pass/fail
-    /// bisection of [`super::border::find_border`].
+    /// level (the `w0` settle sequence runs two unreported `w1` setup
+    /// writes first); this makes the intersection estimate directly
+    /// comparable with the pass/fail bisection of
+    /// [`super::border::find_border`].
     ///
     /// Returns `None` when the curves do not cross inside the sweep.
     ///
@@ -107,8 +109,6 @@ impl ResultPlanes {
     ///
     /// Propagates curve-intersection failures (disjoint domains cannot
     /// happen for planes built by [`result_planes`]).
-    ///
-    /// [`Analyzer::settle_sequence`]: super::Analyzer::settle_sequence
     pub fn border_from_intersection(&self) -> Result<Option<f64>, CoreError> {
         let curve = self.w0.after_ops(1)?;
         Ok(curve.first_intersection(&self.r.vsa)?)
@@ -222,15 +222,45 @@ struct PointOutcome {
     stats: RecoveryStats,
     warm_hits: usize,
     warm_misses: usize,
+    cache_hits: usize,
+    cache_misses: usize,
 }
 
-/// Runs the full measurement bundle of one sweep point, accumulating
-/// recovery counters into `stats`. Each seedable transient is warm-started
+/// Per-point tally of service-cache traffic.
+#[derive(Default)]
+struct CacheTally {
+    hits: usize,
+    misses: usize,
+}
+
+impl CacheTally {
+    /// Folds one evaluation's outcome into the tally and the point's
+    /// recovery stats, surfacing the value and warm-start trace.
+    fn take(
+        &mut self,
+        outcome: TaskOutcome,
+        stats: &mut RecoveryStats,
+    ) -> Result<(crate::eval::SimValue, Option<OpTrace>), CoreError> {
+        stats.merge(&outcome.stats);
+        if outcome.cached {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        outcome.value.map(|v| (v, outcome.trace))
+    }
+}
+
+/// Runs the full measurement bundle of one sweep point through the
+/// evaluation service, accumulating recovery counters into `stats` and
+/// cache traffic into `cache`. Each seedable transient is warm-started
 /// from the corresponding trace in `seeds` when present; the point's own
-/// converged traces are returned for the next point in the chunk.
+/// converged traces are returned for the next point in the chunk. Cache
+/// hits return no trace, so the seed chain restarts at the next computed
+/// point.
 #[allow(clippy::too_many_arguments)]
 fn measure_point(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     r: f64,
     op_point: &OperatingPoint,
@@ -239,50 +269,60 @@ fn measure_point(
     seeds: &WarmSeeds,
     warm_probes: bool,
     stats: &mut RecoveryStats,
+    cache: &mut CacheTally,
 ) -> Result<(PointData, WarmSeeds), CoreError> {
-    let (w0, w0_trace) = analyzer.settle_trace(
-        defect,
-        r,
-        op_point,
-        false,
-        n_ops,
-        faults,
-        seeds.w0.as_ref(),
+    let (w0_value, w0_trace) = cache.take(
+        service.eval_seeded(
+            &SimRequest::settle(defect, r, op_point, false, n_ops),
+            faults,
+            seeds.w0.as_ref(),
+            false,
+        ),
         stats,
     )?;
-    let (w1, w1_trace) = analyzer.settle_trace(
-        defect,
-        r,
-        op_point,
-        true,
-        n_ops,
-        faults,
-        seeds.w1.as_ref(),
+    let w0 = w0_value.into_series()?;
+    let (w1_value, w1_trace) = cache.take(
+        service.eval_seeded(
+            &SimRequest::settle(defect, r, op_point, true, n_ops),
+            faults,
+            seeds.w1.as_ref(),
+            false,
+        ),
         stats,
     )?;
-    let vsa = analyzer.vsa_probed(defect, r, op_point, faults, warm_probes, stats)?;
+    let w1 = w1_value.into_series()?;
+    let (vsa_value, _) = cache.take(
+        service.eval_seeded(
+            &SimRequest::vsa(defect, r, op_point),
+            faults,
+            None,
+            warm_probes,
+        ),
+        stats,
+    )?;
+    let vsa = vsa_value.scalar()?;
     let below_start = (vsa - READ_START_OFFSET).max(0.0);
     let above_start = (vsa + READ_START_OFFSET).min(op_point.vdd);
-    let (below, _, below_trace) = analyzer.read_trace(
-        defect,
-        r,
-        op_point,
-        below_start,
-        n_ops,
-        faults,
-        seeds.below.as_ref(),
+    let (below_value, below_trace) = cache.take(
+        service.eval_seeded(
+            &SimRequest::reads(defect, r, op_point, below_start, n_ops),
+            faults,
+            seeds.below.as_ref(),
+            false,
+        ),
         stats,
     )?;
-    let (above, _, above_trace) = analyzer.read_trace(
-        defect,
-        r,
-        op_point,
-        above_start,
-        n_ops,
-        faults,
-        seeds.above.as_ref(),
+    let (below, _) = below_value.into_outcomes()?;
+    let (above_value, above_trace) = cache.take(
+        service.eval_seeded(
+            &SimRequest::reads(defect, r, op_point, above_start, n_ops),
+            faults,
+            seeds.above.as_ref(),
+            false,
+        ),
         stats,
     )?;
+    let (above, _) = above_value.into_outcomes()?;
     Ok((
         PointData {
             w0,
@@ -292,10 +332,10 @@ fn measure_point(
             above,
         },
         WarmSeeds {
-            w0: Some(w0_trace),
-            w1: Some(w1_trace),
-            below: Some(below_trace),
-            above: Some(above_trace),
+            w0: w0_trace,
+            w1: w1_trace,
+            below: below_trace,
+            above: above_trace,
         },
     ))
 }
@@ -306,7 +346,7 @@ fn measure_point(
 /// before the point runs, keeping chaos injection deterministic under any
 /// scheduling.
 fn run_grid(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     op_point: &OperatingPoint,
     r_values: &[f64],
@@ -322,9 +362,10 @@ fn run_grid(
                 span.note("r_ohm", r_values[i]);
                 let t0 = std::time::Instant::now();
                 let mut stats = RecoveryStats::default();
+                let mut cache = CacheTally::default();
                 let warm_hits = seeds.available();
                 let outcome = measure_point(
-                    analyzer,
+                    service,
                     defect,
                     r_values[i],
                     op_point,
@@ -333,6 +374,7 @@ fn run_grid(
                     &seeds,
                     config.warm_start,
                     &mut stats,
+                    &mut cache,
                 );
                 let (data, next_seeds) = match outcome {
                     Ok((point, next)) if config.warm_start => (Ok(point), next),
@@ -354,6 +396,8 @@ fn run_grid(
                     stats,
                     warm_hits,
                     warm_misses: SEEDABLE_TRANSIENTS - warm_hits,
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
                 }
             })
             .collect()
@@ -367,6 +411,8 @@ fn tally(perf: &mut CampaignPerfStats, outcome: &PointOutcome) {
     perf.warm_misses += outcome.warm_misses;
     perf.newton_iters += outcome.stats.newton_iters;
     perf.solve_attempts += outcome.stats.solve_attempts;
+    perf.cache_hits += outcome.cache_hits;
+    perf.cache_misses += outcome.cache_misses;
 }
 
 fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
@@ -388,7 +434,7 @@ fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
 
 /// Builds the three planes from complete per-point data.
 fn assemble_planes(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     op_point: &OperatingPoint,
     r_values: &[f64],
@@ -423,7 +469,7 @@ fn assemble_planes(
             from_below: curves_of(|p| &p.below)?,
             from_above: curves_of(|p| &p.above)?,
         },
-        vmp: analyzer.vmp(defect, op_point)?,
+        vmp: service.vmp(defect, op_point)?,
         op_point: *op_point,
     })
 }
@@ -462,6 +508,10 @@ pub fn result_planes(
 /// [`result_planes`] with an explicit execution policy, additionally
 /// returning the campaign's [`CampaignPerfStats`].
 ///
+/// Builds a fresh [`EvalService`] for the run, so repeated calls measure
+/// cold simulation work; use [`result_planes_in`] to share a service (and
+/// its cache) across workloads.
+///
 /// Results are bit-identical for every `config.threads` value (given the
 /// same chunk size and warm-start setting); see [`crate::exec`] for the
 /// determinism contract. On failure the whole grid is still evaluated, and
@@ -478,12 +528,32 @@ pub fn result_planes_with(
     n_ops: usize,
     config: &CampaignConfig,
 ) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
+    let service = EvalService::new(analyzer.clone());
+    result_planes_in(&service, defect, op_point, r_values, n_ops, config)
+}
+
+/// [`result_planes_with`] running on a caller-supplied [`EvalService`]:
+/// grid points already present in the service's cache are replayed
+/// instead of re-simulated, and every computed point is stored for later
+/// workloads (border refinement, shmoo grids, repeat campaigns).
+///
+/// # Errors
+///
+/// As [`result_planes`].
+pub fn result_planes_in(
+    service: &EvalService,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    config: &CampaignConfig,
+) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
     validate_sweep(r_values, n_ops)?;
     let obs_env = dso_obs::init_from_env();
     let span = dso_obs::span("campaign.result_planes");
     span.note("points", r_values.len() as f64);
     let clean = CampaignFaults::new();
-    let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, &clean, config);
+    let outcomes = run_grid(service, defect, op_point, r_values, n_ops, &clean, config);
     let mut perf = CampaignPerfStats::default();
     for outcome in &outcomes {
         tally(&mut perf, outcome);
@@ -496,7 +566,7 @@ pub fn result_planes_with(
     for outcome in outcomes {
         data.push(outcome.data?);
     }
-    let planes = assemble_planes(analyzer, defect, op_point, r_values, n_ops, &data)?;
+    let planes = assemble_planes(service, defect, op_point, r_values, n_ops, &data)?;
     Ok((planes, perf))
 }
 
@@ -610,6 +680,9 @@ pub fn plane_campaign(
 /// chunk decomposition, warm-seed chains, and fault-plan resolution are
 /// all keyed on sweep index, never on scheduling (see [`crate::exec`]).
 ///
+/// Builds a fresh [`EvalService`] for the run; use [`plane_campaign_in`]
+/// to share a service (and its cache) across workloads.
+///
 /// # Errors
 ///
 /// As [`plane_campaign`].
@@ -622,11 +695,35 @@ pub fn plane_campaign_with(
     faults: &CampaignFaults,
     config: &CampaignConfig,
 ) -> Result<PlaneCampaign, CoreError> {
+    let service = EvalService::new(analyzer.clone());
+    plane_campaign_in(&service, defect, op_point, r_values, n_ops, faults, config)
+}
+
+/// [`plane_campaign_with`] running on a caller-supplied [`EvalService`]:
+/// grid points already present in the service's cache are replayed —
+/// values *and* recovery accounting — so a cached re-run reproduces the
+/// cold campaign bit-for-bit (planes, report, confidence, gaps).
+/// Fault-armed points bypass the cache in both directions, so failures
+/// are never stored and fault runs never consume clean cached values.
+///
+/// # Errors
+///
+/// As [`plane_campaign`].
+#[allow(clippy::too_many_arguments)] // campaign plumbing: faults + config
+pub fn plane_campaign_in(
+    service: &EvalService,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    faults: &CampaignFaults,
+    config: &CampaignConfig,
+) -> Result<PlaneCampaign, CoreError> {
     validate_sweep(r_values, n_ops)?;
     let obs_env = dso_obs::init_from_env();
     let span = dso_obs::span("campaign.planes");
     span.note("points", r_values.len() as f64);
-    let outcomes = run_grid(analyzer, defect, op_point, r_values, n_ops, faults, config);
+    let outcomes = run_grid(service, defect, op_point, r_values, n_ops, faults, config);
     let defect_name = defect.to_string();
     let mut perf = CampaignPerfStats::default();
     let mut report = SweepReport::new();
@@ -731,7 +828,7 @@ pub fn plane_campaign_with(
         .into_iter()
         .map(|d| d.expect("every gap was interpolated"))
         .collect();
-    let planes = assemble_planes(analyzer, defect, op_point, r_values, n_ops, &complete)?;
+    let planes = assemble_planes(service, defect, op_point, r_values, n_ops, &complete)?;
     // Confidence counts gap *intervals*: adjacent failed points merge into
     // one interpolated span, which is what border extraction cares about.
     let confidence = if gap_brackets.is_empty() {

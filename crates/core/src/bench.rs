@@ -3,8 +3,9 @@
 //! The workspace must build without a registry, so this is a small
 //! hand-rolled alternative to criterion: median-of-k wall-clock timing
 //! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
-//! `{name, threads, wall_ms, points, newton_iters}` — enough for CI to
-//! trend campaign throughput and for the bench example to assert
+//! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
+//! dedup_waits}` — enough for CI to trend campaign throughput, the
+//! evaluation-cache payoff, and for the bench example to assert
 //! serial/parallel equivalence.
 
 use std::time::Instant;
@@ -22,6 +23,11 @@ pub struct BenchRecord {
     pub points: usize,
     /// Total Newton iterations the campaign spent.
     pub newton_iters: usize,
+    /// Fraction of simulation requests answered by the evaluation cache
+    /// (`0.0` for a cold run on a fresh service).
+    pub cache_hit_rate: f64,
+    /// Requests that blocked on an identical in-flight computation.
+    pub dedup_waits: usize,
 }
 
 /// Runs `f` `repeats` times (at least once) and returns the median
@@ -70,12 +76,15 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \"newton_iters\": {}}}",
+            "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \
+             \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"dedup_waits\": {}}}",
             escape_json(&r.name),
             r.threads,
             r.wall_ms,
             r.points,
-            r.newton_iters
+            r.newton_iters,
+            r.cache_hit_rate,
+            r.dedup_waits
         ));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -221,6 +230,8 @@ mod tests {
                 wall_ms: 12.3456,
                 points: 270,
                 newton_iters: 9000,
+                cache_hit_rate: 0.0,
+                dedup_waits: 0,
             },
             BenchRecord {
                 name: "quote\"tab\t".into(),
@@ -228,6 +239,8 @@ mod tests {
                 wall_ms: 4.0,
                 points: 270,
                 newton_iters: 9000,
+                cache_hit_rate: 0.9876,
+                dedup_waits: 3,
             },
         ];
         let json = to_json(&records);
@@ -235,8 +248,10 @@ mod tests {
         assert!(json.ends_with("]\n"));
         assert!(json.contains(
             "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
-             \"points\": 270, \"newton_iters\": 9000}"
+             \"points\": 270, \"newton_iters\": 9000, \"cache_hit_rate\": 0.000, \
+             \"dedup_waits\": 0}"
         ));
+        assert!(json.contains("\"cache_hit_rate\": 0.988, \"dedup_waits\": 3"));
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
         assert_eq!(json.matches("},\n").count(), 1);

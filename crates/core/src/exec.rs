@@ -69,20 +69,38 @@ impl CampaignConfig {
         }
     }
 
-    /// Reads the thread count from the `DSO_THREADS` environment variable,
-    /// falling back to [`std::thread::available_parallelism`].
+    /// Reads the thread count from the `DSO_THREADS` environment variable
+    /// (falling back to [`std::thread::available_parallelism`]) and the
+    /// chunk size from `DSO_CHUNK` (falling back to [`DEFAULT_CHUNK`]).
+    ///
+    /// Invalid or zero values never panic and never silently misconfigure
+    /// the campaign: the offending variable falls back to its default and a
+    /// single warning is printed to stderr (once per process, not once per
+    /// campaign).
     pub fn from_env() -> Self {
-        let threads = std::env::var("DSO_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let threads = match parse_setting(std::env::var("DSO_THREADS").ok().as_deref()) {
+            Ok(n) => n,
+            Err(raw) => {
+                warn_once_threads(&raw);
+                None
+            }
+        }
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let chunk = match parse_setting(std::env::var("DSO_CHUNK").ok().as_deref()) {
+            Ok(n) => n,
+            Err(raw) => {
+                warn_once_chunk(&raw);
+                None
+            }
+        }
+        .unwrap_or(DEFAULT_CHUNK);
         CampaignConfig {
             threads,
+            chunk,
             ..CampaignConfig::serial()
         }
     }
@@ -98,6 +116,45 @@ impl CampaignConfig {
         self.warm_start = enabled;
         self
     }
+}
+
+/// Parses a positive-integer execution setting from an environment
+/// variable's raw value.
+///
+/// Returns `Ok(None)` when the variable is unset or empty (use the
+/// default silently), `Ok(Some(n))` for a valid positive integer, and
+/// `Err(raw)` for anything else — including `0`, which would otherwise be
+/// clamped into a configuration the user did not ask for.
+fn parse_setting(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(raw.to_string()),
+    }
+}
+
+fn warn_once_threads(raw: &str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: ignoring invalid DSO_THREADS={raw:?} (want a positive integer); \
+             using available parallelism"
+        );
+    });
+}
+
+fn warn_once_chunk(raw: &str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: ignoring invalid DSO_CHUNK={raw:?} (want a positive integer); \
+             using the default chunk size of {DEFAULT_CHUNK}"
+        );
+    });
 }
 
 /// `RecoveryStats`-style tally of campaign execution performance: how many
@@ -116,6 +173,11 @@ pub struct CampaignPerfStats {
     pub newton_iters: usize,
     /// Total Newton solves attempted.
     pub solve_attempts: usize,
+    /// Simulation requests answered from the [`crate::eval::EvalService`]
+    /// memo cache (values and recovery accounting replayed, no solve run).
+    pub cache_hits: usize,
+    /// Simulation requests the evaluation service had to compute.
+    pub cache_misses: usize,
 }
 
 impl CampaignPerfStats {
@@ -129,6 +191,8 @@ impl CampaignPerfStats {
         dso_obs::counter!("campaign.warm_misses").add(self.warm_misses as u64);
         dso_obs::counter!("campaign.newton_iters").add(self.newton_iters as u64);
         dso_obs::counter!("campaign.solve_attempts").add(self.solve_attempts as u64);
+        dso_obs::counter!("campaign.cache_hits").add(self.cache_hits as u64);
+        dso_obs::counter!("campaign.cache_misses").add(self.cache_misses as u64);
     }
 
     /// Accumulates another tally into this one.
@@ -138,6 +202,8 @@ impl CampaignPerfStats {
         self.warm_misses += other.warm_misses;
         self.newton_iters += other.newton_iters;
         self.solve_attempts += other.solve_attempts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Fraction of seedable transients that ran warm (0 when none ran).
@@ -149,17 +215,32 @@ impl CampaignPerfStats {
             self.warm_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of simulation requests answered from the memo cache
+    /// (0 when the campaign issued none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CampaignPerfStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} point(s), warm {}/{} ({:.0}%), {} Newton iteration(s) over {} solve(s)",
+            "{} point(s), warm {}/{} ({:.0}%), cached {}/{} ({:.0}%), \
+             {} Newton iteration(s) over {} solve(s)",
             self.points,
             self.warm_hits,
             self.warm_hits + self.warm_misses,
             100.0 * self.warm_hit_rate(),
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            100.0 * self.cache_hit_rate(),
             self.newton_iters,
             self.solve_attempts
         )
@@ -379,6 +460,8 @@ mod tests {
             warm_misses: 1,
             newton_iters: 100,
             solve_attempts: 40,
+            cache_hits: 2,
+            cache_misses: 5,
         };
         let b = CampaignPerfStats {
             points: 1,
@@ -386,6 +469,8 @@ mod tests {
             warm_misses: 3,
             newton_iters: 50,
             solve_attempts: 20,
+            cache_hits: 1,
+            cache_misses: 4,
         };
         a.merge(&b);
         assert_eq!(a.points, 3);
@@ -393,10 +478,41 @@ mod tests {
         assert_eq!(a.warm_misses, 4);
         assert_eq!(a.newton_iters, 150);
         assert_eq!(a.solve_attempts, 60);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 9);
         assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.cache_hit_rate() - 0.25).abs() < 1e-12);
         assert_eq!(CampaignPerfStats::default().warm_hit_rate(), 0.0);
+        assert_eq!(CampaignPerfStats::default().cache_hit_rate(), 0.0);
         let text = a.to_string();
         assert!(text.contains("3 point(s)"), "{text}");
         assert!(text.contains("warm 4/8"), "{text}");
+        assert!(text.contains("cached 3/12"), "{text}");
+    }
+
+    #[test]
+    fn parse_setting_accepts_positive_integers() {
+        assert_eq!(parse_setting(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_setting(Some("  12 ")), Ok(Some(12)));
+        assert_eq!(parse_setting(Some("1")), Ok(Some(1)));
+    }
+
+    #[test]
+    fn parse_setting_unset_or_empty_uses_default_silently() {
+        assert_eq!(parse_setting(None), Ok(None));
+        assert_eq!(parse_setting(Some("")), Ok(None));
+        assert_eq!(parse_setting(Some("   ")), Ok(None));
+    }
+
+    #[test]
+    fn parse_setting_rejects_zero_and_garbage() {
+        assert_eq!(parse_setting(Some("0")), Err("0".to_string()));
+        assert_eq!(parse_setting(Some("-3")), Err("-3".to_string()));
+        assert_eq!(parse_setting(Some("four")), Err("four".to_string()));
+        assert_eq!(parse_setting(Some("4.5")), Err("4.5".to_string()));
+        assert_eq!(
+            parse_setting(Some("18446744073709551616")), // usize::MAX + 1
+            Err("18446744073709551616".to_string())
+        );
     }
 }

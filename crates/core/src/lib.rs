@@ -51,8 +51,10 @@
 pub mod analysis;
 pub mod bench;
 pub mod error;
+pub mod eval;
 pub mod exec;
 pub mod stress;
 
 pub use error::CoreError;
+pub use eval::{CacheStats, EvalService, SimRequest, SimTask, SimValue};
 pub use exec::{CampaignConfig, CampaignPerfStats};

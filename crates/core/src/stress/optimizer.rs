@@ -5,6 +5,7 @@ use super::types::{Direction, StressKind};
 use crate::analysis::{
     derive_detection, find_border, Analyzer, BorderResistance, Confidence, DetectionCondition,
 };
+use crate::eval::EvalService;
 use crate::exec::{self, CampaignConfig};
 use crate::CoreError;
 use dso_defects::Defect;
@@ -156,9 +157,13 @@ impl fmt::Display for StressReport {
 }
 
 /// Optimizes stress combinations for defects of a column design.
-#[derive(Debug, Clone)]
+///
+/// All simulations route through one [`EvalService`], so repeated probes
+/// and border re-measurements at coinciding operating points (e.g. the
+/// SC-retry path re-deciding every stress) replay from the memo cache.
+#[derive(Debug)]
 pub struct StressOptimizer {
-    analyzer: Analyzer,
+    service: EvalService,
     config: OptimizerConfig,
 }
 
@@ -166,7 +171,7 @@ impl StressOptimizer {
     /// Creates an optimizer with the default configuration.
     pub fn new(design: ColumnDesign) -> Self {
         StressOptimizer {
-            analyzer: Analyzer::new(design),
+            service: EvalService::new(Analyzer::new(design)),
             config: OptimizerConfig::default(),
         }
     }
@@ -179,7 +184,12 @@ impl StressOptimizer {
 
     /// The analyzer in use.
     pub fn analyzer(&self) -> &Analyzer {
-        &self.analyzer
+        self.service.analyzer()
+    }
+
+    /// The evaluation service (and memo cache) in use.
+    pub fn service(&self) -> &EvalService {
+        &self.service
     }
 
     /// The configuration in use.
@@ -207,30 +217,20 @@ impl StressOptimizer {
     ) -> Result<StressReport, CoreError> {
         let _span = dso_obs::span("optimizer.optimize");
         dso_obs::counter!("optimizer.runs").incr();
-        let analyzer = &self.analyzer;
+        let service = &self.service;
         // 1. Nominal analysis.
         let mut detection = DetectionCondition::default_for(defect, 1);
-        let coarse_border = find_border(
-            analyzer,
-            defect,
-            &detection,
-            nominal,
-            self.config.border_tol,
-        )?;
+        let coarse_border =
+            find_border(service, defect, &detection, nominal, self.config.border_tol)?;
         detection = derive_detection(
-            analyzer,
+            service,
             defect,
             coarse_border.resistance,
             nominal,
             self.config.max_settling_writes,
         )?;
-        let nominal_border = find_border(
-            analyzer,
-            defect,
-            &detection,
-            nominal,
-            self.config.border_tol,
-        )?;
+        let nominal_border =
+            find_border(service, defect, &detection, nominal, self.config.border_tol)?;
         let nominal_report = BorderReport {
             border: nominal_border,
             detection: detection.clone(),
@@ -306,13 +306,21 @@ impl StressOptimizer {
         r_ref: f64,
         force_border_comparison: bool,
     ) -> Result<Vec<StressDecision>, CoreError> {
-        let analyzer = &self.analyzer;
+        let service = &self.service;
         let mut base = *nominal;
         let mut decisions = Vec::with_capacity(self.config.stresses.len());
         for &kind in &self.config.stresses {
             let _span = dso_obs::span("optimizer.decide_stress");
             dso_obs::counter!("optimizer.stress_probes").incr();
-            let probes = probe_stress(analyzer, defect, detection, &base, kind, r_ref)?;
+            let probes = probe_stress(
+                service,
+                defect,
+                detection,
+                &base,
+                kind,
+                r_ref,
+                &self.config.exec,
+            )?;
             let trend_direction = if force_border_comparison {
                 None
             } else {
@@ -348,7 +356,7 @@ impl StressOptimizer {
         nominal: &OperatingPoint,
         probes: super::probe::StressProbes,
     ) -> Result<StressDecision, CoreError> {
-        let analyzer = &self.analyzer;
+        let service = &self.service;
         let kind = probes.kind;
         // Route the candidate borders through the campaign executor: each
         // candidate is an independent bisection, so chunk size 1 maximizes
@@ -360,7 +368,7 @@ impl StressOptimizer {
                 .map(|i| {
                     let value = probes.values[i];
                     let border = kind.apply_to(nominal, value).and_then(|op| {
-                        find_border(analyzer, defect, detection, &op, self.config.border_tol)
+                        find_border(service, defect, detection, &op, self.config.border_tol)
                     });
                     (value, border)
                 })
@@ -426,7 +434,7 @@ impl StressOptimizer {
         r_ref: f64,
         decisions: &[StressDecision],
     ) -> Result<(DetectionCondition, BorderResistance, OperatingPoint), CoreError> {
-        let analyzer = &self.analyzer;
+        let service = &self.service;
         let mut stressed_op = *nominal;
         for d in decisions {
             stressed_op = d.kind.apply_to(&stressed_op, d.chosen_value)?;
@@ -435,14 +443,14 @@ impl StressOptimizer {
         // border (start from the nominal border; the stressed border is
         // nearby in log space).
         let stressed_detection = derive_detection(
-            analyzer,
+            service,
             defect,
             r_ref,
             &stressed_op,
             self.config.max_settling_writes,
         )?;
         let stressed_border = find_border(
-            analyzer,
+            service,
             defect,
             &stressed_detection,
             &stressed_op,

@@ -16,7 +16,9 @@
 //! anything else is resolved by comparing border resistances.
 
 use super::types::{Direction, StressKind};
-use crate::analysis::{Analyzer, DetectionCondition};
+use crate::analysis::DetectionCondition;
+use crate::eval::{EvalService, SimRequest};
+use crate::exec::CampaignConfig;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
@@ -96,18 +98,23 @@ const PROBE_TOL: f64 = 0.02;
 /// Runs the write/read probes for `kind` at `{lo, nominal, hi}`.
 ///
 /// `r_ref` is the defect resistance at which to probe — typically the
-/// nominal border resistance, where sensitivity is maximal.
+/// nominal border resistance, where sensitivity is maximal. The write-end
+/// and `Vsa` measurements for every probed value are submitted to the
+/// [`EvalService`] as one batch (fanned out per `exec`), so independent
+/// probe points simulate concurrently and repeated probes replay from the
+/// cache.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn probe_stress(
-    analyzer: &Analyzer,
+    service: &EvalService,
     defect: &Defect,
     detection: &DetectionCondition,
     nominal: &OperatingPoint,
     kind: StressKind,
     r_ref: f64,
+    exec: &CampaignConfig,
 ) -> Result<StressProbes, CoreError> {
     let (lo, hi) = kind.spec_range();
     let nom = kind.value_in(nominal);
@@ -119,17 +126,31 @@ pub fn probe_stress(
     let expect_high = detection.expected_level();
     let target_rail = |op: &OperatingPoint| if critical_high { op.vdd } else { 0.0 };
 
-    let mut write_residuals = Vec::with_capacity(values.len());
-    let mut read_hardness = Vec::with_capacity(values.len());
+    // Two requests per probed value, interleaved [write-end, vsa]. The
+    // critical write is applied once from the opposite rail; the residual
+    // is taken at the end of the write pulse so that the probe judges the
+    // write operation itself (paper Sec. 4.1), not the retention behaviour
+    // of the rest of the cycle.
+    let mut ops = Vec::with_capacity(values.len());
+    let mut requests = Vec::with_capacity(2 * values.len());
     for &v in &values {
         let op = kind.apply_to(nominal, v)?;
-        // Critical write applied once from the opposite rail; the residual
-        // is taken at the end of the write pulse so that the probe judges
-        // the write operation itself (paper Sec. 4.1), not the retention
-        // behaviour of the rest of the cycle.
-        let vc = analyzer.write_end_voltage(defect, r_ref, &op, critical_high)?;
-        write_residuals.push((vc - target_rail(&op)).abs());
-        let vsa = analyzer.vsa(defect, r_ref, &op)?;
+        requests.push(SimRequest::write_end(defect, r_ref, &op, critical_high));
+        requests.push(SimRequest::vsa(defect, r_ref, &op));
+        ops.push(op);
+    }
+    // Chunk 1: each request is an independent point (no warm chains here),
+    // so the finest decomposition gives the best fan-out.
+    let mut results = service
+        .eval_batch(&requests, &exec.clone().with_chunk(1))
+        .into_iter();
+
+    let mut write_residuals = Vec::with_capacity(values.len());
+    let mut read_hardness = Vec::with_capacity(values.len());
+    for op in &ops {
+        let vc = results.next().expect("one result per request")?.scalar()?;
+        write_residuals.push((vc - target_rail(op)).abs());
+        let vsa = results.next().expect("one result per request")?.scalar()?;
         read_hardness.push(if expect_high { vsa } else { -vsa });
     }
 
@@ -168,6 +189,7 @@ pub fn combine_trends(write: Trend, read: Trend) -> Option<Direction> {
 mod tests {
     use super::*;
     use crate::analysis::test_support::fast_design;
+    use crate::analysis::Analyzer;
     use dso_defects::BitLineSide;
 
     #[test]
@@ -190,16 +212,17 @@ mod tests {
     fn timing_probe_finds_shorter_cycle_more_stressful() {
         // The paper's Figure 3: reducing tcyc weakens w0, leaves the sense
         // threshold alone.
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::cell_open(BitLineSide::True);
         let detection = DetectionCondition::default_for(&defect, 2);
         let probes = probe_stress(
-            &analyzer,
+            &service,
             &defect,
             &detection,
             &OperatingPoint::nominal(),
             StressKind::CycleTime,
             2e5,
+            &CampaignConfig::serial(),
         )
         .unwrap();
         assert_eq!(probes.values.len(), 3);
@@ -217,16 +240,17 @@ mod tests {
 
     #[test]
     fn probe_values_sorted_unique() {
-        let analyzer = Analyzer::new(fast_design());
+        let service = EvalService::new(Analyzer::new(fast_design()));
         let defect = Defect::cell_open(BitLineSide::True);
         let detection = DetectionCondition::default_for(&defect, 1);
         let probes = probe_stress(
-            &analyzer,
+            &service,
             &defect,
             &detection,
             &OperatingPoint::nominal(),
             StressKind::Temperature,
             2e5,
+            &CampaignConfig::serial(),
         )
         .unwrap();
         assert!(probes.values.windows(2).all(|w| w[0] < w[1]));

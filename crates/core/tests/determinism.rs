@@ -12,12 +12,12 @@ use dso_core::analysis::{
     plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
 };
 use dso_core::exec::{self, CampaignConfig};
+use dso_core::EvalService;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultKind, FaultPlan};
 use dso_num::interp::logspace;
 use dso_num::testing::TestRng;
-use dso_spice::recovery::RecoveryStats;
 
 /// Coarse time step so debug-mode campaigns stay affordable.
 fn fast_design() -> ColumnDesign {
@@ -213,16 +213,19 @@ fn shuffled_chunk_interleaving_is_bit_identical() {
     let r_values = sweep();
     let config = CampaignConfig::serial().with_chunk(2);
 
-    let point = |i: usize| -> u64 {
-        let mut stats = RecoveryStats::default();
-        let vcs = analyzer
-            .settle_sequence_instrumented(&defect, r_values[i], &op, false, 1, None, &mut stats)
-            .expect("settle converges");
-        vcs[0].to_bits()
-    };
+    // A fresh service per run keeps every order recomputing from scratch
+    // (a shared memo cache would make the comparison trivially true).
     let run_in = |order: &[usize]| {
+        let service = EvalService::new(analyzer.clone());
         exec::map_chunked_in_order(r_values.len(), &config, order, |range| {
-            range.map(point).collect::<Vec<_>>()
+            range
+                .map(|i| {
+                    let vcs = service
+                        .settle_sequence(&defect, r_values[i], &op, false, 1)
+                        .expect("settle converges");
+                    vcs[0].to_bits()
+                })
+                .collect::<Vec<_>>()
         })
     };
 

@@ -1,0 +1,250 @@
+//! Contract of the memoizing evaluation service across analysis layers:
+//! cached replays are bit-identical to cold runs at every thread count,
+//! cross-workload reuse (border after plane campaign, shmoo over
+//! campaign) turns overlapping requests into cache hits, failed and
+//! fault-armed evaluations never pollute the cache, and in-flight
+//! duplicates are deduplicated to a single computation.
+
+use dso_core::analysis::shmoo::margin_shmoo;
+use dso_core::analysis::{
+    find_border, plane_campaign_in, refine_border_from_planes, Analyzer, CampaignFaults,
+    DetectionCondition, PlaneCampaign,
+};
+use dso_core::exec::CampaignConfig;
+use dso_core::{EvalService, SimRequest};
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::chaos::{FaultKind, FaultPlan};
+use dso_num::interp::logspace;
+
+/// Coarse time step so debug-mode campaigns stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+fn fast_service() -> EvalService {
+    EvalService::new(Analyzer::new(fast_design()))
+}
+
+fn sweep() -> Vec<f64> {
+    logspace(1e4, 1e7, 6).expect("valid sweep")
+}
+
+fn campaign_in(service: &EvalService, threads: usize) -> PlaneCampaign {
+    plane_campaign_in(
+        service,
+        &Defect::cell_open(BitLineSide::True),
+        &OperatingPoint::nominal(),
+        &sweep(),
+        1,
+        &CampaignFaults::new(),
+        &CampaignConfig::with_threads(threads).with_chunk(2),
+    )
+    .expect("campaign runs")
+}
+
+/// Bitwise equality of the physics outputs of two campaigns (perf stats
+/// are excluded: a cached run legitimately reports hits where the cold
+/// run reported misses).
+fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
+    assert_eq!(a.planes, b.planes, "{label}: planes diverged");
+    assert_eq!(a.report, b.report, "{label}: sweep report diverged");
+    assert_eq!(a.confidence, b.confidence, "{label}: confidence diverged");
+    assert_eq!(a.gaps(), b.gaps(), "{label}: gaps diverged");
+}
+
+#[test]
+fn cached_campaign_is_bit_identical_to_cold_at_every_thread_count() {
+    let service = fast_service();
+    let cold = campaign_in(&service, 1);
+    assert_eq!(cold.perf.cache_hits, 0, "cold run must not hit the cache");
+    assert!(cold.perf.cache_misses > 0);
+
+    for threads in [1, 2, 4, 8] {
+        let cached = campaign_in(&service, threads);
+        assert_bit_identical(&cold, &cached, &format!("threads = {threads}"));
+        assert_eq!(
+            cached.perf.cache_misses, 0,
+            "threads = {threads}: cached repeat re-simulated"
+        );
+        assert_eq!(
+            cached.perf.cache_hits, cold.perf.cache_misses,
+            "threads = {threads}: every cold miss must replay as a hit"
+        );
+    }
+}
+
+#[test]
+fn border_refinement_after_campaign_replays_grid_points() {
+    let service = fast_service();
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = sweep();
+
+    campaign_in(&service, 2);
+    let after_campaign = service.cache_stats();
+
+    // Metrics gate for the cross-layer reuse contract: the bisection's
+    // grid walk re-requests plane points, so `eval.cache_hits` must move.
+    dso_obs::set_metrics_enabled(true);
+    let hits_metric_before = dso_obs::metrics::snapshot().counter("eval.cache_hits");
+
+    let border = refine_border_from_planes(&service, &defect, &op, &r_values, 1, 0.05)
+        .expect("refinement runs")
+        .expect("sweep straddles the border");
+    assert!(border.resistance.is_finite() && border.resistance > 0.0);
+
+    let after_border = service.cache_stats();
+    assert!(
+        after_border.hits > after_campaign.hits,
+        "border refinement after a plane campaign must hit the cache \
+         (hits {} -> {})",
+        after_campaign.hits,
+        after_border.hits
+    );
+    let hits_metric_after = dso_obs::metrics::snapshot().counter("eval.cache_hits");
+    assert!(
+        hits_metric_after > hits_metric_before,
+        "eval.cache_hits metric did not move ({hits_metric_before} -> {hits_metric_after})"
+    );
+}
+
+#[test]
+fn repeated_bisection_is_bit_identical_and_fully_cached() {
+    let service = fast_service();
+    let defect = Defect::cell_open(BitLineSide::True);
+    let detection = DetectionCondition::default_for(&defect, 2);
+    let op = OperatingPoint::nominal();
+
+    let first = find_border(&service, &defect, &detection, &op, 0.05).expect("border exists");
+    let misses_after_first = service.cache_stats().misses;
+    let second = find_border(&service, &defect, &detection, &op, 0.05).expect("border exists");
+
+    assert_eq!(
+        first.resistance.to_bits(),
+        second.resistance.to_bits(),
+        "repeat bisection diverged"
+    );
+    assert_eq!(
+        service.cache_stats().misses,
+        misses_after_first,
+        "repeat bisection re-simulated instead of replaying"
+    );
+    assert!(service.cache_stats().hits >= u64::try_from(second.evaluations).unwrap());
+}
+
+#[test]
+fn shmoo_over_campaign_row_replays_from_cache() {
+    let service = fast_service();
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = sweep();
+
+    campaign_in(&service, 1);
+    let before = service.cache_stats();
+
+    // The nominal-Vdd row of this shmoo issues exactly the `w0`-settle
+    // and `Vsa` requests the campaign evaluated: two hits per grid point.
+    let plot = margin_shmoo(&service, &defect, 1, &r_values, "vdd", &[op.vdd], |vdd| {
+        Ok(OperatingPoint { vdd, ..op })
+    })
+    .expect("shmoo generates");
+    assert_eq!(
+        plot.outcome(0, 0),
+        dso_shmoo::Outcome::Pass,
+        "the lowest resistance is a healthy cell:\n{}",
+        plot.render_ascii()
+    );
+
+    let after = service.cache_stats();
+    assert!(
+        after.hits - before.hits >= 2 * r_values.len() as u64,
+        "expected >= {} hits from the overlapping row, got {}",
+        2 * r_values.len(),
+        after.hits - before.hits
+    );
+    assert_eq!(
+        after.misses, before.misses,
+        "the overlapping shmoo row must not re-simulate"
+    );
+}
+
+#[test]
+fn faulted_evaluations_bypass_and_never_poison_the_cache() {
+    let service = fast_service();
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = sweep();
+    let config = CampaignConfig::serial().with_chunk(2);
+
+    // Kill one interior sweep point outright.
+    let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let faulted = plane_campaign_in(&service, &defect, &op, &r_values, 1, &faults, &config)
+        .expect("campaign degrades gracefully");
+    assert_eq!(faulted.report.failed(), 1);
+
+    let stats = service.cache_stats();
+    assert!(
+        stats.bypasses >= 1,
+        "fault-armed requests must skip the cache"
+    );
+    let entries_after_faulted = stats.entries;
+
+    // A clean campaign on the same service must find no poisoned entry:
+    // the faulted point simulates fresh (misses grow) and succeeds.
+    let clean = plane_campaign_in(
+        &service,
+        &defect,
+        &op,
+        &r_values,
+        1,
+        &CampaignFaults::new(),
+        &config,
+    )
+    .expect("clean campaign runs");
+    assert_eq!(clean.report.failed(), 0);
+    let clean_stats = service.cache_stats();
+    assert!(
+        clean_stats.misses > stats.misses,
+        "the previously faulted point must re-simulate, not replay"
+    );
+    assert!(
+        clean_stats.entries > entries_after_faulted,
+        "the fresh result must now be cached"
+    );
+}
+
+#[test]
+fn concurrent_duplicate_requests_compute_once() {
+    let service = fast_service();
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let n = 8;
+
+    // Eight identical requests fanned out one per chunk: one computes,
+    // the rest either wait on the in-flight slot or hit the fresh entry.
+    let requests: Vec<SimRequest> = (0..n).map(|_| SimRequest::vsa(&defect, 2e5, &op)).collect();
+    let config = CampaignConfig::with_threads(4).with_chunk(1);
+    let values: Vec<f64> = service
+        .eval_batch(&requests, &config)
+        .into_iter()
+        .map(|r| r.expect("vsa solves").scalar().expect("scalar shape"))
+        .collect();
+    assert!(values.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+
+    let stats = service.cache_stats();
+    assert_eq!(stats.inserts, 1, "duplicates must compute exactly once");
+    assert_eq!(stats.misses, 1);
+    // Every duplicate replays as a hit; the ones that arrived while the
+    // first computation was still in flight additionally blocked on it.
+    assert_eq!(
+        stats.hits,
+        n as u64 - 1,
+        "every duplicate must replay: {stats:?}"
+    );
+    assert!(stats.dedup_waits <= stats.hits);
+    assert_eq!(stats.entries, 1);
+}

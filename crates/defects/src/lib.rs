@@ -151,6 +151,24 @@ impl Defect {
     pub fn remove(&self, column: &mut Column) -> Result<(), DramError> {
         column.set_defect_resistance(self.site, self.side, self.absent_resistance())
     }
+
+    /// Folds the defect identity (site and side) into a content
+    /// fingerprint.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_u8(match self.site {
+            DefectSite::O1 => 0,
+            DefectSite::O2 => 1,
+            DefectSite::O3 => 2,
+            DefectSite::Sg => 3,
+            DefectSite::Sv => 4,
+            DefectSite::B1 => 5,
+            DefectSite::B2 => 6,
+        });
+        fp.write_u8(match self.side {
+            BitLineSide::True => 0,
+            BitLineSide::Comp => 1,
+        });
+    }
 }
 
 impl fmt::Display for Defect {

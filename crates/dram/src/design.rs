@@ -66,6 +66,14 @@ impl OperatingPoint {
         }
         Ok(())
     }
+
+    /// Folds the stress combination into a content fingerprint.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_f64(self.vdd);
+        fp.write_f64(self.tcyc);
+        fp.write_f64(self.duty);
+        fp.write_f64(self.temp_c);
+    }
 }
 
 impl Default for OperatingPoint {
@@ -242,6 +250,30 @@ impl ColumnDesign {
     /// signal that reaches the bit line during charge sharing.
     pub fn transfer_ratio(&self) -> f64 {
         self.cs / (self.cs + self.cbl)
+    }
+
+    /// Folds every electrical design parameter (including both model
+    /// cards) into a content fingerprint.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        for v in [
+            self.cs,
+            self.cbl,
+            self.wl_boost,
+            self.ref_skew,
+            self.access_w,
+            self.access_l,
+            self.sa_nmos_w,
+            self.sa_pmos_w,
+            self.sa_l,
+            self.pre_w,
+            self.wd_ron,
+        ] {
+            fp.write_f64(v);
+        }
+        fp.write_usize(self.plain_cells_per_bitline);
+        self.nmos.fingerprint_into(fp);
+        self.pmos.fingerprint_into(fp);
+        fp.write_f64(self.dt_fraction);
     }
 }
 

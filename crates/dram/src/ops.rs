@@ -56,6 +56,26 @@ impl Operation {
             Operation::Nop => "nop",
         }
     }
+
+    /// Folds the operation's discriminant into a content fingerprint.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_u8(match self {
+            Operation::W0 => 0,
+            Operation::W1 => 1,
+            Operation::R => 2,
+            Operation::Nop => 3,
+        });
+    }
+}
+
+/// Folds an operation sequence (length, then each op) into a content
+/// fingerprint. The explicit length prefix keeps `[W1]` + `[W0]` from
+/// colliding with `[W1, W0]` across request boundaries.
+pub fn fingerprint_ops(ops: &[Operation], fp: &mut dso_num::fingerprint::Fingerprint) {
+    fp.write_usize(ops.len());
+    for op in ops {
+        op.fingerprint_into(fp);
+    }
 }
 
 impl std::fmt::Display for Operation {

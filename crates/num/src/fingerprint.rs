@@ -1,0 +1,157 @@
+//! Stable 64-bit content fingerprinting for simulation requests.
+//!
+//! The evaluation service keys its memoization cache on a fingerprint of
+//! every input that can change a transient's result: column design,
+//! operating point, defect, op sequence, and recovery policy. The hash
+//! must be *stable* — identical across runs, thread counts, and platforms
+//! — so it is built on FNV-1a over explicitly canonicalized bytes rather
+//! than `std::hash`, whose `Hasher` output is not guaranteed stable
+//! between releases.
+//!
+//! `f64` inputs are canonicalized before hashing: `-0.0` folds onto
+//! `+0.0` (they compare equal and produce identical simulations) and
+//! every NaN folds onto one canonical bit pattern. Everything else is
+//! hashed by exact bit pattern, so two requests collide only when their
+//! inputs are numerically interchangeable.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher over canonicalized scalar inputs.
+///
+/// ```
+/// use dso_num::fingerprint::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.write_f64(-0.0);
+/// let mut b = Fingerprint::new();
+/// b.write_f64(0.0);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u64::from(byte);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Hashes a 64-bit word, little-endian byte order.
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Hashes a `usize` (widened to 64 bits so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_u8(u8::from(b));
+    }
+
+    /// Hashes an `f64` by canonicalized bit pattern: `-0.0` and `+0.0`
+    /// hash identically, and all NaN payloads collapse onto one pattern.
+    pub fn write_f64(&mut self, x: f64) {
+        let bits = if x.is_nan() {
+            f64::NAN.to_bits() | 0x8000_0000_0000_0000 // one canonical NaN
+        } else if x == 0.0 {
+            0 // +0.0; folds -0.0 onto it
+        } else {
+            x.to_bits()
+        };
+        self.write_u64(bits);
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_of(f: impl FnOnce(&mut Fingerprint)) -> u64 {
+        let mut fp = Fingerprint::new();
+        f(&mut fp);
+        fp.finish()
+    }
+
+    #[test]
+    fn empty_hash_is_offset_basis() {
+        assert_eq!(Fingerprint::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c (published test vector).
+        let h = fp_of(|fp| fp.write_u8(b'a'));
+        assert_eq!(h, 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn negative_zero_folds_onto_positive_zero() {
+        assert_eq!(
+            fp_of(|fp| fp.write_f64(-0.0)),
+            fp_of(|fp| fp.write_f64(0.0))
+        );
+    }
+
+    #[test]
+    fn nan_payloads_collapse() {
+        let quiet = f64::NAN;
+        let other = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other.is_nan());
+        assert_eq!(
+            fp_of(|fp| fp.write_f64(quiet)),
+            fp_of(|fp| fp.write_f64(other))
+        );
+    }
+
+    #[test]
+    fn distinct_values_distinct_hashes() {
+        let a = fp_of(|fp| fp.write_f64(1.0));
+        let b = fp_of(|fp| fp.write_f64(1.0 + f64::EPSILON));
+        assert_ne!(a, b);
+        assert_ne!(
+            fp_of(|fp| fp.write_bool(true)),
+            fp_of(|fp| fp.write_bool(false))
+        );
+        assert_ne!(fp_of(|fp| fp.write_usize(3)), fp_of(|fp| fp.write_usize(4)));
+    }
+
+    #[test]
+    fn order_matters() {
+        let ab = fp_of(|fp| {
+            fp.write_u64(1);
+            fp.write_u64(2);
+        });
+        let ba = fp_of(|fp| {
+            fp.write_u64(2);
+            fp.write_u64(1);
+        });
+        assert_ne!(ab, ba);
+    }
+}

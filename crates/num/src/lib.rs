@@ -46,6 +46,7 @@
 
 pub mod chaos;
 pub mod error;
+pub mod fingerprint;
 pub mod integrate;
 pub mod interp;
 pub mod lu;

@@ -207,11 +207,15 @@ impl ShmooPlot {
 /// })?;
 /// assert_eq!(sweep.first_pass, Some(2.3));
 /// assert_eq!(sweep.last_fail, Some(2.2));
+/// assert!(sweep.render_csv().starts_with("vdd,outcome"));
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarginSweep {
+    /// The swept stress axis, e.g. `"vdd"` — used as the value column
+    /// header in [`MarginSweep::render_csv`].
+    pub label: String,
     /// The swept stress values, in the order given.
     pub values: Vec<f64>,
     /// Outcomes parallel to `values`.
@@ -223,6 +227,21 @@ pub struct MarginSweep {
 }
 
 impl MarginSweep {
+    /// CSV rendering: header `<label>,outcome`, one row per swept value.
+    pub fn render_csv(&self) -> String {
+        let mut out = format!("{},outcome\n", self.label);
+        for (v, o) in self.values.iter().zip(&self.outcomes) {
+            out.push_str(&format!(
+                "{v:e},{}\n",
+                match o {
+                    Outcome::Pass => "pass",
+                    Outcome::Fail => "fail",
+                }
+            ));
+        }
+        out
+    }
+
     /// Fraction of passing points.
     pub fn pass_rate(&self) -> f64 {
         if self.values.is_empty() {
@@ -243,7 +262,8 @@ impl MarginSweep {
 }
 
 /// Sweeps one stress axis and locates the pass/fail boundary (the classic
-/// one-dimensional shmoo used for margin characterization).
+/// one-dimensional shmoo used for margin characterization). `label` names
+/// the axis in the sweep's CSV rendering.
 ///
 /// # Errors
 ///
@@ -252,7 +272,7 @@ impl MarginSweep {
 /// # Panics
 ///
 /// Panics if `values` is empty.
-pub fn margin_sweep<E, F>(_label: &str, values: &[f64], mut oracle: F) -> Result<MarginSweep, E>
+pub fn margin_sweep<E, F>(label: &str, values: &[f64], mut oracle: F) -> Result<MarginSweep, E>
 where
     F: FnMut(f64) -> Result<bool, E>,
 {
@@ -272,6 +292,7 @@ where
         }
     }
     Ok(MarginSweep {
+        label: label.to_string(),
         values: values.to_vec(),
         outcomes,
         first_pass,
@@ -294,6 +315,13 @@ mod tests {
         assert_eq!(sweep.last_fail, Some(57.0));
         assert!(sweep.is_monotone());
         assert!((sweep.pass_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(sweep.label, "tcyc");
+        let csv = sweep.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "tcyc,outcome");
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].ends_with(",fail"), "{csv}");
+        assert!(lines[3].ends_with(",pass"), "{csv}");
     }
 
     #[test]

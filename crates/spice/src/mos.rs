@@ -158,6 +158,28 @@ impl MosModel {
     pub fn vth0_at(&self, temp: f64) -> f64 {
         self.vto.abs() - self.tcv * (temp - self.tnom)
     }
+
+    /// Folds every model-card parameter into a content fingerprint.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_u8(match self.polarity {
+            MosPolarity::Nmos => 0,
+            MosPolarity::Pmos => 1,
+        });
+        for v in [
+            self.vto,
+            self.kp,
+            self.lambda,
+            self.gamma,
+            self.phi,
+            self.bex,
+            self.tcv,
+            self.n_sub,
+            self.tnom,
+            self.cox,
+        ] {
+            fp.write_f64(v);
+        }
+    }
 }
 
 /// Geometry of one MOSFET instance.

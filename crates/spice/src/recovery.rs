@@ -82,6 +82,15 @@ impl RecoveryPolicy {
         self.gmin_stepping = enabled;
         self
     }
+
+    /// Folds the policy into a content fingerprint. The policy shapes
+    /// which recovery ladder a marginal transient climbs — and therefore
+    /// the result bits — so it is part of every cache key.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_usize(self.max_subdivisions);
+        fp.write_bool(self.method_fallback);
+        fp.write_bool(self.gmin_stepping);
+    }
 }
 
 /// Tally of recovery actions taken during one analysis run.

@@ -1,8 +1,11 @@
 //! Offline campaign benchmark: times `result_planes` / `plane_campaign`
 //! serial vs parallel, checks the determinism contract (parallel output
-//! bit-identical to serial), verifies the warm-start payoff, and writes
+//! bit-identical to serial), verifies the warm-start payoff and the
+//! evaluation-cache payoff (a cached repeat campaign must be at least 5x
+//! faster than its cold run, with identical bits), and writes
 //! `BENCH_campaign.json` (schema per record:
-//! `{name, threads, wall_ms, points, newton_iters}`).
+//! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
+//! dedup_waits}`).
 //!
 //! Run in release mode — debug-mode timings are meaningless:
 //!
@@ -15,15 +18,18 @@
 //! parallel scenarios still run — and must still produce identical bits —
 //! but wall-clock parity is all that can be observed. The process exits
 //! non-zero if parallel output diverges from serial, the warm-start
-//! iteration saving falls below 20%, or either derived figure regresses
-//! more than 25% against the committed `BENCH_baseline.json` (refresh an
-//! intentional change with
+//! iteration saving falls below 20%, the cached repeat campaign is less
+//! than 5x faster than (or diverges from) its cold run, or either derived
+//! figure regresses more than 25% against the committed
+//! `BENCH_baseline.json` (refresh an intentional change with
 //! `cargo run --release --example bench_campaign -- --write-baseline`).
 
 use dram_stress_opt::analysis::{
-    plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
+    plane_campaign_in, plane_campaign_with, result_planes_with, Analyzer, CampaignFaults,
+    PlaneCampaign,
 };
 use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
+use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::exec::CampaignConfig;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
@@ -62,6 +68,8 @@ fn main() {
         wall_ms: cold_ms,
         points: cold_perf.points,
         newton_iters: cold_perf.newton_iters,
+        cache_hit_rate: cold_perf.cache_hit_rate(),
+        dedup_waits: 0,
     });
     let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
     records.push(BenchRecord {
@@ -70,6 +78,8 @@ fn main() {
         wall_ms: warm_ms,
         points: warm_perf.points,
         newton_iters: warm_perf.newton_iters,
+        cache_hit_rate: warm_perf.cache_hit_rate(),
+        dedup_waits: 0,
     });
     let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
     println!(
@@ -99,6 +109,8 @@ fn main() {
         wall_ms: serial_ms,
         points: serial.perf.points,
         newton_iters: serial.perf.newton_iters,
+        cache_hit_rate: serial.perf.cache_hit_rate(),
+        dedup_waits: 0,
     });
     let mut widest_speedup_per_core = f64::INFINITY;
     for threads in [2, 8] {
@@ -110,6 +122,8 @@ fn main() {
             wall_ms: ms,
             points: parallel.perf.points,
             newton_iters: parallel.perf.newton_iters,
+            cache_hit_rate: parallel.perf.cache_hit_rate(),
+            dedup_waits: 0,
         });
         let speedup = serial_ms / ms;
         widest_speedup_per_core = speedup / effective_cores(threads) as f64;
@@ -140,6 +154,8 @@ fn main() {
         wall_ms: obs_ms,
         points: obs_run.perf.points,
         newton_iters: obs_run.perf.newton_iters,
+        cache_hit_rate: obs_run.perf.cache_hit_rate(),
+        dedup_waits: 0,
     });
     println!(
         "metrics enabled: {:.0} ms vs {:.0} ms disabled ({:+.1}%)",
@@ -147,6 +163,73 @@ fn main() {
         serial_ms,
         100.0 * (obs_ms / serial_ms - 1.0)
     );
+
+    // --- eval cache: cold vs cached repeat on a shared service ----------
+    // The first campaign on a fresh service simulates every point; the
+    // repeats replay the memo cache. The repeat must be at least 5x
+    // faster and bit-identical — the payoff the cache exists for.
+    let service = EvalService::new(analyzer.clone());
+    let run_shared = || {
+        plane_campaign_in(
+            &service,
+            &defect,
+            &op,
+            &r_values,
+            N_OPS,
+            &faults,
+            &serial_cfg,
+        )
+        .expect("campaign runs")
+    };
+    let (shared_cold_ms, shared_cold) = median_of(1, run_shared);
+    records.push(BenchRecord {
+        name: "plane_campaign/shared-cold".into(),
+        threads: 1,
+        wall_ms: shared_cold_ms,
+        points: shared_cold.perf.points,
+        newton_iters: shared_cold.perf.newton_iters,
+        cache_hit_rate: shared_cold.perf.cache_hit_rate(),
+        dedup_waits: 0,
+    });
+    let (cached_ms, cached) = median_of(REPEATS, run_shared);
+    let cache_stats = service.cache_stats();
+    records.push(BenchRecord {
+        name: "plane_campaign/shared-cached".into(),
+        threads: 1,
+        wall_ms: cached_ms,
+        points: cached.perf.points,
+        newton_iters: cached.perf.newton_iters,
+        cache_hit_rate: cached.perf.cache_hit_rate(),
+        dedup_waits: cache_stats.dedup_waits as usize,
+    });
+    let cache_speedup = shared_cold_ms / cached_ms.max(1e-6);
+    println!(
+        "eval cache: cold {:.0} ms -> cached {:.2} ms ({:.0}x, hit rate {:.0}%, \
+         {} entries)",
+        shared_cold_ms,
+        cached_ms,
+        cache_speedup,
+        100.0 * cached.perf.cache_hit_rate(),
+        cache_stats.entries
+    );
+    if cached.planes != shared_cold.planes
+        || cached.report != shared_cold.report
+        || cached.gaps() != shared_cold.gaps()
+    {
+        eprintln!("FAIL: cached repeat campaign diverged from its cold run");
+        failed = true;
+    }
+    if cache_speedup < 5.0 {
+        eprintln!("FAIL: cached repeat campaign only {cache_speedup:.1}x faster (< 5x)");
+        failed = true;
+    }
+    if cached.perf.cache_misses != 0 {
+        eprintln!(
+            "FAIL: cached repeat re-simulated {} points",
+            cached.perf.cache_misses
+        );
+        failed = true;
+    }
 
     // --- perf-regression gate vs the committed baseline ------------------
     let current = BenchBaseline {

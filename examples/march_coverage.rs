@@ -23,6 +23,7 @@ use dram_stress_opt::analysis::{
 };
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
+use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::march::coverage::{evaluate_coverage, FaultCase};
 use dram_stress_opt::march::element::{AddressOrder, MarchElement, MarchOp};
 use dram_stress_opt::march::test::MarchTest;
@@ -58,7 +59,7 @@ fn condition_as_march_test(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(ColumnDesign::default());
+    let service = EvalService::new(Analyzer::new(ColumnDesign::default()));
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let stressed = OperatingPoint {
@@ -70,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Locate the nominal border and build the defect ensemble around it.
     let probe = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&analyzer, &defect, &probe, &nominal, 0.05)?;
+    let border = find_border(&service, &defect, &probe, &nominal, 0.05)?;
     let resistances = logspace(0.4 * border.resistance, 3.0 * border.resistance, 6)?;
     println!(
         "ensemble: {} instances of {defect} around the nominal border ({:.2e} Ω)",
@@ -89,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's step: derive the detection condition *for this SC*
         // (stressed writes need more settling operations), then embed it
         // in a march element.
-        let condition = derive_detection(&analyzer, &defect, border.resistance, &op, 6)?;
+        let condition = derive_detection(&service, &defect, border.resistance, &op, 6)?;
         println!(
             "  derived detection condition: {}",
             condition.display_for(defect.side())
@@ -103,7 +104,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Calibrate one dictionary per ensemble member at this SC.
         let mut cases = Vec::new();
         for &r in &resistances {
-            let dict = build_dictionary(&analyzer, &defect, r, &op, 5)?;
+            let dict = build_dictionary(&service, &defect, r, &op, 5)?;
             cases.push(FaultCase {
                 label: format!("{r:.2e} Ω"),
                 make: Box::new(move || Box::new(DefectiveCell::new(dict.clone(), 0.0))),

@@ -10,13 +10,15 @@
 use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
+use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::stress::{OperatingPoint, OptimizerConfig, StressKind, StressOptimizer};
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The memory model: one folded bit-line DRAM column.
+    // 1. The memory model: one folded bit-line DRAM column. All transients
+    //    route through an evaluation service that memoizes repeated points.
     let design = ColumnDesign::default();
-    let analyzer = Analyzer::new(design.clone());
+    let service = EvalService::new(Analyzer::new(design.clone()));
     let nominal = OperatingPoint::nominal();
 
     // 2. The defect: a resistive open between storage node and capacitor,
@@ -31,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "detection condition:   {}",
         detection.display_for(defect.side())
     );
-    let border = find_border(&analyzer, &defect, &detection, &nominal, 0.05)?;
+    let border = find_border(&service, &defect, &detection, &nominal, 0.05)?;
     println!(
         "nominal border:        {} ({} simulations)",
         border, border.evaluations

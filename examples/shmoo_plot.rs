@@ -9,15 +9,16 @@
 //! cargo run --release --example shmoo_plot
 //! ```
 
+use dram_stress_opt::analysis::shmoo::detection_shmoo;
 use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::shmoo::ShmooPlot;
+use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::stress::{OperatingPoint, StressKind};
 use dso_num::interp::linspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(ColumnDesign::default());
+    let service = EvalService::new(Analyzer::new(ColumnDesign::default()));
     let nominal = OperatingPoint::nominal();
     let defect = Defect::cell_open(BitLineSide::True);
     let detection = DetectionCondition::default_for(&defect, 2);
@@ -25,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick a defect resistance slightly *below* the nominal border: the
     // device passes at nominal conditions, and the shmoo shows which
     // corner of the stress plane exposes it.
-    let border = find_border(&analyzer, &defect, &detection, &nominal, 0.05)?;
+    let border = find_border(&service, &defect, &detection, &nominal, 0.05)?;
     let r_marginal = border.resistance * 0.9;
     println!(
         "device under test: {defect} at R = {r_marginal:.3e} Ω (border {:.3e} Ω)",
@@ -42,18 +43,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vdds = linspace(vdd_lo, vdd_hi, 7)?;
     let tcycs = linspace(tcyc_lo, tcyc_hi, 5)?;
 
-    let plot = ShmooPlot::generate("Vdd (V)", &vdds, "tcyc (s)", &tcycs, |vdd, tcyc| {
-        let op = OperatingPoint {
-            vdd,
-            tcyc,
-            ..nominal
-        };
-        let engine = analyzer.engine_for(&defect, r_marginal, &op)?;
-        detection.evaluate(&engine)
-    })?;
+    let plot = detection_shmoo(
+        &service,
+        &defect,
+        &detection,
+        r_marginal,
+        "Vdd (V)",
+        &vdds,
+        "tcyc (s)",
+        &tcycs,
+        |vdd, tcyc| {
+            Ok(OperatingPoint {
+                vdd,
+                tcyc,
+                ..nominal
+            })
+        },
+    )?;
 
     println!("{}", plot.render_ascii());
     println!("pass rate over the grid: {:.0}%", plot.pass_rate() * 100.0);
+    let stats = service.cache_stats();
+    println!(
+        "evaluation service: {} simulated, {} replayed from cache",
+        stats.misses, stats.hits
+    );
     println!();
     println!("the failing corner (low Vdd, short tcyc) is exactly the stress");
     println!("combination the simulation-based optimizer picks — without needing");
