@@ -40,4 +40,11 @@ echo "==> bench (release, emits BENCH_campaign.json + results/ copy)"
 #   cargo run --release --example bench_campaign -- --write-baseline
 cargo run --release -q --offline --example bench_campaign
 
+echo "==> resume drill (kill-and-resume the persistent result store)"
+# Tears a result store mid-append with injected short writes, reopens it,
+# and resumes the campaign. Exits non-zero if recovery drops a clean
+# record, the resume re-simulates persisted work, or the resumed border
+# diverges. Recovery stats land in results/RESUME_drill-<stamp>.json.
+cargo run --release -q --offline --example resume_campaign
+
 echo "==> ci: OK"

@@ -223,6 +223,7 @@ struct PointOutcome {
     warm_hits: usize,
     warm_misses: usize,
     cache_hits: usize,
+    disk_hits: usize,
     cache_misses: usize,
 }
 
@@ -230,6 +231,7 @@ struct PointOutcome {
 #[derive(Default)]
 struct CacheTally {
     hits: usize,
+    disk: usize,
     misses: usize,
 }
 
@@ -244,6 +246,9 @@ impl CacheTally {
         stats.merge(&outcome.stats);
         if outcome.cached {
             self.hits += 1;
+            if outcome.from_disk {
+                self.disk += 1;
+            }
         } else {
             self.misses += 1;
         }
@@ -397,6 +402,7 @@ fn run_grid(
                     warm_hits,
                     warm_misses: SEEDABLE_TRANSIENTS - warm_hits,
                     cache_hits: cache.hits,
+                    disk_hits: cache.disk,
                     cache_misses: cache.misses,
                 }
             })
@@ -412,7 +418,9 @@ fn tally(perf: &mut CampaignPerfStats, outcome: &PointOutcome) {
     perf.newton_iters += outcome.stats.newton_iters;
     perf.solve_attempts += outcome.stats.solve_attempts;
     perf.cache_hits += outcome.cache_hits;
+    perf.disk_hits += outcome.disk_hits;
     perf.cache_misses += outcome.cache_misses;
+    perf.failures += usize::from(outcome.data.is_err());
 }
 
 fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
@@ -508,9 +516,10 @@ pub fn result_planes(
 /// [`result_planes`] with an explicit execution policy, additionally
 /// returning the campaign's [`CampaignPerfStats`].
 ///
-/// Builds a fresh [`EvalService`] for the run, so repeated calls measure
-/// cold simulation work; use [`result_planes_in`] to share a service (and
-/// its cache) across workloads.
+/// Builds a fresh [`EvalService`] for the run (honoring a `DSO_STORE`
+/// persistent store, see [`EvalService::from_env`]), so repeated calls
+/// measure cold simulation work; use [`result_planes_in`] to share a
+/// service (and its cache) across workloads.
 ///
 /// Results are bit-identical for every `config.threads` value (given the
 /// same chunk size and warm-start setting); see [`crate::exec`] for the
@@ -528,7 +537,7 @@ pub fn result_planes_with(
     n_ops: usize,
     config: &CampaignConfig,
 ) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
-    let service = EvalService::new(analyzer.clone());
+    let service = EvalService::from_env(analyzer.clone());
     result_planes_in(&service, defect, op_point, r_values, n_ops, config)
 }
 
@@ -680,8 +689,10 @@ pub fn plane_campaign(
 /// chunk decomposition, warm-seed chains, and fault-plan resolution are
 /// all keyed on sweep index, never on scheduling (see [`crate::exec`]).
 ///
-/// Builds a fresh [`EvalService`] for the run; use [`plane_campaign_in`]
-/// to share a service (and its cache) across workloads.
+/// Builds a fresh [`EvalService`] for the run (honoring a `DSO_STORE`
+/// persistent store, see [`EvalService::from_env`]); use
+/// [`plane_campaign_in`] to share a service (and its cache) across
+/// workloads.
 ///
 /// # Errors
 ///
@@ -695,7 +706,7 @@ pub fn plane_campaign_with(
     faults: &CampaignFaults,
     config: &CampaignConfig,
 ) -> Result<PlaneCampaign, CoreError> {
-    let service = EvalService::new(analyzer.clone());
+    let service = EvalService::from_env(analyzer.clone());
     plane_campaign_in(&service, defect, op_point, r_values, n_ops, faults, config)
 }
 

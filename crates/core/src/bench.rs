@@ -4,9 +4,9 @@
 //! hand-rolled alternative to criterion: median-of-k wall-clock timing
 //! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! dedup_waits}` — enough for CI to trend campaign throughput, the
-//! evaluation-cache payoff, and for the bench example to assert
-//! serial/parallel equivalence.
+//! disk_hit_rate, dedup_waits}` — enough for CI to trend campaign
+//! throughput, the evaluation-cache and persistent-store payoff, and for
+//! the bench example to assert serial/parallel equivalence.
 
 use std::time::Instant;
 
@@ -26,6 +26,9 @@ pub struct BenchRecord {
     /// Fraction of simulation requests answered by the evaluation cache
     /// (`0.0` for a cold run on a fresh service).
     pub cache_hit_rate: f64,
+    /// Fraction of simulation requests served from the persistent store's
+    /// disk tier (`0.0` when no store is attached).
+    pub disk_hit_rate: f64,
     /// Requests that blocked on an identical in-flight computation.
     pub dedup_waits: usize,
 }
@@ -77,13 +80,15 @@ pub fn to_json(records: &[BenchRecord]) -> String {
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \
-             \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"dedup_waits\": {}}}",
+             \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"disk_hit_rate\": {:.3}, \
+             \"dedup_waits\": {}}}",
             escape_json(&r.name),
             r.threads,
             r.wall_ms,
             r.points,
             r.newton_iters,
             r.cache_hit_rate,
+            r.disk_hit_rate,
             r.dedup_waits
         ));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -231,6 +236,7 @@ mod tests {
                 points: 270,
                 newton_iters: 9000,
                 cache_hit_rate: 0.0,
+                disk_hit_rate: 0.0,
                 dedup_waits: 0,
             },
             BenchRecord {
@@ -240,6 +246,7 @@ mod tests {
                 points: 270,
                 newton_iters: 9000,
                 cache_hit_rate: 0.9876,
+                disk_hit_rate: 0.5,
                 dedup_waits: 3,
             },
         ];
@@ -249,9 +256,10 @@ mod tests {
         assert!(json.contains(
             "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
              \"points\": 270, \"newton_iters\": 9000, \"cache_hit_rate\": 0.000, \
-             \"dedup_waits\": 0}"
+             \"disk_hit_rate\": 0.000, \"dedup_waits\": 0}"
         ));
-        assert!(json.contains("\"cache_hit_rate\": 0.988, \"dedup_waits\": 3"));
+        assert!(json
+            .contains("\"cache_hit_rate\": 0.988, \"disk_hit_rate\": 0.500, \"dedup_waits\": 3"));
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
         assert_eq!(json.matches("},\n").count(), 1);

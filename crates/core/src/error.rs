@@ -57,6 +57,11 @@ pub enum CoreError {
         /// The gap's bracketing (non-failed) resistances.
         gap: (f64, f64),
     },
+    /// The persistent result store cannot be opened or attached (I/O
+    /// failure, context mismatch). Never raised for corrupt *records* —
+    /// those are skipped and counted during recovery, not surfaced as
+    /// errors.
+    Store(String),
     /// Too many sweep points failed for the partial result to be usable
     /// (edge points lost, or fewer than two good points remain).
     SweepFailed {
@@ -139,6 +144,7 @@ impl fmt::Display for CoreError {
                  is not allowed",
                 gap.0, gap.1
             ),
+            CoreError::Store(msg) => write!(f, "result store error: {msg}"),
             CoreError::SweepFailed {
                 defect,
                 failed,

@@ -37,9 +37,24 @@
 //! Failed requests are never cached (a fault-injected or diverged point
 //! must not poison later campaigns), and requests with an armed fault
 //! plan bypass the cache entirely in both directions.
+//!
+//! # Disk tier
+//!
+//! A service may carry a [`ResultStore`] (attach one with
+//! [`EvalService::with_store`], or set `DSO_STORE=<path>` and build with
+//! [`EvalService::from_env`]). The store is a write-through second cache
+//! tier: lookups fall through memory → disk → compute, and every
+//! computed success is appended to disk as well as memoized. Because
+//! stored records replay values *and* recovery stats bit-identically, a
+//! campaign killed mid-run and restarted against the same store resumes
+//! from its completed points. Fault-armed requests bypass the disk tier
+//! exactly as they bypass the memo cache, and failures are never
+//! persisted. Store append failures degrade durability, never
+//! correctness — the result is still served from memory.
 
 use crate::analysis::{Analyzer, DetectionCondition};
 use crate::exec::{self, CampaignConfig};
+use crate::store::ResultStore;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::OperatingPoint;
@@ -326,15 +341,21 @@ pub(crate) struct TaskOutcome {
     /// The run's converged trace for warm-start chaining — `None` on
     /// cache hits and for tasks without a single underlying transient.
     pub trace: Option<OpTrace>,
-    /// `true` when the value was replayed from the cache.
+    /// `true` when the value was replayed from a cache tier (memory or
+    /// disk) instead of computed.
     pub cached: bool,
+    /// `true` when the replay came from the persistent store rather than
+    /// the in-memory memo cache.
+    pub from_disk: bool,
 }
 
 /// Point-in-time cache counters of an [`EvalService`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Requests answered from the cache.
+    /// Requests answered from the in-memory cache.
     pub hits: u64,
+    /// Requests answered from the persistent store's disk tier.
+    pub disk_hits: u64,
     /// Requests that had to compute.
     pub misses: u64,
     /// Successful computations stored.
@@ -344,19 +365,24 @@ pub struct CacheStats {
     /// Requests that skipped the cache (armed fault plan or trace
     /// extraction).
     pub bypasses: u64,
+    /// Evaluations that ended in a simulation failure. Failures are never
+    /// cached, so a hot failing point recomputes on every revisit — this
+    /// counter is the only place that cost shows up.
+    pub failures_seen: u64,
     /// Entries currently stored.
     pub entries: usize,
 }
 
 impl CacheStats {
-    /// Fraction of cacheable requests answered from the cache (0 when
-    /// none ran).
+    /// Fraction of cacheable requests answered from a cache tier — memory
+    /// or disk — without computing (0 when none ran).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.disk_hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
@@ -391,12 +417,15 @@ pub struct EvalService {
     analyzer: Analyzer,
     context_key: u64,
     cache: Mutex<HashMap<u64, Slot>>,
+    store: Option<ResultStore>,
     done: Condvar,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     dedup_waits: AtomicU64,
     bypasses: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl std::fmt::Debug for EvalService {
@@ -414,20 +443,81 @@ impl EvalService {
     /// prefix of every request key — is derived from the column design
     /// and recovery policy here, once.
     pub fn new(analyzer: Analyzer) -> Self {
-        let mut fp = Fingerprint::new();
-        analyzer.design().fingerprint_into(&mut fp);
-        analyzer.recovery().fingerprint_into(&mut fp);
+        let context_key = EvalService::context_for(&analyzer);
         EvalService {
             analyzer,
-            context_key: fp.finish(),
+            context_key,
             cache: Mutex::new(HashMap::new()),
+            store: None,
             done: Condvar::new(),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             dedup_waits: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
         }
+    }
+
+    /// The context fingerprint a service built on `analyzer` uses: the
+    /// hash of its column design and recovery policy. This is the key a
+    /// [`ResultStore`] must be opened with for its records to survive the
+    /// stale-generation check.
+    pub fn context_for(analyzer: &Analyzer) -> u64 {
+        let mut fp = Fingerprint::new();
+        analyzer.design().fingerprint_into(&mut fp);
+        analyzer.recovery().fingerprint_into(&mut fp);
+        fp.finish()
+    }
+
+    /// Creates a service with a persistent store attached as the disk
+    /// cache tier. The store must have been opened with
+    /// [`EvalService::context_for`] of the same analyzer; a mismatched
+    /// context is rejected rather than silently serving another
+    /// generation's bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Store`] on a context mismatch.
+    pub fn with_store(analyzer: Analyzer, store: ResultStore) -> Result<Self, CoreError> {
+        let mut service = EvalService::new(analyzer);
+        if store.context() != service.context_key {
+            return Err(CoreError::Store(format!(
+                "store {} was opened for context {:#018x}, service is {:#018x}",
+                store.path().display(),
+                store.context(),
+                service.context_key
+            )));
+        }
+        service.store = Some(store);
+        Ok(service)
+    }
+
+    /// Creates a service honoring the `DSO_STORE` environment variable:
+    /// when set, the persistent store at that path is opened (and
+    /// recovered) for the analyzer's context and attached as the disk
+    /// tier. A store that cannot be opened degrades to an in-memory-only
+    /// service with a warning on stderr — an unwritable cache must not
+    /// stop a campaign.
+    pub fn from_env(analyzer: Analyzer) -> Self {
+        let mut service = EvalService::new(analyzer);
+        if let Ok(path) = std::env::var("DSO_STORE") {
+            if !path.is_empty() {
+                match ResultStore::open(&path, service.context_key) {
+                    Ok(store) => service.store = Some(store),
+                    Err(e) => {
+                        eprintln!("warning: DSO_STORE ignored, running without persistence: {e}")
+                    }
+                }
+            }
+        }
+        service
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
     }
 
     /// The analyzer (column design + recovery policy) behind the service.
@@ -439,10 +529,12 @@ impl EvalService {
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            failures_seen: self.failures.load(Ordering::Relaxed),
             entries: self.cache_len(),
         }
     }
@@ -495,9 +587,9 @@ impl EvalService {
     /// The full campaign-layer entry point: optional fault plan, optional
     /// warm-start seed, optional intra-bisection warm probes.
     ///
-    /// Requests with an armed fault plan bypass the cache in both
-    /// directions — a fault-injected result must neither be stored nor
-    /// satisfied from a clean run's cache.
+    /// Requests with an armed fault plan bypass the cache — memory *and*
+    /// disk — in both directions: a fault-injected result must neither be
+    /// stored nor satisfied from a clean run's cache.
     pub(crate) fn eval_seeded(
         &self,
         request: &SimRequest,
@@ -510,11 +602,15 @@ impl EvalService {
             self.bypasses.fetch_add(1, Ordering::Relaxed);
             dso_obs::counter!("eval.cache_bypass").incr();
             let (value, stats, trace) = self.execute(request, faults, seed, warm_probes);
+            if value.is_err() {
+                self.note_failure();
+            }
             return TaskOutcome {
                 value,
                 stats,
                 trace,
                 cached: false,
+                from_disk: false,
             };
         }
         let key = request.content_key(self.context_key);
@@ -531,6 +627,7 @@ impl EvalService {
                             stats: *stats,
                             trace: None,
                             cached: true,
+                            from_disk: false,
                         };
                     }
                     Some(Slot::InFlight) => {
@@ -546,6 +643,34 @@ impl EvalService {
                         break;
                     }
                 }
+            }
+        }
+        // Disk tier, checked outside the cache lock (store lookups do
+        // their own synchronization and must not serialize the memo
+        // cache). This request holds the in-flight marker, so duplicates
+        // wait and then replay the promoted entry from memory.
+        if let Some(store) = &self.store {
+            if let Some(found) = store.get(key) {
+                {
+                    let mut map = self.cache.lock().expect("eval cache poisoned");
+                    map.insert(
+                        key,
+                        Slot::Done {
+                            value: found.value.clone(),
+                            stats: found.stats,
+                        },
+                    );
+                }
+                self.done.notify_all();
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                dso_obs::counter!("eval.disk_hits").incr();
+                return TaskOutcome {
+                    value: Ok(found.value),
+                    stats: found.stats,
+                    trace: None,
+                    cached: true,
+                    from_disk: true,
+                };
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -572,12 +697,28 @@ impl EvalService {
             }
         }
         self.done.notify_all();
+        match &value {
+            // Write-through: persist the computed success after releasing
+            // the memo lock, so disk latency never blocks other workers.
+            Ok(v) => {
+                if let Some(store) = &self.store {
+                    store.put(key, v, &stats);
+                }
+            }
+            Err(_) => self.note_failure(),
+        }
         TaskOutcome {
             value,
             stats,
             trace,
             cached: false,
+            from_disk: false,
         }
+    }
+
+    fn note_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        dso_obs::counter!("eval.failures_seen").incr();
     }
 
     /// Runs the request's transient(s) on the analyzer.

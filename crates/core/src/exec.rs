@@ -33,6 +33,36 @@ use std::sync::Mutex;
 /// chains), runs with different *thread counts* never do.
 pub const DEFAULT_CHUNK: usize = 4;
 
+/// Grids of at most this many points get coarsened chunks (see
+/// [`effective_chunk`]).
+pub const SMALL_GRID: usize = 32;
+
+/// The chunk size actually used for a grid of `n` points: the configured
+/// `chunk`, coarsened on small grids so the grid splits into at most four
+/// chunks.
+///
+/// Small sweeps (a 30-point scaling probe, a handful of border refinement
+/// points) lose more to scheduling than they gain from load balancing:
+/// with the default chunk of 4, a 30-point grid becomes 8 chunks, waking
+/// up to 8 workers whose per-thread cost (spawn, queue contention, cache
+/// cold-start) exceeds the solve time — and each extra chunk boundary
+/// also cuts a warm-start chain. Capping small grids at 4 chunks bounds
+/// the worker count *and* lengthens the chains.
+///
+/// Determinism is preserved: the result depends only on `n` and `chunk`,
+/// never on the thread count, so the chunk decomposition — and with it
+/// every warm-start chain — is still bit-identical across thread counts.
+/// The configured chunk acts as a floor, never a ceiling: asking for
+/// whole-grid chunks (`chunk >= n`) still yields one chunk.
+pub fn effective_chunk(n: usize, chunk: usize) -> usize {
+    let chunk = chunk.max(1);
+    if n <= SMALL_GRID {
+        chunk.max(n.div_ceil(4))
+    } else {
+        chunk
+    }
+}
+
 /// Execution policy for sweep campaigns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignConfig {
@@ -173,11 +203,18 @@ pub struct CampaignPerfStats {
     pub newton_iters: usize,
     /// Total Newton solves attempted.
     pub solve_attempts: usize,
-    /// Simulation requests answered from the [`crate::eval::EvalService`]
-    /// memo cache (values and recovery accounting replayed, no solve run).
+    /// Simulation requests answered from an [`crate::eval::EvalService`]
+    /// cache tier — memory or disk — (values and recovery accounting
+    /// replayed, no solve run).
     pub cache_hits: usize,
+    /// The subset of `cache_hits` served from the persistent store's disk
+    /// tier (a resumed campaign replaying a previous run's points).
+    pub disk_hits: usize,
     /// Simulation requests the evaluation service had to compute.
     pub cache_misses: usize,
+    /// Sweep points that ended in a simulation failure. Failures are
+    /// never cached, so these points pay full compute on every run.
+    pub failures: usize,
 }
 
 impl CampaignPerfStats {
@@ -192,7 +229,9 @@ impl CampaignPerfStats {
         dso_obs::counter!("campaign.newton_iters").add(self.newton_iters as u64);
         dso_obs::counter!("campaign.solve_attempts").add(self.solve_attempts as u64);
         dso_obs::counter!("campaign.cache_hits").add(self.cache_hits as u64);
+        dso_obs::counter!("campaign.disk_hits").add(self.disk_hits as u64);
         dso_obs::counter!("campaign.cache_misses").add(self.cache_misses as u64);
+        dso_obs::counter!("campaign.failures").add(self.failures as u64);
     }
 
     /// Accumulates another tally into this one.
@@ -203,7 +242,9 @@ impl CampaignPerfStats {
         self.newton_iters += other.newton_iters;
         self.solve_attempts += other.solve_attempts;
         self.cache_hits += other.cache_hits;
+        self.disk_hits += other.disk_hits;
         self.cache_misses += other.cache_misses;
+        self.failures += other.failures;
     }
 
     /// Fraction of seedable transients that ran warm (0 when none ran).
@@ -216,7 +257,7 @@ impl CampaignPerfStats {
         }
     }
 
-    /// Fraction of simulation requests answered from the memo cache
+    /// Fraction of simulation requests answered from a cache tier
     /// (0 when the campaign issued none).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -226,14 +267,25 @@ impl CampaignPerfStats {
             self.cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of simulation requests served from the persistent store's
+    /// disk tier (0 when the campaign issued none) — the resume yield of
+    /// a restarted campaign.
+    pub fn disk_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CampaignPerfStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} point(s), warm {}/{} ({:.0}%), cached {}/{} ({:.0}%), \
-             {} Newton iteration(s) over {} solve(s)",
+            "{} point(s), warm {}/{} ({:.0}%), cached {}/{} ({:.0}%)",
             self.points,
             self.warm_hits,
             self.warm_hits + self.warm_misses,
@@ -241,9 +293,19 @@ impl std::fmt::Display for CampaignPerfStats {
             self.cache_hits,
             self.cache_hits + self.cache_misses,
             100.0 * self.cache_hit_rate(),
-            self.newton_iters,
-            self.solve_attempts
-        )
+        )?;
+        if self.disk_hits > 0 {
+            write!(f, " [{} from disk]", self.disk_hits)?;
+        }
+        write!(
+            f,
+            ", {} Newton iteration(s) over {} solve(s)",
+            self.newton_iters, self.solve_attempts
+        )?;
+        if self.failures > 0 {
+            write!(f, ", {} failure(s)", self.failures)?;
+        }
+        Ok(())
     }
 }
 
@@ -275,7 +337,7 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
-    let ranges = chunk_ranges(n, config.chunk);
+    let ranges = chunk_ranges(n, effective_chunk(n, config.chunk));
     let workers = config.threads.max(1).min(ranges.len().max(1));
     dso_obs::counter!("exec.chunks").add(ranges.len() as u64);
     dso_obs::gauge!("exec.workers", nondet).set(workers as f64);
@@ -359,7 +421,7 @@ pub fn map_chunked_in_order<T, F>(
 where
     F: Fn(Range<usize>) -> Vec<T>,
 {
-    let ranges = chunk_ranges(n, config.chunk);
+    let ranges = chunk_ranges(n, effective_chunk(n, config.chunk));
     assert_eq!(order.len(), ranges.len(), "order must cover every chunk");
     let mut slots: Vec<Option<Vec<T>>> = ranges.iter().map(|_| None).collect();
     for &c in order {
@@ -461,7 +523,9 @@ mod tests {
             newton_iters: 100,
             solve_attempts: 40,
             cache_hits: 2,
+            disk_hits: 1,
             cache_misses: 5,
+            failures: 1,
         };
         let b = CampaignPerfStats {
             points: 1,
@@ -470,7 +534,9 @@ mod tests {
             newton_iters: 50,
             solve_attempts: 20,
             cache_hits: 1,
+            disk_hits: 1,
             cache_misses: 4,
+            failures: 0,
         };
         a.merge(&b);
         assert_eq!(a.points, 3);
@@ -479,15 +545,54 @@ mod tests {
         assert_eq!(a.newton_iters, 150);
         assert_eq!(a.solve_attempts, 60);
         assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.disk_hits, 2);
         assert_eq!(a.cache_misses, 9);
+        assert_eq!(a.failures, 1);
         assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
         assert!((a.cache_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((a.disk_hit_rate() - 2.0 / 12.0).abs() < 1e-12);
         assert_eq!(CampaignPerfStats::default().warm_hit_rate(), 0.0);
         assert_eq!(CampaignPerfStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(CampaignPerfStats::default().disk_hit_rate(), 0.0);
         let text = a.to_string();
         assert!(text.contains("3 point(s)"), "{text}");
         assert!(text.contains("warm 4/8"), "{text}");
         assert!(text.contains("cached 3/12"), "{text}");
+        assert!(text.contains("[2 from disk]"), "{text}");
+        assert!(text.contains("1 failure(s)"), "{text}");
+        // Zero disk hits and failures stay out of the display.
+        let quiet = CampaignPerfStats::default().to_string();
+        assert!(!quiet.contains("from disk"), "{quiet}");
+        assert!(!quiet.contains("failure"), "{quiet}");
+    }
+
+    #[test]
+    fn effective_chunk_caps_small_grids_at_four_chunks() {
+        // A 30-point grid with the default chunk of 4 would be 8 chunks;
+        // the adaptive policy coarsens it to 4 chunks of ≤ 8.
+        assert_eq!(effective_chunk(30, 4), 8);
+        assert_eq!(chunk_ranges(30, effective_chunk(30, 4)).len(), 4);
+        // The configured chunk is a floor, never a ceiling.
+        assert_eq!(effective_chunk(8, 8), 8); // whole-grid chunk stays whole
+        assert_eq!(effective_chunk(30, 16), 16);
+        // Large grids keep their configured granularity for balancing.
+        assert_eq!(effective_chunk(33, 4), 4);
+        assert_eq!(effective_chunk(1000, 4), 4);
+        // Degenerate inputs.
+        assert_eq!(effective_chunk(0, 4), 4);
+        assert_eq!(effective_chunk(1, 0), 1);
+    }
+
+    #[test]
+    fn effective_chunk_is_thread_count_free() {
+        // The decomposition the mappers use depends only on (n, chunk):
+        // identical output at every thread count even on small grids.
+        let expected: Vec<usize> = (0..30).map(|i| i * 7).collect();
+        for threads in [1, 2, 4, 8] {
+            let cfg = CampaignConfig::with_threads(threads).with_chunk(4);
+            let got = map_chunked(30, &cfg, |range| range.map(|i| i * 7).collect::<Vec<_>>());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -53,8 +53,10 @@ pub mod bench;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod store;
 pub mod stress;
 
 pub use error::CoreError;
 pub use eval::{CacheStats, EvalService, SimRequest, SimTask, SimValue};
 pub use exec::{CampaignConfig, CampaignPerfStats};
+pub use store::{ResultStore, StoreStats, StoredResult};

@@ -161,6 +161,10 @@ impl fmt::Display for StressReport {
 /// All simulations route through one [`EvalService`], so repeated probes
 /// and border re-measurements at coinciding operating points (e.g. the
 /// SC-retry path re-deciding every stress) replay from the memo cache.
+/// The service is built with [`EvalService::from_env`], so setting
+/// `DSO_STORE` makes a killed optimization resumable from its persistent
+/// result store (the operating point is part of each request's content
+/// key, so one store serves every stress candidate).
 #[derive(Debug)]
 pub struct StressOptimizer {
     service: EvalService,
@@ -171,7 +175,7 @@ impl StressOptimizer {
     /// Creates an optimizer with the default configuration.
     pub fn new(design: ColumnDesign) -> Self {
         StressOptimizer {
-            service: EvalService::new(Analyzer::new(design)),
+            service: EvalService::from_env(Analyzer::new(design)),
             config: OptimizerConfig::default(),
         }
     }

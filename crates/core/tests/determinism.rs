@@ -229,7 +229,11 @@ fn shuffled_chunk_interleaving_is_bit_identical() {
         })
     };
 
-    let n_chunks = exec::chunk_ranges(r_values.len(), config.chunk).len();
+    let n_chunks = exec::chunk_ranges(
+        r_values.len(),
+        exec::effective_chunk(r_values.len(), config.chunk),
+    )
+    .len();
     let in_order: Vec<usize> = (0..n_chunks).collect();
     let reference = run_in(&in_order);
 

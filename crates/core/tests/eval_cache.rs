@@ -224,8 +224,9 @@ fn concurrent_duplicate_requests_compute_once() {
     let op = OperatingPoint::nominal();
     let n = 8;
 
-    // Eight identical requests fanned out one per chunk: one computes,
-    // the rest either wait on the in-flight slot or hit the fresh entry.
+    // Eight identical requests fanned out across chunks (the small-grid
+    // policy coarsens the chunk-1 request to pairs): one computes, the
+    // rest either wait on the in-flight slot or hit the fresh entry.
     let requests: Vec<SimRequest> = (0..n).map(|_| SimRequest::vsa(&defect, 2e5, &op)).collect();
     let config = CampaignConfig::with_threads(4).with_chunk(1);
     let values: Vec<f64> = service

@@ -7,7 +7,7 @@
 //! `#[test]` — its own test binary is its isolation.
 
 use dso_core::analysis::{plane_campaign_with, Analyzer, CampaignFaults};
-use dso_core::exec::CampaignConfig;
+use dso_core::exec::{self, CampaignConfig};
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
@@ -146,8 +146,11 @@ fn trace_of_30_point_sweep_is_a_valid_span_tree() {
     let count = |name: &str| spans.values().filter(|s| s.name == name).count();
     assert_eq!(count("campaign.planes"), 1);
     assert_eq!(count("sweep.point"), 30);
-    // 30 points in chunks of 4 → 8 chunks, all executed off-thread.
-    assert_eq!(count("exec.chunk"), 8);
+    // 30 points with a configured chunk of 4: the small-grid policy
+    // coarsens to chunks of 8 → 4 chunks, all executed off-thread.
+    let chunks = exec::chunk_ranges(30, exec::effective_chunk(30, 4)).len();
+    assert_eq!(chunks, 4);
+    assert_eq!(count("exec.chunk"), chunks);
     assert!(count("dram.op_sequence") >= 30);
     assert!(count("spice.transient") >= count("dram.op_sequence"));
     // Fine-level spans must be filtered out at coarse level.

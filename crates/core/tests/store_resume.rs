@@ -1,0 +1,235 @@
+//! Kill-and-resume contract of the persistent result store: a campaign
+//! killed mid-write leaves a torn store; a restarted campaign against
+//! that store replays every completed point from disk — bit-identically
+//! at every thread count — and recomputes only what is missing. A full
+//! replay against a complete store reproduces the original campaign
+//! bit-for-bit without a single solve.
+
+use dso_core::analysis::{plane_campaign_in, Analyzer, CampaignFaults, PlaneCampaign};
+use dso_core::exec::CampaignConfig;
+use dso_core::store::ResultStore;
+use dso_core::EvalService;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::chaos::{FaultPlan, IoFaultKind};
+use dso_num::interp::logspace;
+use std::path::PathBuf;
+
+/// Coarse time step so debug-mode campaigns stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+fn analyzer() -> Analyzer {
+    Analyzer::new(fast_design())
+}
+
+fn sweep() -> Vec<f64> {
+    logspace(1e4, 1e7, 6).expect("valid sweep")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "dso-store-resume-{}-{name}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn campaign_on(service: &EvalService, threads: usize) -> PlaneCampaign {
+    plane_campaign_in(
+        service,
+        &Defect::cell_open(BitLineSide::True),
+        &OperatingPoint::nominal(),
+        &sweep(),
+        1,
+        &CampaignFaults::new(),
+        &CampaignConfig::with_threads(threads).with_chunk(2),
+    )
+    .expect("campaign runs")
+}
+
+/// Bitwise equality of the physics outputs of two campaigns.
+fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
+    assert_eq!(a.planes, b.planes, "{label}: planes diverged");
+    assert_eq!(a.report, b.report, "{label}: sweep report diverged");
+    assert_eq!(a.confidence, b.confidence, "{label}: confidence diverged");
+    assert_eq!(a.gaps(), b.gaps(), "{label}: gaps diverged");
+    let border = |c: &PlaneCampaign| {
+        c.border_from_intersection()
+            .expect("no gap straddles the border")
+            .map(f64::to_bits)
+    };
+    assert_eq!(border(a), border(b), "{label}: border bits diverged");
+}
+
+#[test]
+fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
+    // Reference: the uninterrupted cold campaign, no store.
+    let reference_service = EvalService::new(analyzer());
+    let reference = campaign_on(&reference_service, 1);
+    let total_requests = reference.perf.cache_hits + reference.perf.cache_misses;
+
+    // "Kill" a campaign mid-write: from I/O ordinal 10 on, every append
+    // short-writes (a prefix lands on disk, then the write "dies") —
+    // after ordinal 0 is consumed by the open, appends 1–9 persist
+    // cleanly and everything later leaves torn fragments, exactly the
+    // on-disk state of a process killed during its 10th store write.
+    let torn_path = tmp_path("torn");
+    let plan = FaultPlan::new().inject_io_span(10, usize::MAX, IoFaultKind::ShortWrite);
+    let context = EvalService::context_for(&analyzer());
+    let store = ResultStore::open_with_faults(&torn_path, context, plan).expect("open store");
+    let interrupted_service = EvalService::with_store(analyzer(), store).expect("context matches");
+    let interrupted = campaign_on(&interrupted_service, 1);
+    let persisted = interrupted_service
+        .store()
+        .expect("store attached")
+        .stats()
+        .appends;
+    assert_eq!(persisted, 9, "appends before the injected kill");
+    // The interrupted run itself still completed (write errors are
+    // absorbed) and matches the reference — durability, not correctness,
+    // is what the faults degraded.
+    assert_bit_identical(&reference, &interrupted, "interrupted vs reference");
+    drop(interrupted_service);
+    let torn_bytes = std::fs::read(&torn_path).expect("torn store bytes");
+    let _ = std::fs::remove_file(&torn_path);
+
+    // Probe what recovery finds in the torn file.
+    let probe_path = tmp_path("probe");
+    std::fs::write(&probe_path, &torn_bytes).expect("write probe copy");
+    let probe = ResultStore::open(&probe_path, context).expect("recovering open");
+    let loaded = probe.stats().records_loaded;
+    assert_eq!(loaded, persisted, "every clean append survives recovery");
+    assert!(
+        probe.stats().corrupt_skipped > 0 || probe.stats().torn_tail_bytes > 0,
+        "the kill left damage to recover from: {:?}",
+        probe.stats()
+    );
+    drop(probe);
+    let _ = std::fs::remove_file(&probe_path);
+
+    // Resume from identical torn bytes at every thread count: each run
+    // must replay the persisted points from disk and produce the same
+    // bits as every other thread count.
+    let mut resumed: Vec<(usize, PlaneCampaign)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let path = tmp_path(&format!("resume-t{threads}"));
+        std::fs::write(&path, &torn_bytes).expect("write resume copy");
+        let store = ResultStore::open(&path, context).expect("recovering open");
+        let service = EvalService::with_store(analyzer(), store).expect("context matches");
+        let campaign = campaign_on(&service, threads);
+
+        assert_eq!(
+            campaign.perf.disk_hits, loaded,
+            "threads = {threads}: every recovered record is replayed from disk"
+        );
+        assert_eq!(
+            campaign.perf.cache_hits as u64 + campaign.perf.cache_misses as u64,
+            total_requests as u64,
+            "threads = {threads}: same request volume as the reference"
+        );
+        assert_eq!(
+            campaign.perf.cache_misses,
+            total_requests - loaded,
+            "threads = {threads}: only the unpersisted points recompute"
+        );
+        let svc_stats = service.cache_stats();
+        assert_eq!(svc_stats.disk_hits, loaded as u64);
+        assert!(
+            svc_stats.hit_rate() > 0.0,
+            "cold resume must hit the disk tier"
+        );
+        let _ = std::fs::remove_file(&path);
+        resumed.push((threads, campaign));
+    }
+    let (_, first) = &resumed[0];
+    for (threads, campaign) in &resumed[1..] {
+        assert_bit_identical(first, campaign, &format!("resume threads = {threads}"));
+    }
+
+    // The resumed campaign answers the same physics as the reference: the
+    // replayed points are the reference's exact bits, and the recomputed
+    // ones agree on the extracted border to well under the ≥3% tolerance
+    // border consumers use.
+    let ref_border = reference
+        .border_from_intersection()
+        .unwrap()
+        .expect("border exists");
+    let res_border = first
+        .border_from_intersection()
+        .unwrap()
+        .expect("border exists");
+    assert!(
+        (res_border - ref_border).abs() < 0.01 * ref_border,
+        "resumed border {res_border:.4e} vs reference {ref_border:.4e}"
+    );
+}
+
+#[test]
+fn full_replay_from_a_complete_store_is_bit_identical_and_solve_free() {
+    let context = EvalService::context_for(&analyzer());
+    let path = tmp_path("full");
+
+    // Original campaign, fully persisted.
+    let store = ResultStore::open(&path, context).expect("open store");
+    let original_service = EvalService::with_store(analyzer(), store).expect("context matches");
+    let original = campaign_on(&original_service, 2);
+    assert_eq!(original_service.store().unwrap().stats().write_errors, 0);
+    drop(original_service);
+
+    // Replay on a fresh process (fresh service, reopened store): every
+    // request is served from disk, no transient runs.
+    let store = ResultStore::open(&path, context).expect("reopen store");
+    assert!(
+        !store.stats().recovered_anything(),
+        "clean shutdown left a clean file"
+    );
+    let replay_service = EvalService::with_store(analyzer(), store).expect("context matches");
+    let replay = campaign_on(&replay_service, 4);
+    assert_bit_identical(&original, &replay, "full replay");
+    assert_eq!(
+        replay.perf.cache_misses, 0,
+        "nothing recomputes on full replay"
+    );
+    assert_eq!(
+        replay.perf.disk_hits, replay.perf.cache_hits,
+        "every hit comes from the disk tier on a fresh service"
+    );
+    // Replayed recovery accounting matches the original computation.
+    assert_eq!(replay.perf.newton_iters, original.perf.newton_iters);
+    assert_eq!(replay.perf.solve_attempts, original.perf.solve_attempts);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn changed_design_invalidates_the_store_instead_of_replaying_stale_bits() {
+    let path = tmp_path("stale-design");
+    let context = EvalService::context_for(&analyzer());
+    let store = ResultStore::open(&path, context).expect("open store");
+    let service = EvalService::with_store(analyzer(), store).expect("context matches");
+    campaign_on(&service, 1);
+    let persisted = service.store().unwrap().stats().appends;
+    assert!(persisted > 0);
+    drop(service);
+
+    // A different column design is a different context: the old records
+    // are stale generations, skipped and compacted away — and attaching
+    // the store under the WRONG context is a hard error.
+    let changed = Analyzer::new(ColumnDesign {
+        dt_fraction: 1.0 / 300.0,
+        ..ColumnDesign::default()
+    });
+    let changed_context = EvalService::context_for(&changed);
+    assert_ne!(context, changed_context);
+    let store = ResultStore::open(&path, changed_context).expect("open under new context");
+    assert_eq!(store.stats().stale_skipped, persisted);
+    assert_eq!(store.stats().records_loaded, 0);
+    assert!(EvalService::with_store(analyzer(), store).is_err());
+    let _ = std::fs::remove_file(&path);
+}

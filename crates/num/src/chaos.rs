@@ -70,6 +70,35 @@ impl Window {
     }
 }
 
+/// A failure mode to inject into persistent-store I/O.
+///
+/// Durability code is exactly like recovery code: the paths that matter —
+/// a process killed mid-append, a disk that lies about flushing, a bit
+/// rotting in a cold file — never run in a healthy test environment.
+/// These faults make them reproducible on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// An append persists only a prefix of the record before the write
+    /// "fails" — the on-disk image a process killed mid-write leaves
+    /// behind (a torn tail).
+    ShortWrite,
+    /// The post-write flush reports an error; the data may or may not be
+    /// durable.
+    FlushFail,
+    /// One bit of the bytes read back from disk is flipped, as silent
+    /// media corruption would.
+    BitFlipRead,
+}
+
+impl IoFaultKind {
+    /// All I/O fault kinds, for exhaustive test sweeps.
+    pub const ALL: [IoFaultKind; 3] = [
+        IoFaultKind::ShortWrite,
+        IoFaultKind::FlushFail,
+        IoFaultKind::BitFlipRead,
+    ];
+}
+
 /// A deterministic schedule of solver faults, keyed by solve ordinal.
 ///
 /// The plan counts every solve that is armed through it (via
@@ -78,6 +107,10 @@ impl Window {
 /// counter is atomic so a plan can be shared across campaign worker
 /// threads; each sweep point clones its own plan, so ordinals never
 /// interleave between points.
+///
+/// I/O faults ([`IoFaultKind`]) are scheduled on an *independent* ordinal
+/// axis counted by [`FaultPlan::begin_io`]: the n-th store operation armed
+/// through the plan, unrelated to how many Newton solves ran before it.
 ///
 /// # Example
 ///
@@ -94,14 +127,18 @@ impl Window {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     entries: Vec<(Window, FaultKind)>,
+    io_entries: Vec<(Window, IoFaultKind)>,
     counter: AtomicUsize,
+    io_counter: AtomicUsize,
 }
 
 impl Clone for FaultPlan {
     fn clone(&self) -> Self {
         FaultPlan {
             entries: self.entries.clone(),
+            io_entries: self.io_entries.clone(),
             counter: AtomicUsize::new(self.counter.load(Ordering::Relaxed)),
+            io_counter: AtomicUsize::new(self.io_counter.load(Ordering::Relaxed)),
         }
     }
 }
@@ -118,8 +155,28 @@ impl FaultPlan {
     pub fn always(kind: FaultKind) -> Self {
         FaultPlan {
             entries: vec![(Window::Always, kind)],
-            counter: AtomicUsize::new(0),
+            ..FaultPlan::default()
         }
+    }
+
+    /// A plan that fails *every* store operation with `kind`.
+    pub fn io_always(kind: IoFaultKind) -> Self {
+        FaultPlan {
+            io_entries: vec![(Window::Always, kind)],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Schedules `kind` at one store-operation ordinal.
+    pub fn inject_io_at(mut self, ordinal: usize, kind: IoFaultKind) -> Self {
+        self.io_entries.push((Window::At(ordinal), kind));
+        self
+    }
+
+    /// Schedules `kind` for every store-operation ordinal in `[from, to)`.
+    pub fn inject_io_span(mut self, from: usize, to: usize, kind: IoFaultKind) -> Self {
+        self.io_entries.push((Window::Span(from, to), kind));
+        self
     }
 
     /// Schedules `kind` at one solve ordinal.
@@ -151,19 +208,48 @@ impl FaultPlan {
             .map(|&(_, k)| k)
     }
 
+    /// Arms the next store operation: advances the I/O ordinal counter and
+    /// returns the fault scheduled for it, if any.
+    pub fn begin_io(&self) -> Option<IoFaultKind> {
+        let ordinal = self.io_counter.fetch_add(1, Ordering::Relaxed);
+        self.io_fault_at(ordinal)
+    }
+
+    /// The I/O fault scheduled at `ordinal`, if any (does not advance the
+    /// counter).
+    pub fn io_fault_at(&self, ordinal: usize) -> Option<IoFaultKind> {
+        self.io_entries
+            .iter()
+            .find(|(w, _)| w.contains(ordinal))
+            .map(|&(_, k)| k)
+    }
+
     /// Number of solves armed through this plan so far.
     pub fn solves_started(&self) -> usize {
         self.counter.load(Ordering::Relaxed)
     }
 
-    /// Resets the ordinal counter to zero.
-    pub fn reset(&self) {
-        self.counter.store(0, Ordering::Relaxed);
+    /// Number of store operations armed through this plan so far.
+    pub fn io_started(&self) -> usize {
+        self.io_counter.load(Ordering::Relaxed)
     }
 
-    /// `true` if the plan schedules no faults at all.
+    /// Resets the ordinal counters (solve and I/O) to zero.
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+        self.io_counter.store(0, Ordering::Relaxed);
+    }
+
+    /// `true` if the plan schedules no solver faults. I/O-only plans are
+    /// "empty" to the solver layers, which lets a store-fault plan ride
+    /// through campaign plumbing without arming any Newton solve.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// `true` if the plan schedules no I/O faults.
+    pub fn io_is_empty(&self) -> bool {
+        self.io_entries.is_empty()
     }
 }
 
@@ -330,6 +416,39 @@ mod tests {
         assert!(solve_armed(&plan).is_ok());
         plan.reset();
         assert!(solve_armed(&plan).is_err());
+    }
+
+    #[test]
+    fn io_ordinals_are_independent_of_solve_ordinals() {
+        let plan = FaultPlan::new()
+            .inject_at(0, FaultKind::NanResidual)
+            .inject_io_at(1, IoFaultKind::ShortWrite)
+            .inject_io_span(3, 5, IoFaultKind::BitFlipRead);
+        // Solves advance only the solve counter.
+        assert!(solve_armed(&plan).is_err());
+        assert!(solve_armed(&plan).is_ok());
+        // The I/O axis still starts at ordinal 0.
+        assert_eq!(plan.begin_io(), None);
+        assert_eq!(plan.begin_io(), Some(IoFaultKind::ShortWrite));
+        assert_eq!(plan.begin_io(), None);
+        assert_eq!(plan.begin_io(), Some(IoFaultKind::BitFlipRead));
+        assert_eq!(plan.begin_io(), Some(IoFaultKind::BitFlipRead));
+        assert_eq!(plan.begin_io(), None);
+        assert_eq!(plan.io_started(), 6);
+        assert!(!plan.io_is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn io_only_plans_are_empty_to_the_solver() {
+        let plan = FaultPlan::io_always(IoFaultKind::FlushFail);
+        assert!(plan.is_empty());
+        assert!(!plan.io_is_empty());
+        assert!(solve_armed(&plan).is_ok());
+        assert_eq!(plan.begin_io(), Some(IoFaultKind::FlushFail));
+        plan.reset();
+        assert_eq!(plan.io_started(), 0);
+        assert_eq!(plan.begin_io(), Some(IoFaultKind::FlushFail));
     }
 
     #[test]

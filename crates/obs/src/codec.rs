@@ -1,0 +1,337 @@
+//! Minimal length-prefixed binary codec.
+//!
+//! The persistent result store serializes simulation values to disk and
+//! must replay them *bit-identically* — the workspace's determinism
+//! contract extends to anything a campaign resumes from. JSON would work
+//! (the in-tree writer round-trips `f64` bits) but costs parsing on every
+//! open of a multi-megabyte store, so the store uses this fixed-width
+//! little-endian codec instead: scalars by exact byte layout, sequences
+//! length-prefixed, no varints, no alignment games. Like [`crate::json`]
+//! it has no third-party dependencies.
+//!
+//! Decoding is defensive by construction: every read is bounds-checked
+//! and returns a typed [`CodecError`] instead of panicking, because the
+//! store feeds it bytes that may have been torn or bit-flipped on disk.
+
+use std::fmt;
+
+/// An append-only byte buffer with typed little-endian writers.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to 64 bits, so 32- and 64-bit hosts
+    /// produce identical bytes.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` by exact bit pattern (round-trips NaN payloads and
+    /// signed zeros).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte (`0` / `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u32(vs.len() as u32);
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the accumulated bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// A decode failure: what was expected, at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was trying to read.
+    pub expected: &'static str,
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "codec error at byte {}: truncated or invalid {}",
+            self.offset, self.expected
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked little-endian reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn err(&self, expected: &'static str) -> CodecError {
+        CodecError {
+            expected,
+            offset: self.pos,
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize, expected: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err(expected))?;
+        if end > self.bytes.len() {
+            return Err(self.err(expected));
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` written by [`ByteWriter::put_usize`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input or a value that does not fit the
+    /// host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let start = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError {
+            expected: "usize",
+            offset: start,
+        })
+    }
+
+    /// Reads an `f64` by exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean byte, rejecting anything but `0` / `1` (a flipped
+    /// bit must fail decoding, not silently become `true`).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input or a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        let start = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError {
+                expected: "bool",
+                offset: start,
+            }),
+        }
+    }
+
+    /// Reads a slice written by [`ByteWriter::put_f64_slice`], with the
+    /// element count capped at what the remaining bytes could possibly
+    /// hold (a corrupt length must not trigger a huge allocation).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on exhausted input or an implausible length prefix.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let start = self.pos;
+        let n = self.u32()? as usize;
+        if n > self.remaining() / 8 {
+            return Err(CodecError {
+                expected: "f64 slice",
+                offset: start,
+            });
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_bits() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::from_bits(0x7ff8_0000_0000_0001)); // NaN payload
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_f64_slice(&[1.5, 1e-300]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7ff8_0000_0000_0001);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        let vs = r.f64_vec().unwrap();
+        assert_eq!(vs, vec![1.5, 1e-300]);
+        assert!(r.is_exhausted());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error_with_offset() {
+        let mut w = ByteWriter::new();
+        w.put_u32(5);
+        let bytes = w.as_bytes();
+        let mut r = ByteReader::new(&bytes[..2]);
+        let err = r.u32().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.expected, "u32");
+        assert!(err.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn corrupt_bool_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(r.bool().is_err());
+    }
+
+    #[test]
+    fn implausible_slice_length_rejected() {
+        // Length prefix claims 1000 elements but only 8 bytes follow.
+        let mut w = ByteWriter::new();
+        w.put_u32(1000);
+        w.put_f64(1.0);
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).f64_vec().is_err());
+        // An empty slice is fine.
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&[]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            ByteReader::new(&bytes).f64_vec().unwrap(),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn writer_len_and_bytes_access() {
+        let mut w = ByteWriter::new();
+        assert!(w.is_empty());
+        w.put_bytes(&[1, 2, 3]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.as_bytes(), &[1, 2, 3]);
+    }
+}

@@ -37,10 +37,12 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod codec;
 pub mod json;
 pub mod metrics;
 pub mod span;
 
+pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Shard};
 pub use span::{

@@ -5,7 +5,9 @@
 //! faster than its cold run, with identical bits), and writes
 //! `BENCH_campaign.json` (schema per record:
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! dedup_waits}`).
+//! disk_hit_rate, dedup_waits}`). A disk-resume scenario additionally
+//! replays the campaign from a persistent [`ResultStore`] on a fresh
+//! service and gates on bit-identity and a full disk hit rate.
 //!
 //! Run in release mode — debug-mode timings are meaningless:
 //!
@@ -31,6 +33,7 @@ use dram_stress_opt::analysis::{
 use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
 use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::exec::CampaignConfig;
+use dram_stress_opt::store::ResultStore;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
@@ -69,6 +72,7 @@ fn main() {
         points: cold_perf.points,
         newton_iters: cold_perf.newton_iters,
         cache_hit_rate: cold_perf.cache_hit_rate(),
+        disk_hit_rate: cold_perf.disk_hit_rate(),
         dedup_waits: 0,
     });
     let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
@@ -79,6 +83,7 @@ fn main() {
         points: warm_perf.points,
         newton_iters: warm_perf.newton_iters,
         cache_hit_rate: warm_perf.cache_hit_rate(),
+        disk_hit_rate: warm_perf.disk_hit_rate(),
         dedup_waits: 0,
     });
     let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
@@ -110,6 +115,7 @@ fn main() {
         points: serial.perf.points,
         newton_iters: serial.perf.newton_iters,
         cache_hit_rate: serial.perf.cache_hit_rate(),
+        disk_hit_rate: serial.perf.disk_hit_rate(),
         dedup_waits: 0,
     });
     let mut widest_speedup_per_core = f64::INFINITY;
@@ -123,6 +129,7 @@ fn main() {
             points: parallel.perf.points,
             newton_iters: parallel.perf.newton_iters,
             cache_hit_rate: parallel.perf.cache_hit_rate(),
+            disk_hit_rate: parallel.perf.disk_hit_rate(),
             dedup_waits: 0,
         });
         let speedup = serial_ms / ms;
@@ -155,6 +162,7 @@ fn main() {
         points: obs_run.perf.points,
         newton_iters: obs_run.perf.newton_iters,
         cache_hit_rate: obs_run.perf.cache_hit_rate(),
+        disk_hit_rate: obs_run.perf.disk_hit_rate(),
         dedup_waits: 0,
     });
     println!(
@@ -189,6 +197,7 @@ fn main() {
         points: shared_cold.perf.points,
         newton_iters: shared_cold.perf.newton_iters,
         cache_hit_rate: shared_cold.perf.cache_hit_rate(),
+        disk_hit_rate: shared_cold.perf.disk_hit_rate(),
         dedup_waits: 0,
     });
     let (cached_ms, cached) = median_of(REPEATS, run_shared);
@@ -200,6 +209,7 @@ fn main() {
         points: cached.perf.points,
         newton_iters: cached.perf.newton_iters,
         cache_hit_rate: cached.perf.cache_hit_rate(),
+        disk_hit_rate: cached.perf.disk_hit_rate(),
         dedup_waits: cache_stats.dedup_waits as usize,
     });
     let cache_speedup = shared_cold_ms / cached_ms.max(1e-6);
@@ -230,6 +240,79 @@ fn main() {
         );
         failed = true;
     }
+
+    // --- persistent store: disk-resume replay on a fresh service ---------
+    // A campaign persisted through the result store, then replayed by a
+    // *fresh* service against the reopened store — the cold-restart path a
+    // resumed campaign takes. Every request must come back from the disk
+    // tier, bit-identical, with zero recomputation.
+    let store_path =
+        std::env::temp_dir().join(format!("dso-bench-store-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let context = EvalService::context_for(&analyzer);
+    let store = ResultStore::open(&store_path, context).expect("open bench store");
+    let persist_service =
+        EvalService::with_store(analyzer.clone(), store).expect("context matches");
+    let run_persisted = |service: &EvalService| {
+        plane_campaign_in(
+            service,
+            &defect,
+            &op,
+            &r_values,
+            N_OPS,
+            &faults,
+            &serial_cfg,
+        )
+        .expect("campaign runs")
+    };
+    let (persist_ms, persisted) = median_of(1, || run_persisted(&persist_service));
+    drop(persist_service);
+    let store = ResultStore::open(&store_path, context).expect("reopen bench store");
+    let resume_service = EvalService::with_store(analyzer.clone(), store).expect("context matches");
+    let (resume_ms, resumed) = median_of(1, || run_persisted(&resume_service));
+    let store_stats = resume_service.store().expect("store attached").stats();
+    records.push(BenchRecord {
+        name: "plane_campaign/disk-resume".into(),
+        threads: 1,
+        wall_ms: resume_ms,
+        points: resumed.perf.points,
+        newton_iters: resumed.perf.newton_iters,
+        cache_hit_rate: resumed.perf.cache_hit_rate(),
+        disk_hit_rate: resumed.perf.disk_hit_rate(),
+        dedup_waits: 0,
+    });
+    println!(
+        "disk resume: persist {:.0} ms -> replay {:.2} ms ({} records on disk, \
+         disk hit rate {:.0}%)",
+        persist_ms,
+        resume_ms,
+        store_stats.records_loaded,
+        100.0 * resumed.perf.disk_hit_rate()
+    );
+    if resumed.planes != persisted.planes
+        || resumed.report != persisted.report
+        || resumed.gaps() != persisted.gaps()
+    {
+        eprintln!("FAIL: disk-resume replay diverged from the persisted run");
+        failed = true;
+    }
+    if resumed.perf.cache_misses != 0 {
+        eprintln!(
+            "FAIL: disk-resume replay re-simulated {} points",
+            resumed.perf.cache_misses
+        );
+        failed = true;
+    }
+    if resumed.perf.disk_hits != resumed.perf.cache_hits {
+        eprintln!(
+            "FAIL: disk-resume replay served {} of {} hits from memory, not disk",
+            resumed.perf.cache_hits - resumed.perf.disk_hits,
+            resumed.perf.cache_hits
+        );
+        failed = true;
+    }
+    drop(resume_service);
+    let _ = std::fs::remove_file(&store_path);
 
     // --- perf-regression gate vs the committed baseline ------------------
     let current = BenchBaseline {
@@ -272,8 +355,28 @@ fn main() {
         .unwrap_or(0);
     let archived = format!("results/BENCH_campaign-{stamp}.json");
     std::fs::write(&archived, &json).unwrap_or_else(|e| panic!("write {archived}: {e}"));
+    // Store stats from the disk-resume scenario ride along in the archive
+    // so a perf investigation can see recovery/compaction behaviour too.
+    let store_json = format!(
+        "{{\n  \"records_loaded\": {},\n  \"stale_skipped\": {},\n  \
+         \"corrupt_skipped\": {},\n  \"torn_tail_bytes\": {},\n  \
+         \"appends\": {},\n  \"write_errors\": {},\n  \"hits\": {},\n  \
+         \"misses\": {},\n  \"compactions\": {}\n}}\n",
+        store_stats.records_loaded,
+        store_stats.stale_skipped,
+        store_stats.corrupt_skipped,
+        store_stats.torn_tail_bytes,
+        store_stats.appends,
+        store_stats.write_errors,
+        store_stats.hits,
+        store_stats.misses,
+        store_stats.compactions
+    );
+    let store_archived = format!("results/STORE_resume-{stamp}.json");
+    std::fs::write(&store_archived, &store_json)
+        .unwrap_or_else(|e| panic!("write {store_archived}: {e}"));
     println!(
-        "wrote BENCH_campaign.json and {archived} ({} records)",
+        "wrote BENCH_campaign.json, {archived} ({} records), and {store_archived}",
         records.len()
     );
     if failed {

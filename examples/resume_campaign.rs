@@ -1,0 +1,183 @@
+//! Kill-and-resume drill for the persistent result store: run a campaign
+//! whose store "dies" mid-append (injected short writes), reopen the torn
+//! file the way a restarted process would, and resume the campaign. The
+//! drill gates — and exits non-zero if any gate fails — on:
+//!
+//! * recovery never aborting and counting the torn damage it discards,
+//! * the resumed campaign replaying every persisted point from the disk
+//!   tier (no re-simulation of completed work),
+//! * the resumed campaign answering the same physics: replayed points are
+//!   the original bits, and the extracted border agrees to well under the
+//!   tolerance border consumers use. (The points the resume *recomputes*
+//!   restart their warm-seed chains, so the full output is equivalent, not
+//!   bit-identical, to the uninterrupted run; bit-identity across thread
+//!   counts of the resume itself is pinned by the `store_resume` tests.)
+//!
+//! Store recovery stats land in a timestamped JSON under `results/`.
+//! In production the same flow is driven by the `DSO_STORE` environment
+//! variable (see README); here the store is attached explicitly so the
+//! fault plan can tear it on purpose.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example resume_campaign
+//! ```
+
+use dram_stress_opt::analysis::{plane_campaign_in, Analyzer, CampaignFaults, PlaneCampaign};
+use dram_stress_opt::defects::{BitLineSide, Defect};
+use dram_stress_opt::dram::design::{ColumnDesign, OperatingPoint};
+use dram_stress_opt::eval::EvalService;
+use dram_stress_opt::exec::CampaignConfig;
+use dram_stress_opt::num::chaos::{FaultPlan, IoFaultKind};
+use dram_stress_opt::num::interp::logspace;
+use dram_stress_opt::store::ResultStore;
+
+/// I/O ordinal at which every later store write starts short-writing —
+/// the moment the simulated process is "killed".
+const KILL_AT: usize = 8;
+
+fn campaign_on(service: &EvalService, threads: usize) -> PlaneCampaign {
+    plane_campaign_in(
+        service,
+        &Defect::cell_open(BitLineSide::True),
+        &OperatingPoint::nominal(),
+        &logspace(1e4, 1e7, 8).expect("valid sweep"),
+        1,
+        &CampaignFaults::new(),
+        &CampaignConfig::with_threads(threads).with_chunk(2),
+    )
+    .expect("campaign runs")
+}
+
+fn main() {
+    // Coarser time base than the production default keeps the drill
+    // affordable while exercising the identical persistence hot path.
+    let analyzer = Analyzer::new(ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    });
+    let context = EvalService::context_for(&analyzer);
+    let path = std::env::temp_dir().join(format!("dso-resume-drill-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut failed = false;
+
+    // 1. The campaign that dies: from I/O ordinal KILL_AT on, every append
+    //    persists only a prefix of its record — the on-disk state of a
+    //    process killed mid-write. The campaign itself still completes
+    //    (write failures degrade durability, never correctness).
+    let plan = FaultPlan::new().inject_io_span(KILL_AT, usize::MAX, IoFaultKind::ShortWrite);
+    let store = ResultStore::open_with_faults(&path, context, plan).expect("open store");
+    let service = EvalService::with_store(analyzer.clone(), store).expect("context matches");
+    let interrupted = campaign_on(&service, 1);
+    let at_kill = service.store().expect("store attached").stats();
+    println!(
+        "interrupted run: {} clean appends, {} torn writes, {}",
+        at_kill.appends, at_kill.write_errors, interrupted.report
+    );
+    if at_kill.write_errors == 0 {
+        eprintln!("FAIL: the kill never fired — no torn writes injected");
+        failed = true;
+    }
+    drop(service);
+
+    // 2. Restart: reopen the torn file. Recovery must keep every cleanly
+    //    appended record, drop the torn fragments, and count the damage.
+    let store = ResultStore::open(&path, context).expect("recovering open never aborts");
+    let recovered = store.stats();
+    println!(
+        "recovery: {} records kept, {} corrupt skipped, {} torn tail bytes, \
+         {} compaction(s)",
+        recovered.records_loaded,
+        recovered.corrupt_skipped,
+        recovered.torn_tail_bytes,
+        recovered.compactions
+    );
+    if recovered.records_loaded != at_kill.appends {
+        eprintln!(
+            "FAIL: recovery kept {} of {} clean appends",
+            recovered.records_loaded, at_kill.appends
+        );
+        failed = true;
+    }
+    if !recovered.recovered_anything() {
+        eprintln!("FAIL: the torn tail left no trace in the recovery stats");
+        failed = true;
+    }
+
+    // 3. Resume: a fresh service over the recovered store replays every
+    //    persisted point from disk and recomputes only what is missing —
+    //    bit-identically to the uninterrupted run.
+    let service = EvalService::with_store(analyzer, store).expect("context matches");
+    let resumed = campaign_on(&service, 2);
+    let store_stats = service.store().expect("store attached").stats();
+    println!(
+        "resumed run: {} disk hits, {} recomputed, {}",
+        resumed.perf.disk_hits, resumed.perf.cache_misses, resumed.report
+    );
+    if resumed.perf.disk_hits != recovered.records_loaded {
+        eprintln!(
+            "FAIL: resume replayed {} of {} recovered records from disk",
+            resumed.perf.disk_hits, recovered.records_loaded
+        );
+        failed = true;
+    }
+    if resumed.perf.cache_misses
+        != interrupted.perf.cache_hits + interrupted.perf.cache_misses - recovered.records_loaded
+    {
+        eprintln!(
+            "FAIL: resume recomputed {} points (expected only the unpersisted ones)",
+            resumed.perf.cache_misses
+        );
+        failed = true;
+    }
+    if resumed.report.failed() != 0 || !resumed.gaps().is_empty() {
+        eprintln!("FAIL: resumed campaign lost points: {}", resumed.report);
+        failed = true;
+    }
+    let border = |c: &PlaneCampaign| {
+        c.border_from_intersection()
+            .expect("no gap straddles the border")
+            .expect("border in sweep")
+    };
+    let (b_interrupted, b_resumed) = (border(&interrupted), border(&resumed));
+    if (b_resumed - b_interrupted).abs() >= 0.01 * b_interrupted {
+        eprintln!("FAIL: resumed border {b_resumed:.4e} vs uninterrupted {b_interrupted:.4e}");
+        failed = true;
+    }
+    drop(service);
+    let _ = std::fs::remove_file(&path);
+
+    // 4. Archive the drill's recovery stats under results/.
+    std::fs::create_dir_all("results").expect("create results/");
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"records_loaded\": {},\n  \"stale_skipped\": {},\n  \
+         \"corrupt_skipped\": {},\n  \"torn_tail_bytes\": {},\n  \
+         \"appends\": {},\n  \"write_errors\": {},\n  \"hits\": {},\n  \
+         \"misses\": {},\n  \"compactions\": {},\n  \"disk_hits\": {},\n  \
+         \"recomputed\": {}\n}}\n",
+        recovered.records_loaded,
+        recovered.stale_skipped,
+        recovered.corrupt_skipped,
+        recovered.torn_tail_bytes,
+        store_stats.appends,
+        at_kill.write_errors,
+        store_stats.hits,
+        store_stats.misses,
+        recovered.compactions,
+        resumed.perf.disk_hits,
+        resumed.perf.cache_misses
+    );
+    let archived = format!("results/RESUME_drill-{stamp}.json");
+    std::fs::write(&archived, &json).unwrap_or_else(|e| panic!("write {archived}: {e}"));
+    println!("wrote {archived}");
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("resume drill: OK");
+}
