@@ -34,8 +34,10 @@ echo "==> bench (release, emits BENCH_campaign.json + results/ copy)"
 # Times serial vs parallel campaigns and exits non-zero if the parallel
 # output diverges from serial, the warm-start saving regresses below 20%,
 # the cached repeat campaign is less than 5x faster than its cold run (the
-# evaluation-cache gate; hit rate and dedup count land in the JSON), or a
-# derived figure regresses >25% vs the committed BENCH_baseline.json.
+# evaluation-cache gate; hit rate and dedup count land in the JSON), the
+# batched lanes=8 campaign is slower than (or diverges from) the cold
+# scalar solver, or a derived figure regresses >25% vs the committed
+# BENCH_baseline.json.
 # Refresh the baseline after an intentional perf change with:
 #   cargo run --release --example bench_campaign -- --write-baseline
 cargo run --release -q --offline --example bench_campaign

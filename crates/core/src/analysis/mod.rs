@@ -23,6 +23,7 @@ pub mod sweep;
 pub use border::{find_border, refine_border_from_planes, BorderResistance};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
+#[allow(deprecated)] // the shims stay re-exported for one release
 pub use planes::{
     plane_campaign, plane_campaign_in, plane_campaign_with, result_planes, result_planes_in,
     result_planes_with, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane,

@@ -111,6 +111,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 ///   by the cores that could actually serve it
 ///   (`min(threads, available_parallelism)`), i.e. per-core scaling
 ///   efficiency in `(0, 1]`.
+/// * `batch_speedup` — cold points-per-second of the lanes=8 batched
+///   solver over the cold scalar solver at one thread. Single-threaded
+///   on both sides, so the ratio isolates the SoA payoff from scheduling
+///   noise and stays comparable across hosts.
 ///
 /// Refresh after an intentional perf change with:
 ///
@@ -123,6 +127,9 @@ pub struct BenchBaseline {
     pub warm_iter_saving: f64,
     /// Parallel speedup per effective core (wall-clock derived).
     pub speedup_per_core: f64,
+    /// Cold batched (lanes=8) over cold scalar points-per-second at one
+    /// thread (wall-clock derived).
+    pub batch_speedup: f64,
 }
 
 impl BenchBaseline {
@@ -141,6 +148,7 @@ impl BenchBaseline {
                 "speedup_per_core".to_string(),
                 Json::Num(self.speedup_per_core),
             ),
+            ("batch_speedup".to_string(), Json::Num(self.batch_speedup)),
         ]))
         .to_string();
         doc.push('\n');
@@ -163,6 +171,7 @@ impl BenchBaseline {
         Ok(BenchBaseline {
             warm_iter_saving: field("warm_iter_saving")?,
             speedup_per_core: field("speedup_per_core")?,
+            batch_speedup: field("batch_speedup")?,
         })
     }
 
@@ -191,6 +200,11 @@ impl BenchBaseline {
             "parallel speedup per core",
             self.speedup_per_core,
             current.speedup_per_core,
+        );
+        gate(
+            "batched solver speedup over scalar",
+            self.batch_speedup,
+            current.batch_speedup,
         );
         out
     }
@@ -270,6 +284,7 @@ mod tests {
         let base = BenchBaseline {
             warm_iter_saving: 0.4,
             speedup_per_core: 0.8,
+            batch_speedup: 2.0,
         };
         let parsed = BenchBaseline::from_json(&base.to_json()).expect("round trip");
         assert_eq!(parsed, base);
@@ -278,18 +293,21 @@ mod tests {
         let ok = BenchBaseline {
             warm_iter_saving: 0.35,
             speedup_per_core: 0.9,
+            batch_speedup: 2.4,
         };
         assert!(base.regressions(&ok, 0.25).is_empty());
 
-        // A >25% drop in either figure is called out.
+        // A >25% drop in any figure is called out.
         let bad = BenchBaseline {
             warm_iter_saving: 0.2,
             speedup_per_core: 0.5,
+            batch_speedup: 1.1,
         };
         let msgs = base.regressions(&bad, 0.25);
-        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
         assert!(msgs[0].contains("warm-start"), "{msgs:?}");
-        assert!(msgs[1].contains("speedup"), "{msgs:?}");
+        assert!(msgs[1].contains("speedup per core"), "{msgs:?}");
+        assert!(msgs[2].contains("batched"), "{msgs:?}");
 
         assert!(BenchBaseline::from_json("{}").is_err());
         assert!(BenchBaseline::from_json("nope").is_err());

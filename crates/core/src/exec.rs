@@ -73,6 +73,14 @@ pub struct CampaignConfig {
     /// Seed each point's transients from its chunk predecessor's converged
     /// traces.
     pub warm_start: bool,
+    /// Batched-solver lane width: how many independent sweep points the
+    /// evaluation service advances per Newton iteration through the
+    /// structure-of-arrays backend (see [`dso_num::batch`]). `1` (the
+    /// default) keeps the scalar path — including warm-start chaining —
+    /// bit-for-bit. Widths above 1 run every point cold (lane batching and
+    /// warm-start seeds are mutually exclusive), producing bits identical
+    /// to a scalar run with `warm_start` disabled at any thread count.
+    pub lanes: usize,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +96,7 @@ impl CampaignConfig {
             threads: 1,
             chunk: DEFAULT_CHUNK,
             warm_start: true,
+            lanes: 1,
         }
     }
 
@@ -100,37 +109,30 @@ impl CampaignConfig {
     }
 
     /// Reads the thread count from the `DSO_THREADS` environment variable
-    /// (falling back to [`std::thread::available_parallelism`]) and the
-    /// chunk size from `DSO_CHUNK` (falling back to [`DEFAULT_CHUNK`]).
+    /// (falling back to [`std::thread::available_parallelism`]), the chunk
+    /// size from `DSO_CHUNK` (falling back to [`DEFAULT_CHUNK`]), and the
+    /// batched-solver lane width from `DSO_LANES` (falling back to `1`,
+    /// the scalar path).
     ///
     /// Invalid or zero values never panic and never silently misconfigure
     /// the campaign: the offending variable falls back to its default and a
     /// single warning is printed to stderr (once per process, not once per
-    /// campaign).
+    /// campaign) — see [`crate::env`].
     pub fn from_env() -> Self {
-        let threads = match parse_setting(std::env::var("DSO_THREADS").ok().as_deref()) {
-            Ok(n) => n,
-            Err(raw) => {
-                warn_once_threads(&raw);
-                None
-            }
-        }
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        let chunk = match parse_setting(std::env::var("DSO_CHUNK").ok().as_deref()) {
-            Ok(n) => n,
-            Err(raw) => {
-                warn_once_chunk(&raw);
-                None
-            }
-        }
-        .unwrap_or(DEFAULT_CHUNK);
+        let threads = crate::env::positive_usize("DSO_THREADS", "available parallelism")
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        let chunk = crate::env::positive_usize("DSO_CHUNK", "the default chunk size")
+            .unwrap_or(DEFAULT_CHUNK);
+        let lanes =
+            crate::env::positive_usize("DSO_LANES", "the scalar solver (1 lane)").unwrap_or(1);
         CampaignConfig {
             threads,
             chunk,
+            lanes,
             ..CampaignConfig::serial()
         }
     }
@@ -146,45 +148,15 @@ impl CampaignConfig {
         self.warm_start = enabled;
         self
     }
-}
 
-/// Parses a positive-integer execution setting from an environment
-/// variable's raw value.
-///
-/// Returns `Ok(None)` when the variable is unset or empty (use the
-/// default silently), `Ok(Some(n))` for a valid positive integer, and
-/// `Err(raw)` for anything else — including `0`, which would otherwise be
-/// clamped into a configuration the user did not ask for.
-fn parse_setting(raw: Option<&str>) -> Result<Option<usize>, String> {
-    let Some(raw) = raw else { return Ok(None) };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
+    /// Sets the batched-solver lane width (clamped to at least 1). Widths
+    /// above 1 route evaluation batches through the structure-of-arrays
+    /// Newton backend and run every point cold; see the
+    /// [`CampaignConfig::lanes`] field docs for the determinism contract.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
     }
-    match trimmed.parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(Some(n)),
-        _ => Err(raw.to_string()),
-    }
-}
-
-fn warn_once_threads(raw: &str) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "warning: ignoring invalid DSO_THREADS={raw:?} (want a positive integer); \
-             using available parallelism"
-        );
-    });
-}
-
-fn warn_once_chunk(raw: &str) {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "warning: ignoring invalid DSO_CHUNK={raw:?} (want a positive integer); \
-             using the default chunk size of {DEFAULT_CHUNK}"
-        );
-    });
 }
 
 /// `RecoveryStats`-style tally of campaign execution performance: how many
@@ -508,10 +480,15 @@ mod tests {
         assert_eq!(cfg.threads, 1);
         let cfg = CampaignConfig::serial()
             .with_chunk(0)
-            .with_warm_start(false);
+            .with_warm_start(false)
+            .with_lanes(0);
         assert_eq!(cfg.chunk, 1);
         assert!(!cfg.warm_start);
-        assert!(CampaignConfig::from_env().threads >= 1);
+        assert_eq!(cfg.lanes, 1);
+        assert_eq!(CampaignConfig::serial().with_lanes(4).lanes, 4);
+        let env_cfg = CampaignConfig::from_env();
+        assert!(env_cfg.threads >= 1);
+        assert!(env_cfg.lanes >= 1);
     }
 
     #[test]
@@ -593,31 +570,5 @@ mod tests {
             let got = map_chunked(30, &cfg, |range| range.map(|i| i * 7).collect::<Vec<_>>());
             assert_eq!(got, expected, "threads = {threads}");
         }
-    }
-
-    #[test]
-    fn parse_setting_accepts_positive_integers() {
-        assert_eq!(parse_setting(Some("4")), Ok(Some(4)));
-        assert_eq!(parse_setting(Some("  12 ")), Ok(Some(12)));
-        assert_eq!(parse_setting(Some("1")), Ok(Some(1)));
-    }
-
-    #[test]
-    fn parse_setting_unset_or_empty_uses_default_silently() {
-        assert_eq!(parse_setting(None), Ok(None));
-        assert_eq!(parse_setting(Some("")), Ok(None));
-        assert_eq!(parse_setting(Some("   ")), Ok(None));
-    }
-
-    #[test]
-    fn parse_setting_rejects_zero_and_garbage() {
-        assert_eq!(parse_setting(Some("0")), Err("0".to_string()));
-        assert_eq!(parse_setting(Some("-3")), Err("-3".to_string()));
-        assert_eq!(parse_setting(Some("four")), Err("four".to_string()));
-        assert_eq!(parse_setting(Some("4.5")), Err("4.5".to_string()));
-        assert_eq!(
-            parse_setting(Some("18446744073709551616")), // usize::MAX + 1
-            Err("18446744073709551616".to_string())
-        );
     }
 }

@@ -50,13 +50,16 @@
 
 pub mod analysis;
 pub mod bench;
+pub mod env;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod session;
 pub mod store;
 pub mod stress;
 
 pub use error::CoreError;
 pub use eval::{CacheStats, EvalService, SimRequest, SimTask, SimValue};
 pub use exec::{CampaignConfig, CampaignPerfStats};
+pub use session::{Session, SessionBuilder};
 pub use store::{ResultStore, StoreStats, StoredResult};

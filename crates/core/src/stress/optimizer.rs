@@ -2,11 +2,10 @@
 
 use super::probe::{combine_trends, probe_stress, DecisionBasis, StressDecision};
 use super::types::{Direction, StressKind};
-use crate::analysis::{
-    derive_detection, find_border, Analyzer, BorderResistance, Confidence, DetectionCondition,
-};
+use crate::analysis::{Analyzer, BorderResistance, Confidence, DetectionCondition};
 use crate::eval::EvalService;
 use crate::exec::{self, CampaignConfig};
+use crate::session::Session;
 use crate::CoreError;
 use dso_defects::Defect;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
@@ -158,24 +157,35 @@ impl fmt::Display for StressReport {
 
 /// Optimizes stress combinations for defects of a column design.
 ///
-/// All simulations route through one [`EvalService`], so repeated probes
-/// and border re-measurements at coinciding operating points (e.g. the
-/// SC-retry path re-deciding every stress) replay from the memo cache.
-/// The service is built with [`EvalService::from_env`], so setting
-/// `DSO_STORE` makes a killed optimization resumable from its persistent
-/// result store (the operating point is part of each request's content
-/// key, so one store serves every stress candidate).
+/// All simulations route through one [`Session`] (and thus one
+/// [`EvalService`]), so repeated probes and border re-measurements at
+/// coinciding operating points (e.g. the SC-retry path re-deciding every
+/// stress) replay from the memo cache. [`StressOptimizer::new`] builds
+/// the session from the environment, so setting `DSO_STORE` makes a
+/// killed optimization resumable from its persistent result store (the
+/// operating point is part of each request's content key, so one store
+/// serves every stress candidate); [`StressOptimizer::with_session`]
+/// reuses a caller-prepared session — border probes then share its cache
+/// with any analysis already run on it.
 #[derive(Debug)]
 pub struct StressOptimizer {
-    service: EvalService,
+    session: Session,
     config: OptimizerConfig,
 }
 
 impl StressOptimizer {
     /// Creates an optimizer with the default configuration.
     pub fn new(design: ColumnDesign) -> Self {
+        Self::with_session(Session::with_design(design))
+    }
+
+    /// Creates an optimizer on a caller-prepared session, sharing its
+    /// evaluation cache. The optimizer's execution policy stays
+    /// [`OptimizerConfig::exec`] (candidate border probes), not the
+    /// session's campaign config.
+    pub fn with_session(session: Session) -> Self {
         StressOptimizer {
-            service: EvalService::from_env(Analyzer::new(design)),
+            session,
             config: OptimizerConfig::default(),
         }
     }
@@ -188,12 +198,17 @@ impl StressOptimizer {
 
     /// The analyzer in use.
     pub fn analyzer(&self) -> &Analyzer {
-        self.service.analyzer()
+        self.session.service().analyzer()
+    }
+
+    /// The session (service + campaign config) in use.
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The evaluation service (and memo cache) in use.
     pub fn service(&self) -> &EvalService {
-        &self.service
+        self.session.service()
     }
 
     /// The configuration in use.
@@ -221,20 +236,20 @@ impl StressOptimizer {
     ) -> Result<StressReport, CoreError> {
         let _span = dso_obs::span("optimizer.optimize");
         dso_obs::counter!("optimizer.runs").incr();
-        let service = &self.service;
         // 1. Nominal analysis.
         let mut detection = DetectionCondition::default_for(defect, 1);
         let coarse_border =
-            find_border(service, defect, &detection, nominal, self.config.border_tol)?;
-        detection = derive_detection(
-            service,
+            self.session
+                .border(defect, &detection, nominal, self.config.border_tol)?;
+        detection = self.session.detect(
             defect,
             coarse_border.resistance,
             nominal,
             self.config.max_settling_writes,
         )?;
         let nominal_border =
-            find_border(service, defect, &detection, nominal, self.config.border_tol)?;
+            self.session
+                .border(defect, &detection, nominal, self.config.border_tol)?;
         let nominal_report = BorderReport {
             border: nominal_border,
             detection: detection.clone(),
@@ -310,7 +325,7 @@ impl StressOptimizer {
         r_ref: f64,
         force_border_comparison: bool,
     ) -> Result<Vec<StressDecision>, CoreError> {
-        let service = &self.service;
+        let service = self.session.service();
         let mut base = *nominal;
         let mut decisions = Vec::with_capacity(self.config.stresses.len());
         for &kind in &self.config.stresses {
@@ -360,7 +375,6 @@ impl StressOptimizer {
         nominal: &OperatingPoint,
         probes: super::probe::StressProbes,
     ) -> Result<StressDecision, CoreError> {
-        let service = &self.service;
         let kind = probes.kind;
         // Route the candidate borders through the campaign executor: each
         // candidate is an independent bisection, so chunk size 1 maximizes
@@ -372,7 +386,8 @@ impl StressOptimizer {
                 .map(|i| {
                     let value = probes.values[i];
                     let border = kind.apply_to(nominal, value).and_then(|op| {
-                        find_border(service, defect, detection, &op, self.config.border_tol)
+                        self.session
+                            .border(defect, detection, &op, self.config.border_tol)
                     });
                     (value, border)
                 })
@@ -438,7 +453,6 @@ impl StressOptimizer {
         r_ref: f64,
         decisions: &[StressDecision],
     ) -> Result<(DetectionCondition, BorderResistance, OperatingPoint), CoreError> {
-        let service = &self.service;
         let mut stressed_op = *nominal;
         for d in decisions {
             stressed_op = d.kind.apply_to(&stressed_op, d.chosen_value)?;
@@ -446,15 +460,10 @@ impl StressOptimizer {
         // Re-derive the detection condition near the expected stressed
         // border (start from the nominal border; the stressed border is
         // nearby in log space).
-        let stressed_detection = derive_detection(
-            service,
-            defect,
-            r_ref,
-            &stressed_op,
-            self.config.max_settling_writes,
-        )?;
-        let stressed_border = find_border(
-            service,
+        let stressed_detection =
+            self.session
+                .detect(defect, r_ref, &stressed_op, self.config.max_settling_writes)?;
+        let stressed_border = self.session.border(
             defect,
             &stressed_detection,
             &stressed_op,

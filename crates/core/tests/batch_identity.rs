@@ -1,0 +1,152 @@
+//! Bit-identity contract of the batched structure-of-arrays solver path.
+//!
+//! A campaign run with `lanes > 1` routes every clean sweep point through
+//! the SoA Newton backend (`dso_num::batch`), which advances several
+//! points per iteration in lockstep. The contract: its planes, sweep
+//! report, gaps, and border are **bit-identical** to the scalar path with
+//! warm-start disabled, at every lane width and every thread count —
+//! including partial lane tails (grids that don't divide the width) and
+//! faulted points that fall out of the batch onto the scalar recovery
+//! ladder mid-campaign.
+
+use std::sync::OnceLock;
+
+use dso_core::analysis::{Analyzer, CampaignFaults, PlaneCampaign};
+use dso_core::exec::CampaignConfig;
+use dso_core::{EvalService, Session};
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::chaos::{FaultKind, FaultPlan};
+use dso_num::interp::logspace;
+
+/// Very coarse time step: this suite runs ~10 full campaigns in debug
+/// mode, and bit-identity between two code paths holds at any step size.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 100.0,
+        ..ColumnDesign::default()
+    }
+}
+
+/// One campaign with a fresh service (no memo carry-over between runs —
+/// a shared cache would make the comparison trivially true).
+fn campaign(config: CampaignConfig, faults: &CampaignFaults, r_values: &[f64]) -> PlaneCampaign {
+    let session = Session::from_parts(EvalService::new(Analyzer::new(fast_design())), config);
+    session
+        .planes_faulted(
+            &Defect::cell_open(BitLineSide::True),
+            &OperatingPoint::nominal(),
+            r_values,
+            1,
+            faults,
+        )
+        .expect("campaign runs")
+}
+
+/// The scalar reference the batched path must reproduce exactly: lane
+/// width 1, warm-start chaining off (lanes run every point cold), one
+/// thread.
+fn scalar_cold(faults: &CampaignFaults, r_values: &[f64]) -> PlaneCampaign {
+    campaign(
+        CampaignConfig::serial().with_warm_start(false),
+        faults,
+        r_values,
+    )
+}
+
+/// Bitwise equality of two campaigns: every plane curve, every report
+/// entry, every gap, and the extracted border.
+fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
+    assert_eq!(a.planes, b.planes, "{label}: planes diverged");
+    assert_eq!(a.report, b.report, "{label}: sweep report diverged");
+    assert_eq!(a.confidence, b.confidence, "{label}: confidence diverged");
+    assert_eq!(a.gaps(), b.gaps(), "{label}: gaps diverged");
+    let border = |c: &PlaneCampaign| {
+        c.border_from_intersection()
+            .expect("no gap straddles the border")
+            .map(f64::to_bits)
+    };
+    assert_eq!(border(a), border(b), "{label}: border bits diverged");
+}
+
+/// The 30-point reference sweep of the acceptance criteria, shared across
+/// the thread-count tests (computed once, scalar and cold).
+fn reference_30() -> &'static (Vec<f64>, PlaneCampaign) {
+    static REF: OnceLock<(Vec<f64>, PlaneCampaign)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let r_values = logspace(1e4, 1e7, 30).expect("valid sweep");
+        let clean = CampaignFaults::new();
+        let reference = scalar_cold(&clean, &r_values);
+        assert_eq!(reference.report.failed(), 0, "reference sweep is clean");
+        (r_values, reference)
+    })
+}
+
+/// Full lane width (8) over the 30-point reference sweep: the small-grid
+/// chunk policy decomposes it 8 + 8 + 8 + 6, so the last chunk is a
+/// partial lane tail. Each thread count must reproduce the scalar bits.
+fn lanes8_at(threads: usize) {
+    let (r_values, reference) = reference_30();
+    let config = CampaignConfig::with_threads(threads).with_lanes(8);
+    let batched = campaign(config, &CampaignFaults::new(), r_values);
+    assert_bit_identical(
+        reference,
+        &batched,
+        &format!("lanes = 8, threads = {threads}"),
+    );
+}
+
+#[test]
+fn lanes8_bit_identical_threads_1() {
+    lanes8_at(1);
+}
+
+#[test]
+fn lanes8_bit_identical_threads_2() {
+    lanes8_at(2);
+}
+
+#[test]
+fn lanes8_bit_identical_threads_4() {
+    lanes8_at(4);
+}
+
+#[test]
+fn lanes8_bit_identical_threads_8() {
+    lanes8_at(8);
+}
+
+#[test]
+fn every_lane_width_bit_identical_with_partial_tails() {
+    // A 7-point sweep: no lane width divides it, so every width leaves a
+    // partial tail group. Widths 2 and 3 exercise the 2-wide SoA backend
+    // (3 additionally splits groups), 4 the 4-wide one; width 8 rides the
+    // 30-point tests above.
+    let r_values = logspace(2e4, 5e6, 7).expect("valid sweep");
+    let clean = CampaignFaults::new();
+    let reference = scalar_cold(&clean, &r_values);
+    assert_eq!(reference.report.failed(), 0);
+    for lanes in [2usize, 3, 4] {
+        let config = CampaignConfig::with_threads(2).with_lanes(lanes);
+        let batched = campaign(config, &clean, &r_values);
+        assert_bit_identical(&reference, &batched, &format!("lanes = {lanes}"));
+    }
+}
+
+#[test]
+fn faulted_point_falls_back_mid_batch() {
+    // Kill one interior point outright: in a lanes = 4 campaign the
+    // faulted point drops out of the batch onto the scalar recovery
+    // ladder while its chunk-mates stay batched. The degraded campaign —
+    // gap, report accounting, confidence, surviving curve bits — must
+    // match the scalar cold run under the identical fault plan.
+    let r_values = logspace(1e4, 1e7, 6).expect("valid sweep");
+    let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
+    let reference = scalar_cold(&faults, &r_values);
+    assert_eq!(reference.report.failed(), 1);
+    assert_eq!(reference.gaps().len(), 1);
+    let config = CampaignConfig::with_threads(2).with_lanes(4);
+    let batched = campaign(config, &faults, &r_values);
+    assert_eq!(batched.report.failed(), 1);
+    assert_bit_identical(&reference, &batched, "faulted, lanes = 4");
+}

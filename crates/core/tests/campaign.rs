@@ -3,8 +3,8 @@
 //! full accounting) without moving the extracted border resistance, and
 //! must error clearly when a gap straddles the border.
 
-use dso_core::analysis::{plane_campaign, Analyzer, CampaignFaults, Confidence};
-use dso_core::CoreError;
+use dso_core::analysis::{CampaignFaults, Confidence};
+use dso_core::{CoreError, Session};
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultKind, FaultPlan};
@@ -20,21 +20,16 @@ fn fast_design() -> ColumnDesign {
 
 #[test]
 fn partial_planes_preserve_border_and_accounting() {
-    let analyzer = Analyzer::new(fast_design());
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = logspace(1e4, 1e7, 10).unwrap();
 
-    // Reference: a clean campaign.
-    let clean = plane_campaign(
-        &analyzer,
-        &defect,
-        &op,
-        &r_values,
-        1,
-        &CampaignFaults::new(),
-    )
-    .expect("clean campaign runs");
+    // Reference: a clean campaign. (The session's cache replays later
+    // campaigns' clean points bit-for-bit, accounting included.)
+    let clean = session
+        .planes(&defect, &op, &r_values, 1)
+        .expect("clean campaign runs");
     assert!(clean.report.accounts_for(r_values.len()));
     assert_eq!(clean.report.converged(), r_values.len());
     assert_eq!(clean.report.failed(), 0);
@@ -56,7 +51,8 @@ fn partial_planes_preserve_border_and_accounting() {
     // degrades instead of aborting, and the border does not move.
     let faults =
         CampaignFaults::new().with_fault(fault_idx, FaultPlan::always(FaultKind::NanResidual));
-    let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults)
+    let partial = session
+        .planes_faulted(&defect, &op, &r_values, 1, &faults)
         .expect("partial campaign still assembles planes");
     assert!(partial.report.accounts_for(r_values.len()));
     assert_eq!(partial.report.failed(), 1);
@@ -94,7 +90,8 @@ fn partial_planes_preserve_border_and_accounting() {
         fault_idx,
         FaultPlan::new().inject_at(10, FaultKind::NanResidual),
     );
-    let recovered = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults)
+    let recovered = session
+        .planes_faulted(&defect, &op, &r_values, 1, &faults)
         .expect("recovered campaign runs");
     assert!(recovered.report.accounts_for(r_values.len()));
     assert_eq!(recovered.report.failed(), 0);
@@ -113,7 +110,7 @@ fn partial_planes_preserve_border_and_accounting() {
 
 #[test]
 fn border_straddling_gap_is_rejected() {
-    let analyzer = Analyzer::new(fast_design());
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     // The cell-open border sits between 1e6 and 1e7 on this grid (the w0 ×
@@ -121,7 +118,9 @@ fn border_straddling_gap_is_rejected() {
     // bracketed by 1e5 and 1e7 that straddles the crossing.
     let r_values = [1e4, 1e5, 1e6, 1e7];
     let faults = CampaignFaults::new().with_fault(2, FaultPlan::always(FaultKind::NanResidual));
-    let err = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults).unwrap_err();
+    let err = session
+        .planes_faulted(&defect, &op, &r_values, 1, &faults)
+        .unwrap_err();
     match err {
         CoreError::BorderInGap { gap, .. } => {
             assert!(
@@ -135,13 +134,15 @@ fn border_straddling_gap_is_rejected() {
 
 #[test]
 fn failed_edge_point_is_unrecoverable() {
-    let analyzer = Analyzer::new(fast_design());
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = [1e4, 1e5, 1e6, 1e7];
     let faults =
         CampaignFaults::new().with_fault(0, FaultPlan::always(FaultKind::ForcedDivergence));
-    let err = plane_campaign(&analyzer, &defect, &op, &r_values, 1, &faults).unwrap_err();
+    let err = session
+        .planes_faulted(&defect, &op, &r_values, 1, &faults)
+        .unwrap_err();
     match err {
         CoreError::SweepFailed {
             failed,

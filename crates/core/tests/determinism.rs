@@ -8,11 +8,9 @@
 //! iterations) and a loom-free interleaving smoke test that executes the
 //! chunks of a real simulation grid in a seeded-shuffled order.
 
-use dso_core::analysis::{
-    plane_campaign_with, result_planes_with, Analyzer, CampaignFaults, PlaneCampaign,
-};
+use dso_core::analysis::{Analyzer, CampaignFaults, PlaneCampaign};
 use dso_core::exec::{self, CampaignConfig};
-use dso_core::EvalService;
+use dso_core::{EvalService, Session};
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultKind, FaultPlan};
@@ -32,19 +30,14 @@ fn sweep() -> Vec<f64> {
 }
 
 fn campaign_at(threads: usize, faults: &CampaignFaults) -> PlaneCampaign {
-    let analyzer = Analyzer::new(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let config = CampaignConfig::with_threads(threads).with_chunk(2);
-    plane_campaign_with(
-        &analyzer,
-        &defect,
-        &OperatingPoint::nominal(),
-        &sweep(),
-        1,
-        faults,
-        &config,
-    )
-    .expect("campaign runs")
+    // A fresh session (fresh service) per run: every thread count
+    // recomputes from scratch instead of replaying a shared cache.
+    let session = Session::with_design(fast_design()).with_config(config);
+    session
+        .planes_faulted(&defect, &OperatingPoint::nominal(), &sweep(), 1, faults)
+        .expect("campaign runs")
 }
 
 /// Bitwise equality of two campaigns: every plane curve, every report
@@ -99,7 +92,10 @@ fn result_planes_parallel_matches_serial_and_warm_start_pays() {
     let r_values = sweep();
 
     let run = |config: &CampaignConfig| {
-        result_planes_with(&analyzer, &defect, &op, &r_values, 1, config).expect("planes build")
+        let session = Session::from_parts(EvalService::new(analyzer.clone()), config.clone());
+        session
+            .planes_strict(&defect, &op, &r_values, 1)
+            .expect("planes build")
     };
 
     // One chunk spanning the whole sweep maximizes the warm chain.

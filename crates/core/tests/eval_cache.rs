@@ -5,13 +5,9 @@
 //! fault-armed evaluations never pollute the cache, and in-flight
 //! duplicates are deduplicated to a single computation.
 
-use dso_core::analysis::shmoo::margin_shmoo;
-use dso_core::analysis::{
-    find_border, plane_campaign_in, refine_border_from_planes, Analyzer, CampaignFaults,
-    DetectionCondition, PlaneCampaign,
-};
+use dso_core::analysis::{Analyzer, CampaignFaults, DetectionCondition, PlaneCampaign};
 use dso_core::exec::CampaignConfig;
-use dso_core::{EvalService, SimRequest};
+use dso_core::{EvalService, Session, SimRequest};
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultKind, FaultPlan};
@@ -29,21 +25,28 @@ fn fast_service() -> EvalService {
     EvalService::new(Analyzer::new(fast_design()))
 }
 
+/// A session around a fresh fast service; reconfigure between calls with
+/// [`Session::with_config`] to reuse its cache at another thread count.
+fn fast_session(threads: usize) -> Session {
+    Session::from_parts(
+        fast_service(),
+        CampaignConfig::with_threads(threads).with_chunk(2),
+    )
+}
+
 fn sweep() -> Vec<f64> {
     logspace(1e4, 1e7, 6).expect("valid sweep")
 }
 
-fn campaign_in(service: &EvalService, threads: usize) -> PlaneCampaign {
-    plane_campaign_in(
-        service,
-        &Defect::cell_open(BitLineSide::True),
-        &OperatingPoint::nominal(),
-        &sweep(),
-        1,
-        &CampaignFaults::new(),
-        &CampaignConfig::with_threads(threads).with_chunk(2),
-    )
-    .expect("campaign runs")
+fn campaign_on(session: &Session) -> PlaneCampaign {
+    session
+        .planes(
+            &Defect::cell_open(BitLineSide::True),
+            &OperatingPoint::nominal(),
+            &sweep(),
+            1,
+        )
+        .expect("campaign runs")
 }
 
 /// Bitwise equality of the physics outputs of two campaigns (perf stats
@@ -58,13 +61,14 @@ fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
 
 #[test]
 fn cached_campaign_is_bit_identical_to_cold_at_every_thread_count() {
-    let service = fast_service();
-    let cold = campaign_in(&service, 1);
+    let mut session = fast_session(1);
+    let cold = campaign_on(&session);
     assert_eq!(cold.perf.cache_hits, 0, "cold run must not hit the cache");
     assert!(cold.perf.cache_misses > 0);
 
     for threads in [1, 2, 4, 8] {
-        let cached = campaign_in(&service, threads);
+        session = session.with_config(CampaignConfig::with_threads(threads).with_chunk(2));
+        let cached = campaign_on(&session);
         assert_bit_identical(&cold, &cached, &format!("threads = {threads}"));
         assert_eq!(
             cached.perf.cache_misses, 0,
@@ -79,25 +83,26 @@ fn cached_campaign_is_bit_identical_to_cold_at_every_thread_count() {
 
 #[test]
 fn border_refinement_after_campaign_replays_grid_points() {
-    let service = fast_service();
+    let session = fast_session(2);
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = sweep();
 
-    campaign_in(&service, 2);
-    let after_campaign = service.cache_stats();
+    campaign_on(&session);
+    let after_campaign = session.service().cache_stats();
 
     // Metrics gate for the cross-layer reuse contract: the bisection's
     // grid walk re-requests plane points, so `eval.cache_hits` must move.
     dso_obs::set_metrics_enabled(true);
     let hits_metric_before = dso_obs::metrics::snapshot().counter("eval.cache_hits");
 
-    let border = refine_border_from_planes(&service, &defect, &op, &r_values, 1, 0.05)
+    let border = session
+        .refine_border(&defect, &op, &r_values, 1, 0.05)
         .expect("refinement runs")
         .expect("sweep straddles the border");
     assert!(border.resistance.is_finite() && border.resistance > 0.0);
 
-    let after_border = service.cache_stats();
+    let after_border = session.service().cache_stats();
     assert!(
         after_border.hits > after_campaign.hits,
         "border refinement after a plane campaign must hit the cache \
@@ -114,14 +119,18 @@ fn border_refinement_after_campaign_replays_grid_points() {
 
 #[test]
 fn repeated_bisection_is_bit_identical_and_fully_cached() {
-    let service = fast_service();
+    let session = fast_session(1);
     let defect = Defect::cell_open(BitLineSide::True);
     let detection = DetectionCondition::default_for(&defect, 2);
     let op = OperatingPoint::nominal();
 
-    let first = find_border(&service, &defect, &detection, &op, 0.05).expect("border exists");
-    let misses_after_first = service.cache_stats().misses;
-    let second = find_border(&service, &defect, &detection, &op, 0.05).expect("border exists");
+    let first = session
+        .border(&defect, &detection, &op, 0.05)
+        .expect("border exists");
+    let misses_after_first = session.service().cache_stats().misses;
+    let second = session
+        .border(&defect, &detection, &op, 0.05)
+        .expect("border exists");
 
     assert_eq!(
         first.resistance.to_bits(),
@@ -129,29 +138,30 @@ fn repeated_bisection_is_bit_identical_and_fully_cached() {
         "repeat bisection diverged"
     );
     assert_eq!(
-        service.cache_stats().misses,
+        session.service().cache_stats().misses,
         misses_after_first,
         "repeat bisection re-simulated instead of replaying"
     );
-    assert!(service.cache_stats().hits >= u64::try_from(second.evaluations).unwrap());
+    assert!(session.service().cache_stats().hits >= u64::try_from(second.evaluations).unwrap());
 }
 
 #[test]
 fn shmoo_over_campaign_row_replays_from_cache() {
-    let service = fast_service();
+    let session = fast_session(1);
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = sweep();
 
-    campaign_in(&service, 1);
-    let before = service.cache_stats();
+    campaign_on(&session);
+    let before = session.service().cache_stats();
 
     // The nominal-Vdd row of this shmoo issues exactly the `w0`-settle
     // and `Vsa` requests the campaign evaluated: two hits per grid point.
-    let plot = margin_shmoo(&service, &defect, 1, &r_values, "vdd", &[op.vdd], |vdd| {
-        Ok(OperatingPoint { vdd, ..op })
-    })
-    .expect("shmoo generates");
+    let plot = session
+        .shmoo(&defect, 1, &r_values, "vdd", &[op.vdd], |vdd| {
+            Ok(OperatingPoint { vdd, ..op })
+        })
+        .expect("shmoo generates");
     assert_eq!(
         plot.outcome(0, 0),
         dso_shmoo::Outcome::Pass,
@@ -159,7 +169,7 @@ fn shmoo_over_campaign_row_replays_from_cache() {
         plot.render_ascii()
     );
 
-    let after = service.cache_stats();
+    let after = session.service().cache_stats();
     assert!(
         after.hits - before.hits >= 2 * r_values.len() as u64,
         "expected >= {} hits from the overlapping row, got {}",
@@ -174,19 +184,19 @@ fn shmoo_over_campaign_row_replays_from_cache() {
 
 #[test]
 fn faulted_evaluations_bypass_and_never_poison_the_cache() {
-    let service = fast_service();
+    let session = Session::from_parts(fast_service(), CampaignConfig::serial().with_chunk(2));
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = sweep();
-    let config = CampaignConfig::serial().with_chunk(2);
 
     // Kill one interior sweep point outright.
     let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
-    let faulted = plane_campaign_in(&service, &defect, &op, &r_values, 1, &faults, &config)
+    let faulted = session
+        .planes_faulted(&defect, &op, &r_values, 1, &faults)
         .expect("campaign degrades gracefully");
     assert_eq!(faulted.report.failed(), 1);
 
-    let stats = service.cache_stats();
+    let stats = session.service().cache_stats();
     assert!(
         stats.bypasses >= 1,
         "fault-armed requests must skip the cache"
@@ -195,18 +205,11 @@ fn faulted_evaluations_bypass_and_never_poison_the_cache() {
 
     // A clean campaign on the same service must find no poisoned entry:
     // the faulted point simulates fresh (misses grow) and succeeds.
-    let clean = plane_campaign_in(
-        &service,
-        &defect,
-        &op,
-        &r_values,
-        1,
-        &CampaignFaults::new(),
-        &config,
-    )
-    .expect("clean campaign runs");
+    let clean = session
+        .planes(&defect, &op, &r_values, 1)
+        .expect("clean campaign runs");
     assert_eq!(clean.report.failed(), 0);
-    let clean_stats = service.cache_stats();
+    let clean_stats = session.service().cache_stats();
     assert!(
         clean_stats.misses > stats.misses,
         "the previously faulted point must re-simulate, not replay"

@@ -6,8 +6,8 @@
 //! The registry and its enable flag are process-global, so this file
 //! holds exactly one `#[test]` — its own test binary is its isolation.
 
-use dso_core::analysis::{plane_campaign_with, Analyzer, CampaignFaults};
 use dso_core::exec::CampaignConfig;
+use dso_core::Session;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
@@ -22,20 +22,13 @@ fn fast_design() -> ColumnDesign {
 }
 
 fn run_campaign(threads: usize) {
-    let analyzer = Analyzer::new(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let r_values = logspace(1e4, 1e7, 6).expect("valid sweep");
     let config = CampaignConfig::with_threads(threads).with_chunk(2);
-    plane_campaign_with(
-        &analyzer,
-        &defect,
-        &OperatingPoint::nominal(),
-        &r_values,
-        1,
-        &CampaignFaults::new(),
-        &config,
-    )
-    .expect("campaign runs");
+    let session = Session::with_design(fast_design()).with_config(config);
+    session
+        .planes(&defect, &OperatingPoint::nominal(), &r_values, 1)
+        .expect("campaign runs");
 }
 
 #[test]

@@ -5,10 +5,10 @@
 //! replay against a complete store reproduces the original campaign
 //! bit-for-bit without a single solve.
 
-use dso_core::analysis::{plane_campaign_in, Analyzer, CampaignFaults, PlaneCampaign};
+use dso_core::analysis::{Analyzer, PlaneCampaign};
 use dso_core::exec::CampaignConfig;
 use dso_core::store::ResultStore;
-use dso_core::EvalService;
+use dso_core::{EvalService, Session};
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultPlan, IoFaultKind};
@@ -41,17 +41,21 @@ fn tmp_path(name: &str) -> PathBuf {
     p
 }
 
-fn campaign_on(service: &EvalService, threads: usize) -> PlaneCampaign {
-    plane_campaign_in(
-        service,
-        &Defect::cell_open(BitLineSide::True),
-        &OperatingPoint::nominal(),
-        &sweep(),
-        1,
-        &CampaignFaults::new(),
-        &CampaignConfig::with_threads(threads).with_chunk(2),
-    )
-    .expect("campaign runs")
+/// Wraps a prepared service (usually store-backed) in a session running
+/// at `threads` workers.
+fn session_on(service: EvalService, threads: usize) -> Session {
+    Session::from_parts(service, CampaignConfig::with_threads(threads).with_chunk(2))
+}
+
+fn campaign_on(session: &Session) -> PlaneCampaign {
+    session
+        .planes(
+            &Defect::cell_open(BitLineSide::True),
+            &OperatingPoint::nominal(),
+            &sweep(),
+            1,
+        )
+        .expect("campaign runs")
 }
 
 /// Bitwise equality of the physics outputs of two campaigns.
@@ -71,8 +75,8 @@ fn assert_bit_identical(a: &PlaneCampaign, b: &PlaneCampaign, label: &str) {
 #[test]
 fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
     // Reference: the uninterrupted cold campaign, no store.
-    let reference_service = EvalService::new(analyzer());
-    let reference = campaign_on(&reference_service, 1);
+    let reference_session = session_on(EvalService::new(analyzer()), 1);
+    let reference = campaign_on(&reference_session);
     let total_requests = reference.perf.cache_hits + reference.perf.cache_misses;
 
     // "Kill" a campaign mid-write: from I/O ordinal 10 on, every append
@@ -84,9 +88,13 @@ fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
     let plan = FaultPlan::new().inject_io_span(10, usize::MAX, IoFaultKind::ShortWrite);
     let context = EvalService::context_for(&analyzer());
     let store = ResultStore::open_with_faults(&torn_path, context, plan).expect("open store");
-    let interrupted_service = EvalService::with_store(analyzer(), store).expect("context matches");
-    let interrupted = campaign_on(&interrupted_service, 1);
-    let persisted = interrupted_service
+    let interrupted_session = session_on(
+        EvalService::with_store(analyzer(), store).expect("context matches"),
+        1,
+    );
+    let interrupted = campaign_on(&interrupted_session);
+    let persisted = interrupted_session
+        .service()
         .store()
         .expect("store attached")
         .stats()
@@ -96,7 +104,7 @@ fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
     // absorbed) and matches the reference — durability, not correctness,
     // is what the faults degraded.
     assert_bit_identical(&reference, &interrupted, "interrupted vs reference");
-    drop(interrupted_service);
+    drop(interrupted_session);
     let torn_bytes = std::fs::read(&torn_path).expect("torn store bytes");
     let _ = std::fs::remove_file(&torn_path);
 
@@ -122,8 +130,11 @@ fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
         let path = tmp_path(&format!("resume-t{threads}"));
         std::fs::write(&path, &torn_bytes).expect("write resume copy");
         let store = ResultStore::open(&path, context).expect("recovering open");
-        let service = EvalService::with_store(analyzer(), store).expect("context matches");
-        let campaign = campaign_on(&service, threads);
+        let session = session_on(
+            EvalService::with_store(analyzer(), store).expect("context matches"),
+            threads,
+        );
+        let campaign = campaign_on(&session);
 
         assert_eq!(
             campaign.perf.disk_hits, loaded,
@@ -139,7 +150,7 @@ fn killed_campaign_resumes_from_disk_bit_identically_at_every_thread_count() {
             total_requests - loaded,
             "threads = {threads}: only the unpersisted points recompute"
         );
-        let svc_stats = service.cache_stats();
+        let svc_stats = session.service().cache_stats();
         assert_eq!(svc_stats.disk_hits, loaded as u64);
         assert!(
             svc_stats.hit_rate() > 0.0,
@@ -178,10 +189,21 @@ fn full_replay_from_a_complete_store_is_bit_identical_and_solve_free() {
 
     // Original campaign, fully persisted.
     let store = ResultStore::open(&path, context).expect("open store");
-    let original_service = EvalService::with_store(analyzer(), store).expect("context matches");
-    let original = campaign_on(&original_service, 2);
-    assert_eq!(original_service.store().unwrap().stats().write_errors, 0);
-    drop(original_service);
+    let original_session = session_on(
+        EvalService::with_store(analyzer(), store).expect("context matches"),
+        2,
+    );
+    let original = campaign_on(&original_session);
+    assert_eq!(
+        original_session
+            .service()
+            .store()
+            .unwrap()
+            .stats()
+            .write_errors,
+        0
+    );
+    drop(original_session);
 
     // Replay on a fresh process (fresh service, reopened store): every
     // request is served from disk, no transient runs.
@@ -190,8 +212,11 @@ fn full_replay_from_a_complete_store_is_bit_identical_and_solve_free() {
         !store.stats().recovered_anything(),
         "clean shutdown left a clean file"
     );
-    let replay_service = EvalService::with_store(analyzer(), store).expect("context matches");
-    let replay = campaign_on(&replay_service, 4);
+    let replay_session = session_on(
+        EvalService::with_store(analyzer(), store).expect("context matches"),
+        4,
+    );
+    let replay = campaign_on(&replay_session);
     assert_bit_identical(&original, &replay, "full replay");
     assert_eq!(
         replay.perf.cache_misses, 0,
@@ -212,11 +237,14 @@ fn changed_design_invalidates_the_store_instead_of_replaying_stale_bits() {
     let path = tmp_path("stale-design");
     let context = EvalService::context_for(&analyzer());
     let store = ResultStore::open(&path, context).expect("open store");
-    let service = EvalService::with_store(analyzer(), store).expect("context matches");
-    campaign_on(&service, 1);
-    let persisted = service.store().unwrap().stats().appends;
+    let session = session_on(
+        EvalService::with_store(analyzer(), store).expect("context matches"),
+        1,
+    );
+    campaign_on(&session);
+    let persisted = session.service().store().unwrap().stats().appends;
     assert!(persisted > 0);
-    drop(service);
+    drop(session);
 
     // A different column design is a different context: the old records
     // are stale generations, skipped and compacted away — and attaching

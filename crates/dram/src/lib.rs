@@ -46,4 +46,4 @@ pub mod timing;
 
 pub use design::{ColumnDesign, OperatingPoint};
 pub use error::DramError;
-pub use ops::{Operation, OperationEngine};
+pub use ops::{run_batch, BatchJob, Operation, OperationEngine};

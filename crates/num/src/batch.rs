@@ -1,0 +1,1196 @@
+//! Batched structure-of-arrays Newton solving: many systems, one lockstep.
+//!
+//! Every point of a sweep grid solves the *same* MNA structure with
+//! different scalars (defect resistance, initial cell voltage, stress
+//! values). The [`BatchBackend`] trait advances a whole *lane* of such
+//! systems through one Newton iteration at a time: matrix values and
+//! state vectors are stored structure-of-arrays across the lane, so the
+//! LU elimination and triangular solves — the `O(n³)` heart of every
+//! iteration — become contiguous per-lane arithmetic the compiler can
+//! vectorize, while residual/Jacobian stamping stays per-system.
+//!
+//! # Bit-identity contract
+//!
+//! The SoA backend performs **per-lane partial pivoting**: each lane runs
+//! the exact pivot search, row swaps, and elimination order of
+//! [`LuFactor::refactor_into`](crate::lu::LuFactor::refactor_into) on its
+//! own values, and the lockstep Newton
+//! driver replays [`NewtonSolver`]'s iteration policy (damped line
+//! search, step limiting, early exits) per lane with identical operation
+//! order. Because lanes never mix arithmetically — SoA only interleaves
+//! *storage* — every lane produces results bit-identical to a scalar
+//! solve of the same system. The unit tests pin this with `to_bits`
+//! comparisons at every supported lane width. Two guards matter:
+//!
+//! * elimination keeps the scalar path's `if factor != 0.0` skip *per
+//!   lane* (replacing the skip with `x -= 0.0 * y` flips `-0.0` signs and
+//!   manufactures NaNs from infinities), and
+//! * finished or failed lanes are masked by forcing their factor to
+//!   `0.0`, which the same guard turns into "never written".
+//!
+//! Converged lanes freeze (their state is no longer touched); lanes that
+//! fail — singular Jacobian, non-finite residual, iteration budget — are
+//! reported per lane so the caller can fall back to the scalar recovery
+//! ladder without disturbing the survivors.
+
+use crate::lu::SINGULARITY_THRESHOLD;
+use crate::matrix::{norm_inf, DMatrix};
+use crate::newton::{NewtonOptions, NewtonSolver, NewtonStats, NonlinearSystem};
+use crate::NumError;
+
+/// Advances a lane of independent nonlinear systems in lockstep.
+///
+/// `solve_lockstep` is the batched analogue of [`NewtonSolver::solve`]:
+/// it drives every *active* lane to convergence (or failure), leaving
+/// each solution in its `xs` entry. Lanes are fully independent — a
+/// failing lane never perturbs its neighbours — and every backend must
+/// produce, per lane, exactly the bits a scalar [`NewtonSolver`] with
+/// the same options would.
+pub trait BatchBackend {
+    /// The lane width the backend packs arithmetic across (1 = scalar).
+    fn lane_width(&self) -> usize;
+
+    /// The iteration policy every lane is solved with. Callers comparing
+    /// batched against scalar results must match this against the scalar
+    /// solver's options — a policy mismatch silently breaks bit-identity.
+    fn options(&self) -> &NewtonOptions;
+
+    /// Solves `F_l(x_l) = 0` for every lane `l` with `active[l]`,
+    /// leaving solutions in `xs[l]`. Returns one entry per lane:
+    /// `None` for inactive lanes, otherwise the per-lane outcome with
+    /// [`NewtonSolver::solve`] semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `systems`, `xs` and `active` disagree in length.
+    fn solve_lockstep<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        xs: &mut [Vec<f64>],
+        active: &[bool],
+    ) -> Vec<Option<Result<NewtonStats, NumError>>>;
+}
+
+/// The scalar reference backend: one [`NewtonSolver`] looped over the
+/// lane. Trivially bit-identical to scalar solving — it *is* scalar
+/// solving — and the yardstick the SoA backend is tested against.
+#[derive(Debug, Clone)]
+pub struct ScalarBackend {
+    solver: NewtonSolver,
+}
+
+impl ScalarBackend {
+    /// Creates a scalar backend with the given iteration policy.
+    pub fn new(options: NewtonOptions) -> Self {
+        ScalarBackend {
+            solver: NewtonSolver::new(options),
+        }
+    }
+}
+
+impl BatchBackend for ScalarBackend {
+    fn lane_width(&self) -> usize {
+        1
+    }
+
+    fn options(&self) -> &NewtonOptions {
+        self.solver.options()
+    }
+
+    fn solve_lockstep<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        xs: &mut [Vec<f64>],
+        active: &[bool],
+    ) -> Vec<Option<Result<NewtonStats, NumError>>> {
+        assert_eq!(systems.len(), xs.len(), "lane count mismatch");
+        assert_eq!(systems.len(), active.len(), "lane mask mismatch");
+        systems
+            .iter_mut()
+            .zip(xs.iter_mut())
+            .zip(active)
+            .map(|((system, x), on)| on.then(|| self.solver.solve(system, x)))
+            .collect()
+    }
+}
+
+/// Per-lane outcome of a batched LU factorization.
+type LaneResult = Option<Result<(), NumError>>;
+
+/// A batched dense LU with per-lane partial pivoting over `W` lanes.
+///
+/// Storage is structure-of-arrays: entry `(i, j)` of lane `l` lives at
+/// `(i * n + j) * W + l`, so the elimination inner loop touches `W`
+/// contiguous values per matrix entry. Each lane's pivot order is chosen
+/// from its own values — bit-identical to [`LuFactor`] per lane — and a
+/// lane that hits a singular pivot is deactivated mid-factorization
+/// without disturbing the others.
+///
+/// [`LuFactor`]: crate::lu::LuFactor
+#[derive(Debug, Clone)]
+struct BatchLu<const W: usize> {
+    /// SoA values: `(n * n) * W`, combined L (unit diagonal implied) / U.
+    lu: Vec<f64>,
+    /// Per-lane row permutations, lane-contiguous: lane `l` row `i` at
+    /// `l * n + i`.
+    perm: Vec<usize>,
+    /// Per-lane singularity thresholds (scale-relative, as scalar).
+    threshold: [f64; W],
+    n: usize,
+}
+
+impl<const W: usize> BatchLu<W> {
+    fn new() -> Self {
+        BatchLu {
+            lu: Vec::new(),
+            perm: Vec::new(),
+            threshold: [0.0; W],
+            n: 0,
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        // Keep the storage (and its stale values) when the dimension is
+        // unchanged: `interleave` overwrites every entry of the buffer,
+        // and lanes packed from a fallback source are masked out of the
+        // factorization and ignored in the solve, so a per-call
+        // zero-fill would only add `n²·W` of memory traffic per Newton
+        // iteration.
+        if self.n == n {
+            return;
+        }
+        self.n = n;
+        self.lu.clear();
+        self.lu.resize(n * n * W, 0.0);
+        self.perm.clear();
+        self.perm.resize(n * W, 0);
+    }
+
+    /// Interleaves `W` contiguous matrices into the SoA storage in one
+    /// pass — every cache line of the `n²·W` buffer is written exactly
+    /// once, reading `W` sequential streams — while fusing in the scalar
+    /// path's pre-factorization checks (finiteness, scale fold) per
+    /// lane. Callers point unstamped lanes at any correctly-sized
+    /// source; the garbage written to their slots is masked out of the
+    /// factorization and the solve, so the inner loop stays branch-free.
+    ///
+    /// Returns, per lane, whether the source was finite. Lanes that
+    /// pass get their threshold and permutation reset, running the same
+    /// pre-factorization checks as the scalar
+    /// [`LuFactor::refactor_into`](crate::lu::LuFactor::refactor_into);
+    /// the fold reproduces
+    /// `DMatrix::max_abs` exactly on finite data, and non-finite data
+    /// is detected as `Σ(v - v) != 0` (any `±∞`/`NaN` poisons the
+    /// accumulator), keeping the whole pass vectorizable.
+    // `v - v` is the point, not a typo: it is 0.0 for every finite `v`
+    // and NaN for `±∞`/`NaN`, giving a branch-free finiteness probe.
+    #[allow(clippy::eq_op)]
+    fn interleave(&mut self, srcs: &[&[f64]; W], stamped: &[bool; W]) -> [bool; W] {
+        let total = self.n * self.n;
+        for src in srcs.iter() {
+            debug_assert_eq!(src.len(), total);
+        }
+        let mut scale = [0.0_f64; W];
+        let mut poison = [0.0_f64; W];
+        for (e, out) in self.lu.chunks_exact_mut(W).enumerate() {
+            for l in 0..W {
+                let v = srcs[l][e];
+                out[l] = v;
+                let a = v.abs();
+                // `if a > scale` matches `f64::max` on finite values and
+                // compiles to a branch-free compare/select.
+                if a > scale[l] {
+                    scale[l] = a;
+                }
+                poison[l] += v - v;
+            }
+        }
+        let mut finite = [false; W];
+        for l in 0..W {
+            if !stamped[l] {
+                continue;
+            }
+            if poison[l] == 0.0 {
+                finite[l] = true;
+                self.threshold[l] = SINGULARITY_THRESHOLD * scale[l].max(1.0);
+                for i in 0..self.n {
+                    self.perm[l * self.n + i] = i;
+                }
+            }
+        }
+        finite
+    }
+
+    /// Factorizes every lane with `active[l]`, per-lane pivoting. Lanes
+    /// that hit a singular pivot are recorded in the returned array and
+    /// excluded from the rest of the elimination.
+    fn refactor(&mut self, active: &[bool; W]) -> [LaneResult; W] {
+        let n = self.n;
+        let mut outcome: [LaneResult; W] = std::array::from_fn(|l| active[l].then_some(Ok(())));
+        let mut live = *active;
+        let mut factors = [0.0_f64; W];
+        let mut pivot_rows = [0usize; W];
+        let mut pivot_vals = [0.0_f64; W];
+        for k in 0..n {
+            // Per-lane partial pivoting, exactly as the scalar path: each
+            // lane sees the same comparison sequence the scalar pivot
+            // search runs, so it picks the same row. The scan is
+            // row-major so one pass down the column serves every lane —
+            // at W = 8 a matrix entry's lanes share a cache line, and a
+            // per-lane column walk would re-touch every line once per
+            // lane. Dead lanes fold garbage (NaN compares are false, so
+            // the fold is safe) that the threshold check below ignores.
+            let diag = (k * n + k) * W;
+            let diag_blk = &self.lu[diag..diag + W];
+            for l in 0..W {
+                pivot_rows[l] = k;
+                pivot_vals[l] = diag_blk[l].abs();
+            }
+            for i in (k + 1)..n {
+                let base = (i * n + k) * W;
+                let blk = &self.lu[base..base + W];
+                for l in 0..W {
+                    // Strictly-greater compare/select: same row choice
+                    // as the scalar search (ties keep the earlier row),
+                    // but branch-free so the column scan vectorizes.
+                    let v = blk[l].abs();
+                    let gt = v > pivot_vals[l];
+                    pivot_vals[l] = if gt { v } else { pivot_vals[l] };
+                    pivot_rows[l] = if gt { i } else { pivot_rows[l] };
+                }
+            }
+            let mut uniform_row = usize::MAX;
+            let mut uniform = true;
+            for l in 0..W {
+                if !live[l] {
+                    continue;
+                }
+                if pivot_vals[l] < self.threshold[l] {
+                    outcome[l] = Some(Err(NumError::SingularMatrix {
+                        column: k,
+                        pivot: pivot_vals[l],
+                    }));
+                    live[l] = false;
+                    continue;
+                }
+                if uniform_row == usize::MAX {
+                    uniform_row = pivot_rows[l];
+                } else if pivot_rows[l] != uniform_row {
+                    uniform = false;
+                }
+            }
+            if uniform && uniform_row != usize::MAX {
+                // Lanes of a group share circuit structure, so they
+                // almost always agree on the pivot row: swap whole
+                // W-wide blocks (contiguous, one cache line at W = 8)
+                // instead of walking each lane's strided column. Dead
+                // lanes' slots move too — they hold masked garbage
+                // either way.
+                if uniform_row != k {
+                    for j in 0..n {
+                        let a = (k * n + j) * W;
+                        let b = (uniform_row * n + j) * W;
+                        for l in 0..W {
+                            self.lu.swap(a + l, b + l);
+                        }
+                    }
+                    for (l, &alive) in live.iter().enumerate() {
+                        if alive {
+                            self.perm.swap(l * n + k, l * n + uniform_row);
+                        }
+                    }
+                }
+            } else {
+                for l in 0..W {
+                    if !live[l] {
+                        continue;
+                    }
+                    let pivot_row = pivot_rows[l];
+                    if pivot_row != k {
+                        for j in 0..n {
+                            self.lu
+                                .swap((k * n + j) * W + l, (pivot_row * n + j) * W + l);
+                        }
+                        self.perm.swap(l * n + k, l * n + pivot_row);
+                    }
+                }
+            }
+            // Elimination: factors per lane (0.0 masks dead lanes), then
+            // a lane-contiguous inner loop. The `!= 0.0` guard must stay
+            // per *live* lane — substituting `x -= 0.0 * y` flips `-0.0`
+            // signs and breaks bit-identity with the scalar path. Dead
+            // lanes are exempt: their storage is masked garbage, so they
+            // ride the branch-free path with a zero factor (writing more
+            // garbage) rather than forcing every row onto the branchy
+            // path once one lane of the pack freezes. Circuit matrices
+            // share their zero structure across a lane group, so the
+            // common cases are all-zero (skip the row, as scalar does)
+            // and every-live-lane-nonzero (a branch-free loop the
+            // compiler can vectorize across the W contiguous lanes);
+            // only rows where a live lane has a true zero factor pay the
+            // per-lane branch.
+            // Pivot values are loop-invariant over the row sweep: copy
+            // the diagonal block once instead of re-borrowing it per
+            // row.
+            let mut pivots = [0.0_f64; W];
+            pivots.copy_from_slice(&self.lu[diag..diag + W]);
+            for i in (k + 1)..n {
+                let mut any_nonzero = false;
+                let mut live_nonzero = true;
+                let below = (i * n + k) * W;
+                let col = &mut self.lu[below..below + W];
+                for l in 0..W {
+                    factors[l] = if live[l] {
+                        let f = col[l] / pivots[l];
+                        col[l] = f;
+                        f
+                    } else {
+                        0.0
+                    };
+                    if factors[l] != 0.0 {
+                        any_nonzero = true;
+                    } else if live[l] {
+                        live_nonzero = false;
+                    }
+                }
+                if !any_nonzero {
+                    continue;
+                }
+                // Rows `k` and `i` right of the pivot column are each
+                // one contiguous block in SoA layout, and row `i` starts
+                // after row `k` ends — so the update is two flat slices
+                // the compiler can verify once and vectorize, instead of
+                // `3(n-k)W` individually bounds-checked accesses.
+                let len = (n - k - 1) * W;
+                let start_k = (k * n + k + 1) * W;
+                let start_i = (i * n + k + 1) * W;
+                let (head, tail) = self.lu.split_at_mut(start_i);
+                let row_k = &head[start_k..start_k + len];
+                let row_i = &mut tail[..len];
+                if live_nonzero {
+                    for (x, y) in row_i.chunks_exact_mut(W).zip(row_k.chunks_exact(W)) {
+                        for l in 0..W {
+                            x[l] -= factors[l] * y[l];
+                        }
+                    }
+                } else {
+                    for (x, y) in row_i.chunks_exact_mut(W).zip(row_k.chunks_exact(W)) {
+                        for l in 0..W {
+                            let f = factors[l];
+                            if f != 0.0 {
+                                x[l] -= f * y[l];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Solves `A_l · x_l = b_l` for every lane from the stored
+    /// factorization. `b` and `x` are SoA (`n * W`, entry `i` of lane
+    /// `l` at `i * W + l`). Lanes without a valid factorization produce
+    /// garbage the caller must ignore.
+    fn solve(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(b.len(), n * W);
+        debug_assert_eq!(x.len(), n * W);
+        // Forward substitution with per-lane permuted rhs: L·y = P·b.
+        // Row `i` of L left of the diagonal is one contiguous SoA block,
+        // zipped against the solved prefix of `x` chunk by chunk so the
+        // inner loop carries no per-element bounds checks.
+        for i in 0..n {
+            let mut sum = [0.0_f64; W];
+            for (l, s) in sum.iter_mut().enumerate() {
+                *s = b[self.perm[l * n + i] * W + l];
+            }
+            let row = &self.lu[i * n * W..(i * n + i) * W];
+            for (r, xj) in row.chunks_exact(W).zip(x.chunks_exact(W)) {
+                for l in 0..W {
+                    sum[l] -= r[l] * xj[l];
+                }
+            }
+            x[i * W..i * W + W].copy_from_slice(&sum);
+        }
+        // Back substitution: U·x = y.
+        for i in (0..n).rev() {
+            let mut sum = [0.0_f64; W];
+            sum.copy_from_slice(&x[i * W..i * W + W]);
+            let row = &self.lu[(i * n + i + 1) * W..(i * n + n) * W];
+            for (r, xj) in row.chunks_exact(W).zip(x[(i + 1) * W..].chunks_exact(W)) {
+                for l in 0..W {
+                    sum[l] -= r[l] * xj[l];
+                }
+            }
+            let diag = &self.lu[(i * n + i) * W..(i * n + i + 1) * W];
+            for l in 0..W {
+                sum[l] /= diag[l];
+            }
+            x[i * W..i * W + W].copy_from_slice(&sum);
+        }
+    }
+}
+
+/// Per-lane bookkeeping of the lockstep Newton driver. The per-lane
+/// `f64` buffers live in [`LaneBufs`], recycled across packs, so a
+/// warmed backend drives packs without allocating.
+struct LaneState {
+    /// Index into the caller's `systems`/`xs` arrays.
+    slot: usize,
+    /// `‖F(x)‖∞` of the committed iterate.
+    res_norm: f64,
+    /// Current line-search damping factor.
+    alpha: f64,
+    /// Whether a line-search round accepted this iteration.
+    accepted: bool,
+    /// Whether the lane is still searching this iteration.
+    searching: bool,
+    /// Terminal outcome, once reached.
+    finished: Option<Result<NewtonStats, NumError>>,
+}
+
+/// Reusable per-lane scratch, indexed by pack position.
+#[derive(Debug)]
+struct LaneBufs {
+    /// Lane-local Jacobian, stamped contiguously and interleaved into
+    /// the SoA storage in one pass (a per-lane strided pack would touch
+    /// every cache line of the `n²·W` buffer once per lane).
+    jac: DMatrix,
+    /// Current residual `F(x)`.
+    residual: Vec<f64>,
+    /// Last Newton direction (post `limit_step`).
+    dx: Vec<f64>,
+    /// Line-search trial point / residual (committed on acceptance).
+    trial_x: Vec<f64>,
+    trial_residual: Vec<f64>,
+}
+
+impl Default for LaneBufs {
+    fn default() -> Self {
+        LaneBufs {
+            jac: DMatrix::zeros(0, 0),
+            residual: Vec::new(),
+            dx: Vec::new(),
+            trial_x: Vec::new(),
+            trial_residual: Vec::new(),
+        }
+    }
+}
+
+impl LaneBufs {
+    /// Sizes every buffer for an `n`-unknown system; stale contents are
+    /// fine — each buffer is fully written before it is read, exactly as
+    /// the scalar solver's recycled scratch.
+    fn reserve(&mut self, n: usize) {
+        if self.jac.rows() != n {
+            self.jac = DMatrix::zeros(n, n);
+        }
+        self.residual.resize(n, 0.0);
+        self.dx.resize(n, 0.0);
+        self.trial_x.resize(n, 0.0);
+        self.trial_residual.resize(n, 0.0);
+    }
+}
+
+/// The SoA lane backend: `W` systems advanced per Newton iteration.
+///
+/// Residual and Jacobian evaluation stay per-system (stamping is `O(n²)`
+/// and model-specific), but the factorization and triangular solves are
+/// batched through the internal SoA `BatchLu`, and the iteration policy
+/// — convergence
+/// checks, damped line search, step limiting — runs in lockstep with
+/// per-lane masks. Converged lanes freeze; failed lanes report their
+/// error without disturbing the rest of the pack.
+#[derive(Debug)]
+pub struct SoaBackend<const W: usize> {
+    options: NewtonOptions,
+    lu: BatchLu<W>,
+    /// SoA right-hand sides / solutions for the batched solve.
+    neg_f: Vec<f64>,
+    dx: Vec<f64>,
+    /// Per-lane scratch, recycled across packs.
+    bufs: Vec<LaneBufs>,
+}
+
+impl<const W: usize> SoaBackend<W> {
+    /// Creates an SoA backend with the given iteration policy.
+    pub fn new(options: NewtonOptions) -> Self {
+        SoaBackend {
+            options,
+            lu: BatchLu::new(),
+            neg_f: Vec::new(),
+            dx: Vec::new(),
+            bufs: Vec::new(),
+        }
+    }
+
+    /// Drives one pack of at most `W` lanes to completion.
+    fn solve_pack<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        xs: &mut [Vec<f64>],
+        slots: &[usize],
+        results: &mut [Option<Result<NewtonStats, NumError>>],
+    ) {
+        let opts = self.options.clone();
+        if self.bufs.len() < slots.len() {
+            self.bufs.resize_with(slots.len(), LaneBufs::default);
+        }
+        let mut lanes: Vec<LaneState> = Vec::with_capacity(slots.len());
+        for (idx, &slot) in slots.iter().enumerate() {
+            let n = systems[slot].unknowns();
+            let bufs = &mut self.bufs[idx];
+            bufs.reserve(n);
+            let mut lane = LaneState {
+                slot,
+                res_norm: 0.0,
+                alpha: 1.0,
+                accepted: false,
+                searching: false,
+                finished: None,
+            };
+            if xs[slot].len() != n {
+                lane.finished = Some(Err(NumError::ShapeMismatch {
+                    expected: format!("initial guess of length {n}"),
+                    found: format!("length {}", xs[slot].len()),
+                }));
+            } else {
+                match systems[slot].residual(&xs[slot], &mut bufs.residual) {
+                    Ok(()) => {
+                        lane.res_norm = norm_inf(&bufs.residual);
+                        if !lane.res_norm.is_finite() {
+                            lane.finished = Some(Err(NumError::NonFinite {
+                                context: "initial Newton residual".into(),
+                            }));
+                        }
+                    }
+                    Err(e) => lane.finished = Some(Err(e)),
+                }
+            }
+            lanes.push(lane);
+        }
+        // Every lane of a pack shares one matrix dimension (the planner
+        // groups identical circuit structures); a mixed pack falls back
+        // to fully per-lane solving via dimension n of the first live
+        // lane and scalar handling of the rest.
+        let n = lanes
+            .iter()
+            .filter(|l| l.finished.is_none())
+            .map(|l| systems[l.slot].unknowns())
+            .next()
+            .unwrap_or(0);
+        let uniform = lanes
+            .iter()
+            .filter(|l| l.finished.is_none())
+            .all(|l| systems[l.slot].unknowns() == n);
+        if !uniform {
+            // Mixed dimensions can't share the SoA storage: solve each
+            // lane scalar. Bit-identity holds trivially.
+            let mut scalar = NewtonSolver::new(opts);
+            for lane in &mut lanes {
+                if lane.finished.is_none() {
+                    lane.finished = Some(scalar.solve(&mut systems[lane.slot], &mut xs[lane.slot]));
+                }
+            }
+            for lane in lanes {
+                results[lane.slot] = lane.finished;
+            }
+            return;
+        }
+        self.lu.resize(n);
+        // Stale values for inactive lanes are fine: the batched solve
+        // computes garbage for them and every consumer is masked.
+        self.neg_f.resize(n * W, 0.0);
+        self.dx.resize(n * W, 0.0);
+
+        for iter in 0..opts.max_iterations {
+            // Convergence check at the top of the iteration, as scalar.
+            for lane in &mut lanes {
+                if lane.finished.is_none() && lane.res_norm < opts.residual_tol {
+                    lane.finished = Some(Ok(NewtonStats {
+                        iterations: iter,
+                        residual: lane.res_norm,
+                    }));
+                }
+            }
+            if lanes.iter().all(|l| l.finished.is_some()) {
+                break;
+            }
+            // Per-lane Jacobian stamp into per-lane contiguous scratch,
+            // then one fused interleave-and-check pass into the SoA
+            // factorization.
+            let mut stamped = [false; W];
+            for (idx, lane) in lanes.iter_mut().enumerate() {
+                if lane.finished.is_some() {
+                    continue;
+                }
+                let bufs = &mut self.bufs[idx];
+                bufs.jac.clear();
+                if let Err(e) = systems[lane.slot].jacobian(&xs[lane.slot], &mut bufs.jac) {
+                    lane.finished = Some(Err(e));
+                    continue;
+                }
+                stamped[idx] = true;
+            }
+            let Some(first) = (0..W).find(|&l| stamped[l]) else {
+                // No stampable lane survived: nothing to factorize.
+                for lane in lanes {
+                    results[lane.slot] = lane.finished;
+                }
+                return;
+            };
+            let fallback = self.bufs[first].jac.as_slice();
+            let mut srcs: [&[f64]; W] = [fallback; W];
+            for (l, src) in srcs.iter_mut().enumerate() {
+                if stamped[l] {
+                    *src = self.bufs[l].jac.as_slice();
+                }
+            }
+            let mut active = self.lu.interleave(&srcs, &stamped);
+            for (idx, lane) in lanes.iter_mut().enumerate() {
+                if stamped[idx] && !active[idx] {
+                    lane.finished = Some(Err(NumError::NonFinite {
+                        context: "LU input matrix".into(),
+                    }));
+                }
+            }
+            let factored = self.lu.refactor(&active);
+            for (idx, lane) in lanes.iter_mut().enumerate() {
+                if !active[idx] {
+                    continue;
+                }
+                match &factored[idx] {
+                    Some(Ok(())) => {
+                        dso_obs::counter!("newton.lu_refactors").incr();
+                        dso_obs::histogram!(
+                            "newton.residual_trajectory",
+                            &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+                        )
+                        .observe(lane.res_norm);
+                    }
+                    Some(Err(e)) => {
+                        lane.finished = Some(Err(e.clone()));
+                        active[idx] = false;
+                    }
+                    None => unreachable!("active lane skipped by refactor"),
+                }
+            }
+            // Newton step J dx = -F for the surviving pack, batched.
+            for (idx, &on) in active.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                for (i, r) in self.bufs[idx].residual.iter().enumerate() {
+                    self.neg_f[i * W + idx] = -r;
+                }
+            }
+            self.lu.solve(&self.neg_f, &mut self.dx);
+            for (idx, lane) in lanes.iter_mut().enumerate() {
+                if !active[idx] {
+                    continue;
+                }
+                let bufs = &mut self.bufs[idx];
+                for (i, d) in bufs.dx.iter_mut().enumerate() {
+                    *d = self.dx[i * W + idx];
+                }
+                systems[lane.slot].limit_step(&xs[lane.slot], &mut bufs.dx, opts.max_step);
+                lane.alpha = 1.0;
+                lane.accepted = false;
+                lane.searching = true;
+            }
+            // Damped line search, lockstep rounds with per-lane masks.
+            for _ in 0..12 {
+                let mut any = false;
+                for (idx, lane) in lanes.iter_mut().enumerate() {
+                    if !active[idx] || !lane.searching {
+                        continue;
+                    }
+                    let bufs = &mut self.bufs[idx];
+                    let x = &xs[lane.slot];
+                    for (i, xi) in x.iter().enumerate() {
+                        bufs.trial_x[i] = xi + lane.alpha * bufs.dx[i];
+                    }
+                    if let Err(e) =
+                        systems[lane.slot].residual(&bufs.trial_x, &mut bufs.trial_residual)
+                    {
+                        lane.finished = Some(Err(e));
+                        active[idx] = false;
+                        continue;
+                    }
+                    let trial_norm = norm_inf(&bufs.trial_residual);
+                    if trial_norm.is_finite() && (trial_norm < lane.res_norm || lane.alpha <= 1e-3)
+                    {
+                        xs[lane.slot].copy_from_slice(&bufs.trial_x);
+                        bufs.residual.copy_from_slice(&bufs.trial_residual);
+                        lane.res_norm = trial_norm;
+                        lane.accepted = true;
+                        lane.searching = false;
+                    } else {
+                        lane.alpha *= opts.damping;
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            for (idx, lane) in lanes.iter_mut().enumerate() {
+                if !active[idx] {
+                    continue;
+                }
+                let bufs = &mut self.bufs[idx];
+                if !lane.accepted {
+                    // Accept the most damped step anyway (scalar policy:
+                    // some circuits pass through a residual hump).
+                    xs[lane.slot].copy_from_slice(&bufs.trial_x);
+                    bufs.residual.copy_from_slice(&bufs.trial_residual);
+                    lane.res_norm = norm_inf(&bufs.residual);
+                }
+                let step_norm = norm_inf(&bufs.dx) * lane.alpha;
+                if step_norm < opts.step_tol && lane.res_norm < opts.residual_tol * 1e3 {
+                    lane.finished = Some(Ok(NewtonStats {
+                        iterations: iter + 1,
+                        residual: lane.res_norm,
+                    }));
+                }
+            }
+        }
+        for lane in lanes {
+            let outcome = match lane.finished {
+                Some(outcome) => outcome,
+                None if lane.res_norm < opts.residual_tol => Ok(NewtonStats {
+                    iterations: opts.max_iterations,
+                    residual: lane.res_norm,
+                }),
+                None => Err(NumError::NoConvergence {
+                    iterations: opts.max_iterations,
+                    residual: lane.res_norm,
+                }),
+            };
+            results[lane.slot] = Some(outcome);
+        }
+    }
+}
+
+impl<const W: usize> BatchBackend for SoaBackend<W> {
+    fn lane_width(&self) -> usize {
+        W
+    }
+
+    fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    fn solve_lockstep<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        xs: &mut [Vec<f64>],
+        active: &[bool],
+    ) -> Vec<Option<Result<NewtonStats, NumError>>> {
+        assert_eq!(systems.len(), xs.len(), "lane count mismatch");
+        assert_eq!(systems.len(), active.len(), "lane mask mismatch");
+        let span = dso_obs::span_fine("newton.solve_batch");
+        let mut results: Vec<Option<Result<NewtonStats, NumError>>> = vec![None; systems.len()];
+        let slots: Vec<usize> = (0..systems.len()).filter(|&i| active[i]).collect();
+        span.note("lanes", slots.len() as f64);
+        for pack in slots.chunks(W) {
+            self.solve_pack(systems, xs, pack, &mut results);
+        }
+        // Mirror the scalar solve's outcome metrics per lane.
+        for outcome in results.iter().flatten() {
+            match outcome {
+                Ok(stats) => {
+                    dso_obs::counter!("newton.solves").incr();
+                    dso_obs::counter!("newton.iterations").add(stats.iterations as u64);
+                    dso_obs::histogram!(
+                        "newton.iterations_per_solve",
+                        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+                    )
+                    .observe(stats.iterations as f64);
+                    dso_obs::histogram!(
+                        "newton.residual_final",
+                        &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+                    )
+                    .observe(stats.residual);
+                }
+                Err(_) => dso_obs::counter!("newton.failed_solves").incr(),
+            }
+        }
+        results
+    }
+}
+
+/// The erased backend choice, selected at runtime (`DSO_LANES`).
+///
+/// [`BatchBackend::solve_lockstep`] is generic over the system type, so
+/// the trait is not object-safe; this enum is the dispatch point.
+#[derive(Debug)]
+pub enum AnyBackend {
+    /// Lane width 1: the scalar reference path.
+    Scalar(ScalarBackend),
+    /// Lane width 2.
+    Soa2(SoaBackend<2>),
+    /// Lane width 4.
+    Soa4(SoaBackend<4>),
+    /// Lane width 8.
+    Soa8(SoaBackend<8>),
+}
+
+impl BatchBackend for AnyBackend {
+    fn lane_width(&self) -> usize {
+        match self {
+            AnyBackend::Scalar(b) => b.lane_width(),
+            AnyBackend::Soa2(b) => b.lane_width(),
+            AnyBackend::Soa4(b) => b.lane_width(),
+            AnyBackend::Soa8(b) => b.lane_width(),
+        }
+    }
+
+    fn options(&self) -> &NewtonOptions {
+        match self {
+            AnyBackend::Scalar(b) => b.options(),
+            AnyBackend::Soa2(b) => b.options(),
+            AnyBackend::Soa4(b) => b.options(),
+            AnyBackend::Soa8(b) => b.options(),
+        }
+    }
+
+    fn solve_lockstep<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        xs: &mut [Vec<f64>],
+        active: &[bool],
+    ) -> Vec<Option<Result<NewtonStats, NumError>>> {
+        match self {
+            AnyBackend::Scalar(b) => b.solve_lockstep(systems, xs, active),
+            AnyBackend::Soa2(b) => b.solve_lockstep(systems, xs, active),
+            AnyBackend::Soa4(b) => b.solve_lockstep(systems, xs, active),
+            AnyBackend::Soa8(b) => b.solve_lockstep(systems, xs, active),
+        }
+    }
+}
+
+/// Selects a backend for a requested lane count: `0` or `1` is scalar,
+/// anything else rounds down to the nearest supported SoA width
+/// (2, 4 or 8).
+pub fn backend_with_lanes(lanes: usize, options: NewtonOptions) -> AnyBackend {
+    match lanes {
+        0 | 1 => AnyBackend::Scalar(ScalarBackend::new(options)),
+        2 | 3 => AnyBackend::Soa2(SoaBackend::new(options)),
+        4..=7 => AnyBackend::Soa4(SoaBackend::new(options)),
+        _ => AnyBackend::Soa8(SoaBackend::new(options)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::LuFactor;
+
+    /// A parameterized stiff test system: `F = (x0 - a, s·(x1 - x0²))`.
+    /// Different `(a, s)` per lane exercise divergent iteration counts.
+    struct Bowl {
+        a: f64,
+        s: f64,
+    }
+
+    impl NonlinearSystem for Bowl {
+        fn unknowns(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+            out[0] = x[0] - self.a;
+            out[1] = self.s * (x[1] - x[0] * x[0]);
+            Ok(())
+        }
+        fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+            jac[(0, 0)] = 1.0;
+            jac[(1, 0)] = -2.0 * self.s * x[0];
+            jac[(1, 1)] = self.s;
+            Ok(())
+        }
+    }
+
+    /// Always-singular Jacobian: fails factorization on iteration one.
+    struct Flat;
+    impl NonlinearSystem for Flat {
+        fn unknowns(&self) -> usize {
+            2
+        }
+        fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+            out[0] = x[0] + x[1] - 1.0;
+            out[1] = 2.0 * (x[0] + x[1]) - 2.0;
+            Ok(())
+        }
+        fn jacobian(&mut self, _x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+            jac[(0, 0)] = 1.0;
+            jac[(0, 1)] = 1.0;
+            jac[(1, 0)] = 2.0;
+            jac[(1, 1)] = 2.0;
+            Ok(())
+        }
+    }
+
+    fn lane_params(m: usize) -> Vec<(f64, f64)> {
+        (0..m)
+            .map(|i| (0.5 + 0.37 * i as f64, 5.0 + 3.0 * i as f64))
+            .collect()
+    }
+
+    fn scalar_reference(params: &[(f64, f64)]) -> Vec<(Vec<f64>, NewtonStats)> {
+        params
+            .iter()
+            .map(|&(a, s)| {
+                let mut solver = NewtonSolver::new(NewtonOptions::default());
+                let mut x = vec![-1.5, 2.0];
+                let stats = solver.solve(&mut Bowl { a, s }, &mut x).unwrap();
+                (x, stats)
+            })
+            .collect()
+    }
+
+    fn assert_bitwise(
+        expected: &[(Vec<f64>, NewtonStats)],
+        xs: &[Vec<f64>],
+        stats: &[NewtonStats],
+    ) {
+        for (l, (ex, got)) in expected.iter().zip(xs.iter().zip(stats)).enumerate() {
+            assert_eq!(ex.1, *got.1, "lane {l} stats diverge");
+            for (i, (e, g)) in ex.0.iter().zip(got.0).enumerate() {
+                assert_eq!(e.to_bits(), g.to_bits(), "lane {l} x[{i}] differs bitwise");
+            }
+        }
+    }
+
+    fn soa_matches_scalar<const W: usize>(lanes: usize) {
+        let params = lane_params(lanes);
+        let expected = scalar_reference(&params);
+        let mut systems: Vec<Bowl> = params.iter().map(|&(a, s)| Bowl { a, s }).collect();
+        let mut xs: Vec<Vec<f64>> = (0..lanes).map(|_| vec![-1.5, 2.0]).collect();
+        let active = vec![true; lanes];
+        let mut backend = SoaBackend::<W>::new(NewtonOptions::default());
+        let results = backend.solve_lockstep(&mut systems, &mut xs, &active);
+        let stats: Vec<NewtonStats> = results
+            .into_iter()
+            .map(|r| r.expect("active lane").expect("converges"))
+            .collect();
+        assert_bitwise(&expected, &xs, &stats);
+    }
+
+    #[test]
+    fn soa_bitwise_identical_full_packs() {
+        soa_matches_scalar::<2>(2);
+        soa_matches_scalar::<4>(4);
+        soa_matches_scalar::<8>(8);
+    }
+
+    #[test]
+    fn soa_bitwise_identical_partial_tails() {
+        // Lane counts not divisible by the width: tail packs mask unused
+        // lanes.
+        soa_matches_scalar::<4>(3);
+        soa_matches_scalar::<4>(6);
+        soa_matches_scalar::<8>(5);
+        soa_matches_scalar::<2>(7);
+    }
+
+    #[test]
+    fn scalar_backend_matches_newton_solver() {
+        let params = lane_params(3);
+        let expected = scalar_reference(&params);
+        let mut systems: Vec<Bowl> = params.iter().map(|&(a, s)| Bowl { a, s }).collect();
+        let mut xs: Vec<Vec<f64>> = (0..3).map(|_| vec![-1.5, 2.0]).collect();
+        let mut backend = ScalarBackend::new(NewtonOptions::default());
+        let results = backend.solve_lockstep(&mut systems, &mut xs, &[true, true, true]);
+        let stats: Vec<NewtonStats> = results.into_iter().map(|r| r.unwrap().unwrap()).collect();
+        assert_bitwise(&expected, &xs, &stats);
+    }
+
+    #[test]
+    fn inactive_lanes_left_untouched() {
+        let params = lane_params(4);
+        let mut systems: Vec<Bowl> = params.iter().map(|&(a, s)| Bowl { a, s }).collect();
+        let mut xs: Vec<Vec<f64>> = (0..4).map(|_| vec![-1.5, 2.0]).collect();
+        let active = [true, false, true, false];
+        let mut backend = SoaBackend::<4>::new(NewtonOptions::default());
+        let results = backend.solve_lockstep(&mut systems, &mut xs, &active);
+        assert!(results[0].is_some() && results[2].is_some());
+        assert!(results[1].is_none() && results[3].is_none());
+        assert_eq!(xs[1], vec![-1.5, 2.0]);
+        assert_eq!(xs[3], vec![-1.5, 2.0]);
+        // The active lanes still match their scalar reference bitwise.
+        let expected = scalar_reference(&params);
+        for l in [0usize, 2] {
+            for (e, g) in expected[l].0.iter().zip(&xs[l]) {
+                assert_eq!(e.to_bits(), g.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn failing_lane_does_not_disturb_survivors() {
+        // A singular lane in the middle of the pack must fail alone,
+        // leaving its neighbours bit-identical to scalar runs.
+        struct Mixed {
+            flat: bool,
+            inner: Bowl,
+        }
+        impl NonlinearSystem for Mixed {
+            fn unknowns(&self) -> usize {
+                2
+            }
+            fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+                if self.flat {
+                    Flat.residual(x, out)
+                } else {
+                    self.inner.residual(x, out)
+                }
+            }
+            fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+                if self.flat {
+                    Flat.jacobian(x, jac)
+                } else {
+                    self.inner.jacobian(x, jac)
+                }
+            }
+        }
+        let params = lane_params(4);
+        let expected = scalar_reference(&params);
+        let mut systems: Vec<Mixed> = params
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, s))| Mixed {
+                flat: i == 1,
+                inner: Bowl { a, s },
+            })
+            .collect();
+        let mut xs: Vec<Vec<f64>> = (0..4).map(|_| vec![-1.5, 2.0]).collect();
+        let mut backend = SoaBackend::<4>::new(NewtonOptions::default());
+        let results = backend.solve_lockstep(&mut systems, &mut xs, &[true; 4]);
+        assert!(
+            matches!(results[1], Some(Err(NumError::SingularMatrix { .. }))),
+            "flat lane must fail with a singular Jacobian"
+        );
+        for l in [0usize, 2, 3] {
+            let stats = results[l].clone().unwrap().unwrap();
+            assert_eq!(stats, expected[l].1, "lane {l}");
+            for (e, g) in expected[l].0.iter().zip(&xs[l]) {
+                assert_eq!(e.to_bits(), g.to_bits(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lu_bitwise_matches_scalar_lu() {
+        // Pivot-requiring matrices, different per lane.
+        let mats: Vec<DMatrix> = (0..4)
+            .map(|l| {
+                let f = l as f64;
+                DMatrix::from_rows(&[
+                    &[0.1 * f, 1.0 + f, -2.0],
+                    &[3.0 - f, 0.5, 1.0 + 0.25 * f],
+                    &[-1.0, 2.0 * f + 0.125, 4.0],
+                ])
+                .unwrap()
+            })
+            .collect();
+        let b = [1.0, -2.0, 0.75];
+        let mut batch = BatchLu::<4>::new();
+        batch.resize(3);
+        let srcs: [&[f64]; 4] = std::array::from_fn(|l| mats[l].as_slice());
+        assert_eq!(batch.interleave(&srcs, &[true; 4]), [true; 4]);
+        let outcome = batch.refactor(&[true; 4]);
+        assert!(outcome.iter().all(|o| matches!(o, Some(Ok(())))));
+        let mut b_soa = vec![0.0; 3 * 4];
+        for i in 0..3 {
+            for l in 0..4 {
+                b_soa[i * 4 + l] = b[i];
+            }
+        }
+        let mut x_soa = vec![0.0; 3 * 4];
+        batch.solve(&b_soa, &mut x_soa);
+        for (l, m) in mats.iter().enumerate() {
+            let x_ref = LuFactor::new(m).unwrap().solve(&b).unwrap();
+            for (i, e) in x_ref.iter().enumerate() {
+                assert_eq!(
+                    e.to_bits(),
+                    x_soa[i * 4 + l].to_bits(),
+                    "lane {l} x[{i}] differs bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lu_reports_singular_lanes_individually() {
+        let good = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let bad = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        let mut batch = BatchLu::<2>::new();
+        batch.resize(2);
+        let srcs: [&[f64]; 2] = [bad.as_slice(), good.as_slice()];
+        assert_eq!(batch.interleave(&srcs, &[true, true]), [true, true]);
+        let outcome = batch.refactor(&[true, true]);
+        assert!(matches!(
+            outcome[0],
+            Some(Err(NumError::SingularMatrix { .. }))
+        ));
+        assert!(matches!(outcome[1], Some(Ok(()))));
+        // The good lane still solves bitwise like scalar.
+        let b = [3.0, 5.0];
+        let mut b_soa = vec![0.0; 4];
+        let mut x_soa = vec![0.0; 4];
+        for i in 0..2 {
+            b_soa[i * 2 + 1] = b[i];
+        }
+        batch.solve(&b_soa, &mut x_soa);
+        let x_ref = LuFactor::new(&good).unwrap().solve(&b).unwrap();
+        for (i, e) in x_ref.iter().enumerate() {
+            assert_eq!(e.to_bits(), x_soa[i * 2 + 1].to_bits());
+        }
+    }
+
+    #[test]
+    fn interleave_flags_non_finite_lanes_individually() {
+        let mut bad = DMatrix::identity(2);
+        bad[(0, 1)] = f64::NAN;
+        let good = DMatrix::identity(2);
+        let mut batch = BatchLu::<2>::new();
+        batch.resize(2);
+        let finite = batch.interleave(&[bad.as_slice(), good.as_slice()], &[true, true]);
+        assert_eq!(finite, [false, true]);
+    }
+
+    #[test]
+    fn backend_with_lanes_rounds_to_supported_widths() {
+        for (lanes, width) in [
+            (0, 1),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 4),
+            (5, 4),
+            (7, 4),
+            (8, 8),
+            (16, 8),
+        ] {
+            let backend = backend_with_lanes(lanes, NewtonOptions::default());
+            assert_eq!(backend.lane_width(), width, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn any_backend_dispatches() {
+        let params = lane_params(5);
+        let expected = scalar_reference(&params);
+        for lanes in [1usize, 2, 4, 8] {
+            let mut systems: Vec<Bowl> = params.iter().map(|&(a, s)| Bowl { a, s }).collect();
+            let mut xs: Vec<Vec<f64>> = (0..5).map(|_| vec![-1.5, 2.0]).collect();
+            let mut backend = backend_with_lanes(lanes, NewtonOptions::default());
+            let results = backend.solve_lockstep(&mut systems, &mut xs, &[true; 5]);
+            let stats: Vec<NewtonStats> =
+                results.into_iter().map(|r| r.unwrap().unwrap()).collect();
+            assert_bitwise(&expected, &xs, &stats);
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //!   scaled-up memory arrays.
 //! * [`newton`] — a damped Newton–Raphson driver used by the nonlinear DC and
 //!   transient solvers.
+//! * [`batch`] — a batched structure-of-arrays Newton/LU backend
+//!   ([`batch::BatchBackend`]) advancing a lane of independent systems per
+//!   iteration, bit-identical per lane to the scalar solver.
 //! * [`integrate`] — integration-method coefficients (backward Euler,
 //!   trapezoidal) for companion models, plus a reference ODE integrator used
 //!   in validation tests.
@@ -44,6 +47,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod chaos;
 pub mod error;
 pub mod fingerprint;

@@ -1,0 +1,131 @@
+//! Lockstep-transient bit-identity: `transient_lockstep` must reproduce
+//! the scalar `transient` bit-for-bit per lane, at every supported lane
+//! width, including partial tail packs and lanes that fall back scalar.
+
+use dso_num::batch::{backend_with_lanes, BatchBackend};
+use dso_spice::circuit::Circuit;
+use dso_spice::engine::{transient_lockstep, Simulator, TranOptions};
+use dso_spice::mos::{MosGeometry, MosModel};
+use dso_spice::waveform::{Pulse, Waveform};
+
+/// An RC divider with a switchable drive — nonlinear enough (MOS pass
+/// transistor) that Newton takes several iterations per step.
+fn column_like(r_defect: f64, vdd: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let mid = ckt.node("mid");
+    let out = ckt.node("out");
+    let gate = ckt.node("gate");
+    ckt.add_vsource(
+        "Vin",
+        vin,
+        Circuit::GROUND,
+        Waveform::Pulse(Pulse {
+            v1: 0.0,
+            v2: vdd,
+            delay: 1e-6,
+            rise: 1e-7,
+            fall: 1e-7,
+            width: 4e-6,
+            period: 1e-2,
+        }),
+    )
+    .unwrap();
+    ckt.add_vsource("Vg", gate, Circuit::GROUND, Waveform::Dc(vdd))
+        .unwrap();
+    ckt.add_resistor("Rd", vin, mid, r_defect).unwrap();
+    ckt.add_mosfet(
+        "M1",
+        mid,
+        gate,
+        out,
+        Circuit::GROUND,
+        MosModel::default(),
+        MosGeometry::new(2e-6, 0.5e-6).unwrap(),
+    )
+    .unwrap();
+    ckt.add_capacitor("Cs", out, Circuit::GROUND, 30e-15)
+        .unwrap();
+    ckt.add_resistor("Rleak", out, Circuit::GROUND, 1e9)
+        .unwrap();
+    ckt
+}
+
+fn lane_values(m: usize) -> Vec<(f64, f64)> {
+    (0..m)
+        .map(|i| (1e3 * (i as f64 + 1.0) * 1.7, 2.0 + 0.1 * i as f64))
+        .collect()
+}
+
+fn assert_lockstep_matches_scalar(lanes: usize, width: usize) {
+    let params = lane_values(lanes);
+    let circuits: Vec<Circuit> = params.iter().map(|&(r, v)| column_like(r, v)).collect();
+    let sims: Vec<Simulator<'_>> = circuits.iter().map(Simulator::new).collect();
+    let opts: Vec<TranOptions> = params
+        .iter()
+        .map(|_| {
+            TranOptions::new(6e-6, 5e-8)
+                .unwrap()
+                .with_ic(vec![("out".to_string(), 0.0)])
+        })
+        .collect();
+    let scalar: Vec<_> = sims
+        .iter()
+        .zip(&opts)
+        .map(|(s, o)| s.transient(o).unwrap())
+        .collect();
+    let mut backend = backend_with_lanes(width, sims[0].newton_options().clone());
+    let batched = transient_lockstep(&mut backend, &sims, &opts);
+    for (l, (sc, ba)) in scalar.iter().zip(&batched).enumerate() {
+        let ba = ba.as_ref().unwrap_or_else(|e| panic!("lane {l}: {e}"));
+        assert_eq!(sc.times(), ba.times(), "lane {l} time grid differs");
+        let (vs, vb) = (sc.voltage("out").unwrap(), ba.voltage("out").unwrap());
+        for (i, (a, b)) in vs.iter().zip(&vb).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "lane {l} sample {i}: scalar {a:e} vs batched {b:e}"
+            );
+        }
+        assert_eq!(sc.recovery(), ba.recovery(), "lane {l} recovery stats");
+    }
+}
+
+#[test]
+fn lockstep_bit_identical_full_packs() {
+    assert_lockstep_matches_scalar(2, 2);
+    assert_lockstep_matches_scalar(4, 4);
+    assert_lockstep_matches_scalar(8, 8);
+}
+
+#[test]
+fn lockstep_bit_identical_partial_tails() {
+    assert_lockstep_matches_scalar(3, 4);
+    assert_lockstep_matches_scalar(5, 4);
+    assert_lockstep_matches_scalar(7, 8);
+    assert_lockstep_matches_scalar(5, 2);
+}
+
+#[test]
+fn lockstep_scalar_backend_is_reference() {
+    assert_lockstep_matches_scalar(3, 1);
+}
+
+#[test]
+fn mismatched_newton_options_fall_back_scalar() {
+    let ckt = column_like(5e3, 2.5);
+    let sims = [Simulator::new(&ckt)];
+    let opts = [TranOptions::new(2e-6, 5e-8).unwrap()];
+    // A backend with a foreign iteration policy must not be used for the
+    // lockstep lanes; the lane still answers, via the scalar path.
+    let mut backend = backend_with_lanes(4, dso_num::newton::NewtonOptions::default());
+    assert_ne!(
+        sims[0].newton_options(),
+        backend.options(),
+        "test needs a policy mismatch"
+    );
+    let scalar = sims[0].transient(&opts[0]).unwrap();
+    let batched = transient_lockstep(&mut backend, &sims, &opts);
+    let got = batched[0].as_ref().unwrap();
+    assert_eq!(scalar.voltage("out").unwrap(), got.voltage("out").unwrap());
+}

@@ -1,8 +1,10 @@
-//! Offline campaign benchmark: times `result_planes` / `plane_campaign`
-//! serial vs parallel, checks the determinism contract (parallel output
-//! bit-identical to serial), verifies the warm-start payoff and the
-//! evaluation-cache payoff (a cached repeat campaign must be at least 5x
-//! faster than its cold run, with identical bits), and writes
+//! Offline campaign benchmark: times plane-sweep campaigns through the
+//! [`Session`] API serial vs parallel, checks the determinism contract
+//! (parallel output bit-identical to serial), verifies the warm-start
+//! payoff, the evaluation-cache payoff (a cached repeat campaign must be
+//! at least 5x faster than its cold run, with identical bits), and the
+//! batched-solver payoff (a cold lanes=8 campaign must beat the cold
+//! scalar solver on points per second, with identical bits), and writes
 //! `BENCH_campaign.json` (schema per record:
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
 //! disk_hit_rate, dedup_waits}`). A disk-resume scenario additionally
@@ -21,19 +23,18 @@
 //! but wall-clock parity is all that can be observed. The process exits
 //! non-zero if parallel output diverges from serial, the warm-start
 //! iteration saving falls below 20%, the cached repeat campaign is less
-//! than 5x faster than (or diverges from) its cold run, or either derived
-//! figure regresses more than 25% against the committed
+//! than 5x faster than (or diverges from) its cold run, the batched
+//! campaign is slower than (or diverges from) the cold scalar one, or a
+//! derived figure regresses more than 25% against the committed
 //! `BENCH_baseline.json` (refresh an intentional change with
 //! `cargo run --release --example bench_campaign -- --write-baseline`).
 
-use dram_stress_opt::analysis::{
-    plane_campaign_in, plane_campaign_with, result_planes_with, Analyzer, CampaignFaults,
-    PlaneCampaign,
-};
+use dram_stress_opt::analysis::{Analyzer, PlaneCampaign};
 use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
 use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::exec::CampaignConfig;
 use dram_stress_opt::store::ResultStore;
+use dram_stress_opt::Session;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
@@ -55,14 +56,21 @@ fn main() {
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = logspace(1e4, 1e7, R_POINTS).expect("valid sweep");
-    let faults = CampaignFaults::new();
     let mut records: Vec<BenchRecord> = Vec::new();
 
-    // --- result_planes: warm-start payoff at threads = 1 ---------------
+    // Every cold scenario gets a fresh session (fresh memo cache) so the
+    // timing measures simulation, not cache replay.
+    let fresh_session = |config: &CampaignConfig| {
+        Session::from_parts(EvalService::new(analyzer.clone()), config.clone())
+    };
+
+    // --- result planes: warm-start payoff at threads = 1 ---------------
     let serial_cold = CampaignConfig::with_threads(1).with_warm_start(false);
     let serial_warm = CampaignConfig::with_threads(1);
     let planes = |config: &CampaignConfig| {
-        result_planes_with(&analyzer, &defect, &op, &r_values, N_OPS, config).expect("planes build")
+        fresh_session(config)
+            .planes_strict(&defect, &op, &r_values, N_OPS)
+            .expect("planes build")
     };
     let (cold_ms, (_, cold_perf)) = median_of(REPEATS, || planes(&serial_cold));
     records.push(BenchRecord {
@@ -101,9 +109,10 @@ fn main() {
         failed = true;
     }
 
-    // --- plane_campaign: serial vs parallel, bit-identity gate ----------
+    // --- plane campaign: serial vs parallel, bit-identity gate ----------
     let campaign = |config: &CampaignConfig| -> PlaneCampaign {
-        plane_campaign_with(&analyzer, &defect, &op, &r_values, N_OPS, &faults, config)
+        fresh_session(config)
+            .planes(&defect, &op, &r_values, N_OPS)
             .expect("campaign runs")
     };
     let serial_cfg = CampaignConfig::with_threads(1);
@@ -148,6 +157,55 @@ fn main() {
         }
     }
 
+    // --- batched solver: cold scalar vs lanes=8 points per second --------
+    // Lanes>1 runs every point cold (no warm-start chaining), so the fair
+    // scalar comparator is the cold path at one thread. The batched run
+    // must answer the same physics bit-for-bit *and* beat scalar on raw
+    // throughput — the payoff the SoA backend exists for.
+    let batch_cfg = CampaignConfig::with_threads(1).with_lanes(8);
+    let (scalar_batchref_ms, scalar_batchref) = median_of(REPEATS, || campaign(&serial_cold));
+    records.push(BenchRecord {
+        name: "plane_campaign/scalar-cold".into(),
+        threads: 1,
+        wall_ms: scalar_batchref_ms,
+        points: scalar_batchref.perf.points,
+        newton_iters: scalar_batchref.perf.newton_iters,
+        cache_hit_rate: scalar_batchref.perf.cache_hit_rate(),
+        disk_hit_rate: scalar_batchref.perf.disk_hit_rate(),
+        dedup_waits: 0,
+    });
+    let (batch_ms, batched) = median_of(REPEATS, || campaign(&batch_cfg));
+    records.push(BenchRecord {
+        name: "plane_campaign/batched-lanes8".into(),
+        threads: 1,
+        wall_ms: batch_ms,
+        points: batched.perf.points,
+        newton_iters: batched.perf.newton_iters,
+        cache_hit_rate: batched.perf.cache_hit_rate(),
+        disk_hit_rate: batched.perf.disk_hit_rate(),
+        dedup_waits: 0,
+    });
+    let pps = |points: usize, ms: f64| points as f64 / (ms / 1e3).max(1e-9);
+    let scalar_pps = pps(scalar_batchref.perf.points, scalar_batchref_ms);
+    let batch_pps = pps(batched.perf.points, batch_ms);
+    let batch_speedup = batch_pps / scalar_pps.max(1e-9);
+    println!(
+        "batched solver: scalar cold {:.0} ms ({:.2} points/s) -> lanes=8 {:.0} ms \
+         ({:.2} points/s, {:.2}x)",
+        scalar_batchref_ms, scalar_pps, batch_ms, batch_pps, batch_speedup
+    );
+    if batched.planes != scalar_batchref.planes
+        || batched.report != scalar_batchref.report
+        || batched.gaps() != scalar_batchref.gaps()
+    {
+        eprintln!("FAIL: batched (lanes=8) campaign diverged from cold scalar output");
+        failed = true;
+    }
+    if batch_speedup < 1.0 {
+        eprintln!("FAIL: batched campaign ran at {batch_speedup:.2}x scalar points/s (< 1.0x)");
+        failed = true;
+    }
+
     // --- observability overhead: metrics registry on vs off -------------
     // The disabled fast path is a relaxed atomic load per site; with the
     // registry *enabled* the cost is a thread-local bump per event. Both
@@ -172,22 +230,15 @@ fn main() {
         100.0 * (obs_ms / serial_ms - 1.0)
     );
 
-    // --- eval cache: cold vs cached repeat on a shared service ----------
-    // The first campaign on a fresh service simulates every point; the
+    // --- eval cache: cold vs cached repeat on a shared session ----------
+    // The first campaign on a fresh session simulates every point; the
     // repeats replay the memo cache. The repeat must be at least 5x
     // faster and bit-identical — the payoff the cache exists for.
-    let service = EvalService::new(analyzer.clone());
+    let shared_session = fresh_session(&serial_cfg);
     let run_shared = || {
-        plane_campaign_in(
-            &service,
-            &defect,
-            &op,
-            &r_values,
-            N_OPS,
-            &faults,
-            &serial_cfg,
-        )
-        .expect("campaign runs")
+        shared_session
+            .planes(&defect, &op, &r_values, N_OPS)
+            .expect("campaign runs")
     };
     let (shared_cold_ms, shared_cold) = median_of(1, run_shared);
     records.push(BenchRecord {
@@ -201,7 +252,7 @@ fn main() {
         dedup_waits: 0,
     });
     let (cached_ms, cached) = median_of(REPEATS, run_shared);
-    let cache_stats = service.cache_stats();
+    let cache_stats = shared_session.service().cache_stats();
     records.push(BenchRecord {
         name: "plane_campaign/shared-cached".into(),
         threads: 1,
@@ -240,6 +291,7 @@ fn main() {
         );
         failed = true;
     }
+    drop(shared_session);
 
     // --- persistent store: disk-resume replay on a fresh service ---------
     // A campaign persisted through the result store, then replayed by a
@@ -251,26 +303,28 @@ fn main() {
     let _ = std::fs::remove_file(&store_path);
     let context = EvalService::context_for(&analyzer);
     let store = ResultStore::open(&store_path, context).expect("open bench store");
-    let persist_service =
-        EvalService::with_store(analyzer.clone(), store).expect("context matches");
-    let run_persisted = |service: &EvalService| {
-        plane_campaign_in(
-            service,
-            &defect,
-            &op,
-            &r_values,
-            N_OPS,
-            &faults,
-            &serial_cfg,
-        )
-        .expect("campaign runs")
+    let persist_session = Session::from_parts(
+        EvalService::with_store(analyzer.clone(), store).expect("context matches"),
+        serial_cfg.clone(),
+    );
+    let run_persisted = |session: &Session| {
+        session
+            .planes(&defect, &op, &r_values, N_OPS)
+            .expect("campaign runs")
     };
-    let (persist_ms, persisted) = median_of(1, || run_persisted(&persist_service));
-    drop(persist_service);
+    let (persist_ms, persisted) = median_of(1, || run_persisted(&persist_session));
+    drop(persist_session);
     let store = ResultStore::open(&store_path, context).expect("reopen bench store");
-    let resume_service = EvalService::with_store(analyzer.clone(), store).expect("context matches");
-    let (resume_ms, resumed) = median_of(1, || run_persisted(&resume_service));
-    let store_stats = resume_service.store().expect("store attached").stats();
+    let resume_session = Session::from_parts(
+        EvalService::with_store(analyzer.clone(), store).expect("context matches"),
+        serial_cfg.clone(),
+    );
+    let (resume_ms, resumed) = median_of(1, || run_persisted(&resume_session));
+    let store_stats = resume_session
+        .service()
+        .store()
+        .expect("store attached")
+        .stats();
     records.push(BenchRecord {
         name: "plane_campaign/disk-resume".into(),
         threads: 1,
@@ -311,13 +365,14 @@ fn main() {
         );
         failed = true;
     }
-    drop(resume_service);
+    drop(resume_session);
     let _ = std::fs::remove_file(&store_path);
 
     // --- perf-regression gate vs the committed baseline ------------------
     let current = BenchBaseline {
         warm_iter_saving: saved,
         speedup_per_core: widest_speedup_per_core,
+        batch_speedup,
     };
     if std::env::args().any(|a| a == "--write-baseline") {
         std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");

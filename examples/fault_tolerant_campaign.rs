@@ -7,28 +7,22 @@
 //! cargo run --release --example fault_tolerant_campaign
 //! ```
 
-use dram_stress_opt::analysis::{plane_campaign, Analyzer, CampaignFaults};
+use dram_stress_opt::analysis::CampaignFaults;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::{ColumnDesign, OperatingPoint};
 use dram_stress_opt::num::chaos::{FaultKind, FaultPlan};
 use dram_stress_opt::num::interp::logspace;
 use dram_stress_opt::spice::units::format_eng;
+use dram_stress_opt::Session;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analyzer = Analyzer::new(ColumnDesign::default());
+    let session = Session::with_design(ColumnDesign::default());
     let defect = Defect::cell_open(BitLineSide::True);
     let op = OperatingPoint::nominal();
     let r_values = logspace(1e4, 1e7, 10)?;
 
     // 1. A clean campaign: every point converges, confidence is full.
-    let clean = plane_campaign(
-        &analyzer,
-        &defect,
-        &op,
-        &r_values,
-        2,
-        &CampaignFaults::new(),
-    )?;
+    let clean = session.planes(&defect, &op, &r_values, 2)?;
     println!("clean sweep:    {}", clean.report);
     println!("  confidence:   {}", clean.confidence);
     let b0 = clean.border_from_intersection()?.expect("border in sweep");
@@ -38,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    The campaign records the failure, interpolates the gap from its
     //    converged neighbors, and still extracts the border.
     let faults = CampaignFaults::new().with_fault(1, FaultPlan::always(FaultKind::NanResidual));
-    let partial = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
+    let partial = session.planes_faulted(&defect, &op, &r_values, 2, &faults)?;
     println!("partial sweep:  {}", partial.report);
     println!("  confidence:   {}", partial.confidence);
     for (lo, hi) in partial.gaps() {
@@ -65,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    absorbs it; the point is merely flagged Recovered.
     let faults =
         CampaignFaults::new().with_fault(1, FaultPlan::new().inject_at(10, FaultKind::NanResidual));
-    let recovered = plane_campaign(&analyzer, &defect, &op, &r_values, 2, &faults)?;
+    let recovered = session.planes_faulted(&defect, &op, &r_values, 2, &faults)?;
     println!("recovered sweep: {}", recovered.report);
     println!("  confidence:   {}", recovered.confidence);
 

@@ -18,16 +18,14 @@
 //! cargo run --release --example march_coverage
 //! ```
 
-use dram_stress_opt::analysis::{
-    build_dictionary, derive_detection, find_border, Analyzer, DefectiveCell, DetectionCondition,
-};
+use dram_stress_opt::analysis::{DefectiveCell, DetectionCondition};
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::march::coverage::{evaluate_coverage, FaultCase};
 use dram_stress_opt::march::element::{AddressOrder, MarchElement, MarchOp};
 use dram_stress_opt::march::test::MarchTest;
 use dram_stress_opt::stress::OperatingPoint;
+use dram_stress_opt::Session;
 use dso_dram::ops::Operation;
 use dso_num::interp::logspace;
 
@@ -59,7 +57,7 @@ fn condition_as_march_test(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let service = EvalService::new(Analyzer::new(ColumnDesign::default()));
+    let session = Session::with_design(ColumnDesign::default());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let stressed = OperatingPoint {
@@ -71,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Locate the nominal border and build the defect ensemble around it.
     let probe = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&service, &defect, &probe, &nominal, 0.05)?;
+    let border = session.border(&defect, &probe, &nominal, 0.05)?;
     let resistances = logspace(0.4 * border.resistance, 3.0 * border.resistance, 6)?;
     println!(
         "ensemble: {} instances of {defect} around the nominal border ({:.2e} Ω)",
@@ -90,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's step: derive the detection condition *for this SC*
         // (stressed writes need more settling operations), then embed it
         // in a march element.
-        let condition = derive_detection(&service, &defect, border.resistance, &op, 6)?;
+        let condition = session.detect(&defect, border.resistance, &op, 6)?;
         println!(
             "  derived detection condition: {}",
             condition.display_for(defect.side())
@@ -104,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Calibrate one dictionary per ensemble member at this SC.
         let mut cases = Vec::new();
         for &r in &resistances {
-            let dict = build_dictionary(&service, &defect, r, &op, 5)?;
+            let dict = session.dictionary(&defect, r, &op, 5)?;
             cases.push(FaultCase {
                 label: format!("{r:.2e} Ω"),
                 make: Box::new(move || Box::new(DefectiveCell::new(dict.clone(), 0.0))),

@@ -7,18 +7,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
+use dram_stress_opt::analysis::DetectionCondition;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::stress::{OperatingPoint, OptimizerConfig, StressKind, StressOptimizer};
+use dram_stress_opt::Session;
 use dso_spice::units::format_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The memory model: one folded bit-line DRAM column. All transients
-    //    route through an evaluation service that memoizes repeated points.
+    // 1. The memory model: one folded bit-line DRAM column. A session
+    //    bundles the memoizing evaluation service with the execution
+    //    policy (threads, chunking, solver lanes — all DSO_* tunable).
     let design = ColumnDesign::default();
-    let service = EvalService::new(Analyzer::new(design.clone()));
+    let session = Session::with_design(design.clone());
     let nominal = OperatingPoint::nominal();
 
     // 2. The defect: a resistive open between storage node and capacitor,
@@ -33,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "detection condition:   {}",
         detection.display_for(defect.side())
     );
-    let border = find_border(&service, &defect, &detection, &nominal, 0.05)?;
+    let border = session.border(&defect, &detection, &nominal, 0.05)?;
     println!(
         "nominal border:        {} ({} simulations)",
         border, border.evaluations

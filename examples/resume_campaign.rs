@@ -24,7 +24,7 @@
 //! cargo run --release --example resume_campaign
 //! ```
 
-use dram_stress_opt::analysis::{plane_campaign_in, Analyzer, CampaignFaults, PlaneCampaign};
+use dram_stress_opt::analysis::{Analyzer, PlaneCampaign};
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::{ColumnDesign, OperatingPoint};
 use dram_stress_opt::eval::EvalService;
@@ -32,22 +32,25 @@ use dram_stress_opt::exec::CampaignConfig;
 use dram_stress_opt::num::chaos::{FaultPlan, IoFaultKind};
 use dram_stress_opt::num::interp::logspace;
 use dram_stress_opt::store::ResultStore;
+use dram_stress_opt::Session;
 
 /// I/O ordinal at which every later store write starts short-writing —
 /// the moment the simulated process is "killed".
 const KILL_AT: usize = 8;
 
-fn campaign_on(service: &EvalService, threads: usize) -> PlaneCampaign {
-    plane_campaign_in(
-        service,
-        &Defect::cell_open(BitLineSide::True),
-        &OperatingPoint::nominal(),
-        &logspace(1e4, 1e7, 8).expect("valid sweep"),
-        1,
-        &CampaignFaults::new(),
-        &CampaignConfig::with_threads(threads).with_chunk(2),
-    )
-    .expect("campaign runs")
+fn session_on(service: EvalService, threads: usize) -> Session {
+    Session::from_parts(service, CampaignConfig::with_threads(threads).with_chunk(2))
+}
+
+fn campaign_on(session: &Session) -> PlaneCampaign {
+    session
+        .planes(
+            &Defect::cell_open(BitLineSide::True),
+            &OperatingPoint::nominal(),
+            &logspace(1e4, 1e7, 8).expect("valid sweep"),
+            1,
+        )
+        .expect("campaign runs")
 }
 
 fn main() {
@@ -68,9 +71,12 @@ fn main() {
     //    (write failures degrade durability, never correctness).
     let plan = FaultPlan::new().inject_io_span(KILL_AT, usize::MAX, IoFaultKind::ShortWrite);
     let store = ResultStore::open_with_faults(&path, context, plan).expect("open store");
-    let service = EvalService::with_store(analyzer.clone(), store).expect("context matches");
-    let interrupted = campaign_on(&service, 1);
-    let at_kill = service.store().expect("store attached").stats();
+    let session = session_on(
+        EvalService::with_store(analyzer.clone(), store).expect("context matches"),
+        1,
+    );
+    let interrupted = campaign_on(&session);
+    let at_kill = session.service().store().expect("store attached").stats();
     println!(
         "interrupted run: {} clean appends, {} torn writes, {}",
         at_kill.appends, at_kill.write_errors, interrupted.report
@@ -79,7 +85,7 @@ fn main() {
         eprintln!("FAIL: the kill never fired — no torn writes injected");
         failed = true;
     }
-    drop(service);
+    drop(session);
 
     // 2. Restart: reopen the torn file. Recovery must keep every cleanly
     //    appended record, drop the torn fragments, and count the damage.
@@ -108,9 +114,12 @@ fn main() {
     // 3. Resume: a fresh service over the recovered store replays every
     //    persisted point from disk and recomputes only what is missing —
     //    bit-identically to the uninterrupted run.
-    let service = EvalService::with_store(analyzer, store).expect("context matches");
-    let resumed = campaign_on(&service, 2);
-    let store_stats = service.store().expect("store attached").stats();
+    let session = session_on(
+        EvalService::with_store(analyzer, store).expect("context matches"),
+        2,
+    );
+    let resumed = campaign_on(&session);
+    let store_stats = session.service().store().expect("store attached").stats();
     println!(
         "resumed run: {} disk hits, {} recomputed, {}",
         resumed.perf.disk_hits, resumed.perf.cache_misses, resumed.report
@@ -145,7 +154,7 @@ fn main() {
         eprintln!("FAIL: resumed border {b_resumed:.4e} vs uninterrupted {b_interrupted:.4e}");
         failed = true;
     }
-    drop(service);
+    drop(session);
     let _ = std::fs::remove_file(&path);
 
     // 4. Archive the drill's recovery stats under results/.

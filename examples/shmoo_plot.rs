@@ -9,16 +9,15 @@
 //! cargo run --release --example shmoo_plot
 //! ```
 
-use dram_stress_opt::analysis::shmoo::detection_shmoo;
-use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
+use dram_stress_opt::analysis::DetectionCondition;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::stress::{OperatingPoint, StressKind};
+use dram_stress_opt::Session;
 use dso_num::interp::linspace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let service = EvalService::new(Analyzer::new(ColumnDesign::default()));
+    let session = Session::with_design(ColumnDesign::default());
     let nominal = OperatingPoint::nominal();
     let defect = Defect::cell_open(BitLineSide::True);
     let detection = DetectionCondition::default_for(&defect, 2);
@@ -26,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pick a defect resistance slightly *below* the nominal border: the
     // device passes at nominal conditions, and the shmoo shows which
     // corner of the stress plane exposes it.
-    let border = find_border(&service, &defect, &detection, &nominal, 0.05)?;
+    let border = session.border(&defect, &detection, &nominal, 0.05)?;
     let r_marginal = border.resistance * 0.9;
     println!(
         "device under test: {defect} at R = {r_marginal:.3e} Ω (border {:.3e} Ω)",
@@ -43,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vdds = linspace(vdd_lo, vdd_hi, 7)?;
     let tcycs = linspace(tcyc_lo, tcyc_hi, 5)?;
 
-    let plot = detection_shmoo(
-        &service,
+    let plot = session.shmoo_detection(
         &defect,
         &detection,
         r_marginal,
@@ -63,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{}", plot.render_ascii());
     println!("pass rate over the grid: {:.0}%", plot.pass_rate() * 100.0);
-    let stats = service.cache_stats();
+    let stats = session.service().cache_stats();
     println!(
         "evaluation service: {} simulated, {} replayed from cache",
         stats.misses, stats.hits

@@ -46,6 +46,8 @@ pub use dso_core::analysis;
 pub use dso_core::bench;
 pub use dso_core::eval;
 pub use dso_core::exec;
+pub use dso_core::session;
+pub use dso_core::session::{Session, SessionBuilder};
 pub use dso_core::store;
 pub use dso_core::stress;
 pub use dso_defects as defects;

@@ -2,14 +2,14 @@
 //! fault dictionaries calibrated by simulation drive the behavioral memory
 //! the march tests run on.
 
-use dram_stress_opt::analysis::{build_dictionary, Analyzer, DefectiveCell};
+use dram_stress_opt::analysis::DefectiveCell;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::behavior::FunctionalMemory;
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::march::run::apply;
 use dram_stress_opt::march::test::MarchTest;
 use dram_stress_opt::stress::OperatingPoint;
+use dram_stress_opt::Session;
 
 fn fast_design() -> ColumnDesign {
     ColumnDesign {
@@ -20,12 +20,12 @@ fn fast_design() -> ColumnDesign {
 
 #[test]
 fn march_tests_catch_severe_open_and_pass_mild_one() {
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
 
     // Severe open: well above any plausible border.
-    let severe = build_dictionary(&service, &defect, 3e7, &nominal, 5).unwrap();
+    let severe = session.dictionary(&defect, 3e7, &nominal, 5).unwrap();
     let mut memory =
         FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(severe, 0.0))).unwrap();
     let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
@@ -33,7 +33,7 @@ fn march_tests_catch_severe_open_and_pass_mild_one() {
     assert!(result.failures().iter().all(|f| f.address == 3));
 
     // Mild open: far below the border — indistinguishable from healthy.
-    let mild = build_dictionary(&service, &defect, 2e3, &nominal, 5).unwrap();
+    let mild = session.dictionary(&defect, 2e3, &nominal, 5).unwrap();
     let mut memory =
         FunctionalMemory::with_victim(8, 3, Box::new(DefectiveCell::new(mild, 0.0))).unwrap();
     let result = apply(&MarchTest::march_c_minus(), &mut memory).unwrap();
@@ -46,10 +46,10 @@ fn retention_fault_needs_the_drt_test() {
     // drains during the DRT test's Del pauses: the electrically calibrated
     // idle map drives the functional model's retention behaviour.
     use dram_stress_opt::dram::column::DefectSite;
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::new(DefectSite::Sg, BitLineSide::True);
     let nominal = OperatingPoint::nominal();
-    let dict = build_dictionary(&service, &defect, 8e6, &nominal, 5).unwrap();
+    let dict = session.dictionary(&defect, 8e6, &nominal, 5).unwrap();
 
     let mut memory =
         FunctionalMemory::with_victim(8, 2, Box::new(DefectiveCell::new(dict.clone(), 0.0)))
@@ -69,10 +69,10 @@ fn retention_fault_needs_the_drt_test() {
 
 #[test]
 fn comp_side_dictionary_detected_with_inverted_data() {
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::Comp);
     let nominal = OperatingPoint::nominal();
-    let dict = build_dictionary(&service, &defect, 3e7, &nominal, 5).unwrap();
+    let dict = session.dictionary(&defect, 3e7, &nominal, 5).unwrap();
     let mut memory =
         FunctionalMemory::with_victim(8, 5, Box::new(DefectiveCell::new(dict, 0.0))).unwrap();
     // MATS+ covers both data polarities, so the comp-side defect is caught

@@ -1,13 +1,11 @@
 //! End-to-end reproduction checks of the paper's central claims, at
 //! test-friendly (coarse) simulation settings.
 
-use dram_stress_opt::analysis::{
-    derive_detection, find_border, result_planes, Analyzer, DetectionCondition,
-};
+use dram_stress_opt::analysis::DetectionCondition;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::stress::OperatingPoint;
+use dram_stress_opt::Session;
 
 fn fast_design() -> ColumnDesign {
     ColumnDesign {
@@ -21,18 +19,20 @@ fn border_extraction_methods_agree() {
     // The paper's border (Fig. 2a) is the intersection of the (2)w0 curve
     // with Vsa(R); we also implement direct pass/fail bisection. The two
     // independent methods must agree to well within a factor of two.
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let detection = DetectionCondition::default_for(&defect, 2);
-    let bisect =
-        find_border(&service, &defect, &detection, &nominal, 0.08).expect("cell open has a border");
+    let bisect = session
+        .border(&defect, &detection, &nominal, 0.08)
+        .expect("cell open has a border");
 
     let r_values: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0]
         .iter()
         .map(|f| f * bisect.resistance)
         .collect();
-    let planes = result_planes(service.analyzer(), &defect, &nominal, &r_values, 2)
+    let (planes, _) = session
+        .planes_strict(&defect, &nominal, &r_values, 2)
         .expect("planes generate");
     let intersection = planes
         .border_from_intersection()
@@ -51,7 +51,7 @@ fn true_comp_symmetry() {
     // Table 1: the border value and optimization direction are the same
     // for true and complementary defects; detection conditions have 1s and
     // 0s interchanged.
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let nominal = OperatingPoint::nominal();
     let mut borders = Vec::new();
     for side in [BitLineSide::True, BitLineSide::Comp] {
@@ -63,8 +63,9 @@ fn true_comp_symmetry() {
             BitLineSide::True => assert_eq!(rendered, "{... w1 w1 w0 r0 ...}"),
             BitLineSide::Comp => assert_eq!(rendered, "{... w0 w0 w1 r1 ...}"),
         }
-        let border =
-            find_border(&service, &defect, &detection, &nominal, 0.08).expect("border exists");
+        let border = session
+            .border(&defect, &detection, &nominal, 0.08)
+            .expect("border exists");
         borders.push(border.resistance);
     }
     let ratio = borders[0] / borders[1];
@@ -80,7 +81,7 @@ fn true_comp_symmetry() {
 fn stressed_combination_widens_failing_range() {
     // Figure 6 / Table 1: the stress combination Vdd=2.1 V, tcyc=55 ns,
     // T=+87 °C lowers the border of the cell open.
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let stressed = OperatingPoint {
@@ -90,8 +91,10 @@ fn stressed_combination_widens_failing_range() {
         ..nominal
     };
     let detection = DetectionCondition::default_for(&defect, 2);
-    let br_nom = find_border(&service, &defect, &detection, &nominal, 0.08).unwrap();
-    let br_str = find_border(&service, &defect, &detection, &stressed, 0.08).unwrap();
+    let br_nom = session.border(&defect, &detection, &nominal, 0.08).unwrap();
+    let br_str = session
+        .border(&defect, &detection, &stressed, 0.08)
+        .unwrap();
     assert!(
         br_str.resistance < br_nom.resistance,
         "stressed border {:.3e} should undercut nominal {:.3e}",
@@ -104,11 +107,11 @@ fn stressed_combination_widens_failing_range() {
 fn vsa_collapses_to_gnd_for_large_opens() {
     // Paper footnote (Sec. 3): as Rop grows, a stored 0 fails to pull the
     // bit line down and the sense amplifier reads 1 — i.e. Vsa -> GND.
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
-    let vsa_healthy = service.vsa(&defect, 1e3, &nominal).unwrap();
-    let vsa_open = service.vsa(&defect, 1e9, &nominal).unwrap();
+    let vsa_healthy = session.service().vsa(&defect, 1e3, &nominal).unwrap();
+    let vsa_open = session.service().vsa(&defect, 1e9, &nominal).unwrap();
     assert!(vsa_healthy > 0.4, "healthy threshold near mid-rail");
     assert_eq!(vsa_open, 0.0, "fully open cell always reads 1");
 }
@@ -117,7 +120,7 @@ fn vsa_collapses_to_gnd_for_large_opens() {
 fn stressed_detection_needs_more_settling_writes() {
     // Figure 6, observation 2: under the stressed SC the detection
     // condition needs more operations to charge the cell high enough.
-    let service = EvalService::new(Analyzer::new(fast_design()));
+    let session = Session::with_design(fast_design());
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let stressed = OperatingPoint {
@@ -127,10 +130,13 @@ fn stressed_detection_needs_more_settling_writes() {
         ..nominal
     };
     let detection = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&service, &defect, &detection, &nominal, 0.1).unwrap();
-    let nominal_cond = derive_detection(&service, &defect, border.resistance, &nominal, 6).unwrap();
-    let stressed_cond =
-        derive_detection(&service, &defect, border.resistance, &stressed, 6).unwrap();
+    let border = session.border(&defect, &detection, &nominal, 0.1).unwrap();
+    let nominal_cond = session
+        .detect(&defect, border.resistance, &nominal, 6)
+        .unwrap();
+    let stressed_cond = session
+        .detect(&defect, border.resistance, &stressed, 6)
+        .unwrap();
     assert!(
         stressed_cond.len() >= nominal_cond.len(),
         "stressed {stressed_cond} should not be shorter than nominal {nominal_cond}"

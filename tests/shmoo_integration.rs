@@ -1,13 +1,12 @@
 //! Shmoo plotting driven by the electrical simulator: the failing region
 //! of a marginal device sits at the stressful corner of the stress plane.
 
-use dram_stress_opt::analysis::shmoo::detection_shmoo;
-use dram_stress_opt::analysis::{find_border, Analyzer, DetectionCondition};
+use dram_stress_opt::analysis::DetectionCondition;
 use dram_stress_opt::defects::{BitLineSide, Defect};
 use dram_stress_opt::dram::design::ColumnDesign;
-use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::shmoo::Outcome;
 use dram_stress_opt::stress::OperatingPoint;
+use dram_stress_opt::Session;
 
 #[test]
 fn marginal_device_fails_in_the_stressful_corner() {
@@ -15,35 +14,37 @@ fn marginal_device_fails_in_the_stressful_corner() {
         dt_fraction: 1.0 / 200.0,
         ..ColumnDesign::default()
     };
-    let service = EvalService::new(Analyzer::new(design));
+    let session = Session::with_design(design);
     let defect = Defect::cell_open(BitLineSide::True);
     let nominal = OperatingPoint::nominal();
     let detection = DetectionCondition::default_for(&defect, 2);
-    let border = find_border(&service, &defect, &detection, &nominal, 0.1).expect("border exists");
+    let border = session
+        .border(&defect, &detection, &nominal, 0.1)
+        .expect("border exists");
     // Just below the nominal border: passes nominally, fails under stress.
     let r_marginal = border.resistance * 0.93;
 
     // 2x2 corners of the (Vdd, tcyc) plane.
     let vdds = [2.1, 2.7];
     let tcycs = [55e-9, 65e-9];
-    let plot = detection_shmoo(
-        &service,
-        &defect,
-        &detection,
-        r_marginal,
-        "Vdd",
-        &vdds,
-        "tcyc",
-        &tcycs,
-        |vdd, tcyc| {
-            Ok(OperatingPoint {
-                vdd,
-                tcyc,
-                ..nominal
-            })
-        },
-    )
-    .expect("shmoo generates");
+    let plot = session
+        .shmoo_detection(
+            &defect,
+            &detection,
+            r_marginal,
+            "Vdd",
+            &vdds,
+            "tcyc",
+            &tcycs,
+            |vdd, tcyc| {
+                Ok(OperatingPoint {
+                    vdd,
+                    tcyc,
+                    ..nominal
+                })
+            },
+        )
+        .expect("shmoo generates");
 
     // The stressful corner is low Vdd + short tcyc; the relaxed corner is
     // high Vdd + long tcyc (Figures 3 and 5).
