@@ -36,8 +36,10 @@ echo "==> bench (release, emits BENCH_campaign.json + results/ copy)"
 # the cached repeat campaign is less than 5x faster than its cold run (the
 # evaluation-cache gate; hit rate and dedup count land in the JSON), the
 # batched lanes=8 campaign is slower than (or diverges from) the cold
-# scalar solver, or a derived figure regresses >25% vs the committed
-# BENCH_baseline.json.
+# scalar solver, the modified-Newton fast path is less than 1.5x the
+# legacy full-Newton throughput (or reuses fewer than half its LU
+# factorizations, or shifts the extracted border), or a derived figure
+# regresses >25% vs the committed BENCH_baseline.json.
 # Refresh the baseline after an intentional perf change with:
 #   cargo run --release --example bench_campaign -- --write-baseline
 cargo run --release -q --offline --example bench_campaign

@@ -155,8 +155,8 @@ pub fn find_border(
 ///
 /// The grid walk issues exactly the `w0` settle and `Vsa` requests a plane
 /// campaign over the same `(r_values, n_ops)` sweep already evaluated, so
-/// running this after [`super::planes::plane_campaign_in`] on the same
-/// [`EvalService`] turns the entire walk into cache hits; only the
+/// running this after a plane campaign ([`crate::Session::planes`]) on the
+/// same [`EvalService`] turns the entire walk into cache hits; only the
 /// bisection probes between grid points simulate anything new.
 ///
 /// Returns `None` when the margin does not change sign inside the grid

@@ -23,11 +23,7 @@ pub mod sweep;
 pub use border::{find_border, refine_border_from_planes, BorderResistance};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
-#[allow(deprecated)] // the shims stay re-exported for one release
-pub use planes::{
-    plane_campaign, plane_campaign_in, plane_campaign_with, result_planes, result_planes_in,
-    result_planes_with, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane,
-};
+pub use planes::{result_planes, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane};
 pub use sweep::{CampaignFaults, Confidence, PointStatus, SweepPoint, SweepReport};
 
 use crate::CoreError;
@@ -35,26 +31,46 @@ use dso_defects::Defect;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_dram::ops::{physical_write, OpTrace, Operation, OperationEngine};
 use dso_num::chaos::FaultPlan;
+use dso_num::newton::NewtonOptions;
 use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
+use dso_spice::SolverTuning;
 
-/// Analysis front end: owns the column design and recovery policy, builds
-/// defect-injected engines, and implements the elementary measurements the
-/// [`crate::eval::EvalService`] executes. Analysis layers never call the
-/// measurement primitives directly — they submit requests to the service,
-/// which memoizes and batches them.
+/// The solver tuning selected by the `DSO_LU_REUSE` and `DSO_BYPASS_TOL`
+/// environment variables (defaults: LU reuse on, 100 µV bypass tolerance).
+/// Invalid values warn once and fall back to the default, like every
+/// other `DSO_*` knob.
+pub fn tuning_from_env() -> SolverTuning {
+    let mut tuning = SolverTuning::default();
+    if let Some(reuse) = crate::env::boolean("DSO_LU_REUSE", "1") {
+        tuning.lu_reuse = reuse;
+    }
+    if let Some(tol) = crate::env::non_negative_f64("DSO_BYPASS_TOL", "1e-4") {
+        tuning.bypass_tol = tol;
+    }
+    tuning
+}
+
+/// Analysis front end: owns the column design, recovery policy, and solver
+/// tuning, builds defect-injected engines, and implements the elementary
+/// measurements the [`crate::eval::EvalService`] executes. Analysis layers
+/// never call the measurement primitives directly — they submit requests
+/// to the service, which memoizes and batches them.
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     design: ColumnDesign,
     recovery: RecoveryPolicy,
+    tuning: SolverTuning,
 }
 
 impl Analyzer {
     /// Creates an analyzer for a column design, with the default
-    /// convergence-recovery policy (every ladder rung enabled).
+    /// convergence-recovery policy (every ladder rung enabled) and the
+    /// solver tuning selected by the environment ([`tuning_from_env`]).
     pub fn new(design: ColumnDesign) -> Self {
         Analyzer {
             design,
             recovery: RecoveryPolicy::default(),
+            tuning: tuning_from_env(),
         }
     }
 
@@ -62,6 +78,14 @@ impl Analyzer {
     /// this analyzer builds.
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Replaces the solver tuning applied to every engine this analyzer
+    /// builds. The tuning is part of the evaluation-cache context: results
+    /// computed under one tuning are never served to another.
+    pub fn with_tuning(mut self, tuning: SolverTuning) -> Self {
+        self.tuning = tuning;
         self
     }
 
@@ -73,6 +97,18 @@ impl Analyzer {
     /// The convergence-recovery policy in use.
     pub fn recovery(&self) -> &RecoveryPolicy {
         &self.recovery
+    }
+
+    /// The solver tuning in use.
+    pub fn tuning(&self) -> &SolverTuning {
+        &self.tuning
+    }
+
+    /// The Newton options every engine built by this analyzer solves with
+    /// — what a [`dso_num::batch::BatchBackend`] must be built from to
+    /// drive this analyzer's transients in lockstep bit-identically.
+    pub fn newton_options(&self) -> NewtonOptions {
+        self.tuning.newton_options()
     }
 
     /// Builds an operation engine with `defect` injected at `resistance`,
@@ -88,7 +124,8 @@ impl Analyzer {
     ) -> Result<OperationEngine, CoreError> {
         let mut engine = OperationEngine::new(self.design.clone(), *op_point)?
             .with_victim(defect.side())
-            .with_recovery(self.recovery);
+            .with_recovery(self.recovery)
+            .with_tuning(self.tuning);
         if let Some(plan) = faults {
             engine = engine.with_fault_plan(plan.clone());
         }

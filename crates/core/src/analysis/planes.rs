@@ -615,6 +615,10 @@ fn tally(perf: &mut CampaignPerfStats, outcome: &PointOutcome) {
     perf.disk_hits += outcome.disk_hits;
     perf.cache_misses += outcome.cache_misses;
     perf.failures += usize::from(outcome.data.is_err());
+    perf.lu_refactors += outcome.stats.lu_refactors;
+    perf.lu_reuses += outcome.stats.lu_reuses;
+    perf.bypass_hits += outcome.stats.bypass_hits;
+    perf.bypass_misses += outcome.stats.bypass_misses;
 }
 
 fn validate_sweep(r_values: &[f64], n_ops: usize) -> Result<(), CoreError> {
@@ -681,8 +685,8 @@ fn assemble_planes(
 /// trajectory.
 ///
 /// This is the strict variant: the first point failure aborts the whole
-/// plane. Long campaigns should prefer [`plane_campaign`], which degrades
-/// gracefully.
+/// plane. Long campaigns should prefer [`crate::Session::planes_faulted`],
+/// which degrades gracefully.
 ///
 /// # Errors
 ///
@@ -706,48 +710,6 @@ pub fn result_planes(
         &CampaignConfig::from_env(),
     )
     .map(|(planes, _)| planes)
-}
-
-/// [`result_planes`] with an explicit execution policy, additionally
-/// returning the campaign's [`CampaignPerfStats`].
-///
-/// # Errors
-///
-/// As [`result_planes`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::planes_strict` (see `dso_core::Session`)"
-)]
-pub fn result_planes_with(
-    analyzer: &Analyzer,
-    defect: &Defect,
-    op_point: &OperatingPoint,
-    r_values: &[f64],
-    n_ops: usize,
-    config: &CampaignConfig,
-) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
-    let service = EvalService::from_env(analyzer.clone());
-    result_planes_impl(&service, defect, op_point, r_values, n_ops, config)
-}
-
-/// [`result_planes_with`] running on a caller-supplied [`EvalService`].
-///
-/// # Errors
-///
-/// As [`result_planes`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::planes_strict` on a `Session::from_parts` session"
-)]
-pub fn result_planes_in(
-    service: &EvalService,
-    defect: &Defect,
-    op_point: &OperatingPoint,
-    r_values: &[f64],
-    n_ops: usize,
-    config: &CampaignConfig,
-) -> Result<(ResultPlanes, CampaignPerfStats), CoreError> {
-    result_planes_impl(service, defect, op_point, r_values, n_ops, config)
 }
 
 /// The strict result-plane campaign on a caller-supplied service: grid
@@ -851,8 +813,9 @@ impl PlaneCampaign {
     }
 }
 
-/// Fault-tolerant variant of [`result_planes`]: point failures do not
-/// abort the sweep. Each attempted point is recorded in the returned
+/// Fault-tolerant variant of [`result_planes`] (exposed as
+/// [`crate::Session::planes_faulted`]): point failures do not abort the
+/// sweep. Each attempted point is recorded in the returned
 /// [`SweepReport`] as `Converged`, `Recovered(attempts)`, or
 /// `Failed(reason)`; failed points become gaps whose curve values are
 /// interpolated from the bracketing non-failed neighbors.
@@ -861,9 +824,9 @@ impl PlaneCampaign {
 ///
 /// * every gap must be bracketed by non-failed points (a failed first or
 ///   last sweep point is unrecoverable), and
-/// * the `(1) w0` × `Vsa` border margin must not change sign across the
-///   gap — a sign change means the border crossing itself is lost, and
-///   interpolating across it would fabricate the paper's key result.
+/// * the border margin must not change sign across the gap — a sign
+///   change means the border crossing itself is lost, and interpolating
+///   across it would fabricate the paper's key result.
 ///
 /// `faults` arms the deterministic fault-injection harness at selected
 /// sweep indices (pass [`CampaignFaults::new`] for a clean campaign).
@@ -874,74 +837,7 @@ impl PlaneCampaign {
 /// * [`CoreError::SweepFailed`] when fewer than two points survive or an
 ///   edge point failed.
 /// * [`CoreError::BorderInGap`] when a gap straddles the border crossing.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::planes` / `Session::planes_faulted` (see `dso_core::Session`)"
-)]
-pub fn plane_campaign(
-    analyzer: &Analyzer,
-    defect: &Defect,
-    op_point: &OperatingPoint,
-    r_values: &[f64],
-    n_ops: usize,
-    faults: &CampaignFaults,
-) -> Result<PlaneCampaign, CoreError> {
-    let service = EvalService::from_env(analyzer.clone());
-    plane_campaign_impl(
-        &service,
-        defect,
-        op_point,
-        r_values,
-        n_ops,
-        faults,
-        &CampaignConfig::from_env(),
-    )
-}
-
-/// [`plane_campaign`] with an explicit execution policy.
 ///
-/// # Errors
-///
-/// As [`plane_campaign`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::planes_faulted` on a session built with an explicit config"
-)]
-pub fn plane_campaign_with(
-    analyzer: &Analyzer,
-    defect: &Defect,
-    op_point: &OperatingPoint,
-    r_values: &[f64],
-    n_ops: usize,
-    faults: &CampaignFaults,
-    config: &CampaignConfig,
-) -> Result<PlaneCampaign, CoreError> {
-    let service = EvalService::from_env(analyzer.clone());
-    plane_campaign_impl(&service, defect, op_point, r_values, n_ops, faults, config)
-}
-
-/// [`plane_campaign_with`] running on a caller-supplied [`EvalService`].
-///
-/// # Errors
-///
-/// As [`plane_campaign`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::planes_faulted` on a `Session::from_parts` session"
-)]
-#[allow(clippy::too_many_arguments)] // campaign plumbing: faults + config
-pub fn plane_campaign_in(
-    service: &EvalService,
-    defect: &Defect,
-    op_point: &OperatingPoint,
-    r_values: &[f64],
-    n_ops: usize,
-    faults: &CampaignFaults,
-    config: &CampaignConfig,
-) -> Result<PlaneCampaign, CoreError> {
-    plane_campaign_impl(service, defect, op_point, r_values, n_ops, faults, config)
-}
-
 /// The fault-tolerant plane campaign on a caller-supplied service: grid
 /// points already present in the service's cache are replayed — values
 /// *and* recovery accounting — so a cached re-run reproduces the cold

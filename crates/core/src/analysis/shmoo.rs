@@ -5,8 +5,8 @@
 //! shmoo grids share the memo cache with every other analysis layer. In
 //! particular [`margin_shmoo`] evaluates exactly the `w0`-settle and `Vsa`
 //! requests a plane campaign over the same `(r_values, n_ops)` sweep
-//! issues: running it after [`super::planes::plane_campaign_in`] on the
-//! same service turns the overlapping row into pure cache hits.
+//! issues: running it after a plane campaign ([`crate::Session::planes`])
+//! on the same service turns the overlapping row into pure cache hits.
 
 use crate::eval::EvalService;
 use crate::CoreError;

@@ -4,9 +4,10 @@
 //! hand-rolled alternative to criterion: median-of-k wall-clock timing
 //! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! disk_hit_rate, dedup_waits}` — enough for CI to trend campaign
-//! throughput, the evaluation-cache and persistent-store payoff, and for
-//! the bench example to assert serial/parallel equivalence.
+//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits}` — enough
+//! for CI to trend campaign throughput, the evaluation-cache and
+//! persistent-store payoff, the modified-Newton fast path, and for the
+//! bench example to assert serial/parallel equivalence.
 
 use std::time::Instant;
 
@@ -29,6 +30,12 @@ pub struct BenchRecord {
     /// Fraction of simulation requests served from the persistent store's
     /// disk tier (`0.0` when no store is attached).
     pub disk_hit_rate: f64,
+    /// Fraction of Newton iterations that reused the previous LU
+    /// factorization (`0.0` under legacy tuning).
+    pub lu_reuse_rate: f64,
+    /// Fraction of device evaluations answered from the bypass cache
+    /// (`0.0` under legacy tuning).
+    pub bypass_hit_rate: f64,
     /// Requests that blocked on an identical in-flight computation.
     pub dedup_waits: usize,
 }
@@ -81,7 +88,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \
              \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"disk_hit_rate\": {:.3}, \
-             \"dedup_waits\": {}}}",
+             \"lu_reuse_rate\": {:.3}, \"bypass_hit_rate\": {:.3}, \"dedup_waits\": {}}}",
             escape_json(&r.name),
             r.threads,
             r.wall_ms,
@@ -89,6 +96,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.newton_iters,
             r.cache_hit_rate,
             r.disk_hit_rate,
+            r.lu_reuse_rate,
+            r.bypass_hit_rate,
             r.dedup_waits
         ));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
@@ -115,6 +124,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 ///   solver over the cold scalar solver at one thread. Single-threaded
 ///   on both sides, so the ratio isolates the SoA payoff from scheduling
 ///   noise and stays comparable across hosts.
+/// * `modified_newton_speedup` — cold points-per-second of the
+///   modified-Newton fast path (LU reuse + device bypass, default
+///   tuning) over the legacy full-Newton path at one thread. The CI
+///   floor is 1.5x regardless of the committed baseline.
 ///
 /// Refresh after an intentional perf change with:
 ///
@@ -130,6 +143,9 @@ pub struct BenchBaseline {
     /// Cold batched (lanes=8) over cold scalar points-per-second at one
     /// thread (wall-clock derived).
     pub batch_speedup: f64,
+    /// Cold modified-Newton (default tuning) over cold legacy-tuning
+    /// points-per-second at one thread (wall-clock derived).
+    pub modified_newton_speedup: f64,
 }
 
 impl BenchBaseline {
@@ -149,6 +165,10 @@ impl BenchBaseline {
                 Json::Num(self.speedup_per_core),
             ),
             ("batch_speedup".to_string(), Json::Num(self.batch_speedup)),
+            (
+                "modified_newton_speedup".to_string(),
+                Json::Num(self.modified_newton_speedup),
+            ),
         ]))
         .to_string();
         doc.push('\n');
@@ -172,6 +192,7 @@ impl BenchBaseline {
             warm_iter_saving: field("warm_iter_saving")?,
             speedup_per_core: field("speedup_per_core")?,
             batch_speedup: field("batch_speedup")?,
+            modified_newton_speedup: field("modified_newton_speedup")?,
         })
     }
 
@@ -205,6 +226,11 @@ impl BenchBaseline {
             "batched solver speedup over scalar",
             self.batch_speedup,
             current.batch_speedup,
+        );
+        gate(
+            "modified-Newton speedup over legacy tuning",
+            self.modified_newton_speedup,
+            current.modified_newton_speedup,
         );
         out
     }
@@ -251,6 +277,8 @@ mod tests {
                 newton_iters: 9000,
                 cache_hit_rate: 0.0,
                 disk_hit_rate: 0.0,
+                lu_reuse_rate: 0.0,
+                bypass_hit_rate: 0.0,
                 dedup_waits: 0,
             },
             BenchRecord {
@@ -261,6 +289,8 @@ mod tests {
                 newton_iters: 9000,
                 cache_hit_rate: 0.9876,
                 disk_hit_rate: 0.5,
+                lu_reuse_rate: 0.6543,
+                bypass_hit_rate: 0.25,
                 dedup_waits: 3,
             },
         ];
@@ -270,10 +300,13 @@ mod tests {
         assert!(json.contains(
             "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
              \"points\": 270, \"newton_iters\": 9000, \"cache_hit_rate\": 0.000, \
-             \"disk_hit_rate\": 0.000, \"dedup_waits\": 0}"
+             \"disk_hit_rate\": 0.000, \"lu_reuse_rate\": 0.000, \
+             \"bypass_hit_rate\": 0.000, \"dedup_waits\": 0}"
         ));
-        assert!(json
-            .contains("\"cache_hit_rate\": 0.988, \"disk_hit_rate\": 0.500, \"dedup_waits\": 3"));
+        assert!(json.contains(
+            "\"cache_hit_rate\": 0.988, \"disk_hit_rate\": 0.500, \
+             \"lu_reuse_rate\": 0.654, \"bypass_hit_rate\": 0.250, \"dedup_waits\": 3"
+        ));
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
         assert_eq!(json.matches("},\n").count(), 1);
@@ -285,6 +318,7 @@ mod tests {
             warm_iter_saving: 0.4,
             speedup_per_core: 0.8,
             batch_speedup: 2.0,
+            modified_newton_speedup: 2.5,
         };
         let parsed = BenchBaseline::from_json(&base.to_json()).expect("round trip");
         assert_eq!(parsed, base);
@@ -294,6 +328,7 @@ mod tests {
             warm_iter_saving: 0.35,
             speedup_per_core: 0.9,
             batch_speedup: 2.4,
+            modified_newton_speedup: 2.2,
         };
         assert!(base.regressions(&ok, 0.25).is_empty());
 
@@ -302,12 +337,14 @@ mod tests {
             warm_iter_saving: 0.2,
             speedup_per_core: 0.5,
             batch_speedup: 1.1,
+            modified_newton_speedup: 1.2,
         };
         let msgs = base.regressions(&bad, 0.25);
-        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert_eq!(msgs.len(), 4, "{msgs:?}");
         assert!(msgs[0].contains("warm-start"), "{msgs:?}");
         assert!(msgs[1].contains("speedup per core"), "{msgs:?}");
         assert!(msgs[2].contains("batched"), "{msgs:?}");
+        assert!(msgs[3].contains("modified-Newton"), "{msgs:?}");
 
         assert!(BenchBaseline::from_json("{}").is_err());
         assert!(BenchBaseline::from_json("nope").is_err());

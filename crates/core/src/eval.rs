@@ -469,13 +469,17 @@ impl EvalService {
     }
 
     /// The context fingerprint a service built on `analyzer` uses: the
-    /// hash of its column design and recovery policy. This is the key a
-    /// [`ResultStore`] must be opened with for its records to survive the
-    /// stale-generation check.
+    /// hash of its column design, recovery policy, and solver tuning. This
+    /// is the key a [`ResultStore`] must be opened with for its records to
+    /// survive the stale-generation check. The tuning is part of the
+    /// context because it changes the floating-point path a solve takes —
+    /// two tunings produce different (both valid) bits for the same
+    /// request, and a cache must never mix them.
     pub fn context_for(analyzer: &Analyzer) -> u64 {
         let mut fp = Fingerprint::new();
         analyzer.design().fingerprint_into(&mut fp);
         analyzer.recovery().fingerprint_into(&mut fp);
+        analyzer.tuning().fingerprint_into(&mut fp);
         fp.finish()
     }
 
@@ -687,8 +691,9 @@ impl EvalService {
         }
 
         if !computes.is_empty() {
-            let mut backend =
-                backend_with_lanes(lanes, dso_spice::engine::default_newton_options());
+            // Built from the analyzer's tuning-adjusted options so the
+            // lockstep path engages (mismatched options fall back scalar).
+            let mut backend = backend_with_lanes(lanes, self.analyzer.newton_options());
             // Group by structure so lanes of one lockstep call share step
             // counts and sequences (packing quality only — lane results
             // are bit-identical to scalar regardless of grouping).

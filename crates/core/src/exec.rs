@@ -187,6 +187,15 @@ pub struct CampaignPerfStats {
     /// Sweep points that ended in a simulation failure. Failures are
     /// never cached, so these points pay full compute on every run.
     pub failures: usize,
+    /// Newton iterations that assembled and refactored a fresh Jacobian.
+    pub lu_refactors: usize,
+    /// Newton iterations that reused a previous LU factorization
+    /// (back-substitution only — the modified-Newton fast path).
+    pub lu_reuses: usize,
+    /// Device model evaluations skipped by the SPICE3-style bypass.
+    pub bypass_hits: usize,
+    /// Device model evaluations performed.
+    pub bypass_misses: usize,
 }
 
 impl CampaignPerfStats {
@@ -204,6 +213,10 @@ impl CampaignPerfStats {
         dso_obs::counter!("campaign.disk_hits").add(self.disk_hits as u64);
         dso_obs::counter!("campaign.cache_misses").add(self.cache_misses as u64);
         dso_obs::counter!("campaign.failures").add(self.failures as u64);
+        dso_obs::counter!("campaign.lu_refactors").add(self.lu_refactors as u64);
+        dso_obs::counter!("campaign.lu_reuses").add(self.lu_reuses as u64);
+        dso_obs::counter!("campaign.bypass_hits").add(self.bypass_hits as u64);
+        dso_obs::counter!("campaign.bypass_misses").add(self.bypass_misses as u64);
     }
 
     /// Accumulates another tally into this one.
@@ -217,6 +230,10 @@ impl CampaignPerfStats {
         self.disk_hits += other.disk_hits;
         self.cache_misses += other.cache_misses;
         self.failures += other.failures;
+        self.lu_refactors += other.lu_refactors;
+        self.lu_reuses += other.lu_reuses;
+        self.bypass_hits += other.bypass_hits;
+        self.bypass_misses += other.bypass_misses;
     }
 
     /// Fraction of seedable transients that ran warm (0 when none ran).
@@ -251,6 +268,28 @@ impl CampaignPerfStats {
             self.disk_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of Newton iterations that reused the previous LU
+    /// factorization instead of refactoring (0 when none ran).
+    pub fn lu_reuse_rate(&self) -> f64 {
+        let total = self.lu_refactors + self.lu_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.lu_reuses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of nonlinear device evaluations skipped by the bypass
+    /// (0 when none ran).
+    pub fn bypass_hit_rate(&self) -> f64 {
+        let total = self.bypass_hits + self.bypass_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.bypass_hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for CampaignPerfStats {
@@ -274,6 +313,12 @@ impl std::fmt::Display for CampaignPerfStats {
             ", {} Newton iteration(s) over {} solve(s)",
             self.newton_iters, self.solve_attempts
         )?;
+        if self.lu_reuses > 0 {
+            write!(f, ", LU reuse {:.0}%", 100.0 * self.lu_reuse_rate())?;
+        }
+        if self.bypass_hits > 0 {
+            write!(f, ", bypass {:.0}%", 100.0 * self.bypass_hit_rate())?;
+        }
         if self.failures > 0 {
             write!(f, ", {} failure(s)", self.failures)?;
         }
@@ -503,6 +548,10 @@ mod tests {
             disk_hits: 1,
             cache_misses: 5,
             failures: 1,
+            lu_refactors: 30,
+            lu_reuses: 50,
+            bypass_hits: 200,
+            bypass_misses: 100,
         };
         let b = CampaignPerfStats {
             points: 1,
@@ -514,6 +563,10 @@ mod tests {
             disk_hits: 1,
             cache_misses: 4,
             failures: 0,
+            lu_refactors: 10,
+            lu_reuses: 10,
+            bypass_hits: 40,
+            bypass_misses: 60,
         };
         a.merge(&b);
         assert_eq!(a.points, 3);
@@ -525,22 +578,35 @@ mod tests {
         assert_eq!(a.disk_hits, 2);
         assert_eq!(a.cache_misses, 9);
         assert_eq!(a.failures, 1);
+        assert_eq!(a.lu_refactors, 40);
+        assert_eq!(a.lu_reuses, 60);
+        assert_eq!(a.bypass_hits, 240);
+        assert_eq!(a.bypass_misses, 160);
         assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
         assert!((a.cache_hit_rate() - 0.25).abs() < 1e-12);
         assert!((a.disk_hit_rate() - 2.0 / 12.0).abs() < 1e-12);
+        assert!((a.lu_reuse_rate() - 0.6).abs() < 1e-12);
+        assert!((a.bypass_hit_rate() - 0.6).abs() < 1e-12);
         assert_eq!(CampaignPerfStats::default().warm_hit_rate(), 0.0);
         assert_eq!(CampaignPerfStats::default().cache_hit_rate(), 0.0);
         assert_eq!(CampaignPerfStats::default().disk_hit_rate(), 0.0);
+        assert_eq!(CampaignPerfStats::default().lu_reuse_rate(), 0.0);
+        assert_eq!(CampaignPerfStats::default().bypass_hit_rate(), 0.0);
         let text = a.to_string();
         assert!(text.contains("3 point(s)"), "{text}");
         assert!(text.contains("warm 4/8"), "{text}");
         assert!(text.contains("cached 3/12"), "{text}");
         assert!(text.contains("[2 from disk]"), "{text}");
         assert!(text.contains("1 failure(s)"), "{text}");
-        // Zero disk hits and failures stay out of the display.
+        assert!(text.contains("LU reuse 60%"), "{text}");
+        assert!(text.contains("bypass 60%"), "{text}");
+        // Zero disk hits, reuse, bypass, and failures stay out of the
+        // display.
         let quiet = CampaignPerfStats::default().to_string();
         assert!(!quiet.contains("from disk"), "{quiet}");
         assert!(!quiet.contains("failure"), "{quiet}");
+        assert!(!quiet.contains("LU reuse"), "{quiet}");
+        assert!(!quiet.contains("bypass"), "{quiet}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   fallback via border-resistance comparison, stress-combination
 //!   evaluation and the Table-1 pipeline over all defects.
 //!
-//! Sweeps are fault-tolerant: [`analysis::plane_campaign`] records every
+//! Sweeps are fault-tolerant: [`Session::planes`] records every
 //! attempted point in a [`analysis::SweepReport`] (converged / recovered /
 //! failed), interpolates bracketed gaps instead of aborting, and refuses
 //! to interpolate across a border crossing. Failures carry campaign

@@ -28,9 +28,7 @@
 //! Every method shares the session's memo cache: a border extraction after
 //! a plane campaign replays the overlapping grid points, a shmoo row over
 //! an already-campaigned operating point is free, and with `DSO_STORE`
-//! set all of it persists across processes. The free-function triplets
-//! (`plane_campaign`/`_with`/`_in`, `result_planes_with`/`_in`) remain as
-//! deprecated shims for one release.
+//! set all of it persists across processes.
 
 use crate::analysis::border::{find_border, refine_border_from_planes, BorderResistance};
 use crate::analysis::detection::{derive_detection, DetectionCondition};
@@ -51,6 +49,7 @@ use dso_march::coverage::{evaluate_coverage, CoverageReport, FaultCase};
 use dso_march::test::MarchTest;
 use dso_shmoo::ShmooPlot;
 use dso_spice::recovery::RecoveryPolicy;
+use dso_spice::SolverTuning;
 use std::path::PathBuf;
 
 /// Builder for a [`Session`]: column design, recovery policy, execution
@@ -60,6 +59,7 @@ use std::path::PathBuf;
 pub struct SessionBuilder {
     design: ColumnDesign,
     recovery: RecoveryPolicy,
+    tuning: Option<SolverTuning>,
     config: Option<CampaignConfig>,
     store: Option<PathBuf>,
 }
@@ -74,6 +74,17 @@ impl SessionBuilder {
     /// Sets the convergence-recovery policy applied to every engine.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Sets the solver tuning (modified-Newton LU reuse, device-eval
+    /// bypass tolerance) explicitly. Without this, the session reads
+    /// `DSO_LU_REUSE` / `DSO_BYPASS_TOL` via
+    /// [`crate::analysis::tuning_from_env`]. Tuning is part of the
+    /// analyzer context fingerprint, so sessions with different tuning
+    /// never share a persistent store.
+    pub fn tuning(mut self, tuning: SolverTuning) -> Self {
+        self.tuning = Some(tuning);
         self
     }
 
@@ -102,7 +113,10 @@ impl SessionBuilder {
     /// [`CoreError::Store`] when an explicitly requested store cannot be
     /// opened or belongs to a different analyzer context.
     pub fn build(self) -> Result<Session, CoreError> {
-        let analyzer = Analyzer::new(self.design).with_recovery(self.recovery);
+        let mut analyzer = Analyzer::new(self.design).with_recovery(self.recovery);
+        if let Some(tuning) = self.tuning {
+            analyzer = analyzer.with_tuning(tuning);
+        }
         let config = self.config.unwrap_or_else(CampaignConfig::from_env);
         let service = match self.store {
             Some(path) => {
@@ -186,7 +200,11 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// As [`crate::analysis::plane_campaign`].
+    /// * [`CoreError::BadRequest`] for invalid sweeps.
+    /// * [`CoreError::SweepFailed`] when fewer than two points survive or
+    ///   an edge point failed.
+    /// * [`CoreError::BorderInGap`] when a gap straddles the border
+    ///   crossing.
     pub fn planes(
         &self,
         defect: &Defect,
@@ -431,15 +449,15 @@ mod tests {
     }
 
     #[test]
-    fn session_planes_match_free_function() {
+    fn session_planes_match_direct_campaign() {
         let session = fast_session();
         let defect = Defect::cell_open(BitLineSide::True);
         let op = OperatingPoint::nominal();
         let r_values = [1e4, 1e5, 1e6, 5e7];
         let campaign = session.planes(&defect, &op, &r_values, 2).unwrap();
-        #[allow(deprecated)]
-        let free = crate::analysis::plane_campaign_with(
-            &Analyzer::new(fast_design()),
+        let service = crate::eval::EvalService::from_env(Analyzer::new(fast_design()));
+        let free = plane_campaign_impl(
+            &service,
             &defect,
             &op,
             &r_values,

@@ -446,6 +446,10 @@ fn encode_stats(w: &mut ByteWriter, s: &RecoveryStats) {
     w.put_usize(s.deepest_subdivision);
     w.put_usize(s.gmin_retries);
     w.put_usize(s.recovered_steps);
+    w.put_usize(s.lu_refactors);
+    w.put_usize(s.lu_reuses);
+    w.put_usize(s.bypass_hits);
+    w.put_usize(s.bypass_misses);
 }
 
 fn decode_stats(r: &mut ByteReader<'_>) -> Result<RecoveryStats, CodecError> {
@@ -457,6 +461,10 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<RecoveryStats, CodecError> {
         deepest_subdivision: r.usize()?,
         gmin_retries: r.usize()?,
         recovered_steps: r.usize()?,
+        lu_refactors: r.usize()?,
+        lu_reuses: r.usize()?,
+        bypass_hits: r.usize()?,
+        bypass_misses: r.usize()?,
     })
 }
 

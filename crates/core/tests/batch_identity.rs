@@ -18,6 +18,7 @@ use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::chaos::{FaultKind, FaultPlan};
 use dso_num::interp::logspace;
+use dso_spice::SolverTuning;
 
 /// Very coarse time step: this suite runs ~10 full campaigns in debug
 /// mode, and bit-identity between two code paths holds at any step size.
@@ -29,9 +30,19 @@ fn fast_design() -> ColumnDesign {
 }
 
 /// One campaign with a fresh service (no memo carry-over between runs —
-/// a shared cache would make the comparison trivially true).
-fn campaign(config: CampaignConfig, faults: &CampaignFaults, r_values: &[f64]) -> PlaneCampaign {
-    let session = Session::from_parts(EvalService::new(Analyzer::new(fast_design())), config);
+/// a shared cache would make the comparison trivially true). Built with
+/// an explicit [`SolverTuning`] so the suite covers both the
+/// modified-Newton fast path (default tuning: LU reuse + device bypass)
+/// and the legacy full-Newton path (`SolverTuning::legacy()`), rather
+/// than whatever `DSO_LU_REUSE`/`DSO_BYPASS_TOL` happen to be set to.
+fn campaign_tuned(
+    config: CampaignConfig,
+    faults: &CampaignFaults,
+    r_values: &[f64],
+    tuning: SolverTuning,
+) -> PlaneCampaign {
+    let analyzer = Analyzer::new(fast_design()).with_tuning(tuning);
+    let session = Session::from_parts(EvalService::new(analyzer), config);
     session
         .planes_faulted(
             &Defect::cell_open(BitLineSide::True),
@@ -47,11 +58,17 @@ fn campaign(config: CampaignConfig, faults: &CampaignFaults, r_values: &[f64]) -
 /// width 1, warm-start chaining off (lanes run every point cold), one
 /// thread.
 fn scalar_cold(faults: &CampaignFaults, r_values: &[f64]) -> PlaneCampaign {
-    campaign(
+    campaign_tuned(
         CampaignConfig::serial().with_warm_start(false),
         faults,
         r_values,
+        SolverTuning::default(),
     )
+}
+
+/// Default-tuning campaign (modified-Newton LU reuse + device bypass on).
+fn campaign(config: CampaignConfig, faults: &CampaignFaults, r_values: &[f64]) -> PlaneCampaign {
+    campaign_tuned(config, faults, r_values, SolverTuning::default())
 }
 
 /// Bitwise equality of two campaigns: every plane curve, every report
@@ -149,4 +166,70 @@ fn faulted_point_falls_back_mid_batch() {
     let batched = campaign(config, &faults, &r_values);
     assert_eq!(batched.report.failed(), 1);
     assert_bit_identical(&reference, &batched, "faulted, lanes = 4");
+}
+
+#[test]
+fn reference_sweep_exercises_lu_reuse_and_bypass() {
+    // The fast path must actually fire on the reference sweep, or every
+    // identity test above is vacuous: under default tuning the
+    // modified-Newton policy should reuse more factorizations than it
+    // builds, and the device bypass should land hits.
+    let (_, reference) = reference_30();
+    assert!(
+        reference.perf.lu_reuse_rate() > 0.5,
+        "LU reuse rate {:.2} never cleared 0.5 on the reference sweep",
+        reference.perf.lu_reuse_rate()
+    );
+    assert!(
+        reference.perf.bypass_hits > 0,
+        "device bypass never hit on the reference sweep"
+    );
+}
+
+#[test]
+fn legacy_tuning_lanes_bit_identical_every_thread_count() {
+    // The same scalar-vs-lanes contract with the fast path switched off
+    // (`SolverTuning::legacy()`: no LU reuse, bypass tolerance 0): the
+    // identity must hold for both tuning modes independently.
+    let r_values = logspace(1e4, 1e7, 10).expect("valid sweep");
+    let clean = CampaignFaults::new();
+    let reference = campaign_tuned(
+        CampaignConfig::serial().with_warm_start(false),
+        &clean,
+        &r_values,
+        SolverTuning::legacy(),
+    );
+    assert_eq!(reference.report.failed(), 0, "legacy reference is clean");
+    assert!(
+        reference.perf.lu_reuses == 0 && reference.perf.bypass_hits == 0,
+        "legacy tuning must not touch the fast path"
+    );
+    for (lanes, threads) in [(2usize, 1usize), (4, 2), (8, 4), (8, 8)] {
+        let config = CampaignConfig::with_threads(threads).with_lanes(lanes);
+        let batched = campaign_tuned(config, &clean, &r_values, SolverTuning::legacy());
+        assert_bit_identical(
+            &reference,
+            &batched,
+            &format!("legacy tuning, lanes = {lanes}, threads = {threads}"),
+        );
+    }
+}
+
+#[test]
+fn legacy_tuning_faulted_lane_bit_identical() {
+    // Mid-campaign lane fault under legacy tuning: the faulted point falls
+    // out of the batch onto the scalar recovery ladder exactly as it does
+    // with the fast path on.
+    let r_values = logspace(1e4, 1e7, 6).expect("valid sweep");
+    let faults = CampaignFaults::new().with_fault(2, FaultPlan::always(FaultKind::NanResidual));
+    let reference = campaign_tuned(
+        CampaignConfig::serial().with_warm_start(false),
+        &faults,
+        &r_values,
+        SolverTuning::legacy(),
+    );
+    assert_eq!(reference.report.failed(), 1);
+    let config = CampaignConfig::with_threads(2).with_lanes(4);
+    let batched = campaign_tuned(config, &faults, &r_values, SolverTuning::legacy());
+    assert_bit_identical(&reference, &batched, "legacy tuning, faulted, lanes = 4");
 }

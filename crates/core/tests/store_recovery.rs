@@ -44,6 +44,10 @@ fn record(rng: &mut TestRng, i: u64) -> StoredResult {
         deepest_subdivision: rng.index(4),
         gmin_retries: rng.index(3),
         recovered_steps: rng.index(20),
+        lu_refactors: rng.index(5_000),
+        lu_reuses: rng.index(5_000),
+        bypass_hits: rng.index(50_000),
+        bypass_misses: rng.index(50_000),
     };
     StoredResult { value, stats }
 }

@@ -15,7 +15,7 @@ use crate::DramError;
 use dso_num::batch::BatchBackend;
 use dso_num::chaos::FaultPlan;
 use dso_spice::circuit::Circuit;
-use dso_spice::engine::{transient_lockstep, Simulator, TranOptions, TranResult};
+use dso_spice::engine::{transient_lockstep, Simulator, SolverTuning, TranOptions, TranResult};
 use dso_spice::recovery::{RecoveryPolicy, RecoveryStats};
 use dso_spice::waveform::Waveform;
 
@@ -209,6 +209,7 @@ pub struct OperationEngine {
     victim: BitLineSide,
     recovery: RecoveryPolicy,
     fault_plan: Option<FaultPlan>,
+    tuning: SolverTuning,
 }
 
 impl OperationEngine {
@@ -226,6 +227,7 @@ impl OperationEngine {
             victim: BitLineSide::True,
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
+            tuning: SolverTuning::default(),
         })
     }
 
@@ -242,6 +244,7 @@ impl OperationEngine {
             victim: BitLineSide::True,
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
+            tuning: SolverTuning::default(),
         })
     }
 
@@ -263,6 +266,19 @@ impl OperationEngine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Sets the hot-path solver tuning handed to the simulator (see
+    /// [`dso_spice::SolverTuning`]).
+    pub fn with_tuning(mut self, tuning: SolverTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The Newton options the engine's simulators solve with — what a
+    /// lockstep backend must be built from to stay bit-identical.
+    pub fn newton_options(&self) -> dso_num::newton::NewtonOptions {
+        self.tuning.newton_options()
     }
 
     /// The targeted victim side.
@@ -408,11 +424,13 @@ impl OperationEngine {
     }
 
     /// Builds the simulator for a prepared run's circuit, carrying the
-    /// engine's temperature, recovery policy, and armed fault plan.
+    /// engine's temperature, recovery policy, solver tuning, and armed
+    /// fault plan.
     fn simulator_for<'a>(&self, ckt: &'a Circuit) -> Simulator<'a> {
         let mut sim = Simulator::new(ckt)
             .with_temperature(self.op_point.temp_c)
-            .with_recovery(self.recovery);
+            .with_recovery(self.recovery)
+            .with_tuning(self.tuning);
         if let Some(plan) = &self.fault_plan {
             sim = sim.with_fault_plan(plan.clone());
         }
@@ -493,8 +511,9 @@ pub struct BatchJob<'a> {
 /// Warm-start seeding is not available here — lanes run cold; callers that
 /// depend on seed chaining should stay on [`OperationEngine::run_seeded`].
 ///
-/// The backend must be built from [`dso_spice::default_newton_options`]
-/// (the options every [`Simulator`] uses) for the lockstep path to engage.
+/// The backend must be built from the engines'
+/// [`OperationEngine::newton_options`] (the tuning-adjusted defaults every
+/// [`Simulator`] uses) for the lockstep path to engage.
 pub fn run_batch<B: BatchBackend>(
     backend: &mut B,
     jobs: &[BatchJob<'_>],
@@ -674,8 +693,7 @@ mod tests {
             })
             .collect();
         // 3 lanes at width 4 also exercises the partial-tail pack.
-        let mut backend =
-            dso_num::batch::backend_with_lanes(4, dso_spice::default_newton_options());
+        let mut backend = dso_num::batch::backend_with_lanes(4, engines[0].newton_options());
         let batched = run_batch(&mut backend, &jobs);
         for (eng, got) in engines.iter().zip(&batched) {
             let got = got.as_ref().unwrap();
@@ -705,8 +723,7 @@ mod tests {
                 vc_init: 0.0,
             },
         ];
-        let mut backend =
-            dso_num::batch::backend_with_lanes(2, dso_spice::default_newton_options());
+        let mut backend = dso_num::batch::backend_with_lanes(2, eng.newton_options());
         let out = run_batch(&mut backend, &jobs);
         assert!(out[0].is_ok());
         assert!(matches!(out[1], Err(DramError::BadSequence(_))));

@@ -32,11 +32,44 @@
 //! fail — singular Jacobian, non-finite residual, iteration budget — are
 //! reported per lane so the caller can fall back to the scalar recovery
 //! ladder without disturbing the survivors.
+//!
+//! Under [`NewtonOptions::lu_reuse`] every backend also mirrors the
+//! scalar solver's *cross-solve* LU retention: each caller slot keeps the
+//! factorization of its last solve and starts the next
+//! [`BatchBackend::solve_lockstep`] call back-substituting against it,
+//! exactly as a per-lane scalar solver driven through
+//! [`NewtonSolver::solve_reusing`] would. Callers reset the retention
+//! with [`BatchBackend::begin_run`] wherever the scalar path constructs a
+//! fresh solver.
 
 use crate::lu::SINGULARITY_THRESHOLD;
 use crate::matrix::{norm_inf, DMatrix};
-use crate::newton::{NewtonOptions, NewtonSolver, NewtonStats, NonlinearSystem};
+use crate::newton::{reuse_stalled, NewtonOptions, NewtonSolver, NewtonStats, NonlinearSystem};
 use crate::NumError;
+
+/// Re-validates a tentative convergence acceptance against the exact
+/// residual when the system's `residual` is approximate (device bypass),
+/// refreshing `residual` in place. Exact systems pass the incoming norm
+/// straight through with no extra residual call — the per-lane call
+/// sequence stays bit-identical to the scalar solver's.
+fn exact_norm_for<S: NonlinearSystem>(
+    system: &mut S,
+    x: &[f64],
+    residual: &mut [f64],
+    res_norm: f64,
+) -> Result<f64, NumError> {
+    if !system.residual_is_approximate() {
+        return Ok(res_norm);
+    }
+    system.residual_exact(x, residual)?;
+    let exact = norm_inf(residual);
+    if !exact.is_finite() {
+        return Err(NumError::NonFinite {
+            context: "exact Newton residual at acceptance".into(),
+        });
+    }
+    Ok(exact)
+}
 
 /// Advances a lane of independent nonlinear systems in lockstep.
 ///
@@ -54,6 +87,19 @@ pub trait BatchBackend {
     /// batched against scalar results must match this against the scalar
     /// solver's options — a policy mismatch silently breaks bit-identity.
     fn options(&self) -> &NewtonOptions;
+
+    /// Forgets every factorization retained across `solve_lockstep` calls.
+    ///
+    /// Backends mirror the scalar solver's cross-solve LU reuse
+    /// ([`NewtonSolver::solve_reusing`]): each caller slot keeps the
+    /// factorization of its last solve and, under
+    /// [`NewtonOptions::lu_reuse`], starts the next solve
+    /// back-substituting against it. That retention is bit-identical to
+    /// the scalar path only while slot `i` keeps addressing the *same*
+    /// system, so callers must reset at every boundary where the scalar
+    /// path would build a fresh [`NewtonSolver`] — e.g. the start of each
+    /// transient run.
+    fn begin_run(&mut self) {}
 
     /// Solves `F_l(x_l) = 0` for every lane `l` with `active[l]`,
     /// leaving solutions in `xs[l]`. Returns one entry per lane:
@@ -76,14 +122,20 @@ pub trait BatchBackend {
 /// solving — and the yardstick the SoA backend is tested against.
 #[derive(Debug, Clone)]
 pub struct ScalarBackend {
-    solver: NewtonSolver,
+    options: NewtonOptions,
+    /// One persistent solver per caller slot: each lane retains — and,
+    /// under [`NewtonOptions::lu_reuse`], keeps back-substituting against
+    /// — exactly its own LU across `solve_lockstep` calls, reproducing
+    /// the per-transient solver of the scalar path call for call.
+    solvers: Vec<NewtonSolver>,
 }
 
 impl ScalarBackend {
     /// Creates a scalar backend with the given iteration policy.
     pub fn new(options: NewtonOptions) -> Self {
         ScalarBackend {
-            solver: NewtonSolver::new(options),
+            options,
+            solvers: Vec::new(),
         }
     }
 }
@@ -94,7 +146,11 @@ impl BatchBackend for ScalarBackend {
     }
 
     fn options(&self) -> &NewtonOptions {
-        self.solver.options()
+        &self.options
+    }
+
+    fn begin_run(&mut self) {
+        self.solvers.clear();
     }
 
     fn solve_lockstep<S: NonlinearSystem>(
@@ -105,11 +161,18 @@ impl BatchBackend for ScalarBackend {
     ) -> Vec<Option<Result<NewtonStats, NumError>>> {
         assert_eq!(systems.len(), xs.len(), "lane count mismatch");
         assert_eq!(systems.len(), active.len(), "lane mask mismatch");
+        if self.solvers.len() < systems.len() {
+            let options = self.options.clone();
+            self.solvers
+                .resize_with(systems.len(), || NewtonSolver::new(options.clone()));
+        }
+        let solvers = &mut self.solvers;
         systems
             .iter_mut()
             .zip(xs.iter_mut())
             .zip(active)
-            .map(|((system, x), on)| on.then(|| self.solver.solve(system, x)))
+            .enumerate()
+            .map(|(i, ((system, x), on))| on.then(|| solvers[i].solve_reusing(system, x)))
             .collect()
     }
 }
@@ -166,13 +229,16 @@ impl<const W: usize> BatchLu<W> {
         self.perm.resize(n * W, 0);
     }
 
-    /// Interleaves `W` contiguous matrices into the SoA storage in one
-    /// pass — every cache line of the `n²·W` buffer is written exactly
-    /// once, reading `W` sequential streams — while fusing in the scalar
-    /// path's pre-factorization checks (finiteness, scale fold) per
-    /// lane. Callers point unstamped lanes at any correctly-sized
-    /// source; the garbage written to their slots is masked out of the
-    /// factorization and the solve, so the inner loop stays branch-free.
+    /// Interleaves `W` contiguous matrices into the SoA storage — when
+    /// every lane is stamped, in one fused pass where every cache line of
+    /// the `n²·W` buffer is written exactly once, reading `W` sequential
+    /// streams — while fusing in the scalar path's pre-factorization
+    /// checks (finiteness, scale fold) per lane. Only *stamped* lanes are
+    /// written: under modified-Newton reuse an unstamped lane's slots
+    /// hold its retained factorization, which must survive untouched so
+    /// the lane can keep back-substituting against it. (Callers still
+    /// point unstamped lanes at any correctly-sized source to fill the
+    /// array type; those sources are never read on the masked path.)
     ///
     /// Returns, per lane, whether the source was finite. Lanes that
     /// pass get their threshold and permutation reset, running the same
@@ -187,22 +253,43 @@ impl<const W: usize> BatchLu<W> {
     #[allow(clippy::eq_op)]
     fn interleave(&mut self, srcs: &[&[f64]; W], stamped: &[bool; W]) -> [bool; W] {
         let total = self.n * self.n;
-        for src in srcs.iter() {
-            debug_assert_eq!(src.len(), total);
+        for (l, src) in srcs.iter().enumerate() {
+            debug_assert!(!stamped[l] || src.len() == total);
         }
         let mut scale = [0.0_f64; W];
         let mut poison = [0.0_f64; W];
-        for (e, out) in self.lu.chunks_exact_mut(W).enumerate() {
-            for l in 0..W {
-                let v = srcs[l][e];
-                out[l] = v;
-                let a = v.abs();
-                // `if a > scale` matches `f64::max` on finite values and
-                // compiles to a branch-free compare/select.
-                if a > scale[l] {
-                    scale[l] = a;
+        if *stamped == [true; W] {
+            for (e, out) in self.lu.chunks_exact_mut(W).enumerate() {
+                for l in 0..W {
+                    let v = srcs[l][e];
+                    out[l] = v;
+                    let a = v.abs();
+                    // `if a > scale` matches `f64::max` on finite values
+                    // and compiles to a branch-free compare/select.
+                    if a > scale[l] {
+                        scale[l] = a;
+                    }
+                    poison[l] += v - v;
                 }
-                poison[l] += v - v;
+            }
+        } else {
+            // Masked pass: strided per stamped lane, leaving reusing
+            // lanes' slots (a live factorization) and dead lanes' slots
+            // alone. Partial restamps are the minority case once reuse
+            // engages, so the extra cache-line traffic is acceptable.
+            for l in 0..W {
+                if !stamped[l] {
+                    continue;
+                }
+                let src = srcs[l];
+                for (e, &v) in src.iter().enumerate().take(total) {
+                    self.lu[e * W + l] = v;
+                    let a = v.abs();
+                    if a > scale[l] {
+                        scale[l] = a;
+                    }
+                    poison[l] += v - v;
+                }
             }
         }
         let mut finite = [false; W];
@@ -224,7 +311,15 @@ impl<const W: usize> BatchLu<W> {
     /// Factorizes every lane with `active[l]`, per-lane pivoting. Lanes
     /// that hit a singular pivot are recorded in the returned array and
     /// excluded from the rest of the elimination.
-    fn refactor(&mut self, active: &[bool; W]) -> [LaneResult; W] {
+    ///
+    /// `preserve` must be `true` when any inactive lane's slots hold a
+    /// retained factorization a reusing lane will keep solving against:
+    /// it forces the per-lane row-swap path (the uniform block swap moves
+    /// every lane's slots) and the guarded elimination (the branch-free
+    /// path writes `x -= 0.0 * y` into masked lanes, which flips `-0.0`
+    /// signs and manufactures NaNs from infinities). With `preserve`
+    /// false the masked lanes hold garbage and the fast paths stay on.
+    fn refactor(&mut self, active: &[bool; W], preserve: bool) -> [LaneResult; W] {
         let n = self.n;
         let mut outcome: [LaneResult; W] = std::array::from_fn(|l| active[l].then_some(Ok(())));
         let mut live = *active;
@@ -279,7 +374,7 @@ impl<const W: usize> BatchLu<W> {
                     uniform = false;
                 }
             }
-            if uniform && uniform_row != usize::MAX {
+            if uniform && uniform_row != usize::MAX && !preserve {
                 // Lanes of a group share circuit structure, so they
                 // almost always agree on the pivot row: swap whole
                 // W-wide blocks (contiguous, one cache line at W = 8)
@@ -367,7 +462,7 @@ impl<const W: usize> BatchLu<W> {
                 let (head, tail) = self.lu.split_at_mut(start_i);
                 let row_k = &head[start_k..start_k + len];
                 let row_i = &mut tail[..len];
-                if live_nonzero {
+                if live_nonzero && !preserve {
                     for (x, y) in row_i.chunks_exact_mut(W).zip(row_k.chunks_exact(W)) {
                         for l in 0..W {
                             x[l] -= factors[l] * y[l];
@@ -438,14 +533,35 @@ impl<const W: usize> BatchLu<W> {
 struct LaneState {
     /// Index into the caller's `systems`/`xs` arrays.
     slot: usize,
+    /// Lane position inside the block's SoA storage (`slot % W`). Stable
+    /// across `solve_lockstep` calls, so a slot's retained factorization
+    /// is always found in the same storage lane.
+    pos: usize,
     /// `‖F(x)‖∞` of the committed iterate.
     res_norm: f64,
+    /// `res_norm` at the start of the current iteration (the reuse
+    /// policy's stall reference).
+    prev_norm: f64,
     /// Current line-search damping factor.
     alpha: f64,
     /// Whether a line-search round accepted this iteration.
     accepted: bool,
     /// Whether the lane is still searching this iteration.
     searching: bool,
+    /// Modified-Newton policy: whether the next iteration must assemble
+    /// and refactor (iteration 0 does unless the lane starts the solve
+    /// reusing a factorization retained from a previous call).
+    refactor_pending: bool,
+    /// Whether the lane's storage currently holds a complete, finite
+    /// factorization a later solve could start from. Seeded from the
+    /// retention table, set by a successful refactor, cleared when the
+    /// lane's slots are overwritten without one (non-finite stamp, a
+    /// singular mid-elimination abort).
+    lu_valid: bool,
+    /// Iterations that refactored this lane's LU.
+    lu_refactors: usize,
+    /// Iterations that reused this lane's retained LU.
+    lu_reuses: usize,
     /// Terminal outcome, once reached.
     finished: Option<Result<NewtonStats, NumError>>,
 }
@@ -505,11 +621,23 @@ impl LaneBufs {
 #[derive(Debug)]
 pub struct SoaBackend<const W: usize> {
     options: NewtonOptions,
-    lu: BatchLu<W>,
+    /// One SoA factorization per stable `W`-wide block of caller slots
+    /// (block `b` owns slots `b*W..(b+1)*W`), so each slot's retained LU
+    /// stays in the same storage lane across `solve_lockstep` calls.
+    lus: Vec<BatchLu<W>>,
+    /// Per block and lane position, the dimension of the factorization
+    /// the slot retains from a previous solve (`0` = none). Gates
+    /// cross-solve reuse exactly like the scalar
+    /// [`NewtonSolver::solve_reusing`] dimension check.
+    retained: Vec<[usize; W]>,
+    /// Per-slot scalar solvers for the mixed-dimension fallback, so even
+    /// that path retains each lane's own factorization across calls like
+    /// the scalar run does.
+    fallback: Vec<NewtonSolver>,
     /// SoA right-hand sides / solutions for the batched solve.
     neg_f: Vec<f64>,
     dx: Vec<f64>,
-    /// Per-lane scratch, recycled across packs.
+    /// Per-lane-position scratch, recycled across packs.
     bufs: Vec<LaneBufs>,
 }
 
@@ -518,36 +646,53 @@ impl<const W: usize> SoaBackend<W> {
     pub fn new(options: NewtonOptions) -> Self {
         SoaBackend {
             options,
-            lu: BatchLu::new(),
+            lus: Vec::new(),
+            retained: Vec::new(),
+            fallback: Vec::new(),
             neg_f: Vec::new(),
             dx: Vec::new(),
             bufs: Vec::new(),
         }
     }
 
-    /// Drives one pack of at most `W` lanes to completion.
+    /// Drives one pack — block `block` of the stable slot partition,
+    /// covering caller slots `start..start + W` — to completion.
     fn solve_pack<S: NonlinearSystem>(
         &mut self,
         systems: &mut [S],
         xs: &mut [Vec<f64>],
+        block: usize,
+        start: usize,
         slots: &[usize],
         results: &mut [Option<Result<NewtonStats, NumError>>],
     ) {
         let opts = self.options.clone();
-        if self.bufs.len() < slots.len() {
-            self.bufs.resize_with(slots.len(), LaneBufs::default);
+        if self.bufs.len() < W {
+            self.bufs.resize_with(W, LaneBufs::default);
         }
         let mut lanes: Vec<LaneState> = Vec::with_capacity(slots.len());
-        for (idx, &slot) in slots.iter().enumerate() {
+        for &slot in slots {
+            let pos = slot - start;
             let n = systems[slot].unknowns();
-            let bufs = &mut self.bufs[idx];
+            let bufs = &mut self.bufs[pos];
             bufs.reserve(n);
+            // Cross-solve reuse: same condition as the scalar
+            // `solve_reusing` (`lu_reuse` on, retained dimension
+            // matches). A fresh or invalidated lane refactors at
+            // iteration 0, exactly like a fresh scalar solver.
+            let start_reusing = opts.lu_reuse && self.retained[block][pos] == n;
             let mut lane = LaneState {
                 slot,
+                pos,
                 res_norm: 0.0,
+                prev_norm: 0.0,
                 alpha: 1.0,
                 accepted: false,
                 searching: false,
+                refactor_pending: !start_reusing,
+                lu_valid: start_reusing,
+                lu_refactors: 0,
+                lu_reuses: 0,
                 finished: None,
             };
             if xs[slot].len() != n {
@@ -586,11 +731,20 @@ impl<const W: usize> SoaBackend<W> {
             .all(|l| systems[l.slot].unknowns() == n);
         if !uniform {
             // Mixed dimensions can't share the SoA storage: solve each
-            // lane scalar. Bit-identity holds trivially.
-            let mut scalar = NewtonSolver::new(opts);
+            // lane scalar, through a per-slot persistent solver so the
+            // cross-solve reuse sequence still matches the scalar path's
+            // per-transient solver. Bit-identity holds trivially.
+            if let Some(&last) = slots.last() {
+                while self.fallback.len() <= last {
+                    self.fallback.push(NewtonSolver::new(opts.clone()));
+                }
+            }
             for lane in &mut lanes {
                 if lane.finished.is_none() {
-                    lane.finished = Some(scalar.solve(&mut systems[lane.slot], &mut xs[lane.slot]));
+                    lane.finished = Some(
+                        self.fallback[lane.slot]
+                            .solve_reusing(&mut systems[lane.slot], &mut xs[lane.slot]),
+                    );
                 }
             }
             for lane in lanes {
@@ -598,103 +752,179 @@ impl<const W: usize> SoaBackend<W> {
             }
             return;
         }
-        self.lu.resize(n);
+        // A dimension change invalidates whatever the block's storage
+        // held (`resize` reallocates); drop the retention flags with it.
+        if self.lus[block].n != n {
+            self.retained[block] = [0; W];
+            for lane in &mut lanes {
+                lane.refactor_pending = true;
+                lane.lu_valid = false;
+            }
+        }
+        self.lus[block].resize(n);
         // Stale values for inactive lanes are fine: the batched solve
         // computes garbage for them and every consumer is masked.
         self.neg_f.resize(n * W, 0.0);
         self.dx.resize(n * W, 0.0);
 
         for iter in 0..opts.max_iterations {
-            // Convergence check at the top of the iteration, as scalar.
-            for lane in &mut lanes {
-                if lane.finished.is_none() && lane.res_norm < opts.residual_tol {
-                    lane.finished = Some(Ok(NewtonStats {
-                        iterations: iter,
-                        residual: lane.res_norm,
-                    }));
+            // Convergence check at the top of the iteration, as scalar,
+            // re-validated against the exact residual for bypass-enabled
+            // systems (a failed recheck refreshes the residual and forces
+            // a refactor, exactly like the scalar solver).
+            for lane in lanes.iter_mut() {
+                // `<` and not `!(>=)`: a NaN residual must never count as
+                // converged.
+                let converged = lane.res_norm < opts.residual_tol;
+                if lane.finished.is_some() || !converged {
+                    continue;
+                }
+                let bufs = &mut self.bufs[lane.pos];
+                match exact_norm_for(
+                    &mut systems[lane.slot],
+                    &xs[lane.slot],
+                    &mut bufs.residual,
+                    lane.res_norm,
+                ) {
+                    Ok(norm) => {
+                        lane.res_norm = norm;
+                        if norm < opts.residual_tol {
+                            lane.finished = Some(Ok(NewtonStats {
+                                iterations: iter,
+                                residual: norm,
+                                lu_refactors: lane.lu_refactors,
+                                lu_reuses: lane.lu_reuses,
+                            }));
+                        } else {
+                            lane.refactor_pending = true;
+                        }
+                    }
+                    Err(e) => lane.finished = Some(Err(e)),
                 }
             }
             if lanes.iter().all(|l| l.finished.is_some()) {
                 break;
             }
-            // Per-lane Jacobian stamp into per-lane contiguous scratch,
-            // then one fused interleave-and-check pass into the SoA
-            // factorization.
+            // Per-lane Jacobian stamp for lanes due a refactor, then one
+            // masked interleave-and-check pass into the SoA factorization.
+            // Lanes with a healthy contraction history skip the stamp and
+            // keep back-substituting against their retained LU.
             let mut stamped = [false; W];
-            for (idx, lane) in lanes.iter_mut().enumerate() {
+            let mut reusing = [false; W];
+            for lane in lanes.iter_mut() {
                 if lane.finished.is_some() {
                     continue;
                 }
-                let bufs = &mut self.bufs[idx];
+                if !lane.refactor_pending {
+                    reusing[lane.pos] = true;
+                    continue;
+                }
+                let bufs = &mut self.bufs[lane.pos];
                 bufs.jac.clear();
                 if let Err(e) = systems[lane.slot].jacobian(&xs[lane.slot], &mut bufs.jac) {
                     lane.finished = Some(Err(e));
                     continue;
                 }
-                stamped[idx] = true;
+                stamped[lane.pos] = true;
             }
-            let Some(first) = (0..W).find(|&l| stamped[l]) else {
-                // No stampable lane survived: nothing to factorize.
-                for lane in lanes {
-                    results[lane.slot] = lane.finished;
-                }
-                return;
-            };
-            let fallback = self.bufs[first].jac.as_slice();
-            let mut srcs: [&[f64]; W] = [fallback; W];
-            for (l, src) in srcs.iter_mut().enumerate() {
-                if stamped[l] {
-                    *src = self.bufs[l].jac.as_slice();
-                }
+            // Preserve whenever any slot of the block holds a live
+            // factorization this refactor must not disturb: a lane
+            // reusing (or finished holding) one this solve, or a slot
+            // not solving this call whose retained LU a later
+            // `solve_lockstep` call may start from.
+            let mut keep = [false; W];
+            for (pos, &dim) in self.retained[block].iter().enumerate() {
+                keep[pos] = dim == n && n > 0;
             }
-            let mut active = self.lu.interleave(&srcs, &stamped);
-            for (idx, lane) in lanes.iter_mut().enumerate() {
-                if stamped[idx] && !active[idx] {
-                    lane.finished = Some(Err(NumError::NonFinite {
-                        context: "LU input matrix".into(),
-                    }));
-                }
+            for lane in &lanes {
+                keep[lane.pos] = lane.lu_valid && !stamped[lane.pos];
             }
-            let factored = self.lu.refactor(&active);
-            for (idx, lane) in lanes.iter_mut().enumerate() {
-                if !active[idx] {
-                    continue;
-                }
-                match &factored[idx] {
-                    Some(Ok(())) => {
-                        dso_obs::counter!("newton.lu_refactors").incr();
-                        dso_obs::histogram!(
-                            "newton.residual_trajectory",
-                            &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
-                        )
-                        .observe(lane.res_norm);
+            let preserve = keep.iter().any(|&k| k);
+            let mut active = [false; W];
+            if let Some(first) = (0..W).find(|&l| stamped[l]) {
+                let fallback = self.bufs[first].jac.as_slice();
+                let mut srcs: [&[f64]; W] = [fallback; W];
+                for (l, src) in srcs.iter_mut().enumerate() {
+                    if stamped[l] {
+                        *src = self.bufs[l].jac.as_slice();
                     }
-                    Some(Err(e)) => {
-                        lane.finished = Some(Err(e.clone()));
-                        active[idx] = false;
+                }
+                active = self.lus[block].interleave(&srcs, &stamped);
+                for lane in lanes.iter_mut() {
+                    if stamped[lane.pos] && !active[lane.pos] {
+                        // The stamp overwrote this lane's slots with a
+                        // non-finite matrix; nothing reusable remains.
+                        lane.lu_valid = false;
+                        lane.finished = Some(Err(NumError::NonFinite {
+                            context: "LU input matrix".into(),
+                        }));
                     }
-                    None => unreachable!("active lane skipped by refactor"),
+                }
+                let factored = self.lus[block].refactor(&active, preserve);
+                for lane in lanes.iter_mut() {
+                    if !active[lane.pos] {
+                        continue;
+                    }
+                    match &factored[lane.pos] {
+                        Some(Ok(())) => {
+                            lane.lu_refactors += 1;
+                            lane.lu_valid = true;
+                            dso_obs::counter!("newton.lu_refactors").incr();
+                            dso_obs::histogram!(
+                                "newton.residual_trajectory",
+                                &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+                            )
+                            .observe(lane.res_norm);
+                        }
+                        Some(Err(e)) => {
+                            // Elimination aborted mid-column: the slots
+                            // hold a partial factorization.
+                            lane.lu_valid = false;
+                            lane.finished = Some(Err(e.clone()));
+                            active[lane.pos] = false;
+                        }
+                        None => unreachable!("active lane skipped by refactor"),
+                    }
                 }
             }
-            // Newton step J dx = -F for the surviving pack, batched.
-            for (idx, &on) in active.iter().enumerate() {
+            for lane in lanes.iter_mut() {
+                if reusing[lane.pos] && lane.finished.is_none() {
+                    active[lane.pos] = true;
+                    lane.lu_reuses += 1;
+                    dso_obs::counter!("newton.lu_reuses").incr();
+                    dso_obs::histogram!(
+                        "newton.residual_trajectory",
+                        &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
+                    )
+                    .observe(lane.res_norm);
+                }
+            }
+            if !active.iter().any(|&a| a) {
+                // Every lane finished during the stamp/refactor phase;
+                // the top-of-loop check will break out next iteration.
+                continue;
+            }
+            // Newton step J dx = -F for the surviving pack, batched
+            // (J possibly stale for reusing lanes).
+            for (pos, &on) in active.iter().enumerate() {
                 if !on {
                     continue;
                 }
-                for (i, r) in self.bufs[idx].residual.iter().enumerate() {
-                    self.neg_f[i * W + idx] = -r;
+                for (i, r) in self.bufs[pos].residual.iter().enumerate() {
+                    self.neg_f[i * W + pos] = -r;
                 }
             }
-            self.lu.solve(&self.neg_f, &mut self.dx);
-            for (idx, lane) in lanes.iter_mut().enumerate() {
-                if !active[idx] {
+            self.lus[block].solve(&self.neg_f, &mut self.dx);
+            for lane in lanes.iter_mut() {
+                if !active[lane.pos] {
                     continue;
                 }
-                let bufs = &mut self.bufs[idx];
+                let bufs = &mut self.bufs[lane.pos];
                 for (i, d) in bufs.dx.iter_mut().enumerate() {
-                    *d = self.dx[i * W + idx];
+                    *d = self.dx[i * W + lane.pos];
                 }
                 systems[lane.slot].limit_step(&xs[lane.slot], &mut bufs.dx, opts.max_step);
+                lane.prev_norm = lane.res_norm;
                 lane.alpha = 1.0;
                 lane.accepted = false;
                 lane.searching = true;
@@ -702,11 +932,11 @@ impl<const W: usize> SoaBackend<W> {
             // Damped line search, lockstep rounds with per-lane masks.
             for _ in 0..12 {
                 let mut any = false;
-                for (idx, lane) in lanes.iter_mut().enumerate() {
-                    if !active[idx] || !lane.searching {
+                for lane in lanes.iter_mut() {
+                    if !active[lane.pos] || !lane.searching {
                         continue;
                     }
-                    let bufs = &mut self.bufs[idx];
+                    let bufs = &mut self.bufs[lane.pos];
                     let x = &xs[lane.slot];
                     for (i, xi) in x.iter().enumerate() {
                         bufs.trial_x[i] = xi + lane.alpha * bufs.dx[i];
@@ -715,7 +945,7 @@ impl<const W: usize> SoaBackend<W> {
                         systems[lane.slot].residual(&bufs.trial_x, &mut bufs.trial_residual)
                     {
                         lane.finished = Some(Err(e));
-                        active[idx] = false;
+                        active[lane.pos] = false;
                         continue;
                     }
                     let trial_norm = norm_inf(&bufs.trial_residual);
@@ -735,11 +965,11 @@ impl<const W: usize> SoaBackend<W> {
                     break;
                 }
             }
-            for (idx, lane) in lanes.iter_mut().enumerate() {
-                if !active[idx] {
+            for lane in lanes.iter_mut() {
+                if !active[lane.pos] {
                     continue;
                 }
-                let bufs = &mut self.bufs[idx];
+                let bufs = &mut self.bufs[lane.pos];
                 if !lane.accepted {
                     // Accept the most damped step anyway (scalar policy:
                     // some circuits pass through a residual hump).
@@ -749,24 +979,70 @@ impl<const W: usize> SoaBackend<W> {
                 }
                 let step_norm = norm_inf(&bufs.dx) * lane.alpha;
                 if step_norm < opts.step_tol && lane.res_norm < opts.residual_tol * 1e3 {
-                    lane.finished = Some(Ok(NewtonStats {
-                        iterations: iter + 1,
-                        residual: lane.res_norm,
-                    }));
+                    match exact_norm_for(
+                        &mut systems[lane.slot],
+                        &xs[lane.slot],
+                        &mut bufs.residual,
+                        lane.res_norm,
+                    ) {
+                        Ok(exact) if exact < opts.residual_tol * 1e3 => {
+                            lane.finished = Some(Ok(NewtonStats {
+                                iterations: iter + 1,
+                                residual: exact,
+                                lu_refactors: lane.lu_refactors,
+                                lu_reuses: lane.lu_reuses,
+                            }));
+                        }
+                        Ok(exact) => {
+                            lane.res_norm = exact;
+                            lane.refactor_pending = true;
+                        }
+                        Err(e) => lane.finished = Some(Err(e)),
+                    }
+                    continue;
                 }
+                // Modified-Newton policy, exactly as the scalar solver:
+                // keep the factorization only while full steps are
+                // accepted and the residual contracts past the stall
+                // ratio.
+                let stalled = reuse_stalled(lane.res_norm, lane.prev_norm);
+                lane.refactor_pending =
+                    !opts.lu_reuse || lane.alpha < 1.0 || !lane.accepted || stalled;
             }
         }
-        for lane in lanes {
+        for lane in lanes.into_iter() {
+            // Cross-solve retention: record whether this lane leaves a
+            // complete factorization behind (the scalar analogue is the
+            // solver simply keeping its `lu` field for the next
+            // `solve_reusing`).
+            self.retained[block][lane.pos] = if lane.lu_valid { n } else { 0 };
             let outcome = match lane.finished {
                 Some(outcome) => outcome,
-                None if lane.res_norm < opts.residual_tol => Ok(NewtonStats {
-                    iterations: opts.max_iterations,
-                    residual: lane.res_norm,
-                }),
-                None => Err(NumError::NoConvergence {
-                    iterations: opts.max_iterations,
-                    residual: lane.res_norm,
-                }),
+                None => {
+                    let checked = if lane.res_norm < opts.residual_tol {
+                        exact_norm_for(
+                            &mut systems[lane.slot],
+                            &xs[lane.slot],
+                            &mut self.bufs[lane.pos].residual,
+                            lane.res_norm,
+                        )
+                    } else {
+                        Ok(lane.res_norm)
+                    };
+                    match checked {
+                        Ok(norm) if norm < opts.residual_tol => Ok(NewtonStats {
+                            iterations: opts.max_iterations,
+                            residual: norm,
+                            lu_refactors: lane.lu_refactors,
+                            lu_reuses: lane.lu_reuses,
+                        }),
+                        Ok(norm) => Err(NumError::NoConvergence {
+                            iterations: opts.max_iterations,
+                            residual: norm,
+                        }),
+                        Err(e) => Err(e),
+                    }
+                }
             };
             results[lane.slot] = Some(outcome);
         }
@@ -782,6 +1058,13 @@ impl<const W: usize> BatchBackend for SoaBackend<W> {
         &self.options
     }
 
+    fn begin_run(&mut self) {
+        for block in &mut self.retained {
+            *block = [0; W];
+        }
+        self.fallback.clear();
+    }
+
     fn solve_lockstep<S: NonlinearSystem>(
         &mut self,
         systems: &mut [S],
@@ -792,10 +1075,23 @@ impl<const W: usize> BatchBackend for SoaBackend<W> {
         assert_eq!(systems.len(), active.len(), "lane mask mismatch");
         let span = dso_obs::span_fine("newton.solve_batch");
         let mut results: Vec<Option<Result<NewtonStats, NumError>>> = vec![None; systems.len()];
-        let slots: Vec<usize> = (0..systems.len()).filter(|&i| active[i]).collect();
-        span.note("lanes", slots.len() as f64);
-        for pack in slots.chunks(W) {
-            self.solve_pack(systems, xs, pack, &mut results);
+        // Stable partition: block `b` always covers slots `b*W..(b+1)*W`,
+        // whatever the active mask, so each slot's retained factorization
+        // stays in one storage lane for the whole run. (Dense repacking
+        // would shift lane positions as lanes finish and sever every
+        // shifted lane from its retained LU.)
+        span.note("lanes", active.iter().filter(|&&a| a).count() as f64);
+        for (block, start) in (0..systems.len()).step_by(W).enumerate() {
+            let end = (start + W).min(systems.len());
+            let pack: Vec<usize> = (start..end).filter(|&i| active[i]).collect();
+            if pack.is_empty() {
+                continue;
+            }
+            if self.lus.len() <= block {
+                self.lus.resize_with(block + 1, BatchLu::new);
+                self.retained.resize(block + 1, [0; W]);
+            }
+            self.solve_pack(systems, xs, block, start, &pack, &mut results);
         }
         // Mirror the scalar solve's outcome metrics per lane.
         for outcome in results.iter().flatten() {
@@ -853,6 +1149,15 @@ impl BatchBackend for AnyBackend {
             AnyBackend::Soa2(b) => b.options(),
             AnyBackend::Soa4(b) => b.options(),
             AnyBackend::Soa8(b) => b.options(),
+        }
+    }
+
+    fn begin_run(&mut self) {
+        match self {
+            AnyBackend::Scalar(b) => b.begin_run(),
+            AnyBackend::Soa2(b) => b.begin_run(),
+            AnyBackend::Soa4(b) => b.begin_run(),
+            AnyBackend::Soa8(b) => b.begin_run(),
         }
     }
 
@@ -1100,7 +1405,7 @@ mod tests {
         batch.resize(3);
         let srcs: [&[f64]; 4] = std::array::from_fn(|l| mats[l].as_slice());
         assert_eq!(batch.interleave(&srcs, &[true; 4]), [true; 4]);
-        let outcome = batch.refactor(&[true; 4]);
+        let outcome = batch.refactor(&[true; 4], false);
         assert!(outcome.iter().all(|o| matches!(o, Some(Ok(())))));
         let mut b_soa = vec![0.0; 3 * 4];
         for i in 0..3 {
@@ -1130,7 +1435,7 @@ mod tests {
         batch.resize(2);
         let srcs: [&[f64]; 2] = [bad.as_slice(), good.as_slice()];
         assert_eq!(batch.interleave(&srcs, &[true, true]), [true, true]);
-        let outcome = batch.refactor(&[true, true]);
+        let outcome = batch.refactor(&[true, true], false);
         assert!(matches!(
             outcome[0],
             Some(Err(NumError::SingularMatrix { .. }))

@@ -327,6 +327,20 @@ impl<S: NonlinearSystem> NonlinearSystem for ChaosSystem<'_, S> {
     fn limit_step(&self, x: &[f64], dx: &mut [f64], max_step: f64) {
         self.inner.limit_step(x, dx, max_step);
     }
+
+    fn residual_is_approximate(&self) -> bool {
+        // Injected residual faults are exact by construction (they replace
+        // the model entirely); otherwise defer to the wrapped system so
+        // bypass-approximated residuals still get their exact recheck.
+        self.fault.is_none() && self.inner.residual_is_approximate()
+    }
+
+    fn residual_exact(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+        match self.fault {
+            Some(_) => self.residual(x, out),
+            None => self.inner.residual_exact(x, out),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,29 @@ use crate::lu::LuFactor;
 use crate::matrix::{norm_inf, DMatrix};
 use crate::NumError;
 
+/// Residual-reduction ratio below which a reused (stale) LU factorization
+/// is considered to still be making progress. A modified-Newton iteration
+/// that fails to shrink the residual by at least this factor is "stalled"
+/// and triggers a refactor on the next iteration. The ratio is demanding
+/// on purpose: a chord iteration against a merely-adequate stale Jacobian
+/// contracts linearly (say 2–3x per iteration) and would grind out many
+/// cheap-but-numerous back-substitutions where one refactor restores
+/// quadratic convergence — profiling the DRAM sweep showed a lenient 0.5
+/// ratio more than doubling total Newton iterations once factorizations
+/// were retained across time steps. The constant is shared by the scalar
+/// solver and the SoA batch lanes so both apply the exact same per-point
+/// policy.
+pub const REUSE_STALL_RATIO: f64 = 0.1;
+
+/// NaN-safe stall test shared by the scalar solver and the batch lanes:
+/// true unless `res_norm` strictly contracted below
+/// `REUSE_STALL_RATIO * prev_norm`. A non-finite residual is never
+/// "contracting", so a lane that went NaN schedules a refactor instead
+/// of riding a stale factorization.
+pub(crate) fn reuse_stalled(res_norm: f64, prev_norm: f64) -> bool {
+    res_norm.partial_cmp(&(REUSE_STALL_RATIO * prev_norm)) != Some(std::cmp::Ordering::Less)
+}
+
 /// A nonlinear system `F(x) = 0` with Jacobian `J(x)`.
 ///
 /// Implementors fill `residual` with `F(x)` and `jacobian` with `∂F/∂x`.
@@ -50,6 +73,27 @@ pub trait NonlinearSystem {
             }
         }
     }
+
+    /// `true` when [`NonlinearSystem::residual`] may return an approximation
+    /// (e.g. device-bypass shortcuts in an MNA system). When this returns
+    /// `true`, the solver re-validates every convergence acceptance with
+    /// [`NonlinearSystem::residual_exact`] so a bypass tolerance can never
+    /// let a falsely converged point through.
+    fn residual_is_approximate(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the *exact* residual `F(x)` into `out`, ignoring any
+    /// approximation shortcuts. The default delegates to
+    /// [`NonlinearSystem::residual`]; only systems that answer `true` to
+    /// [`NonlinearSystem::residual_is_approximate`] need to override it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`NonlinearSystem::residual`].
+    fn residual_exact(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+        self.residual(x, out)
+    }
 }
 
 /// Iteration policy for [`NewtonSolver`].
@@ -65,6 +109,14 @@ pub struct NewtonOptions {
     pub max_step: f64,
     /// Damping factor applied when the residual grows (0 < factor < 1).
     pub damping: f64,
+    /// Modified-Newton (Newton-Richardson) factorization reuse: keep the
+    /// current LU and do back-substitution-only iterations, refactoring
+    /// only when the residual-reduction ratio stalls past
+    /// [`REUSE_STALL_RATIO`] or the line search damps the step. The policy
+    /// is a deterministic function of the per-point iteration history, so
+    /// results are bit-identical at any thread or lane count. `false`
+    /// refactors on every iteration (the pre-reuse solver).
+    pub lu_reuse: bool,
 }
 
 impl Default for NewtonOptions {
@@ -75,6 +127,7 @@ impl Default for NewtonOptions {
             step_tol: 1e-9,
             max_step: 0.5,
             damping: 0.5,
+            lu_reuse: true,
         }
     }
 }
@@ -86,6 +139,10 @@ pub struct NewtonStats {
     pub iterations: usize,
     /// Final residual infinity norm.
     pub residual: f64,
+    /// Iterations that assembled the Jacobian and refactored the LU.
+    pub lu_refactors: usize,
+    /// Iterations that reused the previous LU (back-substitution only).
+    pub lu_reuses: usize,
 }
 
 /// A reusable Newton–Raphson solver.
@@ -116,7 +173,10 @@ pub struct NewtonStats {
 /// let mut x = vec![1.0];
 /// let stats = solver.solve(&mut Sqrt2, &mut x)?;
 /// assert!((x[0] - 2.0_f64.sqrt()).abs() < 1e-8);
-/// assert!(stats.iterations < 20);
+/// assert!(stats.iterations < 40);
+/// // Modified-Newton reuse (on by default) trades a few extra cheap
+/// // back-substitution iterations for far fewer LU refactors.
+/// assert!(stats.lu_reuses > stats.lu_refactors);
 /// # Ok(())
 /// # }
 /// ```
@@ -193,11 +253,40 @@ impl NewtonSolver {
         system: &mut S,
         x: &mut [f64],
     ) -> Result<NewtonStats, NumError> {
+        self.solve_impl(system, x, false)
+    }
+
+    /// Like [`NewtonSolver::solve`], but — when [`NewtonOptions::lu_reuse`]
+    /// is on and the previous solve factored a same-sized system — starts
+    /// with a back-substitution-only iteration against the retained LU
+    /// instead of refactoring. Callers use this for a follow-up solve whose
+    /// Jacobian is known to be close to the previous one (e.g. the
+    /// backward-Euler error-estimate solve over the step just accepted).
+    /// Falls back to a plain solve when no compatible factorization exists.
+    ///
+    /// # Errors
+    ///
+    /// As [`NewtonSolver::solve`].
+    pub fn solve_reusing<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &mut [f64],
+    ) -> Result<NewtonStats, NumError> {
+        let reuse = self.options.lu_reuse && self.lu.dim() == system.unknowns();
+        self.solve_impl(system, x, reuse)
+    }
+
+    fn solve_impl<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &mut [f64],
+        start_reusing: bool,
+    ) -> Result<NewtonStats, NumError> {
         // Fine-level span + outcome metrics; both compile down to one
         // relaxed atomic load each while observability is off, keeping the
         // warmed solve allocation-free (see `tests/alloc_audit.rs`).
         let span = dso_obs::span_fine("newton.solve");
-        let result = self.solve_inner(system, x);
+        let result = self.solve_inner(system, x, start_reusing);
         match &result {
             Ok(stats) => {
                 dso_obs::counter!("newton.solves").incr();
@@ -219,10 +308,35 @@ impl NewtonSolver {
         result
     }
 
+    /// Re-validates a tentative convergence acceptance against the exact
+    /// residual when the system's `residual` is approximate. Returns the
+    /// refreshed norm (which the caller re-tests); for exact systems the
+    /// incoming norm passes straight through with no extra residual call,
+    /// preserving the legacy call sequence bit-for-bit.
+    fn exact_norm<S: NonlinearSystem>(
+        &mut self,
+        system: &mut S,
+        x: &[f64],
+        res_norm: f64,
+    ) -> Result<f64, NumError> {
+        if !system.residual_is_approximate() {
+            return Ok(res_norm);
+        }
+        system.residual_exact(x, &mut self.residual)?;
+        let exact = norm_inf(&self.residual);
+        if !exact.is_finite() {
+            return Err(NumError::NonFinite {
+                context: "exact Newton residual at acceptance".into(),
+            });
+        }
+        Ok(exact)
+    }
+
     fn solve_inner<S: NonlinearSystem>(
         &mut self,
         system: &mut S,
         x: &mut [f64],
+        start_reusing: bool,
     ) -> Result<NewtonStats, NumError> {
         let n = system.unknowns();
         if x.len() != n {
@@ -248,24 +362,43 @@ impl NewtonSolver {
             });
         }
 
+        let mut lu_refactors = 0_usize;
+        let mut lu_reuses = 0_usize;
+        // Modified-Newton policy state. Iteration 0 always refactors unless
+        // the caller explicitly opted into cross-solve reuse.
+        let mut refactor_pending = !start_reusing;
         for iter in 0..self.options.max_iterations {
             if res_norm < self.options.residual_tol {
-                return Ok(NewtonStats {
-                    iterations: iter,
-                    residual: res_norm,
-                });
+                res_norm = self.exact_norm(system, x, res_norm)?;
+                if res_norm < self.options.residual_tol {
+                    return Ok(NewtonStats {
+                        iterations: iter,
+                        residual: res_norm,
+                        lu_refactors,
+                        lu_reuses,
+                    });
+                }
+                // The bypass-approximated residual lied; iterate on with the
+                // refreshed exact residual and a conservative refactor.
+                refactor_pending = true;
             }
-            self.jac.clear();
-            system.jacobian(x, &mut self.jac)?;
-            self.lu.refactor_into(&self.jac)?;
-            dso_obs::counter!("newton.lu_refactors").incr();
+            if refactor_pending {
+                self.jac.clear();
+                system.jacobian(x, &mut self.jac)?;
+                self.lu.refactor_into(&self.jac)?;
+                lu_refactors += 1;
+                dso_obs::counter!("newton.lu_refactors").incr();
+            } else {
+                lu_reuses += 1;
+                dso_obs::counter!("newton.lu_reuses").incr();
+            }
             // Residual trajectory: where the iterate stood before this step.
             dso_obs::histogram!(
                 "newton.residual_trajectory",
                 &[1e-15, 1e-12, 1e-10, 1e-8, 1e-6, 1e-3, 1.0]
             )
             .observe(res_norm);
-            // Newton step: J dx = -F.
+            // Newton step: J dx = -F (J possibly stale under reuse).
             for (o, r) in self.neg_f.iter_mut().zip(&self.residual) {
                 *o = -r;
             }
@@ -273,6 +406,7 @@ impl NewtonSolver {
             system.limit_step(x, &mut self.dx, self.options.max_step);
 
             // Damped line search: halve the step while the residual grows.
+            let prev_norm = res_norm;
             let mut alpha = 1.0;
             let mut accepted = false;
             for _ in 0..12 {
@@ -299,17 +433,35 @@ impl NewtonSolver {
             }
             let step_norm = norm_inf(&self.dx) * alpha;
             if step_norm < self.options.step_tol && res_norm < self.options.residual_tol * 1e3 {
-                return Ok(NewtonStats {
-                    iterations: iter + 1,
-                    residual: res_norm,
-                });
+                let exact = self.exact_norm(system, x, res_norm)?;
+                if exact < self.options.residual_tol * 1e3 {
+                    return Ok(NewtonStats {
+                        iterations: iter + 1,
+                        residual: exact,
+                        lu_refactors,
+                        lu_reuses,
+                    });
+                }
+                res_norm = exact;
+                refactor_pending = true;
+                continue;
             }
+            // Keep reusing the factorization only while full steps are
+            // accepted and the residual keeps contracting; damping, a
+            // rejected search, or a stall all demand a fresh Jacobian.
+            let stalled = reuse_stalled(res_norm, prev_norm);
+            refactor_pending = !self.options.lu_reuse || alpha < 1.0 || !accepted || stalled;
         }
         if res_norm < self.options.residual_tol {
-            return Ok(NewtonStats {
-                iterations: self.options.max_iterations,
-                residual: res_norm,
-            });
+            res_norm = self.exact_norm(system, x, res_norm)?;
+            if res_norm < self.options.residual_tol {
+                return Ok(NewtonStats {
+                    iterations: self.options.max_iterations,
+                    residual: res_norm,
+                    lu_refactors,
+                    lu_reuses,
+                });
+            }
         }
         Err(NumError::NoConvergence {
             iterations: self.options.max_iterations,

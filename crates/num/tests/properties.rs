@@ -7,10 +7,12 @@
 use dso_num::interp::{linspace, logspace, Curve};
 use dso_num::lu::LuFactor;
 use dso_num::matrix::{norm_inf, DMatrix};
+use dso_num::newton::{NewtonOptions, NewtonSolver, NonlinearSystem};
 use dso_num::roots::{bisect_transition, brent, Scale};
 use dso_num::sparse::{SparseLu, Triplets};
 use dso_num::testing::TestRng;
 use dso_num::trend::{classify, Trend};
+use dso_num::NumError;
 
 const CASES: usize = 64;
 
@@ -211,6 +213,173 @@ fn triplets_duplicates_sum() {
             }
         }
     }
+}
+
+/// A mildly nonlinear system with a diagonally dominant linear part:
+/// `F(x) = A·x + 0.1·tanh(x) − b`. Always solvable from `x = 0`, nonlinear
+/// enough that the Newton iteration takes several steps.
+struct TanhSystem {
+    a: DMatrix,
+    b: Vec<f64>,
+}
+
+impl NonlinearSystem for TanhSystem {
+    fn unknowns(&self) -> usize {
+        self.b.len()
+    }
+
+    fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+        let n = self.b.len();
+        for i in 0..n {
+            let mut acc = -self.b[i] + 0.1 * x[i].tanh();
+            for (j, xj) in x.iter().enumerate().take(n) {
+                acc += self.a[(i, j)] * xj;
+            }
+            out[i] = acc;
+        }
+        Ok(())
+    }
+
+    fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
+        let n = self.b.len();
+        for i in 0..n {
+            for j in 0..n {
+                jac[(i, j)] = self.a[(i, j)];
+            }
+            let sech = 1.0 / x[i].cosh();
+            jac[(i, i)] += 0.1 * sech * sech;
+        }
+        Ok(())
+    }
+}
+
+/// An in-test copy of the solver loop as it stood before modified-Newton
+/// reuse landed: assemble the Jacobian and refactor the LU on **every**
+/// iteration, same voltage limiting, same damped line search, same
+/// convergence tests. Returns the iterate and `(iterations, residual)`.
+fn reference_full_newton(
+    system: &mut TanhSystem,
+    x: &mut [f64],
+    opts: &NewtonOptions,
+) -> (usize, f64) {
+    let n = system.unknowns();
+    let mut residual = vec![0.0; n];
+    let mut trial_residual = vec![0.0; n];
+    let mut trial_x = vec![0.0; n];
+    let mut jac = DMatrix::zeros(n, n);
+    system.residual(x, &mut residual).expect("residual");
+    let mut res_norm = norm_inf(&residual);
+    for iter in 0..opts.max_iterations {
+        if res_norm < opts.residual_tol {
+            return (iter, res_norm);
+        }
+        jac.clear();
+        system.jacobian(x, &mut jac).expect("jacobian");
+        let lu = LuFactor::new(&jac).expect("nonsingular");
+        let neg_f: Vec<f64> = residual.iter().map(|r| -r).collect();
+        let mut dx = vec![0.0; n];
+        lu.solve_in_place(&neg_f, &mut dx);
+        system.limit_step(x, &mut dx, opts.max_step);
+        let mut alpha = 1.0;
+        let mut accepted = false;
+        for _ in 0..12 {
+            for i in 0..n {
+                trial_x[i] = x[i] + alpha * dx[i];
+            }
+            system
+                .residual(&trial_x, &mut trial_residual)
+                .expect("residual");
+            let trial_norm = norm_inf(&trial_residual);
+            if trial_norm.is_finite() && (trial_norm < res_norm || alpha <= 1e-3) {
+                x.copy_from_slice(&trial_x);
+                residual.copy_from_slice(&trial_residual);
+                res_norm = trial_norm;
+                accepted = true;
+                break;
+            }
+            alpha *= opts.damping;
+        }
+        if !accepted {
+            x.copy_from_slice(&trial_x);
+            residual.copy_from_slice(&trial_residual);
+            res_norm = norm_inf(&residual);
+        }
+        let step_norm = norm_inf(&dx) * alpha;
+        if step_norm < opts.step_tol && res_norm < opts.residual_tol * 1e3 {
+            return (iter + 1, res_norm);
+        }
+    }
+    panic!("reference Newton did not converge: residual {res_norm}");
+}
+
+fn tanh_case(rng: &mut TestRng, n: usize) -> TanhSystem {
+    TanhSystem {
+        a: diag_dominant(rng, n),
+        b: rng.vec(n, -3.0, 3.0),
+    }
+}
+
+#[test]
+fn reuse_off_is_bit_identical_to_pre_reuse_solver() {
+    // The compatibility contract of the modified-Newton change:
+    // `lu_reuse: false` must reproduce the pre-change solver exactly —
+    // same iterates to the bit, same iteration count, same final residual,
+    // and zero reuse accounting.
+    let mut rng = TestRng::new(0x100b);
+    let opts = NewtonOptions {
+        lu_reuse: false,
+        ..NewtonOptions::default()
+    };
+    let mut solver = NewtonSolver::new(opts.clone());
+    for _ in 0..CASES {
+        let n = rng.index_range(2, 8);
+        let mut system = tanh_case(&mut rng, n);
+        let mut x = vec![0.0; n];
+        let stats = solver.solve(&mut system, &mut x).expect("converges");
+        let mut x_ref = vec![0.0; n];
+        let (iters_ref, res_ref) = reference_full_newton(&mut system, &mut x_ref, &opts);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&x), bits(&x_ref), "iterate bits diverged");
+        assert_eq!(stats.iterations, iters_ref, "iteration count diverged");
+        assert_eq!(
+            stats.residual.to_bits(),
+            res_ref.to_bits(),
+            "final residual bits diverged"
+        );
+        assert_eq!(stats.lu_reuses, 0, "reuse-off solve reported reuses");
+        assert!(stats.lu_refactors >= stats.iterations.min(1));
+    }
+}
+
+#[test]
+fn reuse_on_matches_root_and_saves_refactors() {
+    // Reuse changes the iteration trajectory (that is the point), but it
+    // must land on the same root to solver tolerance and, in aggregate,
+    // trade refactors for cheap back-substitution iterations.
+    let mut rng = TestRng::new(0x100c);
+    let mut fast = NewtonSolver::new(NewtonOptions::default());
+    let mut slow = NewtonSolver::new(NewtonOptions {
+        lu_reuse: false,
+        ..NewtonOptions::default()
+    });
+    let (mut reuses, mut refactors) = (0usize, 0usize);
+    for _ in 0..CASES {
+        let n = rng.index_range(2, 8);
+        let mut system = tanh_case(&mut rng, n);
+        let mut x_fast = vec![0.0; n];
+        let stats = fast.solve(&mut system, &mut x_fast).expect("converges");
+        reuses += stats.lu_reuses;
+        refactors += stats.lu_refactors;
+        let mut x_slow = vec![0.0; n];
+        slow.solve(&mut system, &mut x_slow).expect("converges");
+        for (f, s) in x_fast.iter().zip(&x_slow) {
+            assert!((f - s).abs() < 1e-6, "roots diverged: {f} vs {s}");
+        }
+    }
+    assert!(
+        reuses > refactors,
+        "modified-Newton saved nothing: {reuses} reuses vs {refactors} refactors"
+    );
 }
 
 #[test]

@@ -344,12 +344,15 @@ pub struct Simulator<'c> {
     newton: NewtonOptions,
     recovery: RecoveryPolicy,
     fault_plan: Option<FaultPlan>,
+    tuning: SolverTuning,
 }
 
-/// The Newton iteration policy every [`Simulator`] is created with (there
-/// is no per-simulator override). A [`BatchBackend`] intended to drive
-/// [`transient_lockstep`] lanes bit-identically should be built from these
-/// options, e.g. `backend_with_lanes(lanes, default_newton_options())`.
+/// The Newton iteration policy every [`Simulator`] is created with. The
+/// only per-simulator override is [`SolverTuning::lu_reuse`], folded in by
+/// [`Simulator::with_tuning`]. A [`BatchBackend`] intended to drive
+/// [`transient_lockstep`] lanes bit-identically should be built from the
+/// lane's [`Simulator::newton_options`], e.g.
+/// `backend_with_lanes(lanes, sim.newton_options().clone())`.
 pub fn default_newton_options() -> NewtonOptions {
     NewtonOptions {
         max_iterations: 200,
@@ -357,6 +360,76 @@ pub fn default_newton_options() -> NewtonOptions {
         step_tol: 1e-12,
         max_step: 1.0,
         damping: 0.5,
+        lu_reuse: true,
+    }
+}
+
+/// Hot-path solver tuning: modified-Newton LU reuse and SPICE3-style
+/// device-evaluation bypass.
+///
+/// Both knobs trade redundant work for bookkeeping without changing what
+/// convergence *means*: LU reuse still refactors the moment the residual
+/// reduction stalls or damping engages, and a bypassed device's residual
+/// is always re-checked exactly at acceptance (see
+/// [`dso_num::newton::NonlinearSystem::residual_exact`]). The
+/// [`SolverTuning::legacy`] point — reuse off, tolerance zero — reproduces
+/// the untuned solver bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverTuning {
+    /// Keep the current LU factorization across Newton iterations and
+    /// back-substitute only, refactoring when convergence stalls (maps to
+    /// [`NewtonOptions::lu_reuse`]).
+    pub lu_reuse: bool,
+    /// Device bypass tolerance in volts: a MOSFET or diode whose terminal
+    /// voltages all moved less than this since its last evaluation reuses
+    /// the cached (linearized) stamp instead of re-evaluating the model.
+    /// `0.0` disables the bypass *and* the incremental-assembly fast path,
+    /// restoring the legacy stamp-everything loop exactly. Forced to `0.0`
+    /// whenever a fault plan is armed, so injected faults are never masked
+    /// by a stale cache.
+    pub bypass_tol: f64,
+}
+
+impl Default for SolverTuning {
+    fn default() -> Self {
+        SolverTuning {
+            lu_reuse: true,
+            // 100 µV: an order of magnitude tighter than the classic
+            // SPICE3 bypass window (reltol·|v| + vntol ≈ 1 mV at DRAM
+            // rail voltages), and every acceptance is still re-checked
+            // against the exact residual.
+            bypass_tol: 1e-4,
+        }
+    }
+}
+
+impl SolverTuning {
+    /// The pre-tuning solver: every iteration refactors, every device is
+    /// evaluated at every stamp. Bit-identical to the solver before these
+    /// knobs existed.
+    pub fn legacy() -> Self {
+        SolverTuning {
+            lu_reuse: false,
+            bypass_tol: 0.0,
+        }
+    }
+
+    /// The Newton options a [`Simulator`] built with this tuning solves
+    /// with (the defaults plus this tuning's `lu_reuse`).
+    pub fn newton_options(&self) -> NewtonOptions {
+        NewtonOptions {
+            lu_reuse: self.lu_reuse,
+            ..default_newton_options()
+        }
+    }
+
+    /// Folds the tuning into a content fingerprint. The knobs change the
+    /// floating-point path a solve takes — different iteration counts,
+    /// different summation order — so cached results are only valid for
+    /// the exact tuning that produced them.
+    pub fn fingerprint_into(&self, fp: &mut dso_num::fingerprint::Fingerprint) {
+        fp.write_bool(self.lu_reuse);
+        fp.write_f64(self.bypass_tol);
     }
 }
 
@@ -370,6 +443,7 @@ impl<'c> Simulator<'c> {
             newton: default_newton_options(),
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
+            tuning: SolverTuning::default(),
         }
     }
 
@@ -401,6 +475,15 @@ impl<'c> Simulator<'c> {
         self
     }
 
+    /// Sets the hot-path solver tuning (default: LU reuse on, 100 µV device
+    /// bypass). `SolverTuning::legacy()` restores the untuned solver
+    /// bit-for-bit.
+    pub fn with_tuning(mut self, tuning: SolverTuning) -> Self {
+        self.tuning = tuning;
+        self.newton.lu_reuse = tuning.lu_reuse;
+        self
+    }
+
     /// Ambient temperature in °C.
     pub fn temperature(&self) -> f64 {
         self.temp
@@ -409,6 +492,26 @@ impl<'c> Simulator<'c> {
     /// The recovery policy in force.
     pub fn recovery_policy(&self) -> &RecoveryPolicy {
         &self.recovery
+    }
+
+    /// The hot-path solver tuning in force.
+    pub fn tuning(&self) -> &SolverTuning {
+        &self.tuning
+    }
+
+    /// Builds an MNA system for `circuit` with this simulator's
+    /// temperature, gmin, and bypass tolerance. Fault-armed simulators get
+    /// a zero bypass tolerance: an injected fault must never be masked by
+    /// a device cache, and the plan's solve ordinals must count exactly
+    /// the evaluations the untuned path performs.
+    fn make_system<'x>(&self, circuit: &'x Circuit) -> MnaSystem<'x> {
+        let mut system = MnaSystem::new(circuit, self.temp, self.gmin);
+        system.bypass_tol = if self.fault_plan.is_some() {
+            0.0
+        } else {
+            self.tuning.bypass_tol
+        };
+        system
     }
 
     /// The Newton iteration policy this simulator solves with. A
@@ -420,25 +523,37 @@ impl<'c> Simulator<'c> {
     }
 
     /// Runs one Newton solve, routing it through the armed fault plan (if
-    /// any) and counting the attempt.
+    /// any) and counting the attempt. `reuse` lets the solve start from
+    /// the solver's previous LU factorization instead of refactoring at
+    /// iteration zero (see [`NewtonSolver::solve_reusing`]) — only pass it
+    /// when the previous solve factored the *same* system a short step
+    /// away in state.
     fn run_solve(
         &self,
         solver: &mut NewtonSolver,
         system: &mut MnaSystem<'_>,
         x: &mut [f64],
         stats: &mut RecoveryStats,
+        reuse: bool,
     ) -> Result<NewtonStats, NumError> {
         stats.solve_attempts += 1;
         dso_obs::counter!("spice.solve_attempts").incr();
         let out = match &self.fault_plan {
             Some(plan) => {
                 let mut chaos = ChaosSystem::arm(system, plan);
-                solver.solve(&mut chaos, x)
+                if reuse {
+                    solver.solve_reusing(&mut chaos, x)
+                } else {
+                    solver.solve(&mut chaos, x)
+                }
             }
+            None if reuse => solver.solve_reusing(system, x),
             None => solver.solve(system, x),
         };
         if let Ok(s) = &out {
             stats.newton_iters += s.iterations;
+            stats.lu_refactors += s.lu_refactors;
+            stats.lu_reuses += s.lu_reuses;
         }
         out
     }
@@ -464,13 +579,13 @@ impl<'c> Simulator<'c> {
     pub fn dc_operating_point(&self) -> Result<Solution, SpiceError> {
         let _span = dso_obs::span("spice.dc_op");
         self.circuit.validate()?;
-        let mut system = MnaSystem::new(self.circuit, self.temp, self.gmin);
+        let mut system = self.make_system(self.circuit);
         system.time = 0.0;
         let mut solver = NewtonSolver::new(self.newton.clone());
         let mut x = vec![0.0; system.unknowns()];
         let mut stats = RecoveryStats::default();
         // Direct attempt, then gmin homotopy.
-        match self.run_solve(&mut solver, &mut system, &mut x, &mut stats) {
+        match self.run_solve(&mut solver, &mut system, &mut x, &mut stats, false) {
             Ok(_) => {}
             Err(first_err) => {
                 if !self.recovery.gmin_stepping {
@@ -484,8 +599,8 @@ impl<'c> Simulator<'c> {
                 let gmin_ladder = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, self.gmin];
                 for &g in &gmin_ladder {
                     dso_obs::counter!("spice.dc_gmin_steps").incr();
-                    system.gmin = g.max(self.gmin);
-                    self.run_solve(&mut solver, &mut system, &mut x, &mut stats)
+                    system.set_gmin(g.max(self.gmin));
+                    self.run_solve(&mut solver, &mut system, &mut x, &mut stats, false)
                         .map_err(|e| SpiceError::Convergence {
                             time: None,
                             attempts: stats.solve_attempts,
@@ -533,13 +648,13 @@ impl<'c> Simulator<'c> {
         let mut solver = NewtonSolver::new(self.newton.clone());
         for &v in values {
             ckt.set_waveform(source, Waveform::Dc(v))?;
-            let mut system = MnaSystem::new(&ckt, self.temp, self.gmin);
+            let mut system = self.make_system(&ckt);
             system.time = 0.0;
             let mut stats = RecoveryStats::default();
             let mut x = guess
                 .clone()
                 .unwrap_or_else(|| vec![0.0; system.unknowns()]);
-            self.run_solve(&mut solver, &mut system, &mut x, &mut stats)
+            self.run_solve(&mut solver, &mut system, &mut x, &mut stats, false)
                 .map_err(|e| SpiceError::Convergence {
                     time: None,
                     attempts: stats.solve_attempts,
@@ -640,12 +755,19 @@ impl<'c> Simulator<'c> {
                     &mut cs_tr,
                     &mut trial,
                     None,
+                    false,
                     t,
                     t_next,
                     trial_method,
                     0,
                     &mut stats,
                 )?;
+                // The backward-Euler error-estimate solve lands within the
+                // truncation error of the trial solution it just computed,
+                // so warm-start it from `x_tr` and let it reuse the trial
+                // solve's LU factorization — on smooth stretches the
+                // estimate converges in back-substitutions alone, halving
+                // the cost of adaptive stepping.
                 let mut x_be = x.clone();
                 let mut cs_be = cap_states.clone();
                 self.advance(
@@ -654,7 +776,8 @@ impl<'c> Simulator<'c> {
                     &mut x_be,
                     &mut cs_be,
                     &mut trial,
-                    None,
+                    Some(&x_tr),
+                    true,
                     t,
                     t_next,
                     Method::BackwardEuler,
@@ -685,6 +808,7 @@ impl<'c> Simulator<'c> {
                 }
             }
             debug_assert_eq!(n_node_vars + vsource_names.len(), n);
+            system.fold_bypass_counters(&mut stats);
             return Ok(TranResult {
                 node_names: self.circuit.node_names().to_vec(),
                 vsource_names,
@@ -724,6 +848,14 @@ impl<'c> Simulator<'c> {
             } else {
                 None
             };
+            // The first attempt of every step starts from the solver's
+            // retained LU (modified-Newton across time steps: the
+            // Jacobian drifts slowly along a fixed-step transient). Step
+            // one has nothing retained and degenerates to a full solve;
+            // recovery rungs always refactor. Like device bypass, the
+            // reuse is off while a fault plan is armed: injected faults
+            // hook residual/Jacobian evaluations, and a solve that never
+            // stamps would silently consume its fault ordinal.
             self.advance(
                 &mut system,
                 &mut solver,
@@ -731,6 +863,7 @@ impl<'c> Simulator<'c> {
                 &mut cap_states,
                 &mut trial,
                 warm,
+                self.fault_plan.is_none(),
                 t_prev,
                 t_target,
                 if first_step {
@@ -746,6 +879,7 @@ impl<'c> Simulator<'c> {
             samples.push(x.clone());
         }
         debug_assert_eq!(n_node_vars + vsource_names.len(), n);
+        system.fold_bypass_counters(&mut stats);
         Ok(TranResult {
             node_names: self.circuit.node_names().to_vec(),
             vsource_names,
@@ -762,7 +896,7 @@ impl<'c> Simulator<'c> {
     /// state.
     fn transient_init(&self, options: &TranOptions) -> Result<TransientInit<'_>, SpiceError> {
         self.circuit.validate()?;
-        let system = MnaSystem::new(self.circuit, self.temp, self.gmin);
+        let system = self.make_system(self.circuit);
         let n = system.unknowns();
 
         // --- Initial state ---------------------------------------------
@@ -834,6 +968,7 @@ impl<'c> Simulator<'c> {
     ) -> Result<(), SpiceError> {
         let dt = t_target - t_prev;
         system.time = t_target;
+        system.base_dirty = true;
         system.companions.clear();
         system.companions.resize(self.circuit.device_count(), None);
         for (idx, device) in self.circuit.devices().iter().enumerate() {
@@ -880,6 +1015,7 @@ impl<'c> Simulator<'c> {
         t_target: f64,
         method: Method,
         stats: &mut RecoveryStats,
+        reuse: bool,
     ) -> Result<(), SpiceError> {
         self.install_companions(system, cap_states, t_prev, t_target, method)?;
         let mut start = guess;
@@ -894,7 +1030,7 @@ impl<'c> Simulator<'c> {
         }
         trial.clear();
         trial.extend_from_slice(start);
-        self.run_solve(solver, system, trial, stats)
+        self.run_solve(solver, system, trial, stats, reuse)
             .map_err(|e| SpiceError::Convergence {
                 time: Some(t_target),
                 attempts: stats.solve_attempts,
@@ -957,7 +1093,7 @@ impl<'c> Simulator<'c> {
         // per homotopy is fine.
         let mut guess = x.to_vec();
         for &g in &ladder {
-            system.gmin = g.max(base);
+            system.set_gmin(g.max(base));
             match self.try_step(
                 system,
                 solver,
@@ -969,15 +1105,16 @@ impl<'c> Simulator<'c> {
                 t_target,
                 Method::BackwardEuler,
                 stats,
+                false,
             ) {
                 Ok(()) => guess.copy_from_slice(trial),
                 Err(e) => {
-                    system.gmin = base;
+                    system.set_gmin(base);
                     return Err(e);
                 }
             }
         }
-        system.gmin = base;
+        system.set_gmin(base);
         Ok(())
     }
 
@@ -994,7 +1131,10 @@ impl<'c> Simulator<'c> {
     /// for the *initial guess* of the first solve attempt only (the lower
     /// residual norm wins — a warm-start seed from a neighboring run);
     /// every retry rung restarts from `x`, so a bad seed degrades to
-    /// exactly the cold-start recovery behaviour.
+    /// exactly the cold-start recovery behaviour. `reuse_first` likewise
+    /// applies only to the first attempt: it lets that solve start from
+    /// the solver's previous LU factorization; every recovery rung
+    /// refactors from scratch.
     #[allow(clippy::too_many_arguments)]
     fn advance(
         &self,
@@ -1004,6 +1144,7 @@ impl<'c> Simulator<'c> {
         cap_states: &mut [Option<CapState>],
         trial: &mut Vec<f64>,
         warm: Option<&[f64]>,
+        reuse_first: bool,
         t_prev: f64,
         t_target: f64,
         method: Method,
@@ -1011,7 +1152,17 @@ impl<'c> Simulator<'c> {
         stats: &mut RecoveryStats,
     ) -> Result<(), SpiceError> {
         let first_err = match self.try_step(
-            system, solver, x, warm, cap_states, trial, t_prev, t_target, method, stats,
+            system,
+            solver,
+            x,
+            warm,
+            cap_states,
+            trial,
+            t_prev,
+            t_target,
+            method,
+            stats,
+            reuse_first,
         ) {
             Ok(()) => {
                 self.commit_step(system, x, cap_states, trial, method);
@@ -1039,6 +1190,7 @@ impl<'c> Simulator<'c> {
                     t_target,
                     Method::BackwardEuler,
                     stats,
+                    false,
                 )
                 .is_ok()
             {
@@ -1066,6 +1218,7 @@ impl<'c> Simulator<'c> {
                 cap_states,
                 trial,
                 None,
+                false,
                 t_prev,
                 t_mid,
                 Method::BackwardEuler,
@@ -1079,6 +1232,7 @@ impl<'c> Simulator<'c> {
                 cap_states,
                 trial,
                 None,
+                false,
                 t_mid,
                 t_target,
                 Method::BackwardEuler,
@@ -1138,6 +1292,12 @@ impl<'c> Simulator<'c> {
 ///   reproducing the identical trajectory up to the failure and then
 ///   climbing the ordinary [`RecoveryPolicy`] ladder — recovery semantics
 ///   and [`RecoveryStats`] accounting are exactly the scalar path's.
+///
+/// [`SolverTuning`] needs no special handling here: each lane owns its MNA
+/// system (and therefore its device-bypass caches), and the batch solver
+/// issues every lane the same residual/Jacobian call sequence as the
+/// scalar solver, so the caches — and the per-lane modified-Newton
+/// refactor decisions — evolve bit-identically to the lane's scalar run.
 pub fn transient_lockstep<B: BatchBackend>(
     backend: &mut B,
     sims: &[Simulator<'_>],
@@ -1196,6 +1356,10 @@ pub fn transient_lockstep<B: BatchBackend>(
         }
     }
 
+    // Fresh-run boundary for cross-solve LU retention: the scalar path
+    // builds a fresh `NewtonSolver` per transient, so no lane may start
+    // this run reusing a factorization retained from a previous one.
+    backend.begin_run();
     let mut trials: Vec<Vec<f64>> = runs.iter().map(|r| r.x.clone()).collect();
     let mut dead = vec![false; runs.len()];
     let mut active = vec![false; runs.len()];
@@ -1253,6 +1417,8 @@ pub fn transient_lockstep<B: BatchBackend>(
                 Some(Ok(newton)) => {
                     let run = &mut runs[p];
                     run.stats.newton_iters += newton.iterations;
+                    run.stats.lu_refactors += newton.lu_refactors;
+                    run.stats.lu_reuses += newton.lu_reuses;
                     sims[run.lane].commit_step(
                         &systems[p],
                         &mut run.x,
@@ -1271,11 +1437,12 @@ pub fn transient_lockstep<B: BatchBackend>(
         }
     }
 
-    for (p, run) in runs.into_iter().enumerate() {
+    for (p, mut run) in runs.into_iter().enumerate() {
         if dead[p] {
             scalar.push(run.lane);
             continue;
         }
+        systems[p].fold_bypass_counters(&mut run.stats);
         results[run.lane] = Some(Ok(TranResult {
             node_names: sims[run.lane].circuit.node_names().to_vec(),
             vsource_names: sims[run.lane].vsource_names(),
@@ -1293,8 +1460,35 @@ pub fn transient_lockstep<B: BatchBackend>(
         .collect()
 }
 
+/// Bypass anchor for one MOSFET: the terminal voltages of its last model
+/// evaluation and the evaluation itself.
+#[derive(Debug, Clone, Copy)]
+struct MosBypass {
+    vgs: f64,
+    vds: f64,
+    vbs: f64,
+    eval: mos::MosEval,
+}
+
+/// Bypass anchor for one diode: junction voltage, current, conductance.
+#[derive(Debug, Clone, Copy)]
+struct DiodeBypass {
+    vd: f64,
+    i: f64,
+    g: f64,
+}
+
 /// The MNA nonlinear system for one time point (or the DC operating point
 /// when no companion models are installed).
+///
+/// When `bypass_tol > 0` the system assembles incrementally: everything
+/// linear in `x` (gmin leak, resistors, capacitor companions, source
+/// patterns) is stamped once per `(time, companions, gmin)` configuration
+/// into `lin_jac`/`lin_rhs`, and each residual/Jacobian evaluation is a
+/// matrix-vector product (or memcpy) plus the nonlinear device stamps —
+/// with MOSFETs and diodes bypassed when their terminal voltages have not
+/// moved. `bypass_tol == 0` routes every evaluation through the legacy
+/// [`MnaSystem::stamp`] loop, bit-for-bit.
 struct MnaSystem<'a> {
     circuit: &'a Circuit,
     temp: f64,
@@ -1305,6 +1499,21 @@ struct MnaSystem<'a> {
     /// Branch-current variable index per device index (voltage sources).
     branch_var: Vec<Option<usize>>,
     n_unknowns: usize,
+    /// Device bypass tolerance in volts; `0` disables the incremental
+    /// fast path entirely (see [`SolverTuning::bypass_tol`]).
+    bypass_tol: f64,
+    /// `true` when `lin_jac`/`lin_rhs` no longer match the current
+    /// `(time, companions, gmin)` configuration.
+    base_dirty: bool,
+    /// Constant (in `x`) part of the Jacobian.
+    lin_jac: DMatrix,
+    /// Constant (in `x`) part of the residual.
+    lin_rhs: Vec<f64>,
+    /// Per-device bypass anchors (index-aligned with the device list).
+    mos_cache: Vec<Option<MosBypass>>,
+    diode_cache: Vec<Option<DiodeBypass>>,
+    bypass_hits: usize,
+    bypass_misses: usize,
 }
 
 impl<'a> MnaSystem<'a> {
@@ -1326,7 +1535,269 @@ impl<'a> MnaSystem<'a> {
             companions: vec![None; circuit.device_count()],
             branch_var,
             n_unknowns: next,
+            bypass_tol: 0.0,
+            base_dirty: true,
+            lin_jac: DMatrix::zeros(next, next),
+            lin_rhs: vec![0.0; next],
+            mos_cache: vec![None; circuit.device_count()],
+            diode_cache: vec![None; circuit.device_count()],
+            bypass_hits: 0,
+            bypass_misses: 0,
         }
+    }
+
+    /// Changes the minimum conductance, invalidating the linear base (the
+    /// gmin leak lives on its diagonal). Homotopy ladders must use this
+    /// instead of writing the field.
+    fn set_gmin(&mut self, gmin: f64) {
+        if self.gmin != gmin {
+            self.gmin = gmin;
+            self.base_dirty = true;
+        }
+    }
+
+    /// Drains the bypass counters into a stats tally (and the process-wide
+    /// metrics), leaving them zeroed so a system shared across phases
+    /// never double-counts.
+    fn fold_bypass_counters(&mut self, stats: &mut RecoveryStats) {
+        if self.bypass_hits > 0 {
+            dso_obs::counter!("spice.bypass_hits").add(self.bypass_hits as u64);
+        }
+        if self.bypass_misses > 0 {
+            dso_obs::counter!("spice.bypass_misses").add(self.bypass_misses as u64);
+        }
+        stats.bypass_hits += self.bypass_hits;
+        stats.bypass_misses += self.bypass_misses;
+        self.bypass_hits = 0;
+        self.bypass_misses = 0;
+    }
+
+    /// Rebuilds the linear base if the step configuration changed since it
+    /// was last stamped. Everything whose contribution is affine in `x` —
+    /// gmin leak, resistors, capacitor companions, source values, voltage
+    /// source patterns — lands here once; per-iteration evaluations then
+    /// start from a matvec/memcpy of it instead of re-stamping.
+    fn ensure_base(&mut self) {
+        if !self.base_dirty {
+            return;
+        }
+        let n_nodes = self.circuit.node_count() - 1;
+        self.lin_jac.clear();
+        self.lin_rhs.iter_mut().for_each(|r| *r = 0.0);
+        for i in 0..n_nodes {
+            self.lin_jac[(i, i)] += self.gmin;
+        }
+        for (idx, device) in self.circuit.devices().iter().enumerate() {
+            match device {
+                Device::Resistor { p, n, resistance } => {
+                    let g = 1.0 / resistance;
+                    Self::base_conductance(&mut self.lin_jac, *p, *n, g);
+                }
+                Device::Capacitor { p, n, .. } => {
+                    if let Some(comp) = self.companions[idx] {
+                        Self::base_conductance(&mut self.lin_jac, *p, *n, comp.geq);
+                        if !p.is_ground() {
+                            self.lin_rhs[p.0 - 1] -= comp.ieq;
+                        }
+                        if !n.is_ground() {
+                            self.lin_rhs[n.0 - 1] += comp.ieq;
+                        }
+                    }
+                }
+                Device::VSource { p, n, waveform } => {
+                    let br = self.branch_var[idx].expect("vsource has branch");
+                    if !p.is_ground() {
+                        self.lin_jac[(p.0 - 1, br)] += 1.0;
+                        self.lin_jac[(br, p.0 - 1)] += 1.0;
+                    }
+                    if !n.is_ground() {
+                        self.lin_jac[(n.0 - 1, br)] -= 1.0;
+                        self.lin_jac[(br, n.0 - 1)] -= 1.0;
+                    }
+                    self.lin_rhs[br] -= waveform.eval(self.time);
+                }
+                Device::ISource { p, n, waveform } => {
+                    let i = waveform.eval(self.time);
+                    if !p.is_ground() {
+                        self.lin_rhs[p.0 - 1] += i;
+                    }
+                    if !n.is_ground() {
+                        self.lin_rhs[n.0 - 1] -= i;
+                    }
+                }
+                // Nonlinear devices are stamped per evaluation.
+                Device::Mosfet { .. } | Device::Diode { .. } | Device::VSwitch { .. } => {}
+            }
+        }
+        self.base_dirty = false;
+    }
+
+    /// Stamps a two-terminal conductance pattern into a matrix.
+    fn base_conductance(jac: &mut DMatrix, p: NodeId, n: NodeId, g: f64) {
+        if !p.is_ground() {
+            jac[(p.0 - 1, p.0 - 1)] += g;
+        }
+        if !n.is_ground() {
+            jac[(n.0 - 1, n.0 - 1)] += g;
+        }
+        if !p.is_ground() && !n.is_ground() {
+            jac[(p.0 - 1, n.0 - 1)] -= g;
+            jac[(n.0 - 1, p.0 - 1)] -= g;
+        }
+    }
+
+    /// Stamps the nonlinear devices (MOSFETs, diodes, switches) on top of
+    /// the linear base, bypassing a device's model evaluation when every
+    /// terminal voltage sits within `bypass_tol` of its anchor — the
+    /// cached current is then corrected to first order along the cached
+    /// conductances, so a hit is exact to O(Δv²). `force_eval` (the exact
+    /// residual) evaluates everything and refreshes the anchors.
+    fn stamp_nonlinear(
+        &mut self,
+        x: &[f64],
+        mut res: Option<&mut [f64]>,
+        mut jac: Option<&mut DMatrix>,
+        force_eval: bool,
+    ) {
+        let tol = self.bypass_tol;
+        let temp = self.temp;
+        let add_res = |res: &mut Option<&mut [f64]>, node: NodeId, current: f64| {
+            if let Some(res) = res.as_deref_mut() {
+                if !node.is_ground() {
+                    res[node.0 - 1] += current;
+                }
+            }
+        };
+        let add_jac = |jac: &mut Option<&mut DMatrix>, row: NodeId, col: NodeId, g: f64| {
+            if let Some(jac) = jac.as_deref_mut() {
+                if !row.is_ground() && !col.is_ground() {
+                    jac[(row.0 - 1, col.0 - 1)] += g;
+                }
+            }
+        };
+        let circuit = self.circuit;
+        for (idx, device) in circuit.devices().iter().enumerate() {
+            match device {
+                Device::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    model,
+                    geometry,
+                } => {
+                    let vgs = Self::volt(x, *g) - Self::volt(x, *s);
+                    let vds = Self::volt(x, *d) - Self::volt(x, *s);
+                    let vbs = Self::volt(x, *b) - Self::volt(x, *s);
+                    let hit = if force_eval {
+                        None
+                    } else {
+                        self.mos_cache[idx].filter(|c| {
+                            (vgs - c.vgs).abs() <= tol
+                                && (vds - c.vds).abs() <= tol
+                                && (vbs - c.vbs).abs() <= tol
+                        })
+                    };
+                    let (e, ids) = match hit {
+                        Some(c) => {
+                            self.bypass_hits += 1;
+                            let ids = c.eval.ids
+                                + c.eval.gm * (vgs - c.vgs)
+                                + c.eval.gds * (vds - c.vds)
+                                + c.eval.gmbs * (vbs - c.vbs);
+                            (c.eval, ids)
+                        }
+                        None => {
+                            self.bypass_misses += 1;
+                            let e = mos::evaluate(model, *geometry, vgs, vds, vbs, temp);
+                            self.mos_cache[idx] = Some(MosBypass {
+                                vgs,
+                                vds,
+                                vbs,
+                                eval: e,
+                            });
+                            (e, e.ids)
+                        }
+                    };
+                    add_res(&mut res, *d, ids);
+                    add_res(&mut res, *s, -ids);
+                    let gsum = e.gm + e.gds + e.gmbs;
+                    add_jac(&mut jac, *d, *d, e.gds);
+                    add_jac(&mut jac, *d, *g, e.gm);
+                    add_jac(&mut jac, *d, *b, e.gmbs);
+                    add_jac(&mut jac, *d, *s, -gsum);
+                    add_jac(&mut jac, *s, *d, -e.gds);
+                    add_jac(&mut jac, *s, *g, -e.gm);
+                    add_jac(&mut jac, *s, *b, -e.gmbs);
+                    add_jac(&mut jac, *s, *s, gsum);
+                }
+                Device::Diode { p, n, model } => {
+                    let vd = Self::volt(x, *p) - Self::volt(x, *n);
+                    let hit = if force_eval {
+                        None
+                    } else {
+                        self.diode_cache[idx].filter(|c| (vd - c.vd).abs() <= tol)
+                    };
+                    let (i, g) = match hit {
+                        Some(c) => {
+                            self.bypass_hits += 1;
+                            (c.i + c.g * (vd - c.vd), c.g)
+                        }
+                        None => {
+                            self.bypass_misses += 1;
+                            let (i, g) = model.evaluate(vd, temp);
+                            self.diode_cache[idx] = Some(DiodeBypass { vd, i, g });
+                            (i, g)
+                        }
+                    };
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                    add_jac(&mut jac, *p, *p, g);
+                    add_jac(&mut jac, *p, *n, -g);
+                    add_jac(&mut jac, *n, *p, -g);
+                    add_jac(&mut jac, *n, *n, g);
+                }
+                // Switches transition over tens of millivolts and sit on
+                // the circuits' critical timing paths — never bypassed.
+                Device::VSwitch {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    ron,
+                    roff,
+                    threshold,
+                    transition,
+                } => {
+                    let vc = Self::volt(x, *cp) - Self::volt(x, *cn);
+                    let (g, dg_dvc) = switch_conductance(vc, *ron, *roff, *threshold, *transition);
+                    let v = Self::volt(x, *p) - Self::volt(x, *n);
+                    let i = g * v;
+                    add_res(&mut res, *p, i);
+                    add_res(&mut res, *n, -i);
+                    add_jac(&mut jac, *p, *p, g);
+                    add_jac(&mut jac, *p, *n, -g);
+                    add_jac(&mut jac, *n, *p, -g);
+                    add_jac(&mut jac, *n, *n, g);
+                    let gc = dg_dvc * v;
+                    add_jac(&mut jac, *p, *cp, gc);
+                    add_jac(&mut jac, *p, *cn, -gc);
+                    add_jac(&mut jac, *n, *cp, -gc);
+                    add_jac(&mut jac, *n, *cn, gc);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The incremental residual: linear base matvec plus nonlinear stamps.
+    fn fast_residual(&mut self, x: &[f64], out: &mut [f64], force_eval: bool) {
+        self.ensure_base();
+        self.lin_jac.mul_vec_into(x, out);
+        for (o, r) in out.iter_mut().zip(&self.lin_rhs) {
+            *o += *r;
+        }
+        self.stamp_nonlinear(x, Some(out), None, force_eval);
     }
 
     #[inline]
@@ -1499,11 +1970,39 @@ impl NonlinearSystem for MnaSystem<'_> {
     }
 
     fn residual(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
-        self.stamp(x, Some(out), None)
+        if self.bypass_tol > 0.0 {
+            self.fast_residual(x, out, false);
+            Ok(())
+        } else {
+            self.stamp(x, Some(out), None)
+        }
     }
 
     fn jacobian(&mut self, x: &[f64], jac: &mut DMatrix) -> Result<(), NumError> {
-        self.stamp(x, None, Some(jac))
+        if self.bypass_tol > 0.0 {
+            self.ensure_base();
+            jac.copy_from(&self.lin_jac);
+            self.stamp_nonlinear(x, None, Some(jac), false);
+            Ok(())
+        } else {
+            self.stamp(x, None, Some(jac))
+        }
+    }
+
+    fn residual_is_approximate(&self) -> bool {
+        self.bypass_tol > 0.0
+    }
+
+    fn residual_exact(&mut self, x: &[f64], out: &mut [f64]) -> Result<(), NumError> {
+        if self.bypass_tol > 0.0 {
+            // Evaluate every device and refresh the anchors: acceptance is
+            // always judged on the true residual, and the refreshed caches
+            // make the verdict the next iteration's starting point.
+            self.fast_residual(x, out, true);
+            Ok(())
+        } else {
+            self.stamp(x, Some(out), None)
+        }
     }
 }
 

@@ -60,7 +60,9 @@ pub mod units;
 pub mod waveform;
 
 pub use circuit::{Circuit, NodeId};
-pub use engine::{default_newton_options, transient_lockstep, Simulator, TranOptions, TranResult};
+pub use engine::{
+    default_newton_options, transient_lockstep, Simulator, SolverTuning, TranOptions, TranResult,
+};
 pub use error::SpiceError;
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 

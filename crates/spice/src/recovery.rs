@@ -115,6 +115,18 @@ pub struct RecoveryStats {
     /// Step advances that failed at least once and were subsequently
     /// recovered (sub-steps included).
     pub recovered_steps: usize,
+    /// Newton iterations that assembled the Jacobian and refactored the
+    /// LU (modified-Newton accounting; see
+    /// [`dso_num::newton::NewtonStats`]).
+    pub lu_refactors: usize,
+    /// Newton iterations that reused the previous LU factorization
+    /// (back-substitution only).
+    pub lu_reuses: usize,
+    /// Device model evaluations skipped because the terminal voltages
+    /// moved less than the bypass tolerance.
+    pub bypass_hits: usize,
+    /// Device model evaluations performed (bypass misses).
+    pub bypass_misses: usize,
 }
 
 impl RecoveryStats {
@@ -138,6 +150,10 @@ impl RecoveryStats {
         self.deepest_subdivision = self.deepest_subdivision.max(other.deepest_subdivision);
         self.gmin_retries += other.gmin_retries;
         self.recovered_steps += other.recovered_steps;
+        self.lu_refactors += other.lu_refactors;
+        self.lu_reuses += other.lu_reuses;
+        self.bypass_hits += other.bypass_hits;
+        self.bypass_misses += other.bypass_misses;
     }
 }
 
@@ -194,6 +210,10 @@ mod tests {
             deepest_subdivision: 0,
             gmin_retries: 0,
             recovered_steps: 1,
+            lu_refactors: 20,
+            lu_reuses: 10,
+            bypass_hits: 7,
+            bypass_misses: 3,
         };
         let b = RecoveryStats {
             solve_attempts: 5,
@@ -203,6 +223,10 @@ mod tests {
             deepest_subdivision: 2,
             gmin_retries: 1,
             recovered_steps: 1,
+            lu_refactors: 4,
+            lu_reuses: 8,
+            bypass_hits: 2,
+            bypass_misses: 1,
         };
         a.merge(&b);
         assert_eq!(a.solve_attempts, 15);
@@ -212,5 +236,9 @@ mod tests {
         assert_eq!(a.deepest_subdivision, 2);
         assert_eq!(a.gmin_retries, 1);
         assert_eq!(a.recovered_steps, 2);
+        assert_eq!(a.lu_refactors, 24);
+        assert_eq!(a.lu_reuses, 18);
+        assert_eq!(a.bypass_hits, 9);
+        assert_eq!(a.bypass_misses, 4);
     }
 }

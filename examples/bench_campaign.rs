@@ -7,7 +7,7 @@
 //! scalar solver on points per second, with identical bits), and writes
 //! `BENCH_campaign.json` (schema per record:
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! disk_hit_rate, dedup_waits}`). A disk-resume scenario additionally
+//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits}`). A disk-resume scenario additionally
 //! replays the campaign from a persistent [`ResultStore`] on a fresh
 //! service and gates on bit-identity and a full disk hit rate.
 //!
@@ -24,7 +24,10 @@
 //! non-zero if parallel output diverges from serial, the warm-start
 //! iteration saving falls below 20%, the cached repeat campaign is less
 //! than 5x faster than (or diverges from) its cold run, the batched
-//! campaign is slower than (or diverges from) the cold scalar one, or a
+//! campaign is slower than (or diverges from) the cold scalar one, the
+//! modified-Newton fast path is less than 1.5x faster than the legacy
+//! full-Newton path (or reuses fewer than half its factorizations, or
+//! shifts the extracted border), or a
 //! derived figure regresses more than 25% against the committed
 //! `BENCH_baseline.json` (refresh an intentional change with
 //! `cargo run --release --example bench_campaign -- --write-baseline`).
@@ -38,6 +41,7 @@ use dram_stress_opt::Session;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
+use dso_spice::SolverTuning;
 
 const REPEATS: usize = 3;
 const R_POINTS: usize = 30;
@@ -81,6 +85,8 @@ fn main() {
         newton_iters: cold_perf.newton_iters,
         cache_hit_rate: cold_perf.cache_hit_rate(),
         disk_hit_rate: cold_perf.disk_hit_rate(),
+        lu_reuse_rate: cold_perf.lu_reuse_rate(),
+        bypass_hit_rate: cold_perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
@@ -92,6 +98,8 @@ fn main() {
         newton_iters: warm_perf.newton_iters,
         cache_hit_rate: warm_perf.cache_hit_rate(),
         disk_hit_rate: warm_perf.disk_hit_rate(),
+        lu_reuse_rate: warm_perf.lu_reuse_rate(),
+        bypass_hit_rate: warm_perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
@@ -125,6 +133,8 @@ fn main() {
         newton_iters: serial.perf.newton_iters,
         cache_hit_rate: serial.perf.cache_hit_rate(),
         disk_hit_rate: serial.perf.disk_hit_rate(),
+        lu_reuse_rate: serial.perf.lu_reuse_rate(),
+        bypass_hit_rate: serial.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let mut widest_speedup_per_core = f64::INFINITY;
@@ -139,6 +149,8 @@ fn main() {
             newton_iters: parallel.perf.newton_iters,
             cache_hit_rate: parallel.perf.cache_hit_rate(),
             disk_hit_rate: parallel.perf.disk_hit_rate(),
+            lu_reuse_rate: parallel.perf.lu_reuse_rate(),
+            bypass_hit_rate: parallel.perf.bypass_hit_rate(),
             dedup_waits: 0,
         });
         let speedup = serial_ms / ms;
@@ -172,6 +184,8 @@ fn main() {
         newton_iters: scalar_batchref.perf.newton_iters,
         cache_hit_rate: scalar_batchref.perf.cache_hit_rate(),
         disk_hit_rate: scalar_batchref.perf.disk_hit_rate(),
+        lu_reuse_rate: scalar_batchref.perf.lu_reuse_rate(),
+        bypass_hit_rate: scalar_batchref.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let (batch_ms, batched) = median_of(REPEATS, || campaign(&batch_cfg));
@@ -183,6 +197,8 @@ fn main() {
         newton_iters: batched.perf.newton_iters,
         cache_hit_rate: batched.perf.cache_hit_rate(),
         disk_hit_rate: batched.perf.disk_hit_rate(),
+        lu_reuse_rate: batched.perf.lu_reuse_rate(),
+        bypass_hit_rate: batched.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let pps = |points: usize, ms: f64| points as f64 / (ms / 1e3).max(1e-9);
@@ -206,6 +222,95 @@ fn main() {
         failed = true;
     }
 
+    // --- modified-Newton fast path: legacy vs default tuning -------------
+    // Both runs are cold scalar at one thread; the only difference is the
+    // solver tuning, so the points-per-second ratio isolates the LU-reuse
+    // + device-bypass payoff. Bypass moves iterates within solver
+    // tolerance (tolerance-0 bit-equivalence is pinned by the test
+    // suites), so the gates here are throughput, reuse rate, and border
+    // agreement — not raw bits.
+    let tuned_campaign = |tuning: SolverTuning, config: &CampaignConfig| -> PlaneCampaign {
+        Session::from_parts(
+            EvalService::new(analyzer.clone().with_tuning(tuning)),
+            config.clone(),
+        )
+        .planes(&defect, &op, &r_values, N_OPS)
+        .expect("campaign runs")
+    };
+    let (legacy_ms, legacy) = median_of(REPEATS, || {
+        tuned_campaign(SolverTuning::legacy(), &serial_cold)
+    });
+    records.push(BenchRecord {
+        name: "plane_campaign/serial-cold".into(),
+        threads: 1,
+        wall_ms: legacy_ms,
+        points: legacy.perf.points,
+        newton_iters: legacy.perf.newton_iters,
+        cache_hit_rate: legacy.perf.cache_hit_rate(),
+        disk_hit_rate: legacy.perf.disk_hit_rate(),
+        lu_reuse_rate: legacy.perf.lu_reuse_rate(),
+        bypass_hit_rate: legacy.perf.bypass_hit_rate(),
+        dedup_waits: 0,
+    });
+    let (mn_ms, mn) = median_of(REPEATS, || {
+        tuned_campaign(SolverTuning::default(), &serial_cold)
+    });
+    records.push(BenchRecord {
+        name: "plane_campaign/modified-newton".into(),
+        threads: 1,
+        wall_ms: mn_ms,
+        points: mn.perf.points,
+        newton_iters: mn.perf.newton_iters,
+        cache_hit_rate: mn.perf.cache_hit_rate(),
+        disk_hit_rate: mn.perf.disk_hit_rate(),
+        lu_reuse_rate: mn.perf.lu_reuse_rate(),
+        bypass_hit_rate: mn.perf.bypass_hit_rate(),
+        dedup_waits: 0,
+    });
+    let legacy_pps = pps(legacy.perf.points, legacy_ms);
+    let mn_pps = pps(mn.perf.points, mn_ms);
+    let modified_newton_speedup = mn_pps / legacy_pps.max(1e-9);
+    println!(
+        "modified-Newton: legacy {:.0} ms ({:.2} points/s) -> fast path {:.0} ms \
+         ({:.2} points/s, {:.2}x; LU reuse {:.0}%, bypass {:.0}%)",
+        legacy_ms,
+        legacy_pps,
+        mn_ms,
+        mn_pps,
+        modified_newton_speedup,
+        100.0 * mn.perf.lu_reuse_rate(),
+        100.0 * mn.perf.bypass_hit_rate()
+    );
+    if modified_newton_speedup < 1.5 {
+        eprintln!(
+            "FAIL: modified-Newton ran at {modified_newton_speedup:.2}x legacy points/s (< 1.5x)"
+        );
+        failed = true;
+    }
+    if mn.perf.lu_reuse_rate() <= 0.5 {
+        eprintln!(
+            "FAIL: modified-Newton LU reuse rate {:.2} (<= 0.5)",
+            mn.perf.lu_reuse_rate()
+        );
+        failed = true;
+    }
+    if legacy.perf.lu_reuses != 0 || legacy.perf.bypass_hits != 0 {
+        eprintln!("FAIL: legacy tuning touched the fast path");
+        failed = true;
+    }
+    let border = |c: &PlaneCampaign| c.border_from_intersection().expect("no gap at the border");
+    match (border(&legacy), border(&mn)) {
+        (Some(a), Some(b)) if (a - b).abs() > 1e-3 * a.abs().max(1.0) => {
+            eprintln!("FAIL: modified-Newton shifted the border: {a} -> {b}");
+            failed = true;
+        }
+        (Some(_), Some(_)) | (None, None) => {}
+        (a, b) => {
+            eprintln!("FAIL: modified-Newton changed border existence: {a:?} -> {b:?}");
+            failed = true;
+        }
+    }
+
     // --- observability overhead: metrics registry on vs off -------------
     // The disabled fast path is a relaxed atomic load per site; with the
     // registry *enabled* the cost is a thread-local bump per event. Both
@@ -221,6 +326,8 @@ fn main() {
         newton_iters: obs_run.perf.newton_iters,
         cache_hit_rate: obs_run.perf.cache_hit_rate(),
         disk_hit_rate: obs_run.perf.disk_hit_rate(),
+        lu_reuse_rate: obs_run.perf.lu_reuse_rate(),
+        bypass_hit_rate: obs_run.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     println!(
@@ -249,6 +356,8 @@ fn main() {
         newton_iters: shared_cold.perf.newton_iters,
         cache_hit_rate: shared_cold.perf.cache_hit_rate(),
         disk_hit_rate: shared_cold.perf.disk_hit_rate(),
+        lu_reuse_rate: shared_cold.perf.lu_reuse_rate(),
+        bypass_hit_rate: shared_cold.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     let (cached_ms, cached) = median_of(REPEATS, run_shared);
@@ -261,6 +370,8 @@ fn main() {
         newton_iters: cached.perf.newton_iters,
         cache_hit_rate: cached.perf.cache_hit_rate(),
         disk_hit_rate: cached.perf.disk_hit_rate(),
+        lu_reuse_rate: cached.perf.lu_reuse_rate(),
+        bypass_hit_rate: cached.perf.bypass_hit_rate(),
         dedup_waits: cache_stats.dedup_waits as usize,
     });
     let cache_speedup = shared_cold_ms / cached_ms.max(1e-6);
@@ -333,6 +444,8 @@ fn main() {
         newton_iters: resumed.perf.newton_iters,
         cache_hit_rate: resumed.perf.cache_hit_rate(),
         disk_hit_rate: resumed.perf.disk_hit_rate(),
+        lu_reuse_rate: resumed.perf.lu_reuse_rate(),
+        bypass_hit_rate: resumed.perf.bypass_hit_rate(),
         dedup_waits: 0,
     });
     println!(
@@ -373,6 +486,7 @@ fn main() {
         warm_iter_saving: saved,
         speedup_per_core: widest_speedup_per_core,
         batch_speedup,
+        modified_newton_speedup,
     };
     if std::env::args().any(|a| a == "--write-baseline") {
         std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");
