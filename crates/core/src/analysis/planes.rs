@@ -350,6 +350,11 @@ fn measure_point(
 /// recovery always restarts cold); fault plans are resolved by sweep index
 /// before the point runs, keeping chaos injection deterministic under any
 /// scheduling.
+/// `Err(progress)` when the campaign was aborted by `hooks` at a chunk
+/// boundary; the chunks that ran completed normally (their results are
+/// discarded here but live on in the evaluation cache and persistent
+/// store).
+#[allow(clippy::too_many_arguments)] // internal fan-out plumbing
 fn run_grid(
     service: &EvalService,
     defect: &Defect,
@@ -358,11 +363,14 @@ fn run_grid(
     n_ops: usize,
     faults: &CampaignFaults,
     config: &CampaignConfig,
-) -> Vec<PointOutcome> {
+    hooks: &exec::ExecHooks,
+) -> Result<Vec<PointOutcome>, exec::ChunkProgress> {
     if config.lanes > 1 {
-        return run_grid_batched(service, defect, op_point, r_values, n_ops, faults, config);
+        return run_grid_batched(
+            service, defect, op_point, r_values, n_ops, faults, config, hooks,
+        );
     }
-    exec::map_chunked(r_values.len(), config, |range| {
+    exec::map_chunked_cancellable(r_values.len(), config, hooks, |range| {
         let mut seeds = WarmSeeds::default();
         range
             .map(|i| {
@@ -424,6 +432,7 @@ fn run_grid(
 /// `warm_start` disabled at any thread count; only performance accounting
 /// on failure paths may differ (a failed settle no longer short-circuits
 /// the point's remaining stage-1 evaluations).
+#[allow(clippy::too_many_arguments)] // internal fan-out plumbing
 fn run_grid_batched(
     service: &EvalService,
     defect: &Defect,
@@ -432,7 +441,8 @@ fn run_grid_batched(
     n_ops: usize,
     faults: &CampaignFaults,
     config: &CampaignConfig,
-) -> Vec<PointOutcome> {
+    hooks: &exec::ExecHooks,
+) -> Result<Vec<PointOutcome>, exec::ChunkProgress> {
     /// Stage-crossing state of one clean (fault-free) point.
     struct CleanPoint {
         slot: usize,
@@ -478,7 +488,7 @@ fn run_grid_batched(
         }
     }
 
-    exec::map_chunked(r_values.len(), config, |range| {
+    exec::map_chunked_cancellable(r_values.len(), config, hooks, |range| {
         let span = dso_obs::span("sweep.lane_chunk");
         let mut chunk: Vec<Option<PointOutcome>> = range.clone().map(|_| None).collect();
         let mut clean: Vec<CleanPoint> = Vec::new();
@@ -734,7 +744,18 @@ pub(crate) fn result_planes_impl(
     let span = dso_obs::span("campaign.result_planes");
     span.note("points", r_values.len() as f64);
     let clean = CampaignFaults::new();
-    let outcomes = run_grid(service, defect, op_point, r_values, n_ops, &clean, config);
+    let Ok(outcomes) = run_grid(
+        service,
+        defect,
+        op_point,
+        r_values,
+        n_ops,
+        &clean,
+        config,
+        &exec::ExecHooks::default(),
+    ) else {
+        unreachable!("empty hooks never abort")
+    };
     let mut perf = CampaignPerfStats::default();
     for outcome in &outcomes {
         tally(&mut perf, outcome);
@@ -860,11 +881,47 @@ pub(crate) fn plane_campaign_impl(
     faults: &CampaignFaults,
     config: &CampaignConfig,
 ) -> Result<PlaneCampaign, CoreError> {
+    plane_campaign_hooked(
+        service,
+        defect,
+        op_point,
+        r_values,
+        n_ops,
+        faults,
+        config,
+        &exec::ExecHooks::default(),
+    )
+}
+
+/// [`plane_campaign_impl`] with cooperative chunk-boundary
+/// [`exec::ExecHooks`] — the service daemon's entry point. The hooks may
+/// preempt between chunks (running interactive jobs on the paused worker)
+/// and abort the remaining chunks, in which case the campaign returns
+/// [`CoreError::Cancelled`]; the chunks that ran stay in the evaluation
+/// cache and persistent store, so a re-submitted campaign replays them.
+/// With empty hooks this is exactly [`plane_campaign_impl`].
+#[allow(clippy::too_many_arguments)] // campaign plumbing: faults + config + hooks
+pub(crate) fn plane_campaign_hooked(
+    service: &EvalService,
+    defect: &Defect,
+    op_point: &OperatingPoint,
+    r_values: &[f64],
+    n_ops: usize,
+    faults: &CampaignFaults,
+    config: &CampaignConfig,
+    hooks: &exec::ExecHooks,
+) -> Result<PlaneCampaign, CoreError> {
     validate_sweep(r_values, n_ops)?;
     let obs_env = dso_obs::init_from_env();
     let span = dso_obs::span("campaign.planes");
     span.note("points", r_values.len() as f64);
-    let outcomes = run_grid(service, defect, op_point, r_values, n_ops, faults, config);
+    let outcomes = run_grid(
+        service, defect, op_point, r_values, n_ops, faults, config, hooks,
+    )
+    .map_err(|progress| CoreError::Cancelled {
+        completed: progress.completed,
+        total: progress.total,
+    })?;
     let defect_name = defect.to_string();
     let mut perf = CampaignPerfStats::default();
     let mut report = SweepReport::new();

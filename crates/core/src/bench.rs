@@ -4,10 +4,11 @@
 //! hand-rolled alternative to criterion: median-of-k wall-clock timing
 //! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits}` — enough
-//! for CI to trend campaign throughput, the evaluation-cache and
-//! persistent-store payoff, the modified-Newton fast path, and for the
-//! bench example to assert serial/parallel equivalence.
+//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits,
+//! serve_p99_ms}` — enough for CI to trend campaign throughput, the
+//! evaluation-cache and persistent-store payoff, the modified-Newton fast
+//! path, serving tail latency, and for the bench example to assert
+//! serial/parallel equivalence.
 
 use std::time::Instant;
 
@@ -38,6 +39,10 @@ pub struct BenchRecord {
     pub bypass_hit_rate: f64,
     /// Requests that blocked on an identical in-flight computation.
     pub dedup_waits: usize,
+    /// Interactive-class p99 latency under the replayed mixed service
+    /// workload, in milliseconds (`0.0` for scenarios that never touch
+    /// the daemon).
+    pub serve_p99_ms: f64,
 }
 
 /// Runs `f` `repeats` times (at least once) and returns the median
@@ -88,7 +93,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
         out.push_str(&format!(
             "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \
              \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"disk_hit_rate\": {:.3}, \
-             \"lu_reuse_rate\": {:.3}, \"bypass_hit_rate\": {:.3}, \"dedup_waits\": {}}}",
+             \"lu_reuse_rate\": {:.3}, \"bypass_hit_rate\": {:.3}, \"dedup_waits\": {}, \
+             \"serve_p99_ms\": {:.3}}}",
             escape_json(&r.name),
             r.threads,
             r.wall_ms,
@@ -98,7 +104,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.disk_hit_rate,
             r.lu_reuse_rate,
             r.bypass_hit_rate,
-            r.dedup_waits
+            r.dedup_waits,
+            r.serve_p99_ms
         ));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -128,6 +135,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 ///   modified-Newton fast path (LU reuse + device bypass, default
 ///   tuning) over the legacy full-Newton path at one thread. The CI
 ///   floor is 1.5x regardless of the committed baseline.
+/// * `serve_p99_ms` — interactive-class p99 latency of the replayed
+///   mixed service workload (daemon queries preempting a bulk campaign).
+///   The one lower-is-better figure: the gate trips when the *current*
+///   value exceeds the baseline by more than the tolerance.
 ///
 /// Refresh after an intentional perf change with:
 ///
@@ -146,6 +157,9 @@ pub struct BenchBaseline {
     /// Cold modified-Newton (default tuning) over cold legacy-tuning
     /// points-per-second at one thread (wall-clock derived).
     pub modified_newton_speedup: f64,
+    /// Interactive-class p99 of the replayed service workload, in
+    /// milliseconds (wall-clock derived; lower is better).
+    pub serve_p99_ms: f64,
 }
 
 impl BenchBaseline {
@@ -169,6 +183,7 @@ impl BenchBaseline {
                 "modified_newton_speedup".to_string(),
                 Json::Num(self.modified_newton_speedup),
             ),
+            ("serve_p99_ms".to_string(), Json::Num(self.serve_p99_ms)),
         ]))
         .to_string();
         doc.push('\n');
@@ -193,6 +208,7 @@ impl BenchBaseline {
             speedup_per_core: field("speedup_per_core")?,
             batch_speedup: field("batch_speedup")?,
             modified_newton_speedup: field("modified_newton_speedup")?,
+            serve_p99_ms: field("serve_p99_ms")?,
         })
     }
 
@@ -231,6 +247,23 @@ impl BenchBaseline {
             "modified-Newton speedup over legacy tuning",
             self.modified_newton_speedup,
             current.modified_newton_speedup,
+        );
+        // Latency gates invert: the figure is lower-is-better, so the
+        // regression is the current value *exceeding* the baseline.
+        let mut gate_upper = |name: &str, base: f64, cur: f64| {
+            if base > 0.0 && cur > base * (1.0 + tolerance) {
+                out.push(format!(
+                    "{name} regressed {:.1}% (baseline {base:.3}, current {cur:.3}, \
+                     tolerance {:.0}%)",
+                    100.0 * (cur / base - 1.0),
+                    100.0 * tolerance
+                ));
+            }
+        };
+        gate_upper(
+            "interactive serving p99 latency",
+            self.serve_p99_ms,
+            current.serve_p99_ms,
         );
         out
     }
@@ -280,6 +313,7 @@ mod tests {
                 lu_reuse_rate: 0.0,
                 bypass_hit_rate: 0.0,
                 dedup_waits: 0,
+                serve_p99_ms: 0.0,
             },
             BenchRecord {
                 name: "quote\"tab\t".into(),
@@ -292,6 +326,7 @@ mod tests {
                 lu_reuse_rate: 0.6543,
                 bypass_hit_rate: 0.25,
                 dedup_waits: 3,
+                serve_p99_ms: 123.456,
             },
         ];
         let json = to_json(&records);
@@ -301,11 +336,12 @@ mod tests {
             "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
              \"points\": 270, \"newton_iters\": 9000, \"cache_hit_rate\": 0.000, \
              \"disk_hit_rate\": 0.000, \"lu_reuse_rate\": 0.000, \
-             \"bypass_hit_rate\": 0.000, \"dedup_waits\": 0}"
+             \"bypass_hit_rate\": 0.000, \"dedup_waits\": 0, \"serve_p99_ms\": 0.000}"
         ));
         assert!(json.contains(
             "\"cache_hit_rate\": 0.988, \"disk_hit_rate\": 0.500, \
-             \"lu_reuse_rate\": 0.654, \"bypass_hit_rate\": 0.250, \"dedup_waits\": 3"
+             \"lu_reuse_rate\": 0.654, \"bypass_hit_rate\": 0.250, \"dedup_waits\": 3, \
+             \"serve_p99_ms\": 123.456"
         ));
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
@@ -319,32 +355,48 @@ mod tests {
             speedup_per_core: 0.8,
             batch_speedup: 2.0,
             modified_newton_speedup: 2.5,
+            serve_p99_ms: 800.0,
         };
         let parsed = BenchBaseline::from_json(&base.to_json()).expect("round trip");
         assert_eq!(parsed, base);
 
-        // Within tolerance (and improvements) pass.
+        // Within tolerance (and improvements) pass. The latency figure is
+        // lower-is-better, so a faster p99 is an improvement too.
         let ok = BenchBaseline {
             warm_iter_saving: 0.35,
             speedup_per_core: 0.9,
             batch_speedup: 2.4,
             modified_newton_speedup: 2.2,
+            serve_p99_ms: 900.0,
         };
         assert!(base.regressions(&ok, 0.25).is_empty());
 
-        // A >25% drop in any figure is called out.
+        // A >25% drop in any figure (rise, for the latency) is called out.
         let bad = BenchBaseline {
             warm_iter_saving: 0.2,
             speedup_per_core: 0.5,
             batch_speedup: 1.1,
             modified_newton_speedup: 1.2,
+            serve_p99_ms: 1200.0,
         };
         let msgs = base.regressions(&bad, 0.25);
-        assert_eq!(msgs.len(), 4, "{msgs:?}");
+        assert_eq!(msgs.len(), 5, "{msgs:?}");
         assert!(msgs[0].contains("warm-start"), "{msgs:?}");
         assert!(msgs[1].contains("speedup per core"), "{msgs:?}");
         assert!(msgs[2].contains("batched"), "{msgs:?}");
         assert!(msgs[3].contains("modified-Newton"), "{msgs:?}");
+        assert!(msgs[4].contains("p99"), "{msgs:?}");
+
+        // A zeroed latency baseline (no serve scenario yet) never trips.
+        let unseeded = BenchBaseline {
+            serve_p99_ms: 0.0,
+            ..base
+        };
+        assert_eq!(
+            unseeded.regressions(&bad, 0.25).len(),
+            4,
+            "latency gate armed without a baseline"
+        );
 
         assert!(BenchBaseline::from_json("{}").is_err());
         assert!(BenchBaseline::from_json("nope").is_err());

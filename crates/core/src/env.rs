@@ -6,6 +6,11 @@
 //! * `DSO_THREADS` — campaign worker threads,
 //! * `DSO_CHUNK` — sweep points per work chunk,
 //! * `DSO_LANES` — batched-solver lane width (1 = scalar),
+//! * `DSO_SERVE_WORKERS` / `DSO_SERVE_QUEUE` / `DSO_SERVE_MAX_FRAME` —
+//!   service-daemon worker count, admission-queue capacity, and frame
+//!   size limit (read by [`crate::service::ServeConfig::from_env`],
+//!   together with the [`non_negative_f64`] knob
+//!   `DSO_SERVE_DEADLINE_MS`),
 //!
 //! the solver-tuning knobs through [`boolean`] and
 //! [`non_negative_f64`]:

@@ -62,6 +62,17 @@ pub enum CoreError {
     /// those are skipped and counted during recovery, not surfaced as
     /// errors.
     Store(String),
+    /// The campaign was cooperatively cancelled at a chunk boundary
+    /// (service deadline expiry, explicit cancel, client gone) before all
+    /// sweep points ran. The chunks that did run completed normally, so
+    /// the evaluation cache and persistent store hold a deterministic
+    /// prefix of the campaign.
+    Cancelled {
+        /// Chunks completed before the abort.
+        completed: usize,
+        /// Total chunks in the decomposition.
+        total: usize,
+    },
     /// Too many sweep points failed for the partial result to be usable
     /// (edge points lost, or fewer than two good points remain).
     SweepFailed {
@@ -145,6 +156,10 @@ impl fmt::Display for CoreError {
                 gap.0, gap.1
             ),
             CoreError::Store(msg) => write!(f, "result store error: {msg}"),
+            CoreError::Cancelled { completed, total } => write!(
+                f,
+                "campaign cancelled after {completed} of {total} chunk(s)"
+            ),
             CoreError::SweepFailed {
                 defect,
                 failed,

@@ -21,8 +21,8 @@
 //!   identically regardless of which worker executes the point.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Default number of sweep points per work chunk.
 ///
@@ -326,6 +326,71 @@ impl std::fmt::Display for CampaignPerfStats {
     }
 }
 
+/// Chunk-boundary progress handed to an [`ExecHooks`] callback: how many
+/// chunks of the deterministic decomposition have completed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProgress {
+    /// Chunks whose results have landed in their slots.
+    pub completed: usize,
+    /// Total chunks in the decomposition.
+    pub total: usize,
+}
+
+/// Cooperative chunk-boundary hooks for [`map_chunked_cancellable`].
+///
+/// The service daemon uses these for two production semantics that the
+/// plain campaign path never needs:
+///
+/// * **Preemption** — between chunks of a bulk campaign, the hook drains
+///   pending interactive jobs, so short queries overtake long campaigns at
+///   chunk granularity without a second worker pool.
+/// * **Cancellation** — returning `false` aborts the remaining chunks
+///   (deadline expiry, explicit cancel, client gone), freeing the workers
+///   immediately; the in-flight chunk still completes, keeping the
+///   executed prefix deterministic and cache/store-consistent.
+///
+/// The hook is called on executor worker threads: before each chunk
+/// pickup and after the final chunk, always with the current
+/// [`ChunkProgress`]. It must never affect the chunk decomposition or the
+/// per-chunk computation — results of the chunks that do run stay
+/// bit-identical to an unhooked run.
+#[derive(Clone, Default)]
+pub struct ExecHooks {
+    between_chunks: Option<Arc<dyn Fn(ChunkProgress) -> bool + Send + Sync>>,
+}
+
+impl ExecHooks {
+    /// Hooks that call `f` at every chunk boundary; `f` returns `false`
+    /// to abort the remaining chunks.
+    pub fn between_chunks(f: impl Fn(ChunkProgress) -> bool + Send + Sync + 'static) -> Self {
+        ExecHooks {
+            between_chunks: Some(Arc::new(f)),
+        }
+    }
+
+    /// Invokes the boundary hook (`true` = keep going). No-op hooks
+    /// always continue.
+    pub fn observe(&self, progress: ChunkProgress) -> bool {
+        match &self.between_chunks {
+            Some(f) => f(progress),
+            None => true,
+        }
+    }
+
+    /// `true` when no callback is installed.
+    pub fn is_empty(&self) -> bool {
+        self.between_chunks.is_none()
+    }
+}
+
+impl std::fmt::Debug for ExecHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecHooks")
+            .field("between_chunks", &self.between_chunks.is_some())
+            .finish()
+    }
+}
+
 /// The deterministic chunk decomposition of a grid of `n` points: contiguous
 /// ranges of `chunk` points (the last chunk may be shorter). Depends only on
 /// `n` and `chunk`, never on the thread count.
@@ -354,8 +419,36 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
+    match map_chunked_cancellable(n, config, &ExecHooks::default(), f) {
+        Ok(out) => out,
+        Err(_) => unreachable!("empty hooks never abort"),
+    }
+}
+
+/// [`map_chunked`] with cooperative chunk-boundary [`ExecHooks`]: the hook
+/// runs on worker threads before each chunk pickup and after the final
+/// chunk, and may abort the remaining chunks by returning `false`.
+///
+/// Returns `Err(progress)` when the run was aborted (some chunks never
+/// executed), carrying how many chunks had completed — by then every
+/// in-flight chunk has finished, so the evaluation cache and persistent
+/// store hold a deterministic prefix of the campaign. Returns
+/// `Ok(results)` for a completed run, bit-identical to [`map_chunked`]
+/// for every thread count: hooks never change the chunk decomposition or
+/// the per-chunk computation.
+pub fn map_chunked_cancellable<T, F>(
+    n: usize,
+    config: &CampaignConfig,
+    hooks: &ExecHooks,
+    f: F,
+) -> Result<Vec<T>, ChunkProgress>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
     let ranges = chunk_ranges(n, effective_chunk(n, config.chunk));
     let workers = config.threads.max(1).min(ranges.len().max(1));
+    let total = ranges.len();
     dso_obs::counter!("exec.chunks").add(ranges.len() as u64);
     dso_obs::gauge!("exec.workers", nondet).set(workers as f64);
     // Chunk-duration / queue-wait edges in milliseconds; wall-clock values
@@ -376,18 +469,44 @@ where
         out
     };
     if workers <= 1 {
-        return ranges.into_iter().flat_map(run_chunk).collect();
+        let mut out = Vec::with_capacity(n);
+        for (completed, range) in ranges.into_iter().enumerate() {
+            if !hooks.observe(ChunkProgress { completed, total }) {
+                return Err(ChunkProgress { completed, total });
+            }
+            out.extend(run_chunk(range));
+        }
+        let done = ChunkProgress {
+            completed: total,
+            total,
+        };
+        if !hooks.observe(done) {
+            return Err(done);
+        }
+        return Ok(out);
     }
     // Spans opened on worker threads re-parent to the caller's span
     // explicitly — the thread-local span stack does not cross threads.
     let parent_span = dso_obs::current_span_id();
     let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Vec<T>>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let mut busy = std::time::Duration::ZERO;
                 loop {
+                    if aborted.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if !hooks.observe(ChunkProgress {
+                        completed: completed.load(Ordering::Relaxed),
+                        total,
+                    }) {
+                        aborted.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     let Some(range) = ranges.get(c) else { break };
                     // Time from campaign start to pickup = how long the
@@ -400,6 +519,7 @@ where
                     busy += t0.elapsed();
                     drop(span);
                     *slots[c].lock().expect("chunk slot poisoned") = Some(out);
+                    completed.fetch_add(1, Ordering::Relaxed);
                 }
                 // Per-thread utilization: busy fraction of the campaign's
                 // wall clock, one gauge sample per worker (max survives).
@@ -411,14 +531,29 @@ where
             });
         }
     });
-    slots
+    if aborted.into_inner() {
+        return Err(ChunkProgress {
+            completed: completed.into_inner(),
+            total,
+        });
+    }
+    // Mirror the serial path's final observation so hooks always see
+    // `completed == total` once (progress streaming relies on it).
+    let done = ChunkProgress {
+        completed: total,
+        total,
+    };
+    if !hooks.observe(done) {
+        return Err(done);
+    }
+    Ok(slots
         .into_iter()
         .flat_map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("all chunks completed")
         })
-        .collect()
+        .collect())
 }
 
 /// Runs the same chunk decomposition as [`map_chunked`] but executes the
@@ -636,5 +771,87 @@ mod tests {
             let got = map_chunked(30, &cfg, |range| range.map(|i| i * 7).collect::<Vec<_>>());
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn hooks_always_see_the_final_chunk_count() {
+        // Progress streaming (the service daemon's chunk frames) relies on
+        // every completed run observing `completed == total` at least once
+        // — in the serial AND the parallel path — and on hooks never
+        // changing the output.
+        let expected: Vec<usize> = (0..40).map(|i| i + 1).collect();
+        for threads in [1, 4] {
+            let cfg = CampaignConfig::with_threads(threads).with_chunk(4);
+            let total = chunk_ranges(40, effective_chunk(40, 4)).len();
+            let seen: Arc<Mutex<Vec<ChunkProgress>>> = Arc::new(Mutex::new(Vec::new()));
+            let hooks = {
+                let seen = Arc::clone(&seen);
+                ExecHooks::between_chunks(move |p| {
+                    seen.lock().unwrap().push(p);
+                    true
+                })
+            };
+            let got = map_chunked_cancellable(40, &cfg, &hooks, |range| {
+                range.map(|i| i + 1).collect::<Vec<_>>()
+            })
+            .expect("never aborted");
+            assert_eq!(got, expected, "threads = {threads}");
+            let seen = seen.lock().unwrap().clone();
+            assert!(
+                seen.iter()
+                    .any(|p| p.completed == total && p.total == total),
+                "threads = {threads}: no final observation in {seen:?}"
+            );
+            if threads == 1 {
+                // Serial observations are exactly one per boundary, in
+                // order: 0, 1, ..., total.
+                let expected_progress: Vec<ChunkProgress> = (0..=total)
+                    .map(|completed| ChunkProgress { completed, total })
+                    .collect();
+                assert_eq!(seen, expected_progress);
+            }
+        }
+    }
+
+    #[test]
+    fn hook_abort_frees_remaining_chunks() {
+        // Serial: aborting after two completed chunks runs exactly two
+        // chunks and reports the executed prefix.
+        let cfg = CampaignConfig::with_threads(1).with_chunk(4);
+        let total = chunk_ranges(64, effective_chunk(64, 4)).len();
+        assert!(total > 2);
+        let executed = AtomicUsize::new(0);
+        let err = map_chunked_cancellable(
+            64,
+            &cfg,
+            &ExecHooks::between_chunks(|p| p.completed < 2),
+            |range| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                range.collect::<Vec<_>>()
+            },
+        )
+        .expect_err("hook aborts");
+        assert_eq!(
+            err,
+            ChunkProgress {
+                completed: 2,
+                total
+            }
+        );
+        assert_eq!(executed.into_inner(), 2);
+
+        // Parallel: a hook that refuses immediately stops every worker
+        // before it picks anything up.
+        let cfg = CampaignConfig::with_threads(4).with_chunk(4);
+        let executed = AtomicUsize::new(0);
+        let err =
+            map_chunked_cancellable(64, &cfg, &ExecHooks::between_chunks(|_| false), |range| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                range.collect::<Vec<_>>()
+            })
+            .expect_err("hook aborts");
+        assert_eq!(err.completed, 0);
+        assert_eq!(err.total, total);
+        assert_eq!(executed.into_inner(), 0);
     }
 }

@@ -54,6 +54,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod service;
 pub mod session;
 pub mod store;
 pub mod stress;

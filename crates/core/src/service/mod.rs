@@ -1,0 +1,48 @@
+//! Campaign service mode: a resident daemon wrapping a [`Session`] and
+//! its persistent store behind a dependency-free JSONL job protocol.
+//!
+//! The paper's workflow is interactive at heart — an engineer probes
+//! detection conditions and stress borders for one defect while bulk
+//! campaigns grind in the background — so the daemon's semantics are
+//! production ones, not transport sugar:
+//!
+//! * **Bounded admission** ([`queue::AdmissionQueue`]): a full queue
+//!   answers `queue_full` immediately instead of stalling the client.
+//! * **Two priorities** ([`Priority`]): interactive queries overtake
+//!   queued bulk work *and* preempt a running bulk campaign at chunk
+//!   granularity — the campaign's between-chunks hook runs them inline.
+//! * **Deadlines + cooperative cancellation** ([`JobControl`]): expiry,
+//!   an explicit `cancel` frame, or a vanished client all abort an
+//!   in-flight campaign at the next chunk boundary, freeing its workers;
+//!   chunks that already ran stay in the evaluation cache and store as a
+//!   deterministic, replayable prefix.
+//! * **Observability**: deterministic `serve.*` counters (bit-identical
+//!   across thread counts for a fixed workload) plus nondeterministic
+//!   queue-depth gauges and per-class wall-latency histograms.
+//!
+//! Determinism contract: a job's `result` payload is **bit-identical**
+//! to the equivalent direct [`Session`] call — chunk decomposition
+//! depends only on the sweep, warm-start chains live inside chunks, and
+//! every `f64` crosses the wire with shortest-round-trip formatting.
+//! Only `wall_ms` and latency metrics vary run to run. The serve drill
+//! (`examples/serve_drill.rs`) holds CI to exactly this contract.
+//!
+//! [`Session`]: crate::session::Session
+
+pub mod daemon;
+pub mod protocol;
+pub mod queue;
+pub mod transport;
+
+pub use daemon::{
+    percentile, Daemon, DaemonHandle, JobControl, ReplySink, ServeConfig, ServiceStats,
+    LATENCY_EDGES_MS,
+};
+pub use protocol::{
+    parse_frame, ControlRequest, ErrorCode, Frame, FrameError, JobKind, JobRequest, Priority,
+    Reply, StressAxis,
+};
+pub use queue::AdmissionQueue;
+pub use transport::serve_connection;
+#[cfg(unix)]
+pub use transport::serve_unix;

@@ -1,0 +1,1134 @@
+//! JSONL wire protocol of the campaign service daemon.
+//!
+//! One JSON object per line in both directions, built on the in-tree
+//! [`dso_obs::json`] reader/writer — the workspace stays zero-dependency
+//! and `f64` payloads round-trip bit-exactly (shortest-round-trip
+//! formatting), which is what lets the serve drill compare daemon replies
+//! against direct [`crate::Session`] results for *bit* identity.
+//!
+//! # Request frames
+//!
+//! Job frames carry a client-chosen `id`, a `kind`, and kind-specific
+//! parameters; `priority` and `deadline_ms` are optional:
+//!
+//! ```json
+//! {"id":"b1","kind":"border","defect":{"site":"O3","side":"true"},
+//!  "op":{"vdd":2.4},"settling":2,"rel_tol":0.05,
+//!  "priority":"interactive","deadline_ms":5000}
+//! ```
+//!
+//! | kind        | parameters                                   | default priority |
+//! |-------------|----------------------------------------------|------------------|
+//! | `campaign`  | `defect`, `op`, `r_values`, `n_ops` (streams per-chunk progress) | `bulk` |
+//! | `planes`    | `defect`, `op`, `r_values`, `n_ops`          | `interactive`    |
+//! | `border`    | `defect`, `op`, `settling`, `rel_tol`        | `interactive`    |
+//! | `detection` | `defect`, `op`, `r_target`, `max_settling`   | `interactive`    |
+//! | `shmoo`     | `defect`, `op`, `r_values`, `n_ops`, `stress` (`vdd`/`tcyc`), `values` | `interactive` |
+//!
+//! Control frames use `control` instead of `kind`: `cancel` (with the
+//! target `id`), `stats`, and `shutdown`.
+//!
+//! # Reply frames
+//!
+//! Every job receives exactly one `accepted` *or* one terminal
+//! `error(queue_full)` at admission, and — if accepted — exactly one
+//! terminal frame later: `done` or `error`. Bulk campaigns additionally
+//! stream `chunk` progress frames between the two. Structured error codes:
+//! `bad_request`, `parse_error`, `oversized_frame`, `queue_full`,
+//! `deadline_exceeded`, `cancelled`, and `failed` (simulation failure).
+
+use crate::CoreError;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::column::DefectSite;
+use dso_dram::design::OperatingPoint;
+use dso_obs::json::Json;
+use std::collections::BTreeMap;
+
+/// Builds a JSON object from key/value pairs.
+fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+    Json::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// Scheduling class of a job. Interactive jobs overtake bulk jobs in the
+/// admission queue and preempt running bulk campaigns at chunk
+/// granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Short engineer-in-the-loop queries (border, detection, …).
+    Interactive,
+    /// Long grinding campaigns.
+    Bulk,
+}
+
+impl Priority {
+    /// The wire label (`"interactive"` / `"bulk"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "bulk" => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
+
+/// Structured error codes of `error` reply frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame parsed but the request is invalid (unknown kind, bad
+    /// parameters, duplicate id, …).
+    BadRequest,
+    /// The frame is not valid JSON or lacks required structure.
+    ParseError,
+    /// The frame exceeds the `DSO_SERVE_MAX_FRAME` byte limit.
+    OversizedFrame,
+    /// The admission queue is full — explicit backpressure; resubmit
+    /// later.
+    QueueFull,
+    /// The per-request deadline expired before the job finished; any
+    /// in-flight campaign chunks were freed at the next boundary.
+    DeadlineExceeded,
+    /// The job was cancelled (explicit `cancel` frame or client gone).
+    Cancelled,
+    /// The simulation itself failed (convergence, sweep unusable, …).
+    Failed,
+}
+
+impl ErrorCode {
+    /// The wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::OversizedFrame => "oversized_frame",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::BadRequest,
+            ErrorCode::ParseError,
+            ErrorCode::OversizedFrame,
+            ErrorCode::QueueFull,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::Failed,
+        ]
+        .into_iter()
+        .find(|c| c.label() == s)
+    }
+}
+
+/// The analysis a job frame asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Fault-tolerant plane campaign, streamed chunk-by-chunk
+    /// (bulk-class by default).
+    Campaign {
+        /// Defect under analysis.
+        defect: Defect,
+        /// Stress combination.
+        op: OperatingPoint,
+        /// Swept defect resistances.
+        r_values: Vec<f64>,
+        /// Operations per trajectory.
+        n_ops: usize,
+    },
+    /// The same campaign without streaming (interactive-class by
+    /// default).
+    Planes {
+        /// Defect under analysis.
+        defect: Defect,
+        /// Stress combination.
+        op: OperatingPoint,
+        /// Swept defect resistances.
+        r_values: Vec<f64>,
+        /// Operations per trajectory.
+        n_ops: usize,
+    },
+    /// Border resistance by pass/fail bisection under the defect class's
+    /// default detection condition.
+    Border {
+        /// Defect under analysis.
+        defect: Defect,
+        /// Stress combination.
+        op: OperatingPoint,
+        /// Settling writes of the detection condition.
+        settling: usize,
+        /// Relative bisection tolerance.
+        rel_tol: f64,
+    },
+    /// Detection-condition derivation at a target resistance.
+    Detection {
+        /// Defect under analysis.
+        defect: Defect,
+        /// Stress combination.
+        op: OperatingPoint,
+        /// Defect resistance to derive the condition at.
+        r_target: f64,
+        /// Maximum settling writes to grow to.
+        max_settling: usize,
+    },
+    /// Write-margin Shmoo over a resistance × stress grid.
+    Shmoo {
+        /// Defect under analysis.
+        defect: Defect,
+        /// Base stress combination (the swept axis overrides one field).
+        op: OperatingPoint,
+        /// Swept defect resistances.
+        r_values: Vec<f64>,
+        /// Operations per trajectory.
+        n_ops: usize,
+        /// Which operating-point field the stress axis sweeps.
+        stress: StressAxis,
+        /// Stress axis values.
+        values: Vec<f64>,
+    },
+}
+
+impl JobKind {
+    /// The wire label of the kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Campaign { .. } => "campaign",
+            JobKind::Planes { .. } => "planes",
+            JobKind::Border { .. } => "border",
+            JobKind::Detection { .. } => "detection",
+            JobKind::Shmoo { .. } => "shmoo",
+        }
+    }
+
+    /// The scheduling class used when the frame names none.
+    pub fn default_priority(&self) -> Priority {
+        match self {
+            JobKind::Campaign { .. } => Priority::Bulk,
+            _ => Priority::Interactive,
+        }
+    }
+}
+
+/// The operating-point field a Shmoo stress axis sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StressAxis {
+    /// Supply voltage, volts.
+    Vdd,
+    /// Cycle time, seconds.
+    Tcyc,
+}
+
+impl StressAxis {
+    /// The wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StressAxis::Vdd => "vdd",
+            StressAxis::Tcyc => "tcyc",
+        }
+    }
+
+    /// The operating point with this axis set to `value`.
+    pub fn apply(&self, base: &OperatingPoint, value: f64) -> OperatingPoint {
+        let mut op = *base;
+        match self {
+            StressAxis::Vdd => op.vdd = value,
+            StressAxis::Tcyc => op.tcyc = value,
+        }
+        op
+    }
+}
+
+/// A parsed job frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen correlation id; echoed on every reply.
+    pub id: String,
+    /// The requested analysis.
+    pub kind: JobKind,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional deadline in milliseconds from admission.
+    pub deadline_ms: Option<f64>,
+}
+
+/// A parsed control frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRequest {
+    /// Cooperatively cancel the job with this id.
+    Cancel {
+        /// Target job id.
+        id: String,
+    },
+    /// Request a service-stats frame.
+    Stats {
+        /// Correlation id for the stats reply.
+        id: String,
+    },
+    /// Close this connection after draining its replies.
+    Shutdown,
+}
+
+/// Any parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An analysis job.
+    Job(JobRequest),
+    /// A control action.
+    Control(ControlRequest),
+}
+
+/// A parse/validation failure: the offending frame's id when one could be
+/// extracted, the structured code, and a human detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// The frame's id, when extractable (addressed error replies).
+    pub id: Option<String>,
+    /// Structured error code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+fn frame_err(id: Option<String>, code: ErrorCode, detail: impl Into<String>) -> FrameError {
+    FrameError {
+        id,
+        code,
+        detail: detail.into(),
+    }
+}
+
+fn site_from_label(s: &str) -> Option<DefectSite> {
+    DefectSite::ALL.into_iter().find(|site| site.label() == s)
+}
+
+fn side_from_label(s: &str) -> Option<BitLineSide> {
+    match s {
+        "true" => Some(BitLineSide::True),
+        "comp" => Some(BitLineSide::Comp),
+        _ => None,
+    }
+}
+
+/// Serializes a defect as its wire object (`{"site":"O3","side":"true"}`).
+pub fn defect_to_json(defect: &Defect) -> Json {
+    obj([
+        ("site", Json::Str(defect.site().label().to_string())),
+        ("side", Json::Str(defect.side().label().to_string())),
+    ])
+}
+
+fn defect_from_json(v: Option<&Json>) -> Result<Defect, String> {
+    let v = v.ok_or("missing \"defect\"")?;
+    let site = v
+        .get("site")
+        .and_then(Json::as_str)
+        .ok_or("defect missing string \"site\"")?;
+    let side = v
+        .get("side")
+        .and_then(Json::as_str)
+        .ok_or("defect missing string \"side\"")?;
+    Ok(Defect::new(
+        site_from_label(site).ok_or_else(|| format!("unknown defect site {site:?}"))?,
+        side_from_label(side).ok_or_else(|| format!("unknown bit-line side {side:?}"))?,
+    ))
+}
+
+/// Serializes an operating point as its wire object.
+pub fn op_to_json(op: &OperatingPoint) -> Json {
+    obj([
+        ("vdd", Json::Num(op.vdd)),
+        ("tcyc", Json::Num(op.tcyc)),
+        ("duty", Json::Num(op.duty)),
+        ("temp_c", Json::Num(op.temp_c)),
+    ])
+}
+
+fn op_from_json(v: Option<&Json>) -> Result<OperatingPoint, String> {
+    let mut op = OperatingPoint::nominal();
+    let Some(v) = v else { return Ok(op) };
+    if !matches!(v, Json::Obj(_)) {
+        return Err("\"op\" must be an object".into());
+    }
+    let field = |name: &str, current: f64| -> Result<f64, String> {
+        match v.get(name) {
+            None => Ok(current),
+            Some(x) => x
+                .as_f64()
+                .ok_or_else(|| format!("op field {name:?} must be a number")),
+        }
+    };
+    op.vdd = field("vdd", op.vdd)?;
+    op.tcyc = field("tcyc", op.tcyc)?;
+    op.duty = field("duty", op.duty)?;
+    op.temp_c = field("temp_c", op.temp_c)?;
+    op.validate().map_err(|e| e.to_string())?;
+    Ok(op)
+}
+
+fn f64_array(v: Option<&Json>, name: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array {name:?}"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{name:?} must contain only numbers"))
+        })
+        .collect()
+}
+
+fn usize_field(doc: &Json, name: &str, default: usize) -> Result<usize, String> {
+    match doc.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("{name:?} must be a non-negative integer")),
+    }
+}
+
+fn f64_field(doc: &Json, name: &str, default: f64) -> Result<f64, String> {
+    match doc.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("{name:?} must be a number")),
+    }
+}
+
+/// Parses one request line into a [`Frame`].
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] carrying the structured code (and the frame's
+/// id when it could be extracted) for malformed JSON, unknown kinds, or
+/// invalid parameters. The daemon answers these with an `error` reply and
+/// keeps serving — a bad frame never kills the connection.
+pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
+    let doc = Json::parse(line)
+        .map_err(|e| frame_err(None, ErrorCode::ParseError, format!("invalid JSON: {e}")))?;
+    if doc.as_obj().is_none() {
+        return Err(frame_err(
+            None,
+            ErrorCode::ParseError,
+            "frame must be a JSON object",
+        ));
+    }
+    let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+
+    if let Some(control) = doc.get("control").and_then(Json::as_str) {
+        return match control {
+            "cancel" => Ok(Frame::Control(ControlRequest::Cancel {
+                id: id.ok_or_else(|| {
+                    frame_err(None, ErrorCode::BadRequest, "cancel needs a string \"id\"")
+                })?,
+            })),
+            "stats" => Ok(Frame::Control(ControlRequest::Stats {
+                id: id.unwrap_or_else(|| "stats".to_string()),
+            })),
+            "shutdown" => Ok(Frame::Control(ControlRequest::Shutdown)),
+            other => Err(frame_err(
+                id,
+                ErrorCode::BadRequest,
+                format!("unknown control {other:?}"),
+            )),
+        };
+    }
+
+    let Some(id) = id else {
+        return Err(frame_err(
+            None,
+            ErrorCode::BadRequest,
+            "job frame needs a string \"id\"",
+        ));
+    };
+    let bad = |detail: String| frame_err(Some(id.clone()), ErrorCode::BadRequest, detail);
+    let kind_label = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("job frame needs a string \"kind\"".into()))?;
+
+    let defect = defect_from_json(doc.get("defect")).map_err(&bad)?;
+    let op = op_from_json(doc.get("op")).map_err(&bad)?;
+    let kind = match kind_label {
+        "campaign" | "planes" => {
+            let r_values = f64_array(doc.get("r_values"), "r_values").map_err(&bad)?;
+            let n_ops = usize_field(&doc, "n_ops", 2).map_err(&bad)?;
+            if kind_label == "campaign" {
+                JobKind::Campaign {
+                    defect,
+                    op,
+                    r_values,
+                    n_ops,
+                }
+            } else {
+                JobKind::Planes {
+                    defect,
+                    op,
+                    r_values,
+                    n_ops,
+                }
+            }
+        }
+        "border" => JobKind::Border {
+            defect,
+            op,
+            settling: usize_field(&doc, "settling", 2).map_err(&bad)?,
+            rel_tol: f64_field(&doc, "rel_tol", 0.05).map_err(&bad)?,
+        },
+        "detection" => JobKind::Detection {
+            defect,
+            op,
+            r_target: doc
+                .get("r_target")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("detection needs a numeric \"r_target\"".into()))?,
+            max_settling: usize_field(&doc, "max_settling", 8).map_err(&bad)?,
+        },
+        "shmoo" => {
+            let stress_label = doc
+                .get("stress")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("shmoo needs a string \"stress\"".into()))?;
+            let stress = match stress_label {
+                "vdd" => StressAxis::Vdd,
+                "tcyc" => StressAxis::Tcyc,
+                other => return Err(bad(format!("unknown stress axis {other:?}"))),
+            };
+            JobKind::Shmoo {
+                defect,
+                op,
+                r_values: f64_array(doc.get("r_values"), "r_values").map_err(&bad)?,
+                n_ops: usize_field(&doc, "n_ops", 2).map_err(&bad)?,
+                stress,
+                values: f64_array(doc.get("values"), "values").map_err(&bad)?,
+            }
+        }
+        other => return Err(bad(format!("unknown kind {other:?}"))),
+    };
+
+    let priority = match doc.get("priority").and_then(Json::as_str) {
+        None => kind.default_priority(),
+        Some(s) => Priority::parse(s).ok_or_else(|| bad(format!("unknown priority {s:?}")))?,
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| bad("\"deadline_ms\" must be a non-negative number".into()))?,
+        ),
+    };
+
+    Ok(Frame::Job(JobRequest {
+        id,
+        kind,
+        priority,
+        deadline_ms,
+    }))
+}
+
+impl JobRequest {
+    /// Serializes the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut map = BTreeMap::from([
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("kind".to_string(), Json::Str(self.kind.label().to_string())),
+            (
+                "priority".to_string(),
+                Json::Str(self.priority.label().to_string()),
+            ),
+        ]);
+        if let Some(ms) = self.deadline_ms {
+            map.insert("deadline_ms".to_string(), Json::Num(ms));
+        }
+        let nums = |xs: &[f64]| Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect());
+        match &self.kind {
+            JobKind::Campaign {
+                defect,
+                op,
+                r_values,
+                n_ops,
+            }
+            | JobKind::Planes {
+                defect,
+                op,
+                r_values,
+                n_ops,
+            } => {
+                map.insert("defect".to_string(), defect_to_json(defect));
+                map.insert("op".to_string(), op_to_json(op));
+                map.insert("r_values".to_string(), nums(r_values));
+                map.insert("n_ops".to_string(), Json::Num(*n_ops as f64));
+            }
+            JobKind::Border {
+                defect,
+                op,
+                settling,
+                rel_tol,
+            } => {
+                map.insert("defect".to_string(), defect_to_json(defect));
+                map.insert("op".to_string(), op_to_json(op));
+                map.insert("settling".to_string(), Json::Num(*settling as f64));
+                map.insert("rel_tol".to_string(), Json::Num(*rel_tol));
+            }
+            JobKind::Detection {
+                defect,
+                op,
+                r_target,
+                max_settling,
+            } => {
+                map.insert("defect".to_string(), defect_to_json(defect));
+                map.insert("op".to_string(), op_to_json(op));
+                map.insert("r_target".to_string(), Json::Num(*r_target));
+                map.insert("max_settling".to_string(), Json::Num(*max_settling as f64));
+            }
+            JobKind::Shmoo {
+                defect,
+                op,
+                r_values,
+                n_ops,
+                stress,
+                values,
+            } => {
+                map.insert("defect".to_string(), defect_to_json(defect));
+                map.insert("op".to_string(), op_to_json(op));
+                map.insert("r_values".to_string(), nums(r_values));
+                map.insert("n_ops".to_string(), Json::Num(*n_ops as f64));
+                map.insert("stress".to_string(), Json::Str(stress.label().to_string()));
+                map.insert("values".to_string(), nums(values));
+            }
+        }
+        Json::Obj(map).to_string()
+    }
+}
+
+/// One reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The job passed admission and is queued.
+    Accepted {
+        /// Echoed job id.
+        id: String,
+        /// Scheduling class the job was admitted under.
+        class: Priority,
+        /// Queue depth right after admission (both classes).
+        queue_depth: usize,
+    },
+    /// Bulk-campaign progress: chunks completed so far.
+    Chunk {
+        /// Echoed job id.
+        id: String,
+        /// Chunks completed.
+        completed: usize,
+        /// Total chunks in the deterministic decomposition.
+        total: usize,
+    },
+    /// Terminal success, carrying the result payload.
+    Done {
+        /// Echoed job id.
+        id: String,
+        /// Kind-specific result payload (see the result builders).
+        result: Json,
+        /// Wall-clock milliseconds from admission to completion
+        /// (nondeterministic; excluded from bit-identity comparisons).
+        wall_ms: f64,
+    },
+    /// Terminal failure with a structured code.
+    Error {
+        /// Echoed job id (`None` when the frame had no extractable id).
+        id: Option<String>,
+        /// Structured code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Service statistics (reply to a `stats` control frame).
+    Stats {
+        /// Echoed correlation id.
+        id: String,
+        /// The stats document.
+        body: Json,
+    },
+}
+
+impl Reply {
+    /// The job id the reply addresses, when any.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Reply::Accepted { id, .. }
+            | Reply::Chunk { id, .. }
+            | Reply::Done { id, .. }
+            | Reply::Stats { id, .. } => Some(id),
+            Reply::Error { id, .. } => id.as_deref(),
+        }
+    }
+
+    /// `true` for frames that end a job's lifecycle (`done` / `error`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Reply::Done { .. } | Reply::Error { .. })
+    }
+
+    /// Serializes the reply as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Reply::Accepted {
+                id,
+                class,
+                queue_depth,
+            } => obj([
+                ("event", Json::Str("accepted".into())),
+                ("id", Json::Str(id.clone())),
+                ("class", Json::Str(class.label().into())),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+            ]),
+            Reply::Chunk {
+                id,
+                completed,
+                total,
+            } => obj([
+                ("event", Json::Str("chunk".into())),
+                ("id", Json::Str(id.clone())),
+                ("completed", Json::Num(*completed as f64)),
+                ("total", Json::Num(*total as f64)),
+            ]),
+            Reply::Done {
+                id,
+                result,
+                wall_ms,
+            } => obj([
+                ("event", Json::Str("done".into())),
+                ("id", Json::Str(id.clone())),
+                ("result", result.clone()),
+                ("wall_ms", Json::Num(*wall_ms)),
+            ]),
+            Reply::Error { id, code, detail } => obj([
+                ("event", Json::Str("error".into())),
+                (
+                    "id",
+                    id.as_ref().map_or(Json::Null, |s| Json::Str(s.clone())),
+                ),
+                ("code", Json::Str(code.label().into())),
+                ("detail", Json::Str(detail.clone())),
+            ]),
+            Reply::Stats { id, body } => obj([
+                ("event", Json::Str("stats".into())),
+                ("id", Json::Str(id.clone())),
+                ("body", body.clone()),
+            ]),
+        }
+        .to_string()
+    }
+
+    /// Parses one reply line (the client half of the protocol; used by
+    /// the serve drill and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered message for malformed frames.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = || {
+            doc.get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| "reply missing string \"id\"".to_string())
+        };
+        match doc.get("event").and_then(Json::as_str) {
+            Some("accepted") => Ok(Reply::Accepted {
+                id: id()?,
+                class: doc
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .and_then(Priority::parse)
+                    .ok_or("accepted missing class")?,
+                queue_depth: doc
+                    .get("queue_depth")
+                    .and_then(Json::as_u64)
+                    .ok_or("accepted missing queue_depth")? as usize,
+            }),
+            Some("chunk") => Ok(Reply::Chunk {
+                id: id()?,
+                completed: doc
+                    .get("completed")
+                    .and_then(Json::as_u64)
+                    .ok_or("chunk missing completed")? as usize,
+                total: doc
+                    .get("total")
+                    .and_then(Json::as_u64)
+                    .ok_or("chunk missing total")? as usize,
+            }),
+            Some("done") => Ok(Reply::Done {
+                id: id()?,
+                result: doc.get("result").cloned().ok_or("done missing result")?,
+                wall_ms: doc
+                    .get("wall_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or("done missing wall_ms")?,
+            }),
+            Some("error") => Ok(Reply::Error {
+                id: doc.get("id").and_then(Json::as_str).map(str::to_string),
+                code: doc
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::parse)
+                    .ok_or("error missing code")?,
+                detail: doc
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            Some("stats") => Ok(Reply::Stats {
+                id: id()?,
+                body: doc.get("body").cloned().unwrap_or(Json::Null),
+            }),
+            other => Err(format!("unknown reply event {other:?}")),
+        }
+    }
+}
+
+// ---- result payload builders --------------------------------------------
+
+/// Serializes a plane campaign as the `done` payload of `campaign` /
+/// `planes` jobs. Every `f64` survives the wire bit-exactly (shortest
+/// round-trip formatting), so two payloads are string-equal iff the
+/// campaigns are bit-identical.
+pub fn campaign_result(c: &crate::analysis::planes::PlaneCampaign) -> Json {
+    let curves = |tracks: &[dso_num::interp::Curve]| {
+        Json::Arr(
+            tracks
+                .iter()
+                .map(|t| Json::Arr(t.ys().iter().map(|&y| Json::Num(y)).collect()))
+                .collect(),
+        )
+    };
+    let border = match c.border_from_intersection() {
+        Ok(Some(b)) => Json::Num(b),
+        Ok(None) => Json::Null,
+        // BorderInGap renders deterministically; keep the payload total.
+        Err(e) => Json::Str(e.to_string()),
+    };
+    let confidence = match c.confidence {
+        crate::analysis::Confidence::Full => "full".to_string(),
+        crate::analysis::Confidence::Degraded { gaps } => format!("degraded:{gaps}"),
+    };
+    obj([
+        ("border", border),
+        ("confidence", Json::Str(confidence)),
+        ("points", Json::Num(c.planes.w0.r_values.len() as f64)),
+        (
+            "gaps",
+            Json::Arr(
+                c.gaps()
+                    .iter()
+                    .map(|&(lo, hi)| Json::Arr(vec![Json::Num(lo), Json::Num(hi)]))
+                    .collect(),
+            ),
+        ),
+        ("vmp", Json::Num(c.planes.vmp)),
+        (
+            "r_values",
+            Json::Arr(c.planes.w0.r_values.iter().map(|&r| Json::Num(r)).collect()),
+        ),
+        ("w0", curves(&c.planes.w0.curves)),
+        ("w1", curves(&c.planes.w1.curves)),
+        (
+            "vsa",
+            Json::Arr(c.planes.r.vsa.ys().iter().map(|&y| Json::Num(y)).collect()),
+        ),
+        ("read_below", curves(&c.planes.r.from_below)),
+        ("read_above", curves(&c.planes.r.from_above)),
+    ])
+}
+
+/// Serializes a border resistance as the `done` payload of `border` jobs.
+pub fn border_result(b: &crate::analysis::border::BorderResistance) -> Json {
+    obj([
+        ("resistance", Json::Num(b.resistance)),
+        ("fails_above", Json::Bool(b.fails_above)),
+        ("evaluations", Json::Num(b.evaluations as f64)),
+    ])
+}
+
+/// Serializes a detection condition as the `done` payload of `detection`
+/// jobs.
+pub fn detection_result(d: &crate::analysis::detection::DetectionCondition) -> Json {
+    use crate::analysis::detection::PhysOp;
+    let ops: Vec<Json> = d
+        .ops()
+        .iter()
+        .map(|op| {
+            Json::Str(match op {
+                PhysOp::Write { high } => format!("w{}", u8::from(*high)),
+                PhysOp::Read { expect_high } => format!("r{}", u8::from(*expect_high)),
+                PhysOp::Pause { cycles } => format!("del{cycles}"),
+            })
+        })
+        .collect();
+    obj([
+        ("condition", Json::Str(d.to_string())),
+        ("ops", Json::Arr(ops)),
+        ("initial_level", Json::Bool(d.initial_level())),
+    ])
+}
+
+/// Serializes a Shmoo plot as the `done` payload of `shmoo` jobs: axis
+/// values plus one glyph row per y value (`+` pass / `.` fail).
+pub fn shmoo_result(p: &dso_shmoo::ShmooPlot) -> Json {
+    let rows: Vec<Json> = (0..p.y_values().len())
+        .map(|yi| {
+            Json::Str(
+                (0..p.x_values().len())
+                    .map(|xi| p.outcome(xi, yi).glyph())
+                    .collect(),
+            )
+        })
+        .collect();
+    obj([
+        (
+            "x",
+            Json::Arr(p.x_values().iter().map(|&x| Json::Num(x)).collect()),
+        ),
+        (
+            "y",
+            Json::Arr(p.y_values().iter().map(|&y| Json::Num(y)).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Maps a campaign-layer error to its structured wire code.
+pub fn code_for(e: &CoreError) -> ErrorCode {
+    match e {
+        CoreError::BadRequest(_) => ErrorCode::BadRequest,
+        CoreError::Cancelled { .. } => ErrorCode::Cancelled,
+        _ => ErrorCode::Failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defect() -> Defect {
+        Defect::cell_open(BitLineSide::True)
+    }
+
+    #[test]
+    fn job_round_trip() {
+        let req = JobRequest {
+            id: "b1".into(),
+            kind: JobKind::Border {
+                defect: defect(),
+                op: OperatingPoint::nominal(),
+                settling: 3,
+                rel_tol: 0.04,
+            },
+            priority: Priority::Interactive,
+            deadline_ms: Some(1500.0),
+        };
+        let line = req.to_line();
+        match parse_frame(&line).expect("round trip") {
+            Frame::Job(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected job frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaign_round_trip_and_default_priority() {
+        let req = JobRequest {
+            id: "c1".into(),
+            kind: JobKind::Campaign {
+                defect: defect(),
+                op: OperatingPoint::nominal(),
+                r_values: vec![1e4, 1e5, 1.25e6],
+                n_ops: 2,
+            },
+            priority: Priority::Bulk,
+            deadline_ms: None,
+        };
+        match parse_frame(&req.to_line()).expect("round trip") {
+            Frame::Job(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected job frame, got {other:?}"),
+        }
+        // Priority defaults by kind when absent.
+        let line = r#"{"id":"c2","kind":"campaign","defect":{"site":"O3","side":"true"},"r_values":[1e4,1e5]}"#;
+        match parse_frame(line).expect("defaults") {
+            Frame::Job(j) => {
+                assert_eq!(j.priority, Priority::Bulk);
+                match j.kind {
+                    JobKind::Campaign { op, n_ops, .. } => {
+                        assert_eq!(op, OperatingPoint::nominal());
+                        assert_eq!(n_ops, 2);
+                    }
+                    other => panic!("wrong kind {other:?}"),
+                }
+            }
+            other => panic!("expected job frame, got {other:?}"),
+        }
+        let line = r#"{"id":"q1","kind":"planes","defect":{"site":"Sg","side":"comp"},"r_values":[1e4,1e5]}"#;
+        match parse_frame(line).expect("planes") {
+            Frame::Job(j) => assert_eq!(j.priority, Priority::Interactive),
+            other => panic!("expected job frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shmoo_and_detection_round_trip() {
+        for kind in [
+            JobKind::Shmoo {
+                defect: defect(),
+                op: OperatingPoint::nominal(),
+                r_values: vec![1e4, 1e6],
+                n_ops: 2,
+                stress: StressAxis::Vdd,
+                values: vec![2.0, 2.4, 2.8],
+            },
+            JobKind::Detection {
+                defect: defect(),
+                op: OperatingPoint::nominal(),
+                r_target: 1e6,
+                max_settling: 4,
+            },
+        ] {
+            let req = JobRequest {
+                id: "x".into(),
+                priority: kind.default_priority(),
+                deadline_ms: None,
+                kind,
+            };
+            match parse_frame(&req.to_line()).expect("round trip") {
+                Frame::Job(parsed) => assert_eq!(parsed, req),
+                other => panic!("expected job frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_frames_yield_structured_errors() {
+        let e = parse_frame("{nope").expect_err("bad json");
+        assert_eq!(e.code, ErrorCode::ParseError);
+        assert_eq!(e.id, None);
+
+        let e = parse_frame("[1,2]").expect_err("not an object");
+        assert_eq!(e.code, ErrorCode::ParseError);
+
+        let e = parse_frame(r#"{"kind":"border"}"#).expect_err("no id");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.id, None);
+
+        // With an id present, the error is addressed to it.
+        let e = parse_frame(r#"{"id":"j1","kind":"teleport"}"#).expect_err("unknown kind");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.id.as_deref(), Some("j1"));
+
+        let e = parse_frame(r#"{"id":"j2","kind":"border","defect":{"site":"O9","side":"true"}}"#)
+            .expect_err("unknown site");
+        assert!(e.detail.contains("O9"), "{}", e.detail);
+
+        let e = parse_frame(
+            r#"{"id":"j3","kind":"border","defect":{"site":"O3","side":"true"},"op":{"vdd":99.0}}"#,
+        )
+        .expect_err("op out of range");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+
+        let e = parse_frame(
+            r#"{"id":"j4","kind":"border","defect":{"site":"O3","side":"true"},"deadline_ms":-1}"#,
+        )
+        .expect_err("negative deadline");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn control_frames_parse() {
+        assert_eq!(
+            parse_frame(r#"{"control":"cancel","id":"c1"}"#).expect("cancel"),
+            Frame::Control(ControlRequest::Cancel { id: "c1".into() })
+        );
+        assert_eq!(
+            parse_frame(r#"{"control":"stats","id":"s"}"#).expect("stats"),
+            Frame::Control(ControlRequest::Stats { id: "s".into() })
+        );
+        assert_eq!(
+            parse_frame(r#"{"control":"shutdown"}"#).expect("shutdown"),
+            Frame::Control(ControlRequest::Shutdown)
+        );
+        assert!(parse_frame(r#"{"control":"dance"}"#).is_err());
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let replies = [
+            Reply::Accepted {
+                id: "a".into(),
+                class: Priority::Interactive,
+                queue_depth: 3,
+            },
+            Reply::Chunk {
+                id: "c".into(),
+                completed: 2,
+                total: 6,
+            },
+            Reply::Done {
+                id: "d".into(),
+                result: obj([("resistance", Json::Num(1.25e6))]),
+                wall_ms: 12.5,
+            },
+            Reply::Error {
+                id: Some("e".into()),
+                code: ErrorCode::DeadlineExceeded,
+                detail: "late".into(),
+            },
+            Reply::Error {
+                id: None,
+                code: ErrorCode::ParseError,
+                detail: "bad".into(),
+            },
+            Reply::Stats {
+                id: "s".into(),
+                body: obj([("accepted", Json::Num(4.0))]),
+            },
+        ];
+        for reply in replies {
+            let parsed = Reply::parse(&reply.to_line()).expect("reply round trip");
+            assert_eq!(parsed, reply);
+            assert_eq!(
+                parsed.is_terminal(),
+                matches!(reply, Reply::Done { .. } | Reply::Error { .. })
+            );
+        }
+    }
+
+    #[test]
+    fn f64_payloads_round_trip_bit_exactly() {
+        let values = [1.0 / 3.0, 2.4e-7, f64::MIN_POSITIVE, 0.1 + 0.2];
+        let reply = Reply::Done {
+            id: "bits".into(),
+            result: Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()),
+            wall_ms: 0.0,
+        };
+        match Reply::parse(&reply.to_line()).expect("parse") {
+            Reply::Done { result, .. } => {
+                let got = result.as_arr().expect("array");
+                for (a, b) in values.iter().zip(got) {
+                    assert_eq!(a.to_bits(), b.as_f64().expect("num").to_bits());
+                }
+            }
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+}

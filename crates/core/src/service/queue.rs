@@ -1,0 +1,230 @@
+//! Bounded two-class admission queue.
+//!
+//! Admission is non-blocking and bounded: [`AdmissionQueue::try_push`]
+//! rejects immediately when the queue is at capacity, which the daemon
+//! turns into an explicit `queue_full` backpressure reply instead of
+//! stalling the client's connection. Workers pop interactive jobs ahead
+//! of bulk jobs regardless of arrival order; bulk workers additionally
+//! steal interactive jobs between campaign chunks via
+//! [`AdmissionQueue::try_pop_interactive`] (chunk-granular preemption).
+
+use super::protocol::Priority;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Slots<T> {
+    interactive: VecDeque<T>,
+    bulk: VecDeque<T>,
+    /// Slots claimed by [`AdmissionQueue::try_reserve`] whose jobs are
+    /// not yet visible to poppers. Counted against capacity so a
+    /// reserved slot can never be stolen by a concurrent push.
+    reserved: usize,
+    closed: bool,
+}
+
+impl<T> Slots<T> {
+    fn occupied(&self) -> usize {
+        self.interactive.len() + self.bulk.len() + self.reserved
+    }
+}
+
+/// A bounded MPMC queue with two strict priority classes.
+pub struct AdmissionQueue<T> {
+    slots: Mutex<Slots<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue holding at most `capacity` jobs across both
+    /// classes. A zero capacity is clamped to one so admission is never
+    /// structurally impossible.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            slots: Mutex::new(Slots {
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
+                reserved: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attempts to admit a job. Returns the queue depth right after
+    /// admission, or `Err(job)` (backpressure — the caller replies
+    /// `queue_full`) when the queue is at capacity or closed. Never
+    /// blocks.
+    pub fn try_push(&self, job: T, class: Priority) -> Result<usize, T> {
+        let mut slots = self.slots.lock().expect("queue poisoned");
+        if slots.closed || slots.occupied() >= self.capacity {
+            return Err(job);
+        }
+        match class {
+            Priority::Interactive => slots.interactive.push_back(job),
+            Priority::Bulk => slots.bulk.push_back(job),
+        }
+        let depth = slots.occupied();
+        drop(slots);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Claims a slot without making any job visible to poppers. Returns
+    /// the queue depth including the reservation, or `None` under
+    /// backpressure. The caller must follow up with
+    /// [`AdmissionQueue::push_reserved`]; the split lets the daemon emit
+    /// the `accepted` reply *before* a worker can possibly pop the job,
+    /// so a fast worker can never reorder the terminal reply ahead of
+    /// `accepted` on the same sink.
+    pub fn try_reserve(&self) -> Option<usize> {
+        let mut slots = self.slots.lock().expect("queue poisoned");
+        if slots.closed || slots.occupied() >= self.capacity {
+            return None;
+        }
+        slots.reserved += 1;
+        Some(slots.occupied())
+    }
+
+    /// Fills a slot claimed by [`AdmissionQueue::try_reserve`], making
+    /// the job poppable. Returns the job back if the queue was closed
+    /// between the reservation and the push (daemon shutting down).
+    pub fn push_reserved(&self, job: T, class: Priority) -> Result<(), T> {
+        let mut slots = self.slots.lock().expect("queue poisoned");
+        debug_assert!(slots.reserved > 0, "push_reserved without try_reserve");
+        slots.reserved = slots.reserved.saturating_sub(1);
+        if slots.closed {
+            return Err(job);
+        }
+        match class {
+            Priority::Interactive => slots.interactive.push_back(job),
+            Priority::Bulk => slots.bulk.push_back(job),
+        }
+        drop(slots);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (interactive first) or the queue
+    /// is closed and drained; `None` means shut down.
+    pub fn pop_blocking(&self) -> Option<T> {
+        let mut slots = self.slots.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = slots.interactive.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = slots.bulk.pop_front() {
+                return Some(job);
+            }
+            if slots.closed {
+                return None;
+            }
+            slots = self.ready.wait(slots).expect("queue poisoned");
+        }
+    }
+
+    /// Pops a pending interactive job without blocking. Bulk workers call
+    /// this between campaign chunks to run interactive queries inline —
+    /// the preemption mechanism.
+    pub fn try_pop_interactive(&self) -> Option<T> {
+        self.slots
+            .lock()
+            .expect("queue poisoned")
+            .interactive
+            .pop_front()
+    }
+
+    /// Current depth across both classes, including reserved slots.
+    pub fn depth(&self) -> usize {
+        self.slots.lock().expect("queue poisoned").occupied()
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are
+    /// rejected, and blocked poppers wake with `None` once empty.
+    pub fn close(&self) {
+        self.slots.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_overtakes_bulk() {
+        let q = AdmissionQueue::new(8);
+        q.try_push("b1", Priority::Bulk).expect("push");
+        q.try_push("b2", Priority::Bulk).expect("push");
+        q.try_push("i1", Priority::Interactive).expect("push");
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop_blocking(), Some("i1"));
+        assert_eq!(q.pop_blocking(), Some("b1"));
+        assert_eq!(q.pop_blocking(), Some("b2"));
+    }
+
+    #[test]
+    fn capacity_rejects_without_blocking() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1, Priority::Bulk), Ok(1));
+        assert_eq!(q.try_push(2, Priority::Interactive), Ok(2));
+        assert_eq!(q.try_push(3, Priority::Interactive), Err(3));
+        // Draining one slot readmits.
+        assert_eq!(q.pop_blocking(), Some(2));
+        assert_eq!(q.try_push(3, Priority::Interactive), Ok(2));
+    }
+
+    #[test]
+    fn steal_only_touches_interactive() {
+        let q = AdmissionQueue::new(4);
+        q.try_push("bulk", Priority::Bulk).expect("push");
+        assert_eq!(q.try_pop_interactive(), None);
+        q.try_push("query", Priority::Interactive).expect("push");
+        assert_eq!(q.try_pop_interactive(), Some("query"));
+        assert_eq!(q.pop_blocking(), Some("bulk"));
+    }
+
+    #[test]
+    fn reserve_holds_capacity_until_pushed() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_reserve(), Some(1));
+        assert_eq!(q.try_reserve(), Some(2));
+        // Reserved slots count against capacity for both entry points.
+        assert_eq!(q.try_reserve(), None);
+        assert_eq!(q.try_push(9, Priority::Bulk), Err(9));
+        // Nothing is poppable until the reservation is filled.
+        assert_eq!(q.try_pop_interactive(), None);
+        q.push_reserved(1, Priority::Interactive).expect("push");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop_blocking(), Some(1));
+        q.push_reserved(2, Priority::Bulk).expect("push");
+        assert_eq!(q.pop_blocking(), Some(2));
+
+        // Closing between reserve and push hands the job back.
+        let q2 = AdmissionQueue::new(1);
+        assert_eq!(q2.try_reserve(), Some(1));
+        q2.close();
+        assert_eq!(q2.push_reserved(5, Priority::Bulk), Err(5));
+    }
+
+    #[test]
+    fn close_drains_then_wakes_poppers() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(4));
+        q.try_push(7, Priority::Bulk).expect("push");
+        q.close();
+        assert_eq!(q.try_push(8, Priority::Bulk), Err(8));
+        assert_eq!(q.pop_blocking(), Some(7));
+        assert_eq!(q.pop_blocking(), None);
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = std::sync::Arc::new(AdmissionQueue::<i32>::new(1));
+        let waiter = {
+            let q2 = q2.clone();
+            std::thread::spawn(move || q2.pop_blocking())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q2.close();
+        assert_eq!(waiter.join().expect("join"), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! Connection plumbing: JSONL framing over any `BufRead`/`Write` pair
+//! (stdin/stdout) and, on Unix, a Unix-domain socket acceptor.
+//!
+//! One connection is one request stream multiplexing any number of jobs
+//! by id. The connection stays alive through malformed frames — they get
+//! structured `error` replies — and a client that vanishes (EOF or a
+//! failed write) has all of its in-flight jobs cancelled cooperatively,
+//! so a bulk campaign stops at the next chunk boundary while its
+//! completed chunks stay in the store.
+
+use super::daemon::{DaemonHandle, JobControl};
+use super::protocol::{parse_frame, ControlRequest, ErrorCode, Frame, Reply};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Reads one newline-terminated frame, never buffering more than
+/// `max + 1` bytes. Returns `None` at EOF, otherwise the line (without
+/// the newline) and whether it blew the size limit (the overlong tail is
+/// discarded so the stream stays framed).
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<Option<(String, bool)>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. A final unterminated line still counts as a frame.
+            return Ok(if line.is_empty() && !oversized {
+                None
+            } else {
+                Some((String::from_utf8_lossy(&line).into_owned(), oversized))
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(buf.len());
+        if !oversized {
+            if line.len() + upto > max {
+                oversized = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&buf[..upto]);
+            }
+        }
+        let consumed = newline.map_or(upto, |n| n + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            return Ok(Some((
+                String::from_utf8_lossy(&line).into_owned(),
+                oversized,
+            )));
+        }
+    }
+}
+
+/// Serves one client connection until EOF or a `shutdown` control frame.
+///
+/// Replies are written by a dedicated thread so a slow simulation never
+/// blocks frame intake (cancel frames must land while a campaign runs).
+///
+/// # Errors
+///
+/// Only I/O failures on the *read* side surface; a broken write side
+/// cancels the connection's jobs and ends the loop cleanly.
+pub fn serve_connection(
+    handle: &DaemonHandle,
+    mut reader: impl BufRead,
+    writer: impl Write + Send,
+) -> std::io::Result<()> {
+    let max_frame = handle.config().max_frame_bytes;
+    let active: Arc<Mutex<HashMap<String, Arc<JobControl>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let (tx, rx) = mpsc::channel::<Reply>();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let writer_active = Arc::clone(&active);
+        scope.spawn(move || {
+            let mut writer = writer;
+            let mut broken = false;
+            // Drain until every sender (the read loop and all in-flight
+            // job sinks) is gone, so job replies never block on a dead
+            // channel.
+            for reply in rx {
+                if let (true, Some(id)) = (reply.is_terminal(), reply.id()) {
+                    writer_active.lock().expect("active poisoned").remove(id);
+                }
+                if broken {
+                    continue;
+                }
+                if writeln!(writer, "{}", reply.to_line())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    // Client gone: stop writing, cancel everything still
+                    // in flight, keep draining.
+                    broken = true;
+                    for control in writer_active.lock().expect("active poisoned").values() {
+                        control.cancel();
+                    }
+                }
+            }
+        });
+
+        // A `shutdown` frame is a graceful close: in-flight jobs run to
+        // completion and their replies drain. EOF without it means the
+        // client vanished, which cancels everything still in flight.
+        let mut graceful = false;
+        let result = loop {
+            let (line, oversized) = match read_bounded_line(&mut reader, max_frame) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            };
+            if oversized {
+                dso_obs::counter!("serve.protocol_errors").add(1);
+                let _ = tx.send(Reply::Error {
+                    id: None,
+                    code: ErrorCode::OversizedFrame,
+                    detail: format!("frame exceeds {max_frame} bytes"),
+                });
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_frame(&line) {
+                Err(e) => {
+                    dso_obs::counter!("serve.protocol_errors").add(1);
+                    let _ = tx.send(Reply::Error {
+                        id: e.id,
+                        code: e.code,
+                        detail: e.detail,
+                    });
+                }
+                Ok(Frame::Control(ControlRequest::Cancel { id })) => {
+                    // Idempotent: cancelling a finished or unknown job is
+                    // a no-op.
+                    if let Some(control) = active.lock().expect("active poisoned").get(&id) {
+                        control.cancel();
+                    }
+                }
+                Ok(Frame::Control(ControlRequest::Stats { id })) => {
+                    let body = handle.stats().to_json(handle.queue_depth());
+                    let _ = tx.send(Reply::Stats { id, body });
+                }
+                Ok(Frame::Control(ControlRequest::Shutdown)) => {
+                    graceful = true;
+                    break Ok(());
+                }
+                Ok(Frame::Job(request)) => {
+                    let id = request.id.clone();
+                    let control = handle.make_control(&request);
+                    {
+                        let mut active = active.lock().expect("active poisoned");
+                        if active.contains_key(&id) {
+                            dso_obs::counter!("serve.protocol_errors").add(1);
+                            let _ = tx.send(Reply::Error {
+                                id: Some(id),
+                                code: ErrorCode::BadRequest,
+                                detail: "duplicate id: a job with this id is in flight".into(),
+                            });
+                            continue;
+                        }
+                        // Index the control before submitting so cancel
+                        // frames and the terminal reply's cleanup always
+                        // find it.
+                        active.insert(id, Arc::clone(&control));
+                    }
+                    let sink_tx = tx.clone();
+                    let sink: super::daemon::ReplySink =
+                        Arc::new(move |reply: Reply| sink_tx.send(reply).is_ok());
+                    // On queue_full the rejection already went out as a
+                    // terminal reply and the writer thread clears the
+                    // slot.
+                    handle.submit(request, control, sink);
+                }
+            }
+        };
+
+        // Dead client (EOF/read error without shutdown): cancel whatever
+        // is still in flight. Either way, drop our sender so the writer
+        // thread exits once the in-flight jobs release theirs.
+        if !graceful {
+            for control in active.lock().expect("active poisoned").values() {
+                control.cancel();
+            }
+        }
+        drop(tx);
+        result
+    })
+}
+
+/// Binds `path` and serves each accepted connection on its own thread.
+/// Runs until the listener fails (e.g. the socket file is removed).
+///
+/// # Errors
+///
+/// Propagates bind failures; per-connection errors only end that
+/// connection.
+#[cfg(unix)]
+pub fn serve_unix(handle: &DaemonHandle, path: &std::path::Path) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    std::thread::scope(|scope| loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let reader = std::io::BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let _ = serve_connection(&handle, reader, stream);
+                });
+            }
+            Err(e) => break Err(e),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_line_reader_frames_and_limits() {
+        let mut input = Cursor::new(b"short\ntoolongline\nnext\nlast".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some(("short".into(), false))
+        );
+        // Overlong line reports oversized and is fully discarded.
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some((String::new(), true))
+        );
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some(("next".into(), false))
+        );
+        // Unterminated trailing line still arrives, then EOF.
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some(("last".into(), false))
+        );
+        assert_eq!(read_bounded_line(&mut input, 8).expect("read"), None);
+    }
+
+    #[test]
+    fn bounded_line_reader_exact_boundary() {
+        let mut input = Cursor::new(b"12345678\n123456789\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some(("12345678".into(), false))
+        );
+        assert_eq!(
+            read_bounded_line(&mut input, 8).expect("read"),
+            Some((String::new(), true))
+        );
+    }
+}

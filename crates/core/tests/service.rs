@@ -1,0 +1,310 @@
+//! Acceptance tests of the campaign service daemon: protocol robustness
+//! (malformed and oversized frames get structured errors without killing
+//! the connection), deadline and backpressure semantics, and
+//! killed-client cleanup (in-flight campaigns cancel cooperatively while
+//! their persisted chunks stay replayable).
+
+use dso_core::analysis::Analyzer;
+use dso_core::eval::EvalService;
+use dso_core::exec::CampaignConfig;
+use dso_core::service::{
+    serve_connection, Daemon, ErrorCode, JobKind, JobRequest, Priority, Reply, ReplySink,
+    ServeConfig,
+};
+use dso_core::store::ResultStore;
+use dso_core::Session;
+use dso_defects::{BitLineSide, Defect};
+use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_num::interp::logspace;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Coarse time step so debug-mode simulations stay affordable.
+fn fast_design() -> ColumnDesign {
+    ColumnDesign {
+        dt_fraction: 1.0 / 250.0,
+        ..ColumnDesign::default()
+    }
+}
+
+fn fast_session() -> Session {
+    Session::from_parts(
+        EvalService::new(Analyzer::new(fast_design())),
+        CampaignConfig::with_threads(1).with_chunk(1),
+    )
+}
+
+/// A deadline-0 campaign: aborts at the pre-run check, so it exercises
+/// queue/deadline plumbing without simulating anything.
+fn instant_campaign(id: &str) -> JobRequest {
+    JobRequest {
+        id: id.into(),
+        kind: JobKind::Campaign {
+            defect: Defect::cell_open(BitLineSide::True),
+            op: OperatingPoint::nominal(),
+            r_values: vec![1e4, 1e5, 1e6],
+            n_ops: 1,
+        },
+        priority: Priority::Bulk,
+        deadline_ms: Some(0.0),
+    }
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_errors_without_killing_the_daemon() {
+    let daemon = Daemon::start(
+        fast_session(),
+        ServeConfig {
+            workers: 1,
+            max_frame_bytes: 128,
+            ..ServeConfig::default()
+        },
+    );
+    // A garbage line, an oversized line, a structurally bad job, a job
+    // with an unknown kind — then proof of life: a stats frame must still
+    // be answered on the same connection.
+    let script = format!(
+        "this is not json\n{}\n{{\"id\":7,\"kind\":\"border\"}}\n\
+         {{\"id\":\"j\",\"kind\":\"warp\",\"defect\":{{\"site\":\"O3\",\"side\":\"true\"}}}}\n\
+         {{\"control\":\"stats\",\"id\":\"s1\"}}\n{{\"control\":\"shutdown\"}}\n",
+        "x".repeat(200)
+    );
+    let mut out: Vec<u8> = Vec::new();
+    serve_connection(&daemon.handle(), Cursor::new(script.into_bytes()), &mut out)
+        .expect("read side stays healthy");
+    let stats = daemon.shutdown();
+
+    let replies: Vec<Reply> = String::from_utf8(out)
+        .expect("utf8 replies")
+        .lines()
+        .map(|l| Reply::parse(l).expect("well-formed reply"))
+        .collect();
+    assert_eq!(replies.len(), 5, "{replies:?}");
+    let code_of = |r: &Reply| match r {
+        Reply::Error { code, .. } => *code,
+        other => panic!("expected error reply, got {other:?}"),
+    };
+    assert_eq!(code_of(&replies[0]), ErrorCode::ParseError);
+    assert_eq!(code_of(&replies[1]), ErrorCode::OversizedFrame);
+    assert_eq!(code_of(&replies[2]), ErrorCode::BadRequest);
+    assert_eq!(code_of(&replies[3]), ErrorCode::BadRequest);
+    assert!(
+        matches!(&replies[4], Reply::Stats { id, .. } if id == "s1"),
+        "daemon must still answer after bad frames: {:?}",
+        replies[4]
+    );
+    // Nothing ever reached the admission queue.
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn expired_deadline_reports_deadline_exceeded() {
+    let daemon = Daemon::start(
+        fast_session(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = daemon.handle();
+    let replies: Arc<Mutex<Vec<Reply>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink: ReplySink = {
+        let replies = Arc::clone(&replies);
+        Arc::new(move |reply| {
+            replies.lock().unwrap().push(reply);
+            true
+        })
+    };
+    let request = instant_campaign("late");
+    let control = handle.make_control(&request);
+    assert!(handle.submit(request, control, sink));
+    let stats = daemon.shutdown();
+
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.completed, 0);
+    let replies = replies.lock().unwrap();
+    assert_eq!(replies.len(), 2, "{replies:?}");
+    assert!(matches!(&replies[0], Reply::Accepted { id, .. } if id == "late"));
+    assert!(
+        matches!(
+            &replies[1],
+            Reply::Error {
+                id: Some(id),
+                code: ErrorCode::DeadlineExceeded,
+                ..
+            } if id == "late"
+        ),
+        "{:?}",
+        replies[1]
+    );
+}
+
+#[test]
+fn full_admission_queue_replies_queue_full() {
+    let daemon = Daemon::start(
+        fast_session(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = daemon.handle();
+
+    // Job A's sink parks the only worker on its terminal reply until we
+    // release it, so admissions below stay deterministic: B fills the
+    // one-slot queue, C must bounce.
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = Mutex::new(release_rx);
+    let blocking_sink: ReplySink = Arc::new(move |reply| {
+        if reply.is_terminal() {
+            let _ = entered_tx.send(());
+            let _ = release_rx.lock().unwrap().recv();
+        }
+        true
+    });
+    let a = instant_campaign("a");
+    let control = handle.make_control(&a);
+    assert!(handle.submit(a, control, blocking_sink));
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("worker picked up job a");
+
+    let replies: Arc<Mutex<Vec<Reply>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink: ReplySink = {
+        let replies = Arc::clone(&replies);
+        Arc::new(move |reply| {
+            replies.lock().unwrap().push(reply);
+            true
+        })
+    };
+    let b = instant_campaign("b");
+    let control = handle.make_control(&b);
+    assert!(handle.submit(b, control, Arc::clone(&sink)), "b fits");
+    let c = instant_campaign("c");
+    let control = handle.make_control(&c);
+    assert!(!handle.submit(c, control, Arc::clone(&sink)), "c bounces");
+
+    release_tx.send(()).expect("release worker");
+    let stats = daemon.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.rejected, 1);
+
+    let replies = replies.lock().unwrap();
+    let rejection = replies
+        .iter()
+        .find(|r| matches!(r, Reply::Error { id: Some(id), .. } if id == "c"))
+        .expect("c got a terminal reply");
+    assert!(
+        matches!(
+            rejection,
+            Reply::Error {
+                code: ErrorCode::QueueFull,
+                ..
+            }
+        ),
+        "{rejection:?}"
+    );
+    // b was admitted and ran (its zero deadline aborted it at pickup).
+    assert_eq!(stats.deadline_exceeded, 2);
+}
+
+#[cfg(unix)]
+#[test]
+fn killed_client_cancels_campaign_but_persisted_chunks_replay() {
+    let analyzer = Analyzer::new(fast_design());
+    let context = EvalService::context_for(&analyzer);
+    let store_path = std::env::temp_dir().join(format!(
+        "dso-service-test-{}-{:?}.bin",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&store_path);
+    let store = ResultStore::open(&store_path, context).expect("open store");
+    let session = Session::from_parts(
+        EvalService::with_store(analyzer.clone(), store).expect("context matches"),
+        CampaignConfig::with_threads(1).with_chunk(1),
+    );
+    let daemon = Daemon::start(
+        session,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = daemon.handle();
+
+    let defect = Defect::cell_open(BitLineSide::True);
+    let op = OperatingPoint::nominal();
+    let r_values = logspace(1e4, 1e7, 8).expect("valid sweep");
+
+    let (client, server) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let conn = std::thread::spawn({
+        let handle = handle.clone();
+        move || {
+            let reader = BufReader::new(server.try_clone().expect("clone stream"));
+            let _ = serve_connection(&handle, reader, server);
+        }
+    });
+
+    // Submit a campaign, wait for the first progress frame (>= 1 chunk
+    // simulated and persisted), then vanish without a shutdown frame.
+    let frame = format!(
+        "{{\"id\":\"doomed\",\"kind\":\"campaign\",\
+         \"defect\":{{\"site\":\"O3\",\"side\":\"true\"}},\
+         \"r_values\":{:?},\"n_ops\":1}}\n",
+        r_values.as_slice()
+    );
+    let mut writer = client.try_clone().expect("clone client");
+    writer.write_all(frame.as_bytes()).expect("send frame");
+    writer.flush().expect("flush frame");
+    let mut reader = BufReader::new(client);
+    let mut saw_chunk = false;
+    let mut line = String::new();
+    while reader.read_line(&mut line).expect("read reply") > 0 {
+        let reply = Reply::parse(line.trim_end()).expect("well-formed reply");
+        line.clear();
+        if matches!(reply, Reply::Chunk { .. }) {
+            saw_chunk = true;
+            break;
+        }
+        assert!(
+            !reply.is_terminal(),
+            "campaign ended before the client died: {reply:?}"
+        );
+    }
+    assert!(saw_chunk, "no progress frame before EOF");
+    drop(reader);
+    drop(writer);
+
+    conn.join().expect("connection thread");
+    let stats = daemon.shutdown();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(
+        stats.cancelled, 1,
+        "dead client's campaign must cancel, not complete: {stats:?}"
+    );
+
+    // The chunks persisted before the cancellation replay from disk on a
+    // fresh service against the reopened store.
+    let store = ResultStore::open(&store_path, context).expect("reopen store");
+    let resume = Session::from_parts(
+        EvalService::with_store(analyzer, store).expect("context matches"),
+        CampaignConfig::with_threads(1).with_chunk(1),
+    );
+    let replayed = resume
+        .planes(&defect, &op, &r_values, 1)
+        .expect("resumed campaign runs");
+    assert!(replayed.report.accounts_for(r_values.len()));
+    assert!(
+        replayed.perf.disk_hits >= 1,
+        "no persisted chunk replayed from disk: {:?}",
+        replayed.perf
+    );
+    let _ = std::fs::remove_file(&store_path);
+}

@@ -387,6 +387,51 @@ pub enum Value {
     },
 }
 
+impl Value {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) of a histogram by
+    /// linear interpolation inside the bucket holding the target rank —
+    /// the classic Prometheus-style estimate, good enough for latency
+    /// gates without retaining raw samples.
+    ///
+    /// The underflow bucket interpolates from 0 to the first edge; an
+    /// overflow hit reports the last edge (the estimate saturates —
+    /// there is no upper bound to interpolate toward). Returns `None`
+    /// for non-histograms and empty histograms.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let Value::Histogram {
+            edges,
+            counts,
+            total,
+        } = self
+        else {
+            return None;
+        };
+        if *total == 0 || edges.is_empty() {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * (*total as f64);
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += count;
+            if (seen as f64) >= target {
+                if i >= edges.len() {
+                    // Overflow bucket: saturate at the last edge.
+                    return Some(edges[edges.len() - 1]);
+                }
+                let lo = if i == 0 { 0.0 } else { edges[i - 1] };
+                let hi = edges[i];
+                let frac = ((target - before) / count as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        Some(edges[edges.len() - 1])
+    }
+}
+
 /// A point-in-time export of every registered metric, sorted by name.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -749,6 +794,50 @@ mod tests {
         assert_eq!(det.entries.len(), 3);
         assert!(det.get("b.gauge").is_none());
         assert_eq!(det.counter("a.counter"), 42);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        // 10 observations uniformly credited to the (10, 100] bucket.
+        let v = Value::Histogram {
+            edges: vec![10.0, 100.0, 1000.0],
+            counts: vec![0, 10, 0, 0],
+            total: 10,
+        };
+        assert_eq!(v.quantile(0.0), Some(10.0));
+        assert_eq!(v.quantile(0.5), Some(55.0));
+        assert_eq!(v.quantile(1.0), Some(100.0));
+
+        // Mass split across buckets: rank walks the cumulative counts.
+        let v = Value::Histogram {
+            edges: vec![1.0, 2.0, 4.0],
+            counts: vec![2, 2, 4, 0],
+            total: 8,
+        };
+        // target 4 → second bucket's upper edge.
+        assert_eq!(v.quantile(0.5), Some(2.0));
+        // target 2 → exactly the underflow bucket's edge.
+        assert_eq!(v.quantile(0.25), Some(1.0));
+        // target 7.2 → 3.2/4 into the (2, 4] bucket.
+        let q = v.quantile(0.9).expect("quantile");
+        assert!((q - 3.6).abs() < 1e-12, "{q}");
+
+        // Overflow hits saturate at the last edge.
+        let v = Value::Histogram {
+            edges: vec![1.0, 2.0],
+            counts: vec![0, 0, 5],
+            total: 5,
+        };
+        assert_eq!(v.quantile(0.99), Some(2.0));
+
+        // Non-histograms and empty histograms have no quantile.
+        assert_eq!(Value::Counter(3).quantile(0.5), None);
+        let empty = Value::Histogram {
+            edges: vec![1.0],
+            counts: vec![0, 0],
+            total: 0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

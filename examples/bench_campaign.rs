@@ -7,9 +7,12 @@
 //! scalar solver on points per second, with identical bits), and writes
 //! `BENCH_campaign.json` (schema per record:
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
-//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits}`). A disk-resume scenario additionally
-//! replays the campaign from a persistent [`ResultStore`] on a fresh
-//! service and gates on bit-identity and a full disk hit rate.
+//! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits,
+//! serve_p99_ms}`). A disk-resume scenario additionally replays the
+//! campaign from a persistent [`ResultStore`] on a fresh service and
+//! gates on bit-identity and a full disk hit rate, and a service
+//! scenario runs interactive queries against an embedded daemon busy
+//! with a bulk campaign, feeding the interactive p99 into the baseline.
 //!
 //! Run in release mode — debug-mode timings are meaningless:
 //!
@@ -36,9 +39,13 @@ use dram_stress_opt::analysis::{Analyzer, PlaneCampaign};
 use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
 use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::exec::CampaignConfig;
+use dram_stress_opt::service::{
+    percentile, Daemon, JobKind, JobRequest, Priority, ReplySink, ServeConfig,
+};
 use dram_stress_opt::store::ResultStore;
 use dram_stress_opt::Session;
 use dso_defects::{BitLineSide, Defect};
+use dso_dram::column::DefectSite;
 use dso_dram::design::{ColumnDesign, OperatingPoint};
 use dso_num::interp::logspace;
 use dso_spice::SolverTuning;
@@ -88,6 +95,7 @@ fn main() {
         lu_reuse_rate: cold_perf.lu_reuse_rate(),
         bypass_hit_rate: cold_perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
     records.push(BenchRecord {
@@ -101,6 +109,7 @@ fn main() {
         lu_reuse_rate: warm_perf.lu_reuse_rate(),
         bypass_hit_rate: warm_perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
     println!(
@@ -136,6 +145,7 @@ fn main() {
         lu_reuse_rate: serial.perf.lu_reuse_rate(),
         bypass_hit_rate: serial.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let mut widest_speedup_per_core = f64::INFINITY;
     for threads in [2, 8] {
@@ -152,6 +162,7 @@ fn main() {
             lu_reuse_rate: parallel.perf.lu_reuse_rate(),
             bypass_hit_rate: parallel.perf.bypass_hit_rate(),
             dedup_waits: 0,
+            serve_p99_ms: 0.0,
         });
         let speedup = serial_ms / ms;
         widest_speedup_per_core = speedup / effective_cores(threads) as f64;
@@ -187,6 +198,7 @@ fn main() {
         lu_reuse_rate: scalar_batchref.perf.lu_reuse_rate(),
         bypass_hit_rate: scalar_batchref.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let (batch_ms, batched) = median_of(REPEATS, || campaign(&batch_cfg));
     records.push(BenchRecord {
@@ -200,6 +212,7 @@ fn main() {
         lu_reuse_rate: batched.perf.lu_reuse_rate(),
         bypass_hit_rate: batched.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let pps = |points: usize, ms: f64| points as f64 / (ms / 1e3).max(1e-9);
     let scalar_pps = pps(scalar_batchref.perf.points, scalar_batchref_ms);
@@ -251,6 +264,7 @@ fn main() {
         lu_reuse_rate: legacy.perf.lu_reuse_rate(),
         bypass_hit_rate: legacy.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let (mn_ms, mn) = median_of(REPEATS, || {
         tuned_campaign(SolverTuning::default(), &serial_cold)
@@ -266,6 +280,7 @@ fn main() {
         lu_reuse_rate: mn.perf.lu_reuse_rate(),
         bypass_hit_rate: mn.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let legacy_pps = pps(legacy.perf.points, legacy_ms);
     let mn_pps = pps(mn.perf.points, mn_ms);
@@ -329,6 +344,7 @@ fn main() {
         lu_reuse_rate: obs_run.perf.lu_reuse_rate(),
         bypass_hit_rate: obs_run.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     println!(
         "metrics enabled: {:.0} ms vs {:.0} ms disabled ({:+.1}%)",
@@ -359,6 +375,7 @@ fn main() {
         lu_reuse_rate: shared_cold.perf.lu_reuse_rate(),
         bypass_hit_rate: shared_cold.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     let (cached_ms, cached) = median_of(REPEATS, run_shared);
     let cache_stats = shared_session.service().cache_stats();
@@ -373,6 +390,7 @@ fn main() {
         lu_reuse_rate: cached.perf.lu_reuse_rate(),
         bypass_hit_rate: cached.perf.bypass_hit_rate(),
         dedup_waits: cache_stats.dedup_waits as usize,
+        serve_p99_ms: 0.0,
     });
     let cache_speedup = shared_cold_ms / cached_ms.max(1e-6);
     println!(
@@ -447,6 +465,7 @@ fn main() {
         lu_reuse_rate: resumed.perf.lu_reuse_rate(),
         bypass_hit_rate: resumed.perf.bypass_hit_rate(),
         dedup_waits: 0,
+        serve_p99_ms: 0.0,
     });
     println!(
         "disk resume: persist {:.0} ms -> replay {:.2} ms ({} records on disk, \
@@ -481,12 +500,145 @@ fn main() {
     drop(resume_session);
     let _ = std::fs::remove_file(&store_path);
 
+    // --- service daemon: interactive tail latency under a bulk load ------
+    // A single-worker daemon picks up a bulk plane campaign, then serves
+    // interactive queries (on *different* defects, so nothing is answered
+    // from a shared cache) inline at its chunk boundaries — the same
+    // chunk-granular preemption the serve drill replays. The interactive
+    // p99 across admission-to-done is the one lower-is-better figure the
+    // baseline gate tracks.
+    let serve_session = Session::from_parts(
+        EvalService::new(analyzer.clone()),
+        CampaignConfig::with_threads(1).with_chunk(2),
+    );
+    let daemon = Daemon::start(
+        serve_session,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = daemon.handle();
+    let sink: ReplySink = std::sync::Arc::new(|_reply| true);
+    let submit = |id: &str, kind: JobKind, priority: Priority| {
+        let request = JobRequest {
+            id: id.into(),
+            kind,
+            priority,
+            deadline_ms: None,
+        };
+        let control = handle.make_control(&request);
+        handle.submit(request, control, std::sync::Arc::clone(&sink));
+    };
+    let serve_start = std::time::Instant::now();
+    submit(
+        "serve-bulk",
+        JobKind::Campaign {
+            defect,
+            op,
+            r_values: logspace(1e4, 1e8, 12).expect("valid sweep"),
+            n_ops: N_OPS,
+        },
+        Priority::Bulk,
+    );
+    // Wait for the worker to pick the campaign up so every query below
+    // measures the preempted path (admission -> chunk boundary -> inline
+    // run), not an idle-daemon fast path that would skew the baseline.
+    while handle.queue_depth() > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let geo_mid = |d: &Defect| {
+        let (lo, hi) = d.sweep_range();
+        (lo * hi).sqrt()
+    };
+    let sg = Defect::new(DefectSite::Sg, BitLineSide::True);
+    let sv = Defect::new(DefectSite::Sv, BitLineSide::True);
+    let o1 = Defect::new(DefectSite::O1, BitLineSide::True);
+    let o3c = Defect::cell_open(BitLineSide::Comp);
+    submit(
+        "serve-border-sg",
+        JobKind::Border {
+            defect: sg,
+            op,
+            settling: 2,
+            rel_tol: 0.05,
+        },
+        Priority::Interactive,
+    );
+    submit(
+        "serve-border-o3c",
+        JobKind::Border {
+            defect: o3c,
+            op,
+            settling: 2,
+            rel_tol: 0.05,
+        },
+        Priority::Interactive,
+    );
+    submit(
+        "serve-detect-sv",
+        JobKind::Detection {
+            defect: sv,
+            op,
+            r_target: geo_mid(&sv),
+            max_settling: 8,
+        },
+        Priority::Interactive,
+    );
+    submit(
+        "serve-detect-o1",
+        JobKind::Detection {
+            defect: o1,
+            op,
+            r_target: geo_mid(&o1),
+            max_settling: 8,
+        },
+        Priority::Interactive,
+    );
+    let serve_stats = daemon.shutdown();
+    let serve_ms = serve_start.elapsed().as_secs_f64() * 1e3;
+    let serve_p99_ms = percentile(&serve_stats.latency_interactive_ms, 0.99);
+    records.push(BenchRecord {
+        name: "serve/mixed-interactive".into(),
+        threads: 1,
+        wall_ms: serve_ms,
+        points: serve_stats.completed as usize,
+        newton_iters: 0,
+        cache_hit_rate: 0.0,
+        disk_hit_rate: 0.0,
+        lu_reuse_rate: 0.0,
+        bypass_hit_rate: 0.0,
+        dedup_waits: 0,
+        serve_p99_ms,
+    });
+    println!(
+        "service daemon: {} jobs in {:.0} ms, {} preemptions, interactive p50 {:.0} ms / \
+         p99 {:.0} ms",
+        serve_stats.completed,
+        serve_ms,
+        serve_stats.preemptions,
+        percentile(&serve_stats.latency_interactive_ms, 0.50),
+        serve_p99_ms
+    );
+    if serve_stats.completed != 5 || serve_stats.failed != 0 {
+        eprintln!(
+            "FAIL: service scenario completed {} of 5 jobs ({} failed)",
+            serve_stats.completed, serve_stats.failed
+        );
+        failed = true;
+    }
+    if serve_stats.preemptions == 0 {
+        eprintln!("FAIL: no query was served by chunk-granular preemption");
+        failed = true;
+    }
+
     // --- perf-regression gate vs the committed baseline ------------------
     let current = BenchBaseline {
         warm_iter_saving: saved,
         speedup_per_core: widest_speedup_per_core,
         batch_speedup,
         modified_newton_speedup,
+        serve_p99_ms,
     };
     if std::env::args().any(|a| a == "--write-baseline") {
         std::fs::write(BASELINE_PATH, current.to_json()).expect("write baseline");

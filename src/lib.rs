@@ -46,6 +46,7 @@ pub use dso_core::analysis;
 pub use dso_core::bench;
 pub use dso_core::eval;
 pub use dso_core::exec;
+pub use dso_core::service;
 pub use dso_core::session;
 pub use dso_core::session::{Session, SessionBuilder};
 pub use dso_core::store;
@@ -54,5 +55,6 @@ pub use dso_defects as defects;
 pub use dso_dram as dram;
 pub use dso_march as march;
 pub use dso_num as num;
+pub use dso_obs as obs;
 pub use dso_shmoo as shmoo;
 pub use dso_spice as spice;
