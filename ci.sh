@@ -56,8 +56,10 @@ if [ "$stage" = "test" ] || [ "$stage" = "all" ]; then
     # batched lanes=8 campaign is slower than (or diverges from) the cold
     # scalar solver, the modified-Newton fast path is less than 1.5x the
     # legacy full-Newton throughput (or reuses fewer than half its LU
-    # factorizations, or shifts the extracted border), or a derived figure
-    # regresses >25% vs the committed BENCH_baseline.json (including the
+    # factorizations, or shifts the extracted border), the three-design
+    # sweep shares no healthy-reference grid across its equal-plan designs
+    # (the cross_design_dedup_rate figure), or a derived figure regresses
+    # >25% vs the committed BENCH_baseline.json (including the
     # lower-is-better serve_p99_ms latency figure).
     # Refresh the baseline after an intentional perf change with:
     #   cargo run --release --example bench_campaign -- --write-baseline

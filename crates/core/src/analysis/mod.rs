@@ -14,6 +14,7 @@
 //! * [`shmoo`] — service-backed shmoo adapters that reuse campaign points.
 
 pub mod border;
+pub mod design_space;
 pub mod detection;
 pub mod dictionary;
 pub mod planes;
@@ -21,6 +22,10 @@ pub mod shmoo;
 pub mod sweep;
 
 pub use border::{find_border, refine_border_from_planes, BorderResistance};
+pub use design_space::{
+    CoverageCell, DesignParam, DesignReport, DesignSpace, DesignSweepRequest, DesignSweepResult,
+    TrendRow,
+};
 pub use detection::{derive_detection, DetectionCondition, PhysOp};
 pub use dictionary::{build_dictionary, DefectiveCell, FaultDictionary};
 pub use planes::{result_planes, PlaneCampaign, ReadPlane, ResultPlanes, WritePlane};

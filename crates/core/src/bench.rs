@@ -5,10 +5,11 @@
 //! plus a JSON writer for `BENCH_campaign.json`. The schema per record is
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
 //! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits,
-//! serve_p99_ms}` — enough for CI to trend campaign throughput, the
-//! evaluation-cache and persistent-store payoff, the modified-Newton fast
-//! path, serving tail latency, and for the bench example to assert
-//! serial/parallel equivalence.
+//! serve_p99_ms, cross_design_dedup_rate}` — enough for CI to trend
+//! campaign throughput, the evaluation-cache and persistent-store payoff,
+//! the modified-Newton fast path, serving tail latency, the multi-design
+//! dedup payoff, and for the bench example to assert serial/parallel
+//! equivalence.
 
 use std::time::Instant;
 
@@ -43,6 +44,10 @@ pub struct BenchRecord {
     /// workload, in milliseconds (`0.0` for scenarios that never touch
     /// the daemon).
     pub serve_p99_ms: f64,
+    /// Fraction of the scenario's campaigns whose healthy-reference grid
+    /// was answered from another design's results (`0.0` for
+    /// single-design scenarios).
+    pub cross_design_dedup_rate: f64,
 }
 
 /// Runs `f` `repeats` times (at least once) and returns the median
@@ -94,7 +99,7 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             "  {{\"name\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"points\": {}, \
              \"newton_iters\": {}, \"cache_hit_rate\": {:.3}, \"disk_hit_rate\": {:.3}, \
              \"lu_reuse_rate\": {:.3}, \"bypass_hit_rate\": {:.3}, \"dedup_waits\": {}, \
-             \"serve_p99_ms\": {:.3}}}",
+             \"serve_p99_ms\": {:.3}, \"cross_design_dedup_rate\": {:.3}}}",
             escape_json(&r.name),
             r.threads,
             r.wall_ms,
@@ -105,7 +110,8 @@ pub fn to_json(records: &[BenchRecord]) -> String {
             r.lu_reuse_rate,
             r.bypass_hit_rate,
             r.dedup_waits,
-            r.serve_p99_ms
+            r.serve_p99_ms,
+            r.cross_design_dedup_rate
         ));
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -135,6 +141,10 @@ pub fn to_json(records: &[BenchRecord]) -> String {
 ///   modified-Newton fast path (LU reuse + device bypass, default
 ///   tuning) over the legacy full-Newton path at one thread. The CI
 ///   floor is 1.5x regardless of the committed baseline.
+/// * `cross_design_dedup_rate` — fraction of the multi-design scenario's
+///   campaigns whose healthy-reference grid was answered from another
+///   design's results. Fully deterministic (plan-fingerprint collisions,
+///   not time).
 /// * `serve_p99_ms` — interactive-class p99 latency of the replayed
 ///   mixed service workload (daemon queries preempting a bulk campaign).
 ///   The one lower-is-better figure: the gate trips when the *current*
@@ -157,6 +167,9 @@ pub struct BenchBaseline {
     /// Cold modified-Newton (default tuning) over cold legacy-tuning
     /// points-per-second at one thread (wall-clock derived).
     pub modified_newton_speedup: f64,
+    /// Fraction of multi-design campaigns sharing a healthy-reference
+    /// grid (deterministic).
+    pub cross_design_dedup_rate: f64,
     /// Interactive-class p99 of the replayed service workload, in
     /// milliseconds (wall-clock derived; lower is better).
     pub serve_p99_ms: f64,
@@ -183,6 +196,10 @@ impl BenchBaseline {
                 "modified_newton_speedup".to_string(),
                 Json::Num(self.modified_newton_speedup),
             ),
+            (
+                "cross_design_dedup_rate".to_string(),
+                Json::Num(self.cross_design_dedup_rate),
+            ),
             ("serve_p99_ms".to_string(), Json::Num(self.serve_p99_ms)),
         ]))
         .to_string();
@@ -208,6 +225,7 @@ impl BenchBaseline {
             speedup_per_core: field("speedup_per_core")?,
             batch_speedup: field("batch_speedup")?,
             modified_newton_speedup: field("modified_newton_speedup")?,
+            cross_design_dedup_rate: field("cross_design_dedup_rate")?,
             serve_p99_ms: field("serve_p99_ms")?,
         })
     }
@@ -247,6 +265,11 @@ impl BenchBaseline {
             "modified-Newton speedup over legacy tuning",
             self.modified_newton_speedup,
             current.modified_newton_speedup,
+        );
+        gate(
+            "cross-design healthy-reference dedup rate",
+            self.cross_design_dedup_rate,
+            current.cross_design_dedup_rate,
         );
         // Latency gates invert: the figure is lower-is-better, so the
         // regression is the current value *exceeding* the baseline.
@@ -314,6 +337,7 @@ mod tests {
                 bypass_hit_rate: 0.0,
                 dedup_waits: 0,
                 serve_p99_ms: 0.0,
+                cross_design_dedup_rate: 0.0,
             },
             BenchRecord {
                 name: "quote\"tab\t".into(),
@@ -327,6 +351,7 @@ mod tests {
                 bypass_hit_rate: 0.25,
                 dedup_waits: 3,
                 serve_p99_ms: 123.456,
+                cross_design_dedup_rate: 0.3333,
             },
         ];
         let json = to_json(&records);
@@ -336,12 +361,13 @@ mod tests {
             "{\"name\": \"plane_campaign/serial\", \"threads\": 1, \"wall_ms\": 12.346, \
              \"points\": 270, \"newton_iters\": 9000, \"cache_hit_rate\": 0.000, \
              \"disk_hit_rate\": 0.000, \"lu_reuse_rate\": 0.000, \
-             \"bypass_hit_rate\": 0.000, \"dedup_waits\": 0, \"serve_p99_ms\": 0.000}"
+             \"bypass_hit_rate\": 0.000, \"dedup_waits\": 0, \"serve_p99_ms\": 0.000, \
+             \"cross_design_dedup_rate\": 0.000}"
         ));
         assert!(json.contains(
             "\"cache_hit_rate\": 0.988, \"disk_hit_rate\": 0.500, \
              \"lu_reuse_rate\": 0.654, \"bypass_hit_rate\": 0.250, \"dedup_waits\": 3, \
-             \"serve_p99_ms\": 123.456"
+             \"serve_p99_ms\": 123.456, \"cross_design_dedup_rate\": 0.333"
         ));
         assert!(json.contains("quote\\\"tab\\t"));
         // Exactly one comma separator between the two records.
@@ -355,6 +381,7 @@ mod tests {
             speedup_per_core: 0.8,
             batch_speedup: 2.0,
             modified_newton_speedup: 2.5,
+            cross_design_dedup_rate: 0.333,
             serve_p99_ms: 800.0,
         };
         let parsed = BenchBaseline::from_json(&base.to_json()).expect("round trip");
@@ -367,6 +394,7 @@ mod tests {
             speedup_per_core: 0.9,
             batch_speedup: 2.4,
             modified_newton_speedup: 2.2,
+            cross_design_dedup_rate: 0.3,
             serve_p99_ms: 900.0,
         };
         assert!(base.regressions(&ok, 0.25).is_empty());
@@ -377,15 +405,17 @@ mod tests {
             speedup_per_core: 0.5,
             batch_speedup: 1.1,
             modified_newton_speedup: 1.2,
+            cross_design_dedup_rate: 0.1,
             serve_p99_ms: 1200.0,
         };
         let msgs = base.regressions(&bad, 0.25);
-        assert_eq!(msgs.len(), 5, "{msgs:?}");
+        assert_eq!(msgs.len(), 6, "{msgs:?}");
         assert!(msgs[0].contains("warm-start"), "{msgs:?}");
         assert!(msgs[1].contains("speedup per core"), "{msgs:?}");
         assert!(msgs[2].contains("batched"), "{msgs:?}");
         assert!(msgs[3].contains("modified-Newton"), "{msgs:?}");
-        assert!(msgs[4].contains("p99"), "{msgs:?}");
+        assert!(msgs[4].contains("cross-design"), "{msgs:?}");
+        assert!(msgs[5].contains("p99"), "{msgs:?}");
 
         // A zeroed latency baseline (no serve scenario yet) never trips.
         let unseeded = BenchBaseline {
@@ -394,7 +424,7 @@ mod tests {
         };
         assert_eq!(
             unseeded.regressions(&bad, 0.25).len(),
-            4,
+            5,
             "latency gate armed without a baseline"
         );
 

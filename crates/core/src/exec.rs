@@ -196,6 +196,11 @@ pub struct CampaignPerfStats {
     pub bypass_hits: usize,
     /// Device model evaluations performed.
     pub bypass_misses: usize,
+    /// Healthy-reference request grids a cross-design sweep answered from
+    /// another design's results instead of recomputing (configs that
+    /// expand to the same electrical plan share one evaluation context).
+    /// Always 0 for single-design campaigns.
+    pub cross_design_dedup: usize,
 }
 
 impl CampaignPerfStats {
@@ -217,6 +222,7 @@ impl CampaignPerfStats {
         dso_obs::counter!("campaign.lu_reuses").add(self.lu_reuses as u64);
         dso_obs::counter!("campaign.bypass_hits").add(self.bypass_hits as u64);
         dso_obs::counter!("campaign.bypass_misses").add(self.bypass_misses as u64);
+        dso_obs::counter!("campaign.cross_design_dedup").add(self.cross_design_dedup as u64);
     }
 
     /// Accumulates another tally into this one.
@@ -234,6 +240,7 @@ impl CampaignPerfStats {
         self.lu_reuses += other.lu_reuses;
         self.bypass_hits += other.bypass_hits;
         self.bypass_misses += other.bypass_misses;
+        self.cross_design_dedup += other.cross_design_dedup;
     }
 
     /// Fraction of seedable transients that ran warm (0 when none ran).
@@ -318,6 +325,9 @@ impl std::fmt::Display for CampaignPerfStats {
         }
         if self.bypass_hits > 0 {
             write!(f, ", bypass {:.0}%", 100.0 * self.bypass_hit_rate())?;
+        }
+        if self.cross_design_dedup > 0 {
+            write!(f, ", {} cross-design reuse(s)", self.cross_design_dedup)?;
         }
         if self.failures > 0 {
             write!(f, ", {} failure(s)", self.failures)?;
@@ -687,6 +697,7 @@ mod tests {
             lu_reuses: 50,
             bypass_hits: 200,
             bypass_misses: 100,
+            cross_design_dedup: 2,
         };
         let b = CampaignPerfStats {
             points: 1,
@@ -702,6 +713,7 @@ mod tests {
             lu_reuses: 10,
             bypass_hits: 40,
             bypass_misses: 60,
+            cross_design_dedup: 1,
         };
         a.merge(&b);
         assert_eq!(a.points, 3);
@@ -717,6 +729,7 @@ mod tests {
         assert_eq!(a.lu_reuses, 60);
         assert_eq!(a.bypass_hits, 240);
         assert_eq!(a.bypass_misses, 160);
+        assert_eq!(a.cross_design_dedup, 3);
         assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
         assert!((a.cache_hit_rate() - 0.25).abs() < 1e-12);
         assert!((a.disk_hit_rate() - 2.0 / 12.0).abs() < 1e-12);
@@ -735,13 +748,15 @@ mod tests {
         assert!(text.contains("1 failure(s)"), "{text}");
         assert!(text.contains("LU reuse 60%"), "{text}");
         assert!(text.contains("bypass 60%"), "{text}");
-        // Zero disk hits, reuse, bypass, and failures stay out of the
-        // display.
+        assert!(text.contains("3 cross-design reuse(s)"), "{text}");
+        // Zero disk hits, reuse, bypass, dedup, and failures stay out of
+        // the display.
         let quiet = CampaignPerfStats::default().to_string();
         assert!(!quiet.contains("from disk"), "{quiet}");
         assert!(!quiet.contains("failure"), "{quiet}");
         assert!(!quiet.contains("LU reuse"), "{quiet}");
         assert!(!quiet.contains("bypass"), "{quiet}");
+        assert!(!quiet.contains("cross-design"), "{quiet}");
     }
 
     #[test]

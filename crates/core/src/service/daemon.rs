@@ -7,7 +7,7 @@ use crate::analysis::detection::DetectionCondition;
 use crate::analysis::planes::plane_campaign_hooked;
 use crate::analysis::shmoo::margin_shmoo;
 use crate::analysis::sweep::CampaignFaults;
-use crate::analysis::{derive_detection, find_border};
+use crate::analysis::{derive_detection, find_border, DesignSpace, DesignSweepRequest};
 use crate::exec::ExecHooks;
 use crate::session::Session;
 use dso_obs::json::Json;
@@ -524,6 +524,21 @@ fn run_job(inner: &Arc<Inner>, job: QueuedJob) {
             )
             .map(|p| protocol::shmoo_result(&p))
         }
+        JobKind::DesignSweep {
+            designs,
+            defects,
+            op,
+            r_points,
+            n_ops,
+        } => DesignSpace::new(designs.clone())
+            .and_then(|space| {
+                let sweep = DesignSweepRequest::new(defects.clone())
+                    .with_op_points(vec![*op])
+                    .with_r_points(*r_points)
+                    .with_n_ops(*n_ops);
+                session.design_sweep(&space, &sweep)
+            })
+            .map(|r| protocol::design_sweep_result(&r)),
     };
 
     match result {

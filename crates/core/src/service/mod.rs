@@ -39,8 +39,8 @@ pub use daemon::{
     LATENCY_EDGES_MS,
 };
 pub use protocol::{
-    parse_frame, ControlRequest, ErrorCode, Frame, FrameError, JobKind, JobRequest, Priority,
-    Reply, StressAxis,
+    design_sweep_result, parse_frame, ControlRequest, ErrorCode, Frame, FrameError, JobKind,
+    JobRequest, Priority, Reply, StressAxis,
 };
 pub use queue::AdmissionQueue;
 pub use transport::serve_connection;

@@ -24,6 +24,7 @@
 //! | `border`    | `defect`, `op`, `settling`, `rel_tol`        | `interactive`    |
 //! | `detection` | `defect`, `op`, `r_target`, `max_settling`   | `interactive`    |
 //! | `shmoo`     | `defect`, `op`, `r_values`, `n_ops`, `stress` (`vdd`/`tcyc`), `values` | `interactive` |
+//! | `design_sweep` | `designs` (array of design-config objects), `defects` (array), `op`, `r_points`, `n_ops` | `bulk` |
 //!
 //! Control frames use `control` instead of `kind`: `cancel` (with the
 //! target `id`), `stats`, and `shutdown`.
@@ -40,7 +41,7 @@
 use crate::CoreError;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::column::DefectSite;
-use dso_dram::design::OperatingPoint;
+use dso_dram::design::{DesignConfig, OperatingPoint};
 use dso_obs::json::Json;
 use std::collections::BTreeMap;
 
@@ -199,6 +200,20 @@ pub enum JobKind {
         /// Stress axis values.
         values: Vec<f64>,
     },
+    /// One-pass cross-design coverage sweep over declarative design
+    /// configs (bulk-class by default).
+    DesignSweep {
+        /// Declarative design configs, in sweep order.
+        designs: Vec<DesignConfig>,
+        /// Defects to analyze per design.
+        defects: Vec<Defect>,
+        /// Stress combination every campaign runs at.
+        op: OperatingPoint,
+        /// Log-spaced resistance points per defect class.
+        r_points: usize,
+        /// Operations per trajectory.
+        n_ops: usize,
+    },
 }
 
 impl JobKind {
@@ -210,13 +225,14 @@ impl JobKind {
             JobKind::Border { .. } => "border",
             JobKind::Detection { .. } => "detection",
             JobKind::Shmoo { .. } => "shmoo",
+            JobKind::DesignSweep { .. } => "design_sweep",
         }
     }
 
     /// The scheduling class used when the frame names none.
     pub fn default_priority(&self) -> Priority {
         match self {
-            JobKind::Campaign { .. } => Priority::Bulk,
+            JobKind::Campaign { .. } | JobKind::DesignSweep { .. } => Priority::Bulk,
             _ => Priority::Interactive,
         }
     }
@@ -461,6 +477,38 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
         .and_then(Json::as_str)
         .ok_or_else(|| bad("job frame needs a string \"kind\"".into()))?;
 
+    // `design_sweep` carries design/defect *arrays*, not the single
+    // `defect` every other kind requires — handle it before the shared
+    // extraction.
+    if kind_label == "design_sweep" {
+        let design_docs = doc
+            .get("designs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("design_sweep needs an array \"designs\"".into()))?;
+        let designs = design_docs
+            .iter()
+            .map(|d| DesignConfig::from_json(d).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(&bad)?;
+        let defect_docs = doc
+            .get("defects")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("design_sweep needs an array \"defects\"".into()))?;
+        let defects = defect_docs
+            .iter()
+            .map(|d| defect_from_json(Some(d)))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(&bad)?;
+        let kind = JobKind::DesignSweep {
+            designs,
+            defects,
+            op: op_from_json(doc.get("op")).map_err(&bad)?,
+            r_points: usize_field(&doc, "r_points", 12).map_err(&bad)?,
+            n_ops: usize_field(&doc, "n_ops", 2).map_err(&bad)?,
+        };
+        return finish_job_frame(&doc, id, kind);
+    }
+
     let defect = defect_from_json(doc.get("defect")).map_err(&bad)?;
     let op = op_from_json(doc.get("op")).map_err(&bad)?;
     let kind = match kind_label {
@@ -519,7 +567,13 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
         }
         other => return Err(bad(format!("unknown kind {other:?}"))),
     };
+    finish_job_frame(&doc, id, kind)
+}
 
+/// Applies the kind-independent tail of a job frame: `priority` and
+/// `deadline_ms`.
+fn finish_job_frame(doc: &Json, id: String, kind: JobKind) -> Result<Frame, FrameError> {
+    let bad = |detail: String| frame_err(Some(id.clone()), ErrorCode::BadRequest, detail);
     let priority = match doc.get("priority").and_then(Json::as_str) {
         None => kind.default_priority(),
         Some(s) => Priority::parse(s).ok_or_else(|| bad(format!("unknown priority {s:?}")))?,
@@ -610,6 +664,25 @@ impl JobRequest {
                 map.insert("n_ops".to_string(), Json::Num(*n_ops as f64));
                 map.insert("stress".to_string(), Json::Str(stress.label().to_string()));
                 map.insert("values".to_string(), nums(values));
+            }
+            JobKind::DesignSweep {
+                designs,
+                defects,
+                op,
+                r_points,
+                n_ops,
+            } => {
+                map.insert(
+                    "designs".to_string(),
+                    Json::Arr(designs.iter().map(DesignConfig::to_json).collect()),
+                );
+                map.insert(
+                    "defects".to_string(),
+                    Json::Arr(defects.iter().map(defect_to_json).collect()),
+                );
+                map.insert("op".to_string(), op_to_json(op));
+                map.insert("r_points".to_string(), Json::Num(*r_points as f64));
+                map.insert("n_ops".to_string(), Json::Num(*n_ops as f64));
             }
         }
         Json::Obj(map).to_string()
@@ -911,6 +984,57 @@ pub fn shmoo_result(p: &dso_shmoo::ShmooPlot) -> Json {
     ])
 }
 
+/// Serializes a design-space sweep as the `done` payload of
+/// `design_sweep` jobs: one coverage object per design (fingerprints as
+/// zero-padded hex strings — `u64` does not survive an `f64` payload)
+/// plus the distinct-plan and cross-design-dedup counts.
+pub fn design_sweep_result(r: &crate::analysis::DesignSweepResult) -> Json {
+    let designs: Vec<Json> = r
+        .designs
+        .iter()
+        .map(|d| {
+            let cells: Vec<Json> = d
+                .cells
+                .iter()
+                .map(|c| {
+                    obj([
+                        ("defect", defect_to_json(&c.defect)),
+                        ("op", op_to_json(&c.op_point)),
+                        ("border", c.border.map_or(Json::Null, Json::Num)),
+                        ("fails_above", Json::Bool(c.fails_above)),
+                        ("vmp", Json::Num(c.vmp)),
+                        (
+                            "confidence",
+                            Json::Str(match c.confidence {
+                                crate::analysis::Confidence::Full => "full".to_string(),
+                                crate::analysis::Confidence::Degraded { gaps } => {
+                                    format!("degraded:{gaps}")
+                                }
+                            }),
+                        ),
+                    ])
+                })
+                .collect();
+            obj([
+                ("name", Json::Str(d.name.clone())),
+                ("fingerprint", Json::Str(format!("{:016x}", d.fingerprint))),
+                ("transfer_ratio", Json::Num(d.transfer_ratio)),
+                ("cbl", Json::Num(d.cbl)),
+                ("wl_boost", Json::Num(d.wl_boost)),
+                ("cells", Json::Arr(cells)),
+            ])
+        })
+        .collect();
+    obj([
+        ("designs", Json::Arr(designs)),
+        ("distinct_plans", Json::Num(r.distinct_plans as f64)),
+        (
+            "cross_design_dedup",
+            Json::Num(r.cross_design_dedup() as f64),
+        ),
+    ])
+}
+
 /// Maps a campaign-layer error to its structured wire code.
 pub fn code_for(e: &CoreError) -> ErrorCode {
     match e {
@@ -1016,6 +1140,90 @@ mod tests {
                 other => panic!("expected job frame, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn design_sweep_round_trip_and_defaults() {
+        use dso_dram::design::DesignConfig;
+        let req = JobRequest {
+            id: "ds1".into(),
+            kind: JobKind::DesignSweep {
+                designs: vec![
+                    DesignConfig::paper_default(),
+                    DesignConfig {
+                        name: "tall".into(),
+                        cells_per_bitline: 4,
+                        ..DesignConfig::paper_default()
+                    },
+                ],
+                defects: vec![defect(), Defect::cell_open(BitLineSide::Comp)],
+                op: OperatingPoint::nominal(),
+                r_points: 8,
+                n_ops: 3,
+            },
+            priority: Priority::Bulk,
+            deadline_ms: None,
+        };
+        match parse_frame(&req.to_line()).expect("round trip") {
+            Frame::Job(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected job frame, got {other:?}"),
+        }
+
+        // Omitted grid parameters default; the kind is bulk-class.
+        let line = r#"{"id":"ds2","kind":"design_sweep","designs":[{"name":"a"}],"defects":[{"site":"O3","side":"true"}]}"#;
+        match parse_frame(line).expect("defaults") {
+            Frame::Job(j) => {
+                assert_eq!(j.priority, Priority::Bulk);
+                match j.kind {
+                    JobKind::DesignSweep {
+                        designs,
+                        op,
+                        r_points,
+                        n_ops,
+                        ..
+                    } => {
+                        // Omitted config fields default from the paper column.
+                        assert_eq!(
+                            designs[0],
+                            DesignConfig {
+                                name: "a".into(),
+                                ..DesignConfig::paper_default()
+                            }
+                        );
+                        assert_eq!(op, OperatingPoint::nominal());
+                        assert_eq!(r_points, 12);
+                        assert_eq!(n_ops, 2);
+                    }
+                    other => panic!("wrong kind {other:?}"),
+                }
+            }
+            other => panic!("expected job frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn design_sweep_bad_configs_are_bad_requests() {
+        // Missing the designs array entirely.
+        let e = parse_frame(r#"{"id":"d1","kind":"design_sweep","defects":[]}"#)
+            .expect_err("no designs");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.id.as_deref(), Some("d1"));
+
+        // A config that fails validation (negative capacitance).
+        let e = parse_frame(
+            r#"{"id":"d2","kind":"design_sweep","designs":[{"name":"x","cell_cap":-1.0}],"defects":[{"site":"O3","side":"true"}]}"#,
+        )
+        .expect_err("invalid config");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.detail.contains("cell_cap"), "{}", e.detail);
+
+        // A bad defect inside the array.
+        let e = parse_frame(
+            r#"{"id":"d3","kind":"design_sweep","designs":[{"name":"x"}],"defects":[{"site":"O9","side":"true"}]}"#,
+        )
+        .expect_err("bad defect");
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.detail.contains("O9"), "{}", e.detail);
     }
 
     #[test]

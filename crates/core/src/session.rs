@@ -31,6 +31,9 @@
 //! set all of it persists across processes.
 
 use crate::analysis::border::{find_border, refine_border_from_planes, BorderResistance};
+use crate::analysis::design_space::{
+    design_sweep_impl, DesignSpace, DesignSweepRequest, DesignSweepResult,
+};
 use crate::analysis::detection::{derive_detection, DetectionCondition};
 use crate::analysis::dictionary::{build_dictionary, FaultDictionary};
 use crate::analysis::planes::{
@@ -238,6 +241,27 @@ impl Session {
             faults,
             &self.config,
         )
+    }
+
+    /// One-pass cross-design sweep: fans
+    /// `(designs × defects × R × operating points)` through the plane
+    /// pipeline, sharing one evaluation service between designs whose
+    /// configs expand to the same electrical plan (counted in
+    /// [`CampaignPerfStats::cross_design_dedup`]). Each per-design
+    /// analyzer inherits this session's recovery policy and solver
+    /// tuning; the session's own design and store are not used — the
+    /// design axis comes entirely from `space`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadRequest`] for an invalid request.
+    /// * The first failing campaign's error otherwise.
+    pub fn design_sweep(
+        &self,
+        space: &DesignSpace,
+        request: &DesignSweepRequest,
+    ) -> Result<DesignSweepResult, CoreError> {
+        design_sweep_impl(space, request, self.service.analyzer(), &self.config)
     }
 
     /// Strict result planes: the first point failure aborts the sweep.

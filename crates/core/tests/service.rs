@@ -214,6 +214,90 @@ fn full_admission_queue_replies_queue_full() {
     assert_eq!(stats.deadline_exceeded, 2);
 }
 
+#[test]
+fn design_sweep_jobs_run_and_bad_configs_get_bad_request() {
+    let daemon = Daemon::start(
+        fast_session(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    // A real two-design sweep (same electricals under two names, so the
+    // healthy reference dedups), a config that fails validation at parse
+    // time, a space that fails semantic validation at run time (duplicate
+    // names), and proof of life.
+    let script = concat!(
+        r#"{"id":"ds","kind":"design_sweep","designs":[{"name":"a","dt_fraction":0.004},{"name":"b","dt_fraction":0.004}],"defects":[{"site":"O3","side":"true"}],"r_points":2,"n_ops":1}"#,
+        "\n",
+        r#"{"id":"bad","kind":"design_sweep","designs":[{"name":"x","cell_cap":-1.0}],"defects":[{"site":"O3","side":"true"}]}"#,
+        "\n",
+        r#"{"id":"dup","kind":"design_sweep","designs":[{"name":"x","dt_fraction":0.004},{"name":"x","dt_fraction":0.004}],"defects":[{"site":"O3","side":"true"}],"r_points":2,"n_ops":1}"#,
+        "\n",
+        r#"{"control":"stats","id":"s1"}"#,
+        "\n",
+        r#"{"control":"shutdown"}"#,
+        "\n",
+    );
+    let mut out: Vec<u8> = Vec::new();
+    serve_connection(
+        &daemon.handle(),
+        Cursor::new(script.as_bytes().to_vec()),
+        &mut out,
+    )
+    .expect("read side stays healthy");
+    daemon.shutdown();
+
+    let replies: Vec<Reply> = String::from_utf8(out)
+        .expect("utf8 replies")
+        .lines()
+        .map(|l| Reply::parse(l).expect("well-formed reply"))
+        .collect();
+
+    // The sweep completed with both designs and at least one shared
+    // healthy-reference grid (the acceptance dedup counter on the wire).
+    let done = replies
+        .iter()
+        .find_map(|r| match r {
+            Reply::Done { id, result, .. } if id == "ds" => Some(result),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no done for ds: {replies:?}"));
+    let designs = done
+        .get("designs")
+        .and_then(|d| d.as_arr())
+        .expect("designs array");
+    assert_eq!(designs.len(), 2);
+    let dedup = done
+        .get("cross_design_dedup")
+        .and_then(|d| d.as_u64())
+        .expect("dedup count");
+    assert!(dedup >= 1, "equal-plan designs must dedup: {done}");
+
+    // The invalid config was refused at parse time, the duplicate-name
+    // space at run time — both as structured bad_request, and the daemon
+    // kept serving afterwards.
+    for id in ["bad", "dup"] {
+        assert!(
+            replies.iter().any(|r| matches!(
+                r,
+                Reply::Error {
+                    id: Some(rid),
+                    code: ErrorCode::BadRequest,
+                    ..
+                } if rid == id
+            )),
+            "no bad_request for {id}: {replies:?}"
+        );
+    }
+    assert!(
+        replies
+            .iter()
+            .any(|r| matches!(r, Reply::Stats { id, .. } if id == "s1")),
+        "daemon must still answer after bad design sweeps: {replies:?}"
+    );
+}
+
 #[cfg(unix)]
 #[test]
 fn killed_client_cancels_campaign_but_persisted_chunks_replay() {

@@ -135,6 +135,11 @@ pub mod nodes {
     pub const DOUT: &str = "dout";
     /// Data output buffer output (complementary side).
     pub const DOUTC: &str = "doutc";
+    /// Cell-array tap of the true bit line — only present when the design
+    /// has a non-zero bit-line series resistance (`bl_r > 0`).
+    pub const BT_TAP: &str = "bt_tap";
+    /// Cell-array tap of the complementary bit line (see [`BT_TAP`]).
+    pub const BC_TAP: &str = "bc_tap";
 
     /// Storage node of the victim cell on a side.
     pub fn storage(side: super::BitLineSide) -> String {
@@ -268,11 +273,29 @@ impl Column {
         ckt.add_capacitor("Cbt", bt, gnd, design.cbl)?;
         ckt.add_capacitor("Cbc", bc, gnd, design.cbl)?;
 
+        // Cell-array taps: with a non-zero bit-line series resistance the
+        // cells hang behind a lumped resistor, while the sense amplifier,
+        // precharge and write driver stay at the near end. At bl_r == 0
+        // the taps are the bit lines themselves and no devices are added,
+        // keeping the netlist identical to the resistance-free column.
+        let (bt_tap, bc_tap) = if design.bl_r > 0.0 {
+            let bt_tap = ckt.node(nodes::BT_TAP);
+            let bc_tap = ckt.node(nodes::BC_TAP);
+            ckt.add_resistor("Rbl_true", bt, bt_tap, design.bl_r)?;
+            ckt.add_resistor("Rbl_comp", bc, bc_tap, design.bl_r)?;
+            (bt_tap, bc_tap)
+        } else {
+            (bt, bc)
+        };
+
         let access =
             MosGeometry::new(design.access_w, design.access_l).map_err(DramError::Spice)?;
 
         // Victim cells with defect sites, one per side.
-        for (side, bl, wl) in [(BitLineSide::True, bt, wlt), (BitLineSide::Comp, bc, wlc)] {
+        for (side, bl, wl) in [
+            (BitLineSide::True, bt_tap, wlt),
+            (BitLineSide::Comp, bc_tap, wlc),
+        ] {
             let xd = ckt.node(&nodes::access_drain(side));
             let xs = ckt.node(&nodes::access_source(side));
             let st = ckt.node(&nodes::storage(side));
@@ -336,7 +359,7 @@ impl Column {
 
         // Plain cells (word lines grounded — never accessed, they only load
         // the bit lines).
-        for (side, bl) in [(BitLineSide::True, bt), (BitLineSide::Comp, bc)] {
+        for (side, bl) in [(BitLineSide::True, bt_tap), (BitLineSide::Comp, bc_tap)] {
             let tag = side.label();
             for i in 0..design.plain_cells_per_bitline {
                 let stp = ckt.node(&nodes::plain_storage(side, i));
@@ -355,7 +378,10 @@ impl Column {
 
         // Reference cells with restore switches (re-written to the
         // reference level during each precharge window).
-        for (side, bl, wlr) in [(BitLineSide::True, bt, wlrt), (BitLineSide::Comp, bc, wlrc)] {
+        for (side, bl, wlr) in [
+            (BitLineSide::True, bt_tap, wlrt),
+            (BitLineSide::Comp, bc_tap, wlrc),
+        ] {
             let str_node = ckt.node(&nodes::ref_storage(side));
             let tag = side.label();
             ckt.add_mosfet(

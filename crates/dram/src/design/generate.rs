@@ -1,0 +1,73 @@
+//! Netlist generation: the final stage of config → plan → generate.
+//!
+//! Generation is deliberately thin — a [`DesignPlan`] already carries the
+//! fully resolved [`ColumnDesign`], so generating is building the column
+//! netlist from it. The stage exists as its own seam so later design
+//! axes (open-bit-line arrays, segmented columns) can emit structurally
+//! different netlists from the same plan representation.
+
+use super::plan::DesignPlan;
+use super::ColumnDesign;
+use crate::column::Column;
+use crate::DramError;
+
+impl DesignPlan {
+    /// The concrete [`ColumnDesign`] this plan generates (a clone of the
+    /// resolved parameters; for [`super::DesignConfig::paper_default`]
+    /// this equals [`ColumnDesign::default`] exactly).
+    pub fn generate_design(&self) -> ColumnDesign {
+        self.design().clone()
+    }
+
+    /// Builds the column netlist for the resolved design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-construction errors from [`Column::build`].
+    pub fn generate(&self) -> Result<Column, DramError> {
+        Column::build(self.design())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::config::DesignConfig;
+    use crate::column::{nodes, sources, Column};
+
+    #[test]
+    fn paper_default_generates_the_default_column() {
+        let plan = DesignConfig::paper_default().expand().unwrap();
+        let generated = plan.generate().unwrap();
+        let direct = Column::build(&super::ColumnDesign::default()).unwrap();
+        assert_eq!(generated.design(), direct.design());
+        // Same device set in the same order — the netlists are identical.
+        for s in sources::ALL {
+            assert!(generated.circuit().find_device(s).is_ok(), "{s}");
+        }
+        assert_eq!(
+            generated.circuit().node_count(),
+            direct.circuit().node_count()
+        );
+    }
+
+    #[test]
+    fn nonzero_bitline_resistance_adds_tap_nodes() {
+        let cfg = DesignConfig {
+            bl_res_per_cell: 100.0,
+            ..DesignConfig::paper_default()
+        };
+        let column = cfg.expand().unwrap().generate().unwrap();
+        assert!(column.circuit().find_device("Rbl_true").is_ok());
+        assert!(column.circuit().find_device("Rbl_comp").is_ok());
+        assert!(column.circuit().find_node(nodes::BT_TAP).is_ok());
+        assert!(column.circuit().find_node(nodes::BC_TAP).is_ok());
+        // The zero-resistance column has neither.
+        let plain = DesignConfig::paper_default()
+            .expand()
+            .unwrap()
+            .generate()
+            .unwrap();
+        assert!(plain.circuit().find_device("Rbl_true").is_err());
+        assert!(plain.circuit().find_node(nodes::BT_TAP).is_err());
+    }
+}

@@ -1,4 +1,28 @@
 //! Column design parameters and the operating point (stress) definition.
+//!
+//! The module is a three-stage **config → plan → generate** pipeline:
+//!
+//! * [`config`] — [`DesignConfig`], the declarative, human-editable design
+//!   description (cells per bit line, per-cell bit-line R/C, device sizing,
+//!   reference scheme, word-line boost) with validation and a zero-dep
+//!   JSON parser,
+//! * [`plan`] — [`DesignPlan`], the expansion of a config into resolved
+//!   electrical parameters plus a stable per-design fingerprint,
+//! * [`generate`] — the generator that emits the concrete [`ColumnDesign`]
+//!   and the column netlist from a plan.
+//!
+//! [`ColumnDesign`] itself (below) stays the electrical ground truth the
+//! simulator consumes; the pipeline above it is how design-space sweeps
+//! produce many columns from declarative descriptions. The paper's own
+//! column is [`DesignConfig::paper_default`], which expands and generates
+//! bit-identically to [`ColumnDesign::default`].
+
+pub mod config;
+pub mod generate;
+pub mod plan;
+
+pub use config::{DesignConfig, ReferenceScheme};
+pub use plan::DesignPlan;
 
 use crate::DramError;
 use dso_spice::mos::MosModel;
@@ -127,6 +151,11 @@ pub struct ColumnDesign {
     pub cs: f64,
     /// Bit-line capacitance, farads.
     pub cbl: f64,
+    /// Lumped bit-line series resistance between the sense-amplifier end
+    /// of each bit line and the cell-array tap, ohms. Zero (the default)
+    /// omits the resistor devices entirely, so the generated netlist is
+    /// identical to the pre-design-space column.
+    pub bl_r: f64,
     /// Word-line boost above `vdd` in volts (`Vpp = vdd + wl_boost`).
     pub wl_boost: f64,
     /// How far below `vdd/2` the reference cells sit, in volts. This skew
@@ -171,6 +200,7 @@ impl Default for ColumnDesign {
         ColumnDesign {
             cs: 30e-15,
             cbl: 300e-15,
+            bl_r: 0.0,
             wl_boost: 0.4,
             ref_skew: 0.08,
             access_w: 0.15e-6,
@@ -218,6 +248,12 @@ impl ColumnDesign {
             if !(v > 0.0 && v.is_finite()) {
                 return bad(format!("{name} must be positive and finite, got {v}"));
             }
+        }
+        if !(self.bl_r >= 0.0 && self.bl_r.is_finite()) {
+            return bad(format!(
+                "bl_r must be non-negative and finite, got {}",
+                self.bl_r
+            ));
         }
         if self.cbl < self.cs {
             return bad(format!(
@@ -274,6 +310,7 @@ impl ColumnDesign {
         self.nmos.fingerprint_into(fp);
         self.pmos.fingerprint_into(fp);
         fp.write_f64(self.dt_fraction);
+        fp.write_f64(self.bl_r);
     }
 }
 
@@ -338,6 +375,24 @@ mod tests {
             ..ColumnDesign::default()
         };
         assert!(d.validate().is_err());
+        let d = ColumnDesign {
+            bl_r: -1.0,
+            ..ColumnDesign::default()
+        };
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn bl_r_extends_the_fingerprint() {
+        let mut a = dso_num::fingerprint::Fingerprint::new();
+        ColumnDesign::default().fingerprint_into(&mut a);
+        let mut b = dso_num::fingerprint::Fingerprint::new();
+        ColumnDesign {
+            bl_r: 250.0,
+            ..ColumnDesign::default()
+        }
+        .fingerprint_into(&mut b);
+        assert_ne!(a.finish(), b.finish());
     }
 
     #[test]

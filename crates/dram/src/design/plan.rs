@@ -1,0 +1,184 @@
+//! Expansion of a declarative [`DesignConfig`] into resolved electrical
+//! parameters.
+//!
+//! A [`DesignPlan`] is the middle stage of the config → plan → generate
+//! pipeline: every per-cell quantity has been scaled by the array height,
+//! the reference scheme has been resolved into a fixed skew voltage, and
+//! the whole resolved design carries a stable fingerprint. Two configs
+//! that expand to the same plan are electrically identical — the
+//! cross-design campaign planner uses exactly this equivalence (via
+//! [`DesignPlan::fingerprint`]) to share simulation results between them.
+
+use super::config::DesignConfig;
+use super::ColumnDesign;
+use crate::DramError;
+use dso_num::fingerprint::Fingerprint;
+
+/// A fully resolved column design: the output of expanding a
+/// [`DesignConfig`], ready for netlist generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPlan {
+    name: String,
+    design: ColumnDesign,
+    fingerprint: u64,
+}
+
+impl DesignPlan {
+    /// Expands `config` into resolved electrical parameters.
+    ///
+    /// Resolution rules:
+    ///
+    /// * total bit-line capacitance `cbl = cells_per_bitline · bl_cap_per_cell`,
+    /// * total bit-line series resistance `bl_r = cells_per_bitline · bl_res_per_cell`,
+    /// * the reference scheme resolves to a fixed skew via
+    ///   [`super::ReferenceScheme::resolve_skew`],
+    /// * the plain-cell count equals `cells_per_bitline`,
+    /// * model cards are the standard −2 mobility-exponent cards of the
+    ///   paper's 2.4 V generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BadDesign`] if the config or the resolved
+    /// design fails validation (e.g. a resolved skew outside `[0, 0.5]`).
+    pub fn expand(config: &DesignConfig) -> Result<Self, DramError> {
+        config.validate()?;
+        let cells = config.cells_per_bitline as f64;
+        let cbl = cells * config.bl_cap_per_cell;
+        let design = ColumnDesign {
+            cs: config.cell_cap,
+            cbl,
+            bl_r: cells * config.bl_res_per_cell,
+            wl_boost: config.wl_boost,
+            ref_skew: config.reference.resolve_skew(config.cell_cap, cbl),
+            access_w: config.access_w,
+            access_l: config.access_l,
+            sa_nmos_w: config.sa_nmos_w,
+            sa_pmos_w: config.sa_pmos_w,
+            sa_l: config.sa_l,
+            pre_w: config.pre_w,
+            wd_ron: config.wd_ron,
+            plain_cells_per_bitline: config.cells_per_bitline,
+            dt_fraction: config.dt_fraction,
+            ..ColumnDesign::default()
+        };
+        design.validate()?;
+        let mut fp = Fingerprint::new();
+        design.fingerprint_into(&mut fp);
+        Ok(DesignPlan {
+            name: config.name.clone(),
+            design,
+            fingerprint: fp.finish(),
+        })
+    }
+
+    /// The design name carried over from the config (a label, not part of
+    /// the fingerprint).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resolved electrical design.
+    pub fn design(&self) -> &ColumnDesign {
+        &self.design
+    }
+
+    /// Stable fingerprint of the resolved electrical parameters.
+    ///
+    /// Changing any electrical field of the source config changes this
+    /// value — which in turn changes the evaluation-service context key,
+    /// invalidating both the in-memory memo cache and any `DSO_STORE`
+    /// generation keyed on the old design. The name is deliberately
+    /// excluded: renaming a design must not discard its cached results.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Charge-transfer ratio of the resolved design (see
+    /// [`ColumnDesign::transfer_ratio`]).
+    pub fn transfer_ratio(&self) -> f64 {
+        self.design.transfer_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::config::ReferenceScheme;
+    use super::*;
+
+    #[test]
+    fn paper_default_expands_to_the_default_column() {
+        let plan = DesignPlan::expand(&DesignConfig::paper_default()).unwrap();
+        assert_eq!(plan.design(), &ColumnDesign::default());
+        assert_eq!(plan.name(), "paper");
+        let mut fp = Fingerprint::new();
+        ColumnDesign::default().fingerprint_into(&mut fp);
+        assert_eq!(plan.fingerprint(), fp.finish());
+    }
+
+    #[test]
+    fn per_cell_parasitics_scale_with_array_height() {
+        let cfg = DesignConfig {
+            cells_per_bitline: 4,
+            bl_res_per_cell: 50.0,
+            ..DesignConfig::paper_default()
+        };
+        let plan = cfg.expand().unwrap();
+        assert_eq!(plan.design().cbl, 4.0 * 300e-15);
+        assert_eq!(plan.design().bl_r, 200.0);
+        assert_eq!(plan.design().plain_cells_per_bitline, 4);
+        assert!(plan.transfer_ratio() < ColumnDesign::default().transfer_ratio());
+    }
+
+    #[test]
+    fn renaming_keeps_the_fingerprint_config_changes_move_it() {
+        let base = DesignConfig::paper_default().expand().unwrap();
+        let renamed = DesignConfig {
+            name: "alias".to_string(),
+            ..DesignConfig::paper_default()
+        }
+        .expand()
+        .unwrap();
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+        let moved = DesignConfig {
+            wl_boost: 0.6,
+            ..DesignConfig::paper_default()
+        }
+        .expand()
+        .unwrap();
+        assert_ne!(base.fingerprint(), moved.fingerprint());
+    }
+
+    #[test]
+    fn equivalent_reference_schemes_expand_to_the_same_plan() {
+        let dummy = DesignConfig {
+            name: "dummy".to_string(),
+            reference: ReferenceScheme::DummyCell,
+            ..DesignConfig::paper_default()
+        }
+        .expand()
+        .unwrap();
+        let skew = dummy.design().ref_skew;
+        let explicit = DesignConfig {
+            name: "explicit".to_string(),
+            reference: ReferenceScheme::SkewedRef { skew },
+            ..DesignConfig::paper_default()
+        }
+        .expand()
+        .unwrap();
+        assert_eq!(dummy.fingerprint(), explicit.fingerprint());
+        assert_eq!(dummy.design(), explicit.design());
+    }
+
+    #[test]
+    fn invalid_resolved_designs_are_rejected() {
+        // A valid config whose expansion breaks the resolved design: a
+        // cell bigger than the whole resolved bit-line capacitance.
+        let cfg = DesignConfig {
+            cell_cap: 400e-15,
+            bl_cap_per_cell: 300e-15,
+            ..DesignConfig::paper_default()
+        };
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.expand().is_err());
+    }
+}

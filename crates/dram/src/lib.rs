@@ -8,6 +8,10 @@
 //!
 //! * [`design::ColumnDesign`] — every electrical parameter of the column
 //!   (supply, capacitances, transistor geometries, timing fractions).
+//! * [`design::DesignConfig`] → [`design::DesignPlan`] — the declarative
+//!   config → plan → generate pipeline that produces whole families of
+//!   columns for design-space sweeps; the paper's column is
+//!   [`design::DesignConfig::paper_default`].
 //! * [`design::OperatingPoint`] — the *stress* knobs: `Vdd`, `tcyc`, duty
 //!   cycle and temperature.
 //! * [`column`][mod@column] — builds the column netlist, including pre-placed defect
@@ -44,6 +48,6 @@ pub mod error;
 pub mod ops;
 pub mod timing;
 
-pub use design::{ColumnDesign, OperatingPoint};
+pub use design::{ColumnDesign, DesignConfig, DesignPlan, OperatingPoint, ReferenceScheme};
 pub use error::DramError;
 pub use ops::{run_batch, BatchJob, Operation, OperationEngine};

@@ -110,6 +110,16 @@ impl ShmooPlot {
         })
     }
 
+    /// The x-axis label.
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The y-axis label.
+    pub fn y_label(&self) -> &str {
+        &self.y_label
+    }
+
     /// The x-axis values.
     pub fn x_values(&self) -> &[f64] {
         &self.x_values
@@ -188,6 +198,105 @@ impl ShmooPlot {
                 });
             }
             out.push('\n');
+        }
+        out
+    }
+}
+
+/// A labelled collection of Shmoo plots — one per design, corner, or
+/// any other sweep dimension — rendered together.
+///
+/// # Example
+///
+/// ```
+/// use dso_shmoo::{PlotSet, ShmooPlot};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut set = PlotSet::new();
+/// let plot = ShmooPlot::generate("vdd", &[2.0, 3.0], "tcyc", &[1.0], |x, _| {
+///     Ok::<_, std::convert::Infallible>(x > 2.5)
+/// })?;
+/// set.push("tall-array", plot);
+/// assert_eq!(set.labels(), ["tall-array"]);
+/// assert!(set.render_csv().starts_with("label,"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlotSet {
+    entries: Vec<(String, ShmooPlot)>,
+}
+
+impl PlotSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PlotSet::default()
+    }
+
+    /// Appends a labelled plot. Labels need not be unique; [`PlotSet::get`]
+    /// returns the first match.
+    pub fn push(&mut self, label: &str, plot: ShmooPlot) {
+        self.entries.push((label.to_string(), plot));
+    }
+
+    /// Number of plots in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the set holds no plots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The labels, in insertion order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.entries.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// The first plot stored under `label`.
+    pub fn get(&self, label: &str) -> Option<&ShmooPlot> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| p)
+    }
+
+    /// Iterates `(label, plot)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ShmooPlot)> {
+        self.entries.iter().map(|(l, p)| (l.as_str(), p))
+    }
+
+    /// Renders every plot, each under a `== label ==` banner.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        for (label, plot) in &self.entries {
+            out.push_str(&format!("== {label} ==\n"));
+            out.push_str(&plot.render_ascii());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Long-form CSV: one row per grid point across all plots, with the
+    /// plot label and both axis names carried on every row so sets whose
+    /// plots use different axes stay self-describing.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("label,x_axis,x,y_axis,y,outcome\n");
+        for (label, plot) in &self.entries {
+            for (yi, &y) in plot.y_values().iter().enumerate() {
+                for (xi, &x) in plot.x_values().iter().enumerate() {
+                    out.push_str(&format!(
+                        "{label},{},{x:e},{},{y:e},{}\n",
+                        plot.x_label(),
+                        plot.y_label(),
+                        match plot.outcome(xi, yi) {
+                            Outcome::Pass => "pass",
+                            Outcome::Fail => "fail",
+                        }
+                    ));
+                }
+            }
         }
         out
     }
@@ -413,5 +522,42 @@ mod tests {
     fn outcome_glyphs() {
         assert_eq!(Outcome::Pass.to_string(), "+");
         assert_eq!(Outcome::Fail.glyph(), '.');
+    }
+
+    #[test]
+    fn plot_set_lookup_and_order() {
+        let mut set = PlotSet::new();
+        assert!(set.is_empty());
+        set.push("a", diagonal_plot());
+        set.push("b", diagonal_plot());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.labels(), ["a", "b"]);
+        assert_eq!(set.get("b"), Some(&diagonal_plot()));
+        assert_eq!(set.get("missing"), None);
+        let labels: Vec<&str> = set.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["a", "b"]);
+    }
+
+    #[test]
+    fn plot_set_ascii_banners() {
+        let mut set = PlotSet::new();
+        set.push("tall-array", diagonal_plot());
+        let text = set.render_ascii();
+        assert!(text.starts_with("== tall-array ==\n"), "{text}");
+        assert!(text.contains("shmoo: x (x) vs y (y)"), "{text}");
+    }
+
+    #[test]
+    fn plot_set_long_form_csv() {
+        let mut set = PlotSet::new();
+        set.push("d0", diagonal_plot());
+        set.push("d1", diagonal_plot());
+        let csv = set.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header plus 9 grid points per plot.
+        assert_eq!(lines.len(), 1 + 2 * 9);
+        assert_eq!(lines[0], "label,x_axis,x,y_axis,y,outcome");
+        assert_eq!(lines[1], "d0,x,0e0,y,0e0,pass");
+        assert!(lines[10].starts_with("d1,"), "{csv}");
     }
 }

@@ -8,11 +8,14 @@
 //! `BENCH_campaign.json` (schema per record:
 //! `{name, threads, wall_ms, points, newton_iters, cache_hit_rate,
 //! disk_hit_rate, lu_reuse_rate, bypass_hit_rate, dedup_waits,
-//! serve_p99_ms}`). A disk-resume scenario additionally replays the
-//! campaign from a persistent [`ResultStore`] on a fresh service and
-//! gates on bit-identity and a full disk hit rate, and a service
-//! scenario runs interactive queries against an embedded daemon busy
-//! with a bulk campaign, feeding the interactive p99 into the baseline.
+//! serve_p99_ms, cross_design_dedup_rate}`). A disk-resume scenario
+//! additionally replays the campaign from a persistent [`ResultStore`] on
+//! a fresh service and gates on bit-identity and a full disk hit rate, a
+//! service scenario runs interactive queries against an embedded daemon
+//! busy with a bulk campaign, feeding the interactive p99 into the
+//! baseline, and a design-sweep scenario runs three declarative designs
+//! (two expanding to one electrical plan) in one pass, feeding the
+//! deterministic cross-design dedup rate into the baseline.
 //!
 //! Run in release mode — debug-mode timings are meaningless:
 //!
@@ -35,7 +38,7 @@
 //! `BENCH_baseline.json` (refresh an intentional change with
 //! `cargo run --release --example bench_campaign -- --write-baseline`).
 
-use dram_stress_opt::analysis::{Analyzer, PlaneCampaign};
+use dram_stress_opt::analysis::{Analyzer, DesignSpace, DesignSweepRequest, PlaneCampaign};
 use dram_stress_opt::bench::{effective_cores, median_of, to_json, BenchBaseline, BenchRecord};
 use dram_stress_opt::eval::EvalService;
 use dram_stress_opt::exec::CampaignConfig;
@@ -46,7 +49,7 @@ use dram_stress_opt::store::ResultStore;
 use dram_stress_opt::Session;
 use dso_defects::{BitLineSide, Defect};
 use dso_dram::column::DefectSite;
-use dso_dram::design::{ColumnDesign, OperatingPoint};
+use dso_dram::design::{ColumnDesign, DesignConfig, OperatingPoint, ReferenceScheme};
 use dso_num::interp::logspace;
 use dso_spice::SolverTuning;
 
@@ -96,6 +99,7 @@ fn main() {
         bypass_hit_rate: cold_perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let (warm_ms, (_, warm_perf)) = median_of(REPEATS, || planes(&serial_warm));
     records.push(BenchRecord {
@@ -110,6 +114,7 @@ fn main() {
         bypass_hit_rate: warm_perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let saved = 1.0 - warm_perf.newton_iters as f64 / cold_perf.newton_iters.max(1) as f64;
     println!(
@@ -146,6 +151,7 @@ fn main() {
         bypass_hit_rate: serial.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let mut widest_speedup_per_core = f64::INFINITY;
     for threads in [2, 8] {
@@ -163,6 +169,7 @@ fn main() {
             bypass_hit_rate: parallel.perf.bypass_hit_rate(),
             dedup_waits: 0,
             serve_p99_ms: 0.0,
+            cross_design_dedup_rate: 0.0,
         });
         let speedup = serial_ms / ms;
         widest_speedup_per_core = speedup / effective_cores(threads) as f64;
@@ -199,6 +206,7 @@ fn main() {
         bypass_hit_rate: scalar_batchref.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let (batch_ms, batched) = median_of(REPEATS, || campaign(&batch_cfg));
     records.push(BenchRecord {
@@ -213,6 +221,7 @@ fn main() {
         bypass_hit_rate: batched.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let pps = |points: usize, ms: f64| points as f64 / (ms / 1e3).max(1e-9);
     let scalar_pps = pps(scalar_batchref.perf.points, scalar_batchref_ms);
@@ -265,6 +274,7 @@ fn main() {
         bypass_hit_rate: legacy.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let (mn_ms, mn) = median_of(REPEATS, || {
         tuned_campaign(SolverTuning::default(), &serial_cold)
@@ -281,6 +291,7 @@ fn main() {
         bypass_hit_rate: mn.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let legacy_pps = pps(legacy.perf.points, legacy_ms);
     let mn_pps = pps(mn.perf.points, mn_ms);
@@ -345,6 +356,7 @@ fn main() {
         bypass_hit_rate: obs_run.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     println!(
         "metrics enabled: {:.0} ms vs {:.0} ms disabled ({:+.1}%)",
@@ -376,6 +388,7 @@ fn main() {
         bypass_hit_rate: shared_cold.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let (cached_ms, cached) = median_of(REPEATS, run_shared);
     let cache_stats = shared_session.service().cache_stats();
@@ -391,6 +404,7 @@ fn main() {
         bypass_hit_rate: cached.perf.bypass_hit_rate(),
         dedup_waits: cache_stats.dedup_waits as usize,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     let cache_speedup = shared_cold_ms / cached_ms.max(1e-6);
     println!(
@@ -466,6 +480,7 @@ fn main() {
         bypass_hit_rate: resumed.perf.bypass_hit_rate(),
         dedup_waits: 0,
         serve_p99_ms: 0.0,
+        cross_design_dedup_rate: 0.0,
     });
     println!(
         "disk resume: persist {:.0} ms -> replay {:.2} ms ({} records on disk, \
@@ -610,6 +625,7 @@ fn main() {
         bypass_hit_rate: 0.0,
         dedup_waits: 0,
         serve_p99_ms,
+        cross_design_dedup_rate: 0.0,
     });
     println!(
         "service daemon: {} jobs in {:.0} ms, {} preemptions, interactive p50 {:.0} ms / \
@@ -632,12 +648,94 @@ fn main() {
         failed = true;
     }
 
+    // --- design-space sweep: cross-design healthy-reference dedup --------
+    // Three declarative designs, two of which expand to the same
+    // electrical plan ("skewed" spells out the exact skew "dummy"
+    // resolves to) and one genuinely different (two cells per bit line).
+    // The shared plan's healthy-reference grid must dedup; the rate is a
+    // deterministic count, so it feeds the baseline gate directly.
+    let sweep_space = {
+        let base = DesignConfig {
+            name: "skewed".into(),
+            dt_fraction: 1.0 / 250.0,
+            ..DesignConfig::paper_default()
+        };
+        let skew = ReferenceScheme::DummyCell.resolve_skew(
+            base.cell_cap,
+            base.cells_per_bitline as f64 * base.bl_cap_per_cell,
+        );
+        let skewed = DesignConfig {
+            reference: ReferenceScheme::SkewedRef { skew },
+            ..base
+        };
+        let dummy = DesignConfig {
+            name: "dummy".into(),
+            reference: ReferenceScheme::DummyCell,
+            ..skewed.clone()
+        };
+        let tall = DesignConfig {
+            name: "tall".into(),
+            cells_per_bitline: 2,
+            ..skewed.clone()
+        };
+        DesignSpace::new(vec![skewed, dummy, tall]).expect("valid design space")
+    };
+    let sweep_request = DesignSweepRequest::new(vec![defect])
+        .with_r_points(8)
+        .with_n_ops(N_OPS);
+    let sweep_session = fresh_session(&serial_cfg);
+    let (sweep_ms, sweep) = median_of(1, || {
+        sweep_session
+            .design_sweep(&sweep_space, &sweep_request)
+            .expect("design sweep runs")
+    });
+    let sweep_campaigns =
+        (sweep_space.len() * sweep_request.defects.len() * sweep_request.op_points.len()) as f64;
+    let cross_design_dedup_rate = sweep.cross_design_dedup() as f64 / sweep_campaigns;
+    records.push(BenchRecord {
+        name: "design_sweep/three-designs".into(),
+        threads: 1,
+        wall_ms: sweep_ms,
+        points: sweep.perf.points,
+        newton_iters: sweep.perf.newton_iters,
+        cache_hit_rate: sweep.perf.cache_hit_rate(),
+        disk_hit_rate: sweep.perf.disk_hit_rate(),
+        lu_reuse_rate: sweep.perf.lu_reuse_rate(),
+        bypass_hit_rate: sweep.perf.bypass_hit_rate(),
+        dedup_waits: 0,
+        serve_p99_ms: 0.0,
+        cross_design_dedup_rate,
+    });
+    println!(
+        "design sweep: {} designs ({} distinct plans) in {:.0} ms \
+         ({:.2} points/s), {} cross-design reuse(s) ({:.0}% of campaigns)",
+        sweep_space.len(),
+        sweep.distinct_plans,
+        sweep_ms,
+        pps(sweep.perf.points, sweep_ms),
+        sweep.cross_design_dedup(),
+        100.0 * cross_design_dedup_rate
+    );
+    if sweep.cross_design_dedup() < 1 {
+        eprintln!("FAIL: equal-plan designs shared no healthy-reference grid");
+        failed = true;
+    }
+    if sweep.designs.len() != sweep_space.len() {
+        eprintln!(
+            "FAIL: design sweep reported {} of {} designs",
+            sweep.designs.len(),
+            sweep_space.len()
+        );
+        failed = true;
+    }
+
     // --- perf-regression gate vs the committed baseline ------------------
     let current = BenchBaseline {
         warm_iter_saving: saved,
         speedup_per_core: widest_speedup_per_core,
         batch_speedup,
         modified_newton_speedup,
+        cross_design_dedup_rate,
         serve_p99_ms,
     };
     if std::env::args().any(|a| a == "--write-baseline") {

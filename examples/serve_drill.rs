@@ -456,6 +456,22 @@ fn direct(jobs: &[JobRequest], threads: usize) -> BTreeMap<String, Terminal> {
                 } => session
                     .detect(defect, *r_target, op, *max_settling)
                     .map(|d| protocol::detection_result(&d)),
+                JobKind::DesignSweep {
+                    designs,
+                    defects,
+                    op,
+                    r_points,
+                    n_ops,
+                } => dram_stress_opt::analysis::DesignSpace::new(designs.clone())
+                    .and_then(|space| {
+                        let sweep =
+                            dram_stress_opt::analysis::DesignSweepRequest::new(defects.clone())
+                                .with_op_points(vec![*op])
+                                .with_r_points(*r_points)
+                                .with_n_ops(*n_ops);
+                        session.design_sweep(&space, &sweep)
+                    })
+                    .map(|r| protocol::design_sweep_result(&r)),
                 JobKind::Shmoo {
                     defect,
                     op,
